@@ -1,0 +1,298 @@
+//! SPARQL built-in conditions (`FILTER` expressions).
+//!
+//! The paper restricts to the fragment of [Pérez, Arenas, Gutierrez,
+//! TODS 2009]: atoms are `bound(?X)`, `?X = c`, `?X = ?Y`, closed under
+//! `¬`, `∧`, `∨` (Section 2). Satisfaction `µ ⊨ R` is two-valued: an
+//! equality with an unbound variable is simply false.
+//!
+//! Two extra constants `True`/`False` are provided — they are needed by
+//! the FO translation of Appendix C (which maps filter atoms to `True`
+//! and `False` formulas) and are trivially expressible in the paper's
+//! fragment (`bound(?X) ∨ ¬bound(?X)`).
+
+use crate::mapping::Mapping;
+use crate::variable::Variable;
+use owql_rdf::Iri;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A built-in condition `R`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Condition {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// `bound(?X)` — `?X ∈ dom(µ)`.
+    Bound(Variable),
+    /// `?X = c` — `?X` bound and equal to the IRI `c`.
+    EqConst(Variable, Iri),
+    /// `?X = ?Y` — both bound and equal.
+    EqVar(Variable, Variable),
+    /// `¬R`.
+    Not(Box<Condition>),
+    /// `R₁ ∧ R₂`.
+    And(Box<Condition>, Box<Condition>),
+    /// `R₁ ∨ R₂`.
+    Or(Box<Condition>, Box<Condition>),
+}
+
+impl Condition {
+    /// `bound(?X)` helper.
+    pub fn bound(v: impl Into<Variable>) -> Condition {
+        Condition::Bound(v.into())
+    }
+
+    /// `?X = c` helper.
+    pub fn eq_const(v: impl Into<Variable>, c: impl Into<Iri>) -> Condition {
+        Condition::EqConst(v.into(), c.into())
+    }
+
+    /// `?X = ?Y` helper.
+    pub fn eq_var(v: impl Into<Variable>, w: impl Into<Variable>) -> Condition {
+        Condition::EqVar(v.into(), w.into())
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Condition {
+        Condition::Not(Box::new(self))
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: Condition) -> Condition {
+        Condition::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: Condition) -> Condition {
+        Condition::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Conjunction of an iterator of conditions (`True` if empty).
+    pub fn conj(conds: impl IntoIterator<Item = Condition>) -> Condition {
+        conds
+            .into_iter()
+            .reduce(Condition::and)
+            .unwrap_or(Condition::True)
+    }
+
+    /// Disjunction of an iterator of conditions (`False` if empty).
+    pub fn disj(conds: impl IntoIterator<Item = Condition>) -> Condition {
+        conds
+            .into_iter()
+            .reduce(Condition::or)
+            .unwrap_or(Condition::False)
+    }
+
+    /// Satisfaction `µ ⊨ R` exactly as in Section 2.1.
+    pub fn satisfied_by(&self, m: &Mapping) -> bool {
+        match self {
+            Condition::True => true,
+            Condition::False => false,
+            Condition::Bound(v) => m.is_bound(*v),
+            Condition::EqConst(v, c) => m.get(*v) == Some(*c),
+            Condition::EqVar(v, w) => match (m.get(*v), m.get(*w)) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+            Condition::Not(r) => !r.satisfied_by(m),
+            Condition::And(a, b) => a.satisfied_by(m) && b.satisfied_by(m),
+            Condition::Or(a, b) => a.satisfied_by(m) || b.satisfied_by(m),
+        }
+    }
+
+    /// `var(R)`: all variables mentioned in the condition.
+    pub fn vars(&self) -> BTreeSet<Variable> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Variable>) {
+        match self {
+            Condition::True | Condition::False => {}
+            Condition::Bound(v) => {
+                out.insert(*v);
+            }
+            Condition::EqConst(v, _) => {
+                out.insert(*v);
+            }
+            Condition::EqVar(v, w) => {
+                out.insert(*v);
+                out.insert(*w);
+            }
+            Condition::Not(r) => r.collect_vars(out),
+            Condition::And(a, b) | Condition::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// All IRIs mentioned in the condition.
+    pub fn iris(&self) -> BTreeSet<Iri> {
+        let mut out = BTreeSet::new();
+        self.collect_iris(&mut out);
+        out
+    }
+
+    fn collect_iris(&self, out: &mut BTreeSet<Iri>) {
+        match self {
+            Condition::EqConst(_, c) => {
+                out.insert(*c);
+            }
+            Condition::Not(r) => r.collect_iris(out),
+            Condition::And(a, b) | Condition::Or(a, b) => {
+                a.collect_iris(out);
+                b.collect_iris(out);
+            }
+            _ => {}
+        }
+    }
+
+    /// Renames variables according to `f` (used by the variable-renaming
+    /// constructions of Appendix E/F).
+    pub fn rename_vars(&self, f: &impl Fn(Variable) -> Variable) -> Condition {
+        match self {
+            Condition::True => Condition::True,
+            Condition::False => Condition::False,
+            Condition::Bound(v) => Condition::Bound(f(*v)),
+            Condition::EqConst(v, c) => Condition::EqConst(f(*v), *c),
+            Condition::EqVar(v, w) => Condition::EqVar(f(*v), f(*w)),
+            Condition::Not(r) => r.rename_vars(f).not(),
+            Condition::And(a, b) => a.rename_vars(f).and(b.rename_vars(f)),
+            Condition::Or(a, b) => a.rename_vars(f).or(b.rename_vars(f)),
+        }
+    }
+
+    /// Structural size (atoms + connectives), used in blowup measurements.
+    pub fn size(&self) -> usize {
+        match self {
+            Condition::True
+            | Condition::False
+            | Condition::Bound(_)
+            | Condition::EqConst(..)
+            | Condition::EqVar(..) => 1,
+            Condition::Not(r) => 1 + r.size(),
+            Condition::And(a, b) | Condition::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Debug for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::True => write!(f, "true"),
+            Condition::False => write!(f, "false"),
+            Condition::Bound(v) => write!(f, "bound({v})"),
+            Condition::EqConst(v, c) => write!(f, "{v} = {c}"),
+            Condition::EqVar(v, w) => write!(f, "{v} = {w}"),
+            Condition::Not(r) => write!(f, "!({r})"),
+            Condition::And(a, b) => write!(f, "({a} && {b})"),
+            Condition::Or(a, b) => write!(f, "({a} || {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn juan() -> Mapping {
+        Mapping::from_str_pairs(&[("X", "Juan"), ("Y", "Juan"), ("Z", "Chile")])
+    }
+
+    #[test]
+    fn bound_semantics() {
+        let m = juan();
+        assert!(Condition::bound("X").satisfied_by(&m));
+        assert!(!Condition::bound("W").satisfied_by(&m));
+    }
+
+    #[test]
+    fn eq_const_semantics() {
+        let m = juan();
+        assert!(Condition::eq_const("X", "Juan").satisfied_by(&m));
+        assert!(!Condition::eq_const("X", "Pedro").satisfied_by(&m));
+        // Unbound variable: atom is false, not an error.
+        assert!(!Condition::eq_const("W", "Juan").satisfied_by(&m));
+    }
+
+    #[test]
+    fn eq_var_semantics() {
+        let m = juan();
+        assert!(Condition::eq_var("X", "Y").satisfied_by(&m));
+        assert!(!Condition::eq_var("X", "Z").satisfied_by(&m));
+        assert!(!Condition::eq_var("X", "W").satisfied_by(&m));
+        assert!(!Condition::eq_var("W", "W2").satisfied_by(&m));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let m = juan();
+        let r = Condition::bound("X").and(Condition::bound("W").not());
+        assert!(r.satisfied_by(&m));
+        let r = Condition::bound("W").or(Condition::eq_const("Z", "Chile"));
+        assert!(r.satisfied_by(&m));
+        assert!(Condition::True.satisfied_by(&m));
+        assert!(!Condition::False.satisfied_by(&m));
+    }
+
+    #[test]
+    fn negation_on_unbound_is_true() {
+        // ¬bound(?W) over a mapping not binding ?W is true (closed-world
+        // flavour of FILTER — exactly the tension the paper studies).
+        let m = Mapping::new();
+        assert!(Condition::bound("W").not().satisfied_by(&m));
+        assert!(Condition::eq_const("W", "a").not().satisfied_by(&m));
+    }
+
+    #[test]
+    fn conj_disj_builders() {
+        let m = juan();
+        assert!(Condition::conj(vec![]).satisfied_by(&m));
+        assert!(!Condition::disj(vec![]).satisfied_by(&m));
+        let c = Condition::conj(vec![Condition::bound("X"), Condition::bound("Y")]);
+        assert!(c.satisfied_by(&m));
+    }
+
+    #[test]
+    fn vars_and_iris_collection() {
+        let r = Condition::eq_const("X", "Juan")
+            .and(Condition::eq_var("Y", "Z"))
+            .or(Condition::bound("W").not());
+        let vars: Vec<String> = r.vars().iter().map(|v| v.to_string()).collect();
+        assert_eq!(vars, vec!["?W", "?X", "?Y", "?Z"]);
+        let iris: Vec<&str> = r.iris().iter().map(|i| i.as_str()).collect();
+        assert_eq!(iris, vec!["Juan"]);
+    }
+
+    #[test]
+    fn rename_vars_rewrites_all_atoms() {
+        let r = Condition::bound("A").and(Condition::eq_var("A", "B"));
+        let renamed = r.rename_vars(&|v| Variable::new(&format!("{}_r", v.name())));
+        assert_eq!(
+            renamed,
+            Condition::bound("A_r").and(Condition::eq_var("A_r", "B_r"))
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = Condition::bound("X").or(Condition::eq_const("Y", "c").not());
+        assert_eq!(r.to_string(), "(bound(?X) || !(?Y = c))");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let r = Condition::bound("X").and(Condition::bound("Y")).not();
+        assert_eq!(r.size(), 4);
+    }
+}

@@ -1,0 +1,171 @@
+//! `CONSTRUCT` queries (Section 6).
+//!
+//! A CONSTRUCT query `Q = (CONSTRUCT H WHERE P)` pairs a *template* `H`
+//! (a finite set of triple patterns) with a graph pattern `P`; its
+//! answer over a graph `G` is itself an RDF graph:
+//!
+//! ```text
+//! ans(Q, G) = { µ(t) | µ ∈ ⟦P⟧G, t ∈ H, var(t) ⊆ dom(µ) }
+//! ```
+//!
+//! (evaluation lives in `owql-eval`). This module defines the query
+//! type, its analyses, and the template normalization used by
+//! Lemma 6.5's proof (template triples mentioning variables not in `P`
+//! can never instantiate and are safely removed).
+
+use crate::analysis::{in_fragment, pattern_vars, Operators};
+use crate::pattern::{Pattern, TriplePattern};
+use crate::variable::Variable;
+use owql_rdf::Iri;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A `CONSTRUCT H WHERE P` query.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ConstructQuery {
+    /// The template `H`: a finite set of triple patterns.
+    pub template: BTreeSet<TriplePattern>,
+    /// The graph pattern `P`.
+    pub pattern: Pattern,
+}
+
+impl ConstructQuery {
+    /// Builds a CONSTRUCT query.
+    pub fn new(template: impl IntoIterator<Item = TriplePattern>, pattern: Pattern) -> Self {
+        ConstructQuery {
+            template: template.into_iter().collect(),
+            pattern,
+        }
+    }
+
+    /// `var(H)`: the variables of the template.
+    pub fn template_vars(&self) -> BTreeSet<Variable> {
+        self.template.iter().flat_map(|t| t.vars()).collect()
+    }
+
+    /// All IRIs mentioned in the template (these may be absent from the
+    /// queried graph — Example 6.1 constructs `affiliated_to` triples).
+    pub fn template_iris(&self) -> BTreeSet<Iri> {
+        self.template.iter().flat_map(|t| t.iris()).collect()
+    }
+
+    /// Removes template triples mentioning variables outside `var(P)`.
+    ///
+    /// Such triples can never be instantiated (every answer mapping
+    /// binds a subset of `var(P)`), so the transformation preserves
+    /// `ans(Q, G)` on every graph — the "without loss of generality"
+    /// step at the start of the Lemma 6.5 proof.
+    pub fn normalize_template(&self) -> ConstructQuery {
+        let pv = pattern_vars(&self.pattern);
+        ConstructQuery {
+            template: self
+                .template
+                .iter()
+                .filter(|t| t.vars().is_subset(&pv))
+                .copied()
+                .collect(),
+            pattern: self.pattern.clone(),
+        }
+    }
+
+    /// `true` iff the query is in `CONSTRUCT[O]` for the operator set
+    /// `allowed` — e.g. `CONSTRUCT[AUF]`, the fragment that captures
+    /// monotone CONSTRUCT queries (Corollary 6.8).
+    pub fn in_fragment(&self, allowed: Operators) -> bool {
+        in_fragment(&self.pattern, allowed)
+    }
+}
+
+impl fmt::Display for ConstructQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(CONSTRUCT {{")?;
+        for (i, t) in self.template.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}} WHERE {})", self.pattern)
+    }
+}
+
+impl fmt::Debug for ConstructQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// The CONSTRUCT query of Example 6.1:
+///
+/// ```text
+/// CONSTRUCT {(?n, affiliated_to, ?u), (?n, email, ?e)}
+/// WHERE ((?p, name, ?n) AND (?p, works_at, ?u)) OPT (?p, email, ?e)
+/// ```
+pub fn example_6_1() -> ConstructQuery {
+    ConstructQuery::new(
+        [
+            crate::pattern::tp("?n", "affiliated_to", "?u"),
+            crate::pattern::tp("?n", "email", "?e"),
+        ],
+        Pattern::t("?p", "name", "?n")
+            .and(Pattern::t("?p", "works_at", "?u"))
+            .opt(Pattern::t("?p", "email", "?e")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::tp;
+
+    #[test]
+    fn template_vars_collects_all() {
+        let q = example_6_1();
+        let vars: Vec<String> = q.template_vars().iter().map(|v| v.to_string()).collect();
+        assert_eq!(vars, vec!["?e", "?n", "?u"]);
+    }
+
+    #[test]
+    fn template_iris_may_be_new() {
+        let q = example_6_1();
+        let iris: Vec<&str> = q.template_iris().iter().map(|i| i.as_str()).collect();
+        assert_eq!(iris, vec!["affiliated_to", "email"]);
+    }
+
+    #[test]
+    fn normalize_drops_uninstantiable_triples() {
+        let q = ConstructQuery::new(
+            [tp("?x", "p", "?nowhere"), tp("?x", "q", "r")],
+            Pattern::t("?x", "a", "b"),
+        );
+        let n = q.normalize_template();
+        assert_eq!(n.template.len(), 1);
+        assert!(n.template.contains(&tp("?x", "q", "r")));
+    }
+
+    #[test]
+    fn fragment_membership() {
+        let q = example_6_1();
+        assert!(!q.in_fragment(Operators::AUF)); // uses OPT
+        let auf = ConstructQuery::new(
+            [tp("?x", "out", "?y")],
+            Pattern::t("?x", "a", "?y").union(Pattern::t("?x", "b", "?y")),
+        );
+        assert!(auf.in_fragment(Operators::AUF));
+    }
+
+    #[test]
+    fn display_form() {
+        let q = ConstructQuery::new([tp("?x", "p", "?y")], Pattern::t("?x", "a", "?y"));
+        assert_eq!(
+            q.to_string(),
+            "(CONSTRUCT {(?x, p, ?y)} WHERE (?x, a, ?y))"
+        );
+    }
+
+    #[test]
+    fn template_is_a_set() {
+        let q = ConstructQuery::new([tp("?x", "p", "?y"), tp("?x", "p", "?y")], Pattern::t("?x", "a", "?y"));
+        assert_eq!(q.template.len(), 1);
+    }
+}

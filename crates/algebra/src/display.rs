@@ -1,0 +1,106 @@
+//! Textual rendering of patterns in the paper's notation.
+//!
+//! The output grammar is exactly what `owql-parser` accepts, so
+//! `parse(p.to_string()) == p` round-trips (property-tested in the
+//! parser crate):
+//!
+//! ```text
+//! (?o, stands_for, sharing_rights)
+//! (P1 AND P2)   (P1 UNION P2)   (P1 OPT P2)   (P1 MINUS P2)
+//! (P FILTER R)
+//! (SELECT {?x, ?y} WHERE P)
+//! NS(P)
+//! ```
+
+use crate::pattern::{Pattern, TermPattern, TriplePattern};
+use std::fmt;
+
+impl fmt::Display for TermPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TermPattern::Iri(i) => write!(f, "{i}"),
+            TermPattern::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Debug for TermPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.s, self.p, self.o)
+    }
+}
+
+impl fmt::Debug for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Triple(t) => write!(f, "{t}"),
+            Pattern::And(a, b) => write!(f, "({a} AND {b})"),
+            Pattern::Union(a, b) => write!(f, "({a} UNION {b})"),
+            Pattern::Opt(a, b) => write!(f, "({a} OPT {b})"),
+            Pattern::Minus(a, b) => write!(f, "({a} MINUS {b})"),
+            Pattern::Filter(p, r) => write!(f, "({p} FILTER {r})"),
+            Pattern::Select(vs, p) => {
+                write!(f, "(SELECT {{")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}} WHERE {p})")
+            }
+            Pattern::Ns(p) => write!(f, "NS({p})"),
+        }
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::condition::Condition;
+    use crate::pattern::Pattern;
+
+    #[test]
+    fn renders_example_3_1() {
+        // P = (?X, was_born_in, Chile) OPT (?X, email, ?Y)
+        let p = Pattern::t("?X", "was_born_in", "Chile").opt(Pattern::t("?X", "email", "?Y"));
+        assert_eq!(
+            p.to_string(),
+            "((?X, was_born_in, Chile) OPT (?X, email, ?Y))"
+        );
+    }
+
+    #[test]
+    fn renders_ns_and_select() {
+        let p = Pattern::t("?x", "p", "?y").select(["?x", "?y"]).ns();
+        assert_eq!(p.to_string(), "NS((SELECT {?x, ?y} WHERE (?x, p, ?y)))");
+    }
+
+    #[test]
+    fn renders_filter_and_minus() {
+        let p = Pattern::t("?x", "p", "?y")
+            .minus(Pattern::t("?x", "q", "?z"))
+            .filter(Condition::bound("y"));
+        assert_eq!(
+            p.to_string(),
+            "(((?x, p, ?y) MINUS (?x, q, ?z)) FILTER bound(?y))"
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! Solution mappings: partial functions `µ : V → I`.
+//!
+//! Implements the paper's Section 2.1 notions verbatim:
+//!
+//! * `dom(µ)` — the domain of the mapping,
+//! * compatibility `µ₁ ∼ µ₂` (agreement on the shared domain) and its
+//!   negation `µ₁ ≁ µ₂`,
+//! * union `µ₁ ∪ µ₂` of compatible mappings,
+//! * restriction `µ|V`,
+//! * subsumption `µ₁ ⪯ µ₂` (Section 3.1: `dom(µ₁) ⊆ dom(µ₂)` and
+//!   agreement on `dom(µ₁)`) and proper subsumption `µ₁ ≺ µ₂`.
+//!
+//! A mapping is stored as a vector of `(Variable, Iri)` pairs sorted by
+//! variable, which makes equality, hashing, and all the above operations
+//! linear merges and keeps display deterministic.
+
+use crate::variable::Variable;
+use owql_rdf::Iri;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A solution mapping: a partial function from variables to IRIs.
+///
+/// ```
+/// use owql_algebra::{Mapping, Variable};
+/// use owql_rdf::Iri;
+/// let x = Variable::new("X");
+/// let m = Mapping::new().bind(x, Iri::new("Juan"));
+/// assert_eq!(m.get(x), Some(Iri::new("Juan")));
+/// assert_eq!(m.to_string(), "[?X -> Juan]");
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Mapping {
+    /// Sorted by variable; no duplicate variables.
+    bindings: Vec<(Variable, Iri)>,
+}
+
+impl Mapping {
+    /// The empty mapping `µ∅` (compatible with every mapping).
+    pub fn new() -> Self {
+        Mapping::default()
+    }
+
+    /// Builds a mapping from `(variable, value)` pairs.
+    ///
+    /// Panics if the same variable appears twice with different values.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Variable, Iri)>) -> Self {
+        let mut m = Mapping::new();
+        for (v, i) in pairs {
+            m = m.bind(v, i);
+        }
+        m
+    }
+
+    /// Builds a mapping from `("X", "value")` string pairs (test helper).
+    pub fn from_str_pairs(pairs: &[(&str, &str)]) -> Self {
+        Mapping::from_pairs(
+            pairs
+                .iter()
+                .map(|&(v, i)| (Variable::new(v), Iri::new(i))),
+        )
+    }
+
+    /// Returns a copy of the mapping extended with `var → value`.
+    ///
+    /// Panics if `var` is already bound to a *different* value (use
+    /// [`Mapping::compatible`] + [`Mapping::union`] for merging).
+    pub fn bind(&self, var: Variable, value: Iri) -> Self {
+        let mut bindings = self.bindings.clone();
+        match bindings.binary_search_by_key(&var, |&(v, _)| v) {
+            Ok(pos) => {
+                assert_eq!(
+                    bindings[pos].1, value,
+                    "variable {var} already bound to a different value"
+                );
+            }
+            Err(pos) => bindings.insert(pos, (var, value)),
+        }
+        Mapping { bindings }
+    }
+
+    /// The value of `var`, if bound.
+    pub fn get(&self, var: Variable) -> Option<Iri> {
+        self.bindings
+            .binary_search_by_key(&var, |&(v, _)| v)
+            .ok()
+            .map(|pos| self.bindings[pos].1)
+    }
+
+    /// `true` iff `var ∈ dom(µ)` — the paper's `bound(?X)`.
+    pub fn is_bound(&self, var: Variable) -> bool {
+        self.get(var).is_some()
+    }
+
+    /// `dom(µ)` as an iterator over variables (sorted).
+    pub fn dom(&self) -> impl Iterator<Item = Variable> + '_ {
+        self.bindings.iter().map(|&(v, _)| v)
+    }
+
+    /// `dom(µ)` as a sorted set.
+    pub fn dom_set(&self) -> BTreeSet<Variable> {
+        self.dom().collect()
+    }
+
+    /// `|dom(µ)|`.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// `true` iff this is the empty mapping.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Iterates over `(variable, value)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Variable, Iri)> + '_ {
+        self.bindings.iter().copied()
+    }
+
+    /// Compatibility `µ₁ ∼ µ₂`: agreement on every shared variable.
+    pub fn compatible(&self, other: &Mapping) -> bool {
+        // Linear merge over the two sorted binding lists.
+        let (mut i, mut j) = (0, 0);
+        while i < self.bindings.len() && j < other.bindings.len() {
+            let (v1, x1) = self.bindings[i];
+            let (v2, x2) = other.bindings[j];
+            match v1.cmp(&v2) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if x1 != x2 {
+                        return false;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Union `µ₁ ∪ µ₂` of two *compatible* mappings: the extension of
+    /// `µ₁` to `dom(µ₂) ∖ dom(µ₁)` defined according to `µ₂`.
+    ///
+    /// Returns `None` when the mappings are incompatible.
+    pub fn union(&self, other: &Mapping) -> Option<Mapping> {
+        let mut bindings = Vec::with_capacity(self.bindings.len() + other.bindings.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.bindings.len() && j < other.bindings.len() {
+            let (v1, x1) = self.bindings[i];
+            let (v2, x2) = other.bindings[j];
+            match v1.cmp(&v2) {
+                std::cmp::Ordering::Less => {
+                    bindings.push((v1, x1));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    bindings.push((v2, x2));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if x1 != x2 {
+                        return None;
+                    }
+                    bindings.push((v1, x1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        bindings.extend_from_slice(&self.bindings[i..]);
+        bindings.extend_from_slice(&other.bindings[j..]);
+        Some(Mapping { bindings })
+    }
+
+    /// Restriction `µ|V`: the mapping restricted to `dom(µ) ∩ V`.
+    pub fn restrict(&self, vars: &BTreeSet<Variable>) -> Mapping {
+        Mapping {
+            bindings: self
+                .bindings
+                .iter()
+                .filter(|(v, _)| vars.contains(v))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Subsumption `µ₁ ⪯ µ₂`: `dom(µ₁) ⊆ dom(µ₂)` and `µ₁(?X) = µ₂(?X)`
+    /// for every `?X ∈ dom(µ₁)` (Section 3.1).
+    pub fn subsumed_by(&self, other: &Mapping) -> bool {
+        if self.bindings.len() > other.bindings.len() {
+            return false;
+        }
+        self.bindings.iter().all(|&(v, x)| other.get(v) == Some(x))
+    }
+
+    /// Proper subsumption `µ₁ ≺ µ₂`: `µ₁ ⪯ µ₂` and `µ₁ ≠ µ₂`.
+    pub fn properly_subsumed_by(&self, other: &Mapping) -> bool {
+        self.bindings.len() < other.bindings.len() && self.subsumed_by(other)
+    }
+}
+
+impl fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Mapping {
+    /// Paper notation: `[?X -> a, ?Y -> b]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (v, x)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} -> {x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variable::var;
+
+    fn m(pairs: &[(&str, &str)]) -> Mapping {
+        Mapping::from_str_pairs(pairs)
+    }
+
+    #[test]
+    fn empty_mapping_properties() {
+        let e = Mapping::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.to_string(), "[]");
+        // Empty mapping is compatible with and subsumed by everything.
+        let other = m(&[("X", "a")]);
+        assert!(e.compatible(&other));
+        assert!(e.subsumed_by(&other));
+        assert!(e.properly_subsumed_by(&other));
+        assert!(e.subsumed_by(&e));
+        assert!(!e.properly_subsumed_by(&e));
+    }
+
+    #[test]
+    fn bind_and_get() {
+        let x = var("X");
+        let mm = Mapping::new().bind(x, Iri::new("a"));
+        assert_eq!(mm.get(x), Some(Iri::new("a")));
+        assert!(mm.is_bound(x));
+        assert!(!mm.is_bound(var("Y")));
+        // Rebinding to the same value is a no-op.
+        assert_eq!(mm.bind(x, Iri::new("a")), mm);
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn conflicting_bind_panics() {
+        let x = var("X");
+        let _ = Mapping::new().bind(x, Iri::new("a")).bind(x, Iri::new("b"));
+    }
+
+    #[test]
+    fn compatibility() {
+        let a = m(&[("X", "1"), ("Y", "2")]);
+        let b = m(&[("Y", "2"), ("Z", "3")]);
+        let c = m(&[("Y", "9")]);
+        assert!(a.compatible(&b));
+        assert!(b.compatible(&a));
+        assert!(!a.compatible(&c));
+        // Disjoint domains are always compatible.
+        assert!(a.compatible(&m(&[("W", "7")])));
+    }
+
+    #[test]
+    fn union_of_compatible() {
+        let a = m(&[("X", "1"), ("Y", "2")]);
+        let b = m(&[("Y", "2"), ("Z", "3")]);
+        let u = a.union(&b).unwrap();
+        assert_eq!(u, m(&[("X", "1"), ("Y", "2"), ("Z", "3")]));
+        assert_eq!(a.union(&m(&[("Y", "9")])), None);
+        // Union with empty is identity.
+        assert_eq!(a.union(&Mapping::new()), Some(a.clone()));
+    }
+
+    #[test]
+    fn union_is_commutative_on_compatible() {
+        let a = m(&[("X", "1")]);
+        let b = m(&[("Z", "3")]);
+        assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn restriction() {
+        let a = m(&[("X", "1"), ("Y", "2"), ("Z", "3")]);
+        let vs: BTreeSet<Variable> = [var("X"), var("Z"), var("W")].into_iter().collect();
+        assert_eq!(a.restrict(&vs), m(&[("X", "1"), ("Z", "3")]));
+        assert_eq!(a.restrict(&BTreeSet::new()), Mapping::new());
+    }
+
+    #[test]
+    fn subsumption_example_3_1() {
+        // From Example 3.1: µ1 = [?X -> Juan], µ2 = [?X -> Juan, ?Y -> juan@puc.cl].
+        let m1 = m(&[("X", "Juan")]);
+        let m2 = m(&[("X", "Juan"), ("Y", "juan@puc.cl")]);
+        assert!(m1.subsumed_by(&m2));
+        assert!(m1.properly_subsumed_by(&m2));
+        assert!(!m2.subsumed_by(&m1));
+        assert!(m1.subsumed_by(&m1));
+        assert!(!m1.properly_subsumed_by(&m1));
+    }
+
+    #[test]
+    fn subsumption_requires_agreement() {
+        let m1 = m(&[("X", "a")]);
+        let m2 = m(&[("X", "b"), ("Y", "c")]);
+        assert!(!m1.subsumed_by(&m2));
+    }
+
+    #[test]
+    fn dom_iteration_sorted() {
+        let a = m(&[("Zv", "1"), ("Av", "2")]);
+        let doms: Vec<String> = a.dom().map(|v| v.to_string()).collect();
+        assert_eq!(doms, vec!["?Av", "?Zv"]);
+        assert_eq!(a.dom_set().len(), 2);
+    }
+
+    #[test]
+    fn display_notation() {
+        let a = m(&[("X", "Juan"), ("Y", "Chile")]);
+        assert_eq!(a.to_string(), "[?X -> Juan, ?Y -> Chile]");
+    }
+
+    #[test]
+    fn equality_is_order_insensitive() {
+        let a = Mapping::from_str_pairs(&[("X", "1"), ("Y", "2")]);
+        let b = Mapping::from_str_pairs(&[("Y", "2"), ("X", "1")]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,292 @@
+//! Normal forms of Appendix D.
+//!
+//! * [`union_normal_form`] — Proposition D.1: every SPARQL pattern is
+//!   equivalent to `P₁ UNION ⋯ UNION Pₙ` with each `Pᵢ` UNION-free.
+//! * [`fixed_domain_normal_form`] — Lemma D.2: a UNION normal form whose
+//!   disjuncts each produce mappings over one *fixed* domain `V_D`.
+//!
+//! Both are the workhorses of the NS-elimination algorithm behind
+//! Theorem 5.1 (implemented in `owql-theory`).
+//!
+//! ### The OPT/UNION distribution
+//!
+//! `UNION` distributes over the *left* argument of every operator and
+//! over the right argument of `AND`; the delicate case (the one the
+//! original normal-form proof of Pérez et al. had to correct in an
+//! erratum) is a `UNION` in the right argument of `OPT`. We use the
+//! identity
+//!
+//! ```text
+//! P OPT (R₁ UNION R₂)  ≡  (P AND R₁) UNION (P AND R₂)
+//!                          UNION ((P MINUS R₁) MINUS R₂)
+//! ```
+//!
+//! which follows from `Ω ⟕ (Ω₁ ∪ Ω₂) = (Ω ⋈ Ω₁) ∪ (Ω ⋈ Ω₂) ∪
+//! ((Ω ∖ Ω₁) ∖ Ω₂)`: the join distributes over union, and a mapping is
+//! incompatible with all of `Ω₁ ∪ Ω₂` iff it survives the difference
+//! chain. `MINUS` is the derived operator of Appendix D (a `MINUS` node
+//! here; [`crate::pattern::Pattern::desugar_minus`] removes it when a
+//! core-SPARQL result is required). The identity is property-tested
+//! against the direct semantics in `owql-eval`.
+
+use crate::analysis::possible_domains;
+use crate::condition::Condition;
+use crate::pattern::Pattern;
+use crate::variable::Variable;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error for normal forms applied outside their domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NormalFormError {
+    /// The input contains an `NS` node; eliminate NS first (Lemma D.3).
+    ContainsNs,
+}
+
+impl fmt::Display for NormalFormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalFormError::ContainsNs => {
+                write!(f, "UNION normal form is defined on NS-free patterns; eliminate NS first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NormalFormError {}
+
+/// Computes the UNION normal form of an NS-free pattern: a list of
+/// UNION-free patterns whose union is equivalent to the input
+/// (Proposition D.1).
+pub fn union_normal_form(p: &Pattern) -> Result<Vec<Pattern>, NormalFormError> {
+    match p {
+        Pattern::Triple(t) => Ok(vec![Pattern::Triple(*t)]),
+        Pattern::Union(a, b) => {
+            let mut out = union_normal_form(a)?;
+            out.extend(union_normal_form(b)?);
+            Ok(out)
+        }
+        Pattern::And(a, b) => {
+            let das = union_normal_form(a)?;
+            let dbs = union_normal_form(b)?;
+            let mut out = Vec::with_capacity(das.len() * dbs.len());
+            for da in &das {
+                for db in &dbs {
+                    out.push(da.clone().and(db.clone()));
+                }
+            }
+            Ok(out)
+        }
+        Pattern::Opt(a, b) => {
+            let das = union_normal_form(a)?;
+            let dbs = union_normal_form(b)?;
+            let mut out = Vec::new();
+            for da in &das {
+                if dbs.len() == 1 {
+                    out.push(da.clone().opt(dbs[0].clone()));
+                } else {
+                    // P OPT (R1 ∪ ... ∪ Rm) decomposition.
+                    for db in &dbs {
+                        out.push(da.clone().and(db.clone()));
+                    }
+                    let mut chain = da.clone();
+                    for db in &dbs {
+                        chain = chain.minus(db.clone());
+                    }
+                    out.push(chain);
+                }
+            }
+            Ok(out)
+        }
+        Pattern::Minus(a, b) => {
+            let das = union_normal_form(a)?;
+            let dbs = union_normal_form(b)?;
+            let mut out = Vec::new();
+            for da in &das {
+                let mut chain = da.clone();
+                for db in &dbs {
+                    chain = chain.minus(db.clone());
+                }
+                out.push(chain);
+            }
+            Ok(out)
+        }
+        Pattern::Filter(q, r) => Ok(union_normal_form(q)?
+            .into_iter()
+            .map(|d| d.filter(r.clone()))
+            .collect()),
+        Pattern::Select(vs, q) => Ok(union_normal_form(q)?
+            .into_iter()
+            .map(|d| Pattern::Select(vs.clone(), Box::new(d)))
+            .collect()),
+        Pattern::Ns(_) => Err(NormalFormError::ContainsNs),
+    }
+}
+
+/// A disjunct of the fixed-domain normal form: every mapping it produces
+/// (over any graph) has domain exactly [`FixedDomainDisjunct::domain`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixedDomainDisjunct {
+    /// The UNION-free pattern of this disjunct.
+    pub pattern: Pattern,
+    /// The domain every answer of `pattern` binds exactly.
+    pub domain: BTreeSet<Variable>,
+}
+
+/// Computes the fixed-domain normal form of Lemma D.2: a list of
+/// UNION-free disjuncts, each tagged with the unique domain of its
+/// answers, whose union is equivalent to the input pattern.
+///
+/// Rather than filtering `P` by all `2^|var(P)|` bound/unbound
+/// combinations as in the paper's proof, each UNION-normal-form
+/// disjunct `D` is split only along its *possible* answer domains
+/// (a sound over-approximation computed by
+/// [`crate::analysis::possible_domains`]); a disjunct is emitted as
+///
+/// ```text
+/// D FILTER (⋀_{x ∈ V} bound(x) ∧ ⋀_{x ∈ var(D)∖V} ¬bound(x))
+/// ```
+///
+/// for each possible domain `V` of `D`. Spurious domains only add
+/// disjuncts that evaluate to `∅`, preserving equivalence.
+pub fn fixed_domain_normal_form(
+    p: &Pattern,
+) -> Result<Vec<FixedDomainDisjunct>, NormalFormError> {
+    let mut out = Vec::new();
+    for d in union_normal_form(p)? {
+        let candidate_vars = crate::analysis::pattern_vars(&d);
+        for domain in possible_domains(&d) {
+            let mut conds = Vec::new();
+            for &v in &candidate_vars {
+                if domain.contains(&v) {
+                    conds.push(Condition::Bound(v));
+                } else {
+                    conds.push(Condition::Bound(v).not());
+                }
+            }
+            let pattern = if conds.is_empty() {
+                d.clone()
+            } else {
+                d.clone().filter(Condition::conj(conds))
+            };
+            out.push(FixedDomainDisjunct { pattern, domain });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::pattern_vars;
+
+    fn is_union_free(p: &Pattern) -> bool {
+        !crate::analysis::operators(p).contains(crate::analysis::Operators::UNION)
+    }
+
+    #[test]
+    fn triple_is_its_own_normal_form() {
+        let p = Pattern::t("?x", "a", "b");
+        assert_eq!(union_normal_form(&p).unwrap(), vec![p]);
+    }
+
+    #[test]
+    fn union_flattens() {
+        let p = Pattern::union_all(vec![
+            Pattern::t("?x", "a", "b"),
+            Pattern::t("?x", "c", "d"),
+            Pattern::t("?x", "e", "f"),
+        ]);
+        let unf = union_normal_form(&p).unwrap();
+        assert_eq!(unf.len(), 3);
+        assert!(unf.iter().all(is_union_free));
+    }
+
+    #[test]
+    fn and_distributes() {
+        let p = Pattern::t("?x", "a", "b")
+            .union(Pattern::t("?x", "c", "d"))
+            .and(Pattern::t("?y", "e", "f").union(Pattern::t("?y", "g", "h")));
+        let unf = union_normal_form(&p).unwrap();
+        assert_eq!(unf.len(), 4);
+        assert!(unf.iter().all(is_union_free));
+    }
+
+    #[test]
+    fn opt_with_union_free_right_stays_opt() {
+        let p = Pattern::t("?x", "a", "b").opt(Pattern::t("?x", "c", "?y"));
+        let unf = union_normal_form(&p).unwrap();
+        assert_eq!(unf.len(), 1);
+        assert!(matches!(unf[0], Pattern::Opt(..)));
+    }
+
+    #[test]
+    fn opt_with_union_right_decomposes() {
+        // The Theorem 3.6 witness: (?X,a,b) OPT ((?X,c,?Y) UNION (?X,d,?Z)).
+        let p = Pattern::t("?X", "a", "b")
+            .opt(Pattern::t("?X", "c", "?Y").union(Pattern::t("?X", "d", "?Z")));
+        let unf = union_normal_form(&p).unwrap();
+        // two AND disjuncts + one MINUS chain
+        assert_eq!(unf.len(), 3);
+        assert!(unf.iter().all(is_union_free));
+        assert!(unf
+            .iter()
+            .any(|d| crate::analysis::operators(d).contains(crate::analysis::Operators::MINUS)));
+    }
+
+    #[test]
+    fn select_and_filter_map_over_disjuncts() {
+        let p = Pattern::t("?x", "a", "b")
+            .union(Pattern::t("?x", "c", "?y"))
+            .filter(Condition::bound("x"))
+            .select(["?x"]);
+        let unf = union_normal_form(&p).unwrap();
+        assert_eq!(unf.len(), 2);
+        for d in &unf {
+            assert!(matches!(d, Pattern::Select(..)));
+        }
+    }
+
+    #[test]
+    fn ns_is_rejected() {
+        let p = Pattern::t("?x", "a", "b").ns();
+        assert_eq!(union_normal_form(&p), Err(NormalFormError::ContainsNs));
+    }
+
+    #[test]
+    fn fixed_domain_splits_opt() {
+        let p = Pattern::t("?x", "a", "b").opt(Pattern::t("?x", "c", "?y"));
+        let fd = fixed_domain_normal_form(&p).unwrap();
+        let domains: Vec<usize> = fd.iter().map(|d| d.domain.len()).collect();
+        // {x} and {x, y}
+        assert_eq!(fd.len(), 2);
+        assert!(domains.contains(&1) && domains.contains(&2));
+        // Every disjunct carries a domain filter over var(D).
+        for d in &fd {
+            assert!(matches!(d.pattern, Pattern::Filter(..)));
+            assert!(d.domain.is_subset(&pattern_vars(&d.pattern)));
+        }
+    }
+
+    #[test]
+    fn fixed_domain_on_plain_triple() {
+        let p = Pattern::t("?x", "a", "?y");
+        let fd = fixed_domain_normal_form(&p).unwrap();
+        assert_eq!(fd.len(), 1);
+        assert_eq!(fd[0].domain.len(), 2);
+    }
+
+    #[test]
+    fn minus_normal_form_chains() {
+        let p = Pattern::t("?x", "a", "b")
+            .minus(Pattern::t("?x", "c", "d").union(Pattern::t("?x", "e", "f")));
+        let unf = union_normal_form(&p).unwrap();
+        assert_eq!(unf.len(), 1);
+        assert!(is_union_free(&unf[0]));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(NormalFormError::ContainsNs.to_string().contains("NS"));
+    }
+}

@@ -1,0 +1,497 @@
+//! The graph-pattern AST of NS–SPARQL.
+//!
+//! Section 2.1 defines SPARQL graph patterns over triple patterns with
+//! the operators `AND`, `UNION`, `OPT`, `FILTER`, `SELECT`; Section 5.1
+//! extends them with the paper's new **NS** ("not subsumed") operator.
+//! Appendix D additionally uses a derived `MINUS` operator, which we
+//! carry as an explicit AST node together with its desugaring into
+//! `OPT`/`FILTER` (see [`Pattern::desugar_minus`]).
+
+use crate::condition::Condition;
+use crate::variable::Variable;
+use owql_rdf::{Iri, Triple};
+use std::collections::BTreeSet;
+
+/// A position of a triple pattern: either an IRI or a variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TermPattern {
+    /// A constant IRI.
+    Iri(Iri),
+    /// A variable.
+    Var(Variable),
+}
+
+impl TermPattern {
+    /// Parses `"?X"` as a variable and anything else as an IRI.
+    pub fn parse(text: &str) -> TermPattern {
+        if let Some(name) = text.strip_prefix('?') {
+            TermPattern::Var(Variable::new(name))
+        } else {
+            TermPattern::Iri(Iri::new(text))
+        }
+    }
+
+    /// The variable, if this is a variable position.
+    pub fn as_var(self) -> Option<Variable> {
+        match self {
+            TermPattern::Var(v) => Some(v),
+            TermPattern::Iri(_) => None,
+        }
+    }
+
+    /// The IRI, if this is a constant position.
+    pub fn as_iri(self) -> Option<Iri> {
+        match self {
+            TermPattern::Iri(i) => Some(i),
+            TermPattern::Var(_) => None,
+        }
+    }
+
+    /// `true` iff this position is a variable.
+    pub fn is_var(self) -> bool {
+        matches!(self, TermPattern::Var(_))
+    }
+}
+
+impl From<Iri> for TermPattern {
+    fn from(i: Iri) -> Self {
+        TermPattern::Iri(i)
+    }
+}
+
+impl From<Variable> for TermPattern {
+    fn from(v: Variable) -> Self {
+        TermPattern::Var(v)
+    }
+}
+
+impl From<&str> for TermPattern {
+    fn from(text: &str) -> Self {
+        TermPattern::parse(text)
+    }
+}
+
+/// A triple pattern `t ∈ (I ∪ V) × (I ∪ V) × (I ∪ V)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub s: TermPattern,
+    /// Predicate position.
+    pub p: TermPattern,
+    /// Object position.
+    pub o: TermPattern,
+}
+
+impl TriplePattern {
+    /// Builds a triple pattern; string positions starting with `?` become
+    /// variables.
+    pub fn new(
+        s: impl Into<TermPattern>,
+        p: impl Into<TermPattern>,
+        o: impl Into<TermPattern>,
+    ) -> Self {
+        TriplePattern {
+            s: s.into(),
+            p: p.into(),
+            o: o.into(),
+        }
+    }
+
+    /// The three positions as an array.
+    pub fn components(self) -> [TermPattern; 3] {
+        [self.s, self.p, self.o]
+    }
+
+    /// `var(t)`: the variables of the triple pattern, sorted.
+    pub fn vars(self) -> BTreeSet<Variable> {
+        self.components()
+            .into_iter()
+            .filter_map(TermPattern::as_var)
+            .collect()
+    }
+
+    /// The IRIs mentioned in the triple pattern, sorted.
+    pub fn iris(self) -> BTreeSet<Iri> {
+        self.components()
+            .into_iter()
+            .filter_map(TermPattern::as_iri)
+            .collect()
+    }
+
+    /// `true` iff all three positions are variables — the "variable-only"
+    /// triple patterns excluded by Lemma G.2.
+    pub fn is_variable_only(self) -> bool {
+        self.components().into_iter().all(TermPattern::is_var)
+    }
+
+    /// Instantiates the pattern under `µ`; `None` if some variable is
+    /// unbound (`var(t) ⊄ dom(µ)`).
+    pub fn instantiate(self, m: &crate::mapping::Mapping) -> Option<Triple> {
+        let resolve = |tp: TermPattern| match tp {
+            TermPattern::Iri(i) => Some(i),
+            TermPattern::Var(v) => m.get(v),
+        };
+        Some(Triple {
+            s: resolve(self.s)?,
+            p: resolve(self.p)?,
+            o: resolve(self.o)?,
+        })
+    }
+
+    /// Renames variables according to `f`.
+    pub fn rename_vars(self, f: &impl Fn(Variable) -> Variable) -> TriplePattern {
+        let map = |tp: TermPattern| match tp {
+            TermPattern::Var(v) => TermPattern::Var(f(v)),
+            c => c,
+        };
+        TriplePattern {
+            s: map(self.s),
+            p: map(self.p),
+            o: map(self.o),
+        }
+    }
+}
+
+/// Convenience constructor: `tp("?x", "founder", "?y")`.
+pub fn tp(
+    s: impl Into<TermPattern>,
+    p: impl Into<TermPattern>,
+    o: impl Into<TermPattern>,
+) -> TriplePattern {
+    TriplePattern::new(s, p, o)
+}
+
+/// An NS–SPARQL graph pattern.
+///
+/// The recursive grammar of Sections 2.1 and 5.1:
+///
+/// * a triple pattern is a graph pattern;
+/// * `(P₁ AND P₂)`, `(P₁ UNION P₂)`, `(P₁ OPT P₂)` are graph patterns;
+/// * `(SELECT V WHERE P)` and `(P FILTER R)` are graph patterns;
+/// * `NS(P)` is a graph pattern (Section 5.1);
+/// * `(P₁ MINUS P₂)` is a *derived* graph pattern (Appendix D) with
+///   direct semantics `Ω₁ ∖ Ω₂`; [`Pattern::desugar_minus`] removes it.
+///
+/// Patterns are built with the fluent combinators:
+///
+/// ```
+/// use owql_algebra::pattern::{tp, Pattern};
+/// // (?o, stands_for, sharing_rights) AND
+/// //   ((?p, founder, ?o) UNION (?p, supporter, ?o))   — Example 2.2
+/// let p = Pattern::triple(tp("?o", "stands_for", "sharing_rights"))
+///     .and(Pattern::triple(tp("?p", "founder", "?o"))
+///         .union(Pattern::triple(tp("?p", "supporter", "?o"))))
+///     .select(["?p"]);
+/// assert_eq!(p.to_string(),
+///     "(SELECT {?p} WHERE ((?o, stands_for, sharing_rights) AND ((?p, founder, ?o) UNION (?p, supporter, ?o))))");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// A triple pattern.
+    Triple(TriplePattern),
+    /// `(P₁ AND P₂)` — join.
+    And(Box<Pattern>, Box<Pattern>),
+    /// `(P₁ UNION P₂)` — union.
+    Union(Box<Pattern>, Box<Pattern>),
+    /// `(P₁ OPT P₂)` — left-outer-join (optional information).
+    Opt(Box<Pattern>, Box<Pattern>),
+    /// `(P FILTER R)` — selection.
+    Filter(Box<Pattern>, Condition),
+    /// `(SELECT V WHERE P)` — projection onto `V`.
+    Select(BTreeSet<Variable>, Box<Pattern>),
+    /// `NS(P)` — only the subsumption-maximal answers (Section 5.1).
+    Ns(Box<Pattern>),
+    /// `(P₁ MINUS P₂)` — derived difference operator (Appendix D).
+    Minus(Box<Pattern>, Box<Pattern>),
+}
+
+impl Pattern {
+    /// Wraps a triple pattern.
+    pub fn triple(t: TriplePattern) -> Pattern {
+        Pattern::Triple(t)
+    }
+
+    /// Shorthand: `Pattern::t("?x", "p", "?y")`.
+    pub fn t(
+        s: impl Into<TermPattern>,
+        p: impl Into<TermPattern>,
+        o: impl Into<TermPattern>,
+    ) -> Pattern {
+        Pattern::Triple(tp(s, p, o))
+    }
+
+    /// `(self AND other)`.
+    pub fn and(self, other: Pattern) -> Pattern {
+        Pattern::And(Box::new(self), Box::new(other))
+    }
+
+    /// `(self UNION other)`.
+    pub fn union(self, other: Pattern) -> Pattern {
+        Pattern::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `(self OPT other)`.
+    pub fn opt(self, other: Pattern) -> Pattern {
+        Pattern::Opt(Box::new(self), Box::new(other))
+    }
+
+    /// `(self FILTER cond)`.
+    pub fn filter(self, cond: Condition) -> Pattern {
+        Pattern::Filter(Box::new(self), cond)
+    }
+
+    /// `(SELECT vars WHERE self)`.
+    pub fn select<V: Into<Variable>>(self, vars: impl IntoIterator<Item = V>) -> Pattern {
+        Pattern::Select(
+            vars.into_iter().map(Into::into).collect(),
+            Box::new(self),
+        )
+    }
+
+    /// `NS(self)`.
+    pub fn ns(self) -> Pattern {
+        Pattern::Ns(Box::new(self))
+    }
+
+    /// `(self MINUS other)`.
+    pub fn minus(self, other: Pattern) -> Pattern {
+        Pattern::Minus(Box::new(self), Box::new(other))
+    }
+
+    /// Conjunction of patterns, left-associated. Panics on empty input.
+    pub fn and_all(ps: impl IntoIterator<Item = Pattern>) -> Pattern {
+        ps.into_iter()
+            .reduce(Pattern::and)
+            .expect("and_all of empty iterator")
+    }
+
+    /// Union of patterns, left-associated. Panics on empty input.
+    pub fn union_all(ps: impl IntoIterator<Item = Pattern>) -> Pattern {
+        ps.into_iter()
+            .reduce(Pattern::union)
+            .expect("union_all of empty iterator")
+    }
+
+    /// The top-level disjuncts of a (possibly nested) `UNION` spine.
+    ///
+    /// `((A UNION B) UNION C)` yields `[A, B, C]`; a non-union pattern
+    /// yields itself.
+    pub fn disjuncts(&self) -> Vec<&Pattern> {
+        let mut out = Vec::new();
+        fn walk<'a>(p: &'a Pattern, out: &mut Vec<&'a Pattern>) {
+            match p {
+                Pattern::Union(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Renames every variable occurrence (including `SELECT` sets and
+    /// filter conditions) according to `f`.
+    ///
+    /// Used by the renaming constructions of Appendices E and F; `f`
+    /// must be injective on the variables of the pattern for the result
+    /// to be a faithful renaming.
+    pub fn rename_vars(&self, f: &impl Fn(Variable) -> Variable) -> Pattern {
+        match self {
+            Pattern::Triple(t) => Pattern::Triple(t.rename_vars(f)),
+            Pattern::And(a, b) => a.rename_vars(f).and(b.rename_vars(f)),
+            Pattern::Union(a, b) => a.rename_vars(f).union(b.rename_vars(f)),
+            Pattern::Opt(a, b) => a.rename_vars(f).opt(b.rename_vars(f)),
+            Pattern::Filter(p, r) => p.rename_vars(f).filter(r.rename_vars(f)),
+            Pattern::Select(vs, p) => {
+                Pattern::Select(vs.iter().map(|&v| f(v)).collect(), Box::new(p.rename_vars(f)))
+            }
+            Pattern::Ns(p) => p.rename_vars(f).ns(),
+            Pattern::Minus(a, b) => a.rename_vars(f).minus(b.rename_vars(f)),
+        }
+    }
+
+    /// Structural size (number of AST nodes, counting each triple
+    /// pattern and condition node as 1) — the measure used by the
+    /// NS-elimination blowup experiment (E7).
+    pub fn size(&self) -> usize {
+        match self {
+            Pattern::Triple(_) => 1,
+            Pattern::And(a, b) | Pattern::Union(a, b) | Pattern::Opt(a, b) | Pattern::Minus(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Pattern::Filter(p, r) => 1 + p.size() + r.size(),
+            Pattern::Select(_, p) | Pattern::Ns(p) => 1 + p.size(),
+        }
+    }
+
+    /// Replaces every `MINUS` node by its Appendix-D desugaring
+    ///
+    /// ```text
+    /// P₁ MINUS P₂ = (P₁ OPT (P₂ AND (?x₁, ?x₂, ?x₃))) FILTER ¬bound(?x₁)
+    /// ```
+    ///
+    /// with `?x₁ ?x₂ ?x₃` fresh. The result is a core SPARQL (or
+    /// NS–SPARQL) pattern with identical semantics on every graph.
+    pub fn desugar_minus(&self) -> Pattern {
+        let mut counter = 0usize;
+        self.desugar_minus_inner(&mut counter)
+    }
+
+    fn desugar_minus_inner(&self, counter: &mut usize) -> Pattern {
+        match self {
+            Pattern::Triple(t) => Pattern::Triple(*t),
+            Pattern::And(a, b) => a
+                .desugar_minus_inner(counter)
+                .and(b.desugar_minus_inner(counter)),
+            Pattern::Union(a, b) => a
+                .desugar_minus_inner(counter)
+                .union(b.desugar_minus_inner(counter)),
+            Pattern::Opt(a, b) => a
+                .desugar_minus_inner(counter)
+                .opt(b.desugar_minus_inner(counter)),
+            Pattern::Filter(p, r) => p.desugar_minus_inner(counter).filter(r.clone()),
+            Pattern::Select(vs, p) => {
+                Pattern::Select(vs.clone(), Box::new(p.desugar_minus_inner(counter)))
+            }
+            Pattern::Ns(p) => p.desugar_minus_inner(counter).ns(),
+            Pattern::Minus(a, b) => {
+                let a = a.desugar_minus_inner(counter);
+                let b = b.desugar_minus_inner(counter);
+                // Fresh variables not clashing with anything in the whole
+                // pattern: a reserved namespace plus a counter.
+                let id = *counter;
+                *counter += 1;
+                let x1 = Variable::new(&format!("__minus_{id}_1"));
+                let x2 = Variable::new(&format!("__minus_{id}_2"));
+                let x3 = Variable::new(&format!("__minus_{id}_3"));
+                a.opt(b.and(Pattern::Triple(tp(x1, x2, x3))))
+                    .filter(Condition::Bound(x1).not())
+            }
+        }
+    }
+
+    /// `true` iff the pattern contains an NS node.
+    pub fn contains_ns(&self) -> bool {
+        match self {
+            Pattern::Ns(_) => true,
+            Pattern::Triple(_) => false,
+            Pattern::And(a, b)
+            | Pattern::Union(a, b)
+            | Pattern::Opt(a, b)
+            | Pattern::Minus(a, b) => a.contains_ns() || b.contains_ns(),
+            Pattern::Filter(p, _) | Pattern::Select(_, p) => p.contains_ns(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Mapping;
+
+    #[test]
+    fn term_pattern_parsing() {
+        assert_eq!(TermPattern::parse("?X"), TermPattern::Var(Variable::new("X")));
+        assert_eq!(TermPattern::parse("abc"), TermPattern::Iri(Iri::new("abc")));
+        assert!(TermPattern::parse("?X").is_var());
+        assert_eq!(TermPattern::parse("abc").as_iri(), Some(Iri::new("abc")));
+        assert_eq!(TermPattern::parse("abc").as_var(), None);
+    }
+
+    #[test]
+    fn triple_pattern_vars_and_iris() {
+        let t = tp("?x", "founder", "?y");
+        let vars: Vec<String> = t.vars().iter().map(|v| v.to_string()).collect();
+        assert_eq!(vars, vec!["?x", "?y"]);
+        let iris: Vec<&str> = t.iris().iter().map(|i| i.as_str()).collect();
+        assert_eq!(iris, vec!["founder"]);
+        assert!(!t.is_variable_only());
+        assert!(tp("?a", "?b", "?c").is_variable_only());
+    }
+
+    #[test]
+    fn instantiation() {
+        let t = tp("?x", "founder", "TPB");
+        let m = Mapping::from_str_pairs(&[("x", "Peter")]);
+        assert_eq!(t.instantiate(&m), Some(Triple::new("Peter", "founder", "TPB")));
+        assert_eq!(t.instantiate(&Mapping::new()), None);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = Pattern::t("?x", "a", "b")
+            .and(Pattern::t("?x", "c", "?y"))
+            .opt(Pattern::t("?y", "d", "?z"))
+            .filter(Condition::bound("x"))
+            .select(["?x", "?z"])
+            .ns();
+        assert!(matches!(p, Pattern::Ns(_)));
+        // 3 triples + AND + OPT + FILTER node + condition + SELECT + NS = 9
+        assert_eq!(p.size(), 9);
+    }
+
+    #[test]
+    fn disjuncts_flatten_union_spine() {
+        let p = Pattern::union_all(vec![
+            Pattern::t("a", "b", "c"),
+            Pattern::t("d", "e", "f"),
+            Pattern::t("g", "h", "i"),
+        ]);
+        assert_eq!(p.disjuncts().len(), 3);
+        assert_eq!(Pattern::t("a", "b", "c").disjuncts().len(), 1);
+    }
+
+    #[test]
+    fn rename_vars_covers_all_operators() {
+        let p = Pattern::t("?a", "p", "?b")
+            .filter(Condition::eq_var("a", "b"))
+            .select(["?a"])
+            .ns()
+            .minus(Pattern::t("?a", "q", "?c"));
+        let renamed = p.rename_vars(&|v| Variable::new(&format!("{}x", v.name())));
+        let expected = Pattern::t("?ax", "p", "?bx")
+            .filter(Condition::eq_var("ax", "bx"))
+            .select(["?ax"])
+            .ns()
+            .minus(Pattern::t("?ax", "q", "?cx"));
+        assert_eq!(renamed, expected);
+    }
+
+    #[test]
+    fn desugar_minus_removes_all_minus_nodes() {
+        let p = Pattern::t("?a", "p", "?b")
+            .minus(Pattern::t("?a", "q", "?c"))
+            .minus(Pattern::t("?a", "r", "?d"));
+        let d = p.desugar_minus();
+        fn has_minus(p: &Pattern) -> bool {
+            match p {
+                Pattern::Minus(..) => true,
+                Pattern::Triple(_) => false,
+                Pattern::And(a, b) | Pattern::Union(a, b) | Pattern::Opt(a, b) => {
+                    has_minus(a) || has_minus(b)
+                }
+                Pattern::Filter(q, _) | Pattern::Select(_, q) | Pattern::Ns(q) => has_minus(q),
+            }
+        }
+        assert!(!has_minus(&d));
+        // Two MINUS nodes desugared with distinct fresh variables.
+        assert!(d.size() > p.size());
+    }
+
+    #[test]
+    fn contains_ns_detection() {
+        assert!(Pattern::t("a", "b", "c").ns().contains_ns());
+        assert!(!Pattern::t("a", "b", "c").contains_ns());
+        assert!(Pattern::t("a", "b", "c")
+            .and(Pattern::t("d", "e", "f").ns())
+            .contains_ns());
+    }
+
+    #[test]
+    #[should_panic(expected = "and_all of empty")]
+    fn and_all_empty_panics() {
+        Pattern::and_all(vec![]);
+    }
+}

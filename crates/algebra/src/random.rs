@@ -1,0 +1,219 @@
+//! Random pattern generation for property-based cross-validation.
+//!
+//! The equivalence theorems of the paper (`P ≡ Q`, `P ≡s Q`) quantify
+//! over *all* graphs, which no test can enumerate; the project instead
+//! validates its transformations on large samples of (pattern, graph)
+//! pairs. This module is the pattern half of that sampling: a seeded
+//! recursive generator over a configurable vocabulary and operator set.
+
+use crate::analysis::Operators;
+use crate::condition::Condition;
+use crate::pattern::{Pattern, TermPattern, TriplePattern};
+use crate::variable::Variable;
+use owql_rdf::Iri;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_pattern`].
+#[derive(Clone, Debug)]
+pub struct PatternConfig {
+    /// Variable pool.
+    pub vars: Vec<Variable>,
+    /// IRI pool (should overlap the IRIs of the graphs the pattern will
+    /// be evaluated on, or nothing will ever match).
+    pub iris: Vec<Iri>,
+    /// Maximum recursion depth (`0` produces a bare triple pattern).
+    pub max_depth: usize,
+    /// Operators the generator may use.
+    pub allowed: Operators,
+    /// Probability that a triple-pattern position is a variable.
+    pub var_probability: f64,
+}
+
+impl PatternConfig {
+    /// A sensible default over `n_vars` variables `?v0..` and `n_iris`
+    /// IRIs `i0..`, full SPARQL, depth 3.
+    pub fn standard(n_vars: usize, n_iris: usize) -> PatternConfig {
+        PatternConfig {
+            vars: (0..n_vars).map(|i| Variable::new(&format!("v{i}"))).collect(),
+            iris: (0..n_iris).map(|i| Iri::new(&format!("i{i}"))).collect(),
+            max_depth: 3,
+            allowed: Operators::SPARQL,
+            var_probability: 0.5,
+        }
+    }
+
+    /// Restricts the generator to `allowed` operators.
+    pub fn with_operators(mut self, allowed: Operators) -> PatternConfig {
+        self.allowed = allowed;
+        self
+    }
+
+    /// Sets the maximum depth.
+    pub fn with_depth(mut self, depth: usize) -> PatternConfig {
+        self.max_depth = depth;
+        self
+    }
+}
+
+fn random_term(rng: &mut StdRng, cfg: &PatternConfig) -> TermPattern {
+    if rng.gen_bool(cfg.var_probability) {
+        TermPattern::Var(cfg.vars[rng.gen_range(0..cfg.vars.len())])
+    } else {
+        TermPattern::Iri(cfg.iris[rng.gen_range(0..cfg.iris.len())])
+    }
+}
+
+fn random_triple(rng: &mut StdRng, cfg: &PatternConfig) -> TriplePattern {
+    TriplePattern {
+        s: random_term(rng, cfg),
+        p: random_term(rng, cfg),
+        o: random_term(rng, cfg),
+    }
+}
+
+fn random_condition(rng: &mut StdRng, cfg: &PatternConfig, depth: usize) -> Condition {
+    if depth == 0 {
+        match rng.gen_range(0..3) {
+            0 => Condition::Bound(cfg.vars[rng.gen_range(0..cfg.vars.len())]),
+            1 => Condition::EqConst(
+                cfg.vars[rng.gen_range(0..cfg.vars.len())],
+                cfg.iris[rng.gen_range(0..cfg.iris.len())],
+            ),
+            _ => Condition::EqVar(
+                cfg.vars[rng.gen_range(0..cfg.vars.len())],
+                cfg.vars[rng.gen_range(0..cfg.vars.len())],
+            ),
+        }
+    } else {
+        match rng.gen_range(0..4) {
+            0 => random_condition(rng, cfg, depth - 1).not(),
+            1 => random_condition(rng, cfg, depth - 1).and(random_condition(rng, cfg, depth - 1)),
+            2 => random_condition(rng, cfg, depth - 1).or(random_condition(rng, cfg, depth - 1)),
+            _ => random_condition(rng, cfg, 0),
+        }
+    }
+}
+
+fn random_pattern_inner(rng: &mut StdRng, cfg: &PatternConfig, depth: usize) -> Pattern {
+    if depth == 0 {
+        return Pattern::Triple(random_triple(rng, cfg));
+    }
+    // Pick among the allowed operators (plus "stop here").
+    let mut choices: Vec<u8> = vec![0]; // 0 = triple
+    if cfg.allowed.contains(Operators::AND) {
+        choices.push(1);
+    }
+    if cfg.allowed.contains(Operators::UNION) {
+        choices.push(2);
+    }
+    if cfg.allowed.contains(Operators::OPT) {
+        choices.push(3);
+    }
+    if cfg.allowed.contains(Operators::FILTER) {
+        choices.push(4);
+    }
+    if cfg.allowed.contains(Operators::SELECT) {
+        choices.push(5);
+    }
+    if cfg.allowed.contains(Operators::NS) {
+        choices.push(6);
+    }
+    if cfg.allowed.contains(Operators::MINUS) {
+        choices.push(7);
+    }
+    match choices[rng.gen_range(0..choices.len())] {
+        1 => random_pattern_inner(rng, cfg, depth - 1).and(random_pattern_inner(rng, cfg, depth - 1)),
+        2 => random_pattern_inner(rng, cfg, depth - 1)
+            .union(random_pattern_inner(rng, cfg, depth - 1)),
+        3 => random_pattern_inner(rng, cfg, depth - 1).opt(random_pattern_inner(rng, cfg, depth - 1)),
+        4 => random_pattern_inner(rng, cfg, depth - 1).filter(random_condition(rng, cfg, 1)),
+        5 => {
+            let inner = random_pattern_inner(rng, cfg, depth - 1);
+            let inner_vars: Vec<Variable> =
+                crate::analysis::pattern_vars(&inner).into_iter().collect();
+            if inner_vars.is_empty() {
+                inner
+            } else {
+                let keep = rng.gen_range(1..=inner_vars.len());
+                let mut vs = inner_vars;
+                // Deterministic subset: shuffle by index draws.
+                for i in (1..vs.len()).rev() {
+                    vs.swap(i, rng.gen_range(0..=i));
+                }
+                vs.truncate(keep);
+                inner.select(vs)
+            }
+        }
+        6 => random_pattern_inner(rng, cfg, depth - 1).ns(),
+        7 => random_pattern_inner(rng, cfg, depth - 1)
+            .minus(random_pattern_inner(rng, cfg, depth - 1)),
+        _ => Pattern::Triple(random_triple(rng, cfg)),
+    }
+}
+
+/// Generates a random pattern; deterministic in `seed`.
+pub fn random_pattern(cfg: &PatternConfig, seed: u64) -> Pattern {
+    assert!(!cfg.vars.is_empty() && !cfg.iris.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_pattern_inner(&mut rng, cfg, cfg.max_depth)
+}
+
+/// Generates `count` random patterns with consecutive seeds.
+pub fn random_patterns(cfg: &PatternConfig, base_seed: u64, count: usize) -> Vec<Pattern> {
+    (0..count)
+        .map(|i| random_pattern(cfg, base_seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{in_fragment, operators};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = PatternConfig::standard(3, 4);
+        assert_eq!(random_pattern(&cfg, 7), random_pattern(&cfg, 7));
+    }
+
+    #[test]
+    fn respects_operator_restriction() {
+        let cfg = PatternConfig::standard(3, 4).with_operators(Operators::AUF);
+        for seed in 0..200 {
+            let p = random_pattern(&cfg, seed);
+            assert!(
+                in_fragment(&p, Operators::AUF),
+                "seed {seed} produced {p} with {:?}",
+                operators(&p)
+            );
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_triple() {
+        let cfg = PatternConfig::standard(2, 2).with_depth(0);
+        for seed in 0..20 {
+            assert!(matches!(random_pattern(&cfg, seed), Pattern::Triple(_)));
+        }
+    }
+
+    #[test]
+    fn generates_varied_operators() {
+        let cfg = PatternConfig::standard(3, 3).with_depth(4);
+        let mut seen_union = false;
+        let mut seen_opt = false;
+        for seed in 0..300 {
+            let ops = operators(&random_pattern(&cfg, seed));
+            seen_union |= ops.contains(Operators::UNION);
+            seen_opt |= ops.contains(Operators::OPT);
+        }
+        assert!(seen_union && seen_opt);
+    }
+
+    #[test]
+    fn batch_generation() {
+        let cfg = PatternConfig::standard(2, 2);
+        assert_eq!(random_patterns(&cfg, 0, 10).len(), 10);
+    }
+}

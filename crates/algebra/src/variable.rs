@@ -1,0 +1,136 @@
+//! Interned query variables.
+//!
+//! The paper assumes an infinite set `V` of variables, disjoint from the
+//! IRIs and written with a `?` prefix (`?X`, `?Y`, ...). Variables are
+//! interned exactly like IRIs (but in a separate table, preserving the
+//! disjointness of `V` and `I`).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::num::NonZeroU32;
+use std::sync::{Mutex, OnceLock};
+
+struct Interner {
+    ids: HashMap<&'static str, NonZeroU32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            ids: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+/// A query variable, interned globally.
+///
+/// The name is stored *without* the `?` prefix; `Display` adds it back.
+/// `Variable::new` accepts both `"X"` and `"?X"`.
+///
+/// ```
+/// use owql_algebra::Variable;
+/// let x = Variable::new("X");
+/// assert_eq!(x, Variable::new("?X"));
+/// assert_eq!(x.to_string(), "?X");
+/// assert_eq!(x.name(), "X");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Variable(NonZeroU32);
+
+impl Variable {
+    /// Interns the variable named `name` (a leading `?` is stripped).
+    pub fn new(name: &str) -> Self {
+        let name = name.strip_prefix('?').unwrap_or(name);
+        assert!(!name.is_empty(), "variable name must be non-empty");
+        let mut guard = interner().lock().expect("variable interner poisoned");
+        if let Some(&id) = guard.ids.get(name) {
+            return Variable(id);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = NonZeroU32::new(guard.names.len() as u32 + 1).expect("interner id overflow");
+        guard.ids.insert(leaked, id);
+        guard.names.push(leaked);
+        Variable(id)
+    }
+
+    /// The variable name without the `?` prefix.
+    pub fn name(self) -> &'static str {
+        let guard = interner().lock().expect("variable interner poisoned");
+        guard.names[self.0.get() as usize - 1]
+    }
+}
+
+impl From<&str> for Variable {
+    fn from(name: &str) -> Self {
+        Variable::new(name)
+    }
+}
+
+impl PartialOrd for Variable {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Variable {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        self.name().cmp(other.name())
+    }
+}
+
+impl fmt::Debug for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.name())
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.name())
+    }
+}
+
+/// Convenience constructor: `var("X")` or `var("?X")`.
+pub fn var(name: &str) -> Variable {
+    Variable::new(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_strips_question_mark() {
+        assert_eq!(Variable::new("?Q1"), Variable::new("Q1"));
+    }
+
+    #[test]
+    fn distinct_names_distinct_vars() {
+        assert_ne!(var("vt-a"), var("vt-b"));
+    }
+
+    #[test]
+    fn ordering_is_by_name() {
+        let b = var("vo-b");
+        let a = var("vo-a");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_has_prefix() {
+        assert_eq!(format!("{}", var("Z")), "?Z");
+        assert_eq!(format!("{:?}", var("Z")), "?Z");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_name_panics() {
+        var("?");
+    }
+}

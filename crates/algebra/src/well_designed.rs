@@ -1,0 +1,255 @@
+//! Well-designedness (Definition 3.4) and its UNION extension.
+//!
+//! A pattern `P ∈ SPARQL[AOF]` is **well designed** iff
+//!
+//! 1. for every sub-pattern `(P₁ FILTER R)`: `var(R) ⊆ var(P₁)`, and
+//! 2. for every sub-pattern `(P₁ OPT P₂)` and every `?X ∈ var(P₂)`:
+//!    if `?X` occurs in `P` outside `(P₁ OPT P₂)`, then `?X ∈ var(P₁)`.
+//!
+//! A pattern in `SPARQL[AUOF]` is well designed iff it is
+//! `P₁ UNION ⋯ UNION Pₙ` with every `Pᵢ` a well-designed
+//! `SPARQL[AOF]` pattern (Section 3.3).
+//!
+//! The paper's Theorems 3.5 and 3.6 show these classes are *strictly*
+//! weaker than weak monotonicity; the checkers here are the syntactic
+//! side of that comparison (experiments E3–E5).
+
+use crate::analysis::{pattern_vars, Operators};
+use crate::pattern::Pattern;
+use crate::variable::Variable;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a pattern fails to be well designed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The pattern uses an operator outside the allowed fragment.
+    OutsideFragment {
+        /// The operators the pattern actually uses.
+        found: Operators,
+        /// The fragment that was required.
+        allowed: Operators,
+    },
+    /// A sub-pattern `(P₁ FILTER R)` with `var(R) ⊄ var(P₁)`.
+    UnsafeFilter {
+        /// A variable of `R` missing from `var(P₁)`.
+        variable: Variable,
+    },
+    /// A sub-pattern `(P₁ OPT P₂)` with `?X ∈ var(P₂)` occurring outside
+    /// the OPT but not in `var(P₁)`.
+    BadOptVariable {
+        /// The offending variable.
+        variable: Variable,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OutsideFragment { found, allowed } => {
+                write!(f, "pattern uses operators {found:?}, outside SPARQL{allowed:?}")
+            }
+            Violation::UnsafeFilter { variable } => {
+                write!(f, "FILTER mentions {variable} which is not a variable of its operand")
+            }
+            Violation::BadOptVariable { variable } => write!(
+                f,
+                "{variable} occurs in the optional side of an OPT and outside it, but not in the mandatory side"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Checks Definition 3.4 on a `SPARQL[AOF]` pattern.
+///
+/// ```
+/// use owql_algebra::{pattern::Pattern, well_designed::well_designed_aof};
+/// // Example 3.1: well designed.
+/// let ok = Pattern::t("?X", "was_born_in", "Chile")
+///     .opt(Pattern::t("?X", "email", "?Y"));
+/// assert!(well_designed_aof(&ok).is_ok());
+///
+/// // Example 3.3: ?X in the optional side also occurs outside the OPT.
+/// let bad = Pattern::t("?X", "was_born_in", "Chile").and(
+///     Pattern::t("?Y", "was_born_in", "Chile")
+///         .opt(Pattern::t("?Y", "email", "?X")));
+/// assert!(well_designed_aof(&bad).is_err());
+/// ```
+pub fn well_designed_aof(p: &Pattern) -> Result<(), Violation> {
+    let ops = crate::analysis::operators(p);
+    if !ops.within(Operators::AOF) {
+        return Err(Violation::OutsideFragment {
+            found: ops,
+            allowed: Operators::AOF,
+        });
+    }
+    check(p, &BTreeSet::new())
+}
+
+/// Checks the UNION extension: every top-level disjunct well designed
+/// per [`well_designed_aof`]. The pattern must be in `SPARQL[AUOF]`
+/// with `UNION` only at the outermost level.
+pub fn well_designed_auof(p: &Pattern) -> Result<(), Violation> {
+    let ops = crate::analysis::operators(p);
+    if !ops.within(Operators::AUOF) {
+        return Err(Violation::OutsideFragment {
+            found: ops,
+            allowed: Operators::AUOF,
+        });
+    }
+    for d in p.disjuncts() {
+        well_designed_aof(d)?;
+    }
+    Ok(())
+}
+
+/// Recursive checker. `outside` is the set of variables that occur in
+/// the *whole* pattern outside the sub-pattern currently being visited.
+fn check(p: &Pattern, outside: &BTreeSet<Variable>) -> Result<(), Violation> {
+    match p {
+        Pattern::Triple(_) => Ok(()),
+        Pattern::And(a, b) => {
+            let mut out_a = outside.clone();
+            out_a.extend(pattern_vars(b));
+            check(a, &out_a)?;
+            let mut out_b = outside.clone();
+            out_b.extend(pattern_vars(a));
+            check(b, &out_b)
+        }
+        Pattern::Opt(a, b) => {
+            let va = pattern_vars(a);
+            for x in pattern_vars(b) {
+                if outside.contains(&x) && !va.contains(&x) {
+                    return Err(Violation::BadOptVariable { variable: x });
+                }
+            }
+            let mut out_a = outside.clone();
+            out_a.extend(pattern_vars(b));
+            check(a, &out_a)?;
+            let mut out_b = outside.clone();
+            out_b.extend(va);
+            check(b, &out_b)
+        }
+        Pattern::Filter(q, r) => {
+            let vq = pattern_vars(q);
+            for x in r.vars() {
+                if !vq.contains(&x) {
+                    return Err(Violation::UnsafeFilter { variable: x });
+                }
+            }
+            let mut out_q = outside.clone();
+            out_q.extend(r.vars());
+            check(q, &out_q)
+        }
+        // Unreachable when entered through the public functions (the
+        // fragment gate rejects these), but kept total for robustness.
+        Pattern::Union(a, b) | Pattern::Minus(a, b) => {
+            let mut out_a = outside.clone();
+            out_a.extend(pattern_vars(b));
+            check(a, &out_a)?;
+            let mut out_b = outside.clone();
+            out_b.extend(pattern_vars(a));
+            check(b, &out_b)
+        }
+        Pattern::Select(_, q) | Pattern::Ns(q) => check(q, outside),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+
+    /// Example 3.1's pattern is well designed.
+    #[test]
+    fn example_3_1_is_well_designed() {
+        let p = Pattern::t("?X", "was_born_in", "Chile").opt(Pattern::t("?X", "email", "?Y"));
+        assert_eq!(well_designed_aof(&p), Ok(()));
+    }
+
+    /// Example 3.3's pattern violates the OPT condition on ?X, exactly
+    /// as discussed below Definition 3.4 in the paper.
+    #[test]
+    fn example_3_3_is_not_well_designed() {
+        let p = Pattern::t("?X", "was_born_in", "Chile").and(
+            Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")),
+        );
+        assert_eq!(
+            well_designed_aof(&p),
+            Err(Violation::BadOptVariable {
+                variable: Variable::new("X")
+            })
+        );
+    }
+
+    #[test]
+    fn unsafe_filter_detected() {
+        let p = Pattern::t("?X", "a", "b").filter(Condition::bound("Y"));
+        assert_eq!(
+            well_designed_aof(&p),
+            Err(Violation::UnsafeFilter {
+                variable: Variable::new("Y")
+            })
+        );
+    }
+
+    #[test]
+    fn safe_filter_accepted() {
+        let p = Pattern::t("?X", "a", "?Y").filter(Condition::eq_var("X", "Y"));
+        assert_eq!(well_designed_aof(&p), Ok(()));
+    }
+
+    #[test]
+    fn union_rejected_in_aof_checker() {
+        let p = Pattern::t("?X", "a", "b").union(Pattern::t("?X", "c", "d"));
+        assert!(matches!(
+            well_designed_aof(&p),
+            Err(Violation::OutsideFragment { .. })
+        ));
+    }
+
+    #[test]
+    fn auof_accepts_union_of_well_designed() {
+        let p = Pattern::t("?X", "a", "b")
+            .opt(Pattern::t("?X", "c", "?Y"))
+            .union(Pattern::t("?Z", "d", "e"));
+        assert_eq!(well_designed_auof(&p), Ok(()));
+    }
+
+    #[test]
+    fn auof_rejects_bad_disjunct() {
+        let bad = Pattern::t("?X", "was_born_in", "Chile").and(
+            Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")),
+        );
+        let p = Pattern::t("?W", "a", "b").union(bad);
+        assert!(well_designed_auof(&p).is_err());
+    }
+
+    #[test]
+    fn nested_opt_wd() {
+        // ((a,b,c) OPT (?X,d,e)) OPT (?Y,f,g) — the Theorem 3.5 base
+        // pattern, well designed before the FILTER is added.
+        let p = Pattern::t("a", "b", "c")
+            .opt(Pattern::t("?X", "d", "e"))
+            .opt(Pattern::t("?Y", "f", "g"));
+        assert_eq!(well_designed_aof(&p), Ok(()));
+    }
+
+    #[test]
+    fn opt_variable_shared_through_mandatory_side_is_fine() {
+        // ?X occurs outside the inner OPT but also in its mandatory side.
+        let p = Pattern::t("?X", "a", "b")
+            .and(Pattern::t("?X", "c", "d").opt(Pattern::t("?X", "e", "?Y")));
+        assert_eq!(well_designed_aof(&p), Ok(()));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::BadOptVariable {
+            variable: Variable::new("X"),
+        };
+        assert!(v.to_string().contains("?X"));
+    }
+}

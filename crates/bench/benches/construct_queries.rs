@@ -1,0 +1,53 @@
+//! Experiments E9/E10 at scale: CONSTRUCT evaluation (Example 6.1's
+//! query) over growing campus graphs, the OPT-using query vs its
+//! monotone CONSTRUCT[AUF] counterpart, and view composition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owql_algebra::construct::example_6_1;
+use owql_bench::campus;
+use owql_eval::construct::{construct, construct_indexed};
+use owql_parser::parse_construct;
+use std::hint::black_box;
+
+fn bench_construct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct_queries");
+    group.sample_size(15);
+    let example = example_6_1();
+    let auf = parse_construct(
+        "CONSTRUCT {(?n, affiliated_to, ?u)} WHERE ((?p, name, ?n) AND (?p, works_at, ?u))",
+    )
+    .unwrap();
+    for professors in [100usize, 400] {
+        let graph = campus(professors);
+        group.bench_with_input(
+            BenchmarkId::new("example_6_1_reference", professors),
+            &graph,
+            |b, g| b.iter(|| black_box(construct(&example, black_box(g)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("example_6_1_indexed", professors),
+            &graph,
+            |b, g| b.iter(|| black_box(construct_indexed(&example, black_box(g)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("auf_fragment_indexed", professors),
+            &graph,
+            |b, g| b.iter(|| black_box(construct_indexed(&auf, black_box(g)))),
+        );
+        // View composition: run a second CONSTRUCT over the view.
+        let view = construct_indexed(&example, &graph);
+        let second = parse_construct(
+            "CONSTRUCT {(?u, has_member, ?n)} WHERE (?n, affiliated_to, ?u)",
+        )
+        .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("composed_view", professors),
+            &view,
+            |b, v| b.iter(|| black_box(construct_indexed(&second, black_box(v)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construct);
+criterion_main!(benches);

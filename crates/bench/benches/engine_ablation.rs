@@ -1,0 +1,38 @@
+//! Engine ablation (DESIGN.md §5): the reference evaluator (the
+//! paper's semantics verbatim, full scans) against the indexed engine
+//! (SPO/POS/OSP indexes + greedy join ordering), plus index
+//! construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owql_bench::social;
+use owql_eval::{evaluate, Engine};
+use owql_parser::parse_pattern;
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_ablation");
+    group.sample_size(15);
+    let query = parse_pattern(
+        "(((?a, follows, ?b) AND (?b, follows, ?c)) AND (?c, was_born_in, Chile))",
+    )
+    .unwrap();
+    for people in [100usize, 400] {
+        let graph = social(people);
+        let engine = Engine::new(&graph);
+        group.bench_with_input(
+            BenchmarkId::new("reference_scan", people),
+            &query,
+            |b, p| b.iter(|| black_box(evaluate(black_box(p), &graph))),
+        );
+        group.bench_with_input(BenchmarkId::new("indexed_engine", people), &query, |b, p| {
+            b.iter(|| black_box(engine.evaluate(black_box(p))))
+        });
+        group.bench_with_input(BenchmarkId::new("index_build", people), &graph, |b, g| {
+            b.iter(|| black_box(Engine::new(black_box(g))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Experiment E11 (empirical side): evaluation cost per fragment of the
+//! paper's hierarchy (AF, AUF, well-designed AOF, SP–SPARQL,
+//! USP–SPARQL) as the graph grows — the data-complexity face of the
+//! Section 7 landscape (combined complexity is exercised by the
+//! `reductions` bench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owql_bench::{fragment_suite, social};
+use owql_eval::Engine;
+use std::hint::black_box;
+
+fn bench_fragments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_fragments");
+    group.sample_size(20);
+    for people in [100usize, 400, 1600] {
+        let graph = social(people);
+        let engine = Engine::new(&graph);
+        for (name, pattern) in fragment_suite() {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{people}p/{}t", graph.len())),
+                &pattern,
+                |b, p| b.iter(|| black_box(engine.evaluate(black_box(p)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fragments);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Experiment E6 cost profile: building the Lemma C.2 formula `φ_P`
+//! and model-checking it, vs the direct engines. Quantifies how much
+//! the independent FO semantics costs (it is a validation tool, not an
+//! execution path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owql_parser::parse_pattern;
+use owql_rdf::graph::graph_from;
+use owql_theory::fo::translate::{evaluate_via_fo, translate_pattern};
+use std::hint::black_box;
+
+fn bench_fo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fo_translation");
+    group.sample_size(10);
+    let samples = [
+        ("triple", "(?x, p, ?y)"),
+        ("opt", "((?x, p, ?y) OPT (?y, q, ?z))"),
+        ("ns_union", "NS(((?x, p, ?y) UNION ((?x, p, ?y) AND (?y, q, ?z))))"),
+    ];
+    let g = graph_from(&[
+        ("a", "p", "b"),
+        ("b", "q", "c"),
+        ("c", "p", "d"),
+        ("d", "q", "a"),
+    ]);
+    for (name, text) in samples {
+        let p = parse_pattern(text).unwrap();
+        group.bench_with_input(BenchmarkId::new("translate", name), &p, |b, p| {
+            b.iter(|| black_box(translate_pattern(black_box(p))))
+        });
+        group.bench_with_input(BenchmarkId::new("evaluate_via_fo", name), &p, |b, p| {
+            b.iter(|| black_box(evaluate_via_fo(black_box(p), &g)))
+        });
+        group.bench_with_input(BenchmarkId::new("evaluate_direct", name), &p, |b, p| {
+            b.iter(|| black_box(owql_eval::evaluate(black_box(p), &g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fo);
+criterion_main!(benches);

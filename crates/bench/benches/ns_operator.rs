@@ -1,0 +1,60 @@
+//! The NS operator itself (experiment E7 + DESIGN.md ablations):
+//!
+//! * `maximal` (domain-size pre-sorted) vs `maximal_naive` (all pairs)
+//!   on answer sets with varying subsumption structure,
+//! * NS-elimination (Theorem 5.1) translation cost per nesting depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owql_algebra::{Mapping, MappingSet, Variable};
+use owql_rdf::Iri;
+use owql_theory::rewrite::ns_elimination::{eliminate_ns, nested_ns_pattern};
+use std::hint::black_box;
+
+/// A mapping set of `n` chains of length 3 (µ ≺ µ' ≺ µ'') plus `n`
+/// isolated maximal mappings — a subsumption-heavy workload.
+fn chained_set(n: usize) -> MappingSet {
+    let mut out = MappingSet::new();
+    for i in 0..n {
+        let a = Variable::new("a");
+        let b = Variable::new("b");
+        let c = Variable::new("c");
+        let v = Iri::new(&format!("v{i}"));
+        let m1 = Mapping::new().bind(a, v);
+        let m2 = m1.bind(b, v);
+        let m3 = m2.bind(c, v);
+        out.insert(m1);
+        out.insert(m2);
+        out.insert(m3);
+        out.insert(Mapping::new().bind(Variable::new("x"), v));
+    }
+    out
+}
+
+fn bench_maximal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ns_maximal");
+    for n in [50usize, 200, 800] {
+        let set = chained_set(n);
+        group.bench_with_input(BenchmarkId::new("sorted", set.len()), &set, |b, s| {
+            b.iter(|| black_box(s.maximal()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", set.len()), &set, |b, s| {
+            b.iter(|| black_box(s.maximal_naive()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_elimination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ns_elimination");
+    group.sample_size(10);
+    for depth in [1usize, 2, 3] {
+        let p = nested_ns_pattern(depth);
+        group.bench_with_input(BenchmarkId::new("translate", depth), &p, |b, p| {
+            b.iter(|| black_box(eliminate_ns(black_box(p), false).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maximal, bench_elimination);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Experiment E12: the Section 8 future-work question — what does
+//! replacing OPT by NS cost in practice? Answer-identical query pairs
+//! over the social workload, both engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owql_bench::{opt_ns_pairs, social};
+use owql_eval::Engine;
+use std::hint::black_box;
+
+fn bench_pairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_vs_ns");
+    group.sample_size(15);
+    for people in [200usize, 800] {
+        let graph = social(people);
+        let engine = Engine::new(&graph);
+        for (name, opt, ns) in opt_ns_pairs() {
+            assert_eq!(engine.evaluate(&opt), engine.evaluate(&ns));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/OPT"), people),
+                &opt,
+                |b, p| b.iter(|| black_box(engine.evaluate(black_box(p)))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/NS"), people),
+                &ns,
+                |b, p| b.iter(|| black_box(engine.evaluate(black_box(p)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairs);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Experiment E11 (combined complexity): evaluation cost of the
+//! hardness-reduction instances of Theorems 7.1–7.4 as the source
+//! instance grows. The exponential scaling in the variable count *is*
+//! the paper's hardness claim made visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owql_logic::coloring::UGraph;
+use owql_logic::Formula;
+use owql_theory::reduction::{bh, construct_np, dp, pnp, sat_gadget};
+use std::hint::black_box;
+
+/// A satisfiable chain formula over `n` variables.
+fn chain_formula(n: usize) -> Formula {
+    Formula::conj((0..n - 1).map(|i| Formula::var(i).or(Formula::var(i + 1))))
+}
+
+/// An unsatisfiable formula mentioning `n` variables.
+fn contradiction(n: usize) -> Formula {
+    Formula::var(0)
+        .and(Formula::var(0).not())
+        .and(Formula::conj((0..n).map(Formula::var)))
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_dp_theorem_7_1");
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        let inst = dp::sat_unsat_instance(&chain_formula(n), &contradiction(n), &format!("bdp{n}"));
+        group.bench_with_input(BenchmarkId::new("decide", n), &inst, |b, i| {
+            b.iter(|| black_box(i.instance.decide()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_bh_theorem_7_2");
+    group.sample_size(10);
+    let cases = [("C4_in_{2}", UGraph::cycle(4), vec![2]), ("C5_in_{3}", UGraph::cycle(5), vec![3])];
+    for (name, h, ms) in cases {
+        let inst = bh::chromatic_in_set_instance(&h, &ms, &format!("bbh_{name}"));
+        group.bench_with_input(BenchmarkId::new("decide", name), &inst, |b, i| {
+            b.iter(|| black_box(i.decide()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pnp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_pnp_theorem_7_3");
+    group.sample_size(10);
+    for m in [2usize, 4, 6] {
+        let phi = Formula::var(0).and(Formula::var(1).not());
+        let inst = pnp::max_odd_sat_instance(&phi, m, &format!("bpnp{m}"));
+        group.bench_with_input(BenchmarkId::new("decide", m), &inst, |b, i| {
+            b.iter(|| black_box(i.decide()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_construct_np(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_construct_np_theorem_7_4");
+    group.sample_size(10);
+    for n in [4usize, 8, 12] {
+        let inst = construct_np::sat_construct_instance(&chain_formula(n), &format!("bcn{n}"));
+        group.bench_with_input(BenchmarkId::new("decide", n), &inst, |b, i| {
+            b.iter(|| black_box(i.decide()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gadget_wall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_exponential_wall");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let g = sat_gadget::sat_gadget(&Formula::var(0).or(Formula::var(1)), n, &format!("bw{n}"));
+        group.bench_with_input(BenchmarkId::new("sat_pattern_eval", n), &g, |b, g| {
+            b.iter(|| black_box(owql_eval::evaluate(&g.sat_pattern, &g.graph)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dp,
+    bench_bh,
+    bench_pnp,
+    bench_construct_np,
+    bench_gadget_wall
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Workload exporter: writes the harness's synthetic graphs to disk in
+//! the N-Triples or Turtle exchange formats, for use outside the test
+//! suite (e.g. loading into another engine for comparison).
+//!
+//! ```text
+//! cargo run -p owql-bench --bin workloads -- <out-dir> [scale]
+//! ```
+//!
+//! Produces `social_<n>.nt`, `campus_<n>.nt`, `organizations.nt`, and
+//! the paper's figure graphs (`figure_1.ttl`, ...), printing a
+//! statistics line per file.
+
+use owql_bench::{campus, social};
+use owql_rdf::stats::GraphStats;
+use owql_rdf::{datasets, generate, ntriples, turtle, Graph};
+use std::path::Path;
+
+fn write_graph(dir: &Path, name: &str, g: &Graph, as_turtle: bool) -> std::io::Result<()> {
+    let (ext, text) = if as_turtle {
+        ("ttl", turtle::write(g))
+    } else {
+        ("nt", ntriples::write(g))
+    };
+    let path = dir.join(format!("{name}.{ext}"));
+    std::fs::write(&path, text)?;
+    println!("{}: {}", path.display(), GraphStats::of(g).to_string().lines().next().unwrap_or(""));
+    Ok(())
+}
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let dir = args.next().unwrap_or_else(|| "workloads".to_owned());
+    let scale: usize = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(1);
+    let dir = Path::new(&dir);
+    std::fs::create_dir_all(dir)?;
+
+    for people in [100 * scale, 400 * scale] {
+        write_graph(dir, &format!("social_{people}"), &social(people), false)?;
+    }
+    for profs in [100 * scale, 400 * scale] {
+        write_graph(dir, &format!("campus_{profs}"), &campus(profs), false)?;
+    }
+    write_graph(
+        dir,
+        "organizations",
+        &generate::organizations(50 * scale, 200 * scale, 0xE1),
+        false,
+    )?;
+    write_graph(dir, "figure_1", &datasets::figure_1(), true)?;
+    write_graph(dir, "figure_2_g2", &datasets::figure_2_g2(), true)?;
+    write_graph(dir, "figure_3", &datasets::figure_3(), true)?;
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! Shared workloads and query suites for the benchmark harness and the
+//! `experiments` driver.
+//!
+//! The paper is a theory paper: its "evaluation" is the complexity
+//! landscape of Section 7 plus the worked examples. The harness makes
+//! that landscape *measurable*:
+//!
+//! * scaling of pattern evaluation per fragment (AF / AUF / AOF / SP /
+//!   USP) over growing social graphs,
+//! * cost of the NS operator and of NS-elimination (Theorem 5.1
+//!   blowup),
+//! * OPT vs NS on the paper's motivating optional-information
+//!   workloads (the Section 8 future-work question),
+//! * hardness-reduction instances: evaluation cost vs source-instance
+//!   size for Theorems 7.1–7.4,
+//! * engine ablations (reference vs indexed, maximal-answer variants).
+
+use owql_algebra::pattern::Pattern;
+use owql_parser::parse_pattern;
+use owql_rdf::generate::{social_network, university, SocialOptions, UniversityOptions};
+use owql_rdf::Graph;
+
+/// A social graph with `people` people (fixed seed, paper-Figure-2
+/// shape: partial emails and birthplaces).
+pub fn social(people: usize) -> Graph {
+    social_network(
+        SocialOptions {
+            people,
+            avg_follows: 4,
+            email_probability: 0.5,
+            birthplace_probability: 0.8,
+        },
+        0xBEEF,
+    )
+}
+
+/// A university graph with `professors` professors across 10
+/// universities (paper-Figure-3 shape).
+pub fn campus(professors: usize) -> Graph {
+    university(
+        UniversityOptions {
+            universities: 10,
+            professors_per_university: professors / 10,
+            email_probability: 0.5,
+            second_affiliation_probability: 0.2,
+        },
+        0xFACE,
+    )
+}
+
+/// The per-fragment query suite used by the `eval_fragments` bench and
+/// experiment E11: one representative query per fragment of the
+/// paper's hierarchy, all over the social-graph vocabulary.
+pub fn fragment_suite() -> Vec<(&'static str, Pattern)> {
+    let q = |text: &str| parse_pattern(text).expect("suite query parses");
+    vec![
+        (
+            "AF (conjunctive)",
+            q("((?a, follows, ?b) AND (?b, follows, ?c))"),
+        ),
+        (
+            "AUF (monotone)",
+            q("(((?p, was_born_in, Chile) UNION (?p, was_born_in, Belgium)) AND (?p, email, ?e))"),
+        ),
+        (
+            "AOF well-designed",
+            q("(((?p, was_born_in, Chile) OPT (?p, email, ?e)) OPT (?p, name, ?n))"),
+        ),
+        (
+            "SP (simple: NS of AUF)",
+            q("NS(((?p, was_born_in, Chile) UNION \
+                ((?p, was_born_in, Chile) AND (?p, email, ?e))))"),
+        ),
+        (
+            "USP (union of simple)",
+            q("(NS(((?p, was_born_in, Chile) UNION \
+                 ((?p, was_born_in, Chile) AND (?p, email, ?e)))) UNION \
+               NS(((?p, was_born_in, Belgium) UNION \
+                 ((?p, was_born_in, Belgium) AND (?p, name, ?n)))))"),
+        ),
+    ]
+}
+
+/// OPT/NS query pairs over the social vocabulary (experiment E12): the
+/// same information need phrased with OPT and with NS.
+pub fn opt_ns_pairs() -> Vec<(&'static str, Pattern, Pattern)> {
+    let q = |text: &str| parse_pattern(text).expect("pair query parses");
+    vec![
+        (
+            "one optional",
+            q("((?p, was_born_in, Chile) OPT (?p, email, ?e))"),
+            q("NS(((?p, was_born_in, Chile) UNION \
+                ((?p, was_born_in, Chile) AND (?p, email, ?e))))"),
+        ),
+        (
+            "two optionals",
+            q("(((?p, name, ?n) OPT (?p, email, ?e)) OPT (?p, was_born_in, ?c))"),
+            q("NS((((?p, name, ?n) UNION ((?p, name, ?n) AND (?p, email, ?e))) UNION \
+                (((?p, name, ?n) AND (?p, was_born_in, ?c)) UNION \
+                 (((?p, name, ?n) AND (?p, email, ?e)) AND (?p, was_born_in, ?c)))))"),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_eval::{evaluate, Engine};
+
+    #[test]
+    fn workloads_scale_with_parameter() {
+        assert!(social(50).len() < social(200).len());
+        assert!(campus(50).len() < campus(200).len());
+    }
+
+    #[test]
+    fn suite_queries_answer_on_their_workload() {
+        let g = social(120);
+        let engine = Engine::new(&g);
+        for (name, p) in fragment_suite() {
+            let out = engine.evaluate(&p);
+            assert!(!out.is_empty(), "{name} produced nothing");
+            assert_eq!(out, evaluate(&p, &g), "{name}");
+        }
+    }
+
+    /// The OPT/NS pairs in the harness are answer-identical on the
+    /// workload (their mandatory sides are subsumption-free).
+    #[test]
+    fn opt_ns_pairs_agree() {
+        let g = social(80);
+        let engine = Engine::new(&g);
+        for (name, opt, ns) in opt_ns_pairs() {
+            assert_eq!(engine.evaluate(&opt), engine.evaluate(&ns), "{name}");
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! A static, semantics-preserving pattern optimizer.
+//!
+//! The rewrite rules are all justified by facts established in the
+//! paper or by the algebra's definitions, and every rule is
+//! property-tested for exact equivalence against the reference
+//! evaluator:
+//!
+//! 1. **Condition folding** — boolean simplification of FILTER
+//!    conditions (`¬true → false`, `R ∧ true → R`, ...).
+//! 2. **Filter fusion** — `((P FILTER R₁) FILTER R₂) →
+//!    (P FILTER R₁ ∧ R₂)`.
+//! 3. *(reserved — filter/UNION distribution lives in the normal-form
+//!    module, Prop D.1: it grows the tree, so the optimizer skips it).
+//! 4. **Filter pushdown** — `(P₁ AND P₂) FILTER R → (P₁ FILTER R) AND
+//!    P₂` when `var(R)` is *certainly bound* by `P₁`
+//!    ([`owql_algebra::analysis::certainly_bound_vars`]), shrinking
+//!    join inputs before the join.
+//! 5. **Projection fusion** — `SELECT V (SELECT W P) → SELECT (V∩W) P`;
+//!    `SELECT V P → P` when `var(P) ⊆ V`.
+//! 6. **NS idempotence** — `NS(NS(P)) → NS(P)` (maximality is
+//!    idempotent).
+//! 7. **NS elision on subsumption-free fragments** — `NS(P) → P` when
+//!    `P ∈ SPARQL[AOF]` or `P ∈ SPARQL[AFS]`: Section 5.2 of the paper
+//!    establishes that every pattern in these fragments is
+//!    subsumption-free, so taking maximal answers is the identity.
+//!
+//! The optimizer is purely syntactic and terminates: each pass either
+//! strictly shrinks the tree or is applied once bottom-up.
+
+use owql_algebra::analysis::{certainly_bound_vars, in_fragment, pattern_vars, Operators};
+use owql_algebra::condition::Condition;
+use owql_algebra::pattern::Pattern;
+
+/// Simplifies a FILTER condition by constant folding.
+pub fn simplify_condition(r: &Condition) -> Condition {
+    match r {
+        Condition::Not(inner) => match simplify_condition(inner) {
+            Condition::True => Condition::False,
+            Condition::False => Condition::True,
+            Condition::Not(doubly) => *doubly,
+            other => other.not(),
+        },
+        Condition::And(a, b) => match (simplify_condition(a), simplify_condition(b)) {
+            (Condition::False, _) | (_, Condition::False) => Condition::False,
+            (Condition::True, other) | (other, Condition::True) => other,
+            (a, b) => a.and(b),
+        },
+        Condition::Or(a, b) => match (simplify_condition(a), simplify_condition(b)) {
+            (Condition::True, _) | (_, Condition::True) => Condition::True,
+            (Condition::False, other) | (other, Condition::False) => other,
+            (a, b) => a.or(b),
+        },
+        Condition::EqVar(v, w) if v == w => Condition::Bound(*v),
+        atom => atom.clone(),
+    }
+}
+
+/// One bottom-up optimization pass.
+fn pass(p: &Pattern) -> Pattern {
+    match p {
+        Pattern::Triple(t) => Pattern::Triple(*t),
+        Pattern::And(a, b) => pass(a).and(pass(b)),
+        Pattern::Union(a, b) => pass(a).union(pass(b)),
+        Pattern::Opt(a, b) => pass(a).opt(pass(b)),
+        Pattern::Minus(a, b) => pass(a).minus(pass(b)),
+        Pattern::Filter(q, r) => {
+            let q = pass(q);
+            let r = simplify_condition(r);
+            match (q, r) {
+                // Rule 1: trivially-true filter disappears.
+                (q, Condition::True) => q,
+                // Rule 2: fuse stacked filters.
+                (Pattern::Filter(inner, r1), r2) => {
+                    pass(&Pattern::Filter(inner, r1).filter(r2).fuse_filters())
+                }
+                // Rule 4: push below AND when safe.
+                (Pattern::And(a, b), r) => {
+                    if r.vars().is_subset(&certainly_bound_vars(&a)) {
+                        pass(&a.filter(r).and(*b))
+                    } else if r.vars().is_subset(&certainly_bound_vars(&b)) {
+                        pass(&a.and(b.filter(r)))
+                    } else {
+                        Pattern::And(a, b).filter(r)
+                    }
+                }
+                (q, r) => q.filter(r),
+            }
+        }
+        Pattern::Select(v, q) => {
+            let q = pass(q);
+            match q {
+                // Rule 5a: fuse stacked projections.
+                Pattern::Select(w, inner) => {
+                    let vw = v.intersection(&w).copied().collect();
+                    pass(&Pattern::Select(vw, inner))
+                }
+                // Rule 5b: drop a projection that keeps everything.
+                q if pattern_vars(&q).is_subset(v) => q,
+                q => Pattern::Select(v.clone(), Box::new(q)),
+            }
+        }
+        Pattern::Ns(q) => {
+            let q = pass(q);
+            match q {
+                // Rule 6: NS is idempotent.
+                Pattern::Ns(inner) => Pattern::Ns(inner),
+                // Rule 7: Section 5.2 — SPARQL[AOF] and SPARQL[AFS]
+                // patterns are subsumption-free, so NS is the identity.
+                q if in_fragment(&q, Operators::AOF) || in_fragment(&q, Operators::AFS) => q,
+                q => q.ns(),
+            }
+        }
+    }
+}
+
+/// Helper used by rule 2: `(P FILTER R₁) FILTER R₂ → P FILTER R₁∧R₂`.
+trait FuseFilters {
+    fn fuse_filters(self) -> Pattern;
+}
+
+impl FuseFilters for Pattern {
+    fn fuse_filters(self) -> Pattern {
+        if let Pattern::Filter(outer, r2) = self {
+            if let Pattern::Filter(inner, r1) = *outer {
+                return inner.filter(simplify_condition(&r1.and(r2)));
+            }
+            return outer.filter(r2);
+        }
+        self
+    }
+}
+
+/// Optimizes a pattern to a fixpoint (bounded number of passes; each
+/// pass is linear in the tree).
+pub fn optimize(p: &Pattern) -> Pattern {
+    let mut current = p.clone();
+    for _ in 0..8 {
+        let next = pass(&current);
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::evaluate;
+    use owql_algebra::analysis::operators;
+    use owql_algebra::random::{random_pattern, PatternConfig};
+    use owql_rdf::graph::graph_from;
+
+    #[test]
+    fn condition_folding() {
+        let r = Condition::True.and(Condition::bound("x"));
+        assert_eq!(simplify_condition(&r), Condition::bound("x"));
+        assert_eq!(
+            simplify_condition(&Condition::False.or(Condition::bound("x"))),
+            Condition::bound("x")
+        );
+        assert_eq!(simplify_condition(&Condition::True.not()), Condition::False);
+        assert_eq!(
+            simplify_condition(&Condition::bound("x").not().not()),
+            Condition::bound("x")
+        );
+        assert_eq!(
+            simplify_condition(&Condition::eq_var("x", "x")),
+            Condition::bound("x")
+        );
+        assert_eq!(
+            simplify_condition(&Condition::False.and(Condition::bound("x"))),
+            Condition::False
+        );
+    }
+
+    #[test]
+    fn trivial_filter_removed() {
+        let p = Pattern::t("?x", "a", "b").filter(Condition::True);
+        assert_eq!(optimize(&p), Pattern::t("?x", "a", "b"));
+    }
+
+    #[test]
+    fn stacked_filters_fuse() {
+        let p = Pattern::t("?x", "a", "?y")
+            .filter(Condition::bound("x"))
+            .filter(Condition::bound("y"));
+        let o = optimize(&p);
+        // One filter node left.
+        let mut filter_count = 0;
+        fn count(p: &Pattern, n: &mut usize) {
+            match p {
+                Pattern::Filter(q, _) => {
+                    *n += 1;
+                    count(q, n);
+                }
+                Pattern::And(a, b) | Pattern::Union(a, b) | Pattern::Opt(a, b) | Pattern::Minus(a, b) => {
+                    count(a, n);
+                    count(b, n);
+                }
+                Pattern::Select(_, q) | Pattern::Ns(q) => count(q, n),
+                Pattern::Triple(_) => {}
+            }
+        }
+        count(&o, &mut filter_count);
+        assert_eq!(filter_count, 1);
+    }
+
+    #[test]
+    fn filter_pushes_into_and() {
+        let p = Pattern::t("?x", "a", "?y")
+            .and(Pattern::t("?y", "b", "?z"))
+            .filter(Condition::eq_const("x", "k"));
+        let o = optimize(&p);
+        // The filter should now sit on the left conjunct.
+        match o {
+            Pattern::And(left, _) => assert!(matches!(*left, Pattern::Filter(..))),
+            other => panic!("expected AND at root, got {other}"),
+        }
+    }
+
+    #[test]
+    fn filter_not_pushed_when_unsafe() {
+        // bound(?z) where ?z is optional must stay above the OPT.
+        let p = Pattern::t("?x", "a", "b")
+            .opt(Pattern::t("?x", "c", "?z"))
+            .filter(Condition::bound("z"));
+        assert_eq!(optimize(&p), p);
+    }
+
+    #[test]
+    fn projection_rules() {
+        let p = Pattern::t("?x", "a", "?y").select(["?x", "?y"]);
+        assert_eq!(optimize(&p), Pattern::t("?x", "a", "?y"));
+        let nested = Pattern::t("?x", "a", "?y").select(["?x", "?y"]).select(["?x"]);
+        assert_eq!(optimize(&nested), Pattern::t("?x", "a", "?y").select(["?x"]));
+    }
+
+    #[test]
+    fn ns_idempotence_and_elision() {
+        let aof = Pattern::t("?x", "a", "b").opt(Pattern::t("?x", "c", "?y"));
+        assert_eq!(optimize(&aof.clone().ns()), aof);
+        assert_eq!(optimize(&aof.clone().ns().ns()), aof);
+        // NS over a UNION (not subsumption-free in general) is kept.
+        let u = Pattern::t("?x", "a", "b")
+            .union(Pattern::t("?x", "a", "b").and(Pattern::t("?x", "c", "?y")));
+        assert!(matches!(optimize(&u.ns()), Pattern::Ns(_)));
+    }
+
+    #[test]
+    fn ns_elision_preserves_answers() {
+        let aof = Pattern::t("?x", "a", "b").opt(Pattern::t("?x", "c", "?y"));
+        let g = graph_from(&[("1", "a", "b"), ("1", "c", "2"), ("3", "a", "b")]);
+        assert_eq!(evaluate(&aof.clone().ns(), &g), evaluate(&optimize(&aof.ns()), &g));
+    }
+
+    /// The global property: optimization preserves exact semantics on
+    /// random NS–SPARQL patterns and graphs.
+    #[test]
+    fn optimization_is_semantics_preserving() {
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL.with(Operators::MINUS),
+            max_depth: 4,
+            ..PatternConfig::standard(4, 4)
+        };
+        for seed in 0..250u64 {
+            let p = random_pattern(&cfg, seed);
+            let o = optimize(&p);
+            let g = owql_rdf::generate::uniform(30, 4, 4, 4, seed)
+                .union(&graph_from(&[("i0", "i1", "i2"), ("i2", "i3", "i0"), ("i1", "i1", "i1")]));
+            assert_eq!(
+                evaluate(&p, &g),
+                evaluate(&o, &g),
+                "seed {seed}: {p}  ~/~  {o}"
+            );
+        }
+    }
+
+    /// The optimizer never grows the pattern.
+    #[test]
+    fn optimization_never_grows() {
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL,
+            max_depth: 4,
+            ..PatternConfig::standard(4, 4)
+        };
+        for seed in 0..250u64 {
+            let p = random_pattern(&cfg, seed);
+            let o = optimize(&p);
+            assert!(o.size() <= p.size(), "seed {seed}: {p} grew to {o}");
+            // And the result uses no operator the input didn't.
+            assert!(operators(&o).within(operators(&p).with(Operators::NONE)));
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Query plans: a static EXPLAIN for the indexed engine.
+//!
+//! [`Engine::explain`](crate::engine::Engine) renders the strategy the
+//! engine will take for a pattern: flattened `AND`-spines with the
+//! greedy join order and per-step index access paths and cardinality
+//! estimates, and the operator tree above them. Purely informational —
+//! the engine re-derives the order at run time with live binding
+//! information — but estimates come from the same index, so the
+//! printed order matches the executed one on constant-only statistics.
+
+use owql_algebra::pattern::{Pattern, TriplePattern};
+use owql_algebra::Variable;
+use owql_rdf::GraphIndex;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A node of a query plan.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// One step of an index nested-loop join.
+    TripleScan {
+        /// The triple pattern scanned.
+        pattern: TriplePattern,
+        /// The index access path chosen when only constants are known.
+        access_path: &'static str,
+        /// Constant-only cardinality estimate from the index.
+        estimated_rows: usize,
+    },
+    /// A flattened `AND`-spine: `steps` in execution order, then
+    /// `others` (non-triple conjuncts) hash-joined in.
+    IndexJoin {
+        /// Triple-scan steps in the greedy order.
+        steps: Vec<Plan>,
+        /// Recursively planned non-triple conjuncts.
+        others: Vec<Plan>,
+    },
+    /// Left-outer-join (`OPT`).
+    LeftOuterJoin(Box<Plan>, Box<Plan>),
+    /// Union.
+    Union(Box<Plan>, Box<Plan>),
+    /// Difference (`MINUS`).
+    Difference(Box<Plan>, Box<Plan>),
+    /// Filter.
+    Filter(Box<Plan>, String),
+    /// Projection.
+    Project(Box<Plan>, Vec<Variable>),
+    /// Maximal answers (`NS`).
+    MaximalAnswers(Box<Plan>),
+}
+
+impl Plan {
+    fn indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        for _ in 0..depth {
+            write!(f, "  ")?;
+        }
+        Ok(())
+    }
+
+    fn fmt_at(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        Plan::indent(f, depth)?;
+        match self {
+            Plan::TripleScan {
+                pattern,
+                access_path,
+                estimated_rows,
+            } => writeln!(f, "scan {pattern} via {access_path} (~{estimated_rows} rows)"),
+            Plan::IndexJoin { steps, others } => {
+                writeln!(f, "index nested-loop join")?;
+                for s in steps {
+                    s.fmt_at(f, depth + 1)?;
+                }
+                for o in others {
+                    Plan::indent(f, depth + 1)?;
+                    writeln!(f, "hash-join with:")?;
+                    o.fmt_at(f, depth + 2)?;
+                }
+                Ok(())
+            }
+            Plan::LeftOuterJoin(a, b) => {
+                writeln!(f, "left outer join (OPT)")?;
+                a.fmt_at(f, depth + 1)?;
+                b.fmt_at(f, depth + 1)
+            }
+            Plan::Union(a, b) => {
+                writeln!(f, "union")?;
+                a.fmt_at(f, depth + 1)?;
+                b.fmt_at(f, depth + 1)
+            }
+            Plan::Difference(a, b) => {
+                writeln!(f, "difference (MINUS)")?;
+                a.fmt_at(f, depth + 1)?;
+                b.fmt_at(f, depth + 1)
+            }
+            Plan::Filter(p, cond) => {
+                writeln!(f, "filter {cond}")?;
+                p.fmt_at(f, depth + 1)
+            }
+            Plan::Project(p, vars) => {
+                write!(f, "project {{")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                writeln!(f, "}}")?;
+                p.fmt_at(f, depth + 1)
+            }
+            Plan::MaximalAnswers(p) => {
+                writeln!(f, "maximal answers (NS)")?;
+                p.fmt_at(f, depth + 1)
+            }
+        }
+    }
+
+    /// Number of plan nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Plan::TripleScan { .. } => 1,
+            Plan::IndexJoin { steps, others } => {
+                1 + steps.iter().map(Plan::size).sum::<usize>()
+                    + others.iter().map(Plan::size).sum::<usize>()
+            }
+            Plan::LeftOuterJoin(a, b) | Plan::Union(a, b) | Plan::Difference(a, b) => {
+                1 + a.size() + b.size()
+            }
+            Plan::Filter(p, _) | Plan::Project(p, _) | Plan::MaximalAnswers(p) => 1 + p.size(),
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_at(f, 0)
+    }
+}
+
+fn access_path(t: TriplePattern) -> &'static str {
+    match (t.s.as_iri().is_some(), t.p.as_iri().is_some(), t.o.as_iri().is_some()) {
+        (true, true, true) => "SPO (point)",
+        (true, true, false) => "SP index",
+        (false, true, true) => "PO index",
+        (true, false, true) => "SO index",
+        (true, false, false) => "S index",
+        (false, true, false) => "P index",
+        (false, false, true) => "O index",
+        (false, false, false) => "full scan",
+    }
+}
+
+/// Builds the plan for `pattern` against `index` — the logic mirrors
+/// the engine's spine flattening and greedy ordering.
+pub fn plan(pattern: &Pattern, index: &GraphIndex) -> Plan {
+    match pattern {
+        Pattern::Triple(_) | Pattern::And(..) => {
+            let mut triples = Vec::new();
+            let mut others = Vec::new();
+            flatten(pattern, &mut triples, &mut others);
+            // Replay the greedy order statically.
+            let mut bound: BTreeSet<Variable> = BTreeSet::new();
+            let mut steps = Vec::new();
+            while !triples.is_empty() {
+                let mut best = 0;
+                let mut best_key = (usize::MAX, usize::MAX);
+                for (i, t) in triples.iter().enumerate() {
+                    let unbound = t.vars().iter().filter(|v| !bound.contains(v)).count();
+                    let card = index.cardinality(t.s.as_iri(), t.p.as_iri(), t.o.as_iri());
+                    if (unbound, card) < best_key {
+                        best_key = (unbound, card);
+                        best = i;
+                    }
+                }
+                let t = triples.swap_remove(best);
+                bound.extend(t.vars());
+                steps.push(Plan::TripleScan {
+                    pattern: t,
+                    access_path: access_path(t),
+                    estimated_rows: index.cardinality(t.s.as_iri(), t.p.as_iri(), t.o.as_iri()),
+                });
+            }
+            let others = others.into_iter().map(|p| plan(p, index)).collect();
+            Plan::IndexJoin { steps, others }
+        }
+        Pattern::Opt(a, b) => {
+            Plan::LeftOuterJoin(Box::new(plan(a, index)), Box::new(plan(b, index)))
+        }
+        Pattern::Union(a, b) => Plan::Union(Box::new(plan(a, index)), Box::new(plan(b, index))),
+        Pattern::Minus(a, b) => {
+            Plan::Difference(Box::new(plan(a, index)), Box::new(plan(b, index)))
+        }
+        Pattern::Filter(p, r) => Plan::Filter(Box::new(plan(p, index)), r.to_string()),
+        Pattern::Select(v, p) => {
+            Plan::Project(Box::new(plan(p, index)), v.iter().copied().collect())
+        }
+        Pattern::Ns(p) => Plan::MaximalAnswers(Box::new(plan(p, index))),
+    }
+}
+
+fn flatten<'a>(
+    p: &'a Pattern,
+    triples: &mut Vec<TriplePattern>,
+    others: &mut Vec<&'a Pattern>,
+) {
+    match p {
+        Pattern::And(a, b) => {
+            flatten(a, triples, others);
+            flatten(b, triples, others);
+        }
+        Pattern::Triple(t) => triples.push(*t),
+        other => others.push(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use owql_parser::parse_pattern;
+    use owql_rdf::generate;
+
+    #[test]
+    fn plan_orders_selective_scan_first() {
+        // One selective pattern (constant subject) and one broad one.
+        let g = generate::star("hub", "spoke", 50);
+        let engine = Engine::new(&g);
+        let p = parse_pattern("((?x, spoke, ?y) AND (hub, spoke, ?x))").unwrap();
+        let plan = engine.explain(&p);
+        match &plan {
+            Plan::IndexJoin { steps, others } => {
+                assert!(others.is_empty());
+                assert_eq!(steps.len(), 2);
+                // The constant-subject scan goes first (fewer unbound vars).
+                match &steps[0] {
+                    Plan::TripleScan { access_path, .. } => {
+                        assert_eq!(*access_path, "SP index")
+                    }
+                    other => panic!("expected scan, got {other:?}"),
+                }
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_renders_all_operators() {
+        let g = generate::uniform(20, 4, 4, 4, 1);
+        let engine = Engine::new(&g);
+        let p = parse_pattern(
+            "NS((SELECT {?x} WHERE ((((?x, p0, ?y) OPT (?y, p1, ?z)) UNION \
+              ((?x, p2, ?w) MINUS (?w, p3, ?v))) FILTER bound(?x))))",
+        )
+        .unwrap();
+        let text = engine.explain(&p).to_string();
+        for needle in [
+            "maximal answers (NS)",
+            "project {?x}",
+            "filter bound(?x)",
+            "union",
+            "left outer join (OPT)",
+            "difference (MINUS)",
+            "scan",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn estimates_match_index() {
+        let g = generate::star("hub", "spoke", 10);
+        let engine = Engine::new(&g);
+        let p = parse_pattern("(hub, spoke, ?x)").unwrap();
+        match engine.explain(&p) {
+            Plan::IndexJoin { steps, .. } => match &steps[0] {
+                Plan::TripleScan { estimated_rows, .. } => assert_eq!(*estimated_rows, 10),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_size() {
+        let g = generate::uniform(10, 3, 3, 3, 2);
+        let engine = Engine::new(&g);
+        let p = parse_pattern("((?a, p0, ?b) AND (?b, p1, ?c))").unwrap();
+        assert_eq!(engine.explain(&p).size(), 3); // join + 2 scans
+    }
+}

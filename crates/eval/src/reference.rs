@@ -1,0 +1,237 @@
+//! The reference evaluator: the paper's semantics, verbatim.
+//!
+//! `⟦P⟧G` is defined recursively (Section 2.1, extended with NS in
+//! Section 5.1 and the derived MINUS of Appendix D):
+//!
+//! ```text
+//! ⟦t⟧G                    = { µ | dom(µ) = var(t), µ(t) ∈ G }
+//! ⟦P₁ AND P₂⟧G            = ⟦P₁⟧G ⋈ ⟦P₂⟧G
+//! ⟦P₁ OPT P₂⟧G            = ⟦P₁⟧G ⟕ ⟦P₂⟧G
+//! ⟦P₁ UNION P₂⟧G          = ⟦P₁⟧G ∪ ⟦P₂⟧G
+//! ⟦SELECT V WHERE P⟧G     = { µ|V | µ ∈ ⟦P⟧G }
+//! ⟦P FILTER R⟧G           = { µ ∈ ⟦P⟧G | µ ⊨ R }
+//! ⟦NS(P)⟧G                = ⟦P⟧G^max
+//! ⟦P₁ MINUS P₂⟧G          = ⟦P₁⟧G ∖ ⟦P₂⟧G
+//! ```
+//!
+//! Triple-pattern evaluation scans every triple of `G`; the whole
+//! evaluator materializes full intermediate mapping sets. Use
+//! [`crate::engine::Engine`] when performance matters — this module is
+//! the executable specification the engine is tested against.
+
+use owql_algebra::mapping::Mapping;
+use owql_algebra::mapping_set::MappingSet;
+use owql_algebra::pattern::{Pattern, TermPattern, TriplePattern};
+use owql_rdf::{Graph, Triple};
+
+/// Matches one concrete triple against a triple pattern, producing the
+/// unique unifying mapping with `dom(µ) = var(t)` if one exists.
+pub fn match_triple(pattern: TriplePattern, triple: Triple) -> Option<Mapping> {
+    let mut m = Mapping::new();
+    for (tp, value) in pattern.components().into_iter().zip(triple.components()) {
+        match tp {
+            TermPattern::Iri(i) => {
+                if i != value {
+                    return None;
+                }
+            }
+            TermPattern::Var(v) => match m.get(v) {
+                None => m = m.bind(v, value),
+                Some(existing) if existing == value => {}
+                Some(_) => return None,
+            },
+        }
+    }
+    Some(m)
+}
+
+/// Evaluates a triple pattern by scanning the graph.
+pub fn evaluate_triple_pattern(pattern: TriplePattern, graph: &Graph) -> MappingSet {
+    graph
+        .iter()
+        .filter_map(|&t| match_triple(pattern, t))
+        .collect()
+}
+
+/// The reference evaluation `⟦P⟧G`.
+///
+/// ```
+/// use owql_algebra::{pattern::Pattern, Mapping};
+/// use owql_rdf::datasets::figure_2_g1;
+/// use owql_eval::reference::evaluate;
+/// // Example 3.1: P = (?X, was_born_in, Chile) OPT (?X, email, ?Y)
+/// let p = Pattern::t("?X", "was_born_in", "Chile")
+///     .opt(Pattern::t("?X", "email", "?Y"));
+/// let out = evaluate(&p, &figure_2_g1());
+/// assert!(out.contains(&Mapping::from_str_pairs(&[("X", "Juan")])));
+/// assert_eq!(out.len(), 1);
+/// ```
+pub fn evaluate(pattern: &Pattern, graph: &Graph) -> MappingSet {
+    match pattern {
+        Pattern::Triple(t) => evaluate_triple_pattern(*t, graph),
+        Pattern::And(a, b) => evaluate(a, graph).join(&evaluate(b, graph)),
+        Pattern::Opt(a, b) => evaluate(a, graph).left_outer_join(&evaluate(b, graph)),
+        Pattern::Union(a, b) => evaluate(a, graph).union(&evaluate(b, graph)),
+        Pattern::Select(vars, p) => evaluate(p, graph).project(vars),
+        Pattern::Filter(p, r) => evaluate(p, graph).filter(r),
+        Pattern::Ns(p) => evaluate(p, graph).maximal(),
+        Pattern::Minus(a, b) => evaluate(a, graph).difference(&evaluate(b, graph)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_algebra::condition::Condition;
+    use owql_algebra::mapping_set::mapping_set;
+    use owql_algebra::pattern::tp;
+    use owql_rdf::datasets::{figure_1, figure_2_g1, figure_2_g2};
+    use owql_rdf::graph::graph_from;
+
+    #[test]
+    fn triple_pattern_matching_basics() {
+        let t = Triple::new("a", "p", "b");
+        assert_eq!(
+            match_triple(tp("?x", "p", "?y"), t),
+            Some(Mapping::from_str_pairs(&[("x", "a"), ("y", "b")]))
+        );
+        assert_eq!(match_triple(tp("?x", "q", "?y"), t), None);
+        assert_eq!(match_triple(tp("a", "p", "b"), t), Some(Mapping::new()));
+        assert_eq!(match_triple(tp("b", "p", "b"), t), None);
+    }
+
+    #[test]
+    fn repeated_variable_must_agree() {
+        assert_eq!(
+            match_triple(tp("?x", "p", "?x"), Triple::new("a", "p", "a")),
+            Some(Mapping::from_str_pairs(&[("x", "a")]))
+        );
+        assert_eq!(match_triple(tp("?x", "p", "?x"), Triple::new("a", "p", "b")), None);
+    }
+
+    /// Example 2.2, reproduced step by step.
+    #[test]
+    fn example_2_2_full() {
+        let g = figure_1();
+
+        let stands = evaluate(&Pattern::t("?o", "stands_for", "sharing_rights"), &g);
+        assert_eq!(stands, mapping_set(&[&[("o", "The_Pirate_Bay")]]));
+
+        let founders = evaluate(&Pattern::t("?p", "founder", "?o"), &g);
+        assert_eq!(founders.len(), 3);
+
+        let supporters = evaluate(&Pattern::t("?p", "supporter", "?o"), &g);
+        assert_eq!(
+            supporters,
+            mapping_set(&[&[("p", "Carl_Lundström"), ("o", "The_Pirate_Bay")]])
+        );
+
+        let p1 = Pattern::t("?o", "stands_for", "sharing_rights").and(
+            Pattern::t("?p", "founder", "?o").union(Pattern::t("?p", "supporter", "?o")),
+        );
+        let p = p1.select(["?p"]);
+        let out = evaluate(&p, &g);
+        assert_eq!(
+            out,
+            mapping_set(&[
+                &[("p", "Gottfrid_Svartholm")],
+                &[("p", "Fredrik_Neij")],
+                &[("p", "Peter_Sunde")],
+                &[("p", "Carl_Lundström")],
+            ])
+        );
+    }
+
+    /// Example 3.1: non-monotone but weakly monotone behaviour of OPT.
+    #[test]
+    fn example_3_1_opt_behaviour() {
+        let p = Pattern::t("?X", "was_born_in", "Chile").opt(Pattern::t("?X", "email", "?Y"));
+        let out1 = evaluate(&p, &figure_2_g1());
+        let out2 = evaluate(&p, &figure_2_g2());
+        assert_eq!(out1, mapping_set(&[&[("X", "Juan")]]));
+        assert_eq!(out2, mapping_set(&[&[("X", "Juan"), ("Y", "juan@puc.cl")]]));
+        // Not monotone ...
+        assert!(!out1.subset_of(&out2));
+        // ... but the answers are subsumption-covered (weak monotonicity).
+        assert!(out1.subsumed_by(&out2));
+    }
+
+    /// Example 3.3: the non-weakly-monotone pattern.
+    #[test]
+    fn example_3_3_weak_monotonicity_failure() {
+        let p = Pattern::t("?X", "was_born_in", "Chile").and(
+            Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")),
+        );
+        let out1 = evaluate(&p, &figure_2_g1());
+        let out2 = evaluate(&p, &figure_2_g2());
+        assert_eq!(out1, mapping_set(&[&[("X", "Juan"), ("Y", "Juan")]]));
+        assert!(out2.is_empty());
+        assert!(!out1.subsumed_by(&out2));
+    }
+
+    #[test]
+    fn filter_semantics() {
+        let g = graph_from(&[("a", "p", "b"), ("c", "p", "d")]);
+        let p = Pattern::t("?x", "p", "?y").filter(Condition::eq_const("x", "a"));
+        assert_eq!(
+            evaluate(&p, &g),
+            mapping_set(&[&[("x", "a"), ("y", "b")]])
+        );
+    }
+
+    #[test]
+    fn ns_keeps_maximal_answers() {
+        // NS((?x,a,b) UNION ((?x,a,b) AND (?x,c,?y))) — the OPT simulation.
+        let g = graph_from(&[("1", "a", "b"), ("1", "c", "2"), ("3", "a", "b")]);
+        let base = Pattern::t("?x", "a", "b");
+        let p = base.clone().union(base.and(Pattern::t("?x", "c", "?y"))).ns();
+        assert_eq!(
+            evaluate(&p, &g),
+            mapping_set(&[&[("x", "1"), ("y", "2")], &[("x", "3")]])
+        );
+    }
+
+    #[test]
+    fn minus_direct_semantics() {
+        let g = graph_from(&[("1", "a", "b"), ("2", "a", "b"), ("1", "c", "d")]);
+        let p = Pattern::t("?x", "a", "b").minus(Pattern::t("?x", "c", "d"));
+        assert_eq!(evaluate(&p, &g), mapping_set(&[&[("x", "2")]]));
+    }
+
+    #[test]
+    fn minus_desugaring_agrees_with_direct() {
+        let g = graph_from(&[("1", "a", "b"), ("2", "a", "b"), ("1", "c", "d")]);
+        let p = Pattern::t("?x", "a", "b").minus(Pattern::t("?x", "c", "d"));
+        assert_eq!(evaluate(&p, &g), evaluate(&p.desugar_minus(), &g));
+        // Also on the empty graph and a graph where the right side is empty.
+        let g2 = graph_from(&[("1", "a", "b")]);
+        assert_eq!(evaluate(&p, &g2), evaluate(&p.desugar_minus(), &g2));
+        assert_eq!(
+            evaluate(&p, &Graph::new()),
+            evaluate(&p.desugar_minus(), &Graph::new())
+        );
+    }
+
+    #[test]
+    fn select_projects() {
+        let g = graph_from(&[("a", "p", "b")]);
+        let p = Pattern::t("?x", "p", "?y").select(["?y"]);
+        assert_eq!(evaluate(&p, &g), mapping_set(&[&[("y", "b")]]));
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_for_triples() {
+        assert!(evaluate(&Pattern::t("?x", "p", "?y"), &Graph::new()).is_empty());
+        // But OPT over an empty mandatory side is empty too.
+        let p = Pattern::t("?x", "p", "?y").opt(Pattern::t("?x", "q", "?z"));
+        assert!(evaluate(&p, &Graph::new()).is_empty());
+    }
+
+    #[test]
+    fn ground_triple_pattern_yields_empty_mapping() {
+        let g = graph_from(&[("a", "p", "b")]);
+        let out = evaluate(&Pattern::t("a", "p", "b"), &g);
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&Mapping::new()));
+    }
+}

@@ -1,0 +1,260 @@
+//! Cardinality constraints via the sequential-counter encoding.
+//!
+//! The MAX-ODD-SAT reduction (Theorem 7.3 / Appendix I) needs, for a
+//! formula `φ` over `m` variables, the family `φ_k = φ ∧ "at least k
+//! variables true"`. The paper invokes Cook's theorem for `φ_k`; the
+//! implementable substitute (documented in DESIGN.md) is a direct
+//! cardinality encoding, which is satisfiability-equivalent: `φ_k` is
+//! satisfiable iff some model of `φ` sets at least `k` variables true.
+//!
+//! The encoding introduces counter variables `s[i][j]` ("among the
+//! first `i` literals at least `j` hold") with the one-directional
+//! clauses sufficient for equisatisfiability.
+
+use crate::cnf::{Cnf, Lit};
+
+/// Appends clauses to `cnf` enforcing that at least `k` of `lits` hold.
+///
+/// Auxiliary variables are allocated from `cnf`; the constraint is
+/// equisatisfiable (every assignment with `≥ k` true literals extends
+/// to a model of the new clauses, and every model has `≥ k` true
+/// literals).
+pub fn at_least_k(cnf: &mut Cnf, lits: &[Lit], k: usize) {
+    let n = lits.len();
+    if k == 0 {
+        return;
+    }
+    if k > n {
+        cnf.add_clause(vec![]); // unsatisfiable
+        return;
+    }
+    // s[i][j] for 0 <= i <= n, 0 <= j <= k: among the first i literals
+    // at least j hold.
+    let s: Vec<Vec<usize>> = (0..=n)
+        .map(|_| (0..=k).map(|_| cnf.fresh_var()).collect())
+        .collect();
+    // Base: s[0][0] true, s[0][j] false for j >= 1.
+    cnf.add_clause(vec![Lit::pos(s[0][0])]);
+    for &sj in s[0].iter().skip(1) {
+        cnf.add_clause(vec![Lit::neg(sj)]);
+    }
+    // s[i][0] is true for every i.
+    for si in s.iter().skip(1) {
+        cnf.add_clause(vec![Lit::pos(si[0])]);
+    }
+    // s[i][j] -> s[i-1][j] ∨ (lit_{i-1} ∧ s[i-1][j-1])
+    for i in 1..=n {
+        for j in 1..=k {
+            cnf.add_clause(vec![Lit::neg(s[i][j]), Lit::pos(s[i - 1][j]), lits[i - 1]]);
+            cnf.add_clause(vec![
+                Lit::neg(s[i][j]),
+                Lit::pos(s[i - 1][j]),
+                Lit::pos(s[i - 1][j - 1]),
+            ]);
+        }
+    }
+    // Demand the full count.
+    cnf.add_clause(vec![Lit::pos(s[n][k])]);
+}
+
+/// A *direct* (auxiliary-free) formula asserting that at least `k` of
+/// the variables `vars` are true: the disjunction over all `k`-subsets
+/// of their conjunctions.
+///
+/// Size is `C(n, k)` conjunctions — exponential in general, but free of
+/// fresh variables, which is what the SPARQL reduction gadgets need
+/// (every formula variable becomes a pattern variable there, and
+/// evaluation is exponential in the pattern's variable count; trading
+/// formula size for variable count is the right call at reduction
+/// scale). Capped at `n ≤ 16`.
+pub fn at_least_k_formula(vars: &[usize], k: usize) -> crate::formula::Formula {
+    use crate::formula::Formula;
+    let n = vars.len();
+    assert!(n <= 16, "direct cardinality formula capped at 16 variables");
+    if k == 0 {
+        return Formula::True;
+    }
+    if k > n {
+        return Formula::False;
+    }
+    let mut disjuncts = Vec::new();
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize != k {
+            continue;
+        }
+        disjuncts.push(Formula::conj(
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| Formula::var(vars[i])),
+        ));
+    }
+    Formula::disj(disjuncts)
+}
+
+/// Appends clauses enforcing that at most `k` of `lits` hold
+/// (encoded as "at least `n − k` of the negations hold").
+pub fn at_most_k(cnf: &mut Cnf, lits: &[Lit], k: usize) {
+    let negated: Vec<Lit> = lits.iter().map(|l| l.negated()).collect();
+    let n = lits.len();
+    if k >= n {
+        return;
+    }
+    at_least_k(cnf, &negated, n - k);
+}
+
+/// Appends clauses enforcing that exactly `k` of `lits` hold.
+pub fn exactly_k(cnf: &mut Cnf, lits: &[Lit], k: usize) {
+    at_least_k(cnf, lits, k);
+    at_most_k(cnf, lits, k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll::{solve, Solution};
+
+    /// Counts the true original variables in a model.
+    fn count_true(model: &[bool], n: usize) -> usize {
+        model[..n].iter().filter(|&&b| b).count()
+    }
+
+    fn vars_as_lits(n: usize) -> Vec<Lit> {
+        (0..n).map(Lit::pos).collect()
+    }
+
+    #[test]
+    fn at_least_k_is_satisfiable_when_possible() {
+        for n in 1..=5usize {
+            for k in 0..=n {
+                let mut cnf = Cnf::new(n);
+                at_least_k(&mut cnf, &vars_as_lits(n), k);
+                match solve(&cnf) {
+                    Solution::Sat(m) => assert!(
+                        count_true(&m, n) >= k,
+                        "n={n}, k={k}: model has too few true vars"
+                    ),
+                    Solution::Unsat => panic!("n={n}, k={k} should be satisfiable"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_more_than_n_is_unsat() {
+        let mut cnf = Cnf::new(3);
+        at_least_k(&mut cnf, &vars_as_lits(3), 4);
+        assert_eq!(solve(&cnf), Solution::Unsat);
+    }
+
+    #[test]
+    fn at_least_k_blocks_small_counts() {
+        // Force x1 and x2 false; demand >= 2 of 3: only x0 left → unsat.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::neg(1)]);
+        cnf.add_clause(vec![Lit::neg(2)]);
+        at_least_k(&mut cnf, &vars_as_lits(3), 2);
+        assert_eq!(solve(&cnf), Solution::Unsat);
+    }
+
+    #[test]
+    fn at_most_k_blocks_large_counts() {
+        // Force all three true; demand <= 2 → unsat.
+        let mut cnf = Cnf::new(3);
+        for v in 0..3 {
+            cnf.add_clause(vec![Lit::pos(v)]);
+        }
+        at_most_k(&mut cnf, &vars_as_lits(3), 2);
+        assert_eq!(solve(&cnf), Solution::Unsat);
+
+        // <= 3 is free.
+        let mut cnf2 = Cnf::new(3);
+        for v in 0..3 {
+            cnf2.add_clause(vec![Lit::pos(v)]);
+        }
+        at_most_k(&mut cnf2, &vars_as_lits(3), 3);
+        assert!(solve(&cnf2).is_sat());
+    }
+
+    #[test]
+    fn exactly_k_pins_the_count() {
+        for k in 0..=4usize {
+            let mut cnf = Cnf::new(4);
+            exactly_k(&mut cnf, &vars_as_lits(4), k);
+            match solve(&cnf) {
+                Solution::Sat(m) => assert_eq!(count_true(&m, 4), k, "k={k}"),
+                Solution::Unsat => panic!("exactly {k} of 4 should be satisfiable"),
+            }
+        }
+    }
+
+    #[test]
+    fn works_over_negative_literals() {
+        // At least 2 of {¬x0, ¬x1, ¬x2} with x0 forced true:
+        // x1 and x2 must be false.
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(vec![Lit::pos(0)]);
+        let lits: Vec<Lit> = (0..3).map(Lit::neg).collect();
+        at_least_k(&mut cnf, &lits, 2);
+        match solve(&cnf) {
+            Solution::Sat(m) => {
+                assert!(m[0]);
+                assert!(!m[1] && !m[2]);
+            }
+            Solution::Unsat => panic!("should be satisfiable"),
+        }
+    }
+
+    #[test]
+    fn direct_formula_matches_count() {
+        use super::at_least_k_formula;
+        let vars = [0, 1, 2, 3];
+        for k in 0..=5usize {
+            let f = at_least_k_formula(&vars, k);
+            for mask in 0u32..16 {
+                let a: Vec<bool> = (0..4).map(|i| mask & (1 << i) != 0).collect();
+                assert_eq!(
+                    f.eval(&a),
+                    (mask.count_ones() as usize) >= k,
+                    "mask={mask:04b}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn direct_formula_on_scattered_vars() {
+        use super::at_least_k_formula;
+        // Variables need not be contiguous.
+        let f = at_least_k_formula(&[1, 3], 2);
+        assert!(f.eval(&[false, true, false, true]));
+        assert!(!f.eval(&[true, true, true, false]));
+    }
+
+    /// Exhaustive correctness on all assignments for small n: the
+    /// constraint is exactly "count >= k" after projecting away the
+    /// auxiliaries (checked via satisfiability of the constraint
+    /// conjoined with a forced assignment of the originals).
+    #[test]
+    fn exhaustive_projection_check() {
+        let n = 4usize;
+        for k in 0..=n {
+            for mask in 0u32..(1 << n) {
+                let mut cnf = Cnf::new(n);
+                for v in 0..n {
+                    if mask & (1 << v) != 0 {
+                        cnf.add_clause(vec![Lit::pos(v)]);
+                    } else {
+                        cnf.add_clause(vec![Lit::neg(v)]);
+                    }
+                }
+                at_least_k(&mut cnf, &vars_as_lits(n), k);
+                let expected = (mask.count_ones() as usize) >= k;
+                assert_eq!(
+                    solve(&cnf).is_sat(),
+                    expected,
+                    "mask={mask:04b}, k={k}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Clausal form: literals, clauses, CNF formulas, and the Tseitin
+//! transform from [`crate::formula::Formula`] trees.
+
+use crate::formula::Formula;
+use std::fmt;
+
+/// A literal: a variable index with a sign.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    /// Variable index.
+    pub var: usize,
+    /// `true` for the positive literal `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// The positive literal of variable `var`.
+    pub fn pos(var: usize) -> Lit {
+        Lit { var, positive: true }
+    }
+
+    /// The negative literal of variable `var`.
+    pub fn neg(var: usize) -> Lit {
+        Lit { var, positive: false }
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Evaluates under an assignment.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula: a conjunction of clauses over `num_vars` variables.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables (indices `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// An empty (trivially true) CNF over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Cnf {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Adds a clause, growing `num_vars` as needed.
+    pub fn add_clause(&mut self, clause: Clause) {
+        for lit in &clause {
+            self.num_vars = self.num_vars.max(lit.var + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn fresh_var(&mut self) -> usize {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Evaluates under a total assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| l.eval(assignment)))
+    }
+
+    /// Converts to a [`Formula`] tree (e.g. for embedding in a FILTER).
+    pub fn to_formula(&self) -> Formula {
+        Formula::conj(self.clauses.iter().map(|c| {
+            Formula::disj(c.iter().map(|l| {
+                if l.positive {
+                    Formula::var(l.var)
+                } else {
+                    Formula::var(l.var).not()
+                }
+            }))
+        }))
+    }
+}
+
+/// Tseitin transform: an equisatisfiable CNF for `f`.
+///
+/// The original variables `0..f.num_vars()` keep their indices; fresh
+/// definition variables are appended, so a satisfying assignment of the
+/// result restricted to the original indices satisfies `f`, and every
+/// model of `f` extends to a model of the result.
+pub fn tseitin(f: &Formula) -> Cnf {
+    let mut cnf = Cnf::new(f.num_vars());
+    let root = encode(f, &mut cnf);
+    cnf.add_clause(vec![root]);
+    cnf
+}
+
+/// Encodes `f` into `cnf`, returning a literal equivalent to `f`.
+fn encode(f: &Formula, cnf: &mut Cnf) -> Lit {
+    match f {
+        Formula::True => {
+            // A fresh variable forced true.
+            let v = cnf.fresh_var();
+            cnf.add_clause(vec![Lit::pos(v)]);
+            Lit::pos(v)
+        }
+        Formula::False => {
+            let v = cnf.fresh_var();
+            cnf.add_clause(vec![Lit::neg(v)]);
+            Lit::pos(v)
+        }
+        Formula::Var(i) => Lit::pos(*i),
+        Formula::Not(inner) => encode(inner, cnf).negated(),
+        Formula::And(a, b) => {
+            let la = encode(a, cnf);
+            let lb = encode(b, cnf);
+            let v = cnf.fresh_var();
+            let lv = Lit::pos(v);
+            // v ↔ (la ∧ lb)
+            cnf.add_clause(vec![lv.negated(), la]);
+            cnf.add_clause(vec![lv.negated(), lb]);
+            cnf.add_clause(vec![la.negated(), lb.negated(), lv]);
+            lv
+        }
+        Formula::Or(a, b) => {
+            let la = encode(a, cnf);
+            let lb = encode(b, cnf);
+            let v = cnf.fresh_var();
+            let lv = Lit::pos(v);
+            // v ↔ (la ∨ lb)
+            cnf.add_clause(vec![lv.negated(), la, lb]);
+            cnf.add_clause(vec![la.negated(), lv]);
+            cnf.add_clause(vec![lb.negated(), lv]);
+            lv
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_basics() {
+        let l = Lit::pos(2);
+        assert!(l.eval(&[false, false, true]));
+        assert!(!l.negated().eval(&[false, false, true]));
+        assert_eq!(l.negated().negated(), l);
+        assert_eq!(format!("{:?}", Lit::neg(1)), "¬x1");
+    }
+
+    #[test]
+    fn cnf_eval() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0), Lit::pos(1)]);
+        cnf.add_clause(vec![Lit::neg(0)]);
+        assert!(cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[false, false]));
+    }
+
+    #[test]
+    fn add_clause_grows_vars() {
+        let mut cnf = Cnf::new(0);
+        cnf.add_clause(vec![Lit::pos(5)]);
+        assert_eq!(cnf.num_vars, 6);
+    }
+
+    #[test]
+    fn tseitin_equisatisfiable() {
+        // For a sample of formulas, check: f sat ⟺ tseitin(f) sat, and
+        // models of tseitin(f) restrict to models of f.
+        let formulas = vec![
+            Formula::var(0).and(Formula::var(1)),
+            Formula::var(0).and(Formula::var(0).not()),
+            Formula::var(0).or(Formula::var(1)).and(Formula::var(0).not()),
+            Formula::var(0)
+                .or(Formula::var(1))
+                .and(Formula::var(0).not().or(Formula::var(1).not())),
+            Formula::True,
+            Formula::False,
+            Formula::var(2).not().not(),
+        ];
+        for f in formulas {
+            let n = f.num_vars();
+            let cnf = tseitin(&f);
+            let direct = f.satisfiable_brute_force(n).is_some();
+            // Brute-force the CNF (small enough here).
+            let mut cnf_sat = false;
+            let total = cnf.num_vars;
+            assert!(total <= 20);
+            for mask in 0u32..(1 << total) {
+                let a: Vec<bool> = (0..total).map(|i| mask & (1 << i) != 0).collect();
+                if cnf.eval(&a) {
+                    cnf_sat = true;
+                    assert!(f.eval(&a[..n.max(1).min(a.len())]) || n == 0 || f.eval(&a));
+                    break;
+                }
+            }
+            assert_eq!(direct, cnf_sat, "formula {f}");
+        }
+    }
+
+    #[test]
+    fn to_formula_roundtrip_semantics() {
+        let mut cnf = Cnf::new(2);
+        cnf.add_clause(vec![Lit::pos(0), Lit::neg(1)]);
+        let f = cnf.to_formula();
+        for mask in 0..4u32 {
+            let a = vec![mask & 1 != 0, mask & 2 != 0];
+            assert_eq!(cnf.eval(&a), f.eval(&a));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Graph coloring: undirected graphs, SAT encodings, and chromatic
+//! numbers.
+//!
+//! Theorem 7.2 proves BH₂ₖ-hardness of `Eval(USP–SPARQLₖ)` by reduction
+//! from **Exact-Mₖ-Colorability** — deciding whether the chromatic
+//! number `χ(H)` of a graph `H` lies in the set
+//! `Mₖ = {6k+1, 6k+3, …, 8k−1}`. The reduction's inner step is the
+//! observation that `χ(H) = m` iff "`H` is m-colorable" (SAT) and
+//! "`H` is (m−1)-colorable" is false (UNSAT) — i.e. a SAT-UNSAT pair of
+//! coloring encodings. This module supplies the graphs, the encoding,
+//! and a reference chromatic-number computation used to verify the
+//! reduction end-to-end on small instances.
+
+use crate::cnf::{Cnf, Lit};
+use crate::dpll::{solve, Solution};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A simple undirected graph on vertices `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UGraph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edge set (stored with `u < v`).
+    pub edges: BTreeSet<(usize, usize)>,
+}
+
+impl UGraph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> UGraph {
+        UGraph {
+            n,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Adds an undirected edge (self-loops are rejected).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u != v, "self-loops make a graph uncolorable");
+        assert!(u < self.n && v < self.n);
+        self.edges.insert((u.min(v), u.max(v)));
+    }
+
+    /// The complete graph `K_n` (chromatic number `n`).
+    pub fn complete(n: usize) -> UGraph {
+        let mut g = UGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// A cycle `C_n` (chromatic number 2 if even, 3 if odd; `n >= 3`).
+    pub fn cycle(n: usize) -> UGraph {
+        assert!(n >= 3);
+        let mut g = UGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    /// Erdős–Rényi random graph with edge probability `p`.
+    pub fn random(n: usize, p: f64, seed: u64) -> UGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = UGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(p) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// The disjoint union of `self` and `other` (chromatic number is
+    /// the max of the two) — handy for building graphs with prescribed
+    /// chromatic numbers.
+    pub fn disjoint_union(&self, other: &UGraph) -> UGraph {
+        let mut g = UGraph::new(self.n + other.n);
+        g.edges.extend(self.edges.iter().copied());
+        g.edges
+            .extend(other.edges.iter().map(|&(u, v)| (u + self.n, v + self.n)));
+        g
+    }
+
+    /// `true` iff `colors` (one entry per vertex, values `< k` not
+    /// required) is a proper coloring.
+    pub fn is_proper_coloring(&self, colors: &[usize]) -> bool {
+        colors.len() == self.n && self.edges.iter().all(|&(u, v)| colors[u] != colors[v])
+    }
+}
+
+/// The SAT encoding of "`g` is `k`-colorable": variable `v·k + c` means
+/// "vertex `v` has color `c`"; each vertex gets at least one color and
+/// adjacent vertices never share one.
+pub fn coloring_cnf(g: &UGraph, k: usize) -> Cnf {
+    let var = |v: usize, c: usize| v * k + c;
+    let mut cnf = Cnf::new(g.n * k);
+    for v in 0..g.n {
+        cnf.add_clause((0..k).map(|c| Lit::pos(var(v, c))).collect());
+    }
+    for &(u, v) in &g.edges {
+        for c in 0..k {
+            cnf.add_clause(vec![Lit::neg(var(u, c)), Lit::neg(var(v, c))]);
+        }
+    }
+    cnf
+}
+
+/// Decides `k`-colorability via the SAT encoding, returning a proper
+/// coloring when one exists.
+pub fn k_colorable(g: &UGraph, k: usize) -> Option<Vec<usize>> {
+    if g.n == 0 {
+        return Some(Vec::new());
+    }
+    if k == 0 {
+        return None;
+    }
+    match solve(&coloring_cnf(g, k)) {
+        Solution::Sat(m) => {
+            let colors: Vec<usize> = (0..g.n)
+                .map(|v| (0..k).find(|&c| m[v * k + c]).expect("vertex must have a color"))
+                .collect();
+            debug_assert!(g.is_proper_coloring(&colors));
+            Some(colors)
+        }
+        Solution::Unsat => None,
+    }
+}
+
+/// The chromatic number `χ(g)` (0 for the empty graph), by incremental
+/// SAT calls.
+pub fn chromatic_number(g: &UGraph) -> usize {
+    if g.n == 0 {
+        return 0;
+    }
+    (1..=g.n)
+        .find(|&k| k_colorable(g, k).is_some())
+        .expect("every graph is n-colorable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_chromatic_number() {
+        for n in 1..=5 {
+            assert_eq!(chromatic_number(&UGraph::complete(n)), n);
+        }
+    }
+
+    #[test]
+    fn cycle_chromatic_numbers() {
+        assert_eq!(chromatic_number(&UGraph::cycle(4)), 2);
+        assert_eq!(chromatic_number(&UGraph::cycle(5)), 3);
+        assert_eq!(chromatic_number(&UGraph::cycle(6)), 2);
+        assert_eq!(chromatic_number(&UGraph::cycle(7)), 3);
+    }
+
+    #[test]
+    fn edgeless_graph_is_1_colorable() {
+        assert_eq!(chromatic_number(&UGraph::new(5)), 1);
+        assert_eq!(chromatic_number(&UGraph::new(0)), 0);
+    }
+
+    #[test]
+    fn k_colorable_returns_proper_colorings() {
+        let g = UGraph::random(8, 0.4, 11);
+        let chi = chromatic_number(&g);
+        let coloring = k_colorable(&g, chi).unwrap();
+        assert!(g.is_proper_coloring(&coloring));
+        if chi > 1 {
+            assert!(k_colorable(&g, chi - 1).is_none());
+        }
+    }
+
+    #[test]
+    fn disjoint_union_takes_max() {
+        let g = UGraph::complete(4).disjoint_union(&UGraph::cycle(5));
+        assert_eq!(chromatic_number(&g), 4);
+        assert_eq!(g.n, 9);
+    }
+
+    #[test]
+    fn coloring_cnf_shape() {
+        let g = UGraph::complete(3);
+        let cnf = coloring_cnf(&g, 2);
+        // 3 at-least-one clauses + 3 edges × 2 colors conflict clauses.
+        assert_eq!(cnf.clauses.len(), 3 + 6);
+        assert_eq!(cnf.num_vars, 6);
+        // K3 is not 2-colorable.
+        assert!(k_colorable(&g, 2).is_none());
+        assert!(k_colorable(&g, 3).is_some());
+    }
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        assert_eq!(UGraph::random(6, 0.5, 3), UGraph::random(6, 0.5, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        UGraph::new(2).add_edge(1, 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! A complete DPLL SAT solver.
+//!
+//! Classic Davis–Putnam–Logemann–Loveland with unit propagation,
+//! pure-literal elimination, and most-occurrences branching. It is the
+//! ground-truth oracle against which all of the paper's reductions are
+//! verified (a reduction instance is *correct* when the engine's answer
+//! over the constructed RDF graph matches the solver's answer on the
+//! source formula), so the solver itself is validated against
+//! brute-force enumeration on thousands of random small formulas.
+
+use crate::cnf::{Cnf, Lit};
+use crate::formula::Formula;
+
+/// The result of a satisfiability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Solution {
+    /// Satisfiable, with a witnessing total assignment.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl Solution {
+    /// `true` iff satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Solution::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            Solution::Sat(m) => Some(m),
+            Solution::Unsat => None,
+        }
+    }
+}
+
+/// Solves a CNF formula.
+pub fn solve(cnf: &Cnf) -> Solution {
+    let mut assignment: Vec<Option<bool>> = vec![None; cnf.num_vars];
+    if dpll(cnf, &mut assignment) {
+        Solution::Sat(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+    } else {
+        Solution::Unsat
+    }
+}
+
+/// Solves a formula tree via the Tseitin transform; the returned model
+/// (if any) is restricted to the formula's original variables.
+pub fn solve_formula(f: &Formula) -> Solution {
+    let n = f.num_vars();
+    match solve(&crate::cnf::tseitin(f)) {
+        Solution::Sat(m) => {
+            let mut model = m;
+            model.truncate(n);
+            model.resize(n, false);
+            debug_assert!(f.eval(&model));
+            Solution::Sat(model)
+        }
+        Solution::Unsat => Solution::Unsat,
+    }
+}
+
+/// Clause state under a partial assignment.
+enum ClauseState {
+    Satisfied,
+    /// All literals false.
+    Conflict,
+    /// Exactly one literal unassigned, the rest false.
+    Unit(Lit),
+    /// Two or more literals unassigned.
+    Open,
+}
+
+fn clause_state(clause: &[Lit], assignment: &[Option<bool>]) -> ClauseState {
+    let mut unassigned: Option<Lit> = None;
+    let mut unassigned_count = 0;
+    for &lit in clause {
+        match assignment[lit.var] {
+            Some(v) if v == lit.positive => return ClauseState::Satisfied,
+            Some(_) => {}
+            None => {
+                unassigned = Some(lit);
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => ClauseState::Conflict,
+        1 => ClauseState::Unit(unassigned.expect("counted one unassigned literal")),
+        _ => ClauseState::Open,
+    }
+}
+
+/// Unit propagation to fixpoint. Returns `false` on conflict; records
+/// the variables it assigned in `trail` so the caller can undo them.
+fn propagate(cnf: &Cnf, assignment: &mut [Option<bool>], trail: &mut Vec<usize>) -> bool {
+    loop {
+        let mut changed = false;
+        for clause in &cnf.clauses {
+            match clause_state(clause, assignment) {
+                ClauseState::Conflict => return false,
+                ClauseState::Unit(lit) => {
+                    assignment[lit.var] = Some(lit.positive);
+                    trail.push(lit.var);
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+/// Pure-literal elimination: assigns variables occurring with only one
+/// polarity among not-yet-satisfied clauses.
+fn assign_pure_literals(cnf: &Cnf, assignment: &mut [Option<bool>], trail: &mut Vec<usize>) {
+    let n = assignment.len();
+    let mut pos = vec![false; n];
+    let mut neg = vec![false; n];
+    for clause in &cnf.clauses {
+        if matches!(clause_state(clause, assignment), ClauseState::Satisfied) {
+            continue;
+        }
+        for &lit in clause {
+            if assignment[lit.var].is_none() {
+                if lit.positive {
+                    pos[lit.var] = true;
+                } else {
+                    neg[lit.var] = true;
+                }
+            }
+        }
+    }
+    for v in 0..n {
+        if assignment[v].is_none() && (pos[v] ^ neg[v]) {
+            assignment[v] = Some(pos[v]);
+            trail.push(v);
+        }
+    }
+}
+
+/// Branching heuristic: the unassigned variable occurring in the most
+/// unsatisfied clauses.
+fn pick_branch_var(cnf: &Cnf, assignment: &[Option<bool>]) -> Option<usize> {
+    let mut counts = vec![0usize; assignment.len()];
+    for clause in &cnf.clauses {
+        if matches!(clause_state(clause, assignment), ClauseState::Satisfied) {
+            continue;
+        }
+        for &lit in clause {
+            if assignment[lit.var].is_none() {
+                counts[lit.var] += 1;
+            }
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .filter(|&(v, _)| assignment[v].is_none())
+        .max_by_key(|&(_, c)| *c)
+        .map(|(v, _)| v)
+}
+
+fn undo(assignment: &mut [Option<bool>], trail: &[usize], from: usize) {
+    for &v in &trail[from..] {
+        assignment[v] = None;
+    }
+}
+
+fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
+    let mut trail = Vec::new();
+    if !propagate(cnf, assignment, &mut trail) {
+        undo(assignment, &trail, 0);
+        return false;
+    }
+    assign_pure_literals(cnf, assignment, &mut trail);
+
+    // Done when every clause is satisfied.
+    let all_satisfied = cnf
+        .clauses
+        .iter()
+        .all(|c| matches!(clause_state(c, assignment), ClauseState::Satisfied));
+    if all_satisfied {
+        return true;
+    }
+
+    let Some(v) = pick_branch_var(cnf, assignment) else {
+        // No unassigned variable left but some clause unsatisfied.
+        undo(assignment, &trail, 0);
+        return false;
+    };
+
+    for value in [true, false] {
+        assignment[v] = Some(value);
+        if dpll(cnf, assignment) {
+            return true;
+        }
+        assignment[v] = None;
+    }
+    undo(assignment, &trail, 0);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::tseitin;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn clause(lits: &[i64]) -> Vec<Lit> {
+        lits.iter()
+            .map(|&l| {
+                if l > 0 {
+                    Lit::pos(l as usize - 1)
+                } else {
+                    Lit::neg((-l) as usize - 1)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut sat = Cnf::new(1);
+        sat.add_clause(clause(&[1]));
+        assert!(solve(&sat).is_sat());
+
+        let mut unsat = Cnf::new(1);
+        unsat.add_clause(clause(&[1]));
+        unsat.add_clause(clause(&[-1]));
+        assert_eq!(solve(&unsat), Solution::Unsat);
+    }
+
+    #[test]
+    fn empty_cnf_is_sat() {
+        assert!(solve(&Cnf::new(3)).is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut cnf = Cnf::new(1);
+        cnf.add_clause(vec![]);
+        assert_eq!(solve(&cnf), Solution::Unsat);
+    }
+
+    #[test]
+    fn models_actually_satisfy() {
+        let mut cnf = Cnf::new(4);
+        cnf.add_clause(clause(&[1, 2]));
+        cnf.add_clause(clause(&[-1, 3]));
+        cnf.add_clause(clause(&[-2, 4]));
+        cnf.add_clause(clause(&[-3, -4]));
+        match solve(&cnf) {
+            Solution::Sat(m) => assert!(cnf.eval(&m)),
+            Solution::Unsat => panic!("expected satisfiable"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_{i,j}: pigeon i in hole j. 3 pigeons, 2 holes.
+        let var = |i: usize, j: usize| i * 2 + j;
+        let mut cnf = Cnf::new(6);
+        for i in 0..3 {
+            cnf.add_clause(vec![Lit::pos(var(i, 0)), Lit::pos(var(i, 1))]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    cnf.add_clause(vec![Lit::neg(var(i1, j)), Lit::neg(var(i2, j))]);
+                }
+            }
+        }
+        assert_eq!(solve(&cnf), Solution::Unsat);
+    }
+
+    /// Differential test against brute force on random 3-CNFs.
+    #[test]
+    fn random_cnfs_match_brute_force() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..400 {
+            let n = rng.gen_range(1..=8usize);
+            let m = rng.gen_range(0..=(3 * n));
+            let mut cnf = Cnf::new(n);
+            for _ in 0..m {
+                let k = rng.gen_range(1..=3usize);
+                let c: Vec<Lit> = (0..k)
+                    .map(|_| {
+                        let v = rng.gen_range(0..n);
+                        if rng.gen_bool(0.5) {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        }
+                    })
+                    .collect();
+                cnf.add_clause(c);
+            }
+            let brute = (0u32..(1 << n)).any(|mask| {
+                let a: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+                cnf.eval(&a)
+            });
+            let solved = solve(&cnf);
+            assert_eq!(solved.is_sat(), brute, "cnf {cnf:?}");
+            if let Solution::Sat(m) = solved {
+                assert!(cnf.eval(&m));
+            }
+        }
+    }
+
+    /// Formula-level solving through Tseitin matches formula brute force.
+    #[test]
+    fn solve_formula_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let f = random_formula(&mut rng, 3);
+            let n = f.num_vars();
+            let brute = f.satisfiable_brute_force(n.clamp(1, 10)).is_some();
+            let solved = solve_formula(&f);
+            assert_eq!(solved.is_sat(), brute, "formula {f}");
+            if let Solution::Sat(m) = solved {
+                assert!(f.eval(&m) || n == 0);
+            }
+        }
+    }
+
+    fn random_formula(rng: &mut StdRng, depth: usize) -> Formula {
+        if depth == 0 {
+            return Formula::var(rng.gen_range(0..5));
+        }
+        match rng.gen_range(0..4) {
+            0 => random_formula(rng, depth - 1).not(),
+            1 => random_formula(rng, depth - 1).and(random_formula(rng, depth - 1)),
+            2 => random_formula(rng, depth - 1).or(random_formula(rng, depth - 1)),
+            _ => Formula::var(rng.gen_range(0..5)),
+        }
+    }
+
+    #[test]
+    fn tseitin_plus_dpll_on_deep_formula() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ x2) ∧ ¬x2 ∧ ¬x1 is unsat.
+        let f = Formula::var(0)
+            .or(Formula::var(1))
+            .and(Formula::var(0).not().or(Formula::var(2)))
+            .and(Formula::var(2).not())
+            .and(Formula::var(1).not());
+        assert_eq!(solve(&tseitin(&f)), Solution::Unsat);
+    }
+}

@@ -1,0 +1,135 @@
+//! Complete model enumeration via DPLL with blocking clauses.
+//!
+//! The reduction tests need an oracle stronger than "is there a model":
+//! the SAT gadget's answer set must be *exactly* the set of models
+//! (Lemma G.1's interface). [`all_models`] enumerates every model of a
+//! CNF restricted to a chosen prefix of "interesting" variables by
+//! repeatedly solving and adding a clause blocking the found
+//! restriction.
+
+use crate::cnf::{Cnf, Lit};
+use crate::dpll::{solve, Solution};
+use crate::formula::Formula;
+use std::collections::BTreeSet;
+
+/// Enumerates the distinct restrictions to variables `0..num_vars` of
+/// all models of `cnf`. The result is sorted (as bit-vectors).
+///
+/// Capped at `limit` models to keep runaway enumerations visible;
+/// returns `None` if the cap is hit.
+pub fn all_models(cnf: &Cnf, num_vars: usize, limit: usize) -> Option<BTreeSet<Vec<bool>>> {
+    assert!(num_vars <= cnf.num_vars.max(num_vars));
+    let mut working = cnf.clone();
+    working.num_vars = working.num_vars.max(num_vars);
+    let mut found = BTreeSet::new();
+    loop {
+        match solve(&working) {
+            Solution::Unsat => return Some(found),
+            Solution::Sat(model) => {
+                let restricted: Vec<bool> = (0..num_vars)
+                    .map(|v| model.get(v).copied().unwrap_or(false))
+                    .collect();
+                // Block this restriction.
+                let clause: Vec<Lit> = restricted
+                    .iter()
+                    .enumerate()
+                    .map(|(v, &b)| if b { Lit::neg(v) } else { Lit::pos(v) })
+                    .collect();
+                if clause.is_empty() {
+                    // Zero interesting variables: one model class.
+                    found.insert(Vec::new());
+                    return Some(found);
+                }
+                working.add_clause(clause);
+                found.insert(restricted);
+                if found.len() > limit {
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Enumerates all models of a formula over its first `num_vars`
+/// variables (through the Tseitin transform).
+pub fn all_models_formula(
+    f: &Formula,
+    num_vars: usize,
+    limit: usize,
+) -> Option<BTreeSet<Vec<bool>>> {
+    // Tseitin allocates auxiliaries starting at `f.num_vars()`; when the
+    // enumeration range is wider than the formula, pad the formula with
+    // a tautology mentioning the last variable so the auxiliaries land
+    // strictly above the range.
+    let padded;
+    let f = if num_vars > 0 && f.num_vars() < num_vars {
+        let last = Formula::var(num_vars - 1);
+        padded = f.clone().and(last.clone().or(last.not()));
+        &padded
+    } else {
+        f
+    };
+    all_models(&crate::cnf::tseitin(f), num_vars, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_or() {
+        let f = Formula::var(0).or(Formula::var(1));
+        let models = all_models_formula(&f, 2, 100).unwrap();
+        assert_eq!(models.len(), 3);
+        assert!(!models.contains(&vec![false, false]));
+    }
+
+    #[test]
+    fn enumerates_unsat_as_empty() {
+        let f = Formula::var(0).and(Formula::var(0).not());
+        assert_eq!(all_models_formula(&f, 1, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force_counts() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..60 {
+            let f = random_formula(&mut rng, 3);
+            let n = 4usize;
+            let enumerated = all_models_formula(&f, n, 64).unwrap();
+            let brute = f.count_models(n);
+            assert_eq!(enumerated.len(), brute, "{f}");
+            for m in &enumerated {
+                assert!(f.eval(m), "{f} on {m:?}");
+            }
+        }
+    }
+
+    fn random_formula(rng: &mut rand::rngs::StdRng, depth: usize) -> Formula {
+        use rand::Rng;
+        if depth == 0 {
+            return Formula::var(rng.gen_range(0..4));
+        }
+        match rng.gen_range(0..4) {
+            0 => random_formula(rng, depth - 1).not(),
+            1 => random_formula(rng, depth - 1).and(random_formula(rng, depth - 1)),
+            2 => random_formula(rng, depth - 1).or(random_formula(rng, depth - 1)),
+            _ => Formula::var(rng.gen_range(0..4)),
+        }
+    }
+
+    #[test]
+    fn cap_is_reported() {
+        // A tautology over 6 variables has 64 models; cap at 10.
+        assert_eq!(all_models_formula(&Formula::True, 6, 10), None);
+    }
+
+    #[test]
+    fn zero_variables() {
+        let models = all_models_formula(&Formula::True, 0, 10).unwrap();
+        assert_eq!(models.len(), 1);
+        assert!(models.contains(&Vec::new()));
+    }
+}

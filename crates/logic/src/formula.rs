@@ -1,0 +1,194 @@
+//! Propositional formulas over integer-indexed variables.
+//!
+//! Variables are `usize` indices `0..n`; an assignment is a `&[bool]`.
+//! [`Formula`] is the tree form used by reductions (the SAT gadget of
+//! Lemma G.1 embeds an arbitrary formula as a FILTER condition);
+//! clausal form lives in [`crate::cnf`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A propositional formula.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// The variable with the given index.
+    Var(usize),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// The variable `xᵢ`.
+    pub fn var(i: usize) -> Formula {
+        Formula::Var(i)
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Conjunction of many formulas (`True` when empty).
+    pub fn conj(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        fs.into_iter().reduce(Formula::and).unwrap_or(Formula::True)
+    }
+
+    /// Disjunction of many formulas (`False` when empty).
+    pub fn disj(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        fs.into_iter().reduce(Formula::or).unwrap_or(Formula::False)
+    }
+
+    /// Evaluates under a total assignment (indexing panics if the
+    /// assignment is too short).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Var(i) => assignment[*i],
+            Formula::Not(f) => !f.eval(assignment),
+            Formula::And(a, b) => a.eval(assignment) && b.eval(assignment),
+            Formula::Or(a, b) => a.eval(assignment) || b.eval(assignment),
+        }
+    }
+
+    /// The set of variable indices occurring in the formula.
+    pub fn vars(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Var(i) => {
+                out.insert(*i);
+            }
+            Formula::Not(f) => f.collect_vars(out),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// `max(vars) + 1`, i.e. the length an assignment slice must have.
+    pub fn num_vars(&self) -> usize {
+        self.vars().last().map_or(0, |m| m + 1)
+    }
+
+    /// Brute-force satisfiability over `n` variables — the ultimate
+    /// oracle used to validate the DPLL solver on small inputs.
+    pub fn satisfiable_brute_force(&self, n: usize) -> Option<Vec<bool>> {
+        assert!(n <= 24, "brute force capped at 24 variables");
+        for mask in 0u32..(1u32 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            if self.eval(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+
+    /// Counts satisfying assignments over `n` variables (brute force).
+    pub fn count_models(&self, n: usize) -> usize {
+        assert!(n <= 24, "model counting capped at 24 variables");
+        (0u32..(1u32 << n))
+            .filter(|mask| {
+                let assignment: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+                self.eval(&assignment)
+            })
+            .count()
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "⊤"),
+            Formula::False => write!(f, "⊥"),
+            Formula::Var(i) => write!(f, "x{i}"),
+            Formula::Not(inner) => write!(f, "¬{inner}"),
+            Formula::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Formula::Or(a, b) => write!(f, "({a} ∨ {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basics() {
+        let f = Formula::var(0).and(Formula::var(1).not());
+        assert!(f.eval(&[true, false]));
+        assert!(!f.eval(&[true, true]));
+        assert!(!f.eval(&[false, false]));
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Formula::True.eval(&[]));
+        assert!(!Formula::False.eval(&[]));
+        assert_eq!(Formula::conj(vec![]), Formula::True);
+        assert_eq!(Formula::disj(vec![]), Formula::False);
+    }
+
+    #[test]
+    fn vars_and_num_vars() {
+        let f = Formula::var(3).or(Formula::var(1));
+        assert_eq!(f.vars().into_iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(f.num_vars(), 4);
+        assert_eq!(Formula::True.num_vars(), 0);
+    }
+
+    #[test]
+    fn brute_force_sat() {
+        // x0 ∧ ¬x0 unsat; x0 ∨ x1 sat.
+        let unsat = Formula::var(0).and(Formula::var(0).not());
+        assert_eq!(unsat.satisfiable_brute_force(1), None);
+        let sat = Formula::var(0).or(Formula::var(1));
+        let a = sat.satisfiable_brute_force(2).unwrap();
+        assert!(sat.eval(&a));
+    }
+
+    #[test]
+    fn model_counting() {
+        let f = Formula::var(0).or(Formula::var(1));
+        assert_eq!(f.count_models(2), 3);
+        assert_eq!(Formula::True.count_models(2), 4);
+        assert_eq!(Formula::False.count_models(2), 0);
+    }
+
+    #[test]
+    fn display() {
+        let f = Formula::var(0).and(Formula::var(1)).not();
+        assert_eq!(f.to_string(), "¬(x0 ∧ x1)");
+    }
+}

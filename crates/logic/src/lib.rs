@@ -1,0 +1,35 @@
+//! # owql-logic
+//!
+//! The propositional-logic substrate required by the complexity section
+//! of the paper (Section 7 and Appendices G–I). Every hardness result
+//! there is a *constructive reduction* from a SAT-style problem:
+//!
+//! * Theorem 7.1 reduces **SAT-UNSAT** (pairs `(φ, ψ)` with `φ`
+//!   satisfiable and `ψ` unsatisfiable) to evaluation of simple
+//!   patterns;
+//! * Theorem 7.2 reduces **Exact-Mₖ-Colorability** (chromatic number in
+//!   a k-element set), which itself decomposes into SAT-UNSAT pairs of
+//!   graph-coloring encodings;
+//! * Theorem 7.3 reduces **MAX-ODD-SAT** through cardinality-bounded
+//!   satisfiability;
+//! * Theorem 7.4 reduces plain **SAT** to `CONSTRUCT[AUF]` evaluation.
+//!
+//! To *build and verify* those reductions end-to-end the project needs
+//! propositional formulas ([`formula`]), CNF and the Tseitin transform
+//! ([`cnf`]), a complete SAT solver used as the ground-truth oracle
+//! ([`dpll`]), cardinality constraints ([`cardinality`]), and
+//! graph-coloring encodings ([`coloring`]). Everything is built from
+//! scratch — the solver is a classic DPLL with unit propagation and
+//! pure-literal elimination, entirely adequate for the ≤ 40-variable
+//! instances the experiments use.
+
+pub mod cardinality;
+pub mod cnf;
+pub mod coloring;
+pub mod dpll;
+pub mod enumerate;
+pub mod formula;
+
+pub use cnf::{Clause, Cnf, Lit};
+pub use dpll::{solve, Solution};
+pub use formula::Formula;

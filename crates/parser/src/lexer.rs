@@ -1,0 +1,250 @@
+//! Tokenizer for the NS–SPARQL surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// A variable `?name`.
+    Var(String),
+    /// A bare word: IRI text or keyword (`AND`, `SELECT`, `bound`, ...).
+    Word(String),
+    /// An angle-quoted IRI `<text>` (always an IRI, never a keyword).
+    QuotedIri(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Eq => write!(f, "="),
+            Token::Bang => write!(f, "!"),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Var(v) => write!(f, "?{v}"),
+            Token::Word(w) => write!(f, "{w}"),
+            Token::QuotedIri(i) => write!(f, "<{i}>"),
+        }
+    }
+}
+
+/// A lexer error with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// `true` for characters that may appear in a bare word (IRI/keyword).
+fn is_word_char(c: char) -> bool {
+    !c.is_whitespace() && !"(){},=!&|<>?".contains(c)
+}
+
+/// Tokenizes `input`.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                tokens.push(Token::Bang);
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&'&') {
+                    tokens.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        offset: i,
+                        message: "expected '&&'".into(),
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&'|') {
+                    tokens.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        offset: i,
+                        message: "expected '||'".into(),
+                    });
+                }
+            }
+            '?' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && is_word_char(bytes[j]) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LexError {
+                        offset: i,
+                        message: "'?' must be followed by a variable name".into(),
+                    });
+                }
+                tokens.push(Token::Var(bytes[start..j].iter().collect()));
+                i = j;
+            }
+            '<' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '>' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(LexError {
+                        offset: i,
+                        message: "unterminated '<' IRI".into(),
+                    });
+                }
+                if j == start {
+                    return Err(LexError {
+                        offset: i,
+                        message: "empty '<>' IRI".into(),
+                    });
+                }
+                tokens.push(Token::QuotedIri(bytes[start..j].iter().collect()));
+                i = j + 1;
+            }
+            '>' => {
+                return Err(LexError {
+                    offset: i,
+                    message: "unexpected '>'".into(),
+                });
+            }
+            _ => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_word_char(bytes[j]) {
+                    j += 1;
+                }
+                debug_assert!(j > start);
+                tokens.push(Token::Word(bytes[start..j].iter().collect()));
+                i = j;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_triple_pattern() {
+        let toks = tokenize("(?o, stands_for, sharing_rights)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LParen,
+                Token::Var("o".into()),
+                Token::Comma,
+                Token::Word("stands_for".into()),
+                Token::Comma,
+                Token::Word("sharing_rights".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_condition_symbols() {
+        let toks = tokenize("(bound(?X) || !(?Y = c)) && true").unwrap();
+        assert!(toks.contains(&Token::OrOr));
+        assert!(toks.contains(&Token::Bang));
+        assert!(toks.contains(&Token::Eq));
+        assert!(toks.contains(&Token::AndAnd));
+        assert!(toks.contains(&Token::Word("true".into())));
+    }
+
+    #[test]
+    fn tokenizes_quoted_iri() {
+        let toks = tokenize("<has space> <SELECT>").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::QuotedIri("has space".into()),
+                Token::QuotedIri("SELECT".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(tokenize("& x").is_err());
+        assert!(tokenize("| x").is_err());
+        assert!(tokenize("? ").is_err());
+        assert!(tokenize("<unterminated").is_err());
+        assert!(tokenize("<>").is_err());
+        assert!(tokenize(">").is_err());
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let e = tokenize("abc &x").unwrap_err();
+        assert_eq!(e.offset, 4);
+        assert!(e.to_string().contains("byte 4"));
+    }
+}

@@ -1,0 +1,27 @@
+//! # owql-parser
+//!
+//! A lexer, recursive-descent parser, and (via `owql-algebra`'s
+//! `Display` impls) pretty-printer for the paper-style surface syntax of
+//! NS–SPARQL:
+//!
+//! ```text
+//! (?o, stands_for, sharing_rights)
+//! (P1 AND P2)   (P1 UNION P2)   (P1 OPT P2)   (P1 MINUS P2)
+//! (P FILTER (bound(?X) || ?Y = c))
+//! (SELECT {?x, ?y} WHERE P)
+//! NS(P)
+//! (CONSTRUCT {(?n, affiliated_to, ?u)} WHERE P)
+//! ```
+//!
+//! The grammar is exactly the language produced by
+//! `owql_algebra::Pattern`'s `Display`, so `parse(p.to_string()) == p`
+//! for every pattern (round-trip property-tested). IRIs are bare words;
+//! an IRI that collides with a keyword or contains delimiters can be
+//! written in angle brackets: `<SELECT>`, `<a b>`.
+
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+
+pub use parser::{parse_condition, parse_construct, parse_pattern, ParseError};
+pub use pretty::{pretty, pretty_construct};

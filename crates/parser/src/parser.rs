@@ -1,0 +1,464 @@
+//! Recursive-descent parser for NS–SPARQL patterns, conditions, and
+//! CONSTRUCT queries.
+
+use crate::lexer::{tokenize, LexError, Token};
+use owql_algebra::condition::Condition;
+use owql_algebra::construct::ConstructQuery;
+use owql_algebra::pattern::{Pattern, TermPattern, TriplePattern};
+use owql_algebra::variable::Variable;
+use owql_rdf::Iri;
+use std::fmt;
+
+/// A parse error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::new(e.to_string())
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Result<Token, ParseError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| ParseError::new("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<(), ParseError> {
+        let t = self.next()?;
+        if &t == expected {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!("expected '{expected}', found '{t}'")))
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), ParseError> {
+        match self.next()? {
+            Token::Word(w) if w == word => Ok(()),
+            t => Err(ParseError::new(format!("expected '{word}', found '{t}'"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// A term: variable, bare word, or quoted IRI.
+    fn term(&mut self) -> Result<TermPattern, ParseError> {
+        match self.next()? {
+            Token::Var(v) => Ok(TermPattern::Var(Variable::new(&v))),
+            Token::Word(w) => Ok(TermPattern::Iri(Iri::new(&w))),
+            Token::QuotedIri(i) => Ok(TermPattern::Iri(Iri::new(&i))),
+            t => Err(ParseError::new(format!("expected a term, found '{t}'"))),
+        }
+    }
+
+    /// A triple pattern body after the opening paren: `t, t, t)`.
+    fn triple_tail(&mut self) -> Result<TriplePattern, ParseError> {
+        let s = self.term()?;
+        self.expect(&Token::Comma)?;
+        let p = self.term()?;
+        self.expect(&Token::Comma)?;
+        let o = self.term()?;
+        self.expect(&Token::RParen)?;
+        Ok(TriplePattern { s, p, o })
+    }
+
+    /// A graph pattern.
+    fn pattern(&mut self) -> Result<Pattern, ParseError> {
+        match self.peek() {
+            Some(Token::Word(w)) if w == "NS" => {
+                self.next()?;
+                self.expect(&Token::LParen)?;
+                let inner = self.pattern()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner.ns())
+            }
+            Some(Token::LParen) => {
+                self.next()?;
+                self.paren_tail()
+            }
+            Some(t) => Err(ParseError::new(format!(
+                "expected a pattern, found '{t}'"
+            ))),
+            None => Err(ParseError::new("expected a pattern, found end of input")),
+        }
+    }
+
+    /// After consuming `(`: a triple pattern, a SELECT, or a binary
+    /// compound.
+    fn paren_tail(&mut self) -> Result<Pattern, ParseError> {
+        // SELECT?
+        if let Some(Token::Word(w)) = self.peek() {
+            if w == "SELECT" {
+                self.next()?;
+                let vars = self.var_set()?;
+                self.expect_word("WHERE")?;
+                let inner = self.pattern()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Pattern::Select(vars, Box::new(inner)));
+            }
+            if w != "NS" {
+                // A bare word here must start a triple pattern.
+                return Ok(Pattern::Triple(self.triple_tail()?));
+            }
+        }
+        // Variable or quoted IRI starts a triple pattern.
+        if matches!(self.peek(), Some(Token::Var(_)) | Some(Token::QuotedIri(_))) {
+            return Ok(Pattern::Triple(self.triple_tail()?));
+        }
+        // Otherwise: a compound `(P op P)` or `(P FILTER R)`.
+        let left = self.pattern()?;
+        let op = self.next()?;
+        let result = match op {
+            Token::Word(w) => match w.as_str() {
+                "AND" => left.and(self.pattern()?),
+                "UNION" => left.union(self.pattern()?),
+                "OPT" => left.opt(self.pattern()?),
+                "MINUS" => left.minus(self.pattern()?),
+                "FILTER" => left.filter(self.condition()?),
+                other => {
+                    return Err(ParseError::new(format!(
+                        "expected AND/UNION/OPT/MINUS/FILTER, found '{other}'"
+                    )))
+                }
+            },
+            t => {
+                return Err(ParseError::new(format!(
+                    "expected an operator keyword, found '{t}'"
+                )))
+            }
+        };
+        self.expect(&Token::RParen)?;
+        Ok(result)
+    }
+
+    /// `{?x, ?y, ...}` (possibly empty).
+    fn var_set(&mut self) -> Result<std::collections::BTreeSet<Variable>, ParseError> {
+        self.expect(&Token::LBrace)?;
+        let mut vars = std::collections::BTreeSet::new();
+        if self.peek() == Some(&Token::RBrace) {
+            self.next()?;
+            return Ok(vars);
+        }
+        loop {
+            match self.next()? {
+                Token::Var(v) => {
+                    vars.insert(Variable::new(&v));
+                }
+                t => return Err(ParseError::new(format!("expected a variable, found '{t}'"))),
+            }
+            match self.next()? {
+                Token::Comma => {}
+                Token::RBrace => break,
+                t => return Err(ParseError::new(format!("expected ',' or '}}', found '{t}'"))),
+            }
+        }
+        Ok(vars)
+    }
+
+    /// A condition (precedence: `!` > `&&` > `||`; both binary
+    /// operators associate to the left).
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        let mut left = self.cond_and()?;
+        while self.peek() == Some(&Token::OrOr) {
+            self.next()?;
+            left = left.or(self.cond_and()?);
+        }
+        Ok(left)
+    }
+
+    fn cond_and(&mut self) -> Result<Condition, ParseError> {
+        let mut left = self.cond_unary()?;
+        while self.peek() == Some(&Token::AndAnd) {
+            self.next()?;
+            left = left.and(self.cond_unary()?);
+        }
+        Ok(left)
+    }
+
+    fn cond_unary(&mut self) -> Result<Condition, ParseError> {
+        match self.peek() {
+            Some(Token::Bang) => {
+                self.next()?;
+                Ok(self.cond_unary()?.not())
+            }
+            Some(Token::LParen) => {
+                self.next()?;
+                let inner = self.condition()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            _ => self.cond_atom(),
+        }
+    }
+
+    fn cond_atom(&mut self) -> Result<Condition, ParseError> {
+        match self.next()? {
+            Token::Word(w) if w == "true" => Ok(Condition::True),
+            Token::Word(w) if w == "false" => Ok(Condition::False),
+            Token::Word(w) if w == "bound" => {
+                self.expect(&Token::LParen)?;
+                let v = match self.next()? {
+                    Token::Var(v) => Variable::new(&v),
+                    t => return Err(ParseError::new(format!("expected a variable, found '{t}'"))),
+                };
+                self.expect(&Token::RParen)?;
+                Ok(Condition::Bound(v))
+            }
+            Token::Var(v) => {
+                self.expect(&Token::Eq)?;
+                let left = Variable::new(&v);
+                match self.next()? {
+                    Token::Var(w) => Ok(Condition::EqVar(left, Variable::new(&w))),
+                    Token::Word(c) => Ok(Condition::EqConst(left, Iri::new(&c))),
+                    Token::QuotedIri(c) => Ok(Condition::EqConst(left, Iri::new(&c))),
+                    t => Err(ParseError::new(format!("expected a term, found '{t}'"))),
+                }
+            }
+            t => Err(ParseError::new(format!(
+                "expected a condition atom, found '{t}'"
+            ))),
+        }
+    }
+
+    /// `(CONSTRUCT {t, t, ...} WHERE P)` — outer parens optional.
+    fn construct(&mut self) -> Result<ConstructQuery, ParseError> {
+        let parenthesized = if self.peek() == Some(&Token::LParen)
+            && matches!(self.peek2(), Some(Token::Word(w)) if w == "CONSTRUCT")
+        {
+            self.next()?;
+            true
+        } else {
+            false
+        };
+        self.expect_word("CONSTRUCT")?;
+        self.expect(&Token::LBrace)?;
+        let mut template = Vec::new();
+        if self.peek() == Some(&Token::RBrace) {
+            self.next()?;
+        } else {
+            loop {
+                self.expect(&Token::LParen)?;
+                template.push(self.triple_tail()?);
+                match self.next()? {
+                    Token::Comma => {}
+                    Token::RBrace => break,
+                    t => {
+                        return Err(ParseError::new(format!(
+                            "expected ',' or '}}', found '{t}'"
+                        )))
+                    }
+                }
+            }
+        }
+        self.expect_word("WHERE")?;
+        let pattern = self.pattern()?;
+        if parenthesized {
+            self.expect(&Token::RParen)?;
+        }
+        Ok(ConstructQuery::new(template, pattern))
+    }
+}
+
+fn finish<T>(mut p: Parser, value: T) -> Result<T, ParseError> {
+    if p.at_end() {
+        Ok(value)
+    } else {
+        let t = p.next().expect("not at end");
+        Err(ParseError::new(format!("unexpected trailing token '{t}'")))
+    }
+}
+
+/// Parses a graph pattern.
+///
+/// ```
+/// use owql_parser::parse_pattern;
+/// let p = parse_pattern("((?X, was_born_in, Chile) OPT (?X, email, ?Y))").unwrap();
+/// assert_eq!(p.to_string(), "((?X, was_born_in, Chile) OPT (?X, email, ?Y))");
+/// ```
+pub fn parse_pattern(input: &str) -> Result<Pattern, ParseError> {
+    let mut parser = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+    let p = parser.pattern()?;
+    finish(parser, p)
+}
+
+/// Parses a built-in condition.
+pub fn parse_condition(input: &str) -> Result<Condition, ParseError> {
+    let mut parser = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+    let c = parser.condition()?;
+    finish(parser, c)
+}
+
+/// Parses a CONSTRUCT query.
+pub fn parse_construct(input: &str) -> Result<ConstructQuery, ParseError> {
+    let mut parser = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+    let q = parser.construct()?;
+    finish(parser, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_algebra::analysis::Operators;
+    use owql_algebra::random::{random_pattern, PatternConfig};
+
+    #[test]
+    fn parses_triple_pattern() {
+        let p = parse_pattern("(?o, stands_for, sharing_rights)").unwrap();
+        assert_eq!(p, Pattern::t("?o", "stands_for", "sharing_rights"));
+    }
+
+    #[test]
+    fn parses_example_2_2() {
+        let text = "(SELECT {?p} WHERE ((?o, stands_for, sharing_rights) AND ((?p, founder, ?o) UNION (?p, supporter, ?o))))";
+        let p = parse_pattern(text).unwrap();
+        assert_eq!(p.to_string(), text);
+    }
+
+    #[test]
+    fn parses_ns_and_minus() {
+        let p = parse_pattern("NS(((?x, a, b) MINUS (?x, c, ?y)))").unwrap();
+        assert_eq!(
+            p,
+            Pattern::t("?x", "a", "b").minus(Pattern::t("?x", "c", "?y")).ns()
+        );
+    }
+
+    #[test]
+    fn parses_filter_conditions() {
+        let c = parse_condition("(bound(?X) || !(?Y = c)) && ?Z = ?W").unwrap();
+        assert_eq!(
+            c,
+            Condition::bound("X")
+                .or(Condition::eq_const("Y", "c").not())
+                .and(Condition::eq_var("Z", "W"))
+        );
+        assert_eq!(parse_condition("true").unwrap(), Condition::True);
+        assert_eq!(parse_condition("false").unwrap(), Condition::False);
+    }
+
+    #[test]
+    fn condition_precedence() {
+        // && binds tighter than ||.
+        let c = parse_condition("bound(?a) || bound(?b) && bound(?c)").unwrap();
+        assert_eq!(
+            c,
+            Condition::bound("a").or(Condition::bound("b").and(Condition::bound("c")))
+        );
+    }
+
+    #[test]
+    fn parses_quoted_keyword_iri() {
+        let p = parse_pattern("(<SELECT>, <AND>, <a b>)").unwrap();
+        assert_eq!(p, Pattern::t("SELECT", "AND", "a b"));
+    }
+
+    #[test]
+    fn parses_empty_select() {
+        let p = parse_pattern("(SELECT {} WHERE (?x, a, b))").unwrap();
+        assert_eq!(p, Pattern::t("?x", "a", "b").select(Vec::<Variable>::new()));
+    }
+
+    #[test]
+    fn parses_construct_example_6_1() {
+        let q = owql_algebra::construct::example_6_1();
+        let reparsed = parse_construct(&q.to_string()).unwrap();
+        assert_eq!(reparsed, q);
+        // And without the outer parens.
+        let bare = parse_construct(
+            "CONSTRUCT {(?n, affiliated_to, ?u), (?n, email, ?e)} WHERE (((?p, name, ?n) AND (?p, works_at, ?u)) OPT (?p, email, ?e))",
+        )
+        .unwrap();
+        assert_eq!(bare, q);
+    }
+
+    #[test]
+    fn parses_empty_template() {
+        let q = parse_construct("CONSTRUCT {} WHERE (?x, a, b)").unwrap();
+        assert!(q.template.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_pattern("(?x, a)").is_err());
+        assert!(parse_pattern("(?x, a, b) extra").is_err());
+        assert!(parse_pattern("((?x, a, b) XOR (?y, c, d))").is_err());
+        assert!(parse_pattern("NS(?x, a, b)").is_err());
+        assert!(parse_pattern("").is_err());
+        assert!(parse_condition("bound(x)").is_err()); // needs a variable
+        assert!(parse_construct("CONSTRUCT {(?x, a, b) WHERE (?x, a, b)").is_err());
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = parse_pattern("((?x, a, b) XOR (?y, c, d))").unwrap_err();
+        assert!(e.to_string().contains("XOR"));
+    }
+
+    /// The round-trip property: display-then-parse is the identity on
+    /// 500 random patterns across the full NS–SPARQL operator set.
+    #[test]
+    fn roundtrip_random_patterns() {
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL.with(Operators::MINUS),
+            max_depth: 4,
+            ..PatternConfig::standard(4, 4)
+        };
+        for seed in 0..500u64 {
+            let p = random_pattern(&cfg, seed);
+            let text = p.to_string();
+            let reparsed = parse_pattern(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: failed to parse {text}: {e}"));
+            assert_eq!(reparsed, p, "seed {seed}: {text}");
+        }
+    }
+}

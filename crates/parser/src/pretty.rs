@@ -1,0 +1,148 @@
+//! Indented pretty-printing of patterns and CONSTRUCT queries.
+//!
+//! `Display` on `Pattern` emits the compact one-line paper notation
+//! (and is what [`crate::parse_pattern`] round-trips). For large
+//! patterns — NS-elimination outputs reach tens of thousands of nodes
+//! (experiment E7) — the one-liner is unreadable; [`pretty`] renders
+//! the same grammar with one operator per line and indentation, still
+//! parseable by [`crate::parse_pattern`].
+
+use owql_algebra::construct::ConstructQuery;
+use owql_algebra::pattern::Pattern;
+use std::fmt::Write;
+
+const INDENT: &str = "  ";
+
+fn pad(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str(INDENT);
+    }
+}
+
+fn walk(p: &Pattern, depth: usize, out: &mut String) {
+    match p {
+        Pattern::Triple(t) => {
+            pad(out, depth);
+            let _ = write!(out, "{t}");
+        }
+        Pattern::And(a, b) | Pattern::Union(a, b) | Pattern::Opt(a, b) | Pattern::Minus(a, b) => {
+            let op = match p {
+                Pattern::And(..) => "AND",
+                Pattern::Union(..) => "UNION",
+                Pattern::Opt(..) => "OPT",
+                _ => "MINUS",
+            };
+            pad(out, depth);
+            out.push('(');
+            out.push('\n');
+            walk(a, depth + 1, out);
+            out.push('\n');
+            pad(out, depth + 1);
+            out.push_str(op);
+            out.push('\n');
+            walk(b, depth + 1, out);
+            out.push('\n');
+            pad(out, depth);
+            out.push(')');
+        }
+        Pattern::Filter(q, r) => {
+            pad(out, depth);
+            out.push('(');
+            out.push('\n');
+            walk(q, depth + 1, out);
+            out.push('\n');
+            pad(out, depth + 1);
+            let _ = write!(out, "FILTER {r}");
+            out.push('\n');
+            pad(out, depth);
+            out.push(')');
+        }
+        Pattern::Select(vs, q) => {
+            pad(out, depth);
+            out.push_str("(SELECT {");
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push_str("} WHERE\n");
+            walk(q, depth + 1, out);
+            out.push('\n');
+            pad(out, depth);
+            out.push(')');
+        }
+        Pattern::Ns(q) => {
+            pad(out, depth);
+            out.push_str("NS(\n");
+            walk(q, depth + 1, out);
+            out.push('\n');
+            pad(out, depth);
+            out.push(')');
+        }
+    }
+}
+
+/// Renders a pattern with one operator per line; the output parses
+/// back to the same pattern.
+pub fn pretty(p: &Pattern) -> String {
+    let mut out = String::new();
+    walk(p, 0, &mut out);
+    out
+}
+
+/// Renders a CONSTRUCT query with the pattern pretty-printed.
+pub fn pretty_construct(q: &ConstructQuery) -> String {
+    let mut out = String::new();
+    out.push_str("CONSTRUCT {");
+    for (i, t) in q.template.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{t}");
+    }
+    out.push_str("} WHERE\n");
+    walk(&q.pattern, 1, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_construct, parse_pattern};
+    use owql_algebra::analysis::Operators;
+    use owql_algebra::random::{random_pattern, PatternConfig};
+
+    #[test]
+    fn pretty_is_indented() {
+        let p = parse_pattern("(((?x, a, b) AND (?x, c, ?y)) OPT (?y, d, ?z))").unwrap();
+        let text = pretty(&p);
+        assert!(text.contains("\n"));
+        assert!(text.contains("  AND"));
+        assert!(text.contains("  OPT"));
+    }
+
+    #[test]
+    fn pretty_roundtrips_random_patterns() {
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL.with(Operators::MINUS),
+            max_depth: 4,
+            ..PatternConfig::standard(4, 4)
+        };
+        for seed in 0..200u64 {
+            let p = random_pattern(&cfg, seed);
+            let text = pretty(&p);
+            let reparsed = parse_pattern(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            assert_eq!(reparsed, p, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pretty_construct_roundtrips() {
+        let q = owql_algebra::construct::example_6_1();
+        let text = pretty_construct(&q);
+        assert_eq!(parse_construct(&text).unwrap(), q);
+        assert!(text.contains("OPT"));
+    }
+}

@@ -1,0 +1,104 @@
+//! The concrete RDF graphs appearing in the paper's figures.
+//!
+//! * [`figure_1`] — the Pirate Bay founders/supporters graph (Figure 1,
+//!   used by Examples 2.1 and 2.2),
+//! * [`figure_2_g1`] / [`figure_2_g2`] — the professor graphs `G₁ ⊆ G₂`
+//!   (Figure 2, used by Examples 3.1 and 3.3),
+//! * [`figure_3`] — the professors/universities graph (Figure 3, used by
+//!   Example 6.1),
+//! * [`figure_4_expected`] — the output graph of the CONSTRUCT query of
+//!   Example 6.1 (Figure 4), used as the expected value in tests.
+
+use crate::graph::{graph_from, Graph};
+
+/// Figure 1: founders and supporters of organizations.
+///
+/// The exact six triples from the table in Example 2.1.
+pub fn figure_1() -> Graph {
+    graph_from(&[
+        ("Gottfrid_Svartholm", "founder", "The_Pirate_Bay"),
+        ("Fredrik_Neij", "founder", "The_Pirate_Bay"),
+        ("Peter_Sunde", "founder", "The_Pirate_Bay"),
+        ("founder", "sub_property", "supporter"),
+        ("The_Pirate_Bay", "stands_for", "sharing_rights"),
+        ("Carl_Lundström", "supporter", "The_Pirate_Bay"),
+    ])
+}
+
+/// Figure 2, left graph `G₁`.
+///
+/// Professors with names, emails, and employers, plus Juan who was born
+/// in Chile but has no email yet.
+pub fn figure_2_g1() -> Graph {
+    graph_from(&[
+        ("prof_01", "name", "Cristian"),
+        ("prof_02", "name", "Denis"),
+        ("prof_01", "email", "cris@puc.cl"),
+        ("prof_01", "works_at", "PUC Chile"),
+        ("prof_02", "works_at", "U Oxford"),
+        ("Juan", "was_born_in", "Chile"),
+    ])
+}
+
+/// Figure 2, right graph `G₂ ⊇ G₁`: `G₁` extended with Juan's email.
+pub fn figure_2_g2() -> Graph {
+    let mut g = figure_2_g1();
+    g.insert(crate::term::Triple::new("Juan", "email", "juan@puc.cl"));
+    g
+}
+
+/// Figure 3: information about professors and universities, the input of
+/// the CONSTRUCT query of Example 6.1.
+pub fn figure_3() -> Graph {
+    graph_from(&[
+        ("prof_01", "name", "Cristian"),
+        ("prof_02", "name", "Denis"),
+        ("prof_01", "email", "cris@puc.cl"),
+        ("prof_01", "works_at", "U_Oxford"),
+        ("prof_01", "works_at", "PUC_Chile"),
+        ("prof_02", "works_at", "PUC_Chile"),
+        ("Juan", "was_born_in", "Chile"),
+        ("Juan", "email", "juan@puc.cl"),
+    ])
+}
+
+/// Figure 4: the RDF graph produced by evaluating the CONSTRUCT query of
+/// Example 6.1 over [`figure_3`].
+pub fn figure_4_expected() -> Graph {
+    graph_from(&[
+        ("Denis", "affiliated_to", "PUC_Chile"),
+        ("Cristian", "affiliated_to", "U_Oxford"),
+        ("Cristian", "affiliated_to", "PUC_Chile"),
+        ("Cristian", "email", "cris@puc.cl"),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_has_six_triples() {
+        assert_eq!(figure_1().len(), 6);
+    }
+
+    #[test]
+    fn figure_2_graphs_nest() {
+        let g1 = figure_2_g1();
+        let g2 = figure_2_g2();
+        assert!(g1.is_subgraph_of(&g2));
+        assert_eq!(g2.len(), g1.len() + 1);
+    }
+
+    #[test]
+    fn figure_3_mentions_both_professors() {
+        let iris = figure_3().iris();
+        assert!(iris.contains(&crate::term::Iri::new("prof_01")));
+        assert!(iris.contains(&crate::term::Iri::new("prof_02")));
+    }
+
+    #[test]
+    fn figure_4_has_four_triples() {
+        assert_eq!(figure_4_expected().len(), 4);
+    }
+}

@@ -1,0 +1,274 @@
+//! Seeded synthetic workload generators.
+//!
+//! The paper evaluates no concrete datasets (it is a theory paper), but
+//! its motivating scenarios are Web-style graphs with *partial*
+//! information: people whose email may be missing (Figure 2),
+//! organizations with founders and supporters (Figure 1), professors and
+//! universities (Figure 3). The generators here produce scalable versions
+//! of exactly those shapes, so the benchmark harness can measure the
+//! engines and the OPT-vs-NS comparison on data with the same
+//! characteristics. All generators are deterministic in their seed.
+
+use crate::graph::Graph;
+use crate::term::{Iri, Triple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random graph: `n_triples` triples drawn uniformly over
+/// disjoint subject/predicate/object pools.
+///
+/// Duplicate draws are retried, so the result has exactly
+/// `min(n_triples, pool product)` triples.
+pub fn uniform(n_triples: usize, n_subjects: usize, n_predicates: usize, n_objects: usize, seed: u64) -> Graph {
+    assert!(n_subjects > 0 && n_predicates > 0 && n_objects > 0);
+    let cap = n_subjects * n_predicates * n_objects;
+    let target = n_triples.min(cap);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_capacity(target);
+    while g.len() < target {
+        let s = Iri::new(&format!("s{}", rng.gen_range(0..n_subjects)));
+        let p = Iri::new(&format!("p{}", rng.gen_range(0..n_predicates)));
+        let o = Iri::new(&format!("o{}", rng.gen_range(0..n_objects)));
+        g.insert(Triple { s, p, o });
+    }
+    g
+}
+
+/// A star: `center` linked to `n` leaves through `pred`.
+pub fn star(center: &str, pred: &str, n: usize) -> Graph {
+    (0..n)
+        .map(|i| Triple::new(center, pred, format!("leaf{i}").as_str()))
+        .collect()
+}
+
+/// A chain `v0 -pred-> v1 -pred-> ... -> vn`.
+pub fn chain(pred: &str, n: usize) -> Graph {
+    (0..n)
+        .map(|i| {
+            Triple::new(
+                format!("v{i}").as_str(),
+                pred,
+                format!("v{}", i + 1).as_str(),
+            )
+        })
+        .collect()
+}
+
+/// Options for [`social_network`].
+#[derive(Clone, Copy, Debug)]
+pub struct SocialOptions {
+    /// Number of people.
+    pub people: usize,
+    /// Average number of `follows` edges per person.
+    pub avg_follows: usize,
+    /// Probability that a person has an `email` triple — the *optional*
+    /// information driving OPT/NS behaviour.
+    pub email_probability: f64,
+    /// Probability that a person has a `was_born_in` triple.
+    pub birthplace_probability: f64,
+}
+
+impl Default for SocialOptions {
+    fn default() -> Self {
+        SocialOptions {
+            people: 100,
+            avg_follows: 4,
+            email_probability: 0.6,
+            birthplace_probability: 0.8,
+        }
+    }
+}
+
+/// Figure-2-flavoured social graph: people with names, partial emails,
+/// partial birthplaces, and follow edges.
+///
+/// Country of birth is one of three IRIs so that selective FILTERs (e.g.
+/// `was_born_in Chile`) return about a third of the people.
+pub fn social_network(opts: SocialOptions, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let countries = ["Chile", "Belgium", "Sweden"];
+    let mut g = Graph::new();
+    for i in 0..opts.people {
+        let person = Iri::new(&format!("person{i}"));
+        g.insert(Triple::new(person, Iri::new("name"), Iri::new(&format!("Name_{i}"))));
+        if rng.gen_bool(opts.email_probability) {
+            g.insert(Triple::new(
+                person,
+                Iri::new("email"),
+                Iri::new(&format!("person{i}@example.org")),
+            ));
+        }
+        if rng.gen_bool(opts.birthplace_probability) {
+            let c = countries[rng.gen_range(0..countries.len())];
+            g.insert(Triple::new(person, Iri::new("was_born_in"), Iri::new(c)));
+        }
+        for _ in 0..opts.avg_follows {
+            let j = rng.gen_range(0..opts.people);
+            if j != i {
+                g.insert(Triple::new(
+                    person,
+                    Iri::new("follows"),
+                    Iri::new(&format!("person{j}")),
+                ));
+            }
+        }
+    }
+    g
+}
+
+/// Options for [`university`].
+#[derive(Clone, Copy, Debug)]
+pub struct UniversityOptions {
+    /// Number of universities.
+    pub universities: usize,
+    /// Professors per university.
+    pub professors_per_university: usize,
+    /// Probability that a professor has an email (optional info).
+    pub email_probability: f64,
+    /// Probability that a professor holds a second affiliation.
+    pub second_affiliation_probability: f64,
+}
+
+impl Default for UniversityOptions {
+    fn default() -> Self {
+        UniversityOptions {
+            universities: 5,
+            professors_per_university: 20,
+            email_probability: 0.5,
+            second_affiliation_probability: 0.2,
+        }
+    }
+}
+
+/// Figure-3-flavoured university graph: professors with `name`,
+/// `works_at` (possibly twice), and optional `email` — the input shape of
+/// the paper's CONSTRUCT example (Example 6.1).
+pub fn university(opts: UniversityOptions, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let mut prof_id = 0usize;
+    for u in 0..opts.universities {
+        let uni = Iri::new(&format!("University_{u}"));
+        for _ in 0..opts.professors_per_university {
+            let prof = Iri::new(&format!("prof_{prof_id:04}"));
+            g.insert(Triple::new(prof, Iri::new("name"), Iri::new(&format!("ProfName_{prof_id}"))));
+            g.insert(Triple::new(prof, Iri::new("works_at"), uni));
+            if rng.gen_bool(opts.second_affiliation_probability) {
+                let u2 = rng.gen_range(0..opts.universities);
+                g.insert(Triple::new(
+                    prof,
+                    Iri::new("works_at"),
+                    Iri::new(&format!("University_{u2}")),
+                ));
+            }
+            if rng.gen_bool(opts.email_probability) {
+                g.insert(Triple::new(
+                    prof,
+                    Iri::new("email"),
+                    Iri::new(&format!("prof{prof_id}@uni.edu")),
+                ));
+            }
+            prof_id += 1;
+        }
+    }
+    g
+}
+
+/// Figure-1-flavoured organizations graph: `orgs` organizations, each
+/// with founders and supporters drawn from a pool of `people`, a subset
+/// of organizations standing for `sharing_rights`.
+pub fn organizations(orgs: usize, people: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    g.insert(Triple::new("founder", "sub_property", "supporter"));
+    for o in 0..orgs {
+        let org = Iri::new(&format!("org{o}"));
+        if rng.gen_bool(0.5) {
+            g.insert(Triple::new(org, Iri::new("stands_for"), Iri::new("sharing_rights")));
+        }
+        let founders = rng.gen_range(1..4usize);
+        for _ in 0..founders {
+            let p = rng.gen_range(0..people);
+            g.insert(Triple::new(Iri::new(&format!("p{p}")), Iri::new("founder"), org));
+        }
+        let supporters = rng.gen_range(0..6usize);
+        for _ in 0..supporters {
+            let p = rng.gen_range(0..people);
+            g.insert(Triple::new(Iri::new(&format!("p{p}")), Iri::new("supporter"), org));
+        }
+    }
+    g
+}
+
+/// Draws a random subgraph containing each triple of `g` independently
+/// with probability `keep`. Useful for building `G₁ ⊆ G₂` pairs for the
+/// monotonicity checkers.
+pub fn random_subgraph(g: &Graph, keep: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sorted = g.iter_sorted();
+    sorted.retain(|_| rng.gen_bool(keep));
+    sorted.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_sized() {
+        let a = uniform(50, 10, 3, 10, 7);
+        let b = uniform(50, 10, 3, 10, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn uniform_respects_pool_cap() {
+        let g = uniform(1000, 2, 2, 2, 1);
+        assert_eq!(g.len(), 8);
+    }
+
+    #[test]
+    fn star_and_chain_shapes() {
+        let s = star("hub", "spoke", 5);
+        assert_eq!(s.len(), 5);
+        assert!(s.iter().all(|t| t.s.as_str() == "hub"));
+        let c = chain("next", 4);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn social_network_has_names_for_everyone() {
+        let g = social_network(SocialOptions { people: 20, ..Default::default() }, 3);
+        let names = g.iter().filter(|t| t.p.as_str() == "name").count();
+        assert_eq!(names, 20);
+        // emails are partial
+        let emails = g.iter().filter(|t| t.p.as_str() == "email").count();
+        assert!(emails < 20);
+    }
+
+    #[test]
+    fn university_every_prof_works_somewhere() {
+        let g = university(UniversityOptions::default(), 11);
+        let profs = 5 * 20;
+        let works = g.iter().filter(|t| t.p.as_str() == "works_at").count();
+        assert!(works >= profs);
+        let names = g.iter().filter(|t| t.p.as_str() == "name").count();
+        assert_eq!(names, profs);
+    }
+
+    #[test]
+    fn organizations_mentions_subproperty() {
+        let g = organizations(10, 30, 5);
+        assert!(g.contains(&Triple::new("founder", "sub_property", "supporter")));
+    }
+
+    #[test]
+    fn random_subgraph_is_subgraph() {
+        let g = uniform(100, 10, 4, 10, 9);
+        let h = random_subgraph(&g, 0.5, 10);
+        assert!(h.is_subgraph_of(&g));
+        assert!(h.len() < g.len());
+        assert_eq!(random_subgraph(&g, 0.5, 10), h);
+    }
+}

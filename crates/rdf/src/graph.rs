@@ -1,0 +1,279 @@
+//! Finite RDF graphs as sets of triples.
+//!
+//! A [`Graph`] is the paper's "RDF graph": a finite subset of `I × I × I`
+//! (Section 2). The type is a thin wrapper over a hash set with the set
+//! algebra needed throughout the paper — union, containment (`G₁ ⊆ G₂`,
+//! the premise of monotonicity notions), and the active-domain helper
+//! `I(G)` (the set of IRIs mentioned in `G`, used e.g. by Lemma G.2's
+//! disjointness conditions).
+
+use crate::term::{Iri, Triple};
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+
+/// A finite set of RDF triples.
+///
+/// ```
+/// use owql_rdf::{Graph, Triple};
+/// let mut g = Graph::new();
+/// g.insert(Triple::new("Peter_Sunde", "founder", "The_Pirate_Bay"));
+/// assert_eq!(g.len(), 1);
+/// assert!(g.contains(&Triple::new("Peter_Sunde", "founder", "The_Pirate_Bay")));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    triples: HashSet<Triple>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates an empty graph with capacity for `n` triples.
+    pub fn with_capacity(n: usize) -> Self {
+        Graph {
+            triples: HashSet::with_capacity(n),
+        }
+    }
+
+    /// Inserts a triple; returns `true` if it was not already present.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        self.triples.insert(t)
+    }
+
+    /// Removes a triple; returns `true` if it was present.
+    pub fn remove(&mut self, t: &Triple) -> bool {
+        self.triples.remove(t)
+    }
+
+    /// Tests membership of a triple.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.triples.contains(t)
+    }
+
+    /// Number of triples in the graph.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// `true` iff the graph has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Iterates over the triples in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> + '_ {
+        self.triples.iter()
+    }
+
+    /// Returns the triples sorted lexicographically (deterministic output).
+    pub fn iter_sorted(&self) -> Vec<Triple> {
+        let mut v: Vec<Triple> = self.triples.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// `G₁ ⊆ G₂`: every triple of `self` is in `other`.
+    ///
+    /// This is the premise of (weak) monotonicity (Definitions 3.2 and
+    /// 6.2 of the paper).
+    pub fn is_subgraph_of(&self, other: &Graph) -> bool {
+        self.triples.is_subset(&other.triples)
+    }
+
+    /// Set union `G₁ ∪ G₂` producing a new graph.
+    pub fn union(&self, other: &Graph) -> Graph {
+        let mut g = self.clone();
+        g.extend(other.iter().copied());
+        g
+    }
+
+    /// Adds all triples of `other` into `self`.
+    pub fn extend(&mut self, triples: impl IntoIterator<Item = Triple>) {
+        self.triples.extend(triples);
+    }
+
+    /// `I(G)`: the set of all IRIs mentioned in the graph, sorted.
+    pub fn iris(&self) -> BTreeSet<Iri> {
+        let mut set = BTreeSet::new();
+        for t in self.iter() {
+            set.insert(t.s);
+            set.insert(t.p);
+            set.insert(t.o);
+        }
+        set
+    }
+
+    /// `true` iff `self` and `other` mention no common IRI.
+    ///
+    /// The combination lemma (Lemma H.1) and the disjointness lemma
+    /// (Lemma G.2) of the paper require vocabulary-disjoint graphs.
+    pub fn iris_disjoint_from(&self, other: &Graph) -> bool {
+        let mine = self.iris();
+        other.iris().is_disjoint(&mine)
+    }
+
+    /// All subsets of `self` (as graphs), smallest first.
+    ///
+    /// Used by the bounded-exhaustive monotonicity checkers; only
+    /// sensible for very small graphs (`len() <= ~16`).
+    pub fn subgraphs(&self) -> Vec<Graph> {
+        let triples = self.iter_sorted();
+        assert!(
+            triples.len() <= 20,
+            "refusing to enumerate 2^{} subgraphs",
+            triples.len()
+        );
+        let mut out = Vec::with_capacity(1 << triples.len());
+        for mask in 0u32..(1u32 << triples.len()) {
+            let mut g = Graph::new();
+            for (i, t) in triples.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    g.insert(*t);
+                }
+            }
+            out.push(g);
+        }
+        out.sort_by_key(|g| g.len());
+        out
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<T: IntoIterator<Item = Triple>>(iter: T) -> Self {
+        Graph {
+            triples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Triple> for Graph {
+    fn extend<T: IntoIterator<Item = Triple>>(&mut self, iter: T) {
+        self.triples.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Graph {
+    type Item = &'a Triple;
+    type IntoIter = std::collections::hash_set::Iter<'a, Triple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.triples.iter()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Graph {{")?;
+        for t in self.iter_sorted() {
+            writeln!(f, "  {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builds a graph from `(s, p, o)` string triples.
+///
+/// ```
+/// use owql_rdf::graph::graph_from;
+/// let g = graph_from(&[("a", "b", "c"), ("a", "b", "d")]);
+/// assert_eq!(g.len(), 2);
+/// ```
+pub fn graph_from(triples: &[(&str, &str, &str)]) -> Graph {
+    triples
+        .iter()
+        .map(|&(s, p, o)| Triple::new(s, p, o))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::triple;
+
+    fn sample() -> Graph {
+        graph_from(&[("a", "p", "b"), ("b", "p", "c"), ("a", "q", "c")])
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut g = Graph::new();
+        assert!(g.insert(triple("x", "y", "z")));
+        assert!(!g.insert(triple("x", "y", "z")));
+        assert!(g.contains(&triple("x", "y", "z")));
+        assert_eq!(g.len(), 1);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut g = sample();
+        assert!(g.remove(&triple("a", "p", "b")));
+        assert!(!g.remove(&triple("a", "p", "b")));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn subgraph_relation() {
+        let g = sample();
+        let mut h = g.clone();
+        h.insert(triple("z", "z", "z"));
+        assert!(g.is_subgraph_of(&h));
+        assert!(!h.is_subgraph_of(&g));
+        assert!(g.is_subgraph_of(&g));
+        assert!(Graph::new().is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn union_is_set_union() {
+        let g = sample();
+        let h = graph_from(&[("a", "p", "b"), ("z", "z", "z")]);
+        let u = g.union(&h);
+        assert_eq!(u.len(), 4);
+        assert!(g.is_subgraph_of(&u) && h.is_subgraph_of(&u));
+    }
+
+    #[test]
+    fn iris_collects_all_positions() {
+        let g = graph_from(&[("s1", "p1", "o1")]);
+        let iris: Vec<&str> = g.iris().into_iter().map(|i| i.as_str()).collect();
+        assert_eq!(iris, vec!["o1", "p1", "s1"]);
+    }
+
+    #[test]
+    fn iri_disjointness() {
+        let g = graph_from(&[("a", "b", "c")]);
+        let h = graph_from(&[("x", "y", "z")]);
+        let k = graph_from(&[("x", "y", "a")]);
+        assert!(g.iris_disjoint_from(&h));
+        assert!(!g.iris_disjoint_from(&k));
+    }
+
+    #[test]
+    fn subgraph_enumeration() {
+        let g = graph_from(&[("a", "p", "b"), ("b", "p", "c")]);
+        let subs = g.subgraphs();
+        assert_eq!(subs.len(), 4);
+        assert!(subs[0].is_empty());
+        assert_eq!(subs[3], g);
+        // Every enumerated graph is a subgraph.
+        assert!(subs.iter().all(|s| s.is_subgraph_of(&g)));
+    }
+
+    #[test]
+    fn sorted_iteration_is_deterministic() {
+        let g = sample();
+        assert_eq!(g.iter_sorted(), g.iter_sorted());
+        let v = g.iter_sorted();
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn from_iterator_dedups() {
+        let g: Graph = vec![triple("a", "b", "c"), triple("a", "b", "c")]
+            .into_iter()
+            .collect();
+        assert_eq!(g.len(), 1);
+    }
+}

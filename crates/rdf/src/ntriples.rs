@@ -1,0 +1,197 @@
+//! A line-oriented exchange format for graphs.
+//!
+//! Two syntaxes are accepted, one per line, blank lines and `#` comments
+//! ignored:
+//!
+//! * **Angle form** (N-Triples flavoured): `<s> <p> <o> .`
+//! * **Bare form**: `s p o .` where a term is any run of
+//!   non-whitespace characters other than `<`, `>`, `.` — convenient for
+//!   the paper's readable string IRIs.
+//!
+//! The writer emits the angle form sorted lexicographically so output is
+//! canonical: `parse(write(g)) == g` for every graph.
+
+use crate::graph::Graph;
+use crate::term::{Iri, Triple};
+use std::fmt;
+
+/// Error raised while parsing the exchange format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a single term starting at `input`, returning the term text and
+/// the rest of the line.
+fn parse_term(input: &str, line: usize) -> Result<(&str, &str), ParseError> {
+    let input = input.trim_start();
+    if let Some(rest) = input.strip_prefix('<') {
+        let end = rest
+            .find('>')
+            .ok_or_else(|| err(line, "unterminated '<' term"))?;
+        if rest[..end].is_empty() {
+            return Err(err(line, "empty IRI '<>'"));
+        }
+        Ok((&rest[..end], &rest[end + 1..]))
+    } else {
+        let end = input
+            .find(|c: char| c.is_whitespace() || c == '>')
+            .unwrap_or(input.len());
+        let term = &input[..end];
+        // A trailing '.' terminator may be glued to the bare term.
+        let term = term.strip_suffix('.').unwrap_or(term);
+        if term.is_empty() {
+            return Err(err(line, "expected a term"));
+        }
+        if term.contains('<') || term.contains('>') {
+            return Err(err(line, format!("malformed term {term:?}")));
+        }
+        Ok((term, &input[end.min(input.len())..]))
+    }
+}
+
+/// Parses the exchange format into a [`Graph`].
+///
+/// ```
+/// use owql_rdf::ntriples::parse;
+/// let g = parse("<a> <founder> <b> .\nx supporter y .").unwrap();
+/// assert_eq!(g.len(), 2);
+/// ```
+pub fn parse(text: &str) -> Result<Graph, ParseError> {
+    let mut graph = Graph::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (s, rest) = parse_term(line, line_no)?;
+        let (p, rest) = parse_term(rest, line_no)?;
+        let (o, rest) = parse_term(rest, line_no)?;
+        let tail = rest.trim();
+        if !(tail.is_empty() || tail == ".") {
+            return Err(err(line_no, format!("unexpected trailing input {tail:?}")));
+        }
+        graph.insert(Triple::new(s, p, o));
+    }
+    Ok(graph)
+}
+
+fn write_term(out: &mut String, iri: Iri) {
+    out.push('<');
+    out.push_str(iri.as_str());
+    out.push('>');
+}
+
+/// Serializes a graph in canonical (sorted) angle form.
+///
+/// ```
+/// use owql_rdf::{graph::graph_from, ntriples};
+/// let g = graph_from(&[("b", "p", "c"), ("a", "p", "b")]);
+/// let text = ntriples::write(&g);
+/// assert_eq!(text, "<a> <p> <b> .\n<b> <p> <c> .\n");
+/// assert_eq!(ntriples::parse(&text).unwrap(), g);
+/// ```
+pub fn write(graph: &Graph) -> String {
+    let mut out = String::with_capacity(graph.len() * 24);
+    for t in graph.iter_sorted() {
+        write_term(&mut out, t.s);
+        out.push(' ');
+        write_term(&mut out, t.p);
+        out.push(' ');
+        write_term(&mut out, t.o);
+        out.push_str(" .\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from;
+
+    #[test]
+    fn parse_angle_form() {
+        let g = parse("<a> <b> <c> .").unwrap();
+        assert_eq!(g, graph_from(&[("a", "b", "c")]));
+    }
+
+    #[test]
+    fn parse_bare_form() {
+        let g = parse("Peter_Sunde founder The_Pirate_Bay .").unwrap();
+        assert_eq!(g, graph_from(&[("Peter_Sunde", "founder", "The_Pirate_Bay")]));
+    }
+
+    #[test]
+    fn parse_bare_form_without_dot() {
+        let g = parse("a b c").unwrap();
+        assert_eq!(g, graph_from(&[("a", "b", "c")]));
+    }
+
+    #[test]
+    fn parse_mixed_and_comments() {
+        let text = "# a comment\n\n<a> <b> <c> .\n x y z .\n";
+        let g = parse(text).unwrap();
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_iri() {
+        let e = parse("<a <b> <c> .").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn parse_rejects_missing_term() {
+        assert!(parse("<a> <b>").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(parse("<a> <b> <c> . extra").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_empty_iri() {
+        assert!(parse("<> <b> <c> .").is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let e = parse("ok ok ok .\n<bad").unwrap_err();
+        assert!(e.to_string().starts_with("line 2:"));
+    }
+
+    #[test]
+    fn roundtrip_canonical() {
+        let g = graph_from(&[("a", "p", "b"), ("b", "q", "c"), ("c c", "p", "d")]);
+        let text = write(&g);
+        assert_eq!(parse(&text).unwrap(), g);
+        // Canonical: re-serialization is identical.
+        assert_eq!(write(&parse(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        assert_eq!(write(&Graph::new()), "");
+        assert_eq!(parse("").unwrap(), Graph::new());
+    }
+}

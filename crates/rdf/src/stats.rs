@@ -1,0 +1,149 @@
+//! Descriptive statistics over a graph.
+//!
+//! Query engines live and die by cardinality knowledge; [`GraphStats`]
+//! summarizes a graph (distinct subjects/predicates/objects, predicate
+//! histogram, degree distribution) and offers the selectivity
+//! estimates a cost-based planner wants. The experiment driver also
+//! prints these summaries so workload shapes are visible next to
+//! measurements.
+
+use crate::graph::Graph;
+use crate::term::Iri;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug)]
+pub struct GraphStats {
+    /// Total number of triples.
+    pub triples: usize,
+    /// Number of distinct subjects.
+    pub distinct_subjects: usize,
+    /// Number of distinct predicates.
+    pub distinct_predicates: usize,
+    /// Number of distinct objects.
+    pub distinct_objects: usize,
+    /// Triple count per predicate, sorted descending.
+    pub predicate_histogram: Vec<(Iri, usize)>,
+    /// Maximum out-degree (triples sharing one subject).
+    pub max_out_degree: usize,
+    /// Mean out-degree over subjects.
+    pub mean_out_degree: f64,
+}
+
+impl GraphStats {
+    /// Computes the statistics in one pass over the graph.
+    pub fn of(graph: &Graph) -> GraphStats {
+        let mut subjects: HashMap<Iri, usize> = HashMap::new();
+        let mut predicates: HashMap<Iri, usize> = HashMap::new();
+        let mut objects: HashMap<Iri, usize> = HashMap::new();
+        for t in graph.iter() {
+            *subjects.entry(t.s).or_default() += 1;
+            *predicates.entry(t.p).or_default() += 1;
+            *objects.entry(t.o).or_default() += 1;
+        }
+        let mut histogram: Vec<(Iri, usize)> = predicates.iter().map(|(&p, &n)| (p, n)).collect();
+        histogram.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let max_out = subjects.values().copied().max().unwrap_or(0);
+        let mean_out = if subjects.is_empty() {
+            0.0
+        } else {
+            graph.len() as f64 / subjects.len() as f64
+        };
+        GraphStats {
+            triples: graph.len(),
+            distinct_subjects: subjects.len(),
+            distinct_predicates: predicates.len(),
+            distinct_objects: objects.len(),
+            predicate_histogram: histogram,
+            max_out_degree: max_out,
+            mean_out_degree: mean_out,
+        }
+    }
+
+    /// Estimated fraction of triples carrying predicate `p`
+    /// (`0.0` when absent) — the selectivity of a `(?s, p, ?o)` scan.
+    pub fn predicate_selectivity(&self, p: Iri) -> f64 {
+        if self.triples == 0 {
+            return 0.0;
+        }
+        self.predicate_histogram
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map_or(0.0, |(_, n)| *n as f64 / self.triples as f64)
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} triples | {} subjects | {} predicates | {} objects | out-degree mean {:.1} max {}",
+            self.triples,
+            self.distinct_subjects,
+            self.distinct_predicates,
+            self.distinct_objects,
+            self.mean_out_degree,
+            self.max_out_degree
+        )?;
+        for (p, n) in self.predicate_histogram.iter().take(8) {
+            writeln!(f, "  {p}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from;
+
+    fn sample() -> Graph {
+        graph_from(&[
+            ("a", "p", "x"),
+            ("a", "p", "y"),
+            ("a", "q", "x"),
+            ("b", "p", "x"),
+        ])
+    }
+
+    #[test]
+    fn counts() {
+        let s = GraphStats::of(&sample());
+        assert_eq!(s.triples, 4);
+        assert_eq!(s.distinct_subjects, 2);
+        assert_eq!(s.distinct_predicates, 2);
+        assert_eq!(s.distinct_objects, 2);
+        assert_eq!(s.max_out_degree, 3);
+        assert!((s.mean_out_degree - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_sorted_descending() {
+        let s = GraphStats::of(&sample());
+        assert_eq!(s.predicate_histogram[0], (Iri::new("p"), 3));
+        assert_eq!(s.predicate_histogram[1], (Iri::new("q"), 1));
+    }
+
+    #[test]
+    fn selectivity() {
+        let s = GraphStats::of(&sample());
+        assert!((s.predicate_selectivity(Iri::new("p")) - 0.75).abs() < 1e-9);
+        assert_eq!(s.predicate_selectivity(Iri::new("absent")), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = GraphStats::of(&Graph::new());
+        assert_eq!(s.triples, 0);
+        assert_eq!(s.mean_out_degree, 0.0);
+        assert_eq!(s.predicate_selectivity(Iri::new("p")), 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let text = GraphStats::of(&sample()).to_string();
+        assert!(text.contains("4 triples"));
+        assert!(text.contains("p: 3"));
+    }
+}

@@ -1,0 +1,407 @@
+//! A Turtle-flavoured reader and writer.
+//!
+//! Supports the practical core of Turtle on the paper's IRI-only data
+//! model:
+//!
+//! * `@prefix pre: <http://...> .` declarations and `pre:local` names,
+//! * predicate lists `s p1 o1 ; p2 o2 .` and object lists
+//!   `s p o1 , o2 .`,
+//! * the `a` keyword for `rdf:type`,
+//! * `<...>` IRIs, bare words, `#` comments.
+//!
+//! Literals and blank nodes are rejected with a clear error — the
+//! paper's model (Section 2) excludes them. The writer groups triples
+//! by subject and predicate, producing the abbreviated form; it
+//! round-trips with the reader.
+
+use crate::graph::Graph;
+use crate::term::{Iri, Triple};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The IRI abbreviated by the Turtle keyword `a`.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Error raised by the Turtle reader.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TurtleError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TurtleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "turtle: line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TurtleError {}
+
+/// A lexical token of the Turtle subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Term(String, /* angle-quoted */ bool),
+    A,
+    Dot,
+    Semi,
+    Comma,
+    PrefixKeyword,
+}
+
+fn err(line: usize, message: impl Into<String>) -> TurtleError {
+    TurtleError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn lex(text: &str) -> Result<Vec<(usize, Tok)>, TurtleError> {
+    let mut out = Vec::new();
+    for (li, raw) in text.lines().enumerate() {
+        let line_no = li + 1;
+        let line = match raw.find('#') {
+            Some(pos) if !raw[..pos].contains('<') || raw[..pos].matches('<').count() == raw[..pos].matches('>').count() => &raw[..pos],
+            _ => raw,
+        };
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match c {
+                c if c.is_whitespace() => i += 1,
+                '.' => {
+                    out.push((line_no, Tok::Dot));
+                    i += 1;
+                }
+                ';' => {
+                    out.push((line_no, Tok::Semi));
+                    i += 1;
+                }
+                ',' => {
+                    out.push((line_no, Tok::Comma));
+                    i += 1;
+                }
+                '"' => return Err(err(line_no, "literals are not part of the paper's data model")),
+                '_' if chars.get(i + 1) == Some(&':') => {
+                    return Err(err(line_no, "blank nodes are not part of the paper's data model"))
+                }
+                '<' => {
+                    let mut j = i + 1;
+                    while j < chars.len() && chars[j] != '>' {
+                        j += 1;
+                    }
+                    if j == chars.len() {
+                        return Err(err(line_no, "unterminated '<' IRI"));
+                    }
+                    out.push((line_no, Tok::Term(chars[i + 1..j].iter().collect(), true)));
+                    i = j + 1;
+                }
+                '@' => {
+                    let word: String = chars[i + 1..]
+                        .iter()
+                        .take_while(|c| c.is_alphabetic())
+                        .collect();
+                    if word == "prefix" {
+                        out.push((line_no, Tok::PrefixKeyword));
+                        i += 1 + word.len();
+                    } else {
+                        return Err(err(line_no, format!("unsupported directive @{word}")));
+                    }
+                }
+                _ => {
+                    let mut j = i;
+                    while j < chars.len()
+                        && !chars[j].is_whitespace()
+                        && !".;,<>\"".contains(chars[j])
+                    {
+                        j += 1;
+                    }
+                    let word: String = chars[i..j].iter().collect();
+                    if word == "a" {
+                        out.push((line_no, Tok::A));
+                    } else {
+                        out.push((line_no, Tok::Term(word, false)));
+                    }
+                    i = j;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Expands `pre:local` through the prefix table; plain terms pass
+/// through.
+fn resolve(
+    term: &str,
+    quoted: bool,
+    prefixes: &HashMap<String, String>,
+    line: usize,
+) -> Result<Iri, TurtleError> {
+    // Angle-quoted IRIs are taken verbatim, colons and all.
+    if quoted {
+        return Ok(Iri::new(term));
+    }
+    if let Some(colon) = term.find(':') {
+        let (pre, local) = term.split_at(colon);
+        let local = &local[1..];
+        // Absolute bare IRIs like http://... are left intact.
+        if local.starts_with("//") {
+            return Ok(Iri::new(term));
+        }
+        if let Some(base) = prefixes.get(pre) {
+            return Ok(Iri::new(&format!("{base}{local}")));
+        }
+        return Err(err(line, format!("undeclared prefix {pre:?}")));
+    }
+    Ok(Iri::new(term))
+}
+
+/// Parses the Turtle subset into a graph.
+pub fn parse(text: &str) -> Result<Graph, TurtleError> {
+    let tokens = lex(text)?;
+    let mut prefixes: HashMap<String, String> = HashMap::new();
+    let mut graph = Graph::new();
+    let mut i = 0usize;
+    let term_at = |i: usize| -> Option<(usize, &String)> {
+        match tokens.get(i) {
+            Some((l, Tok::Term(t, _))) => Some((*l, t)),
+            _ => None,
+        }
+    };
+    while i < tokens.len() {
+        let (line, tok) = &tokens[i];
+        match tok {
+            Tok::PrefixKeyword => {
+                // @prefix pre: <base> .
+                let Some((l1, pre)) = term_at(i + 1) else {
+                    return Err(err(*line, "expected prefix name after @prefix"));
+                };
+                let pre = pre
+                    .strip_suffix(':')
+                    .ok_or_else(|| err(l1, "prefix name must end with ':'"))?
+                    .to_owned();
+                let Some((_, base)) = term_at(i + 2) else {
+                    return Err(err(l1, "expected IRI after prefix name"));
+                };
+                if tokens.get(i + 3).map(|(_, t)| t) != Some(&Tok::Dot) {
+                    return Err(err(l1, "expected '.' after @prefix declaration"));
+                }
+                prefixes.insert(pre, base.clone());
+                i += 4;
+            }
+            Tok::Term(subject_text, subject_quoted) => {
+                let subject = resolve(subject_text, *subject_quoted, &prefixes, *line)?;
+                i += 1;
+                // predicate-object list
+                loop {
+                    let (pline, predicate) = match tokens.get(i) {
+                        Some((l, Tok::Term(t, q))) => (*l, resolve(t, *q, &prefixes, *l)?),
+                        Some((l, Tok::A)) => (*l, Iri::new(RDF_TYPE)),
+                        Some((l, t)) => return Err(err(*l, format!("expected predicate, found {t:?}"))),
+                        None => return Err(err(*line, "unexpected end of input in triple")),
+                    };
+                    i += 1;
+                    // object list
+                    loop {
+                        let object = match tokens.get(i) {
+                            Some((l, Tok::Term(t, q))) => resolve(t, *q, &prefixes, *l)?,
+                            Some((l, t)) => {
+                                return Err(err(*l, format!("expected object, found {t:?}")))
+                            }
+                            None => return Err(err(pline, "unexpected end of input in triple")),
+                        };
+                        graph.insert(Triple::new(subject, predicate, object));
+                        i += 1;
+                        match tokens.get(i) {
+                            Some((_, Tok::Comma)) => i += 1,
+                            _ => break,
+                        }
+                    }
+                    match tokens.get(i) {
+                        Some((_, Tok::Semi)) => i += 1,
+                        Some((_, Tok::Dot)) => {
+                            i += 1;
+                            break;
+                        }
+                        Some((l, t)) => {
+                            return Err(err(*l, format!("expected ';' ',' or '.', found {t:?}")))
+                        }
+                        None => return Err(err(pline, "missing terminating '.'")),
+                    }
+                }
+            }
+            Tok::A => return Err(err(*line, "'a' cannot start a statement")),
+            other => return Err(err(*line, format!("unexpected token {other:?}"))),
+        }
+    }
+    Ok(graph)
+}
+
+fn write_term(out: &mut String, iri: Iri) {
+    if iri.as_str() == RDF_TYPE {
+        out.push('a');
+        return;
+    }
+    out.push('<');
+    out.push_str(iri.as_str());
+    out.push('>');
+}
+
+/// Serializes a graph in abbreviated Turtle (grouped by subject, then
+/// predicate; deterministic order).
+pub fn write(graph: &Graph) -> String {
+    let triples = graph.iter_sorted();
+    let mut out = String::new();
+    let mut idx = 0;
+    while idx < triples.len() {
+        let s = triples[idx].s;
+        write_term(&mut out, s);
+        let mut first_pred = true;
+        while idx < triples.len() && triples[idx].s == s {
+            let p = triples[idx].p;
+            if first_pred {
+                out.push(' ');
+                first_pred = false;
+            } else {
+                out.push_str(" ;\n    ");
+            }
+            write_term(&mut out, p);
+            let mut first_obj = true;
+            while idx < triples.len() && triples[idx].s == s && triples[idx].p == p {
+                if first_obj {
+                    out.push(' ');
+                    first_obj = false;
+                } else {
+                    out.push_str(", ");
+                }
+                write_term(&mut out, triples[idx].o);
+                idx += 1;
+            }
+        }
+        out.push_str(" .\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::graph_from;
+
+    #[test]
+    fn parses_basic_triple() {
+        let g = parse("<a> <b> <c> .").unwrap();
+        assert_eq!(g, graph_from(&[("a", "b", "c")]));
+    }
+
+    #[test]
+    fn parses_predicate_and_object_lists() {
+        let g = parse("<s> <p> <o1>, <o2> ; <q> <o3> .").unwrap();
+        assert_eq!(
+            g,
+            graph_from(&[("s", "p", "o1"), ("s", "p", "o2"), ("s", "q", "o3")])
+        );
+    }
+
+    #[test]
+    fn parses_prefixes() {
+        let text = "@prefix ex: <http://example.org/> .\nex:alice ex:knows ex:bob .";
+        let g = parse(text).unwrap();
+        assert!(g.contains(&Triple::new(
+            "http://example.org/alice",
+            "http://example.org/knows",
+            "http://example.org/bob"
+        )));
+    }
+
+    #[test]
+    fn parses_a_keyword() {
+        let g = parse("<alice> a <Person> .").unwrap();
+        assert!(g.contains(&Triple::new("alice", RDF_TYPE, "Person")));
+    }
+
+    #[test]
+    fn absolute_iris_bypass_prefix_resolution() {
+        // Angle-quoted absolute IRIs are never prefix-resolved, even
+        // though they contain a colon.
+        let g = parse("<s> <p> <http://example.org/x> .").unwrap();
+        assert!(g.contains(&Triple::new("s", "p", "http://example.org/x")));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let g = parse("# heading\n<a> <b> <c> . # trailing\n").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn rejects_literals_and_blank_nodes() {
+        let e = parse("<s> <p> \"hello\" .").unwrap_err();
+        assert!(e.message.contains("literals"));
+        let e = parse("_:b <p> <o> .").unwrap_err();
+        assert!(e.message.contains("blank"));
+    }
+
+    #[test]
+    fn rejects_undeclared_prefix() {
+        let e = parse("nope:x <p> <o> .").unwrap_err();
+        assert!(e.message.contains("undeclared prefix"));
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        assert!(parse("<a> <b> <c>").is_err());
+        assert!(parse("<a> <b> .").is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse("<a> <b> <c> .\n<d> ;").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn writer_groups_and_roundtrips() {
+        let g = graph_from(&[
+            ("s", "p", "o1"),
+            ("s", "p", "o2"),
+            ("s", "q", "o3"),
+            ("t", "p", "o1"),
+        ]);
+        let text = write(&g);
+        assert!(text.contains(", "));
+        assert!(text.contains(";"));
+        assert_eq!(parse(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn writer_emits_a_for_rdf_type() {
+        let g: Graph = [Triple::new("alice", RDF_TYPE, "Person")].into_iter().collect();
+        let text = write(&g);
+        assert!(text.contains("<alice> a <Person>"));
+        assert_eq!(parse(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn paper_figures_roundtrip_through_turtle() {
+        for g in [
+            crate::datasets::figure_1(),
+            crate::datasets::figure_2_g2(),
+            crate::datasets::figure_3(),
+        ] {
+            assert_eq!(parse(&write(&g)).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn random_graphs_roundtrip() {
+        for seed in 0..10u64 {
+            let g = crate::generate::uniform(60, 8, 4, 8, seed);
+            assert_eq!(parse(&write(&g)).unwrap(), g, "seed {seed}");
+        }
+    }
+}

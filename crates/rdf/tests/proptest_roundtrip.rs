@@ -1,0 +1,43 @@
+//! Property tests: the exchange formats round-trip on arbitrary graphs.
+
+use owql_rdf::{ntriples, turtle, Graph, Iri, Triple};
+use proptest::prelude::*;
+
+fn arb_iri() -> impl Strategy<Value = Iri> {
+    // Words, URLs, and strings with spaces / keyword collisions — the
+    // angle-quoted writers must survive all of them.
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,8}".prop_map(|s| Iri::new(&s)),
+        "[a-z]{1,5}".prop_map(|s| Iri::new(&format!("http://example.org/{s}"))),
+        Just(Iri::new("has space")),
+        Just(Iri::new("SELECT")),
+        Just(Iri::new("a")),
+    ]
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((arb_iri(), arb_iri(), arb_iri()), 0..40)
+        .prop_map(|v| v.into_iter().map(|(s, p, o)| Triple { s, p, o }).collect())
+}
+
+proptest! {
+    #[test]
+    fn ntriples_roundtrip(g in arb_graph()) {
+        let text = ntriples::write(&g);
+        prop_assert_eq!(ntriples::parse(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn turtle_roundtrip(g in arb_graph()) {
+        let text = turtle::write(&g);
+        prop_assert_eq!(turtle::parse(&text).unwrap(), g);
+    }
+
+    /// The canonical writer is deterministic: same graph, same bytes.
+    #[test]
+    fn writers_are_canonical(g in arb_graph()) {
+        prop_assert_eq!(ntriples::write(&g), ntriples::write(&g));
+        let reparsed = ntriples::parse(&ntriples::write(&g)).unwrap();
+        prop_assert_eq!(ntriples::write(&reparsed), ntriples::write(&g));
+    }
+}

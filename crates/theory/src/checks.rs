@@ -1,0 +1,445 @@
+//! Bounded semantic checkers for the paper's central properties.
+//!
+//! Weak monotonicity (Definition 3.2), monotonicity, and
+//! subsumption-freeness (Section 5.2) are *undecidable* for SPARQL
+//! (Section 1 / footnote 1), so no checker can be complete. The
+//! checkers here are:
+//!
+//! * **sound for refutation** — a returned counterexample is a real
+//!   pair `G ⊆ G ∪ {t}` violating the property (re-checkable by the
+//!   caller);
+//! * **bounded-exhaustive for confirmation** — `Holds` means the
+//!   property was verified on *every* pair `G ⊆ G ∪ {t}` with `G` drawn
+//!   from the power set of a finite candidate-triple universe, plus a
+//!   randomized phase on larger graphs.
+//!
+//! Both ⊑ and ⊆ are transitive and any `G₁ ⊆ G₂` decomposes into
+//! single-triple extensions, so checking all single-triple extensions
+//! over a universe is equivalent to checking all pairs over it — the
+//! checkers exploit this to go from `3^n` pairs to `2^n · n`.
+//!
+//! The candidate universe is built by instantiating the pattern's own
+//! triple patterns over a small IRI pool (so the OPT/FILTER/NS
+//! interactions the property depends on actually fire), which is what
+//! lets the checker refute Example 3.3 and confirm the Theorem 3.5/3.6
+//! witnesses in milliseconds.
+
+use owql_algebra::analysis::triple_patterns;
+use owql_algebra::pattern::Pattern;
+use owql_algebra::ConstructQuery;
+use owql_eval::reference::evaluate;
+use owql_rdf::{Graph, Iri, Triple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// The verdict of a bounded check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckResult {
+    /// The property held on every tested pair.
+    Holds {
+        /// Number of `(G, G ∪ {t})` pairs tested.
+        pairs_checked: usize,
+    },
+    /// A concrete counterexample: the property fails from `g1` to `g2`
+    /// (`g2 = g1 ∪ {one triple}` in the exhaustive phase).
+    Refuted {
+        /// The smaller graph.
+        g1: Graph,
+        /// The extension.
+        g2: Graph,
+    },
+}
+
+impl CheckResult {
+    /// `true` iff the property held.
+    pub fn holds(&self) -> bool {
+        matches!(self, CheckResult::Holds { .. })
+    }
+}
+
+/// Options for the bounded checkers.
+#[derive(Clone, Debug)]
+pub struct CheckOptions {
+    /// Size of the candidate-triple universe for the exhaustive phase
+    /// (the phase costs `2^universe · universe` evaluations).
+    pub universe_size: usize,
+    /// Extra fresh IRIs mixed into the instantiation pool.
+    pub fresh_iris: usize,
+    /// Number of randomized larger graphs in the second phase.
+    pub random_graphs: usize,
+    /// Triples per randomized graph.
+    pub random_graph_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            universe_size: 10,
+            fresh_iris: 2,
+            random_graphs: 30,
+            random_graph_size: 14,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Collects the IRIs appearing inside FILTER conditions of a pattern
+/// (constants compared against variables must be in the variable value
+/// pool, or `?X = c` atoms can never fire).
+fn filter_constants(p: &Pattern) -> BTreeSet<Iri> {
+    fn walk(p: &Pattern, out: &mut BTreeSet<Iri>) {
+        match p {
+            Pattern::Triple(_) => {}
+            Pattern::And(a, b)
+            | Pattern::Union(a, b)
+            | Pattern::Opt(a, b)
+            | Pattern::Minus(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            Pattern::Filter(q, r) => {
+                out.extend(r.iris());
+                walk(q, out);
+            }
+            Pattern::Select(_, q) | Pattern::Ns(q) => walk(q, out),
+        }
+    }
+    let mut out = BTreeSet::new();
+    walk(p, &mut out);
+    out
+}
+
+/// Builds the candidate-triple universe for a pattern.
+///
+/// Each triple pattern of `p` is instantiated with *all* assignments
+/// of its variables over a deliberately tiny value pool (a couple of
+/// fresh IRIs plus the constants its filters compare against) — small
+/// enough that the instantiations of different triple patterns share
+/// values and therefore *interact* (join, subsume, block each other),
+/// which is where the OPT/FILTER/NS semantics live. If the full set
+/// still exceeds `universe_size`, a seeded shuffle picks the subset
+/// for the exhaustive phase; the randomized phase draws from the full
+/// set.
+fn candidate_universe(p: &Pattern, opts: &CheckOptions) -> (Vec<Triple>, Vec<Triple>) {
+    let mut value_pool: Vec<Iri> = (0..opts.fresh_iris.max(1))
+        .map(|i| Iri::new(&format!("fresh_{i}")))
+        .collect();
+    value_pool.extend(filter_constants(p));
+    let mut universe: BTreeSet<Triple> = BTreeSet::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    for t in triple_patterns(p) {
+        let vars: Vec<_> = t.vars().into_iter().collect();
+        let combos = value_pool.len().pow(vars.len() as u32);
+        if combos <= 128 {
+            for mut idx in 0..combos {
+                let mut m = owql_algebra::Mapping::new();
+                for &v in &vars {
+                    m = m.bind(v, value_pool[idx % value_pool.len()]);
+                    idx /= value_pool.len();
+                }
+                if let Some(triple) = t.instantiate(&m) {
+                    universe.insert(triple);
+                }
+            }
+        } else {
+            for _ in 0..128 {
+                let m = owql_algebra::Mapping::from_pairs(
+                    vars.iter()
+                        .map(|&v| (v, value_pool[rng.gen_range(0..value_pool.len())])),
+                );
+                if let Some(triple) = t.instantiate(&m) {
+                    universe.insert(triple);
+                }
+            }
+        }
+    }
+    // One unrelated "noise" triple over fresh vocabulary.
+    universe.insert(Triple::new("noise_s", "noise_p", "noise_o"));
+    let full: Vec<Triple> = universe.into_iter().collect();
+    let mut exhaustive = full.clone();
+    for i in (1..exhaustive.len()).rev() {
+        exhaustive.swap(i, rng.gen_range(0..=i));
+    }
+    exhaustive.truncate(opts.universe_size);
+    (exhaustive, full)
+}
+
+/// The generic single-triple-extension checker.
+fn check_extensions(
+    p_eval: &impl Fn(&Graph) -> owql_algebra::MappingSet,
+    property: &impl Fn(&owql_algebra::MappingSet, &owql_algebra::MappingSet) -> bool,
+    exhaustive: &[Triple],
+    full: &[Triple],
+    opts: &CheckOptions,
+) -> CheckResult {
+    assert!(exhaustive.len() <= 16, "exhaustive phase capped at 2^16 graphs");
+    let mut pairs = 0usize;
+    // Phase 1: exhaustive over the universe power set; every extension
+    // of each subset by one universe triple is tested.
+    for mask in 0u32..(1u32 << exhaustive.len()) {
+        let g1: Graph = exhaustive
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &t)| t)
+            .collect();
+        let out1 = p_eval(&g1);
+        for (i, &t) in exhaustive.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                continue;
+            }
+            let mut g2 = g1.clone();
+            g2.insert(t);
+            let out2 = p_eval(&g2);
+            pairs += 1;
+            if !property(&out1, &out2) {
+                return CheckResult::Refuted { g1, g2 };
+            }
+        }
+    }
+    // Phase 2: randomized larger graphs over the *full* candidate set,
+    // each extended by every remaining full-universe triple.
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5EED);
+    for _ in 0..opts.random_graphs {
+        let mut g1 = Graph::new();
+        for _ in 0..opts.random_graph_size {
+            g1.insert(full[rng.gen_range(0..full.len())]);
+        }
+        let out1 = p_eval(&g1);
+        for &t in full {
+            if g1.contains(&t) {
+                continue;
+            }
+            let mut g2 = g1.clone();
+            g2.insert(t);
+            pairs += 1;
+            if !property(&out1, &p_eval(&g2)) {
+                return CheckResult::Refuted { g1, g2 };
+            }
+        }
+    }
+    CheckResult::Holds { pairs_checked: pairs }
+}
+
+/// Bounded check of weak monotonicity (Definition 3.2):
+/// `G₁ ⊆ G₂ ⟹ ⟦P⟧G₁ ⊑ ⟦P⟧G₂`.
+pub fn weakly_monotone(p: &Pattern, opts: &CheckOptions) -> CheckResult {
+    let (exhaustive, full) = candidate_universe(p, opts);
+    check_extensions(
+        &|g| evaluate(p, g),
+        &|o1, o2| o1.subsumed_by(o2),
+        &exhaustive,
+        &full,
+        opts,
+    )
+}
+
+/// Bounded check of monotonicity: `G₁ ⊆ G₂ ⟹ ⟦P⟧G₁ ⊆ ⟦P⟧G₂`.
+pub fn monotone(p: &Pattern, opts: &CheckOptions) -> CheckResult {
+    let (exhaustive, full) = candidate_universe(p, opts);
+    check_extensions(
+        &|g| evaluate(p, g),
+        &|o1, o2| o1.subset_of(o2),
+        &exhaustive,
+        &full,
+        opts,
+    )
+}
+
+/// Bounded check of subsumption-freeness (Section 5.2):
+/// `⟦P⟧G = ⟦P⟧G^max` on every tested graph.
+pub fn subsumption_free(p: &Pattern, opts: &CheckOptions) -> CheckResult {
+    let (exhaustive, full) = candidate_universe(p, opts);
+    // Reuse the pair driver; the property only inspects the outputs
+    // themselves (g1 ranges over all subsets, g2 over all extensions).
+    check_extensions(
+        &|g| evaluate(p, g),
+        &|o1, o2| o1.is_subsumption_free() && o2.is_subsumption_free(),
+        &exhaustive,
+        &full,
+        opts,
+    )
+}
+
+/// Bounded check of CONSTRUCT monotonicity (Definition 6.2):
+/// `G₁ ⊆ G₂ ⟹ ans(Q, G₁) ⊆ ans(Q, G₂)`.
+pub fn construct_monotone(q: &ConstructQuery, opts: &CheckOptions) -> CheckResult {
+    let (exhaustive, full) = candidate_universe(&q.pattern, opts);
+    assert!(exhaustive.len() <= 16);
+    let mut pairs = 0usize;
+    for mask in 0u32..(1u32 << exhaustive.len()) {
+        let g1: Graph = exhaustive
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &t)| t)
+            .collect();
+        let out1 = owql_eval::construct(q, &g1);
+        for (i, &t) in exhaustive.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                continue;
+            }
+            let mut g2 = g1.clone();
+            g2.insert(t);
+            pairs += 1;
+            if !out1.is_subgraph_of(&owql_eval::construct(q, &g2)) {
+                return CheckResult::Refuted { g1, g2 };
+            }
+        }
+    }
+    // Randomized phase over the full universe.
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5EED);
+    for _ in 0..opts.random_graphs {
+        let mut g1 = Graph::new();
+        for _ in 0..opts.random_graph_size {
+            g1.insert(full[rng.gen_range(0..full.len())]);
+        }
+        let out1 = owql_eval::construct(q, &g1);
+        for &t in &full {
+            if g1.contains(&t) {
+                continue;
+            }
+            let mut g2 = g1.clone();
+            g2.insert(t);
+            pairs += 1;
+            if !out1.is_subgraph_of(&owql_eval::construct(q, &g2)) {
+                return CheckResult::Refuted { g1, g2 };
+            }
+        }
+    }
+    CheckResult::Holds { pairs_checked: pairs }
+}
+
+/// Proposition B.1 check on one graph: distinct answers of an
+/// `SPARQL[AOF]` pattern are pairwise incompatible. (Used by the
+/// Theorem 3.6 witness to show its pattern escapes every AOF disjunct.)
+pub fn answers_pairwise_incompatible(p: &Pattern, g: &Graph) -> bool {
+    let out = evaluate(p, g);
+    let answers: Vec<_> = out.iter().collect();
+    for (i, m1) in answers.iter().enumerate() {
+        for m2 in &answers[i + 1..] {
+            if m1.compatible(m2) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_algebra::condition::Condition;
+
+    fn quick() -> CheckOptions {
+        CheckOptions {
+            universe_size: 7,
+            random_graphs: 10,
+            random_graph_size: 10,
+            ..CheckOptions::default()
+        }
+    }
+
+    #[test]
+    fn example_3_1_is_weakly_monotone_not_monotone() {
+        let p = Pattern::t("?X", "was_born_in", "Chile").opt(Pattern::t("?X", "email", "?Y"));
+        assert!(weakly_monotone(&p, &quick()).holds());
+        let m = monotone(&p, &quick());
+        assert!(!m.holds(), "OPT patterns are not monotone");
+        // The counterexample is genuine.
+        if let CheckResult::Refuted { g1, g2 } = m {
+            assert!(g1.is_subgraph_of(&g2));
+            assert!(!evaluate(&p, &g1).subset_of(&evaluate(&p, &g2)));
+        }
+    }
+
+    #[test]
+    fn example_3_3_weak_monotonicity_refuted() {
+        let p = Pattern::t("?X", "was_born_in", "Chile").and(
+            Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")),
+        );
+        let r = weakly_monotone(&p, &quick());
+        assert!(!r.holds());
+        if let CheckResult::Refuted { g1, g2 } = r {
+            assert!(!evaluate(&p, &g1).subsumed_by(&evaluate(&p, &g2)));
+        }
+    }
+
+    #[test]
+    fn auf_patterns_are_monotone() {
+        let p = Pattern::t("?x", "a", "?y")
+            .union(Pattern::t("?x", "b", "?y"))
+            .filter(Condition::bound("x"));
+        assert!(monotone(&p, &quick()).holds());
+        assert!(weakly_monotone(&p, &quick()).holds());
+    }
+
+    #[test]
+    fn well_designed_pattern_is_weakly_monotone() {
+        let p = Pattern::t("?x", "a", "?y")
+            .opt(Pattern::t("?y", "b", "?z").opt(Pattern::t("?z", "c", "?w")));
+        assert!(weakly_monotone(&p, &quick()).holds());
+    }
+
+    #[test]
+    fn subsumption_freeness() {
+        // AOF patterns are subsumption-free (Section 5.2).
+        let p = Pattern::t("?x", "a", "b").opt(Pattern::t("?x", "c", "?y"));
+        assert!(subsumption_free(&p, &quick()).holds());
+        // A UNION of comparable branches is not.
+        let q = Pattern::t("?x", "a", "b")
+            .union(Pattern::t("?x", "a", "b").and(Pattern::t("?x", "c", "?y")));
+        assert!(!subsumption_free(&q, &quick()).holds());
+        // NS of anything is subsumption-free.
+        assert!(subsumption_free(&q.ns(), &quick()).holds());
+    }
+
+    #[test]
+    fn construct_auf_is_monotone() {
+        let q = ConstructQuery::new(
+            [owql_algebra::pattern::tp("?x", "linked", "?y")],
+            Pattern::t("?x", "a", "?y").union(Pattern::t("?y", "b", "?x")),
+        );
+        assert!(construct_monotone(&q, &quick()).holds());
+    }
+
+    #[test]
+    fn construct_with_bound_negation_not_monotone() {
+        // CONSTRUCT over a non-weakly-monotone pattern whose output
+        // depends on absence of data.
+        let q = ConstructQuery::new(
+            [owql_algebra::pattern::tp("?x", "lonely", "yes")],
+            Pattern::t("?x", "a", "b")
+                .opt(Pattern::t("?x", "c", "?y"))
+                .filter(Condition::bound("y").not()),
+        );
+        assert!(!construct_monotone(&q, &quick()).holds());
+    }
+
+    #[test]
+    fn pairwise_incompatibility_prop_b_1() {
+        // An AOF pattern over a graph with two matches.
+        let p = Pattern::t("?x", "a", "b").opt(Pattern::t("?x", "c", "?y"));
+        let g = owql_rdf::graph::graph_from(&[("1", "a", "b"), ("2", "a", "b"), ("1", "c", "z")]);
+        assert!(answers_pairwise_incompatible(&p, &g));
+        // A UNION pattern can output compatible mappings.
+        let q = Pattern::t("?x", "a", "b").union(Pattern::t("?z", "c", "?y"));
+        assert!(!answers_pairwise_incompatible(&q, &g));
+    }
+
+    #[test]
+    fn counterexample_graphs_nest() {
+        let p = Pattern::t("?X", "a", "b").and(
+            Pattern::t("?Y", "a", "b").opt(Pattern::t("?Y", "c", "?X")),
+        );
+        if let CheckResult::Refuted { g1, g2 } = weakly_monotone(&p, &quick()) {
+            assert!(g1.is_subgraph_of(&g2));
+            assert_eq!(g2.len(), g1.len() + 1);
+        } else {
+            panic!("expected refutation");
+        }
+    }
+}

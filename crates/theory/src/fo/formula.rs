@@ -1,0 +1,217 @@
+//! FO formulas over the RDF vocabulary `{T/3, Dom/1, constants, n}`.
+
+use owql_algebra::Variable;
+use owql_rdf::Iri;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order term: a variable, an IRI constant `c_i`, or the
+/// distinguished constant `n` (interpreted as the non-domain element
+/// `N` marking unbound positions).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FoTerm {
+    /// A first-order variable (shared with SPARQL variables).
+    Var(Variable),
+    /// An IRI constant.
+    Const(Iri),
+    /// The constant `n` (the null marker).
+    N,
+}
+
+impl fmt::Debug for FoTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoTerm::Var(v) => write!(f, "{v}"),
+            FoTerm::Const(c) => write!(f, "{c}"),
+            FoTerm::N => write!(f, "n"),
+        }
+    }
+}
+
+/// A first-order formula over `L^P_RDF`.
+///
+/// Conjunction and disjunction are n-ary (empty conjunction is true,
+/// empty disjunction is false), matching how the Lemma C.1 construction
+/// builds formulas.
+#[derive(Clone, PartialEq, Eq)]
+pub enum FoFormula {
+    /// `T(t₁, t₂, t₃)` — the triple relation.
+    T(FoTerm, FoTerm, FoTerm),
+    /// `Dom(t)` — the active-domain predicate.
+    Dom(FoTerm),
+    /// `t₁ = t₂`.
+    Eq(FoTerm, FoTerm),
+    /// Negation.
+    Not(Box<FoFormula>),
+    /// N-ary conjunction.
+    And(Vec<FoFormula>),
+    /// N-ary disjunction.
+    Or(Vec<FoFormula>),
+    /// `∃x φ` (quantification over the whole structure domain,
+    /// `I(G) ∪ {N}`).
+    Exists(Variable, Box<FoFormula>),
+    /// `∀x φ`.
+    Forall(Variable, Box<FoFormula>),
+}
+
+impl FoFormula {
+    /// The constant true (`⋀ ∅`).
+    pub fn tru() -> FoFormula {
+        FoFormula::And(Vec::new())
+    }
+
+    /// The constant false (`⋁ ∅`).
+    pub fn fls() -> FoFormula {
+        FoFormula::Or(Vec::new())
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> FoFormula {
+        FoFormula::Not(Box::new(self))
+    }
+
+    /// Binds `vars` existentially around `self`, innermost-first.
+    pub fn exists_all(self, vars: impl IntoIterator<Item = Variable>) -> FoFormula {
+        let mut f = self;
+        for v in vars {
+            f = FoFormula::Exists(v, Box::new(f));
+        }
+        f
+    }
+
+    /// The free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Variable> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<Variable>, out: &mut BTreeSet<Variable>) {
+        let term = |t: &FoTerm, bound: &BTreeSet<Variable>, out: &mut BTreeSet<Variable>| {
+            if let FoTerm::Var(v) = t {
+                if !bound.contains(v) {
+                    out.insert(*v);
+                }
+            }
+        };
+        match self {
+            FoFormula::T(a, b, c) => {
+                term(a, bound, out);
+                term(b, bound, out);
+                term(c, bound, out);
+            }
+            FoFormula::Dom(a) => term(a, bound, out),
+            FoFormula::Eq(a, b) => {
+                term(a, bound, out);
+                term(b, bound, out);
+            }
+            FoFormula::Not(f) => f.collect_free(bound, out),
+            FoFormula::And(fs) | FoFormula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            FoFormula::Exists(v, f) | FoFormula::Forall(v, f) => {
+                let fresh = bound.insert(*v);
+                f.collect_free(bound, out);
+                if fresh {
+                    bound.remove(v);
+                }
+            }
+        }
+    }
+
+    /// Structural size.
+    pub fn size(&self) -> usize {
+        match self {
+            FoFormula::T(..) | FoFormula::Dom(_) | FoFormula::Eq(..) => 1,
+            FoFormula::Not(f) => 1 + f.size(),
+            FoFormula::And(fs) | FoFormula::Or(fs) => {
+                1 + fs.iter().map(FoFormula::size).sum::<usize>()
+            }
+            FoFormula::Exists(_, f) | FoFormula::Forall(_, f) => 1 + f.size(),
+        }
+    }
+}
+
+impl fmt::Debug for FoFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoFormula::T(a, b, c) => write!(f, "T({a:?}, {b:?}, {c:?})"),
+            FoFormula::Dom(a) => write!(f, "Dom({a:?})"),
+            FoFormula::Eq(a, b) => write!(f, "{a:?} = {b:?}"),
+            FoFormula::Not(inner) => write!(f, "¬{inner:?}"),
+            FoFormula::And(fs) if fs.is_empty() => write!(f, "⊤"),
+            FoFormula::Or(fs) if fs.is_empty() => write!(f, "⊥"),
+            FoFormula::And(fs) => {
+                write!(f, "(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{sub:?}")?;
+                }
+                write!(f, ")")
+            }
+            FoFormula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{sub:?}")?;
+                }
+                write!(f, ")")
+            }
+            FoFormula::Exists(v, inner) => write!(f, "∃{v} {inner:?}"),
+            FoFormula::Forall(v, inner) => write!(f, "∀{v} {inner:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_variable_computation() {
+        let x = Variable::new("fx");
+        let y = Variable::new("fy");
+        let f = FoFormula::Exists(
+            x,
+            Box::new(FoFormula::And(vec![
+                FoFormula::T(FoTerm::Var(x), FoTerm::Var(y), FoTerm::N),
+                FoFormula::Dom(FoTerm::Var(y)),
+            ])),
+        );
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec![y]);
+    }
+
+    #[test]
+    fn shadowing_quantifier_keeps_outer_free() {
+        let x = Variable::new("fsx");
+        // x = n ∧ ∃x Dom(x): the first x is free.
+        let f = FoFormula::And(vec![
+            FoFormula::Eq(FoTerm::Var(x), FoTerm::N),
+            FoFormula::Exists(x, Box::new(FoFormula::Dom(FoTerm::Var(x)))),
+        ]);
+        assert_eq!(f.free_vars().len(), 1);
+    }
+
+    #[test]
+    fn constants_and_size() {
+        assert_eq!(FoFormula::tru().size(), 1);
+        assert_eq!(FoFormula::fls().size(), 1);
+        let f = FoFormula::Dom(FoTerm::N).not();
+        assert_eq!(f.size(), 2);
+        assert!(f.free_vars().is_empty());
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let x = Variable::new("fdx");
+        let f = FoFormula::Exists(x, Box::new(FoFormula::Dom(FoTerm::Var(x))));
+        assert_eq!(format!("{f:?}"), "∃?fdx Dom(?fdx)");
+    }
+}

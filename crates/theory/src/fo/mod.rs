@@ -1,0 +1,26 @@
+//! First-order logic over RDF structures: the Section 4 substrate.
+//!
+//! The proof of Theorem 4.1 translates SPARQL to FO over the vocabulary
+//! `L^P_RDF = {T/3, Dom/1, {c_i}, n}` and applies Lyndon/Otto
+//! interpolation. The interpolation step is non-constructive, but the
+//! translation itself (Lemmas C.1 and C.2) is fully constructive and is
+//! implemented here, together with:
+//!
+//! * [`formula::FoFormula`] — FO formulas over the RDF vocabulary,
+//! * [`structure::RdfStructure`] — the structure `G^P_FO` of
+//!   Definition C.5 (domain `I(G) ∪ {N}`, `T` = the triples,
+//!   `Dom` = `I(G)`, `n ↦ N`) with a model-checking evaluator,
+//! * [`translate::translate_pattern`] — the Lemma C.2 translation `φ_P`
+//!   with the equivalence `µ ∈ ⟦P⟧G ⟺ G^P_FO ⊨ φ_P(t^P_µ)`.
+//!
+//! The equivalence gives the project an *independent* second semantics
+//! for NS–SPARQL, used to cross-validate both evaluation engines
+//! (experiment E6).
+
+pub mod formula;
+pub mod structure;
+pub mod translate;
+
+pub use formula::{FoFormula, FoTerm};
+pub use structure::{Elem, RdfStructure};
+pub use translate::{translate_pattern, tuple_of_mapping};

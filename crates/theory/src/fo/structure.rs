@@ -1,0 +1,217 @@
+//! The structures `G^P_FO` of Definition C.5 and their model checker.
+//!
+//! The structure representing an RDF graph `G` has:
+//!
+//! * domain `I(G) ∪ {N}` — the IRIs of `G` plus one fresh element `N`,
+//! * `T` interpreted as exactly the triples of `G`,
+//! * `Dom` interpreted as `I(G)`,
+//! * each constant `c_i` interpreted as itself and `n` as `N`.
+
+use super::formula::{FoFormula, FoTerm};
+use owql_algebra::Variable;
+use owql_rdf::{Graph, Iri, Triple};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A domain element: an IRI of the graph, or the null marker `N`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Elem {
+    /// An IRI element.
+    Iri(Iri),
+    /// The distinguished non-domain element.
+    N,
+}
+
+/// The first-order structure representing an RDF graph
+/// (Definition C.5).
+#[derive(Clone, Debug)]
+pub struct RdfStructure {
+    domain: Vec<Elem>,
+    dom_set: BTreeSet<Iri>,
+    triples: HashSet<Triple>,
+}
+
+impl RdfStructure {
+    /// Builds `G^P_FO` from a graph.
+    pub fn of_graph(graph: &Graph) -> RdfStructure {
+        let dom_set = graph.iris();
+        let mut domain: Vec<Elem> = dom_set.iter().map(|&i| Elem::Iri(i)).collect();
+        domain.push(Elem::N);
+        RdfStructure {
+            domain,
+            dom_set,
+            triples: graph.iter().copied().collect(),
+        }
+    }
+
+    /// The structure domain `I(G) ∪ {N}`.
+    pub fn domain(&self) -> &[Elem] {
+        &self.domain
+    }
+
+    fn term_value(&self, t: FoTerm, env: &HashMap<Variable, Elem>) -> Elem {
+        match t {
+            FoTerm::Var(v) => *env
+                .get(&v)
+                .unwrap_or_else(|| panic!("unbound FO variable {v} during model checking")),
+            FoTerm::Const(c) => Elem::Iri(c),
+            FoTerm::N => Elem::N,
+        }
+    }
+
+    /// Model checking: `A ⊨ φ[env]`.
+    ///
+    /// `env` must bind every free variable of `φ`. Quantifiers range
+    /// over the full structure domain (including `N`) — Dom-relativized
+    /// quantification is expressed in the formulas themselves, exactly
+    /// as in the paper's construction.
+    pub fn satisfies(&self, f: &FoFormula, env: &mut HashMap<Variable, Elem>) -> bool {
+        match f {
+            FoFormula::T(a, b, c) => {
+                match (
+                    self.term_value(*a, env),
+                    self.term_value(*b, env),
+                    self.term_value(*c, env),
+                ) {
+                    (Elem::Iri(s), Elem::Iri(p), Elem::Iri(o)) => {
+                        self.triples.contains(&Triple { s, p, o })
+                    }
+                    // N never occurs in T (Definition C.5).
+                    _ => false,
+                }
+            }
+            FoFormula::Dom(a) => match self.term_value(*a, env) {
+                Elem::Iri(i) => self.dom_set.contains(&i),
+                Elem::N => false,
+            },
+            FoFormula::Eq(a, b) => self.term_value(*a, env) == self.term_value(*b, env),
+            FoFormula::Not(inner) => !self.satisfies(inner, env),
+            FoFormula::And(fs) => fs.iter().all(|sub| self.satisfies(sub, env)),
+            FoFormula::Or(fs) => fs.iter().any(|sub| self.satisfies(sub, env)),
+            FoFormula::Exists(v, inner) => {
+                let saved = env.get(v).copied();
+                let result = self.domain.iter().any(|&e| {
+                    env.insert(*v, e);
+                    self.satisfies(inner, env)
+                });
+                restore(env, *v, saved);
+                result
+            }
+            FoFormula::Forall(v, inner) => {
+                let saved = env.get(v).copied();
+                let result = self.domain.iter().all(|&e| {
+                    env.insert(*v, e);
+                    self.satisfies(inner, env)
+                });
+                restore(env, *v, saved);
+                result
+            }
+        }
+    }
+
+    /// Convenience: model checking of a sentence or of a formula under
+    /// the given variable assignment.
+    pub fn models(&self, f: &FoFormula, assignment: &HashMap<Variable, Elem>) -> bool {
+        let mut env = assignment.clone();
+        self.satisfies(f, &mut env)
+    }
+}
+
+fn restore(env: &mut HashMap<Variable, Elem>, v: Variable, saved: Option<Elem>) {
+    match saved {
+        Some(e) => {
+            env.insert(v, e);
+        }
+        None => {
+            env.remove(&v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_rdf::graph::graph_from;
+
+    fn structure() -> RdfStructure {
+        RdfStructure::of_graph(&graph_from(&[("a", "p", "b"), ("b", "p", "c")]))
+    }
+
+    #[test]
+    fn domain_is_iris_plus_n() {
+        let s = structure();
+        assert_eq!(s.domain().len(), 5); // a, b, c, p + N
+        assert!(s.domain().contains(&Elem::N));
+    }
+
+    #[test]
+    fn atomic_satisfaction() {
+        let s = structure();
+        let empty = HashMap::new();
+        let t = |x: &str, y: &str, z: &str| {
+            FoFormula::T(
+                FoTerm::Const(Iri::new(x)),
+                FoTerm::Const(Iri::new(y)),
+                FoTerm::Const(Iri::new(z)),
+            )
+        };
+        assert!(s.models(&t("a", "p", "b"), &empty));
+        assert!(!s.models(&t("a", "p", "c"), &empty));
+        assert!(s.models(&FoFormula::Dom(FoTerm::Const(Iri::new("a"))), &empty));
+        assert!(!s.models(&FoFormula::Dom(FoTerm::N), &empty));
+        assert!(s.models(&FoFormula::Eq(FoTerm::N, FoTerm::N), &empty));
+    }
+
+    #[test]
+    fn quantifiers_range_over_domain_plus_n() {
+        let s = structure();
+        let x = Variable::new("sx");
+        let empty = HashMap::new();
+        // ∃x ¬Dom(x): satisfied by N.
+        let f = FoFormula::Exists(x, Box::new(FoFormula::Dom(FoTerm::Var(x)).not()));
+        assert!(s.models(&f, &empty));
+        // ∀x Dom(x): false because of N.
+        let g = FoFormula::Forall(x, Box::new(FoFormula::Dom(FoTerm::Var(x))));
+        assert!(!s.models(&g, &empty));
+    }
+
+    #[test]
+    fn existential_triple_query() {
+        let s = structure();
+        let x = Variable::new("stx");
+        let y = Variable::new("sty");
+        // ∃x ∃y (T(x, p, y) ∧ T(y, p, c)): witnessed by x=a, y=b.
+        let f = FoFormula::And(vec![
+            FoFormula::T(FoTerm::Var(x), FoTerm::Const(Iri::new("p")), FoTerm::Var(y)),
+            FoFormula::T(
+                FoTerm::Var(y),
+                FoTerm::Const(Iri::new("p")),
+                FoTerm::Const(Iri::new("c")),
+            ),
+        ])
+        .exists_all([y, x]);
+        assert!(s.models(&f, &HashMap::new()));
+    }
+
+    #[test]
+    fn environment_restored_after_quantifier() {
+        let s = structure();
+        let x = Variable::new("senv");
+        let mut env = HashMap::new();
+        env.insert(x, Elem::N);
+        // ∃x Dom(x) rebinds x internally.
+        let f = FoFormula::Exists(x, Box::new(FoFormula::Dom(FoTerm::Var(x))));
+        assert!(s.satisfies(&f, &mut env));
+        assert_eq!(env.get(&x), Some(&Elem::N));
+    }
+
+    #[test]
+    fn free_variable_assignment() {
+        let s = structure();
+        let x = Variable::new("sfv");
+        let mut env = HashMap::new();
+        env.insert(x, Elem::Iri(Iri::new("a")));
+        assert!(s.models(&FoFormula::Dom(FoTerm::Var(x)), &env));
+        env.insert(x, Elem::N);
+        assert!(!s.models(&FoFormula::Dom(FoTerm::Var(x)), &env));
+    }
+}

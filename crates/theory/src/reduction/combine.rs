@@ -1,0 +1,184 @@
+//! Lemma H.1: combining vocabulary-disjoint evaluation instances into a
+//! single USP–SPARQL (ns-pattern) instance deciding their disjunction.
+//!
+//! Given instances `(µᵢ, Pᵢ = NS(Qᵢ), Gᵢ)` with pairwise-disjoint
+//! variables and IRIs, the lemma builds
+//!
+//! ```text
+//! µ = µ₁ ∪ ⋯ ∪ µₙ
+//! G = ⋃ Gᵢ  ∪  { (µ(?X), c_X, d_X) | ?X ∈ dom(µ) }
+//! P'ᵢ = NS(Qᵢ AND ⋀_{?X ∈ dom(µ)∖dom(µᵢ)} (?X, c_X, d_X))
+//! P = P'₁ UNION ⋯ UNION P'ₙ
+//! ```
+//!
+//! and shows `µ ∈ ⟦P⟧G ⟺ µᵢ ∈ ⟦Pᵢ⟧Gᵢ for some i`. The cross triples
+//! `(µ(?X), c_X, d_X)` (with `c_X, d_X` fresh per variable) let each
+//! disjunct pad its answer up to the full domain of `µ` without
+//! touching the other instances' data.
+
+use super::EvalInstance;
+use owql_algebra::pattern::{Pattern, TriplePattern};
+use owql_algebra::{Mapping, Variable};
+use owql_rdf::{Iri, Triple};
+
+/// Combines simple-pattern instances per Lemma H.1. Every
+/// `instances[i].pattern` must be `NS(Qᵢ)`; variables and IRIs must be
+/// pairwise disjoint (as produced by tagged gadgets).
+pub fn combine(instances: &[EvalInstance]) -> EvalInstance {
+    assert!(!instances.is_empty(), "cannot combine zero instances");
+    // µ = union of all µi (disjoint domains by precondition).
+    let mut mu = Mapping::new();
+    for inst in instances {
+        mu = mu
+            .union(&inst.mapping)
+            .expect("instance mappings must have disjoint domains");
+    }
+    // G = union of graphs + cross triples.
+    let mut graph = owql_rdf::Graph::new();
+    for inst in instances {
+        graph.extend(inst.graph.iter().copied());
+    }
+    let cross = |v: Variable| {
+        (
+            Iri::new(&format!("__cross_c_{}", v.name())),
+            Iri::new(&format!("__cross_d_{}", v.name())),
+        )
+    };
+    for (v, value) in mu.iter() {
+        let (c, d) = cross(v);
+        graph.insert(Triple::new(value, c, d));
+    }
+    // P = UNION over i of NS(Qi AND cross-triples for missing vars).
+    let mut disjuncts = Vec::new();
+    for inst in instances {
+        let Pattern::Ns(q) = &inst.pattern else {
+            panic!("Lemma H.1 requires simple patterns NS(Q), got {}", inst.pattern)
+        };
+        let mut conj = vec![(**q).clone()];
+        for (v, _) in mu.iter() {
+            if inst.mapping.is_bound(v) {
+                continue;
+            }
+            let (c, d) = cross(v);
+            conj.push(Pattern::Triple(TriplePattern::new(v, c, d)));
+        }
+        disjuncts.push(Pattern::and_all(conj).ns());
+    }
+    EvalInstance {
+        graph,
+        pattern: Pattern::union_all(disjuncts),
+        mapping: mu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::dp::sat_unsat_instance;
+    use owql_logic::Formula;
+
+    fn sat() -> Formula {
+        Formula::var(0)
+    }
+
+    fn unsat() -> Formula {
+        Formula::var(0).and(Formula::var(0).not())
+    }
+
+    /// The combined instance decides the disjunction: true iff some
+    /// component pair is in SAT-UNSAT.
+    #[test]
+    fn disjunction_of_dp_instances() {
+        // All 4 boolean combinations of two DP instances.
+        let cases = [
+            (true, true),
+            (true, false),
+            (false, true),
+            (false, false),
+        ];
+        for (case_idx, (first_yes, second_yes)) in cases.into_iter().enumerate() {
+            let mk = |yes: bool, tag: &str| {
+                if yes {
+                    sat_unsat_instance(&sat(), &unsat(), tag).instance
+                } else {
+                    sat_unsat_instance(&sat(), &sat(), tag).instance
+                }
+            };
+            let i1 = mk(first_yes, &format!("cmb{case_idx}a"));
+            let i2 = mk(second_yes, &format!("cmb{case_idx}b"));
+            let combined = combine(&[i1, i2]);
+            assert_eq!(
+                combined.decide(),
+                first_yes || second_yes,
+                "case {case_idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn result_is_an_ns_pattern_union() {
+        let i1 = sat_unsat_instance(&sat(), &unsat(), "nsu_a").instance;
+        let i2 = sat_unsat_instance(&sat(), &unsat(), "nsu_b").instance;
+        let combined = combine(&[i1, i2]);
+        let disjuncts = combined.pattern.disjuncts();
+        assert_eq!(disjuncts.len(), 2);
+        for d in disjuncts {
+            assert!(matches!(d, Pattern::Ns(_)), "disjunct {d} is not simple");
+        }
+    }
+
+    #[test]
+    fn combined_mapping_unions_components() {
+        let i1 = sat_unsat_instance(&sat(), &unsat(), "cm_a").instance;
+        let i2 = sat_unsat_instance(&sat(), &unsat(), "cm_b").instance;
+        let m1 = i1.mapping.clone();
+        let m2 = i2.mapping.clone();
+        let combined = combine(&[i1, i2]);
+        assert!(m1.subsumed_by(&combined.mapping));
+        assert!(m2.subsumed_by(&combined.mapping));
+        assert_eq!(combined.mapping.len(), m1.len() + m2.len());
+    }
+
+    #[test]
+    fn single_instance_combination_is_faithful() {
+        for yes in [true, false] {
+            let tag = format!("single{yes}");
+            let inner = if yes {
+                sat_unsat_instance(&sat(), &unsat(), &tag).instance
+            } else {
+                sat_unsat_instance(&unsat(), &unsat(), &tag).instance
+            };
+            let combined = combine(&[inner]);
+            assert_eq!(combined.decide(), yes);
+        }
+    }
+
+    #[test]
+    fn three_way_combination() {
+        let mk = |yes: bool, tag: &str| {
+            if yes {
+                sat_unsat_instance(&sat(), &unsat(), tag).instance
+            } else {
+                sat_unsat_instance(&sat(), &sat(), tag).instance
+            }
+        };
+        let combined = combine(&[
+            mk(false, "three_a"),
+            mk(false, "three_b"),
+            mk(true, "three_c"),
+        ]);
+        assert!(combined.decide());
+        let all_no = combine(&[
+            mk(false, "threeno_a"),
+            mk(false, "threeno_b"),
+            mk(false, "threeno_c"),
+        ]);
+        assert!(!all_no.decide());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot combine zero")]
+    fn empty_combination_panics() {
+        combine(&[]);
+    }
+}

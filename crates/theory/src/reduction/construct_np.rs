@@ -1,0 +1,108 @@
+//! Theorem 7.4: SAT ≤ₚ Eval(CONSTRUCT\[AUF\]).
+//!
+//! The simplest of the four reductions: the CONSTRUCT operator already
+//! discards bindings, so no SELECT collapse is needed — the query
+//!
+//! ```text
+//! Q = CONSTRUCT {(v, sat, yes)} WHERE P^sat_φ
+//! ```
+//!
+//! over the SAT gadget graph emits the ground triple `(v, sat, yes)`
+//! iff `φ` has at least one model. `P^sat_φ ∈ SPARQL[AUF]`, so
+//! `Q ∈ CONSTRUCT\[AUF\]`, establishing NP-hardness of its evaluation
+//! problem (membership is immediate: guess the mapping).
+
+use super::sat_gadget::sat_gadget;
+use owql_algebra::construct::ConstructQuery;
+use owql_algebra::pattern::TriplePattern;
+use owql_logic::Formula;
+use owql_rdf::{Graph, Iri, Triple};
+
+/// An instance of the CONSTRUCT evaluation problem: is `triple` in
+/// `ans(query, graph)`?
+#[derive(Clone, Debug)]
+pub struct ConstructInstance {
+    /// The CONSTRUCT\[AUF\] query.
+    pub query: ConstructQuery,
+    /// The gadget graph.
+    pub graph: Graph,
+    /// The candidate output triple.
+    pub triple: Triple,
+}
+
+impl ConstructInstance {
+    /// Decides the instance with the reference CONSTRUCT evaluator.
+    pub fn decide(&self) -> bool {
+        owql_eval::construct(&self.query, &self.graph).contains(&self.triple)
+    }
+}
+
+/// Builds the Theorem 7.4 instance for `φ`:
+/// `(v, sat, yes) ∈ ans(Q, G)` iff `φ` is satisfiable.
+pub fn sat_construct_instance(phi: &Formula, tag: &str) -> ConstructInstance {
+    let gadget = sat_gadget(phi, phi.num_vars(), tag);
+    let v = Iri::new(&format!("{tag}_v"));
+    let sat = Iri::new(&format!("{tag}_sat"));
+    let yes = Iri::new(&format!("{tag}_yes"));
+    ConstructInstance {
+        query: ConstructQuery::new(
+            [TriplePattern::new(v, sat, yes)],
+            gadget.sat_pattern.clone(),
+        ),
+        graph: gadget.graph,
+        triple: Triple::new(v, sat, yes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_algebra::analysis::Operators;
+    use owql_logic::dpll::solve_formula;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sat_and_unsat_cases() {
+        let sat = Formula::var(0).or(Formula::var(1));
+        let unsat = Formula::var(0).and(Formula::var(0).not());
+        assert!(sat_construct_instance(&sat, "cn_s").decide());
+        assert!(!sat_construct_instance(&unsat, "cn_u").decide());
+    }
+
+    #[test]
+    fn query_is_construct_auf() {
+        let inst = sat_construct_instance(&Formula::var(0), "cn_frag");
+        assert!(inst.query.in_fragment(Operators::AUF));
+    }
+
+    #[test]
+    fn output_is_at_most_the_one_triple() {
+        let inst = sat_construct_instance(&Formula::var(0).or(Formula::var(1)), "cn_one");
+        let out = owql_eval::construct(&inst.query, &inst.graph);
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&inst.triple));
+    }
+
+    #[test]
+    fn random_formulas_match_oracle() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        for round in 0..30 {
+            let f = random_formula(&mut rng, 3, 3);
+            let inst = sat_construct_instance(&f, &format!("cnr{round}"));
+            assert_eq!(inst.decide(), solve_formula(&f).is_sat(), "formula {f}");
+        }
+    }
+
+    fn random_formula(rng: &mut StdRng, depth: usize, vars: usize) -> Formula {
+        if depth == 0 {
+            return Formula::var(rng.gen_range(0..vars));
+        }
+        match rng.gen_range(0..4) {
+            0 => random_formula(rng, depth - 1, vars).not(),
+            1 => random_formula(rng, depth - 1, vars).and(random_formula(rng, depth - 1, vars)),
+            2 => random_formula(rng, depth - 1, vars).or(random_formula(rng, depth - 1, vars)),
+            _ => Formula::var(rng.gen_range(0..vars)),
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Theorem 7.3: MAX-ODD-SAT ≤ₚ Eval(USP–SPARQL).
+//!
+//! **MAX-ODD-SAT**: given a propositional formula `φ`, does the
+//! satisfying assignment with the *largest number of true variables*
+//! set an odd number of variables true? (Unsatisfiable formulas are
+//! no-instances; the paper WLOG-pads the variable count to be even.)
+//!
+//! Appendix I derives, for each `k`, a formula `φ_k` satisfiable iff
+//! some model of `φ` sets at least `k` variables true — via Cook's
+//! theorem in the paper, via a direct cardinality formula here
+//! ([`owql_logic::cardinality::at_least_k_formula`]; the substitution
+//! is documented in DESIGN.md). Then
+//!
+//! ```text
+//! φ ∈ MAX-ODD-SAT ⟺ ∃ odd k ∈ {1, 3, …, m−1}:
+//!                     (φ_k, φ_{k+1}) ∈ SAT-UNSAT
+//! ```
+//!
+//! and the `m/2` SAT-UNSAT pairs combine into one ns-pattern by
+//! Lemma H.1 — an unbounded number of disjuncts, matching the
+//! Pᴺᴾ∥-hardness of `Eval(USP–SPARQL)`.
+
+use super::combine::combine;
+use super::dp::sat_unsat_instance;
+use super::EvalInstance;
+use owql_logic::cardinality::at_least_k_formula;
+use owql_logic::Formula;
+
+/// `φ_k = φ ∧ "at least k of the m variables are true"`.
+pub fn phi_k(phi: &Formula, m: usize, k: usize) -> Formula {
+    let vars: Vec<usize> = (0..m).collect();
+    phi.clone().and(at_least_k_formula(&vars, k))
+}
+
+/// The MAX-ODD-SAT oracle by brute force (test-sized `m` only): the
+/// maximum true-count over satisfying assignments, `None` if `φ` is
+/// unsatisfiable.
+pub fn max_true_count(phi: &Formula, m: usize) -> Option<usize> {
+    assert!(m <= 20);
+    let mut best: Option<usize> = None;
+    for mask in 0u32..(1u32 << m) {
+        let a: Vec<bool> = (0..m).map(|i| mask & (1 << i) != 0).collect();
+        if phi.eval(&a) {
+            let count = mask.count_ones() as usize;
+            best = Some(best.map_or(count, |b| b.max(count)));
+        }
+    }
+    best
+}
+
+/// `true` iff `φ` (over `m` variables) is a MAX-ODD-SAT yes-instance.
+pub fn is_max_odd_sat(phi: &Formula, m: usize) -> bool {
+    matches!(max_true_count(phi, m), Some(c) if c % 2 == 1)
+}
+
+/// Builds the Theorem 7.3 instance for `φ` over `m` variables (`m`
+/// must be even, as in the paper's WLOG; pad with an unused variable if
+/// needed): `µ ∈ ⟦P⟧G ⟺ φ ∈ MAX-ODD-SAT`.
+pub fn max_odd_sat_instance(phi: &Formula, m: usize, tag: &str) -> EvalInstance {
+    assert!(m % 2 == 0, "pad the variable count to be even (paper WLOG)");
+    assert!(m >= 2);
+    assert!(phi.num_vars() <= m);
+    let parts: Vec<EvalInstance> = (1..m)
+        .step_by(2)
+        .map(|k| {
+            let fk = phi_k(phi, m, k);
+            let fk1 = phi_k(phi, m, k + 1);
+            sat_unsat_instance(&fk, &fk1, &format!("{tag}_k{k}")).instance
+        })
+        .collect();
+    combine(&parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_logic::dpll::solve_formula;
+
+    #[test]
+    fn phi_k_satisfiability_thresholds() {
+        // φ = x0 ∨ x1 over m = 2: max count 2.
+        let phi = Formula::var(0).or(Formula::var(1));
+        assert!(solve_formula(&phi_k(&phi, 2, 0)).is_sat());
+        assert!(solve_formula(&phi_k(&phi, 2, 1)).is_sat());
+        assert!(solve_formula(&phi_k(&phi, 2, 2)).is_sat());
+        // φ = x0 ⊕-ish: x0 ∧ ¬x1 caps count at 1.
+        let phi2 = Formula::var(0).and(Formula::var(1).not());
+        assert!(solve_formula(&phi_k(&phi2, 2, 1)).is_sat());
+        assert!(!solve_formula(&phi_k(&phi2, 2, 2)).is_sat());
+    }
+
+    #[test]
+    fn oracle_behaviour() {
+        let phi = Formula::var(0).and(Formula::var(1).not());
+        assert_eq!(max_true_count(&phi, 2), Some(1));
+        assert!(is_max_odd_sat(&phi, 2));
+        let unsat = Formula::var(0).and(Formula::var(0).not());
+        assert_eq!(max_true_count(&unsat, 2), None);
+        assert!(!is_max_odd_sat(&unsat, 2));
+        let all = Formula::True;
+        assert_eq!(max_true_count(&all, 2), Some(2));
+        assert!(!is_max_odd_sat(&all, 2));
+    }
+
+    /// End-to-end: the reduction decides MAX-ODD-SAT on a suite of
+    /// small formulas, matching the brute-force oracle.
+    #[test]
+    fn reduction_matches_oracle() {
+        let cases: Vec<(Formula, usize)> = vec![
+            // max count 1 (odd) → yes
+            (Formula::var(0).and(Formula::var(1).not()), 2),
+            // max count 2 (even) → no
+            (Formula::var(0).or(Formula::var(1)), 2),
+            // unsat → no
+            (Formula::var(0).and(Formula::var(0).not()), 2),
+            // max count 0 (only all-false) → no
+            (Formula::var(0).not().and(Formula::var(1).not()), 2),
+            // forces exactly x0 x1 true, x2 x3 false: count 2 → no
+            (
+                Formula::var(0)
+                    .and(Formula::var(1))
+                    .and(Formula::var(2).not())
+                    .and(Formula::var(3).not()),
+                4,
+            ),
+            // x0 ∧ (¬x1 ∨ ¬x2) with x3 free: max count 3 (x0,x1,x3 or
+            // x0,x2,x3) → yes
+            (
+                Formula::var(0).and(Formula::var(1).not().or(Formula::var(2).not())),
+                4,
+            ),
+        ];
+        for (i, (phi, m)) in cases.into_iter().enumerate() {
+            let expected = is_max_odd_sat(&phi, m);
+            let inst = max_odd_sat_instance(&phi, m, &format!("mos{i}"));
+            assert_eq!(inst.decide(), expected, "case {i}: {phi}");
+        }
+    }
+
+    #[test]
+    fn disjunct_count_is_m_over_2() {
+        let phi = Formula::var(0);
+        let inst = max_odd_sat_instance(&phi, 4, "mos_cnt");
+        assert_eq!(inst.pattern.disjuncts().len(), 2); // k ∈ {1, 3}
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_variable_count_rejected() {
+        max_odd_sat_instance(&Formula::var(0), 3, "mos_odd");
+    }
+}

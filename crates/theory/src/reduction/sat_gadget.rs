@@ -1,0 +1,289 @@
+//! The SAT gadget (our executable analogue of Lemma G.1).
+//!
+//! For a propositional formula `φ` over variables `x₀ … xₙ₋₁` and a
+//! vocabulary `tag` (used to build pairwise-disjoint instances, as
+//! Lemma G.2 requires), the gadget produces:
+//!
+//! * a graph `G_φ` with triples `(v, pᵢ, true)` and `(v, pᵢ, false)`
+//!   for each variable plus a marker triple `(v, marker, ok)`;
+//! * an *assignment pattern* `(v, p₀, ?X₀) AND … AND (v, pₙ₋₁, ?Xₙ₋₁)`
+//!   whose answers over `G_φ` are exactly the `2ⁿ` assignments;
+//! * the `SPARQL[AUF]` pattern `P^sat_φ` = assignment pattern
+//!   `FILTER R_φ`, whose answers are exactly the satisfying
+//!   assignments of `φ`;
+//! * the *collapsed* `SPARQL[AUFS]` pattern
+//!   `P_φ = SELECT {?D} WHERE (P^sat_φ AND (v, marker, ?D))` with the
+//!   distinguished mapping `µ_φ = [?D → ok]`, satisfying the Lemma G.1
+//!   interface: `φ` satisfiable ⟹ `⟦P_φ⟧G_φ = {µ_φ}`, and `φ`
+//!   unsatisfiable ⟹ `⟦P_φ⟧G_φ = ∅`.
+//!
+//! (Lemma G.1 as stated in the paper produces an `SPARQL[AUF]` pattern
+//! with a singleton answer; collapsing the assignment variables without
+//! projection is not possible when `φ` has several models, so we use
+//! the `SELECT`-based collapse — legitimate wherever the lemma is used,
+//! because simple patterns are `NS(SPARQL[AUFS])` and projection is
+//! available. Documented as a substitution in DESIGN.md.)
+//!
+//! Every triple pattern mentions an IRI (the subject `v` or predicate),
+//! so Lemma G.2 applies: over a union with a vocabulary-disjoint graph,
+//! evaluation is unchanged.
+
+use super::EvalInstance;
+use owql_algebra::condition::Condition;
+use owql_algebra::pattern::{Pattern, TriplePattern};
+use owql_algebra::{Mapping, Variable};
+use owql_logic::Formula;
+use owql_rdf::{Graph, Iri, Triple};
+
+/// Names used by one tagged gadget instance.
+#[derive(Clone, Debug)]
+pub struct SatGadget {
+    /// Vocabulary tag (all IRIs and variables are prefixed with it).
+    pub tag: String,
+    /// Number of propositional variables.
+    pub num_vars: usize,
+    /// The gadget graph `G_φ`.
+    pub graph: Graph,
+    /// The `SPARQL[AUF]` pattern whose answers are the models of `φ`.
+    pub sat_pattern: Pattern,
+    /// The collapsed `SPARQL[AUFS]` pattern.
+    pub collapsed: Pattern,
+    /// The distinguished mapping `µ_φ = [?D_tag → ok_tag]`.
+    pub mapping: Mapping,
+}
+
+impl SatGadget {
+    /// The assignment variable `?X_i` of this gadget.
+    pub fn assignment_var(&self, i: usize) -> Variable {
+        Variable::new(&format!("{}_x{i}", self.tag))
+    }
+
+    /// The IRI carrying truth value `b` in this gadget's vocabulary.
+    pub fn value_iri(&self, b: bool) -> Iri {
+        Iri::new(&format!("{}_{}", self.tag, if b { "true" } else { "false" }))
+    }
+
+    /// Converts a gadget answer (over the assignment variables) back to
+    /// a propositional assignment.
+    pub fn decode_assignment(&self, m: &Mapping) -> Option<Vec<bool>> {
+        (0..self.num_vars)
+            .map(|i| {
+                let v = m.get(self.assignment_var(i))?;
+                if v == self.value_iri(true) {
+                    Some(true)
+                } else if v == self.value_iri(false) {
+                    Some(false)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// The gadget as an `Eval` instance over the collapsed pattern:
+    /// `µ_φ ∈ ⟦P_φ⟧G_φ` iff `φ` is satisfiable.
+    pub fn eval_instance(&self) -> EvalInstance {
+        EvalInstance {
+            graph: self.graph.clone(),
+            pattern: self.collapsed.clone(),
+            mapping: self.mapping.clone(),
+        }
+    }
+}
+
+/// Translates a propositional formula into a FILTER condition over the
+/// gadget's assignment variables (`xᵢ` ↦ `?Xᵢ = true_tag`).
+fn condition_of_formula(f: &Formula, tag: &str) -> Condition {
+    let var = |i: usize| Variable::new(&format!("{tag}_x{i}"));
+    let true_iri = Iri::new(&format!("{tag}_true"));
+    match f {
+        Formula::True => Condition::True,
+        Formula::False => Condition::False,
+        Formula::Var(i) => Condition::EqConst(var(*i), true_iri),
+        Formula::Not(inner) => condition_of_formula(inner, tag).not(),
+        Formula::And(a, b) => condition_of_formula(a, tag).and(condition_of_formula(b, tag)),
+        Formula::Or(a, b) => condition_of_formula(a, tag).or(condition_of_formula(b, tag)),
+    }
+}
+
+/// Builds the tagged SAT gadget for `φ` (over `φ.num_vars()`
+/// propositional variables; pass `num_vars` explicitly to widen the
+/// assignment space, as MAX-ODD-SAT needs).
+pub fn sat_gadget(f: &Formula, num_vars: usize, tag: &str) -> SatGadget {
+    assert!(num_vars >= f.num_vars(), "num_vars must cover the formula");
+    let v = Iri::new(&format!("{tag}_v"));
+    let marker = Iri::new(&format!("{tag}_marker"));
+    let ok = Iri::new(&format!("{tag}_ok"));
+    let true_iri = Iri::new(&format!("{tag}_true"));
+    let false_iri = Iri::new(&format!("{tag}_false"));
+
+    let mut graph = Graph::new();
+    graph.insert(Triple::new(v, marker, ok));
+    let mut conjuncts = Vec::new();
+    for i in 0..num_vars {
+        let p_i = Iri::new(&format!("{tag}_p{i}"));
+        graph.insert(Triple::new(v, p_i, true_iri));
+        graph.insert(Triple::new(v, p_i, false_iri));
+        conjuncts.push(Pattern::Triple(TriplePattern::new(
+            v,
+            p_i,
+            Variable::new(&format!("{tag}_x{i}")),
+        )));
+    }
+    // A formula over zero variables still needs a non-empty pattern.
+    if conjuncts.is_empty() {
+        conjuncts.push(Pattern::Triple(TriplePattern::new(v, marker, ok)));
+    }
+    let sat_pattern = Pattern::and_all(conjuncts).filter(condition_of_formula(f, tag));
+
+    let d = Variable::new(&format!("{tag}_D"));
+    let collapsed = sat_pattern
+        .clone()
+        .and(Pattern::Triple(TriplePattern::new(v, marker, d)))
+        .select([d]);
+    let mapping = Mapping::new().bind(d, ok);
+
+    SatGadget {
+        tag: tag.to_owned(),
+        num_vars,
+        graph,
+        sat_pattern,
+        collapsed,
+        mapping,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_eval::reference::evaluate;
+    use owql_logic::dpll::solve_formula;
+
+    fn sample_formulas() -> Vec<(Formula, usize)> {
+        vec![
+            (Formula::var(0), 1),
+            (Formula::var(0).and(Formula::var(0).not()), 1),
+            (Formula::var(0).or(Formula::var(1)), 2),
+            (
+                Formula::var(0)
+                    .or(Formula::var(1))
+                    .and(Formula::var(0).not().or(Formula::var(1).not())),
+                2,
+            ),
+            (
+                Formula::var(0)
+                    .or(Formula::var(1))
+                    .and(Formula::var(0).not())
+                    .and(Formula::var(1).not()),
+                2,
+            ),
+            (Formula::True, 0),
+            (Formula::False, 0),
+            (
+                Formula::var(0).and(Formula::var(1)).and(Formula::var(2).not()),
+                3,
+            ),
+        ]
+    }
+
+    #[test]
+    fn sat_pattern_answers_are_exactly_the_models() {
+        for (i, (f, n)) in sample_formulas().into_iter().enumerate() {
+            let g = sat_gadget(&f, n, &format!("sg{i}"));
+            let answers = evaluate(&g.sat_pattern, &g.graph);
+            assert_eq!(answers.len(), f.count_models(n), "formula {f}");
+            for m in answers.iter() {
+                let a = g.decode_assignment(m).expect("decodable assignment");
+                assert!(f.eval(&a), "non-model answer for {f}");
+            }
+        }
+    }
+
+    /// The strongest form of the Lemma G.1 interface: the decoded
+    /// answer set is *exactly* the model set enumerated by the solver.
+    #[test]
+    fn answer_set_equals_enumerated_models() {
+        use owql_logic::enumerate::all_models_formula;
+        for (i, (f, n)) in sample_formulas().into_iter().enumerate() {
+            let g = sat_gadget(&f, n, &format!("se{i}"));
+            let decoded: std::collections::BTreeSet<Vec<bool>> =
+                evaluate(&g.sat_pattern, &g.graph)
+                    .iter()
+                    .map(|m| g.decode_assignment(m).expect("decodable"))
+                    .collect();
+            let models = all_models_formula(&f, n, 1024).expect("within cap");
+            assert_eq!(decoded, models, "formula {f}");
+        }
+    }
+
+    #[test]
+    fn collapsed_pattern_is_singleton_iff_sat() {
+        for (i, (f, n)) in sample_formulas().into_iter().enumerate() {
+            let g = sat_gadget(&f, n, &format!("sc{i}"));
+            let answers = evaluate(&g.collapsed, &g.graph);
+            if solve_formula(&f).is_sat() {
+                assert_eq!(answers.len(), 1, "formula {f}");
+                assert!(answers.contains(&g.mapping));
+            } else {
+                assert!(answers.is_empty(), "formula {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_pattern_is_aufs() {
+        use owql_algebra::analysis::{in_fragment, Operators};
+        let g = sat_gadget(&Formula::var(0).or(Formula::var(1)), 2, "frag");
+        assert!(in_fragment(&g.collapsed, Operators::AUFS));
+        assert!(in_fragment(&g.sat_pattern, Operators::AUF));
+    }
+
+    #[test]
+    fn no_variable_only_triples_and_iris_match_graph() {
+        // The Lemma G.2 side conditions.
+        use owql_algebra::analysis::{has_variable_only_triple, pattern_iris};
+        let g = sat_gadget(&Formula::var(0), 1, "g2cond");
+        assert!(!has_variable_only_triple(&g.collapsed));
+        let graph_iris = g.graph.iris();
+        for iri in pattern_iris(&g.collapsed) {
+            assert!(graph_iris.contains(&iri), "pattern IRI {iri} not in graph");
+        }
+    }
+
+    #[test]
+    fn disjoint_union_does_not_change_evaluation() {
+        // Lemma G.2 in action: evaluating one gadget over the union of
+        // two vocabulary-disjoint gadget graphs gives the same answers.
+        let f = Formula::var(0).or(Formula::var(1));
+        let a = sat_gadget(&f, 2, "du_a");
+        let b = sat_gadget(&Formula::var(0), 1, "du_b");
+        assert!(a.graph.iris_disjoint_from(&b.graph));
+        let union = a.graph.union(&b.graph);
+        assert_eq!(
+            evaluate(&a.collapsed, &union),
+            evaluate(&a.collapsed, &a.graph)
+        );
+        assert_eq!(
+            evaluate(&a.sat_pattern, &union),
+            evaluate(&a.sat_pattern, &a.graph)
+        );
+    }
+
+    #[test]
+    fn eval_instance_decides_satisfiability() {
+        let sat = Formula::var(0).or(Formula::var(1));
+        let unsat = Formula::var(0).and(Formula::var(0).not());
+        assert!(sat_gadget(&sat, 2, "ei_s").eval_instance().decide());
+        assert!(!sat_gadget(&unsat, 1, "ei_u").eval_instance().decide());
+    }
+
+    #[test]
+    fn widened_assignment_space() {
+        // num_vars larger than the formula's: extra free variables
+        // multiply the models.
+        let f = Formula::var(0);
+        let g = sat_gadget(&f, 3, "wide");
+        let answers = evaluate(&g.sat_pattern, &g.graph);
+        assert_eq!(answers.len(), 4); // x0 fixed true, x1/x2 free
+    }
+}

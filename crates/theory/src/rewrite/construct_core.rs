@@ -1,0 +1,283 @@
+//! CONSTRUCT-level rewrites: Lemma 6.3 and the Lemma 6.5 construction.
+//!
+//! **Lemma 6.3**: `CONSTRUCT H WHERE P ≡ CONSTRUCT H WHERE NS(P)` —
+//! subsumed mappings can only re-instantiate template triples already
+//! produced by the mappings subsuming them. [`with_ns_pattern`] applies
+//! the rewrite; its tests verify the equivalence.
+//!
+//! **Lemma 6.5**: for every *monotone* CONSTRUCT query `q` there is an
+//! equivalent query whose pattern is weakly monotone.
+//! [`weakly_monotone_core`] implements the appendix's construction:
+//! for each template triple `t`, a pattern
+//!
+//! ```text
+//! P_t = SELECT var(t) WHERE
+//!        ([P UNION ⋃_{s ∈ H∖{t}} ((P_σs AND Adom(t)) FILTER R_{t,s})]
+//!          FILTER bound(var(t)))
+//! ```
+//!
+//! where `P_σs` renames `P` apart, `Adom(?X)` matches `?X` anywhere in
+//! the graph, and `R_{t,s}` equates `t`'s positions with the renamed
+//! `s`'s positions. Intuition: if monotonicity forces `µ(t)` to remain
+//! producible in every extension, it may be produced *by a different
+//! template triple `s`* there; `P_t` anticipates that by also deriving
+//! `t`-bindings from `s`-matches. The final query unions the
+//! variable-disjoint `P_t`s with correspondingly renamed templates.
+//!
+//! The construction always yields a query with the paper's claimed
+//! shape; equality `ans(q', G) = ans(q, G)` is guaranteed for monotone
+//! `q` (verified on monotone samples in the tests, together with
+//! bounded weak-monotonicity of the produced pattern).
+
+use owql_algebra::analysis::FreshVars;
+use owql_algebra::condition::Condition;
+use owql_algebra::pattern::{Pattern, TermPattern, TriplePattern};
+use owql_algebra::{ConstructQuery, Variable};
+use std::collections::BTreeMap;
+
+/// Lemma 6.3: wraps the pattern in NS. Equivalent on every graph.
+pub fn with_ns_pattern(q: &ConstructQuery) -> ConstructQuery {
+    ConstructQuery {
+        template: q.template.clone(),
+        pattern: q.pattern.clone().ns(),
+    }
+}
+
+/// `Adom(?X)`: a pattern binding `?X` to any IRI mentioned anywhere in
+/// the graph (three fresh-variable triple patterns, one per position).
+fn adom(x: Variable, fresh: &mut FreshVars) -> Pattern {
+    let f1 = fresh.fresh();
+    let f2 = fresh.fresh();
+    let f3 = fresh.fresh();
+    let f4 = fresh.fresh();
+    let f5 = fresh.fresh();
+    let f6 = fresh.fresh();
+    Pattern::Triple(TriplePattern::new(x, f1, f2))
+        .union(Pattern::Triple(TriplePattern::new(f3, x, f4)))
+        .union(Pattern::Triple(TriplePattern::new(f5, f6, x)))
+}
+
+/// `Adom(t)`: conjunction of `Adom(?X)` over `?X ∈ var(t)`; `None`
+/// when `t` is ground (the paper's "tautology" case).
+fn adom_triple(t: TriplePattern, fresh: &mut FreshVars) -> Option<Pattern> {
+    let vars: Vec<Variable> = t.vars().into_iter().collect();
+    if vars.is_empty() {
+        return None;
+    }
+    Some(Pattern::and_all(vars.into_iter().map(|x| adom(x, fresh))))
+}
+
+/// The condition `R_{t,s}`: position-wise equality between `t` and the
+/// `σs`-renamed `s`.
+fn position_equality(t: TriplePattern, s_renamed: TriplePattern) -> Condition {
+    let atom = |a: TermPattern, b: TermPattern| match (a, b) {
+        (TermPattern::Iri(x), TermPattern::Iri(y)) => {
+            if x == y {
+                Condition::True
+            } else {
+                Condition::False
+            }
+        }
+        (TermPattern::Var(v), TermPattern::Iri(c)) | (TermPattern::Iri(c), TermPattern::Var(v)) => {
+            Condition::EqConst(v, c)
+        }
+        (TermPattern::Var(v), TermPattern::Var(w)) => Condition::EqVar(v, w),
+    };
+    atom(t.s, s_renamed.s)
+        .and(atom(t.p, s_renamed.p))
+        .and(atom(t.o, s_renamed.o))
+}
+
+/// The Lemma 6.5 construction. Produces a query `q'` with one
+/// variable-disjoint `(t', P_t')` per template triple; `q' ≡ q` holds
+/// whenever `q` is monotone, and every `P_t` is then (weakly)
+/// monotone, making the whole pattern weakly monotone.
+pub fn weakly_monotone_core(q: &ConstructQuery) -> ConstructQuery {
+    let q = q.normalize_template();
+    let mut fresh = FreshVars::avoiding([&q.pattern]).with_prefix("wm");
+    let template: Vec<TriplePattern> = q.template.iter().copied().collect();
+
+    // One renaming σs per template triple, over var(P).
+    let pattern_vars: Vec<Variable> =
+        owql_algebra::analysis::pattern_vars(&q.pattern).into_iter().collect();
+    let renamings: Vec<BTreeMap<Variable, Variable>> = template
+        .iter()
+        .map(|_| {
+            pattern_vars
+                .iter()
+                .map(|&v| (v, fresh.fresh()))
+                .collect::<BTreeMap<_, _>>()
+        })
+        .collect();
+    let renamed_patterns: Vec<Pattern> = renamings
+        .iter()
+        .map(|sigma| q.pattern.rename_vars(&|v| sigma.get(&v).copied().unwrap_or(v)))
+        .collect();
+    let rename_triple = |t: TriplePattern, sigma: &BTreeMap<Variable, Variable>| {
+        t.rename_vars(&|v| sigma.get(&v).copied().unwrap_or(v))
+    };
+
+    // P_t for each t.
+    let mut new_template = Vec::new();
+    let mut new_disjuncts = Vec::new();
+    for (ti, &t) in template.iter().enumerate() {
+        let mut branches = vec![q.pattern.clone()];
+        for (si, &s) in template.iter().enumerate() {
+            if si == ti {
+                continue;
+            }
+            let s_renamed = rename_triple(s, &renamings[si]);
+            let cond = position_equality(t, s_renamed);
+            let mut branch = renamed_patterns[si].clone();
+            if let Some(ad) = adom_triple(t, &mut fresh) {
+                branch = branch.and(ad);
+            }
+            branches.push(branch.filter(cond));
+        }
+        let bound_cond = Condition::conj(t.vars().into_iter().map(Condition::Bound));
+        let p_t = Pattern::union_all(branches)
+            .filter(bound_cond)
+            .select(t.vars());
+
+        // Rename (t, P_t) wholesale so the final disjuncts are
+        // variable-disjoint.
+        let all_vars: Vec<Variable> =
+            owql_algebra::analysis::pattern_vars(&p_t).into_iter().collect();
+        let rho: BTreeMap<Variable, Variable> =
+            all_vars.iter().map(|&v| (v, fresh.fresh())).collect();
+        let p_t_renamed = p_t.rename_vars(&|v| rho.get(&v).copied().unwrap_or(v));
+        let t_renamed = t.rename_vars(&|v| rho.get(&v).copied().unwrap_or(v));
+        new_template.push(t_renamed);
+        new_disjuncts.push(p_t_renamed);
+    }
+
+    if new_disjuncts.is_empty() {
+        // Empty template: the query always answers ∅; keep it as-is.
+        return q;
+    }
+    ConstructQuery::new(new_template, Pattern::union_all(new_disjuncts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::{self, CheckOptions};
+    use owql_algebra::analysis::Operators;
+    use owql_algebra::pattern::tp;
+    use owql_algebra::random::{random_pattern, PatternConfig};
+    use owql_eval::construct;
+    use owql_rdf::graph::graph_from;
+
+    fn quick() -> CheckOptions {
+        CheckOptions {
+            universe_size: 6,
+            random_graphs: 8,
+            random_graph_size: 8,
+            ..CheckOptions::default()
+        }
+    }
+
+    /// Lemma 6.3 on random queries: NS-wrapping never changes the
+    /// CONSTRUCT answer.
+    #[test]
+    fn lemma_6_3_ns_invariance() {
+        let cfg = PatternConfig {
+            allowed: Operators::SPARQL,
+            max_depth: 3,
+            ..PatternConfig::standard(3, 3)
+        };
+        for seed in 0..100u64 {
+            let p = random_pattern(&cfg, seed);
+            let q = ConstructQuery::new([tp("?v0", "out", "?v1")], p);
+            let q_ns = with_ns_pattern(&q);
+            let g = owql_rdf::generate::uniform(20, 3, 3, 3, seed)
+                .union(&graph_from(&[("i0", "i1", "i2"), ("i1", "i0", "i2")]));
+            assert_eq!(construct(&q, &g), construct(&q_ns, &g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lemma_6_3_on_example_6_1() {
+        let q = owql_algebra::construct::example_6_1();
+        let g = owql_rdf::datasets::figure_3();
+        assert_eq!(construct(&q, &g), construct(&with_ns_pattern(&q), &g));
+    }
+
+    /// The Example 6.1 query is monotone (its OPT only adds optional
+    /// template output); its weakly-monotone core is equivalent on
+    /// concrete graphs and has a weakly-monotone pattern.
+    #[test]
+    fn lemma_6_5_on_example_6_1() {
+        let q = owql_algebra::construct::example_6_1();
+        assert!(checks::construct_monotone(&q, &quick()).holds());
+        let core = weakly_monotone_core(&q);
+        for g in [
+            owql_rdf::datasets::figure_3(),
+            graph_from(&[("p1", "name", "n1"), ("p1", "works_at", "u1")]),
+            owql_rdf::Graph::new(),
+        ] {
+            assert_eq!(construct(&q, &g), construct(&core, &g));
+        }
+    }
+
+    #[test]
+    fn lemma_6_5_core_pattern_is_weakly_monotone() {
+        let q = owql_algebra::construct::example_6_1();
+        let core = weakly_monotone_core(&q);
+        // The original pattern (with OPT) is weakly monotone already in
+        // this case, but the construction must also produce one.
+        let r = checks::weakly_monotone(
+            &core.pattern,
+            &CheckOptions {
+                universe_size: 5,
+                random_graphs: 4,
+                random_graph_size: 6,
+                ..CheckOptions::default()
+            },
+        );
+        assert!(r.holds(), "core pattern not weakly monotone: {r:?}");
+    }
+
+    /// Randomized Lemma 6.5 check on monotone (AUF) queries: the core
+    /// is answer-equivalent on random graphs.
+    #[test]
+    fn lemma_6_5_random_monotone_queries() {
+        let cfg = PatternConfig {
+            allowed: Operators::AUF,
+            max_depth: 2,
+            ..PatternConfig::standard(3, 3)
+        };
+        for seed in 0..40u64 {
+            let p = random_pattern(&cfg, seed);
+            let q = ConstructQuery::new(
+                [tp("?v0", "out", "?v1"), tp("?v1", "out2", "?v2")],
+                p,
+            );
+            let core = weakly_monotone_core(&q);
+            for gseed in 0..3u64 {
+                let g = owql_rdf::generate::uniform(15, 3, 3, 3, seed * 5 + gseed)
+                    .union(&graph_from(&[("i0", "i1", "i2"), ("i2", "i1", "i0")]));
+                assert_eq!(construct(&q, &g), construct(&core, &g), "seed {seed}: {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn ground_template_triples_supported() {
+        let q = ConstructQuery::new(
+            [tp("flag", "is", "set"), tp("?x", "seen", "yes")],
+            Pattern::t("?x", "a", "?y"),
+        );
+        let core = weakly_monotone_core(&q);
+        let g = graph_from(&[("1", "a", "2")]);
+        assert_eq!(construct(&q, &g), construct(&core, &g));
+        assert_eq!(construct(&q, &owql_rdf::Graph::new()), construct(&core, &owql_rdf::Graph::new()));
+    }
+
+    #[test]
+    fn empty_template_passthrough() {
+        let q = ConstructQuery::new([], Pattern::t("?x", "a", "?y"));
+        let core = weakly_monotone_core(&q);
+        assert!(core.template.is_empty());
+    }
+}

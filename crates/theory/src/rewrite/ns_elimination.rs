@@ -1,0 +1,260 @@
+//! NS-elimination: Theorem 5.1 / Lemma D.3.
+//!
+//! Every NS–SPARQL pattern is equivalent to a SPARQL pattern. The
+//! algorithm, innermost NS first:
+//!
+//! 1. put the NS operand `Q` into the **fixed-domain UNION normal
+//!    form** of Lemma D.2: `Q ≡ D₁ ∪ ⋯ ∪ Dₙ` where every answer of
+//!    `Dᵢ` binds exactly the domain `Vᵢ`;
+//! 2. replace `NS(Q)` by `⋃ᵢ (Dᵢ MINUS (⋃_{Vⱼ ⊋ Vᵢ} Dⱼ))`: an answer
+//!    of `Dᵢ` is properly subsumed by an answer of `Q` iff it is
+//!    *compatible* with an answer of some strictly-larger-domain
+//!    disjunct, which is precisely what `MINUS` removes.
+//!
+//! `MINUS` is itself a derived operator
+//! (`P₁ MINUS P₂ = (P₁ OPT (P₂ AND (?x₁,?x₂,?x₃))) FILTER ¬bound(?x₁)`,
+//! Appendix D); pass `desugar_minus = true` to obtain a pure
+//! `SPARQL[AUOFS]` result.
+//!
+//! The paper proves the translation has a **double-exponential** size
+//! blowup in general (the fixed-domain normal form multiplies
+//! disjuncts across `AND`s and domains); [`blowup_series`] measures it
+//! for a family of nested-NS patterns (experiment E7).
+
+use owql_algebra::normal_form::{fixed_domain_normal_form, NormalFormError};
+use owql_algebra::pattern::Pattern;
+
+/// Eliminates every `NS` node per Lemma D.3. Returns a pattern with
+/// no `NS`; contains `MINUS` nodes unless `desugar_minus` is set.
+pub fn eliminate_ns(p: &Pattern, desugar_minus: bool) -> Result<Pattern, NormalFormError> {
+    let out = eliminate(p)?;
+    Ok(if desugar_minus {
+        out.desugar_minus()
+    } else {
+        out
+    })
+}
+
+fn eliminate(p: &Pattern) -> Result<Pattern, NormalFormError> {
+    match p {
+        Pattern::Triple(t) => Ok(Pattern::Triple(*t)),
+        Pattern::And(a, b) => Ok(eliminate(a)?.and(eliminate(b)?)),
+        Pattern::Union(a, b) => Ok(eliminate(a)?.union(eliminate(b)?)),
+        Pattern::Opt(a, b) => Ok(eliminate(a)?.opt(eliminate(b)?)),
+        Pattern::Minus(a, b) => Ok(eliminate(a)?.minus(eliminate(b)?)),
+        Pattern::Filter(q, r) => Ok(eliminate(q)?.filter(r.clone())),
+        Pattern::Select(v, q) => Ok(Pattern::Select(v.clone(), Box::new(eliminate(q)?))),
+        Pattern::Ns(q) => {
+            let inner = eliminate(q)?;
+            let disjuncts = fixed_domain_normal_form(&inner)?;
+            if disjuncts.is_empty() {
+                // The domain analysis proved the operand can never
+                // produce an answer (e.g. a FILTER with contradictory
+                // bound constraints): NS(∅) = ∅.
+                return Ok(inner.filter(owql_algebra::Condition::False));
+            }
+            let mut out = Vec::with_capacity(disjuncts.len());
+            for (i, d) in disjuncts.iter().enumerate() {
+                let larger: Vec<Pattern> = disjuncts
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, e)| {
+                        *j != i && d.domain.is_subset(&e.domain) && d.domain != e.domain
+                    })
+                    .map(|(_, e)| e.pattern.clone())
+                    .collect();
+                if larger.is_empty() {
+                    out.push(d.pattern.clone());
+                } else {
+                    out.push(d.pattern.clone().minus(Pattern::union_all(larger)));
+                }
+            }
+            Ok(Pattern::union_all(out))
+        }
+    }
+}
+
+/// A data point of the blowup experiment: input/output sizes for the
+/// depth-`d` member of a nested-NS pattern family.
+#[derive(Clone, Copy, Debug)]
+pub struct BlowupPoint {
+    /// Nesting depth.
+    pub depth: usize,
+    /// AST size of the NS–SPARQL input.
+    pub input_size: usize,
+    /// AST size after NS elimination (MINUS kept).
+    pub output_size: usize,
+    /// AST size after NS elimination and MINUS desugaring.
+    pub desugared_size: usize,
+}
+
+/// The nested family used by experiment E7:
+/// `P₀ = (?x₀, p, ?x₁)`, `P_{d+1} = NS(P_d OPT (?x_{d+1}, p, ?x_{d+2}))`.
+pub fn nested_ns_pattern(depth: usize) -> Pattern {
+    let mut p = Pattern::t("?x0", "p", "?x1");
+    for d in 0..depth {
+        let t = Pattern::t(
+            format!("?x{}", d + 1).as_str(),
+            "p",
+            format!("?x{}", d + 2).as_str(),
+        );
+        p = p.opt(t).ns();
+    }
+    p
+}
+
+/// Measures the NS-elimination blowup for depths `0..=max_depth`.
+pub fn blowup_series(max_depth: usize) -> Vec<BlowupPoint> {
+    (0..=max_depth)
+        .map(|depth| {
+            let p = nested_ns_pattern(depth);
+            let eliminated = eliminate_ns(&p, false).expect("family is NS-eliminable");
+            let desugared = eliminated.desugar_minus();
+            BlowupPoint {
+                depth,
+                input_size: p.size(),
+                output_size: eliminated.size(),
+                desugared_size: desugared.size(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_algebra::analysis::{operators, Operators};
+    use owql_algebra::random::{random_pattern, PatternConfig};
+    use owql_eval::reference::evaluate;
+    use owql_rdf::graph::graph_from;
+
+    fn assert_equivalent_on(p: &Pattern, q: &Pattern, g: &owql_rdf::Graph) {
+        assert_eq!(evaluate(p, g), evaluate(q, g), "{p}  vs  {q}");
+    }
+
+    #[test]
+    fn eliminates_single_ns() {
+        // NS((?x,a,b) UNION ((?x,a,b) AND (?x,c,?y))) — the OPT
+        // simulation pattern.
+        let base = Pattern::t("?x", "a", "b");
+        let p = base.clone().union(base.and(Pattern::t("?x", "c", "?y"))).ns();
+        let q = eliminate_ns(&p, false).unwrap();
+        assert!(!operators(&q).contains(Operators::NS));
+        for g in [
+            graph_from(&[("1", "a", "b"), ("1", "c", "2"), ("3", "a", "b")]),
+            graph_from(&[("1", "a", "b")]),
+            owql_rdf::Graph::new(),
+        ] {
+            assert_equivalent_on(&p, &q, &g);
+        }
+    }
+
+    #[test]
+    fn desugared_result_is_core_sparql() {
+        let p = Pattern::t("?x", "a", "b")
+            .union(Pattern::t("?x", "c", "?y"))
+            .ns();
+        let q = eliminate_ns(&p, true).unwrap();
+        let ops = operators(&q);
+        assert!(!ops.contains(Operators::NS));
+        assert!(!ops.contains(Operators::MINUS));
+        assert!(ops.within(Operators::SPARQL));
+        let g = graph_from(&[("1", "a", "b"), ("1", "c", "2")]);
+        assert_equivalent_on(&p, &q, &g);
+    }
+
+    #[test]
+    fn nested_ns_elimination() {
+        let p = nested_ns_pattern(2);
+        let q = eliminate_ns(&p, false).unwrap();
+        assert!(!operators(&q).contains(Operators::NS));
+        for seed in 0..5u64 {
+            let g = owql_rdf::generate::uniform(12, 4, 1, 4, seed);
+            // Rename the single predicate pool p0 → p to match the family.
+            let g: owql_rdf::Graph = g
+                .iter()
+                .map(|t| owql_rdf::Triple::new(t.s, "p", t.o))
+                .collect();
+            assert_equivalent_on(&p, &q, &g);
+        }
+    }
+
+    /// Randomized equivalence across the NS–SPARQL operator set
+    /// (the Theorem 5.1 statement, tested on samples).
+    #[test]
+    fn random_ns_sparql_equivalence() {
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL,
+            max_depth: 3,
+            ..PatternConfig::standard(3, 3)
+        };
+        let mut tested = 0;
+        for seed in 0..120u64 {
+            let p = random_pattern(&cfg, seed);
+            if !p.contains_ns() {
+                continue;
+            }
+            // Skip patterns whose normal form explodes (keeps the test fast).
+            let Ok(q) = eliminate_ns(&p, false) else { continue };
+            if q.size() > 4000 {
+                continue;
+            }
+            tested += 1;
+            for gseed in 0..3u64 {
+                let g = owql_rdf::generate::uniform(15, 3, 3, 3, seed * 7 + gseed).union(
+                    &graph_from(&[("i0", "i1", "i2"), ("i2", "i1", "i0"), ("i1", "i0", "i2")]),
+                );
+                assert_equivalent_on(&p, &q, &g);
+            }
+        }
+        assert!(tested > 25, "too few NS samples tested: {tested}");
+    }
+
+    /// Desugared variant is also equivalent (full pipeline to core
+    /// SPARQL).
+    #[test]
+    fn random_desugared_equivalence() {
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL,
+            max_depth: 2,
+            ..PatternConfig::standard(3, 3)
+        };
+        let mut tested = 0;
+        for seed in 0..80u64 {
+            let p = random_pattern(&cfg, seed);
+            if !p.contains_ns() {
+                continue;
+            }
+            let Ok(q) = eliminate_ns(&p, true) else { continue };
+            if q.size() > 4000 {
+                continue;
+            }
+            tested += 1;
+            let g = owql_rdf::generate::uniform(12, 3, 3, 3, seed).union(&graph_from(&[(
+                "i0", "i1", "i2",
+            )]));
+            assert_equivalent_on(&p, &q, &g);
+        }
+        assert!(tested > 10, "too few samples: {tested}");
+    }
+
+    #[test]
+    fn blowup_series_grows() {
+        let series = blowup_series(3);
+        assert_eq!(series.len(), 4);
+        // Strictly growing output size, much faster than input size.
+        for w in series.windows(2) {
+            assert!(w[1].output_size > w[0].output_size);
+            assert!(w[1].input_size > w[0].input_size);
+        }
+        let last = series.last().unwrap();
+        assert!(last.output_size > 10 * last.input_size);
+        assert!(last.desugared_size >= last.output_size);
+    }
+
+    #[test]
+    fn ns_free_pattern_unchanged() {
+        let p = Pattern::t("?x", "a", "?y").opt(Pattern::t("?y", "b", "?z"));
+        assert_eq!(eliminate_ns(&p, false).unwrap(), p);
+    }
+}

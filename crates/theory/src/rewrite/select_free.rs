@@ -1,0 +1,194 @@
+//! The SELECT-free version of a pattern: Definition F.1, Lemma F.2,
+//! and Proposition 6.7.
+//!
+//! `P_sf` replaces every `SELECT V WHERE P'` by `P'_sf` with the
+//! projected-away variables renamed fresh. The price is that answers
+//! carry extra (fresh-variable) bindings; Lemma F.2 makes the
+//! correspondence precise:
+//!
+//! > `µ ∈ ⟦P⟧G` iff there is `µ' ∈ ⟦P_sf⟧G` with `µ ⪯ µ'` and
+//! > `dom(µ) = dom(µ') ∩ var(P)`.
+//!
+//! For CONSTRUCT queries the extra bindings are invisible — the
+//! template only instantiates `var(H) ⊆ var(P)` — giving
+//! Proposition 6.7: `CONSTRUCT[AUF]` has the same expressive power as
+//! `CONSTRUCT[AUFS]`.
+
+use owql_algebra::analysis::{pattern_vars, FreshVars};
+use owql_algebra::pattern::Pattern;
+use owql_algebra::{ConstructQuery, Variable};
+use std::collections::BTreeSet;
+
+/// Computes the SELECT-free version `P_sf` (Definition F.1).
+pub fn select_free(p: &Pattern) -> Pattern {
+    let mut fresh = FreshVars::avoiding([p]).with_prefix("sf");
+    rec(p, &mut fresh)
+}
+
+fn rec(p: &Pattern, fresh: &mut FreshVars) -> Pattern {
+    match p {
+        Pattern::Triple(t) => Pattern::Triple(*t),
+        Pattern::And(a, b) => rec(a, fresh).and(rec(b, fresh)),
+        Pattern::Union(a, b) => rec(a, fresh).union(rec(b, fresh)),
+        Pattern::Opt(a, b) => rec(a, fresh).opt(rec(b, fresh)),
+        Pattern::Minus(a, b) => rec(a, fresh).minus(rec(b, fresh)),
+        Pattern::Filter(q, r) => rec(q, fresh).filter(r.clone()),
+        Pattern::Ns(q) => rec(q, fresh).ns(),
+        Pattern::Select(v, q) => {
+            let inner = rec(q, fresh);
+            // Rename every variable of the (already SELECT-free) body
+            // that is not kept by the projection.
+            let to_rename: BTreeSet<Variable> = pattern_vars(&inner)
+                .into_iter()
+                .filter(|x| !v.contains(x))
+                .collect();
+            let renaming: std::collections::BTreeMap<Variable, Variable> =
+                to_rename.iter().map(|&x| (x, fresh.fresh())).collect();
+            inner.rename_vars(&|x| renaming.get(&x).copied().unwrap_or(x))
+        }
+    }
+}
+
+/// Proposition 6.7: removes SELECT from a CONSTRUCT query, preserving
+/// `ans(Q, G)` on every graph. The template is first normalized
+/// (`var(H) ⊆ var(P)` WLOG).
+pub fn construct_select_free(q: &ConstructQuery) -> ConstructQuery {
+    let q = q.normalize_template();
+    ConstructQuery {
+        template: q.template.clone(),
+        pattern: select_free(&q.pattern),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_algebra::analysis::{operators, Operators};
+    use owql_algebra::pattern::tp;
+    use owql_algebra::random::{random_pattern, PatternConfig};
+    use owql_eval::reference::evaluate;
+    use owql_rdf::graph::graph_from;
+
+    #[test]
+    fn removes_all_selects() {
+        let p = Pattern::t("?x", "a", "?y")
+            .select(["?x"])
+            .and(Pattern::t("?x", "b", "?z").select(["?x"]));
+        let sf = select_free(&p);
+        assert!(!operators(&sf).contains(Operators::SELECT));
+    }
+
+    #[test]
+    fn renamed_copies_do_not_clash() {
+        // Two projections of the same body must get distinct fresh
+        // variables or the join would wrongly correlate them.
+        let body = Pattern::t("?x", "a", "?y");
+        let p = body.clone().select(["?x"]).and(body.select(["?x"]));
+        let sf = select_free(&p);
+        let g = graph_from(&[("1", "a", "2"), ("1", "a", "3")]);
+        // Original: both sides project to {x}, join gives [x→1].
+        assert_eq!(evaluate(&p, &g).len(), 1);
+        // SELECT-free: y renamed apart on both sides → 4 combinations.
+        assert_eq!(evaluate(&sf, &g).len(), 4);
+    }
+
+    /// Lemma F.2 on random patterns: answers of P and P_sf correspond
+    /// via subsumption + domain restriction (both directions).
+    #[test]
+    fn lemma_f_2_correspondence() {
+        let cfg = PatternConfig {
+            allowed: Operators::SPARQL,
+            max_depth: 3,
+            ..PatternConfig::standard(3, 3)
+        };
+        let mut tested = 0;
+        for seed in 0..150u64 {
+            let p = random_pattern(&cfg, seed);
+            if !operators(&p).contains(Operators::SELECT) {
+                continue;
+            }
+            tested += 1;
+            let sf = select_free(&p);
+            let pv = pattern_vars(&p);
+            let g = owql_rdf::generate::uniform(20, 3, 3, 3, seed)
+                .union(&graph_from(&[("i0", "i1", "i2"), ("i2", "i0", "i1")]));
+            let out = evaluate(&p, &g);
+            let out_sf = evaluate(&sf, &g);
+            // Direction 1: every P answer extends to a P_sf answer.
+            for m in out.iter() {
+                assert!(
+                    out_sf.iter().any(|m2| {
+                        m.subsumed_by(m2)
+                            && m.dom_set()
+                                == m2.dom_set().intersection(&pv).copied().collect()
+                    }),
+                    "seed {seed}: {m} has no P_sf extension ({p})"
+                );
+            }
+            // Direction 2: every P_sf answer restricts to a P answer.
+            for m2 in out_sf.iter() {
+                let keep: std::collections::BTreeSet<_> =
+                    m2.dom_set().intersection(&pv).copied().collect();
+                let restricted = m2.restrict(&keep);
+                assert!(
+                    out.contains(&restricted),
+                    "seed {seed}: restriction {restricted} of {m2} not a P answer ({p})"
+                );
+            }
+        }
+        assert!(tested > 20, "too few SELECT samples: {tested}");
+    }
+
+    /// Proposition 6.7 on the paper-relevant fragment: a
+    /// CONSTRUCT[AUFS] query and its SELECT-free version produce the
+    /// same graph.
+    #[test]
+    fn prop_6_7_construct_equivalence_aufs() {
+        let cfg = PatternConfig {
+            allowed: Operators::AUFS,
+            max_depth: 3,
+            ..PatternConfig::standard(3, 3)
+        };
+        let mut tested = 0;
+        for seed in 0..120u64 {
+            let p = random_pattern(&cfg, seed);
+            if !operators(&p).contains(Operators::SELECT) {
+                continue;
+            }
+            tested += 1;
+            let q = ConstructQuery::new([tp("?v0", "out", "?v1"), tp("?v1", "out2", "?v2")], p);
+            let qsf = construct_select_free(&q);
+            assert!(qsf.in_fragment(Operators::AUF), "seed {seed}");
+            let g = owql_rdf::generate::uniform(20, 3, 3, 3, seed ^ 0xF00)
+                .union(&graph_from(&[("i0", "i1", "i2")]));
+            assert_eq!(
+                owql_eval::construct(&q, &g),
+                owql_eval::construct(&qsf, &g),
+                "seed {seed}: {q}"
+            );
+        }
+        assert!(tested > 20, "too few samples: {tested}");
+    }
+
+    /// Proposition 6.7 generalizes beyond AUFS (the Appendix F proof
+    /// covers full NS–SPARQL patterns): spot-check with OPT and NS.
+    #[test]
+    fn construct_equivalence_with_opt_and_ns() {
+        let p = Pattern::t("?p", "name", "?n")
+            .and(Pattern::t("?p", "works_at", "?u"))
+            .select(["?n", "?u"])
+            .opt(Pattern::t("?n", "email", "?e"))
+            .ns();
+        let q = ConstructQuery::new([tp("?n", "affiliated_to", "?u")], p);
+        let qsf = construct_select_free(&q);
+        assert!(!operators(&qsf.pattern).contains(Operators::SELECT));
+        let g = owql_rdf::datasets::figure_3();
+        assert_eq!(owql_eval::construct(&q, &g), owql_eval::construct(&qsf, &g));
+    }
+
+    #[test]
+    fn select_free_is_identity_without_select() {
+        let p = Pattern::t("?x", "a", "?y").opt(Pattern::t("?y", "b", "?z"));
+        assert_eq!(select_free(&p), p);
+    }
+}

@@ -1,0 +1,260 @@
+//! Bounded synthesis of `SPARQL[AUFS]` equivalents — the executable face
+//! of Theorem 4.1.
+//!
+//! Theorem 4.1 states that every unrestricted weakly-monotone pattern
+//! `P` has a subsumption-equivalent `SPARQL[AUFS]` pattern `Q`
+//! (`P ≡s Q`). Its proof goes through Lyndon/Otto interpolation and is
+//! **non-constructive**; as the substitution documented in DESIGN.md,
+//! this module *searches* for such a `Q` on small inputs:
+//!
+//! 1. the candidate disjunct pool is every conjunction of a non-empty
+//!    subset of `P`'s triple patterns (the shape Theorem 4.1's UCQ
+//!    output takes for equality-free patterns);
+//! 2. a disjunct is kept iff on every test graph all of its answers
+//!    are subsumed by answers of `P` (a necessary condition for
+//!    `⟦Q⟧ ⊑ ⟦P⟧` that is monotone in the disjunct set);
+//! 3. the union `Q` of kept disjuncts is returned iff `⟦P⟧G ⊑ ⟦Q⟧G`
+//!    also holds on every test graph.
+//!
+//! Verification is sampling-based (test graphs: bounded-exhaustive +
+//! random), so the result is *certified on the test family*, not
+//! proved — see [`SynthesisOutcome`].
+
+use owql_algebra::analysis::triple_patterns;
+use owql_algebra::pattern::Pattern;
+use owql_eval::reference::evaluate;
+use owql_rdf::{Graph, Iri, Triple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The result of a synthesis attempt.
+#[derive(Clone, Debug)]
+pub enum SynthesisOutcome {
+    /// A candidate passed every test: `P ≡s Q` held on all test graphs.
+    Found {
+        /// The synthesized `SPARQL[AUF]` pattern.
+        pattern: Pattern,
+        /// Number of test graphs the equivalence was checked on.
+        graphs_tested: usize,
+    },
+    /// No subset of the candidate pool is subsumption-equivalent to
+    /// `P` on the test family (e.g. `P` is not weakly monotone, or its
+    /// AUFS equivalent needs conjuncts outside the pool).
+    NotFound,
+}
+
+/// Options for [`synthesize_aufs`].
+#[derive(Clone, Debug)]
+pub struct SynthesisOptions {
+    /// Extra IRIs mixed into the test-graph pool.
+    pub fresh_iris: usize,
+    /// Number of random test graphs.
+    pub random_graphs: usize,
+    /// Triples per random test graph.
+    pub random_graph_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            fresh_iris: 2,
+            random_graphs: 40,
+            random_graph_size: 12,
+            seed: 0xA1FA,
+        }
+    }
+}
+
+/// Builds the test-graph family: the power set of a small
+/// pattern-derived triple universe plus random graphs.
+fn test_graphs(p: &Pattern, opts: &SynthesisOptions) -> Vec<Graph> {
+    let mut pool: Vec<Iri> = owql_algebra::analysis::pattern_iris(p).into_iter().collect();
+    for i in 0..opts.fresh_iris {
+        pool.push(Iri::new(&format!("syn_{i}")));
+    }
+    if pool.is_empty() {
+        pool.push(Iri::new("syn_only"));
+    }
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    // Small universe from instantiated triple patterns.
+    let mut universe: Vec<Triple> = Vec::new();
+    for t in triple_patterns(p) {
+        for _ in 0..4 {
+            let m = owql_algebra::Mapping::from_pairs(
+                t.vars()
+                    .into_iter()
+                    .map(|v| (v, pool[rng.gen_range(0..pool.len())])),
+            );
+            if let Some(triple) = t.instantiate(&m) {
+                if !universe.contains(&triple) {
+                    universe.push(triple);
+                }
+            }
+        }
+    }
+    universe.truncate(8);
+    let mut graphs: Vec<Graph> = Vec::new();
+    for mask in 0u32..(1 << universe.len()) {
+        graphs.push(
+            universe
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &t)| t)
+                .collect(),
+        );
+    }
+    for _ in 0..opts.random_graphs {
+        let mut g = Graph::new();
+        for _ in 0..opts.random_graph_size {
+            g.insert(Triple {
+                s: pool[rng.gen_range(0..pool.len())],
+                p: pool[rng.gen_range(0..pool.len())],
+                o: pool[rng.gen_range(0..pool.len())],
+            });
+        }
+        graphs.push(g);
+    }
+    graphs
+}
+
+/// Attempts to synthesize a `SPARQL[AUF]` pattern subsumption-
+/// equivalent to `p` on the test family (Theorem 4.1's statement, made
+/// executable at small scale).
+pub fn synthesize_aufs(p: &Pattern, opts: &SynthesisOptions) -> SynthesisOutcome {
+    let tps = triple_patterns(p);
+    if tps.is_empty() || tps.len() > 6 {
+        return SynthesisOutcome::NotFound;
+    }
+    let graphs = test_graphs(p, opts);
+    let target: Vec<_> = graphs.iter().map(|g| evaluate(p, g)).collect();
+
+    // Candidate disjuncts: conjunctions of non-empty subsets of the
+    // triple patterns.
+    let mut kept: Vec<Pattern> = Vec::new();
+    for mask in 1u32..(1 << tps.len()) {
+        let conj = Pattern::and_all(
+            tps.iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &t)| Pattern::Triple(t)),
+        );
+        // Keep iff on every test graph, every answer of the conjunct is
+        // subsumed by an answer of P.
+        let sound = graphs
+            .iter()
+            .zip(&target)
+            .all(|(g, tgt)| evaluate(&conj, g).subsumed_by(tgt));
+        if sound {
+            kept.push(conj);
+        }
+    }
+    if kept.is_empty() {
+        return SynthesisOutcome::NotFound;
+    }
+    let q = Pattern::union_all(kept);
+    // Completeness: P's answers must be subsumption-covered by Q's.
+    let complete = graphs
+        .iter()
+        .zip(&target)
+        .all(|(g, tgt)| tgt.subsumed_by(&evaluate(&q, g)));
+    if complete {
+        SynthesisOutcome::Found {
+            pattern: q,
+            graphs_tested: graphs.len(),
+        }
+    } else {
+        SynthesisOutcome::NotFound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_algebra::mapping_set::MappingSet;
+
+    fn subsumption_equivalent_on(p: &Pattern, q: &Pattern, g: &Graph) -> bool {
+        let a: MappingSet = evaluate(p, g);
+        let b: MappingSet = evaluate(q, g);
+        a.subsumed_by(&b) && b.subsumed_by(&a)
+    }
+
+    #[test]
+    fn synthesizes_opt_as_union() {
+        // t1 OPT t2 ≡s t1 UNION (t1 AND t2): the classic Theorem 4.1
+        // instance.
+        let p = Pattern::t("?x", "born", "Chile").opt(Pattern::t("?x", "email", "?y"));
+        match synthesize_aufs(&p, &SynthesisOptions::default()) {
+            SynthesisOutcome::Found { pattern, graphs_tested } => {
+                assert!(graphs_tested > 50);
+                assert!(owql_algebra::analysis::in_fragment(
+                    &pattern,
+                    owql_algebra::analysis::Operators::AUF
+                ));
+                // Spot-check ≡s on a fresh graph outside the family.
+                let g = owql_rdf::graph::graph_from(&[
+                    ("juan", "born", "Chile"),
+                    ("juan", "email", "j@x"),
+                    ("ana", "born", "Chile"),
+                ]);
+                assert!(subsumption_equivalent_on(&p, &pattern, &g));
+            }
+            SynthesisOutcome::NotFound => panic!("should synthesize the OPT pattern"),
+        }
+    }
+
+    #[test]
+    fn synthesizes_nested_opt() {
+        let p = Pattern::t("?x", "a", "b")
+            .opt(Pattern::t("?x", "c", "?y"))
+            .opt(Pattern::t("?x", "d", "?z"));
+        match synthesize_aufs(&p, &SynthesisOptions::default()) {
+            SynthesisOutcome::Found { pattern, .. } => {
+                let g = owql_rdf::graph::graph_from(&[
+                    ("1", "a", "b"),
+                    ("1", "c", "2"),
+                    ("2", "a", "b"),
+                    ("2", "d", "3"),
+                ]);
+                assert!(subsumption_equivalent_on(&p, &pattern, &g));
+            }
+            SynthesisOutcome::NotFound => panic!("should synthesize nested OPT"),
+        }
+    }
+
+    #[test]
+    fn synthesizes_ns_pattern() {
+        // NS(t1 UNION (t1 AND t2)) ≡s t1 UNION (t1 AND t2).
+        let t1 = Pattern::t("?x", "a", "b");
+        let t2 = Pattern::t("?x", "c", "?y");
+        let p = t1.clone().union(t1.and(t2)).ns();
+        assert!(matches!(
+            synthesize_aufs(&p, &SynthesisOptions::default()),
+            SynthesisOutcome::Found { .. }
+        ));
+    }
+
+    #[test]
+    fn refuses_non_weakly_monotone_pattern() {
+        // Example 3.3's pattern is not weakly monotone, hence has no
+        // AUFS subsumption-equivalent (Theorem 4.1 is an iff).
+        let p = Pattern::t("?X", "was_born_in", "Chile").and(
+            Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")),
+        );
+        assert!(matches!(
+            synthesize_aufs(&p, &SynthesisOptions::default()),
+            SynthesisOutcome::NotFound
+        ));
+    }
+
+    #[test]
+    fn monotone_pattern_synthesizes_to_itself_shape() {
+        let p = Pattern::t("?x", "a", "?y").and(Pattern::t("?y", "b", "?z"));
+        assert!(matches!(
+            synthesize_aufs(&p, &SynthesisOptions::default()),
+            SynthesisOutcome::Found { .. }
+        ));
+    }
+}

@@ -1,0 +1,95 @@
+//! Social-network scenario: querying people with *partial* profile
+//! information — the motivating workload of the paper's Figure 2.
+//!
+//! Generates a synthetic social graph (names always present, emails and
+//! birthplaces only sometimes), then compares three ways of asking
+//! "Chileans and, if known, their email":
+//!
+//! 1. the classic `OPT` pattern (well designed — the safe closed-world
+//!    idiom),
+//! 2. the paper's `NS` pattern (weakly monotone by construction),
+//! 3. the *ill-designed* variant of Example 3.3 (answers silently
+//!    vanish as data grows — the failure mode the paper's design
+//!    eliminates).
+//!
+//! Run with: `cargo run --example social_network`
+
+use owql::prelude::*;
+use owql::rdf::generate::{social_network, SocialOptions};
+use owql::theory::checks::{weakly_monotone, CheckOptions, CheckResult};
+
+fn main() {
+    let opts = SocialOptions {
+        people: 60,
+        avg_follows: 3,
+        email_probability: 0.5,
+        birthplace_probability: 0.8,
+    };
+    let g = social_network(opts, 42);
+    println!(
+        "Social graph: {} triples over {} people ({} with email)",
+        g.len(),
+        opts.people,
+        g.iter().filter(|t| t.p.as_str() == "email").count()
+    );
+
+    let engine = Engine::new(&g);
+
+    // 1. The well-designed OPT query.
+    let opt_query =
+        parse_pattern("((?p, was_born_in, Chile) OPT (?p, email, ?e))").unwrap();
+    let opt_answers = engine.evaluate(&opt_query);
+    let with_email = opt_answers
+        .iter()
+        .filter(|m| m.is_bound(Variable::new("e")))
+        .count();
+    println!(
+        "\nOPT query: {} Chileans, {} with a known email",
+        opt_answers.len(),
+        with_email
+    );
+
+    // 2. The NS query: same information need, open-world semantics.
+    let ns_query = parse_pattern(
+        "NS(((?p, was_born_in, Chile) UNION \
+            ((?p, was_born_in, Chile) AND (?p, email, ?e))))",
+    )
+    .unwrap();
+    let ns_answers = engine.evaluate(&ns_query);
+    assert_eq!(opt_answers, ns_answers, "well-designed OPT ≡ its NS form");
+    println!("NS query agrees exactly ({} answers).", ns_answers.len());
+
+    // 3. The Example 3.3 trap: correlate the optional email with a
+    //    *different* person's identity. Looks innocent, is not weakly
+    //    monotone — more data can delete answers.
+    let trap = parse_pattern(
+        "((?x, was_born_in, Chile) AND \
+          ((?y, was_born_in, Chile) OPT (?y, email, ?x)))",
+    )
+    .unwrap();
+    match weakly_monotone(&trap, &CheckOptions::default()) {
+        CheckResult::Refuted { g1, g2 } => {
+            println!(
+                "\nThe Example 3.3 pattern is NOT weakly monotone; found a \
+                 counterexample pair with {} → {} triples:",
+                g1.len(),
+                g2.len()
+            );
+            let before = owql::eval::evaluate(&trap, &g1);
+            let after = owql::eval::evaluate(&trap, &g2);
+            println!("  answers before: {before:?}");
+            println!("  answers after one more triple: {after:?}");
+        }
+        CheckResult::Holds { .. } => unreachable!("the paper proves this pattern misbehaves"),
+    }
+
+    // Follow-recommendations: friends-of-friends not already followed,
+    // using the derived MINUS operator.
+    let fof = parse_pattern(
+        "((SELECT {?p, ?c} WHERE ((?p, follows, ?f) AND (?f, follows, ?c))) \
+          MINUS (?p, follows, ?c))",
+    )
+    .unwrap();
+    let recs = engine.evaluate(&fof);
+    println!("\nFollow recommendations (friend-of-friend, not yet followed): {}", recs.len());
+}

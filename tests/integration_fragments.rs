@@ -1,0 +1,143 @@
+//! Integration tests for the fragment/language hierarchy of the paper:
+//! classification, the expressiveness translations between levels, and
+//! the monotonicity guarantees each level carries.
+
+use owql::algebra::analysis::Operators;
+use owql::algebra::equivalence::{check_relation, EquivalenceOptions, Relation};
+use owql::prelude::*;
+use owql::theory::checks::{self, CheckOptions};
+use owql::theory::fragments::{classify, is_ns_pattern, is_simple_pattern, QueryLanguage};
+use owql::theory::rewrite::opt_to_ns::opt_to_ns;
+use owql::theory::rewrite::pattern_tree::wd_to_simple;
+
+fn quick() -> CheckOptions {
+    CheckOptions {
+        universe_size: 6,
+        random_graphs: 8,
+        random_graph_size: 8,
+        ..CheckOptions::default()
+    }
+}
+
+/// The Prop 5.6 pipeline lands exactly in SP–SPARQL, the level the
+/// classifier reports.
+#[test]
+fn wd_translation_lands_in_sp_sparql() {
+    let wd = parse_pattern(
+        "(((?p, was_born_in, Chile) OPT (?p, email, ?e)) OPT (?p, name, ?n))",
+    )
+    .unwrap();
+    assert_eq!(classify(&wd), QueryLanguage::WellDesignedAof);
+    let simple = wd_to_simple(&wd).unwrap();
+    assert!(is_simple_pattern(&simple));
+    assert_eq!(classify(&simple), QueryLanguage::SpSparql);
+}
+
+/// OPT→NS on a union of well-designed patterns lands in (a language
+/// contained in) USP–SPARQL after per-disjunct translation.
+#[test]
+fn wd_union_translates_to_usp() {
+    let p1 = parse_pattern("((?p, was_born_in, Chile) OPT (?p, email, ?e))").unwrap();
+    let p2 = parse_pattern("((?p, was_born_in, Belgium) OPT (?p, name, ?n))").unwrap();
+    let usp = wd_to_simple(&p1).unwrap().union(wd_to_simple(&p2).unwrap());
+    assert!(is_ns_pattern(&usp));
+    assert_eq!(classify(&usp), QueryLanguage::UspSparql);
+    // Equivalent to the original union.
+    let original = p1.union(p2);
+    let r = check_relation(
+        &original,
+        &usp,
+        Relation::Equivalent,
+        &|p, g| evaluate(p, g),
+        &EquivalenceOptions::default(),
+    );
+    assert!(r.holds(), "{r:?}");
+}
+
+/// Every guaranteed-weakly-monotone language level passes the bounded
+/// checker on representative members; raw SPARQL does not (witness:
+/// Example 3.3).
+#[test]
+fn guarantee_flags_are_honest() {
+    let members: &[(&str, bool)] = &[
+        ("((?x, a, ?y) AND (?y, b, ?z))", true),
+        ("((?x, a, ?y) UNION (?x, b, ?y))", true),
+        ("(SELECT {?x} WHERE ((?x, a, ?y) UNION (?x, b, ?y)))", true),
+        ("((?x, a, b) OPT (?x, c, ?y))", true),
+        ("NS(((?x, a, b) UNION ((?x, a, b) AND (?x, c, ?y))))", true),
+        (
+            "((?X, a, Chile) AND ((?Y, a, Chile) OPT (?Y, b, ?X)))",
+            false,
+        ),
+    ];
+    for (text, expect_wm) in members {
+        let p = parse_pattern(text).unwrap();
+        let lang = classify(&p);
+        let wm = checks::weakly_monotone(&p, &quick()).holds();
+        assert_eq!(wm, *expect_wm, "{text} ({lang})");
+        if lang.guarantees_weak_monotonicity() {
+            assert!(wm, "language {lang} promised weak monotonicity for {text}");
+        }
+    }
+}
+
+/// The §6.2 easy direction: a CONSTRUCT query over a weakly-monotone
+/// pattern is monotone (bounded-checked on a mixed batch).
+#[test]
+fn weakly_monotone_pattern_gives_monotone_construct() {
+    let patterns = [
+        "((?x, a, ?y) UNION (?x, b, ?y))",
+        "((?x, a, b) OPT (?x, c, ?y))",
+        "NS(((?x, a, b) UNION ((?x, a, b) AND (?x, c, ?y))))",
+    ];
+    for text in patterns {
+        let p = parse_pattern(text).unwrap();
+        assert!(checks::weakly_monotone(&p, &quick()).holds(), "{text}");
+        let q = ConstructQuery::new(
+            [owql::algebra::pattern::tp("?x", "out", "?y")],
+            p,
+        );
+        assert!(checks::construct_monotone(&q, &quick()).holds(), "{text}");
+    }
+}
+
+/// OPT→NS rewriting moves SPARQL[AOF] queries into NS-SPARQL while
+/// preserving subsumption equivalence (checked through the public
+/// equivalence API).
+#[test]
+fn opt_to_ns_is_subsumption_equivalent_via_api() {
+    let queries = [
+        "((?x, a, b) OPT (?x, c, ?y))",
+        "(((?x, a, b) OPT (?x, c, ?y)) OPT (?x, d, ?z))",
+        "((?x, a, ?y) OPT ((?y, b, ?z) OPT (?z, c, ?w)))",
+    ];
+    for text in queries {
+        let p = parse_pattern(text).unwrap();
+        let ns = opt_to_ns(&p);
+        assert!(!owql::algebra::analysis::operators(&ns).contains(Operators::OPT));
+        let r = check_relation(
+            &p,
+            &ns,
+            Relation::SubsumptionEquivalent,
+            &|p, g| evaluate(p, g),
+            &EquivalenceOptions::default(),
+        );
+        assert!(r.holds(), "{text}: {r:?}");
+    }
+}
+
+/// Containment along the hierarchy: a simple pattern's answers are
+/// contained in its NS-free body's answers (NS only removes).
+#[test]
+fn ns_is_contained_in_body() {
+    let body = parse_pattern("((?x, a, b) UNION ((?x, a, b) AND (?x, c, ?y)))").unwrap();
+    let simple = body.clone().ns();
+    let r = check_relation(
+        &simple,
+        &body,
+        Relation::Contained,
+        &|p, g| evaluate(p, g),
+        &EquivalenceOptions::default(),
+    );
+    assert!(r.holds());
+}

@@ -1,0 +1,146 @@
+//! Integration tests reproducing, end to end (surface syntax → parser
+//! → engine), every worked example and figure of the paper.
+
+use owql::algebra::mapping_set::mapping_set;
+use owql::prelude::*;
+use owql::rdf::datasets;
+
+/// Example 2.2, driven through the parser and both engines, checking
+/// every intermediate table printed in the paper.
+#[test]
+fn example_2_2_tables() {
+    let g = datasets::figure_1();
+    let engine = Engine::new(&g);
+
+    let stands = parse_pattern("(?o, stands_for, sharing_rights)").unwrap();
+    assert_eq!(
+        engine.evaluate(&stands),
+        mapping_set(&[&[("o", "The_Pirate_Bay")]])
+    );
+
+    let founders = parse_pattern("(?p, founder, ?o)").unwrap();
+    assert_eq!(
+        engine.evaluate(&founders),
+        mapping_set(&[
+            &[("p", "Gottfrid_Svartholm"), ("o", "The_Pirate_Bay")],
+            &[("p", "Fredrik_Neij"), ("o", "The_Pirate_Bay")],
+            &[("p", "Peter_Sunde"), ("o", "The_Pirate_Bay")],
+        ])
+    );
+
+    let supporters = parse_pattern("(?p, supporter, ?o)").unwrap();
+    assert_eq!(
+        engine.evaluate(&supporters),
+        mapping_set(&[&[("p", "Carl_Lundström"), ("o", "The_Pirate_Bay")]])
+    );
+
+    let union = parse_pattern("((?p, founder, ?o) UNION (?p, supporter, ?o))").unwrap();
+    assert_eq!(engine.evaluate(&union).len(), 4);
+
+    let full = parse_pattern(
+        "(SELECT {?p} WHERE ((?o, stands_for, sharing_rights) AND \
+          ((?p, founder, ?o) UNION (?p, supporter, ?o))))",
+    )
+    .unwrap();
+    let expected = mapping_set(&[
+        &[("p", "Gottfrid_Svartholm")],
+        &[("p", "Fredrik_Neij")],
+        &[("p", "Peter_Sunde")],
+        &[("p", "Carl_Lundström")],
+    ]);
+    assert_eq!(engine.evaluate(&full), expected);
+    assert_eq!(evaluate(&full, &g), expected);
+}
+
+/// Example 3.1: the OPT pattern is not monotone but is weakly monotone
+/// across the Figure 2 pair.
+#[test]
+fn example_3_1_figure_2() {
+    let p = parse_pattern("((?X, was_born_in, Chile) OPT (?X, email, ?Y))").unwrap();
+    let g1 = datasets::figure_2_g1();
+    let g2 = datasets::figure_2_g2();
+    assert!(g1.is_subgraph_of(&g2));
+
+    let out1 = evaluate(&p, &g1);
+    let out2 = evaluate(&p, &g2);
+    assert_eq!(out1, mapping_set(&[&[("X", "Juan")]]));
+    assert_eq!(out2, mapping_set(&[&[("X", "Juan"), ("Y", "juan@puc.cl")]]));
+    assert!(!out1.subset_of(&out2), "⟦P⟧G1 ⊄ ⟦P⟧G2 (paper's point)");
+    assert!(out1.subsumed_by(&out2), "⟦P⟧G1 ⊑ ⟦P⟧G2");
+}
+
+/// Example 3.3: the ill-designed pattern loses its answer on the
+/// larger graph.
+#[test]
+fn example_3_3_figure_2() {
+    let p = parse_pattern(
+        "((?X, was_born_in, Chile) AND ((?Y, was_born_in, Chile) OPT (?Y, email, ?X)))",
+    )
+    .unwrap();
+    let out1 = evaluate(&p, &datasets::figure_2_g1());
+    let out2 = evaluate(&p, &datasets::figure_2_g2());
+    assert_eq!(out1, mapping_set(&[&[("X", "Juan"), ("Y", "Juan")]]));
+    assert!(out2.is_empty());
+    assert!(!out1.subsumed_by(&out2));
+    // And the inner OPT alone behaves as the paper computes:
+    let inner = parse_pattern("((?Y, was_born_in, Chile) OPT (?Y, email, ?X))").unwrap();
+    assert_eq!(
+        evaluate(&inner, &datasets::figure_2_g2()),
+        mapping_set(&[&[("Y", "Juan"), ("X", "juan@puc.cl")]])
+    );
+}
+
+/// Example 6.1 / Figures 3 and 4: CONSTRUCT end to end through the
+/// parser.
+#[test]
+fn example_6_1_figures_3_and_4() {
+    let q = parse_construct(
+        "(CONSTRUCT {(?n, affiliated_to, ?u), (?n, email, ?e)} WHERE \
+          (((?p, name, ?n) AND (?p, works_at, ?u)) OPT (?p, email, ?e)))",
+    )
+    .unwrap();
+    assert_eq!(q, owql::algebra::construct::example_6_1());
+    let out = construct(&q, &datasets::figure_3());
+    assert_eq!(out, datasets::figure_4_expected());
+
+    // The paper's three-row mapping table.
+    let answers = evaluate(&q.pattern, &datasets::figure_3());
+    assert_eq!(answers.len(), 3);
+    assert!(answers.contains(&Mapping::from_str_pairs(&[
+        ("p", "prof_02"),
+        ("n", "Denis"),
+        ("u", "PUC_Chile"),
+    ])));
+}
+
+/// The figures round-trip through the exchange format.
+#[test]
+fn figures_roundtrip_ntriples() {
+    for g in [
+        datasets::figure_1(),
+        datasets::figure_2_g1(),
+        datasets::figure_2_g2(),
+        datasets::figure_3(),
+        datasets::figure_4_expected(),
+    ] {
+        let text = owql::rdf::ntriples::write(&g);
+        assert_eq!(owql::rdf::ntriples::parse(&text).unwrap(), g);
+    }
+}
+
+/// The Theorem 3.5 and 3.6 witnesses, via their public constructors.
+#[test]
+fn theorem_witnesses_available_and_checked() {
+    use owql::theory::witness;
+    let p35 = witness::theorem_3_5_pattern();
+    assert_eq!(
+        evaluate(&p35, &witness::theorem_3_5_g1()),
+        mapping_set(&[&[("X", "l")]])
+    );
+    assert!(evaluate(&p35, &witness::theorem_3_5_g()).is_empty());
+
+    let p36 = witness::theorem_3_6_pattern();
+    let [g1, _, _, g4] = witness::theorem_3_6_graphs();
+    assert_eq!(evaluate(&p36, &g1).len(), 1);
+    assert_eq!(evaluate(&p36, &g4).len(), 2);
+}

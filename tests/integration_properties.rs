@@ -1,0 +1,268 @@
+//! Property-based integration tests (proptest): the algebraic laws of
+//! the paper's Section 2.1 operations and the cross-crate invariants,
+//! driven by generated mappings, graphs, and patterns.
+
+use owql::algebra::analysis::Operators;
+use owql::algebra::random::{random_pattern, PatternConfig};
+use owql::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn arb_iri() -> impl Strategy<Value = Iri> {
+    (0..6u8).prop_map(|i| Iri::new(&format!("c{i}")))
+}
+
+fn arb_variable() -> impl Strategy<Value = Variable> {
+    (0..4u8).prop_map(|i| Variable::new(&format!("pv{i}")))
+}
+
+fn arb_mapping() -> impl Strategy<Value = Mapping> {
+    proptest::collection::btree_map(arb_variable(), arb_iri(), 0..4)
+        .prop_map(Mapping::from_pairs)
+}
+
+fn arb_mapping_set() -> impl Strategy<Value = MappingSet> {
+    proptest::collection::vec(arb_mapping(), 0..6).prop_map(MappingSet::from_iter_mappings)
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((arb_iri(), arb_iri(), arb_iri()), 0..25)
+        .prop_map(|v| v.into_iter().map(|(s, p, o)| Triple { s, p, o }).collect())
+}
+
+// ---------------------------------------------------------------------
+// Mapping laws
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Compatibility is symmetric; union of compatible mappings is the
+    /// ⪯-least upper bound.
+    #[test]
+    fn mapping_union_laws(m1 in arb_mapping(), m2 in arb_mapping()) {
+        prop_assert_eq!(m1.compatible(&m2), m2.compatible(&m1));
+        match m1.union(&m2) {
+            Some(u) => {
+                prop_assert!(m1.compatible(&m2));
+                prop_assert!(m1.subsumed_by(&u));
+                prop_assert!(m2.subsumed_by(&u));
+                prop_assert_eq!(u.len(), m1.dom_set().union(&m2.dom_set()).count());
+            }
+            None => prop_assert!(!m1.compatible(&m2)),
+        }
+    }
+
+    /// Subsumption is a partial order (reflexive, antisymmetric,
+    /// transitive) on the generated mappings.
+    #[test]
+    fn subsumption_partial_order(
+        m1 in arb_mapping(),
+        m2 in arb_mapping(),
+        m3 in arb_mapping(),
+    ) {
+        prop_assert!(m1.subsumed_by(&m1));
+        if m1.subsumed_by(&m2) && m2.subsumed_by(&m1) {
+            prop_assert_eq!(m1.clone(), m2.clone());
+        }
+        if m1.subsumed_by(&m2) && m2.subsumed_by(&m3) {
+            prop_assert!(m1.subsumed_by(&m3));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mapping-set algebra laws (Section 2.1)
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Join is commutative and has {µ∅} as neutral element.
+    #[test]
+    fn join_laws(o1 in arb_mapping_set(), o2 in arb_mapping_set()) {
+        prop_assert_eq!(o1.join(&o2), o2.join(&o1));
+        prop_assert_eq!(o1.join(&MappingSet::unit()), o1.clone());
+        prop_assert!(o1.join(&MappingSet::new()).is_empty());
+    }
+
+    /// The left-outer-join decomposition of the paper:
+    /// `Ω₁ ⟕ Ω₂ = (Ω₁ ⋈ Ω₂) ∪ (Ω₁ ∖ Ω₂)`, and `Ω₁ ⊑ Ω₁ ⟕ Ω₂`.
+    #[test]
+    fn left_outer_join_laws(o1 in arb_mapping_set(), o2 in arb_mapping_set()) {
+        let loj = o1.left_outer_join(&o2);
+        prop_assert_eq!(loj.clone(), o1.join(&o2).union(&o1.difference(&o2)));
+        prop_assert!(o1.subsumed_by(&loj));
+    }
+
+    /// `maximal` is idempotent, ⊑-equivalent to its input, and its
+    /// result is subsumption-free; the optimized and naive versions
+    /// agree.
+    #[test]
+    fn maximal_laws(o in arb_mapping_set()) {
+        let max = o.maximal();
+        prop_assert_eq!(max.clone(), o.maximal_naive());
+        prop_assert_eq!(max.maximal(), max.clone());
+        prop_assert!(max.is_subsumption_free());
+        prop_assert!(o.subsumed_by(&max));
+        prop_assert!(max.subset_of(&o));
+    }
+
+    /// `Ω₁ ∖ Ω₂` members are incompatible with every member of `Ω₂`.
+    #[test]
+    fn difference_law(o1 in arb_mapping_set(), o2 in arb_mapping_set()) {
+        for m in o1.difference(&o2).iter() {
+            for m2 in o2.iter() {
+                prop_assert!(!m.compatible(m2));
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Join is associative and distributes over union.
+    #[test]
+    fn join_associativity_and_distributivity(
+        o1 in arb_mapping_set(),
+        o2 in arb_mapping_set(),
+        o3 in arb_mapping_set(),
+    ) {
+        prop_assert_eq!(o1.join(&o2).join(&o3), o1.join(&o2.join(&o3)));
+        prop_assert_eq!(
+            o1.join(&o2.union(&o3)),
+            o1.join(&o2).union(&o1.join(&o3))
+        );
+    }
+
+    /// Difference decomposes over union of the subtrahend:
+    /// `Ω ∖ (Ω₁ ∪ Ω₂) = (Ω ∖ Ω₁) ∖ Ω₂` — the identity behind the
+    /// OPT/UNION normal-form rule (Appendix D commentary).
+    #[test]
+    fn difference_chains_over_union(
+        o in arb_mapping_set(),
+        o1 in arb_mapping_set(),
+        o2 in arb_mapping_set(),
+    ) {
+        prop_assert_eq!(
+            o.difference(&o1.union(&o2)),
+            o.difference(&o1).difference(&o2)
+        );
+    }
+
+    /// Projection commutes with union, and is monotone w.r.t. ⊑.
+    #[test]
+    fn projection_laws(o1 in arb_mapping_set(), o2 in arb_mapping_set()) {
+        let vars: std::collections::BTreeSet<Variable> =
+            [Variable::new("pv0"), Variable::new("pv1")].into_iter().collect();
+        prop_assert_eq!(
+            o1.union(&o2).project(&vars),
+            o1.project(&vars).union(&o2.project(&vars))
+        );
+        if o1.subsumed_by(&o2) {
+            prop_assert!(o1.project(&vars).subsumed_by(&o2.project(&vars)));
+        }
+    }
+
+    /// ⊑ is a preorder on mapping sets and `maximal` is its canonical
+    /// representative: `Ω₁ ⊑ Ω₂ ∧ Ω₂ ⊑ Ω₁ ⟹ Ω₁^max = Ω₂^max`.
+    #[test]
+    fn subsumption_equivalent_sets_share_maximal(
+        o1 in arb_mapping_set(),
+        o2 in arb_mapping_set(),
+    ) {
+        if o1.subsumed_by(&o2) && o2.subsumed_by(&o1) {
+            prop_assert_eq!(o1.maximal(), o2.maximal());
+        }
+        // And ⊑ is transitive through a middle set.
+        let mid = o1.union(&o2);
+        prop_assert!(o1.subsumed_by(&mid));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-crate invariants on generated patterns and graphs
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The two engines agree on generated (pattern, graph) pairs across
+    /// the full NS–SPARQL operator set.
+    #[test]
+    fn engines_agree(seed in 0u64..10_000, g in arb_graph()) {
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL.with(Operators::MINUS),
+            vars: (0..4).map(|i| Variable::new(&format!("pv{i}"))).collect(),
+            iris: (0..6).map(|i| Iri::new(&format!("c{i}"))).collect(),
+            max_depth: 3,
+            var_probability: 0.5,
+        };
+        let p = random_pattern(&cfg, seed);
+        prop_assert_eq!(Engine::new(&g).evaluate(&p), evaluate(&p, &g));
+    }
+
+    /// NS evaluation equals maximal-answer filtering of the plain
+    /// evaluation (the definitional identity ⟦NS(P)⟧ = ⟦P⟧^max).
+    #[test]
+    fn ns_is_maximal_answers(seed in 0u64..10_000, g in arb_graph()) {
+        let cfg = PatternConfig {
+            allowed: Operators::SPARQL,
+            vars: (0..4).map(|i| Variable::new(&format!("pv{i}"))).collect(),
+            iris: (0..6).map(|i| Iri::new(&format!("c{i}"))).collect(),
+            max_depth: 2,
+            var_probability: 0.5,
+        };
+        let p = random_pattern(&cfg, seed);
+        prop_assert_eq!(evaluate(&p.clone().ns(), &g), evaluate(&p, &g).maximal());
+    }
+
+    /// Display→parse round-trips on generated patterns (parser and
+    /// printer stay in sync at the workspace level).
+    #[test]
+    fn parse_display_roundtrip(seed in 0u64..10_000) {
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL.with(Operators::MINUS),
+            max_depth: 4,
+            ..PatternConfig::standard(4, 4)
+        };
+        let p = random_pattern(&cfg, seed);
+        prop_assert_eq!(parse_pattern(&p.to_string()).unwrap(), p);
+    }
+
+    /// UNION normal form preserves evaluation (Proposition D.1) on
+    /// NS-free generated patterns.
+    #[test]
+    fn union_normal_form_preserves_semantics(seed in 0u64..10_000, g in arb_graph()) {
+        let cfg = PatternConfig {
+            allowed: Operators::SPARQL,
+            vars: (0..3).map(|i| Variable::new(&format!("pv{i}"))).collect(),
+            iris: (0..6).map(|i| Iri::new(&format!("c{i}"))).collect(),
+            max_depth: 2,
+            var_probability: 0.5,
+        };
+        let p = random_pattern(&cfg, seed);
+        let disjuncts = owql::algebra::normal_form::union_normal_form(&p).unwrap();
+        let unf = Pattern::union_all(disjuncts);
+        prop_assert_eq!(evaluate(&unf, &g), evaluate(&p, &g));
+    }
+
+    /// Monotone fragment sanity: SPARQL[AUF] patterns never lose
+    /// answers when one triple is added.
+    #[test]
+    fn auf_monotone_under_extension(
+        seed in 0u64..10_000,
+        g in arb_graph(),
+        s in arb_iri(), pr in arb_iri(), o in arb_iri(),
+    ) {
+        let cfg = PatternConfig {
+            allowed: Operators::AUF,
+            vars: (0..3).map(|i| Variable::new(&format!("pv{i}"))).collect(),
+            iris: (0..6).map(|i| Iri::new(&format!("c{i}"))).collect(),
+            max_depth: 2,
+            var_probability: 0.5,
+        };
+        let p = random_pattern(&cfg, seed);
+        let mut g2 = g.clone();
+        g2.insert(Triple { s, p: pr, o });
+        prop_assert!(evaluate(&p, &g).subset_of(&evaluate(&p, &g2)));
+    }
+}

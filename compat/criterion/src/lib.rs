@@ -1,0 +1,244 @@
+//! Offline drop-in subset of the `criterion 0.5` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_with_input` /
+//! `bench_function` / `finish`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are intentionally simple — each benchmark is warmed up,
+//! then timed for `sample_size` samples, and the mean / min / max are
+//! printed. No HTML reports, no outlier analysis. The goal is a
+//! runnable `cargo bench` that produces comparable wall-clock numbers
+//! in this sandbox, not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter rendering.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `target_samples` samples.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // Warm-up + calibration: aim for samples of >= ~1ms or 1 iter,
+        // whichever is larger.
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / one.as_nanos()).max(1) as u64;
+        self.iters_per_sample = per_sample;
+
+        self.samples.clear();
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<60} (no samples)");
+            return;
+        }
+        let per_iter = |d: &Duration| d.as_nanos() as f64 / self.iters_per_sample as f64;
+        let mean = self.samples.iter().map(per_iter).sum::<f64>() / self.samples.len() as f64;
+        let min = self
+            .samples
+            .iter()
+            .map(per_iter)
+            .fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().map(per_iter).fold(0.0f64, f64::max);
+        println!(
+            "{id:<60} mean {:>12} min {:>12} max {:>12}",
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs `routine` with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut routine = routine;
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            target_samples: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.into().id));
+        self
+    }
+
+    /// Runs `routine` without an input value.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut routine = routine;
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            target_samples: self.sample_size,
+        };
+        routine(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.into().id));
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function(&mut self, id: &str, routine: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut routine = routine;
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            target_samples: 10,
+        };
+        routine(&mut bencher);
+        bencher.report(id);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke_group, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        smoke_group();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,548 @@
+//! Offline drop-in subset of the `proptest 1.x` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of proptest its property tests actually use:
+//!
+//! * the [`Strategy`] trait with `prop_map` and `boxed`,
+//! * strategies for integer ranges, tuples, [`Just`], and `&str`
+//!   treated as a (small-subset) regex — character classes and
+//!   `{m,n}` / `{m}` / `?` / `+` / `*` quantifiers,
+//! * [`collection::vec`] and [`collection::btree_map`],
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros,
+//! * [`ProptestConfig::with_cases`].
+//!
+//! There is **no shrinking**: a failing case is reported with the seed
+//! case index so it can be replayed (the generators are fully
+//! deterministic per test-function name). That trades debugging
+//! convenience for zero dependencies; the properties themselves are
+//! checked just as strictly.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// Deterministic test RNG (splitmix64 core — self-contained so this
+// crate needs no dependencies).
+// ---------------------------------------------------------------------
+
+/// Deterministic RNG driving every strategy.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    fn from_seed(seed: u64) -> Self {
+        TestRunner {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Builds the deterministic runner for a named test.
+pub fn runner_for(test_name: &str) -> TestRunner {
+    // FNV-1a over the test name: same test, same stream, every run.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRunner::from_seed(h)
+}
+
+// ---------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 96 keeps the full-workspace suite
+        // fast while still exercising each property broadly.
+        ProptestConfig { cases: 96 }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |runner| self.generate(runner)),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRunner) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        (self.gen)(runner)
+    }
+}
+
+/// Uniform choice between boxed alternatives (the [`prop_oneof!`]
+/// backend).
+#[derive(Clone)]
+pub struct UnionStrategy<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> UnionStrategy<T> {
+    /// Builds a union over `options`; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        UnionStrategy { options }
+    }
+}
+
+impl<T> Strategy for UnionStrategy<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        let i = runner.below(self.options.len() as u64) as usize;
+        self.options[i].generate(runner)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let drawn = (runner.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(drawn) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A: 0);
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+// ---------------------------------------------------------------------
+// String strategies: a small regex subset
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum RegexAtom {
+    /// A set of candidate characters (from a class or a literal).
+    Chars(Vec<char>),
+}
+
+#[derive(Clone, Debug)]
+struct RegexPiece {
+    atom: RegexAtom,
+    min: u32,
+    max: u32,
+}
+
+/// Parses the supported regex subset: literals, `[...]` classes with
+/// ranges, and `{m}`, `{m,n}`, `?`, `*`, `+` quantifiers (unbounded
+/// quantifiers are capped at 8 repetitions).
+fn parse_regex_subset(pattern: &str) -> Vec<RegexPiece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|off| i + off)
+                    .unwrap_or_else(|| panic!("unclosed character class in {pattern:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                RegexAtom::Chars(set)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                i += 2;
+                RegexAtom::Chars(vec![c])
+            }
+            c => {
+                i += 1;
+                RegexAtom::Chars(vec![c])
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|off| i + off)
+                        .unwrap_or_else(|| panic!("unclosed quantifier in {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("quantifier min"),
+                            n.trim().parse().expect("quantifier max"),
+                        ),
+                        None => {
+                            let n: u32 = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(RegexPiece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        let pieces = parse_regex_subset(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let reps = piece.min + runner.below(u64::from(piece.max - piece.min) + 1) as u32;
+            for _ in 0..reps {
+                match &piece.atom {
+                    RegexAtom::Chars(set) => {
+                        assert!(!set.is_empty(), "empty character class in {self:?}");
+                        out.push(set[runner.below(set.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collection strategies
+// ---------------------------------------------------------------------
+
+/// Strategies producing collections of strategy-generated elements.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + runner.below(span) as usize;
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Clone, Debug)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Generates `BTreeMap`s with up to `size` entries (duplicate keys
+    /// collapse, as in upstream proptest).
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> BTreeMap<K::Value, V::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + runner.below(span) as usize;
+            let mut out = BTreeMap::new();
+            for _ in 0..len {
+                out.insert(self.key.generate(runner), self.value.generate(runner));
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Uniform choice among strategy arms (weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::UnionStrategy::new(vec![
+            $($crate::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure, aborting
+/// the whole test — there is no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __runner = $crate::runner_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __runner);)+
+                let __check = || -> () { $body };
+                __check();
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0..10u8) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut runner = crate::runner_for("regex_subset_shapes");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_]{0,8}", &mut runner);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let t = Strategy::generate(&"[a-z]{1,5}", &mut runner);
+            assert!((1..=5).contains(&t.len()), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let strategy = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut runner = crate::runner_for("oneof_hits_every_arm");
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strategy.generate(&mut runner) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline itself: args bind, ranges stay in bounds.
+        #[test]
+        fn macro_generates_cases(x in 0..10u8, v in collection::vec(0..100u32, 0..5)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn btree_map_respects_bounds(m in collection::btree_map(0..50u8, 0..50u8, 0..4)) {
+            prop_assert!(m.len() < 4);
+        }
+    }
+}

@@ -51,15 +51,23 @@ impl Operators {
     /// `SPARQL[AFS]`.
     pub const AFS: Operators = Operators { bits: 1 | 8 | 16 };
     /// `SPARQL[AUFS]` — the interpolation target fragment (Theorem 4.1).
-    pub const AUFS: Operators = Operators { bits: 1 | 2 | 8 | 16 };
+    pub const AUFS: Operators = Operators {
+        bits: 1 | 2 | 8 | 16,
+    };
     /// `SPARQL[AOF]` — the home of well-designedness (Definition 3.4).
     pub const AOF: Operators = Operators { bits: 1 | 4 | 8 };
     /// `SPARQL[AUOF]`.
-    pub const AUOF: Operators = Operators { bits: 1 | 2 | 4 | 8 };
+    pub const AUOF: Operators = Operators {
+        bits: 1 | 2 | 4 | 8,
+    };
     /// Full SPARQL (no NS, no MINUS).
-    pub const SPARQL: Operators = Operators { bits: 1 | 2 | 4 | 8 | 16 };
+    pub const SPARQL: Operators = Operators {
+        bits: 1 | 2 | 4 | 8 | 16,
+    };
     /// Full NS–SPARQL.
-    pub const NS_SPARQL: Operators = Operators { bits: 1 | 2 | 4 | 8 | 16 | 32 };
+    pub const NS_SPARQL: Operators = Operators {
+        bits: 1 | 2 | 4 | 8 | 16 | 32,
+    };
 
     /// Union of two operator sets.
     pub fn with(self, other: Operators) -> Operators {
@@ -175,10 +183,7 @@ pub fn certainly_bound_vars(p: &Pattern) -> BTreeSet<Variable> {
             .collect(),
         Pattern::Opt(a, _) | Pattern::Minus(a, _) => certainly_bound_vars(a),
         Pattern::Filter(q, _) | Pattern::Ns(q) => certainly_bound_vars(q),
-        Pattern::Select(v, q) => certainly_bound_vars(q)
-            .intersection(v)
-            .copied()
-            .collect(),
+        Pattern::Select(v, q) => certainly_bound_vars(q).intersection(v).copied().collect(),
     }
 }
 
@@ -340,8 +345,7 @@ pub fn possible_domains(p: &Pattern) -> BTreeSet<BTreeSet<Variable>> {
             let (must, must_not) = bound_literals(r);
             dq.into_iter()
                 .filter(|d| {
-                    must.iter().all(|v| d.contains(v))
-                        && must_not.iter().all(|v| !d.contains(v))
+                    must.iter().all(|v| d.contains(v)) && must_not.iter().all(|v| !d.contains(v))
                 })
                 .collect()
         }

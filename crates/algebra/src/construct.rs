@@ -157,15 +157,15 @@ mod tests {
     #[test]
     fn display_form() {
         let q = ConstructQuery::new([tp("?x", "p", "?y")], Pattern::t("?x", "a", "?y"));
-        assert_eq!(
-            q.to_string(),
-            "(CONSTRUCT {(?x, p, ?y)} WHERE (?x, a, ?y))"
-        );
+        assert_eq!(q.to_string(), "(CONSTRUCT {(?x, p, ?y)} WHERE (?x, a, ?y))");
     }
 
     #[test]
     fn template_is_a_set() {
-        let q = ConstructQuery::new([tp("?x", "p", "?y"), tp("?x", "p", "?y")], Pattern::t("?x", "a", "?y"));
+        let q = ConstructQuery::new(
+            [tp("?x", "p", "?y"), tp("?x", "p", "?y")],
+            Pattern::t("?x", "a", "?y"),
+        );
         assert_eq!(q.template.len(), 1);
     }
 }

@@ -176,7 +176,9 @@ pub fn check_relation(
             return EquivalenceResult::Refuted { witness: g };
         }
     }
-    EquivalenceResult::Indistinguishable { graphs_tested: tested }
+    EquivalenceResult::Indistinguishable {
+        graphs_tested: tested,
+    }
 }
 
 #[cfg(test)]

@@ -54,11 +54,7 @@ impl Mapping {
 
     /// Builds a mapping from `("X", "value")` string pairs (test helper).
     pub fn from_str_pairs(pairs: &[(&str, &str)]) -> Self {
-        Mapping::from_pairs(
-            pairs
-                .iter()
-                .map(|&(v, i)| (Variable::new(v), Iri::new(i))),
-        )
+        Mapping::from_pairs(pairs.iter().map(|&(v, i)| (Variable::new(v), Iri::new(i))))
     }
 
     /// Returns a copy of the mapping extended with `var → value`.

@@ -322,10 +322,7 @@ mod tests {
         let left = mapping_set(&[&[("X", "1")], &[("X", "2")]]);
         let right = mapping_set(&[&[("X", "1"), ("Y", "a")]]);
         let l = left.left_outer_join(&right);
-        assert_eq!(
-            l,
-            mapping_set(&[&[("X", "1"), ("Y", "a")], &[("X", "2")]])
-        );
+        assert_eq!(l, mapping_set(&[&[("X", "1"), ("Y", "a")], &[("X", "2")]]));
     }
 
     #[test]
@@ -339,11 +336,7 @@ mod tests {
 
     #[test]
     fn maximal_keeps_only_unsubsumed() {
-        let s = mapping_set(&[
-            &[("X", "1")],
-            &[("X", "1"), ("Y", "2")],
-            &[("X", "3")],
-        ]);
+        let s = mapping_set(&[&[("X", "1")], &[("X", "1"), ("Y", "2")], &[("X", "3")]]);
         let max = s.maximal();
         assert_eq!(
             max,

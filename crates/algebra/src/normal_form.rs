@@ -47,7 +47,10 @@ impl fmt::Display for NormalFormError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NormalFormError::ContainsNs => {
-                write!(f, "UNION normal form is defined on NS-free patterns; eliminate NS first")
+                write!(
+                    f,
+                    "UNION normal form is defined on NS-free patterns; eliminate NS first"
+                )
             }
         }
     }
@@ -149,9 +152,7 @@ pub struct FixedDomainDisjunct {
 ///
 /// for each possible domain `V` of `D`. Spurious domains only add
 /// disjuncts that evaluate to `∅`, preserving equivalence.
-pub fn fixed_domain_normal_form(
-    p: &Pattern,
-) -> Result<Vec<FixedDomainDisjunct>, NormalFormError> {
+pub fn fixed_domain_normal_form(p: &Pattern) -> Result<Vec<FixedDomainDisjunct>, NormalFormError> {
     let mut out = Vec::new();
     for d in union_normal_form(p)? {
         let candidate_vars = crate::analysis::pattern_vars(&d);

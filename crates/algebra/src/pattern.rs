@@ -242,10 +242,7 @@ impl Pattern {
 
     /// `(SELECT vars WHERE self)`.
     pub fn select<V: Into<Variable>>(self, vars: impl IntoIterator<Item = V>) -> Pattern {
-        Pattern::Select(
-            vars.into_iter().map(Into::into).collect(),
-            Box::new(self),
-        )
+        Pattern::Select(vars.into_iter().map(Into::into).collect(), Box::new(self))
     }
 
     /// `NS(self)`.
@@ -304,9 +301,10 @@ impl Pattern {
             Pattern::Union(a, b) => a.rename_vars(f).union(b.rename_vars(f)),
             Pattern::Opt(a, b) => a.rename_vars(f).opt(b.rename_vars(f)),
             Pattern::Filter(p, r) => p.rename_vars(f).filter(r.rename_vars(f)),
-            Pattern::Select(vs, p) => {
-                Pattern::Select(vs.iter().map(|&v| f(v)).collect(), Box::new(p.rename_vars(f)))
-            }
+            Pattern::Select(vs, p) => Pattern::Select(
+                vs.iter().map(|&v| f(v)).collect(),
+                Box::new(p.rename_vars(f)),
+            ),
             Pattern::Ns(p) => p.rename_vars(f).ns(),
             Pattern::Minus(a, b) => a.rename_vars(f).minus(b.rename_vars(f)),
         }
@@ -318,9 +316,10 @@ impl Pattern {
     pub fn size(&self) -> usize {
         match self {
             Pattern::Triple(_) => 1,
-            Pattern::And(a, b) | Pattern::Union(a, b) | Pattern::Opt(a, b) | Pattern::Minus(a, b) => {
-                1 + a.size() + b.size()
-            }
+            Pattern::And(a, b)
+            | Pattern::Union(a, b)
+            | Pattern::Opt(a, b)
+            | Pattern::Minus(a, b) => 1 + a.size() + b.size(),
             Pattern::Filter(p, r) => 1 + p.size() + r.size(),
             Pattern::Select(_, p) | Pattern::Ns(p) => 1 + p.size(),
         }
@@ -393,7 +392,10 @@ mod tests {
 
     #[test]
     fn term_pattern_parsing() {
-        assert_eq!(TermPattern::parse("?X"), TermPattern::Var(Variable::new("X")));
+        assert_eq!(
+            TermPattern::parse("?X"),
+            TermPattern::Var(Variable::new("X"))
+        );
         assert_eq!(TermPattern::parse("abc"), TermPattern::Iri(Iri::new("abc")));
         assert!(TermPattern::parse("?X").is_var());
         assert_eq!(TermPattern::parse("abc").as_iri(), Some(Iri::new("abc")));
@@ -415,7 +417,10 @@ mod tests {
     fn instantiation() {
         let t = tp("?x", "founder", "TPB");
         let m = Mapping::from_str_pairs(&[("x", "Peter")]);
-        assert_eq!(t.instantiate(&m), Some(Triple::new("Peter", "founder", "TPB")));
+        assert_eq!(
+            t.instantiate(&m),
+            Some(Triple::new("Peter", "founder", "TPB"))
+        );
         assert_eq!(t.instantiate(&Mapping::new()), None);
     }
 

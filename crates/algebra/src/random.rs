@@ -35,7 +35,9 @@ impl PatternConfig {
     /// IRIs `i0..`, full SPARQL, depth 3.
     pub fn standard(n_vars: usize, n_iris: usize) -> PatternConfig {
         PatternConfig {
-            vars: (0..n_vars).map(|i| Variable::new(&format!("v{i}"))).collect(),
+            vars: (0..n_vars)
+                .map(|i| Variable::new(&format!("v{i}")))
+                .collect(),
             iris: (0..n_iris).map(|i| Iri::new(&format!("i{i}"))).collect(),
             max_depth: 3,
             allowed: Operators::SPARQL,
@@ -123,10 +125,17 @@ fn random_pattern_inner(rng: &mut StdRng, cfg: &PatternConfig, depth: usize) -> 
         choices.push(7);
     }
     match choices[rng.gen_range(0..choices.len())] {
-        1 => random_pattern_inner(rng, cfg, depth - 1).and(random_pattern_inner(rng, cfg, depth - 1)),
-        2 => random_pattern_inner(rng, cfg, depth - 1)
-            .union(random_pattern_inner(rng, cfg, depth - 1)),
-        3 => random_pattern_inner(rng, cfg, depth - 1).opt(random_pattern_inner(rng, cfg, depth - 1)),
+        1 => {
+            random_pattern_inner(rng, cfg, depth - 1).and(random_pattern_inner(rng, cfg, depth - 1))
+        }
+        2 => random_pattern_inner(rng, cfg, depth - 1).union(random_pattern_inner(
+            rng,
+            cfg,
+            depth - 1,
+        )),
+        3 => {
+            random_pattern_inner(rng, cfg, depth - 1).opt(random_pattern_inner(rng, cfg, depth - 1))
+        }
         4 => random_pattern_inner(rng, cfg, depth - 1).filter(random_condition(rng, cfg, 1)),
         5 => {
             let inner = random_pattern_inner(rng, cfg, depth - 1);
@@ -146,8 +155,11 @@ fn random_pattern_inner(rng: &mut StdRng, cfg: &PatternConfig, depth: usize) -> 
             }
         }
         6 => random_pattern_inner(rng, cfg, depth - 1).ns(),
-        7 => random_pattern_inner(rng, cfg, depth - 1)
-            .minus(random_pattern_inner(rng, cfg, depth - 1)),
+        7 => random_pattern_inner(rng, cfg, depth - 1).minus(random_pattern_inner(
+            rng,
+            cfg,
+            depth - 1,
+        )),
         _ => Pattern::Triple(random_triple(rng, cfg)),
     }
 }

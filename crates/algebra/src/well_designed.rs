@@ -173,9 +173,8 @@ mod tests {
     /// as discussed below Definition 3.4 in the paper.
     #[test]
     fn example_3_3_is_not_well_designed() {
-        let p = Pattern::t("?X", "was_born_in", "Chile").and(
-            Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")),
-        );
+        let p = Pattern::t("?X", "was_born_in", "Chile")
+            .and(Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")));
         assert_eq!(
             well_designed_aof(&p),
             Err(Violation::BadOptVariable {
@@ -220,9 +219,8 @@ mod tests {
 
     #[test]
     fn auof_rejects_bad_disjunct() {
-        let bad = Pattern::t("?X", "was_born_in", "Chile").and(
-            Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")),
-        );
+        let bad = Pattern::t("?X", "was_born_in", "Chile")
+            .and(Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")));
         let p = Pattern::t("?W", "a", "b").union(bad);
         assert!(well_designed_auof(&p).is_err());
     }

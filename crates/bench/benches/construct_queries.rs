@@ -36,10 +36,9 @@ fn bench_construct(c: &mut Criterion) {
         );
         // View composition: run a second CONSTRUCT over the view.
         let view = construct_indexed(&example, &graph);
-        let second = parse_construct(
-            "CONSTRUCT {(?u, has_member, ?n)} WHERE (?n, affiliated_to, ?u)",
-        )
-        .unwrap();
+        let second =
+            parse_construct("CONSTRUCT {(?u, has_member, ?n)} WHERE (?n, affiliated_to, ?u)")
+                .unwrap();
         group.bench_with_input(
             BenchmarkId::new("composed_view", professors),
             &view,

@@ -12,10 +12,9 @@ use std::hint::black_box;
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_ablation");
     group.sample_size(15);
-    let query = parse_pattern(
-        "(((?a, follows, ?b) AND (?b, follows, ?c)) AND (?c, was_born_in, Chile))",
-    )
-    .unwrap();
+    let query =
+        parse_pattern("(((?a, follows, ?b) AND (?b, follows, ?c)) AND (?c, was_born_in, Chile))")
+            .unwrap();
     for people in [100usize, 400] {
         let graph = social(people);
         let engine = Engine::new(&graph);
@@ -24,9 +23,11 @@ fn bench_engines(c: &mut Criterion) {
             &query,
             |b, p| b.iter(|| black_box(evaluate(black_box(p), &graph))),
         );
-        group.bench_with_input(BenchmarkId::new("indexed_engine", people), &query, |b, p| {
-            b.iter(|| black_box(engine.evaluate(black_box(p))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("indexed_engine", people),
+            &query,
+            |b, p| b.iter(|| black_box(engine.evaluate(black_box(p)))),
+        );
         group.bench_with_input(BenchmarkId::new("index_build", people), &graph, |b, g| {
             b.iter(|| black_box(Engine::new(black_box(g))))
         });

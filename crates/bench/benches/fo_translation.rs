@@ -15,7 +15,10 @@ fn bench_fo(c: &mut Criterion) {
     let samples = [
         ("triple", "(?x, p, ?y)"),
         ("opt", "((?x, p, ?y) OPT (?y, q, ?z))"),
-        ("ns_union", "NS(((?x, p, ?y) UNION ((?x, p, ?y) AND (?y, q, ?z))))"),
+        (
+            "ns_union",
+            "NS(((?x, p, ?y) UNION ((?x, p, ?y) AND (?y, q, ?z))))",
+        ),
     ];
     let g = graph_from(&[
         ("a", "p", "b"),

@@ -36,7 +36,10 @@ fn bench_dp(c: &mut Criterion) {
 fn bench_bh(c: &mut Criterion) {
     let mut group = c.benchmark_group("reduction_bh_theorem_7_2");
     group.sample_size(10);
-    let cases = [("C4_in_{2}", UGraph::cycle(4), vec![2]), ("C5_in_{3}", UGraph::cycle(5), vec![3])];
+    let cases = [
+        ("C4_in_{2}", UGraph::cycle(4), vec![2]),
+        ("C5_in_{3}", UGraph::cycle(5), vec![3]),
+    ];
     for (name, h, ms) in cases {
         let inst = bh::chromatic_in_set_instance(&h, &ms, &format!("bbh_{name}"));
         group.bench_with_input(BenchmarkId::new("decide", name), &inst, |b, i| {

@@ -1,0 +1,65 @@
+//! Store churn: interleaved write batches and NS-query reads against
+//! the live versioned store, comparing the cold path (evaluate on
+//! every read) with the epoch-keyed cache (hits between writes), plus
+//! snapshot and commit costs in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owql_bench::churn;
+use std::hint::black_box;
+
+fn bench_store_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_churn");
+    group.sample_size(15);
+    let query = churn::ns_query();
+
+    for people in [200usize, 800] {
+        // Interleaved workload, cold: every read evaluates.
+        group.bench_with_input(BenchmarkId::new("mixed_cold", people), &people, |b, &n| {
+            let store = churn::seeded_store(n);
+            let mut rng = churn::rng();
+            b.iter(|| {
+                churn::mutate(&store, n, &mut rng, 16);
+                let mut total = 0;
+                for _ in 0..8 {
+                    total += store.query_uncached(black_box(&query)).len();
+                }
+                black_box(total)
+            })
+        });
+
+        // Same workload through the cache: 1 miss + 7 hits per round.
+        group.bench_with_input(
+            BenchmarkId::new("mixed_cached", people),
+            &people,
+            |b, &n| {
+                let store = churn::seeded_store(n);
+                let mut rng = churn::rng();
+                b.iter(|| black_box(churn::round(&store, n, &mut rng, 16, 8)))
+            },
+        );
+
+        // Pure read, fully warm: upper bound of what the cache buys.
+        group.bench_with_input(BenchmarkId::new("read_warm", people), &people, |b, &n| {
+            let store = churn::seeded_store(n);
+            store.query(&query); // fill
+            b.iter(|| black_box(store.query(black_box(&query)).len()))
+        });
+
+        // Snapshot cost: three Arc clones, independent of store size.
+        group.bench_with_input(BenchmarkId::new("snapshot", people), &people, |b, &n| {
+            let store = churn::seeded_store(n);
+            b.iter(|| black_box(store.snapshot().epoch()))
+        });
+
+        // Write-only batches (includes amortized compaction).
+        group.bench_with_input(BenchmarkId::new("commit_16", people), &people, |b, &n| {
+            let store = churn::seeded_store(n);
+            let mut rng = churn::rng();
+            b.iter(|| churn::mutate(&store, n, &mut rng, 16))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_churn);
+criterion_main!(benches);

@@ -73,7 +73,10 @@ fn e1() {
 
 /// E2 — Figure 2 + Example 3.1.
 fn e2() {
-    header("E2", "Figure 2 and Example 3.1 (OPT: not monotone, weakly monotone)");
+    header(
+        "E2",
+        "Figure 2 and Example 3.1 (OPT: not monotone, weakly monotone)",
+    );
     let p = parse_pattern("((?X, was_born_in, Chile) OPT (?X, email, ?Y))").unwrap();
     let g1 = datasets::figure_2_g1();
     let g2 = datasets::figure_2_g2();
@@ -82,14 +85,20 @@ fn e2() {
     print_mappings("⟦P⟧G1:", &out1);
     print_mappings("⟦P⟧G2:", &out2);
     println!("⟦P⟧G1 ⊆ ⟦P⟧G2 (monotone)?        {}", out1.subset_of(&out2));
-    println!("⟦P⟧G1 ⊑ ⟦P⟧G2 (weakly monotone)? {}", out1.subsumed_by(&out2));
+    println!(
+        "⟦P⟧G1 ⊑ ⟦P⟧G2 (weakly monotone)? {}",
+        out1.subsumed_by(&out2)
+    );
     let wm = checks::weakly_monotone(&p, &CheckOptions::default());
     println!("bounded weak-monotonicity check: {wm:?}");
 }
 
 /// E3 — Example 3.3.
 fn e3() {
-    header("E3", "Example 3.3 (weak-monotonicity failure + well-designedness violation)");
+    header(
+        "E3",
+        "Example 3.3 (weak-monotonicity failure + well-designedness violation)",
+    );
     let p = parse_pattern(
         "((?X, was_born_in, Chile) AND ((?Y, was_born_in, Chile) OPT (?Y, email, ?X)))",
     )
@@ -105,12 +114,21 @@ fn e3() {
 
 /// E4 — Theorem 3.5 witness.
 fn e4() {
-    header("E4", "Theorem 3.5 witness (weakly monotone beyond well-designedness)");
+    header(
+        "E4",
+        "Theorem 3.5 witness (weakly monotone beyond well-designedness)",
+    );
     let p = witness::theorem_3_5_pattern();
     println!("P = {p}");
     println!("well designed? {:?}", well_designed_aof(&p));
-    print_mappings("⟦P⟧{(a,b,c),(l,d,e)}:", &evaluate(&p, &witness::theorem_3_5_g1()));
-    print_mappings("⟦P⟧{(a,b,c),(l,f,g)}:", &evaluate(&p, &witness::theorem_3_5_g2()));
+    print_mappings(
+        "⟦P⟧{(a,b,c),(l,d,e)}:",
+        &evaluate(&p, &witness::theorem_3_5_g1()),
+    );
+    print_mappings(
+        "⟦P⟧{(a,b,c),(l,f,g)}:",
+        &evaluate(&p, &witness::theorem_3_5_g2()),
+    );
     print_mappings("⟦P⟧{(a,b,c)}:", &evaluate(&p, &witness::theorem_3_5_g()));
     let wm = checks::weakly_monotone(&p, &CheckOptions::default());
     println!("bounded weak-monotonicity check: {wm:?}");
@@ -120,7 +138,10 @@ fn e4() {
 
 /// E5 — Theorem 3.6 witness.
 fn e5() {
-    header("E5", "Theorem 3.6 witness (escapes unions of well-designed patterns)");
+    header(
+        "E5",
+        "Theorem 3.6 witness (escapes unions of well-designed patterns)",
+    );
     let p = witness::theorem_3_6_pattern();
     println!("P = {p}");
     let [g1, g2, g3, g4] = witness::theorem_3_6_graphs();
@@ -141,7 +162,10 @@ fn e5() {
 
 /// E6 — FO translation cross-validation.
 fn e6() {
-    header("E6", "Lemmas C.1/C.2: SPARQL→FO translation cross-validation");
+    header(
+        "E6",
+        "Lemmas C.1/C.2: SPARQL→FO translation cross-validation",
+    );
     use owql_theory::fo::translate::{evaluate_via_fo, translate_pattern};
     let samples = [
         "((?X, was_born_in, Chile) OPT (?X, email, ?Y))",
@@ -160,7 +184,10 @@ fn e6() {
 
 /// E7 — NS elimination blowup (Theorem 5.1).
 fn e7() {
-    header("E7", "Theorem 5.1: NS-elimination size blowup (nested-NS family)");
+    header(
+        "E7",
+        "Theorem 5.1: NS-elimination size blowup (nested-NS family)",
+    );
     println!(
         "{:>6} {:>12} {:>14} {:>16}",
         "depth", "input size", "output size", "desugared size"
@@ -176,7 +203,10 @@ fn e7() {
 
 /// E8 — Proposition 5.6: well-designed → simple patterns.
 fn e8() {
-    header("E8", "Proposition 5.6: well-designed patterns as single-NS simple patterns");
+    header(
+        "E8",
+        "Proposition 5.6: well-designed patterns as single-NS simple patterns",
+    );
     let samples = [
         "((?p, was_born_in, Chile) OPT (?p, email, ?e))",
         "(((?p, name, ?n) OPT (?p, email, ?e)) OPT (?p, was_born_in, ?c))",
@@ -191,7 +221,9 @@ fn e8() {
     for text in samples {
         let p = parse_pattern(text).unwrap();
         let simple = wd_to_simple(&p).expect("well designed");
-        let Pattern::Ns(inner) = &simple else { unreachable!() };
+        let Pattern::Ns(inner) = &simple else {
+            unreachable!()
+        };
         let same = engine.evaluate(&p) == engine.evaluate(&simple);
         println!(
             "{:<66} {:>9} {:>10} {:>7}",
@@ -209,21 +241,36 @@ fn e9() {
     let q = example_6_1();
     let g = datasets::figure_3();
     println!("Q = {q}\n");
-    print_mappings("⟦pattern of Q⟧Figure3 (the µ1/µ2/µ3 table):", &evaluate(&q.pattern, &g));
+    print_mappings(
+        "⟦pattern of Q⟧Figure3 (the µ1/µ2/µ3 table):",
+        &evaluate(&q.pattern, &g),
+    );
     let out = construct(&q, &g);
-    println!("\nans(Q, Figure 3) — the Figure 4 graph:\n{}", ntriples::write(&out));
-    println!("matches Figure 4 exactly: {}", out == datasets::figure_4_expected());
+    println!(
+        "\nans(Q, Figure 3) — the Figure 4 graph:\n{}",
+        ntriples::write(&out)
+    );
+    println!(
+        "matches Figure 4 exactly: {}",
+        out == datasets::figure_4_expected()
+    );
 }
 
 /// E10 — Lemma 6.3 + Proposition 6.7.
 fn e10() {
-    header("E10", "Lemma 6.3 (NS invariance) and Proposition 6.7 (SELECT-free CONSTRUCT)");
+    header(
+        "E10",
+        "Lemma 6.3 (NS invariance) and Proposition 6.7 (SELECT-free CONSTRUCT)",
+    );
     use owql_theory::rewrite::construct_core::with_ns_pattern;
     use owql_theory::rewrite::select_free::construct_select_free;
     let g = campus(200);
     let q = example_6_1();
     let ns_same = construct(&q, &g) == construct(&with_ns_pattern(&q), &g);
-    println!("Lemma 6.3 on Example 6.1 over a {}-triple campus graph: equal = {ns_same}", g.len());
+    println!(
+        "Lemma 6.3 on Example 6.1 over a {}-triple campus graph: equal = {ns_same}",
+        g.len()
+    );
 
     let aufs = owql_parser::parse_construct(
         "CONSTRUCT {(?u, employs, ?n)} WHERE \
@@ -278,7 +325,11 @@ fn e11() {
         ("C5", UGraph::cycle(5), vec![3]),
         ("C5", UGraph::cycle(5), vec![2, 3]),
         ("K3", UGraph::complete(3), vec![1, 3]),
-        ("K3+K1 (disjoint)", UGraph::complete(3).disjoint_union(&UGraph::new(1)), vec![3]),
+        (
+            "K3+K1 (disjoint)",
+            UGraph::complete(3).disjoint_union(&UGraph::new(1)),
+            vec![3],
+        ),
     ];
     for (name, h, ms_set) in cases {
         let chi = chromatic_number(&h);
@@ -306,12 +357,16 @@ fn e11() {
     let cases: Vec<(Formula, usize)> = vec![
         (Formula::var(0).and(Formula::var(1).not()), 2),
         (Formula::var(0).or(Formula::var(1)), 2),
-        (Formula::var(0).and(Formula::var(1).not().or(Formula::var(2).not())), 4),
+        (
+            Formula::var(0).and(Formula::var(1).not().or(Formula::var(2).not())),
+            4,
+        ),
         (Formula::conj((0..3).map(Formula::var)), 4),
     ];
     for (phi, m) in cases {
         let oracle = pnp::is_max_odd_sat(&phi, m);
-        let inst = pnp::max_odd_sat_instance(&phi, m, &format!("e11mos{m}_{}", phi.to_string().len()));
+        let inst =
+            pnp::max_odd_sat_instance(&phi, m, &format!("e11mos{m}_{}", phi.to_string().len()));
         let (answer, ms) = time_ms(|| inst.decide());
         println!(
             "{:>30} {:>4} {:>9} {:>12.2} {:>7} {:>7}",
@@ -327,7 +382,10 @@ fn e11() {
 
     // Theorem 7.4 (NP): CONSTRUCT[AUF].
     println!("\nTheorem 7.4 — Eval(CONSTRUCT[AUF]), SAT instances:");
-    println!("{:>6} {:>12} {:>7} {:>7}", "vars", "decide (ms)", "answer", "oracle");
+    println!(
+        "{:>6} {:>12} {:>7} {:>7}",
+        "vars", "decide (ms)", "answer", "oracle"
+    );
     for n in [4usize, 8, 12, 14] {
         let phi = Formula::conj((0..n - 1).map(|i| Formula::var(i).or(Formula::var(i + 1).not())));
         let oracle = solve_formula(&phi).is_sat();
@@ -341,7 +399,8 @@ fn e11() {
     println!("\nExponential evaluation cost of the SAT gadget (the hardness, measured):");
     println!("{:>6} {:>14} {:>12}", "vars", "assignments", "eval (ms)");
     for n in [8usize, 10, 12, 14, 16] {
-        let g = sat_gadget::sat_gadget(&Formula::var(0).or(Formula::var(1)), n, &format!("e11w{n}"));
+        let g =
+            sat_gadget::sat_gadget(&Formula::var(0).or(Formula::var(1)), n, &format!("e11w{n}"));
         let (out, ms) = time_ms(|| evaluate(&g.sat_pattern, &g.graph));
         println!("{:>6} {:>14} {:>12.2}", n, out.len(), ms);
     }
@@ -349,7 +408,10 @@ fn e11() {
 
 /// E12 — OPT vs NS and engine ablations on workloads.
 fn e12() {
-    header("E12", "Section 8 future work: OPT vs NS in practice + engine ablation");
+    header(
+        "E12",
+        "Section 8 future work: OPT vs NS in practice + engine ablation",
+    );
     println!("OPT vs NS (indexed engine), social graphs:");
     println!(
         "{:>8} {:>8} {:>18} {:>12} {:>12} {:>8}",
@@ -404,10 +466,15 @@ fn e12() {
     ] {
         let p = parse_pattern(text).unwrap();
         match synthesize_aufs(&p, &SynthesisOptions::default()) {
-            SynthesisOutcome::Found { pattern, graphs_tested } => {
+            SynthesisOutcome::Found {
+                pattern,
+                graphs_tested,
+            } => {
                 println!("  {text}\n    ≡s {pattern}   [{graphs_tested} test graphs]");
             }
-            SynthesisOutcome::NotFound => println!("  {text}\n    (no bounded AUF equivalent found)"),
+            SynthesisOutcome::NotFound => {
+                println!("  {text}\n    (no bounded AUF equivalent found)")
+            }
         }
     }
 }

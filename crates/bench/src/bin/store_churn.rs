@@ -1,0 +1,120 @@
+//! Store-churn summary driver: runs the interleaved write/NS-read
+//! workload cold vs cached and writes machine-readable results to
+//! `BENCH_store.json`.
+//!
+//! ```text
+//! cargo run --release -p owql-bench --bin store_churn -- [out.json]
+//! ```
+
+use owql_bench::churn;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Run {
+    people: usize,
+    rounds: usize,
+    cold_ms: f64,
+    cached_ms: f64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    compactions: u64,
+    final_len: usize,
+    epoch: u64,
+}
+
+/// `rounds` rounds of (16-op write batch, 8 NS reads); reads go through
+/// `query_uncached` when `cached` is false, `query` otherwise.
+fn run_workload(people: usize, rounds: usize, cached: bool) -> (f64, owql_store::Store) {
+    let store = churn::seeded_store(people);
+    let mut rng = churn::rng();
+    let query = churn::ns_query();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        churn::mutate(&store, people, &mut rng, 16);
+        for _ in 0..8 {
+            let answers = if cached {
+                store.query(&query)
+            } else {
+                store.query_uncached(&query)
+            };
+            std::hint::black_box(answers.len());
+        }
+    }
+    (start.elapsed().as_secs_f64() * 1e3, store)
+}
+
+fn measure(people: usize, rounds: usize) -> Run {
+    let (cold_ms, _) = run_workload(people, rounds, false);
+    let (cached_ms, store) = run_workload(people, rounds, true);
+    let stats = store.cache_stats();
+    let metrics = store.metrics();
+    Run {
+        people,
+        rounds,
+        cold_ms,
+        cached_ms,
+        hits: stats.hits,
+        misses: stats.misses,
+        invalidations: stats.invalidations,
+        compactions: metrics.compactions,
+        final_len: metrics.len,
+        epoch: metrics.epoch,
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_store.json".to_owned());
+    let mut runs = Vec::new();
+    for people in [200usize, 800] {
+        let run = measure(people, 60);
+        println!(
+            "people={:4} rounds={}  cold={:8.2}ms  cached={:8.2}ms  speedup={:.2}x  \
+             hits={} misses={} invalidations={} compactions={} epoch={}",
+            run.people,
+            run.rounds,
+            run.cold_ms,
+            run.cached_ms,
+            run.cold_ms / run.cached_ms,
+            run.hits,
+            run.misses,
+            run.invalidations,
+            run.compactions,
+            run.epoch,
+        );
+        runs.push(run);
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"store_churn\",\n");
+    json.push_str(
+        "  \"workload\": \"60 rounds x (16-op write batch + 8 NS reads) over the social graph\",\n",
+    );
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"people\": {}, \"rounds\": {}, \"cold_ms\": {:.3}, \"cached_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_invalidations\": {}, \"compactions\": {}, \"final_triples\": {}, \
+             \"final_epoch\": {}}}",
+            r.people,
+            r.rounds,
+            r.cold_ms,
+            r.cached_ms,
+            r.cold_ms / r.cached_ms,
+            r.hits,
+            r.misses,
+            r.invalidations,
+            r.compactions,
+            r.final_len,
+            r.epoch,
+        );
+        json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json)?;
+    println!("wrote {out}");
+    Ok(())
+}

@@ -23,7 +23,11 @@ fn write_graph(dir: &Path, name: &str, g: &Graph, as_turtle: bool) -> std::io::R
     };
     let path = dir.join(format!("{name}.{ext}"));
     std::fs::write(&path, text)?;
-    println!("{}: {}", path.display(), GraphStats::of(g).to_string().lines().next().unwrap_or(""));
+    println!(
+        "{}: {}",
+        path.display(),
+        GraphStats::of(g).to_string().lines().next().unwrap_or("")
+    );
     Ok(())
 }
 

@@ -95,11 +95,99 @@ pub fn opt_ns_pairs() -> Vec<(&'static str, Pattern, Pattern)> {
         (
             "two optionals",
             q("(((?p, name, ?n) OPT (?p, email, ?e)) OPT (?p, was_born_in, ?c))"),
-            q("NS((((?p, name, ?n) UNION ((?p, name, ?n) AND (?p, email, ?e))) UNION \
+            q(
+                "NS((((?p, name, ?n) UNION ((?p, name, ?n) AND (?p, email, ?e))) UNION \
                 (((?p, name, ?n) AND (?p, was_born_in, ?c)) UNION \
-                 (((?p, name, ?n) AND (?p, email, ?e)) AND (?p, was_born_in, ?c)))))"),
+                 (((?p, name, ?n) AND (?p, email, ?e)) AND (?p, was_born_in, ?c)))))",
+            ),
         ),
     ]
+}
+
+/// Shared churn workload for the `store_churn` bench and driver:
+/// interleaved writes and NS-query reads against a live `owql-store`.
+pub mod churn {
+    use crate::social;
+    use owql_algebra::pattern::Pattern;
+    use owql_parser::parse_pattern;
+    use owql_rdf::Triple;
+    use owql_store::{Store, StoreOptions};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The read side of the workload: the paper's SP-style
+    /// optional-email query under closed-world maximal answers.
+    pub fn ns_query() -> Pattern {
+        parse_pattern(
+            "NS(((?p, was_born_in, Chile) UNION \
+               ((?p, was_born_in, Chile) AND (?p, email, ?e))))",
+        )
+        .expect("churn query parses")
+    }
+
+    /// A store seeded with the `people`-person social graph, tuned so
+    /// compaction fires a handful of times over a bench run.
+    pub fn seeded_store(people: usize) -> Store {
+        let store = Store::with_options(StoreOptions {
+            min_compact: 256,
+            compact_fraction: 0.2,
+            cache_capacity: 64,
+        });
+        let mut tx = store.begin();
+        tx.insert_graph(&social(people));
+        store.commit(tx);
+        store
+    }
+
+    /// Applies one write batch: `ops` interleaved inserts (new follow
+    /// edges, emails, birthplaces) and deletes of existing triples.
+    pub fn mutate(store: &Store, people: usize, rng: &mut StdRng, ops: usize) {
+        let mut tx = store.begin();
+        for _ in 0..ops {
+            let a = rng.gen_range(0..people);
+            let b = rng.gen_range(0..people);
+            let person = format!("person{a}");
+            let other = format!("person{b}");
+            let t = match rng.gen_range(0..4u8) {
+                0 => Triple::new(person.as_str(), "follows", other.as_str()),
+                1 => {
+                    let email = format!("person{a}@example.org");
+                    Triple::new(person.as_str(), "email", email.as_str())
+                }
+                2 => Triple::new(person.as_str(), "was_born_in", "Chile"),
+                _ => Triple::new(person.as_str(), "name", "Renamed"),
+            };
+            if rng.gen_bool(0.7) {
+                tx.insert(t);
+            } else {
+                tx.delete(t);
+            }
+        }
+        store.commit(tx);
+    }
+
+    /// One read/write round: a write batch followed by `reads` cached
+    /// NS queries. Returns the answer count (to keep work observable).
+    pub fn round(
+        store: &Store,
+        people: usize,
+        rng: &mut StdRng,
+        ops: usize,
+        reads: usize,
+    ) -> usize {
+        mutate(store, people, rng, ops);
+        let q = ns_query();
+        let mut total = 0;
+        for _ in 0..reads {
+            total += store.query(&q).len();
+        }
+        total
+    }
+
+    /// A deterministic RNG for the workload.
+    pub fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5702E)
+    }
 }
 
 #[cfg(test)]

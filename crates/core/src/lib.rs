@@ -48,12 +48,14 @@
 //! | [`eval`] | `owql-eval` | reference + indexed engines, CONSTRUCT evaluation |
 //! | [`logic`] | `owql-logic` | propositional logic, DPLL, cardinality, coloring (substrate of §7) |
 //! | [`theory`] | `owql-theory` | FO translation, rewrites, checkers, witnesses, reductions, synthesis |
+//! | [`store`] | `owql-store` | versioned concurrent triple store: epochs, snapshots, delta compaction, epoch-keyed query cache |
 
 pub use owql_algebra as algebra;
 pub use owql_eval as eval;
 pub use owql_logic as logic;
 pub use owql_parser as parser;
 pub use owql_rdf as rdf;
+pub use owql_store as store;
 pub use owql_theory as theory;
 
 /// The most common imports, bundled.
@@ -64,7 +66,8 @@ pub mod prelude {
     pub use owql_algebra::{ConstructQuery, Mapping, MappingSet, Variable};
     pub use owql_eval::{construct, evaluate, Engine};
     pub use owql_parser::{parse_construct, parse_pattern};
-    pub use owql_rdf::{Graph, GraphIndex, Iri, Triple};
+    pub use owql_rdf::{Graph, GraphIndex, Iri, SnapshotIndex, Triple, TripleLookup};
+    pub use owql_store::{Snapshot, Store, StoreOptions};
 }
 
 #[cfg(test)]

@@ -91,12 +91,7 @@ mod tests {
     fn duplicate_triples_collapse() {
         let q = example_6_1();
         let out = construct(&q, &figure_3());
-        assert_eq!(
-            out.iter()
-                .filter(|t| t.p.as_str() == "email")
-                .count(),
-            1
-        );
+        assert_eq!(out.iter().filter(|t| t.p.as_str() == "email").count(), 1);
     }
 
     #[test]

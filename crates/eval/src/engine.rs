@@ -19,10 +19,12 @@
 use owql_algebra::mapping::Mapping;
 use owql_algebra::mapping_set::MappingSet;
 use owql_algebra::pattern::{Pattern, TermPattern, TriplePattern};
-use owql_rdf::{Graph, GraphIndex, Iri};
+use owql_rdf::{Graph, GraphIndex, Iri, SnapshotIndex, TripleLookup};
 use std::collections::BTreeSet;
 
-/// An indexed engine bound to one graph.
+/// An indexed engine bound to one graph (or any [`TripleLookup`]
+/// backend — see [`Engine::for_snapshot`] for evaluation over the live
+/// snapshots of `owql-store`).
 ///
 /// ```
 /// use owql_algebra::pattern::Pattern;
@@ -34,8 +36,8 @@ use std::collections::BTreeSet;
 /// assert_eq!(engine.evaluate(&p).len(), 3);
 /// ```
 #[derive(Debug)]
-pub struct Engine {
-    index: GraphIndex,
+pub struct Engine<I: TripleLookup = GraphIndex> {
+    index: I,
 }
 
 impl Engine {
@@ -45,9 +47,30 @@ impl Engine {
             index: GraphIndex::build(graph),
         }
     }
+}
+
+impl Engine<SnapshotIndex> {
+    /// Binds the engine to a store snapshot: the same operators run
+    /// over the snapshot's base index merged with its delta overlay, so
+    /// live data is queried without any index rebuild.
+    ///
+    /// `owql_store::Snapshot` derefs to [`SnapshotIndex`], so this
+    /// accepts `&snapshot` directly.
+    pub fn for_snapshot(snapshot: &SnapshotIndex) -> Engine<SnapshotIndex> {
+        Engine {
+            index: snapshot.clone(),
+        }
+    }
+}
+
+impl<I: TripleLookup> Engine<I> {
+    /// Wraps an already-built lookup backend.
+    pub fn with_index(index: I) -> Engine<I> {
+        Engine { index }
+    }
 
     /// Access to the underlying index.
-    pub fn index(&self) -> &GraphIndex {
+    pub fn index(&self) -> &I {
         &self.index
     }
 
@@ -128,7 +151,11 @@ impl Engine {
 
     /// Greedy choice: fewest variables not yet bound, breaking ties by
     /// the constant-only index cardinality estimate.
-    fn pick_next(&self, triples: &[TriplePattern], bound: &BTreeSet<owql_algebra::Variable>) -> usize {
+    fn pick_next(
+        &self,
+        triples: &[TriplePattern],
+        bound: &BTreeSet<owql_algebra::Variable>,
+    ) -> usize {
         let mut best = 0usize;
         let mut best_key = (usize::MAX, usize::MAX);
         for (i, t) in triples.iter().enumerate() {
@@ -197,9 +224,8 @@ mod tests {
     fn matches_reference_on_figure_1() {
         let g = figure_1();
         let engine = Engine::new(&g);
-        let p = Pattern::t("?o", "stands_for", "sharing_rights").and(
-            Pattern::t("?p", "founder", "?o").union(Pattern::t("?p", "supporter", "?o")),
-        );
+        let p = Pattern::t("?o", "stands_for", "sharing_rights")
+            .and(Pattern::t("?p", "founder", "?o").union(Pattern::t("?p", "supporter", "?o")));
         assert_eq!(engine.evaluate(&p), evaluate(&p, &g));
         assert_eq!(engine.evaluate(&p).len(), 4);
     }
@@ -248,8 +274,8 @@ mod tests {
         };
         for seed in 0..300u64 {
             let p = random_pattern(&cfg, seed);
-            let g = generate::uniform(40, 5, 5, 5, seed ^ 0xdead)
-                .union(&graph_over_pattern_iris(seed));
+            let g =
+                generate::uniform(40, 5, 5, 5, seed ^ 0xdead).union(&graph_over_pattern_iris(seed));
             let engine = Engine::new(&g);
             assert_eq!(
                 engine.evaluate(&p),

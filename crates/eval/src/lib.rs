@@ -21,9 +21,9 @@
 //! CONSTRUCT evaluation (Section 6.1) lives in [`mod@construct`].
 
 pub mod construct;
+pub mod engine;
 pub mod optimize;
 pub mod plan;
-pub mod engine;
 pub mod reference;
 
 pub use construct::construct;

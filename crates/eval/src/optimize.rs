@@ -195,7 +195,10 @@ mod tests {
                     *n += 1;
                     count(q, n);
                 }
-                Pattern::And(a, b) | Pattern::Union(a, b) | Pattern::Opt(a, b) | Pattern::Minus(a, b) => {
+                Pattern::And(a, b)
+                | Pattern::Union(a, b)
+                | Pattern::Opt(a, b)
+                | Pattern::Minus(a, b) => {
                     count(a, n);
                     count(b, n);
                 }
@@ -233,8 +236,13 @@ mod tests {
     fn projection_rules() {
         let p = Pattern::t("?x", "a", "?y").select(["?x", "?y"]);
         assert_eq!(optimize(&p), Pattern::t("?x", "a", "?y"));
-        let nested = Pattern::t("?x", "a", "?y").select(["?x", "?y"]).select(["?x"]);
-        assert_eq!(optimize(&nested), Pattern::t("?x", "a", "?y").select(["?x"]));
+        let nested = Pattern::t("?x", "a", "?y")
+            .select(["?x", "?y"])
+            .select(["?x"]);
+        assert_eq!(
+            optimize(&nested),
+            Pattern::t("?x", "a", "?y").select(["?x"])
+        );
     }
 
     #[test]
@@ -252,7 +260,10 @@ mod tests {
     fn ns_elision_preserves_answers() {
         let aof = Pattern::t("?x", "a", "b").opt(Pattern::t("?x", "c", "?y"));
         let g = graph_from(&[("1", "a", "b"), ("1", "c", "2"), ("3", "a", "b")]);
-        assert_eq!(evaluate(&aof.clone().ns(), &g), evaluate(&optimize(&aof.ns()), &g));
+        assert_eq!(
+            evaluate(&aof.clone().ns(), &g),
+            evaluate(&optimize(&aof.ns()), &g)
+        );
     }
 
     /// The global property: optimization preserves exact semantics on
@@ -267,8 +278,11 @@ mod tests {
         for seed in 0..250u64 {
             let p = random_pattern(&cfg, seed);
             let o = optimize(&p);
-            let g = owql_rdf::generate::uniform(30, 4, 4, 4, seed)
-                .union(&graph_from(&[("i0", "i1", "i2"), ("i2", "i3", "i0"), ("i1", "i1", "i1")]));
+            let g = owql_rdf::generate::uniform(30, 4, 4, 4, seed).union(&graph_from(&[
+                ("i0", "i1", "i2"),
+                ("i2", "i3", "i0"),
+                ("i1", "i1", "i1"),
+            ]));
             assert_eq!(
                 evaluate(&p, &g),
                 evaluate(&o, &g),

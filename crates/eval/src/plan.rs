@@ -10,7 +10,7 @@
 
 use owql_algebra::pattern::{Pattern, TriplePattern};
 use owql_algebra::Variable;
-use owql_rdf::GraphIndex;
+use owql_rdf::TripleLookup;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -63,7 +63,10 @@ impl Plan {
                 pattern,
                 access_path,
                 estimated_rows,
-            } => writeln!(f, "scan {pattern} via {access_path} (~{estimated_rows} rows)"),
+            } => writeln!(
+                f,
+                "scan {pattern} via {access_path} (~{estimated_rows} rows)"
+            ),
             Plan::IndexJoin { steps, others } => {
                 writeln!(f, "index nested-loop join")?;
                 for s in steps {
@@ -136,7 +139,11 @@ impl fmt::Display for Plan {
 }
 
 fn access_path(t: TriplePattern) -> &'static str {
-    match (t.s.as_iri().is_some(), t.p.as_iri().is_some(), t.o.as_iri().is_some()) {
+    match (
+        t.s.as_iri().is_some(),
+        t.p.as_iri().is_some(),
+        t.o.as_iri().is_some(),
+    ) {
         (true, true, true) => "SPO (point)",
         (true, true, false) => "SP index",
         (false, true, true) => "PO index",
@@ -149,8 +156,10 @@ fn access_path(t: TriplePattern) -> &'static str {
 }
 
 /// Builds the plan for `pattern` against `index` — the logic mirrors
-/// the engine's spine flattening and greedy ordering.
-pub fn plan(pattern: &Pattern, index: &GraphIndex) -> Plan {
+/// the engine's spine flattening and greedy ordering. Works against any
+/// [`TripleLookup`] backend (a full [`owql_rdf::GraphIndex`] or a store
+/// snapshot's delta overlay).
+pub fn plan<I: TripleLookup>(pattern: &Pattern, index: &I) -> Plan {
     match pattern {
         Pattern::Triple(_) | Pattern::And(..) => {
             let mut triples = Vec::new();
@@ -196,11 +205,7 @@ pub fn plan(pattern: &Pattern, index: &GraphIndex) -> Plan {
     }
 }
 
-fn flatten<'a>(
-    p: &'a Pattern,
-    triples: &mut Vec<TriplePattern>,
-    others: &mut Vec<&'a Pattern>,
-) {
+fn flatten<'a>(p: &'a Pattern, triples: &mut Vec<TriplePattern>, others: &mut Vec<&'a Pattern>) {
     match p {
         Pattern::And(a, b) => {
             flatten(a, triples, others);

@@ -106,7 +106,10 @@ mod tests {
             match_triple(tp("?x", "p", "?x"), Triple::new("a", "p", "a")),
             Some(Mapping::from_str_pairs(&[("x", "a")]))
         );
-        assert_eq!(match_triple(tp("?x", "p", "?x"), Triple::new("a", "p", "b")), None);
+        assert_eq!(
+            match_triple(tp("?x", "p", "?x"), Triple::new("a", "p", "b")),
+            None
+        );
     }
 
     /// Example 2.2, reproduced step by step.
@@ -126,9 +129,8 @@ mod tests {
             mapping_set(&[&[("p", "Carl_Lundström"), ("o", "The_Pirate_Bay")]])
         );
 
-        let p1 = Pattern::t("?o", "stands_for", "sharing_rights").and(
-            Pattern::t("?p", "founder", "?o").union(Pattern::t("?p", "supporter", "?o")),
-        );
+        let p1 = Pattern::t("?o", "stands_for", "sharing_rights")
+            .and(Pattern::t("?p", "founder", "?o").union(Pattern::t("?p", "supporter", "?o")));
         let p = p1.select(["?p"]);
         let out = evaluate(&p, &g);
         assert_eq!(
@@ -159,9 +161,8 @@ mod tests {
     /// Example 3.3: the non-weakly-monotone pattern.
     #[test]
     fn example_3_3_weak_monotonicity_failure() {
-        let p = Pattern::t("?X", "was_born_in", "Chile").and(
-            Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")),
-        );
+        let p = Pattern::t("?X", "was_born_in", "Chile")
+            .and(Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")));
         let out1 = evaluate(&p, &figure_2_g1());
         let out2 = evaluate(&p, &figure_2_g2());
         assert_eq!(out1, mapping_set(&[&[("X", "Juan"), ("Y", "Juan")]]));
@@ -173,10 +174,7 @@ mod tests {
     fn filter_semantics() {
         let g = graph_from(&[("a", "p", "b"), ("c", "p", "d")]);
         let p = Pattern::t("?x", "p", "?y").filter(Condition::eq_const("x", "a"));
-        assert_eq!(
-            evaluate(&p, &g),
-            mapping_set(&[&[("x", "a"), ("y", "b")]])
-        );
+        assert_eq!(evaluate(&p, &g), mapping_set(&[&[("x", "a"), ("y", "b")]]));
     }
 
     #[test]
@@ -184,7 +182,10 @@ mod tests {
         // NS((?x,a,b) UNION ((?x,a,b) AND (?x,c,?y))) — the OPT simulation.
         let g = graph_from(&[("1", "a", "b"), ("1", "c", "2"), ("3", "a", "b")]);
         let base = Pattern::t("?x", "a", "b");
-        let p = base.clone().union(base.and(Pattern::t("?x", "c", "?y"))).ns();
+        let p = base
+            .clone()
+            .union(base.and(Pattern::t("?x", "c", "?y")))
+            .ns();
         assert_eq!(
             evaluate(&p, &g),
             mapping_set(&[&[("x", "1"), ("y", "2")], &[("x", "3")]])

@@ -249,11 +249,7 @@ mod tests {
                 }
                 at_least_k(&mut cnf, &vars_as_lits(n), k);
                 let expected = (mask.count_ones() as usize) >= k;
-                assert_eq!(
-                    solve(&cnf).is_sat(),
-                    expected,
-                    "mask={mask:04b}, k={k}"
-                );
+                assert_eq!(solve(&cnf).is_sat(), expected, "mask={mask:04b}, k={k}");
             }
         }
     }

@@ -16,12 +16,18 @@ pub struct Lit {
 impl Lit {
     /// The positive literal of variable `var`.
     pub fn pos(var: usize) -> Lit {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// The negative literal of variable `var`.
     pub fn neg(var: usize) -> Lit {
-        Lit { var, positive: false }
+        Lit {
+            var,
+            positive: false,
+        }
     }
 
     /// The complementary literal.
@@ -196,7 +202,9 @@ mod tests {
         let formulas = vec![
             Formula::var(0).and(Formula::var(1)),
             Formula::var(0).and(Formula::var(0).not()),
-            Formula::var(0).or(Formula::var(1)).and(Formula::var(0).not()),
+            Formula::var(0)
+                .or(Formula::var(1))
+                .and(Formula::var(0).not()),
             Formula::var(0)
                 .or(Formula::var(1))
                 .and(Formula::var(0).not().or(Formula::var(1).not())),

@@ -124,7 +124,11 @@ pub fn k_colorable(g: &UGraph, k: usize) -> Option<Vec<usize>> {
     match solve(&coloring_cnf(g, k)) {
         Solution::Sat(m) => {
             let colors: Vec<usize> = (0..g.n)
-                .map(|v| (0..k).find(|&c| m[v * k + c]).expect("vertex must have a color"))
+                .map(|v| {
+                    (0..k)
+                        .find(|&c| m[v * k + c])
+                        .expect("vertex must have a color")
+                })
                 .collect();
             debug_assert!(g.is_proper_coloring(&colors));
             Some(colors)

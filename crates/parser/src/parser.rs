@@ -67,7 +67,9 @@ impl Parser {
         if &t == expected {
             Ok(())
         } else {
-            Err(ParseError::new(format!("expected '{expected}', found '{t}'")))
+            Err(ParseError::new(format!(
+                "expected '{expected}', found '{t}'"
+            )))
         }
     }
 
@@ -117,9 +119,7 @@ impl Parser {
                 self.next()?;
                 self.paren_tail()
             }
-            Some(t) => Err(ParseError::new(format!(
-                "expected a pattern, found '{t}'"
-            ))),
+            Some(t) => Err(ParseError::new(format!("expected a pattern, found '{t}'"))),
             None => Err(ParseError::new("expected a pattern, found end of input")),
         }
     }
@@ -190,7 +190,11 @@ impl Parser {
             match self.next()? {
                 Token::Comma => {}
                 Token::RBrace => break,
-                t => return Err(ParseError::new(format!("expected ',' or '}}', found '{t}'"))),
+                t => {
+                    return Err(ParseError::new(format!(
+                        "expected ',' or '}}', found '{t}'"
+                    )))
+                }
             }
         }
         Ok(vars)
@@ -369,7 +373,9 @@ mod tests {
         let p = parse_pattern("NS(((?x, a, b) MINUS (?x, c, ?y)))").unwrap();
         assert_eq!(
             p,
-            Pattern::t("?x", "a", "b").minus(Pattern::t("?x", "c", "?y")).ns()
+            Pattern::t("?x", "a", "b")
+                .minus(Pattern::t("?x", "c", "?y"))
+                .ns()
         );
     }
 

@@ -132,8 +132,8 @@ mod tests {
         for seed in 0..200u64 {
             let p = random_pattern(&cfg, seed);
             let text = pretty(&p);
-            let reparsed = parse_pattern(&text)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+            let reparsed =
+                parse_pattern(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
             assert_eq!(reparsed, p, "seed {seed}");
         }
     }

@@ -19,7 +19,13 @@ use rand::{Rng, SeedableRng};
 ///
 /// Duplicate draws are retried, so the result has exactly
 /// `min(n_triples, pool product)` triples.
-pub fn uniform(n_triples: usize, n_subjects: usize, n_predicates: usize, n_objects: usize, seed: u64) -> Graph {
+pub fn uniform(
+    n_triples: usize,
+    n_subjects: usize,
+    n_predicates: usize,
+    n_objects: usize,
+    seed: u64,
+) -> Graph {
     assert!(n_subjects > 0 && n_predicates > 0 && n_objects > 0);
     let cap = n_subjects * n_predicates * n_objects;
     let target = n_triples.min(cap);
@@ -90,7 +96,11 @@ pub fn social_network(opts: SocialOptions, seed: u64) -> Graph {
     let mut g = Graph::new();
     for i in 0..opts.people {
         let person = Iri::new(&format!("person{i}"));
-        g.insert(Triple::new(person, Iri::new("name"), Iri::new(&format!("Name_{i}"))));
+        g.insert(Triple::new(
+            person,
+            Iri::new("name"),
+            Iri::new(&format!("Name_{i}")),
+        ));
         if rng.gen_bool(opts.email_probability) {
             g.insert(Triple::new(
                 person,
@@ -151,7 +161,11 @@ pub fn university(opts: UniversityOptions, seed: u64) -> Graph {
         let uni = Iri::new(&format!("University_{u}"));
         for _ in 0..opts.professors_per_university {
             let prof = Iri::new(&format!("prof_{prof_id:04}"));
-            g.insert(Triple::new(prof, Iri::new("name"), Iri::new(&format!("ProfName_{prof_id}"))));
+            g.insert(Triple::new(
+                prof,
+                Iri::new("name"),
+                Iri::new(&format!("ProfName_{prof_id}")),
+            ));
             g.insert(Triple::new(prof, Iri::new("works_at"), uni));
             if rng.gen_bool(opts.second_affiliation_probability) {
                 let u2 = rng.gen_range(0..opts.universities);
@@ -184,17 +198,29 @@ pub fn organizations(orgs: usize, people: usize, seed: u64) -> Graph {
     for o in 0..orgs {
         let org = Iri::new(&format!("org{o}"));
         if rng.gen_bool(0.5) {
-            g.insert(Triple::new(org, Iri::new("stands_for"), Iri::new("sharing_rights")));
+            g.insert(Triple::new(
+                org,
+                Iri::new("stands_for"),
+                Iri::new("sharing_rights"),
+            ));
         }
         let founders = rng.gen_range(1..4usize);
         for _ in 0..founders {
             let p = rng.gen_range(0..people);
-            g.insert(Triple::new(Iri::new(&format!("p{p}")), Iri::new("founder"), org));
+            g.insert(Triple::new(
+                Iri::new(&format!("p{p}")),
+                Iri::new("founder"),
+                org,
+            ));
         }
         let supporters = rng.gen_range(0..6usize);
         for _ in 0..supporters {
             let p = rng.gen_range(0..people);
-            g.insert(Triple::new(Iri::new(&format!("p{p}")), Iri::new("supporter"), org));
+            g.insert(Triple::new(
+                Iri::new(&format!("p{p}")),
+                Iri::new("supporter"),
+                org,
+            ));
         }
     }
     g
@@ -239,7 +265,13 @@ mod tests {
 
     #[test]
     fn social_network_has_names_for_everyone() {
-        let g = social_network(SocialOptions { people: 20, ..Default::default() }, 3);
+        let g = social_network(
+            SocialOptions {
+                people: 20,
+                ..Default::default()
+            },
+            3,
+        );
         let names = g.iter().filter(|t| t.p.as_str() == "name").count();
         assert_eq!(names, 20);
         // emails are partial

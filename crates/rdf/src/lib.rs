@@ -26,12 +26,12 @@
 pub mod datasets;
 pub mod generate;
 pub mod graph;
-pub mod stats;
 pub mod index;
 pub mod ntriples;
+pub mod stats;
 pub mod term;
 pub mod turtle;
 
 pub use graph::Graph;
-pub use index::GraphIndex;
+pub use index::{GraphIndex, SnapshotIndex, TripleLookup};
 pub use term::{Iri, Triple};

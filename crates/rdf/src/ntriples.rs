@@ -137,7 +137,10 @@ mod tests {
     #[test]
     fn parse_bare_form() {
         let g = parse("Peter_Sunde founder The_Pirate_Bay .").unwrap();
-        assert_eq!(g, graph_from(&[("Peter_Sunde", "founder", "The_Pirate_Bay")]));
+        assert_eq!(
+            g,
+            graph_from(&[("Peter_Sunde", "founder", "The_Pirate_Bay")])
+        );
     }
 
     #[test]

@@ -62,7 +62,12 @@ fn lex(text: &str) -> Result<Vec<(usize, Tok)>, TurtleError> {
     for (li, raw) in text.lines().enumerate() {
         let line_no = li + 1;
         let line = match raw.find('#') {
-            Some(pos) if !raw[..pos].contains('<') || raw[..pos].matches('<').count() == raw[..pos].matches('>').count() => &raw[..pos],
+            Some(pos)
+                if !raw[..pos].contains('<')
+                    || raw[..pos].matches('<').count() == raw[..pos].matches('>').count() =>
+            {
+                &raw[..pos]
+            }
             _ => raw,
         };
         let chars: Vec<char> = line.chars().collect();
@@ -83,9 +88,17 @@ fn lex(text: &str) -> Result<Vec<(usize, Tok)>, TurtleError> {
                     out.push((line_no, Tok::Comma));
                     i += 1;
                 }
-                '"' => return Err(err(line_no, "literals are not part of the paper's data model")),
+                '"' => {
+                    return Err(err(
+                        line_no,
+                        "literals are not part of the paper's data model",
+                    ))
+                }
                 '_' if chars.get(i + 1) == Some(&':') => {
-                    return Err(err(line_no, "blank nodes are not part of the paper's data model"))
+                    return Err(err(
+                        line_no,
+                        "blank nodes are not part of the paper's data model",
+                    ))
                 }
                 '<' => {
                     let mut j = i + 1;
@@ -200,7 +213,9 @@ pub fn parse(text: &str) -> Result<Graph, TurtleError> {
                     let (pline, predicate) = match tokens.get(i) {
                         Some((l, Tok::Term(t, q))) => (*l, resolve(t, *q, &prefixes, *l)?),
                         Some((l, Tok::A)) => (*l, Iri::new(RDF_TYPE)),
-                        Some((l, t)) => return Err(err(*l, format!("expected predicate, found {t:?}"))),
+                        Some((l, t)) => {
+                            return Err(err(*l, format!("expected predicate, found {t:?}")))
+                        }
                         None => return Err(err(*line, "unexpected end of input in triple")),
                     };
                     i += 1;
@@ -380,7 +395,9 @@ mod tests {
 
     #[test]
     fn writer_emits_a_for_rdf_type() {
-        let g: Graph = [Triple::new("alice", RDF_TYPE, "Person")].into_iter().collect();
+        let g: Graph = [Triple::new("alice", RDF_TYPE, "Person")]
+            .into_iter()
+            .collect();
         let text = write(&g);
         assert!(text.contains("<alice> a <Person>"));
         assert_eq!(parse(&text).unwrap(), g);

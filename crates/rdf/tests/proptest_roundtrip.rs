@@ -1,6 +1,6 @@
 //! Property tests: the exchange formats round-trip on arbitrary graphs.
 
-use owql_rdf::{ntriples, turtle, Graph, Iri, Triple};
+use owql_rdf::{generate, ntriples, turtle, Graph, Iri, Triple};
 use proptest::prelude::*;
 
 fn arb_iri() -> impl Strategy<Value = Iri> {
@@ -39,5 +39,30 @@ proptest! {
         prop_assert_eq!(ntriples::write(&g), ntriples::write(&g));
         let reparsed = ntriples::parse(&ntriples::write(&g)).unwrap();
         prop_assert_eq!(ntriples::write(&reparsed), ntriples::write(&g));
+    }
+}
+
+/// A workload-shaped graph from the `generate` module, with
+/// proptest-driven shape parameters — exercises the writers on the
+/// realistic IRI vocabularies the benchmarks use, not just the
+/// adversarial ones above.
+fn arb_generated_graph() -> impl Strategy<Value = Graph> {
+    prop_oneof![
+        (1usize..60, 1usize..6, 1usize..4, 1usize..6, 0u64..1000)
+            .prop_map(|(n, s, p, o, seed)| generate::uniform(n, s, p, o, seed)),
+        (1usize..30).prop_map(|n| generate::star("hub", "spoke", n)),
+        (1usize..30).prop_map(|n| generate::chain("next", n)),
+        (2usize..8, 2usize..12, 0u64..1000)
+            .prop_map(|(orgs, people, seed)| generate::organizations(orgs, people, seed)),
+    ]
+}
+
+proptest! {
+    /// `parse(serialize(g)) == g` for both exchange formats over
+    /// generator-produced graphs.
+    #[test]
+    fn generated_graphs_roundtrip_both_formats(g in arb_generated_graph()) {
+        prop_assert_eq!(ntriples::parse(&ntriples::write(&g)).unwrap(), g.clone());
+        prop_assert_eq!(turtle::parse(&turtle::write(&g)).unwrap(), g);
     }
 }

@@ -1,0 +1,269 @@
+//! The epoch-keyed LRU query cache.
+//!
+//! Entries are keyed by a *canonicalized* pattern rendering (see
+//! [`cache_key`]) and stamped with the store epoch they were computed
+//! at. A lookup hits only when both the key and the epoch match; an
+//! epoch mismatch drops the stale entry (counted as an invalidation
+//! plus a miss), so writers never have to touch the cache — bumping the
+//! epoch invalidates every prior entry implicitly.
+//!
+//! Eviction is least-recently-used over a bounded number of entries.
+//! The implementation keeps a logical clock per entry and evicts the
+//! minimum on overflow — `O(capacity)` per eviction, which is
+//! deliberate: capacities are small (hundreds), and the simplicity
+//! keeps the hot hit path to one hash lookup.
+
+use owql_algebra::mapping_set::MappingSet;
+use owql_algebra::normal_form::union_normal_form;
+use owql_algebra::pattern::Pattern;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Hit/miss/eviction counters, exposed for the bench harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found no usable entry.
+    pub misses: u64,
+    /// Entries dropped to make room (LRU overflow).
+    pub evictions: u64,
+    /// Entries dropped because their epoch was stale.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    epoch: u64,
+    result: MappingSet,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<String, Entry>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// A thread-safe, epoch-keyed LRU cache of query results.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` results. A capacity
+    /// of 0 disables caching (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            capacity,
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// Looks up `key` at `epoch`. Stale entries (same key, older epoch)
+    /// are dropped and counted as invalidations.
+    pub fn lookup(&self, key: &str, epoch: u64) -> Option<MappingSet> {
+        let mut state = self.state.lock().expect("query cache poisoned");
+        state.clock += 1;
+        let clock = state.clock;
+        let outcome = match state.map.get_mut(key) {
+            Some(entry) if entry.epoch == epoch => {
+                entry.last_used = clock;
+                Some(Some(entry.result.clone()))
+            }
+            Some(_) => Some(None), // present but stale
+            None => None,
+        };
+        match outcome {
+            Some(Some(result)) => {
+                state.stats.hits += 1;
+                Some(result)
+            }
+            Some(None) => {
+                state.map.remove(key);
+                state.stats.invalidations += 1;
+                state.stats.misses += 1;
+                None
+            }
+            None => {
+                state.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a result computed at `epoch`, evicting the
+    /// least-recently-used entry on overflow.
+    pub fn store(&self, key: String, epoch: u64, result: MappingSet) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.state.lock().expect("query cache poisoned");
+        state.clock += 1;
+        let clock = state.clock;
+        if !state.map.contains_key(&key) && state.map.len() >= self.capacity {
+            if let Some(lru) = state
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                state.map.remove(&lru);
+                state.stats.evictions += 1;
+            }
+        }
+        state.map.insert(
+            key,
+            Entry {
+                epoch,
+                result,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().expect("query cache poisoned").stats
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("query cache poisoned").map.len()
+    }
+
+    /// `true` iff no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.state.lock().expect("query cache poisoned").map.clear();
+    }
+}
+
+/// Patterns at or below this size are canonicalized through the UNION
+/// normal form; larger ones fall back to their display rendering (the
+/// normal form can grow exponentially — Proposition D.1's construction
+/// multiplies out `AND`s over `UNION`s).
+const MAX_CANONICAL_SIZE: usize = 24;
+
+/// Canonicalizes `pattern` into a cache key such that equal keys imply
+/// equivalent queries.
+///
+/// NS-free patterns of modest size are put into UNION normal form
+/// (Proposition D.1, [`owql_algebra::normal_form`]) and their disjuncts
+/// sorted and deduplicated — so `P₁ UNION P₂` and `P₂ UNION P₁` share
+/// one cache line, as do any two patterns with the same normal form.
+/// Everything else falls back to the (parser-round-trippable) display
+/// form.
+pub fn cache_key(pattern: &Pattern) -> String {
+    if !pattern.contains_ns() && pattern.size() <= MAX_CANONICAL_SIZE {
+        if let Ok(disjuncts) = union_normal_form(pattern) {
+            let mut keys: Vec<String> = disjuncts.iter().map(|d| d.to_string()).collect();
+            keys.sort();
+            keys.dedup();
+            return format!("unf:{}", keys.join(" UNION "));
+        }
+    }
+    format!("raw:{pattern}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_algebra::mapping_set::mapping_set;
+
+    fn result(n: u32) -> MappingSet {
+        let binding = format!("v{n}");
+        mapping_set(&[&[("x", binding.as_str())]])
+    }
+
+    #[test]
+    fn hit_requires_matching_epoch() {
+        let cache = QueryCache::new(8);
+        cache.store("k".into(), 3, result(1));
+        assert_eq!(cache.lookup("k", 3), Some(result(1)));
+        assert_eq!(cache.lookup("k", 4), None); // stale: invalidated
+        assert_eq!(cache.lookup("k", 3), None); // gone now
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.invalidations, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = QueryCache::new(2);
+        cache.store("a".into(), 0, result(1));
+        cache.store("b".into(), 0, result(2));
+        assert!(cache.lookup("a", 0).is_some()); // refresh a
+        cache.store("c".into(), 0, result(3)); // evicts b
+        assert!(cache.lookup("a", 0).is_some());
+        assert!(cache.lookup("b", 0).is_none());
+        assert!(cache.lookup("c", 0).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = QueryCache::new(0);
+        cache.store("k".into(), 0, result(1));
+        assert!(cache.lookup("k", 0).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn restoring_same_key_does_not_evict() {
+        let cache = QueryCache::new(1);
+        cache.store("k".into(), 0, result(1));
+        cache.store("k".into(), 1, result(2));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.lookup("k", 1), Some(result(2)));
+    }
+
+    #[test]
+    fn cache_key_canonicalizes_union_order() {
+        let a = Pattern::t("?x", "p", "?y");
+        let b = Pattern::t("?x", "q", "?y");
+        let ab = a.clone().union(b.clone());
+        let ba = b.clone().union(a.clone());
+        assert_eq!(cache_key(&ab), cache_key(&ba));
+        assert_ne!(cache_key(&a), cache_key(&b));
+    }
+
+    #[test]
+    fn cache_key_ns_falls_back_to_display() {
+        let p = Pattern::t("?x", "p", "?y").ns();
+        assert!(cache_key(&p).starts_with("raw:"));
+    }
+
+    #[test]
+    fn cache_key_large_pattern_falls_back() {
+        let mut p = Pattern::t("?x0", "p", "?y0");
+        for i in 1..16 {
+            let xi = format!("?x{i}");
+            let yi = format!("?y{i}");
+            p = p.and(Pattern::t(xi.as_str(), "p", yi.as_str()));
+        }
+        assert!(p.size() > MAX_CANONICAL_SIZE);
+        assert!(cache_key(&p).starts_with("raw:"));
+    }
+}

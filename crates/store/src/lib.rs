@@ -1,0 +1,49 @@
+//! # owql-store
+//!
+//! A versioned, concurrent triple store for the OWQL engine, marrying
+//! the paper's static-graph semantics with a mutable world:
+//!
+//! - **Epochs** — every state-changing [`Store::commit`] bumps a
+//!   monotonic epoch counter; the epoch names a graph version.
+//! - **Snapshots** — [`Store::snapshot`] returns an `O(1)`,
+//!   `Arc`-backed [`Snapshot`] pinned to the current epoch. Readers
+//!   evaluate OWQL patterns against it (certain answers under
+//!   open-world `AND`/`UNION`, maximal answers under closed-world
+//!   `NS`) while writers keep committing — answers never shift under
+//!   a running query.
+//! - **Incremental indexing** — mutations land in a small delta
+//!   overlay ([`owql_rdf::SnapshotIndex`]: base minus net-deletes plus
+//!   net-adds); once the overlay outgrows a threshold, compaction
+//!   folds it into a fresh base [`owql_rdf::GraphIndex`]. No full
+//!   rebuild per write.
+//! - **Epoch-keyed query cache** — [`Store::query`] canonicalizes the
+//!   pattern (UNION normal form where tractable, see [`cache_key`])
+//!   and caches `MappingSet` results keyed by `(pattern, epoch)`. A
+//!   write bumps the epoch and thereby invalidates every cached entry
+//!   implicitly; hit/miss/eviction counters are exposed via
+//!   [`Store::cache_stats`].
+//!
+//! ```
+//! use owql_rdf::Triple;
+//! use owql_algebra::pattern::Pattern;
+//! use owql_store::Store;
+//!
+//! let store = Store::new();
+//! let mut tx = store.begin();
+//! tx.insert(Triple::new("Juan", "was_born_in", "Chile"));
+//! tx.insert(Triple::new("Chile", "is_in", "SouthAmerica"));
+//! store.commit(tx);
+//!
+//! let p = Pattern::t("?x", "was_born_in", "?c").and(Pattern::t("?c", "is_in", "?r"));
+//! assert_eq!(store.query(&p).len(), 1);   // cold: evaluated, cached
+//! assert_eq!(store.query(&p).len(), 1);   // warm: served from cache
+//! assert_eq!(store.cache_stats().hits, 1);
+//! ```
+
+pub mod cache;
+pub mod store;
+
+pub use cache::{cache_key, CacheStats, QueryCache};
+pub use store::{
+    CommitSummary, DeltaOp, LogEntry, Snapshot, Store, StoreMetrics, StoreOptions, Transaction,
+};

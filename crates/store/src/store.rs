@@ -1,0 +1,680 @@
+//! The versioned, concurrent triple store.
+//!
+//! A [`Store`] holds an immutable `Arc`-shared base [`GraphIndex`] plus
+//! a small mutable overlay (net-added and net-deleted triples) and an
+//! ordered delta log. Mutations are batched into [`Transaction`]s;
+//! committing a batch that changes anything bumps a monotonically
+//! increasing **epoch**. Readers take [`Snapshot`]s — three `Arc`
+//! clones — and evaluate queries against them while writers proceed;
+//! a snapshot keeps answering from the state it captured forever
+//! (epoch isolation).
+//!
+//! When the overlay outgrows `max(min_compact, compact_fraction ×
+//! |base|)`, the commit folds it into a fresh base index (**delta
+//! compaction**) — replacing the seed's full `O(|G|)` index rebuild on
+//! *every* `Engine::new` with an amortized, threshold-driven one.
+
+use crate::cache::{cache_key, CacheStats, QueryCache};
+use owql_algebra::mapping_set::MappingSet;
+use owql_algebra::pattern::Pattern;
+use owql_eval::Engine;
+use owql_rdf::{Graph, GraphIndex, SnapshotIndex, Triple, TripleLookup};
+use std::collections::HashSet;
+use std::ops::Deref;
+use std::sync::{Arc, RwLock};
+
+/// Tuning knobs for a [`Store`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// Compaction never triggers below this overlay size.
+    pub min_compact: usize,
+    /// Compaction triggers once `|delta| > compact_fraction × |base|`
+    /// (and `|delta| > min_compact`).
+    pub compact_fraction: f64,
+    /// Capacity of the epoch-keyed LRU query cache (0 disables it).
+    pub cache_capacity: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            min_compact: 1024,
+            compact_fraction: 0.25,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// One mutation in a transaction / the delta log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// Add a triple (no-op if already present).
+    Insert(Triple),
+    /// Remove a triple (no-op if absent).
+    Delete(Triple),
+}
+
+/// A delta-log record: the op plus the epoch whose commit applied it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Epoch the op became visible at.
+    pub epoch: u64,
+    /// The applied mutation.
+    pub op: DeltaOp,
+}
+
+/// A batch of mutations, applied atomically by [`Store::commit`].
+#[derive(Clone, Debug, Default)]
+pub struct Transaction {
+    ops: Vec<DeltaOp>,
+}
+
+impl Transaction {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Transaction::default()
+    }
+
+    /// Queues an insertion.
+    pub fn insert(&mut self, t: Triple) -> &mut Self {
+        self.ops.push(DeltaOp::Insert(t));
+        self
+    }
+
+    /// Queues a deletion.
+    pub fn delete(&mut self, t: Triple) -> &mut Self {
+        self.ops.push(DeltaOp::Delete(t));
+        self
+    }
+
+    /// Queues every triple of `graph` for insertion.
+    pub fn insert_graph(&mut self, graph: &Graph) -> &mut Self {
+        for &t in graph.iter() {
+            self.insert(t);
+        }
+        self
+    }
+
+    /// Number of queued ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` iff no op is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// What a commit did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitSummary {
+    /// The epoch after the commit (unchanged if nothing applied).
+    pub epoch: u64,
+    /// Ops that actually changed the store (duplicates and misses
+    /// don't count).
+    pub applied: usize,
+    /// Whether this commit folded the delta into a fresh base.
+    pub compacted: bool,
+}
+
+/// Aggregate store state, for monitoring and the bench harness.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreMetrics {
+    /// Current epoch.
+    pub epoch: u64,
+    /// Triples visible to a fresh snapshot.
+    pub len: usize,
+    /// Triples in the shared base index.
+    pub base_len: usize,
+    /// Overlay size (`|adds| + |dels|`).
+    pub delta_len: usize,
+    /// Compactions performed so far.
+    pub compactions: u64,
+    /// Query-cache counters.
+    pub cache: CacheStats,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    base: Arc<GraphIndex>,
+    /// Net additions (disjoint from `base`), incrementally indexed.
+    adds: Arc<GraphIndex>,
+    /// Net deletions (subset of `base`).
+    dels: Arc<HashSet<Triple>>,
+    epoch: u64,
+    /// Ordered mutation log since the last compaction.
+    log: Vec<LogEntry>,
+    compactions: u64,
+}
+
+impl StoreInner {
+    fn visible(&self, t: &Triple) -> bool {
+        (self.base.contains(t) && !self.dels.contains(t)) || self.adds.contains(t)
+    }
+
+    fn snapshot_index(&self) -> SnapshotIndex {
+        SnapshotIndex::new(self.base.clone(), self.adds.clone(), self.dels.clone())
+    }
+}
+
+/// An immutable point-in-time view of a [`Store`].
+///
+/// Derefs to [`SnapshotIndex`], so it plugs directly into
+/// [`Engine::for_snapshot`] (or use the [`Snapshot::engine`] /
+/// [`Snapshot::evaluate`] conveniences).
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    index: SnapshotIndex,
+}
+
+impl Snapshot {
+    /// The epoch this snapshot captured.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The underlying delta-aware index.
+    pub fn index(&self) -> &SnapshotIndex {
+        &self.index
+    }
+
+    /// An evaluation engine bound to this snapshot.
+    pub fn engine(&self) -> Engine<SnapshotIndex> {
+        Engine::for_snapshot(&self.index)
+    }
+
+    /// Evaluates `pattern` against this snapshot.
+    pub fn evaluate(&self, pattern: &Pattern) -> MappingSet {
+        self.engine().evaluate(pattern)
+    }
+
+    /// Materializes the visible triples.
+    pub fn to_graph(&self) -> Graph {
+        self.index.to_graph()
+    }
+
+    /// Number of visible triples.
+    pub fn len(&self) -> usize {
+        TripleLookup::len(&self.index)
+    }
+
+    /// `true` iff nothing is visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for Snapshot {
+    type Target = SnapshotIndex;
+    fn deref(&self) -> &SnapshotIndex {
+        &self.index
+    }
+}
+
+/// The versioned, concurrent triple store. See the module docs.
+///
+/// ```
+/// use owql_algebra::pattern::Pattern;
+/// use owql_eval::Engine;
+/// use owql_rdf::Triple;
+/// use owql_store::Store;
+///
+/// let store = Store::new();
+/// store.insert(Triple::new("Juan", "was_born_in", "Chile"));
+///
+/// let before = store.snapshot();
+/// store.insert(Triple::new("Marcelo", "was_born_in", "Chile"));
+///
+/// let p = Pattern::t("?x", "was_born_in", "Chile");
+/// // The old snapshot still answers from its epoch…
+/// assert_eq!(Engine::for_snapshot(&before).evaluate(&p).len(), 1);
+/// // …while a fresh one sees the write.
+/// assert_eq!(store.snapshot().evaluate(&p).len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Store {
+    inner: RwLock<StoreInner>,
+    cache: QueryCache,
+    opts: StoreOptions,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::new()
+    }
+}
+
+impl Store {
+    /// An empty store with default options.
+    pub fn new() -> Self {
+        Store::with_options(StoreOptions::default())
+    }
+
+    /// An empty store with explicit options.
+    pub fn with_options(opts: StoreOptions) -> Self {
+        Store {
+            inner: RwLock::new(StoreInner {
+                base: Arc::new(GraphIndex::default()),
+                adds: Arc::new(GraphIndex::default()),
+                dels: Arc::new(HashSet::new()),
+                epoch: 0,
+                log: Vec::new(),
+                compactions: 0,
+            }),
+            cache: QueryCache::new(opts.cache_capacity),
+            opts,
+        }
+    }
+
+    /// A store seeded with `graph` as its base index (epoch 0).
+    pub fn from_graph(graph: &Graph) -> Self {
+        let store = Store::new();
+        {
+            let mut inner = store.inner.write().expect("store lock poisoned");
+            inner.base = Arc::new(GraphIndex::build(graph));
+        }
+        store
+    }
+
+    /// Current epoch (bumped by every state-changing commit).
+    pub fn epoch(&self) -> u64 {
+        self.inner.read().expect("store lock poisoned").epoch
+    }
+
+    /// Number of currently visible triples.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.read().expect("store lock poisoned");
+        inner.base.len() - inner.dels.len() + inner.adds.len()
+    }
+
+    /// `true` iff no triple is visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes a point-in-time snapshot (three `Arc` clones — `O(1)`).
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.read().expect("store lock poisoned");
+        Snapshot {
+            epoch: inner.epoch,
+            index: inner.snapshot_index(),
+        }
+    }
+
+    /// Starts an empty transaction (a convenience for
+    /// `Transaction::new`).
+    pub fn begin(&self) -> Transaction {
+        Transaction::new()
+    }
+
+    /// Applies a batch atomically. One epoch bump per commit that
+    /// changes anything; no bump for all-no-op batches.
+    pub fn commit(&self, tx: Transaction) -> CommitSummary {
+        let mut inner = self.inner.write().expect("store lock poisoned");
+        let next_epoch = inner.epoch + 1;
+        let mut applied = 0usize;
+        for op in tx.ops {
+            let changed = match op {
+                DeltaOp::Insert(t) => {
+                    if inner.visible(&t) {
+                        false
+                    } else if inner.dels.contains(&t) {
+                        // Re-insert of a base triple: cancel the delete.
+                        Arc::make_mut(&mut inner.dels).remove(&t);
+                        true
+                    } else {
+                        Arc::make_mut(&mut inner.adds).insert(t);
+                        true
+                    }
+                }
+                DeltaOp::Delete(t) => {
+                    if !inner.visible(&t) {
+                        false
+                    } else if inner.adds.contains(&t) {
+                        // Delete of an uncompacted add: cancel the add.
+                        Arc::make_mut(&mut inner.adds).remove(&t);
+                        true
+                    } else {
+                        Arc::make_mut(&mut inner.dels).insert(t);
+                        true
+                    }
+                }
+            };
+            if changed {
+                applied += 1;
+                inner.log.push(LogEntry {
+                    epoch: next_epoch,
+                    op,
+                });
+            }
+        }
+        if applied == 0 {
+            return CommitSummary {
+                epoch: inner.epoch,
+                applied: 0,
+                compacted: false,
+            };
+        }
+        inner.epoch = next_epoch;
+        let compacted = self.maybe_compact(&mut inner);
+        CommitSummary {
+            epoch: inner.epoch,
+            applied,
+            compacted,
+        }
+    }
+
+    /// Single-triple insert (its own transaction). Returns `true` if
+    /// the triple was new.
+    pub fn insert(&self, t: Triple) -> bool {
+        let mut tx = Transaction::new();
+        tx.insert(t);
+        self.commit(tx).applied == 1
+    }
+
+    /// Single-triple delete (its own transaction). Returns `true` if
+    /// the triple was present.
+    pub fn delete(&self, t: &Triple) -> bool {
+        let mut tx = Transaction::new();
+        tx.delete(*t);
+        self.commit(tx).applied == 1
+    }
+
+    /// Folds the delta into a fresh base if the compaction policy says
+    /// so; called under the write lock.
+    fn maybe_compact(&self, inner: &mut StoreInner) -> bool {
+        let delta_len = inner.adds.len() + inner.dels.len();
+        let threshold = self
+            .opts
+            .min_compact
+            .max((self.opts.compact_fraction * inner.base.len() as f64) as usize);
+        if delta_len <= threshold {
+            return false;
+        }
+        self.compact_inner(inner);
+        true
+    }
+
+    fn compact_inner(&self, inner: &mut StoreInner) {
+        let folded = inner.snapshot_index().compacted();
+        inner.base = Arc::new(folded);
+        inner.adds = Arc::new(GraphIndex::default());
+        inner.dels = Arc::new(HashSet::new());
+        inner.log.clear();
+        inner.compactions += 1;
+    }
+
+    /// Forces a compaction regardless of the policy (no epoch change —
+    /// the visible graph is identical before and after).
+    pub fn force_compact(&self) {
+        let mut inner = self.inner.write().expect("store lock poisoned");
+        if inner.adds.len() + inner.dels.len() > 0 {
+            self.compact_inner(&mut inner);
+        }
+    }
+
+    /// The ordered delta log since the last compaction.
+    pub fn history(&self) -> Vec<LogEntry> {
+        self.inner.read().expect("store lock poisoned").log.clone()
+    }
+
+    /// Materializes the current visible graph.
+    pub fn to_graph(&self) -> Graph {
+        self.snapshot().to_graph()
+    }
+
+    /// Evaluates `pattern` at the current epoch through the query
+    /// cache: canonicalize ([`cache_key`]), look up `(key, epoch)`,
+    /// and on a miss evaluate against a fresh snapshot and fill the
+    /// cache.
+    pub fn query(&self, pattern: &Pattern) -> MappingSet {
+        let snapshot = self.snapshot();
+        let key = cache_key(pattern);
+        if let Some(hit) = self.cache.lookup(&key, snapshot.epoch()) {
+            return hit;
+        }
+        let result = snapshot.evaluate(pattern);
+        self.cache.store(key, snapshot.epoch(), result.clone());
+        result
+    }
+
+    /// Evaluates `pattern` bypassing (and not touching) the cache.
+    pub fn query_uncached(&self, pattern: &Pattern) -> MappingSet {
+        self.snapshot().evaluate(pattern)
+    }
+
+    /// Query-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Aggregate state for monitoring.
+    pub fn metrics(&self) -> StoreMetrics {
+        let inner = self.inner.read().expect("store lock poisoned");
+        StoreMetrics {
+            epoch: inner.epoch,
+            len: inner.base.len() - inner.dels.len() + inner.adds.len(),
+            base_len: inner.base.len(),
+            delta_len: inner.adds.len() + inner.dels.len(),
+            compactions: inner.compactions,
+            cache: self.cache.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_rdf::graph::graph_from;
+    use owql_rdf::term::triple;
+
+    fn small_opts() -> StoreOptions {
+        StoreOptions {
+            min_compact: 4,
+            compact_fraction: 0.5,
+            cache_capacity: 16,
+        }
+    }
+
+    #[test]
+    fn insert_delete_and_epochs() {
+        let store = Store::new();
+        assert_eq!(store.epoch(), 0);
+        assert!(store.insert(triple("a", "p", "b")));
+        assert_eq!(store.epoch(), 1);
+        assert!(!store.insert(triple("a", "p", "b"))); // duplicate: no bump
+        assert_eq!(store.epoch(), 1);
+        assert!(store.delete(&triple("a", "p", "b")));
+        assert_eq!(store.epoch(), 2);
+        assert!(!store.delete(&triple("a", "p", "b")));
+        assert_eq!(store.epoch(), 2);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn batch_commit_is_one_epoch() {
+        let store = Store::new();
+        let mut tx = store.begin();
+        tx.insert(triple("a", "p", "b"))
+            .insert(triple("c", "p", "d"))
+            .delete(triple("zz", "zz", "zz")); // no-op
+        let summary = store.commit(tx);
+        assert_eq!(summary.epoch, 1);
+        assert_eq!(summary.applied, 2);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn insert_then_delete_in_one_batch_nets_out() {
+        let store = Store::new();
+        let mut tx = store.begin();
+        tx.insert(triple("a", "p", "b"))
+            .delete(triple("a", "p", "b"));
+        let summary = store.commit(tx);
+        assert_eq!(summary.applied, 2); // both ops changed state…
+        assert!(store.is_empty()); // …and net to nothing
+        let log = store.history();
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|e| e.epoch == 1));
+    }
+
+    #[test]
+    fn delete_of_base_triple_then_reinsert() {
+        let store = Store::from_graph(&graph_from(&[("a", "p", "b")]));
+        assert!(store.delete(&triple("a", "p", "b")));
+        assert!(store.is_empty());
+        assert!(store.insert(triple("a", "p", "b")));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.metrics().delta_len, 0); // delete+reinsert cancel
+    }
+
+    #[test]
+    fn snapshot_isolation_across_writes() {
+        let store = Store::from_graph(&graph_from(&[("a", "p", "b")]));
+        let before = store.snapshot();
+        store.insert(triple("c", "p", "d"));
+        store.delete(&triple("a", "p", "b"));
+        assert_eq!(before.len(), 1);
+        assert!(before.to_graph().contains(&triple("a", "p", "b")));
+        let after = store.snapshot();
+        assert_eq!(after.len(), 1);
+        assert!(after.to_graph().contains(&triple("c", "p", "d")));
+        assert!(before.epoch() < after.epoch());
+    }
+
+    #[test]
+    fn compaction_folds_delta_and_preserves_graph() {
+        let store = Store::with_options(small_opts());
+        for i in 0..20 {
+            let s = format!("s{i}");
+            store.insert(triple(s.as_str(), "p", "o"));
+        }
+        let metrics = store.metrics();
+        assert!(metrics.compactions > 0, "threshold 4 must have tripped");
+        assert_eq!(metrics.len, 20);
+        assert_eq!(store.to_graph().len(), 20);
+        // Post-compaction deltas keep working.
+        store.delete(&triple("s0", "p", "o"));
+        assert_eq!(store.len(), 19);
+    }
+
+    #[test]
+    fn force_compact_preserves_visible_graph_and_epoch() {
+        let store = Store::new();
+        store.insert(triple("a", "p", "b"));
+        store.insert(triple("c", "p", "d"));
+        store.delete(&triple("a", "p", "b"));
+        let graph = store.to_graph();
+        let epoch = store.epoch();
+        store.force_compact();
+        assert_eq!(store.to_graph(), graph);
+        assert_eq!(store.epoch(), epoch);
+        assert_eq!(store.metrics().delta_len, 0);
+        assert!(store.history().is_empty());
+    }
+
+    #[test]
+    fn snapshot_survives_compaction() {
+        let store = Store::with_options(small_opts());
+        for i in 0..4 {
+            let s = format!("s{i}");
+            store.insert(triple(s.as_str(), "p", "o"));
+        }
+        let snap = store.snapshot(); // holds pre-compaction Arcs
+        for i in 4..20 {
+            let s = format!("s{i}");
+            store.insert(triple(s.as_str(), "p", "o"));
+        }
+        assert!(store.metrics().compactions > 0);
+        assert_eq!(snap.len(), 4);
+        assert_eq!(store.len(), 20);
+    }
+
+    #[test]
+    fn query_cache_hits_within_epoch_and_invalidates_across() {
+        let store = Store::new();
+        store.insert(triple("a", "p", "b"));
+        let p = Pattern::t("?x", "p", "?y");
+        let first = store.query(&p);
+        let second = store.query(&p);
+        assert_eq!(first, second);
+        let stats = store.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+
+        store.insert(triple("c", "p", "d"));
+        let third = store.query(&p);
+        assert_eq!(third.len(), 2);
+        let stats = store.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.invalidations, 1);
+    }
+
+    #[test]
+    fn cached_equals_uncached() {
+        let store = Store::from_graph(&graph_from(&[
+            ("a", "p", "b"),
+            ("b", "p", "c"),
+            ("a", "q", "c"),
+        ]));
+        let p = Pattern::t("?x", "p", "?y").and(Pattern::t("?y", "p", "?z"));
+        let uncached = store.query_uncached(&p);
+        let cold = store.query(&p);
+        let warm = store.query(&p);
+        assert_eq!(uncached, cold);
+        assert_eq!(uncached, warm);
+        assert_eq!(store.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::thread;
+
+        let store = Arc::new(Store::with_options(StoreOptions {
+            min_compact: 8,
+            compact_fraction: 0.25,
+            cache_capacity: 32,
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let p = Pattern::t("?x", "p", "?y");
+
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let store = store.clone();
+                let stop = stop.clone();
+                let p = p.clone();
+                thread::spawn(move || {
+                    let mut observed = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snapshot = store.snapshot();
+                        let direct = snapshot.evaluate(&p).len();
+                        // The snapshot is frozen: re-evaluating gives the
+                        // same answer regardless of concurrent writes.
+                        assert_eq!(snapshot.evaluate(&p).len(), direct);
+                        observed = observed.max(direct);
+                    }
+                    observed
+                })
+            })
+            .collect();
+
+        for i in 0..200 {
+            let s = format!("s{i}");
+            store.insert(triple(s.as_str(), "p", "o"));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let max_seen = readers
+            .into_iter()
+            .map(|h| h.join().expect("reader panicked"))
+            .max()
+            .unwrap();
+        assert!(max_seen <= 200);
+        assert_eq!(store.len(), 200);
+        assert!(store.metrics().compactions > 0);
+    }
+}

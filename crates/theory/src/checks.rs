@@ -175,7 +175,10 @@ fn check_extensions(
     full: &[Triple],
     opts: &CheckOptions,
 ) -> CheckResult {
-    assert!(exhaustive.len() <= 16, "exhaustive phase capped at 2^16 graphs");
+    assert!(
+        exhaustive.len() <= 16,
+        "exhaustive phase capped at 2^16 graphs"
+    );
     let mut pairs = 0usize;
     // Phase 1: exhaustive over the universe power set; every extension
     // of each subset by one universe triple is tested.
@@ -221,7 +224,9 @@ fn check_extensions(
             }
         }
     }
-    CheckResult::Holds { pairs_checked: pairs }
+    CheckResult::Holds {
+        pairs_checked: pairs,
+    }
 }
 
 /// Bounded check of weak monotonicity (Definition 3.2):
@@ -310,7 +315,9 @@ pub fn construct_monotone(q: &ConstructQuery, opts: &CheckOptions) -> CheckResul
             }
         }
     }
-    CheckResult::Holds { pairs_checked: pairs }
+    CheckResult::Holds {
+        pairs_checked: pairs,
+    }
 }
 
 /// Proposition B.1 check on one graph: distinct answers of an
@@ -358,9 +365,8 @@ mod tests {
 
     #[test]
     fn example_3_3_weak_monotonicity_refuted() {
-        let p = Pattern::t("?X", "was_born_in", "Chile").and(
-            Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")),
-        );
+        let p = Pattern::t("?X", "was_born_in", "Chile")
+            .and(Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")));
         let r = weakly_monotone(&p, &quick());
         assert!(!r.holds());
         if let CheckResult::Refuted { g1, g2 } = r {
@@ -432,9 +438,8 @@ mod tests {
 
     #[test]
     fn counterexample_graphs_nest() {
-        let p = Pattern::t("?X", "a", "b").and(
-            Pattern::t("?Y", "a", "b").opt(Pattern::t("?Y", "c", "?X")),
-        );
+        let p = Pattern::t("?X", "a", "b")
+            .and(Pattern::t("?Y", "a", "b").opt(Pattern::t("?Y", "c", "?X")));
         if let CheckResult::Refuted { g1, g2 } = weakly_monotone(&p, &quick()) {
             assert!(g1.is_subgraph_of(&g2));
             assert_eq!(g2.len(), g1.len() + 1);

@@ -160,16 +160,13 @@ pub fn phi_x(p: &Pattern, x: &BTreeSet<Variable>) -> FoFormula {
             // φ^{A AND B}_X ∨ (φ^A_X ∧ ¬"compatible B-answer exists").
             let and_pattern = (**a).clone().and((**b).clone());
             let and_part = phi_x(&and_pattern, x);
-            let minus_part = FoFormula::And(vec![
-                phi_x(a, x),
-                compatible_answer_exists(b, x).not(),
-            ]);
+            let minus_part =
+                FoFormula::And(vec![phi_x(a, x), compatible_answer_exists(b, x).not()]);
             FoFormula::Or(vec![and_part, minus_part])
         }
-        Pattern::Minus(a, b) => FoFormula::And(vec![
-            phi_x(a, x),
-            compatible_answer_exists(b, x).not(),
-        ]),
+        Pattern::Minus(a, b) => {
+            FoFormula::And(vec![phi_x(a, x), compatible_answer_exists(b, x).not()])
+        }
         Pattern::Filter(q, r) => FoFormula::And(vec![phi_x(q, x), phi_condition(r, x)]),
         Pattern::Select(v, q) => {
             if !x.is_subset(v) {
@@ -190,10 +187,7 @@ pub fn phi_x(p: &Pattern, x: &BTreeSet<Variable>) -> FoFormula {
             }
             FoFormula::Or(disjuncts)
         }
-        Pattern::Ns(q) => FoFormula::And(vec![
-            phi_x(q, x),
-            subsuming_answer_exists(q, x).not(),
-        ]),
+        Pattern::Ns(q) => FoFormula::And(vec![phi_x(q, x), subsuming_answer_exists(q, x).not()]),
     }
 }
 
@@ -318,7 +312,10 @@ mod tests {
     #[test]
     fn ns_translation() {
         let base = Pattern::t("?x", "a", "b");
-        let p = base.clone().union(base.and(Pattern::t("?x", "c", "?y"))).ns();
+        let p = base
+            .clone()
+            .union(base.and(Pattern::t("?x", "c", "?y")))
+            .ns();
         let g = graph_from(&[("1", "a", "b"), ("1", "c", "2"), ("3", "a", "b")]);
         check_equivalence(&p, &g);
     }

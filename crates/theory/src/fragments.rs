@@ -206,7 +206,10 @@ mod tests {
             Some(2)
         );
         assert_eq!(usp_disjunct_count(&q("NS((?x, a, b))")), Some(1));
-        assert_eq!(usp_disjunct_count(&q("((?x, a, b) UNION NS((?x, c, ?y)))")), None);
+        assert_eq!(
+            usp_disjunct_count(&q("((?x, a, b) UNION NS((?x, c, ?y)))")),
+            None
+        );
     }
 
     #[test]
@@ -228,12 +231,18 @@ mod tests {
                 "(SELECT {?x} WHERE ((?x, a, b) UNION (?x, c, ?y)))",
                 QueryLanguage::Aufs,
             ),
-            ("((?x, a, b) OPT (?x, c, ?y))", QueryLanguage::WellDesignedAof),
+            (
+                "((?x, a, b) OPT (?x, c, ?y))",
+                QueryLanguage::WellDesignedAof,
+            ),
             (
                 "(((?x, a, b) OPT (?x, c, ?y)) UNION ((?z, d, e) OPT (?z, f, ?w)))",
                 QueryLanguage::WellDesignedAuof,
             ),
-            ("NS(((?x, a, b) UNION (?x, c, ?y)))", QueryLanguage::SpSparql),
+            (
+                "NS(((?x, a, b) UNION (?x, c, ?y)))",
+                QueryLanguage::SpSparql,
+            ),
             (
                 "(NS((?x, a, b)) UNION NS((?x, c, ?y)))",
                 QueryLanguage::UspSparql,
@@ -332,8 +341,10 @@ mod tests {
             random_graph_size: 8,
             ..CheckOptions::default()
         };
-        let p = q("(SELECT {?x} WHERE (NS(((?x, a, b) UNION ((?x, a, b) AND (?x, c, ?y)))) \
-                   UNION NS((?x, d, ?z))))");
+        let p = q(
+            "(SELECT {?x} WHERE (NS(((?x, a, b) UNION ((?x, a, b) AND (?x, c, ?y)))) \
+                   UNION NS((?x, d, ?z))))",
+        );
         assert!(is_projected_ns_pattern(&p));
         assert!(checks::weakly_monotone(&p, &opts).holds());
     }

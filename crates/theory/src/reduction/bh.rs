@@ -37,7 +37,11 @@ pub fn m_k(k: usize) -> Vec<usize> {
 fn coloring_formula(h: &UGraph, m: usize) -> Formula {
     if m == 0 {
         // 0-colorable iff no vertices; as a formula: constant.
-        return if h.n == 0 { Formula::True } else { Formula::False };
+        return if h.n == 0 {
+            Formula::True
+        } else {
+            Formula::False
+        };
     }
     coloring_cnf(h, m).to_formula()
 }
@@ -131,6 +135,8 @@ mod tests {
     #[test]
     fn empty_graph_chromatic_zero() {
         let e = UGraph::new(0);
-        assert!(chromatic_in_set_instance(&e, &[1], "bh_empty").decide() == (chromatic_number(&e) == 1));
+        assert!(
+            chromatic_in_set_instance(&e, &[1], "bh_empty").decide() == (chromatic_number(&e) == 1)
+        );
     }
 }

@@ -52,7 +52,10 @@ pub fn combine(instances: &[EvalInstance]) -> EvalInstance {
     let mut disjuncts = Vec::new();
     for inst in instances {
         let Pattern::Ns(q) = &inst.pattern else {
-            panic!("Lemma H.1 requires simple patterns NS(Q), got {}", inst.pattern)
+            panic!(
+                "Lemma H.1 requires simple patterns NS(Q), got {}",
+                inst.pattern
+            )
         };
         let mut conj = vec![(**q).clone()];
         for (v, _) in mu.iter() {
@@ -90,12 +93,7 @@ mod tests {
     #[test]
     fn disjunction_of_dp_instances() {
         // All 4 boolean combinations of two DP instances.
-        let cases = [
-            (true, true),
-            (true, false),
-            (false, true),
-            (false, false),
-        ];
+        let cases = [(true, true), (true, false), (false, true), (false, false)];
         for (case_idx, (first_yes, second_yes)) in cases.into_iter().enumerate() {
             let mk = |yes: bool, tag: &str| {
                 if yes {

@@ -86,7 +86,11 @@ mod tests {
         for (i, (phi, psi, expected)) in cases.into_iter().enumerate() {
             let inst = sat_unsat_instance(&phi, &psi, &format!("dp{i}"));
             assert_eq!(inst.instance.decide(), expected, "case {i}");
-            assert_eq!(inst.instance.decide_indexed(), expected, "case {i} (indexed)");
+            assert_eq!(
+                inst.instance.decide_indexed(),
+                expected,
+                "case {i} (indexed)"
+            );
         }
     }
 
@@ -114,11 +118,7 @@ mod tests {
             let psi = random_formula(&mut rng, 2, 3);
             let expected = solve_formula(&phi).is_sat() && !solve_formula(&psi).is_sat();
             let inst = sat_unsat_instance(&phi, &psi, &format!("dpr{round}"));
-            assert_eq!(
-                inst.instance.decide(),
-                expected,
-                "φ = {phi}, ψ = {psi}"
-            );
+            assert_eq!(inst.instance.decide(), expected, "φ = {phi}, ψ = {psi}");
         }
     }
 

@@ -60,7 +60,11 @@ impl SatGadget {
 
     /// The IRI carrying truth value `b` in this gadget's vocabulary.
     pub fn value_iri(&self, b: bool) -> Iri {
-        Iri::new(&format!("{}_{}", self.tag, if b { "true" } else { "false" }))
+        Iri::new(&format!(
+            "{}_{}",
+            self.tag,
+            if b { "true" } else { "false" }
+        ))
     }
 
     /// Converts a gadget answer (over the assignment variables) back to
@@ -180,7 +184,9 @@ mod tests {
             (Formula::True, 0),
             (Formula::False, 0),
             (
-                Formula::var(0).and(Formula::var(1)).and(Formula::var(2).not()),
+                Formula::var(0)
+                    .and(Formula::var(1))
+                    .and(Formula::var(2).not()),
                 3,
             ),
         ]
@@ -206,11 +212,10 @@ mod tests {
         use owql_logic::enumerate::all_models_formula;
         for (i, (f, n)) in sample_formulas().into_iter().enumerate() {
             let g = sat_gadget(&f, n, &format!("se{i}"));
-            let decoded: std::collections::BTreeSet<Vec<bool>> =
-                evaluate(&g.sat_pattern, &g.graph)
-                    .iter()
-                    .map(|m| g.decode_assignment(m).expect("decodable"))
-                    .collect();
+            let decoded: std::collections::BTreeSet<Vec<bool>> = evaluate(&g.sat_pattern, &g.graph)
+                .iter()
+                .map(|m| g.decode_assignment(m).expect("decodable"))
+                .collect();
             let models = all_models_formula(&f, n, 1024).expect("within cap");
             assert_eq!(decoded, models, "formula {f}");
         }

@@ -98,8 +98,9 @@ pub fn weakly_monotone_core(q: &ConstructQuery) -> ConstructQuery {
     let template: Vec<TriplePattern> = q.template.iter().copied().collect();
 
     // One renaming σs per template triple, over var(P).
-    let pattern_vars: Vec<Variable> =
-        owql_algebra::analysis::pattern_vars(&q.pattern).into_iter().collect();
+    let pattern_vars: Vec<Variable> = owql_algebra::analysis::pattern_vars(&q.pattern)
+        .into_iter()
+        .collect();
     let renamings: Vec<BTreeMap<Variable, Variable>> = template
         .iter()
         .map(|_| {
@@ -111,7 +112,10 @@ pub fn weakly_monotone_core(q: &ConstructQuery) -> ConstructQuery {
         .collect();
     let renamed_patterns: Vec<Pattern> = renamings
         .iter()
-        .map(|sigma| q.pattern.rename_vars(&|v| sigma.get(&v).copied().unwrap_or(v)))
+        .map(|sigma| {
+            q.pattern
+                .rename_vars(&|v| sigma.get(&v).copied().unwrap_or(v))
+        })
         .collect();
     let rename_triple = |t: TriplePattern, sigma: &BTreeMap<Variable, Variable>| {
         t.rename_vars(&|v| sigma.get(&v).copied().unwrap_or(v))
@@ -141,8 +145,9 @@ pub fn weakly_monotone_core(q: &ConstructQuery) -> ConstructQuery {
 
         // Rename (t, P_t) wholesale so the final disjuncts are
         // variable-disjoint.
-        let all_vars: Vec<Variable> =
-            owql_algebra::analysis::pattern_vars(&p_t).into_iter().collect();
+        let all_vars: Vec<Variable> = owql_algebra::analysis::pattern_vars(&p_t)
+            .into_iter()
+            .collect();
         let rho: BTreeMap<Variable, Variable> =
             all_vars.iter().map(|&v| (v, fresh.fresh())).collect();
         let p_t_renamed = p_t.rename_vars(&|v| rho.get(&v).copied().unwrap_or(v));
@@ -249,10 +254,7 @@ mod tests {
         };
         for seed in 0..40u64 {
             let p = random_pattern(&cfg, seed);
-            let q = ConstructQuery::new(
-                [tp("?v0", "out", "?v1"), tp("?v1", "out2", "?v2")],
-                p,
-            );
+            let q = ConstructQuery::new([tp("?v0", "out", "?v1"), tp("?v1", "out2", "?v2")], p);
             let core = weakly_monotone_core(&q);
             for gseed in 0..3u64 {
                 let g = owql_rdf::generate::uniform(15, 3, 3, 3, seed * 5 + gseed)
@@ -271,7 +273,10 @@ mod tests {
         let core = weakly_monotone_core(&q);
         let g = graph_from(&[("1", "a", "2")]);
         assert_eq!(construct(&q, &g), construct(&core, &g));
-        assert_eq!(construct(&q, &owql_rdf::Graph::new()), construct(&core, &owql_rdf::Graph::new()));
+        assert_eq!(
+            construct(&q, &owql_rdf::Graph::new()),
+            construct(&core, &owql_rdf::Graph::new())
+        );
     }
 
     #[test]

@@ -137,7 +137,10 @@ mod tests {
         // NS((?x,a,b) UNION ((?x,a,b) AND (?x,c,?y))) — the OPT
         // simulation pattern.
         let base = Pattern::t("?x", "a", "b");
-        let p = base.clone().union(base.and(Pattern::t("?x", "c", "?y"))).ns();
+        let p = base
+            .clone()
+            .union(base.and(Pattern::t("?x", "c", "?y")))
+            .ns();
         let q = eliminate_ns(&p, false).unwrap();
         assert!(!operators(&q).contains(Operators::NS));
         for g in [
@@ -195,7 +198,9 @@ mod tests {
                 continue;
             }
             // Skip patterns whose normal form explodes (keeps the test fast).
-            let Ok(q) = eliminate_ns(&p, false) else { continue };
+            let Ok(q) = eliminate_ns(&p, false) else {
+                continue;
+            };
             if q.size() > 4000 {
                 continue;
             }
@@ -225,14 +230,15 @@ mod tests {
             if !p.contains_ns() {
                 continue;
             }
-            let Ok(q) = eliminate_ns(&p, true) else { continue };
+            let Ok(q) = eliminate_ns(&p, true) else {
+                continue;
+            };
             if q.size() > 4000 {
                 continue;
             }
             tested += 1;
-            let g = owql_rdf::generate::uniform(12, 3, 3, 3, seed).union(&graph_from(&[(
-                "i0", "i1", "i2",
-            )]));
+            let g = owql_rdf::generate::uniform(12, 3, 3, 3, seed)
+                .union(&graph_from(&[("i0", "i1", "i2")]));
             assert_equivalent_on(&p, &q, &g);
         }
         assert!(tested > 10, "too few samples: {tested}");

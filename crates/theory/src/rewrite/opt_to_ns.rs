@@ -109,8 +109,11 @@ mod tests {
         for seed in 0..150u64 {
             let p = random_pattern(&cfg, seed);
             let q = opt_to_ns(&p);
-            let g = owql_rdf::generate::uniform(25, 4, 4, 4, seed ^ 0xAB)
-                .union(&graph_from(&[("i0", "i1", "i2"), ("i1", "i2", "i3"), ("i3", "i0", "i0")]));
+            let g = owql_rdf::generate::uniform(25, 4, 4, 4, seed ^ 0xAB).union(&graph_from(&[
+                ("i0", "i1", "i2"),
+                ("i1", "i2", "i3"),
+                ("i3", "i0", "i0"),
+            ]));
             let out_p = evaluate(&p, &g);
             let out_q = evaluate(&q, &g);
             assert!(

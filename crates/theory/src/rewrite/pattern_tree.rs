@@ -43,7 +43,10 @@ impl fmt::Display for TreeError {
         match self {
             TreeError::NotWellDesigned(v) => write!(f, "not well designed: {v}"),
             TreeError::FilterOverOptional => {
-                write!(f, "FILTER above OPT mentions optional variables; not tree-shaped")
+                write!(
+                    f,
+                    "FILTER above OPT mentions optional variables; not tree-shaped"
+                )
             }
         }
     }
@@ -271,9 +274,8 @@ mod tests {
 
     #[test]
     fn non_well_designed_rejected() {
-        let p = Pattern::t("?X", "was_born_in", "Chile").and(
-            Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")),
-        );
+        let p = Pattern::t("?X", "was_born_in", "Chile")
+            .and(Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")));
         assert!(matches!(
             wd_to_simple(&p),
             Err(TreeError::NotWellDesigned(_))
@@ -292,7 +294,9 @@ mod tests {
         let mut tested = 0;
         for seed in 0..400u64 {
             let p = random_pattern(&cfg, seed);
-            let Ok(simple) = wd_to_simple(&p) else { continue };
+            let Ok(simple) = wd_to_simple(&p) else {
+                continue;
+            };
             tested += 1;
             for gseed in 0..3u64 {
                 let g = owql_rdf::generate::uniform(18, 4, 4, 4, seed * 3 + gseed).union(

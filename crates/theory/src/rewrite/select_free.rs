@@ -119,8 +119,7 @@ mod tests {
                 assert!(
                     out_sf.iter().any(|m2| {
                         m.subsumed_by(m2)
-                            && m.dom_set()
-                                == m2.dom_set().intersection(&pv).copied().collect()
+                            && m.dom_set() == m2.dom_set().intersection(&pv).copied().collect()
                     }),
                     "seed {seed}: {m} has no P_sf extension ({p})"
                 );

@@ -70,7 +70,9 @@ impl Default for SynthesisOptions {
 /// Builds the test-graph family: the power set of a small
 /// pattern-derived triple universe plus random graphs.
 fn test_graphs(p: &Pattern, opts: &SynthesisOptions) -> Vec<Graph> {
-    let mut pool: Vec<Iri> = owql_algebra::analysis::pattern_iris(p).into_iter().collect();
+    let mut pool: Vec<Iri> = owql_algebra::analysis::pattern_iris(p)
+        .into_iter()
+        .collect();
     for i in 0..opts.fresh_iris {
         pool.push(Iri::new(&format!("syn_{i}")));
     }
@@ -187,7 +189,10 @@ mod tests {
         // instance.
         let p = Pattern::t("?x", "born", "Chile").opt(Pattern::t("?x", "email", "?y"));
         match synthesize_aufs(&p, &SynthesisOptions::default()) {
-            SynthesisOutcome::Found { pattern, graphs_tested } => {
+            SynthesisOutcome::Found {
+                pattern,
+                graphs_tested,
+            } => {
                 assert!(graphs_tested > 50);
                 assert!(owql_algebra::analysis::in_fragment(
                     &pattern,
@@ -240,9 +245,8 @@ mod tests {
     fn refuses_non_weakly_monotone_pattern() {
         // Example 3.3's pattern is not weakly monotone, hence has no
         // AUFS subsumption-equivalent (Theorem 4.1 is an iff).
-        let p = Pattern::t("?X", "was_born_in", "Chile").and(
-            Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")),
-        );
+        let p = Pattern::t("?X", "was_born_in", "Chile")
+            .and(Pattern::t("?Y", "was_born_in", "Chile").opt(Pattern::t("?Y", "email", "?X")));
         assert!(matches!(
             synthesize_aufs(&p, &SynthesisOptions::default()),
             SynthesisOutcome::NotFound

@@ -71,8 +71,7 @@ pub fn theorem_3_5_g() -> Graph {
 /// for every `SPARQL[AOF]` pattern — and the weak monotonicity of a
 /// candidate disjunct pins both outputs onto a single disjunct.
 pub fn theorem_3_6_pattern() -> Pattern {
-    Pattern::t("?X", "a", "b")
-        .opt(Pattern::t("?X", "c", "?Y").union(Pattern::t("?X", "d", "?Z")))
+    Pattern::t("?X", "a", "b").opt(Pattern::t("?X", "c", "?Y").union(Pattern::t("?X", "d", "?Z")))
 }
 
 /// The four graphs of the Theorem 3.6 proof (Appendix B):
@@ -121,10 +120,7 @@ pub fn theorem_3_6_sp_equivalent() -> Pattern {
     let t1 = Pattern::t("?X", "a", "b");
     let t2 = Pattern::t("?X", "c", "?Y");
     let t3 = Pattern::t("?X", "d", "?Z");
-    t1.clone()
-        .union(t1.clone().and(t2))
-        .union(t1.and(t3))
-        .ns()
+    t1.clone().union(t1.clone().and(t2)).union(t1.and(t3)).ns()
 }
 
 /// A Proposition 5.8 separation witness: a USP–SPARQL pattern whose
@@ -185,8 +181,14 @@ mod tests {
     #[test]
     fn theorem_3_5_proof_evaluations() {
         let p = theorem_3_5_pattern();
-        assert_eq!(evaluate(&p, &theorem_3_5_g1()), mapping_set(&[&[("X", "l")]]));
-        assert_eq!(evaluate(&p, &theorem_3_5_g2()), mapping_set(&[&[("Y", "l")]]));
+        assert_eq!(
+            evaluate(&p, &theorem_3_5_g1()),
+            mapping_set(&[&[("X", "l")]])
+        );
+        assert_eq!(
+            evaluate(&p, &theorem_3_5_g2()),
+            mapping_set(&[&[("Y", "l")]])
+        );
         assert!(evaluate(&p, &theorem_3_5_g()).is_empty());
     }
 

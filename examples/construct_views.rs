@@ -38,7 +38,9 @@ fn main() {
     println!(
         "Affiliation view: {} triples ({} affiliations, {} emails)",
         view.len(),
-        view.iter().filter(|t| t.p.as_str() == "affiliated_to").count(),
+        view.iter()
+            .filter(|t| t.p.as_str() == "affiliated_to")
+            .count(),
         view.iter().filter(|t| t.p.as_str() == "email").count()
     );
 
@@ -84,5 +86,8 @@ fn main() {
     )
     .unwrap();
     let colleagues = construct(&co_affiliated, &view);
-    println!("Composed view: {} colleague edges derived from the view.", colleagues.len());
+    println!(
+        "Composed view: {} colleague edges derived from the view.",
+        colleagues.len()
+    );
 }

@@ -1,0 +1,99 @@
+//! Live updates: the versioned triple store in action — epochs,
+//! snapshot isolation under a concurrent writer, delta compaction, and
+//! the epoch-keyed query cache.
+//!
+//! Run with: `cargo run --example live_updates`
+
+use owql::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A store seeded from the paper's Figure 2 world, then mutated
+    //    in transactions. Each committed batch bumps the epoch once.
+    // ------------------------------------------------------------------
+    let store = Store::new();
+    let mut tx = store.begin();
+    tx.insert(Triple::new("Juan", "was_born_in", "Chile"));
+    tx.insert(Triple::new("Juan", "email", "juan@puc.cl"));
+    tx.insert(Triple::new("Marcelo", "was_born_in", "Chile"));
+    let summary = store.commit(tx);
+    println!(
+        "Committed {} triples at epoch {} (compacted: {})",
+        summary.applied, summary.epoch, summary.compacted
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Snapshot isolation: a snapshot pins the graph version it saw.
+    //    Writes after it bump the epoch but never change its answers.
+    // ------------------------------------------------------------------
+    let ns = parse_pattern(
+        "NS(((?X, was_born_in, Chile) UNION \
+            ((?X, was_born_in, Chile) AND (?X, email, ?E))))",
+    )
+    .unwrap();
+    let before = store.snapshot();
+    store.insert(Triple::new("Marcelo", "email", "marcelo@puc.cl"));
+
+    println!("\nAt epoch {} (pre-write snapshot):", before.epoch());
+    for m in before.evaluate(&ns).iter_sorted() {
+        println!("  {m}");
+    }
+    let now = store.snapshot();
+    println!("At epoch {} (current):", now.epoch());
+    for m in now.evaluate(&ns).iter_sorted() {
+        println!("  {m}");
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Concurrent readers: snapshots are Arc-backed, so threads query
+    //    frozen versions while the main thread keeps writing.
+    // ------------------------------------------------------------------
+    let store = Arc::new(store);
+    let frozen = store.snapshot();
+    let reader = {
+        let pattern = parse_pattern("(?x, was_born_in, Chile)").unwrap();
+        thread::spawn(move || frozen.evaluate(&pattern).len())
+    };
+    for i in 0..2000 {
+        let name = format!("citizen{i}");
+        store.insert(Triple::new(name.as_str(), "was_born_in", "Chile"));
+    }
+    let seen_by_reader = reader.join().expect("reader thread");
+    println!(
+        "\nReader on the frozen snapshot saw {seen_by_reader} Chileans; \
+         the store now holds {}.",
+        store.len()
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Those 2000 single-triple commits crossed the compaction
+    //    threshold: the delta overlay was folded into a fresh base.
+    // ------------------------------------------------------------------
+    let m = store.metrics();
+    println!(
+        "Compactions: {} (base {} triples, overlay {} — epoch {})",
+        m.compactions, m.base_len, m.delta_len, m.epoch
+    );
+
+    // ------------------------------------------------------------------
+    // 5. The query cache: same canonical pattern + same epoch = hit.
+    //    Any commit bumps the epoch, invalidating implicitly.
+    // ------------------------------------------------------------------
+    let p = parse_pattern("((?x, was_born_in, Chile) UNION (?x, email, ?e))").unwrap();
+    let flipped = parse_pattern("((?x, email, ?e) UNION (?x, was_born_in, Chile))").unwrap();
+    store.query(&p); // cold miss
+    store.query(&p); // hit
+    store.query(&flipped); // hit too: UNION-normal-form canonical key
+    store.insert(Triple::new("Ada", "was_born_in", "Chile"));
+    store.query(&p); // epoch moved: miss again
+    let stats = store.cache_stats();
+    println!(
+        "\nCache: {} hits / {} misses / {} invalidations (hit rate {:.0}%)",
+        stats.hits,
+        stats.misses,
+        stats.invalidations,
+        100.0 * stats.hit_rate()
+    );
+}

@@ -49,7 +49,10 @@ fn audit(name: &str, text: &str, opts: &CheckOptions) {
     }
     if wm.holds() {
         match synthesize_aufs(&p, &SynthesisOptions::default()) {
-            SynthesisOutcome::Found { pattern, graphs_tested } => {
+            SynthesisOutcome::Found {
+                pattern,
+                graphs_tested,
+            } => {
                 println!("   Thm 4.1 AUF equivalent (≡s, {graphs_tested} test graphs): {pattern}");
             }
             SynthesisOutcome::NotFound => {

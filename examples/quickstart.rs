@@ -38,7 +38,10 @@ fn main() {
     )
     .expect("valid pattern");
     let engine = Engine::new(&g);
-    print_answers("Example 2.2 — people behind sharing-rights orgs:", &engine.evaluate(&p));
+    print_answers(
+        "Example 2.2 — people behind sharing-rights orgs:",
+        &engine.evaluate(&p),
+    );
 
     // ------------------------------------------------------------------
     // 3. Optional information, two ways: OPT (closed-world flavoured)
@@ -61,5 +64,8 @@ fn main() {
     // ------------------------------------------------------------------
     let reference = owql::eval::evaluate(&p, &g);
     assert_eq!(reference, Engine::new(&g).evaluate(&p));
-    println!("Reference evaluator and indexed engine agree on {} answers.", reference.len());
+    println!(
+        "Reference evaluator and indexed engine agree on {} answers.",
+        reference.len()
+    );
 }

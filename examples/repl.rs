@@ -46,9 +46,18 @@ fn audit(text: &str) {
     };
     println!("language: {}", classify(&p));
     let verdict = |holds: bool| if holds { "holds (bounded)" } else { "REFUTED" };
-    println!("monotone:          {}", verdict(monotone(&p, &opts).holds()));
-    println!("weakly monotone:   {}", verdict(weakly_monotone(&p, &opts).holds()));
-    println!("subsumption-free:  {}", verdict(subsumption_free(&p, &opts).holds()));
+    println!(
+        "monotone:          {}",
+        verdict(monotone(&p, &opts).holds())
+    );
+    println!(
+        "weakly monotone:   {}",
+        verdict(weakly_monotone(&p, &opts).holds())
+    );
+    println!(
+        "subsumption-free:  {}",
+        verdict(subsumption_free(&p, &opts).holds())
+    );
 }
 
 fn handle(line: &str, graph: &mut Graph) -> bool {

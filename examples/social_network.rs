@@ -36,8 +36,7 @@ fn main() {
     let engine = Engine::new(&g);
 
     // 1. The well-designed OPT query.
-    let opt_query =
-        parse_pattern("((?p, was_born_in, Chile) OPT (?p, email, ?e))").unwrap();
+    let opt_query = parse_pattern("((?p, was_born_in, Chile) OPT (?p, email, ?e))").unwrap();
     let opt_answers = engine.evaluate(&opt_query);
     let with_email = opt_answers
         .iter()
@@ -91,5 +90,8 @@ fn main() {
     )
     .unwrap();
     let recs = engine.evaluate(&fof);
-    println!("\nFollow recommendations (friend-of-friend, not yet followed): {}", recs.len());
+    println!(
+        "\nFollow recommendations (friend-of-friend, not yet followed): {}",
+        recs.len()
+    );
 }

@@ -24,10 +24,8 @@ fn quick() -> CheckOptions {
 /// workload graph.
 #[test]
 fn full_pipeline_well_designed_to_core_sparql() {
-    let p = parse_pattern(
-        "(((?p, was_born_in, Chile) OPT (?p, email, ?e)) OPT (?p, follows, ?f))",
-    )
-    .unwrap();
+    let p = parse_pattern("(((?p, was_born_in, Chile) OPT (?p, email, ?e)) OPT (?p, follows, ?f))")
+        .unwrap();
     let g = generate::social_network(
         generate::SocialOptions {
             people: 25,
@@ -132,17 +130,17 @@ fn engines_agree_on_workloads() {
 fn construct_view_chain() {
     let g = generate::university(Default::default(), 11);
     let v1 = construct(&owql::algebra::construct::example_6_1(), &g);
-    let q2 = parse_construct(
-        "CONSTRUCT {(?u, has_member, ?n)} WHERE (?n, affiliated_to, ?u)",
-    )
-    .unwrap();
+    let q2 =
+        parse_construct("CONSTRUCT {(?u, has_member, ?n)} WHERE (?n, affiliated_to, ?u)").unwrap();
     let v2 = owql::eval::construct::construct_indexed(&q2, &v1);
     assert!(!v2.is_empty());
     assert!(v2.iter().all(|t| t.p.as_str() == "has_member"));
     // Cardinality is preserved through the inversion.
     assert_eq!(
         v2.len(),
-        v1.iter().filter(|t| t.p.as_str() == "affiliated_to").count()
+        v1.iter()
+            .filter(|t| t.p.as_str() == "affiliated_to")
+            .count()
     );
 }
 

@@ -23,10 +23,8 @@ fn quick() -> CheckOptions {
 /// classifier reports.
 #[test]
 fn wd_translation_lands_in_sp_sparql() {
-    let wd = parse_pattern(
-        "(((?p, was_born_in, Chile) OPT (?p, email, ?e)) OPT (?p, name, ?n))",
-    )
-    .unwrap();
+    let wd = parse_pattern("(((?p, was_born_in, Chile) OPT (?p, email, ?e)) OPT (?p, name, ?n))")
+        .unwrap();
     assert_eq!(classify(&wd), QueryLanguage::WellDesignedAof);
     let simple = wd_to_simple(&wd).unwrap();
     assert!(is_simple_pattern(&simple));
@@ -93,10 +91,7 @@ fn weakly_monotone_pattern_gives_monotone_construct() {
     for text in patterns {
         let p = parse_pattern(text).unwrap();
         assert!(checks::weakly_monotone(&p, &quick()).holds(), "{text}");
-        let q = ConstructQuery::new(
-            [owql::algebra::pattern::tp("?x", "out", "?y")],
-            p,
-        );
+        let q = ConstructQuery::new([owql::algebra::pattern::tp("?x", "out", "?y")], p);
         assert!(checks::construct_monotone(&q, &quick()).holds(), "{text}");
     }
 }

@@ -20,8 +20,7 @@ fn arb_variable() -> impl Strategy<Value = Variable> {
 }
 
 fn arb_mapping() -> impl Strategy<Value = Mapping> {
-    proptest::collection::btree_map(arb_variable(), arb_iri(), 0..4)
-        .prop_map(Mapping::from_pairs)
+    proptest::collection::btree_map(arb_variable(), arb_iri(), 0..4).prop_map(Mapping::from_pairs)
 }
 
 fn arb_mapping_set() -> impl Strategy<Value = MappingSet> {

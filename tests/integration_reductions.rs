@@ -18,12 +18,12 @@ fn sat3(seed: u64) -> Formula {
     };
     let mut s = seed;
     let mut next = || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (s >> 33) as usize
     };
-    Formula::conj((0..4).map(|_| {
-        Formula::disj((0..3).map(|_| lit(next() % 3, next() % 2 == 0)))
-    }))
+    Formula::conj((0..4).map(|_| Formula::disj((0..3).map(|_| lit(next() % 3, next() % 2 == 0)))))
 }
 
 /// Theorem 7.1 (DP-hardness): both engines decide SAT-UNSAT instances

@@ -1,0 +1,230 @@
+//! Integration tests for `owql-store`: differential equivalence against
+//! the plain indexed engine, epoch isolation, cache transparency, and
+//! compaction invariance under random mutation workloads.
+
+use owql::algebra::analysis::Operators;
+use owql::algebra::random::{random_pattern, PatternConfig};
+use owql::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small universe so random mutations collide: duplicate inserts,
+/// deletes of present triples, re-inserts of deleted ones.
+fn universe() -> Vec<Triple> {
+    let subjects = ["a", "b", "c", "d"];
+    let predicates = ["p", "q", "r"];
+    let objects = ["a", "b", "c", "d", "e"];
+    let mut triples = Vec::new();
+    for s in subjects {
+        for p in predicates {
+            for o in objects {
+                triples.push(Triple::new(s, p, o));
+            }
+        }
+    }
+    triples
+}
+
+fn pattern_config() -> PatternConfig {
+    PatternConfig {
+        allowed: Operators::NS_SPARQL.with(Operators::MINUS),
+        vars: (0..3).map(|i| Variable::new(&format!("sv{i}"))).collect(),
+        iris: ["a", "b", "c", "d", "e", "p", "q", "r"]
+            .iter()
+            .map(|s| Iri::new(s))
+            .collect(),
+        max_depth: 3,
+        var_probability: 0.5,
+    }
+}
+
+/// Applies `n_ops` random mutations (batched into small transactions)
+/// to `store` and to a mirror `Graph`, asserting they stay in lockstep.
+fn churn(store: &Store, mirror: &mut Graph, rng: &mut StdRng, n_ops: usize) {
+    let pool = universe();
+    let mut remaining = n_ops;
+    while remaining > 0 {
+        let batch = rng.gen_range(1..=remaining.min(7));
+        let mut tx = store.begin();
+        for _ in 0..batch {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if rng.gen_bool(0.6) {
+                tx.insert(t);
+                mirror.insert(t);
+            } else {
+                tx.delete(t);
+                mirror.remove(&t);
+            }
+        }
+        store.commit(tx);
+        remaining -= batch;
+    }
+    assert_eq!(&store.to_graph(), mirror, "store diverged from mirror");
+}
+
+/// Acceptance criterion: after any random mutation sequence, evaluating
+/// any random pattern via `Engine::for_snapshot` gives exactly the
+/// result of rebuilding `Engine::new(&store.to_graph())` from scratch.
+#[test]
+fn differential_snapshot_equals_rebuilt_engine() {
+    let cfg = pattern_config();
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0xD1FF ^ seed);
+        // Small thresholds so compaction fires mid-sequence for many seeds.
+        let store = Store::with_options(StoreOptions {
+            min_compact: 8,
+            compact_fraction: 0.3,
+            cache_capacity: 32,
+        });
+        let mut mirror = Graph::new();
+        churn(&store, &mut mirror, &mut rng, 60);
+
+        let snapshot = store.snapshot();
+        let rebuilt = Engine::new(&store.to_graph());
+        for pattern_seed in 0..5u64 {
+            let p = random_pattern(&cfg, seed * 1000 + pattern_seed);
+            let via_snapshot = Engine::for_snapshot(&snapshot).evaluate(&p);
+            let via_rebuild = rebuilt.evaluate(&p);
+            assert_eq!(
+                via_snapshot, via_rebuild,
+                "divergence at seed {seed}, pattern {p}"
+            );
+        }
+    }
+}
+
+/// Acceptance criterion: a snapshot taken before a write still answers
+/// from the pre-write graph (epoch isolation).
+#[test]
+fn snapshot_isolation_pins_pre_write_answers() {
+    let store = Store::new();
+    store.insert(Triple::new("juan", "was_born_in", "chile"));
+
+    let before = store.snapshot();
+    let p = parse_pattern("(?x, was_born_in, chile)").unwrap();
+    let pre_write = before.evaluate(&p);
+    assert_eq!(pre_write.len(), 1);
+
+    // Concurrent-looking writes: add, delete the original, compact.
+    store.insert(Triple::new("marcelo", "was_born_in", "chile"));
+    store.delete(&Triple::new("juan", "was_born_in", "chile"));
+    store.force_compact();
+
+    assert_eq!(before.evaluate(&p), pre_write, "snapshot answers shifted");
+    assert_eq!(before.epoch(), 1);
+    assert!(store.epoch() > before.epoch());
+
+    // A fresh snapshot sees the new world: marcelo only.
+    let after = store.snapshot().evaluate(&p);
+    assert_eq!(after.len(), 1);
+    assert!(after
+        .iter()
+        .any(|m| m.get(Variable::new("x")) == Some(Iri::new("marcelo"))));
+}
+
+/// Acceptance criterion: the cache-hit path returns `MappingSet`s equal
+/// to evaluating uncached, across random patterns and epochs.
+#[test]
+fn cache_hits_are_transparent() {
+    let cfg = pattern_config();
+    let mut rng = StdRng::seed_from_u64(0xCAC4E);
+    let store = Store::with_options(StoreOptions {
+        min_compact: 16,
+        compact_fraction: 0.3,
+        cache_capacity: 64,
+    });
+    let mut mirror = Graph::new();
+
+    for round in 0..10u64 {
+        churn(&store, &mut mirror, &mut rng, 15);
+        for pattern_seed in 0..4u64 {
+            let p = random_pattern(&cfg, round * 100 + pattern_seed);
+            let uncached = store.query_uncached(&p);
+            let cold = store.query(&p); // miss: fills the cache
+            let warm = store.query(&p); // hit: must be identical
+            assert_eq!(cold, uncached, "cold query diverged at {p}");
+            assert_eq!(warm, uncached, "cache hit diverged at {p}");
+        }
+    }
+    let stats = store.cache_stats();
+    assert!(stats.hits >= 40, "expected warm hits, got {stats:?}");
+    assert!(stats.misses >= 40);
+    // Writes invalidate implicitly: each round's first re-query of a
+    // prior round's pattern misses on epoch mismatch.
+    assert!(store.epoch() > 0);
+}
+
+/// Semantically equivalent patterns share a cache entry thanks to the
+/// UNION-normal-form canonicalization of the cache key.
+#[test]
+fn cache_canonicalization_shares_entries() {
+    let store = Store::new();
+    store.insert(Triple::new("a", "p", "b"));
+    store.insert(Triple::new("a", "q", "b"));
+
+    let left = parse_pattern("((?x, p, ?y) UNION (?x, q, ?y))").unwrap();
+    let right = parse_pattern("((?x, q, ?y) UNION (?x, p, ?y))").unwrap();
+    let first = store.query(&left);
+    let second = store.query(&right); // same canonical key: cache hit
+    assert_eq!(first, second);
+    let stats = store.cache_stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
+}
+
+/// Compaction must be invisible: force it at random points and compare
+/// snapshots taken before and after against the same patterns.
+#[test]
+fn compaction_is_semantically_invisible() {
+    let cfg = pattern_config();
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let store = Store::new(); // default thresholds: no auto-compaction here
+    let mut mirror = Graph::new();
+    churn(&store, &mut mirror, &mut rng, 50);
+
+    let before = store.snapshot();
+    store.force_compact();
+    let after = store.snapshot();
+    assert_eq!(before.epoch(), after.epoch());
+    assert_eq!(after.index().delta_len(), 0);
+
+    for seed in 0..12u64 {
+        let p = random_pattern(&cfg, 7000 + seed);
+        assert_eq!(
+            before.evaluate(&p),
+            after.evaluate(&p),
+            "compaction changed answers for {p}"
+        );
+    }
+}
+
+/// The NS operator (closed-world maximal answers) behaves identically
+/// over a live store snapshot and a static graph — the paper's
+/// semantics carry over to the versioned world.
+#[test]
+fn ns_queries_over_snapshots() {
+    let store = Store::new();
+    let mut tx = store.begin();
+    tx.insert(Triple::new("juan", "was_born_in", "chile"));
+    tx.insert(Triple::new("juan", "email", "jreutter"));
+    tx.insert(Triple::new("marcelo", "was_born_in", "chile"));
+    store.commit(tx);
+
+    let p = parse_pattern(
+        "NS(((?x, was_born_in, chile) UNION \
+           ((?x, was_born_in, chile) AND (?x, email, ?e))))",
+    )
+    .unwrap();
+    let live = store.query(&p);
+    let static_answers = Engine::new(&store.to_graph()).evaluate(&p);
+    assert_eq!(live, static_answers);
+    assert_eq!(live.len(), 2); // juan with email, marcelo without
+
+    // Deleting the email changes the maximal answers at the new epoch…
+    store.delete(&Triple::new("juan", "email", "jreutter"));
+    let after = store.query(&p);
+    assert_eq!(after.len(), 2);
+    assert!(after.iter().all(|m| m.get(Variable::new("e")).is_none()));
+    // …and the cache never served the stale pre-delete result.
+    assert_ne!(live, after);
+}

@@ -354,7 +354,7 @@ pub mod collection {
     use std::collections::BTreeMap;
     use std::ops::Range;
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

@@ -58,6 +58,30 @@ impl fmt::Display for NormalFormError {
 
 impl std::error::Error for NormalFormError {}
 
+/// Flattens the syntactic UNION spine of `p`: the maximal list of
+/// non-UNION subpatterns whose left-to-right union *is* `p`.
+///
+/// Unlike [`union_normal_form`] this performs no rewriting — it is
+/// total (NS nodes are fine), never grows the tree, and each returned
+/// disjunct is a borrowed subtree. The parallel evaluation engine uses
+/// it to fan the disjuncts of a wide UNION out across workers, since
+/// `⟦P₁ UNION ⋯ UNION Pₙ⟧G = ⟦P₁⟧G ∪ ⋯ ∪ ⟦Pₙ⟧G` makes them fully
+/// independent sub-evaluations.
+pub fn union_spine(p: &Pattern) -> Vec<&Pattern> {
+    fn collect<'a>(p: &'a Pattern, out: &mut Vec<&'a Pattern>) {
+        match p {
+            Pattern::Union(a, b) => {
+                collect(a, out);
+                collect(b, out);
+            }
+            other => out.push(other),
+        }
+    }
+    let mut out = Vec::new();
+    collect(p, &mut out);
+    out
+}
+
 /// Computes the UNION normal form of an NS-free pattern: a list of
 /// UNION-free patterns whose union is equivalent to the input
 /// (Proposition D.1).
@@ -189,6 +213,21 @@ mod tests {
     fn triple_is_its_own_normal_form() {
         let p = Pattern::t("?x", "a", "b");
         assert_eq!(union_normal_form(&p).unwrap(), vec![p]);
+    }
+
+    #[test]
+    fn union_spine_flattens_without_rewriting() {
+        let a = Pattern::t("?x", "a", "b");
+        let b = Pattern::t("?x", "c", "d").and(Pattern::t("?x", "e", "?y"));
+        let c = Pattern::t("?x", "f", "g").ns();
+        let p = a.clone().union(b.clone()).union(c.clone());
+        let spine = union_spine(&p);
+        assert_eq!(spine, vec![&a, &b, &c]);
+        // Non-UNION roots are their own singleton spine — NS included.
+        assert_eq!(union_spine(&c), vec![&c]);
+        // UNIONs nested under other operators are *not* disjuncts.
+        let under_and = a.clone().union(b.clone()).and(c.clone());
+        assert_eq!(union_spine(&under_and), vec![&under_and]);
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Parallel evaluation: the UNION/NS workload of `owql_bench::par`
+//! through the sequential engine and through the `owql-exec` pool at
+//! widths 1, 2, and 8 — the criterion view of what `parallel_bench`
+//! summarizes into `BENCH_parallel.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use owql_bench::par;
+use owql_eval::Engine;
+use owql_exec::Pool;
+use std::hint::black_box;
+
+fn bench_parallel_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_eval");
+    group.sample_size(10);
+
+    for people in [300usize, 900] {
+        let graph = par::graph(people);
+        let engine = Engine::new(&graph);
+        for (name, query) in [
+            ("union_ns", par::union_ns_query()),
+            ("wide_union", par::wide_union_query()),
+            ("spine", par::spine_query()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_seq"), people),
+                &people,
+                |b, _| b.iter(|| black_box(engine.evaluate(black_box(&query)).len())),
+            );
+            for workers in [1usize, 2, 8] {
+                let pool = Pool::new(workers);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}_w{workers}"), people),
+                    &people,
+                    |b, _| {
+                        b.iter(|| {
+                            black_box(engine.evaluate_parallel(black_box(&query), &pool).len())
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_eval);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Parallel-evaluation summary driver: runs the large-graph UNION/NS
+//! workload through the sequential engine and through
+//! `Store::evaluate_parallel` at 1, 2, and 8 workers, and writes
+//! machine-readable results to `BENCH_parallel.json`.
+//!
+//! ```text
+//! cargo run --release -p owql-bench --bin parallel_bench -- [--quick] [out.json]
+//! ```
+//!
+//! The sequential baseline is today's `Engine::evaluate` over the same
+//! store snapshot; parallel runs go through the `owql-exec` pool. Every
+//! run cross-checks that the parallel answer set equals the sequential
+//! one before timing is reported. `hardware_threads` records the cores
+//! the container actually granted — on a single-core runner the
+//! 8-worker gain comes from the parallel path's domain-grouped
+//! subsumption filtering and consuming UNION merge; with real cores the
+//! pool adds wall-clock scaling on top.
+
+use owql_bench::par;
+use owql_exec::Pool;
+use owql_store::{Store, StoreOptions};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct QueryRun {
+    query: &'static str,
+    answers: usize,
+    sequential_ms: f64,
+    /// `(workers, ms, speedup_vs_sequential)`.
+    widths: Vec<(usize, f64, f64)>,
+}
+
+struct SizeRun {
+    people: usize,
+    triples: usize,
+    queries: Vec<QueryRun>,
+}
+
+fn time_ms(reps: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
+    let mut answers = 0;
+    let start = Instant::now();
+    for _ in 0..reps {
+        answers = std::hint::black_box(f());
+    }
+    (start.elapsed().as_secs_f64() * 1e3 / reps as f64, answers)
+}
+
+fn measure(people: usize, reps: usize) -> SizeRun {
+    // Cache off: this driver measures evaluation, not cache hits (the
+    // store_churn driver covers the cache).
+    let store = Store::with_options(StoreOptions {
+        cache_capacity: 0,
+        ..StoreOptions::default()
+    });
+    let mut tx = store.begin();
+    tx.insert_graph(&par::graph(people));
+    store.commit(tx);
+    let snapshot = store.snapshot();
+    let engine = snapshot.engine();
+
+    let queries: Vec<(&'static str, _)> = vec![
+        ("union_ns", par::union_ns_query()),
+        ("wide_union", par::wide_union_query()),
+        ("spine", par::spine_query()),
+    ];
+    let mut out = Vec::new();
+    for (name, q) in queries {
+        let expected = engine.evaluate(&q);
+        let (sequential_ms, answers) = time_ms(reps, || engine.evaluate(&q).len());
+        let mut widths = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let pool = Pool::new(workers);
+            assert_eq!(
+                engine.evaluate_parallel(&q, &pool),
+                expected,
+                "parallel answers diverged: {name} at {workers} workers"
+            );
+            let (ms, _) = time_ms(reps, || engine.evaluate_parallel(&q, &pool).len());
+            widths.push((workers, ms, sequential_ms / ms));
+        }
+        out.push(QueryRun {
+            query: name,
+            answers,
+            sequential_ms,
+            widths,
+        });
+    }
+    SizeRun {
+        people,
+        triples: snapshot.len(),
+        queries: out,
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let mut quick = false;
+    let mut out_path = "BENCH_parallel.json".to_owned();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let (sizes, reps): (&[usize], usize) = if quick {
+        (&[400, 1200], 2)
+    } else {
+        (&[1000, 3000], 3)
+    };
+
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut runs = Vec::new();
+    for &people in sizes {
+        let run = measure(people, reps);
+        for q in &run.queries {
+            let widths: Vec<String> = q
+                .widths
+                .iter()
+                .map(|(w, ms, s)| format!("w{w}={ms:.1}ms ({s:.2}x)"))
+                .collect();
+            println!(
+                "people={:5} {:11} answers={:6}  seq={:8.1}ms  {}",
+                run.people,
+                q.query,
+                q.answers,
+                q.sequential_ms,
+                widths.join("  ")
+            );
+        }
+        runs.push(run);
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"parallel_eval\",\n");
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"large-graph UNION/NS suite over the social graph; sequential = \
+         Engine::evaluate, parallel = evaluate_parallel via the owql-exec pool, answers \
+         cross-checked equal before timing\","
+    );
+    json.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"people\": {}, \"triples\": {}, \"queries\": [",
+            run.people, run.triples
+        );
+        for (j, q) in run.queries.iter().enumerate() {
+            let _ = write!(
+                json,
+                "      {{\"query\": \"{}\", \"answers\": {}, \"sequential_ms\": {:.3}, \
+                 \"workers\": [",
+                q.query, q.answers, q.sequential_ms
+            );
+            for (k, (w, ms, s)) in q.widths.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "{{\"workers\": {w}, \"ms\": {ms:.3}, \"speedup\": {s:.3}}}"
+                );
+                if k + 1 < q.widths.len() {
+                    json.push_str(", ");
+                }
+            }
+            json.push_str("]}");
+            json.push_str(if j + 1 < run.queries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        json.push_str("    ]}");
+        json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json)?;
+    println!("wrote {out_path}");
+    Ok(())
+}

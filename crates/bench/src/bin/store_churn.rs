@@ -3,8 +3,10 @@
 //! `BENCH_store.json`.
 //!
 //! ```text
-//! cargo run --release -p owql-bench --bin store_churn -- [out.json]
+//! cargo run --release -p owql-bench --bin store_churn -- [--quick] [out.json]
 //! ```
+//!
+//! `--quick` shrinks the round count for the CI `bench-smoke` job.
 
 use owql_bench::churn;
 use std::fmt::Write as _;
@@ -64,12 +66,19 @@ fn measure(people: usize, rounds: usize) -> Run {
 }
 
 fn main() -> std::io::Result<()> {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_store.json".to_owned());
+    let mut quick = false;
+    let mut out = "BENCH_store.json".to_owned();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out = arg;
+        }
+    }
+    let rounds = if quick { 12 } else { 60 };
     let mut runs = Vec::new();
     for people in [200usize, 800] {
-        let run = measure(people, 60);
+        let run = measure(people, rounds);
         println!(
             "people={:4} rounds={}  cold={:8.2}ms  cached={:8.2}ms  speedup={:.2}x  \
              hits={} misses={} invalidations={} compactions={} epoch={}",
@@ -88,8 +97,9 @@ fn main() -> std::io::Result<()> {
     }
 
     let mut json = String::from("{\n  \"benchmark\": \"store_churn\",\n");
-    json.push_str(
-        "  \"workload\": \"60 rounds x (16-op write batch + 8 NS reads) over the social graph\",\n",
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"{rounds} rounds x (16-op write batch + 8 NS reads) over the social graph\",",
     );
     json.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {

@@ -190,6 +190,60 @@ pub mod churn {
     }
 }
 
+/// Shared workload for the parallel-evaluation bench, driver, and CI
+/// smoke job: the large-graph UNION/NS shapes the `owql-exec` pool fans
+/// out (wide UNION spines, partitionable AND-spines, big
+/// subsumption-maximality inputs).
+pub mod par {
+    use crate::social;
+    use owql_algebra::pattern::Pattern;
+    use owql_rdf::Graph;
+
+    /// The social graph sized for the parallel workload.
+    pub fn graph(people: usize) -> Graph {
+        social(people)
+    }
+
+    /// The headline workload: NS over a wide UNION of per-country
+    /// optional-extension conjunctions — the paper's SP-fragment
+    /// "maximal answers over open-world options" query at scale. The
+    /// answer set layers `{p,c} ⊂ {p,c,e} ⊂ {p,c,e,n}`-style domains,
+    /// so subsumption-maximality dominates evaluation.
+    pub fn union_ns_query() -> Pattern {
+        Pattern::union_all(country_disjuncts()).ns()
+    }
+
+    /// The same wide UNION without the NS wrapper (merge-dominated).
+    pub fn wide_union_query() -> Pattern {
+        Pattern::union_all(country_disjuncts())
+    }
+
+    /// A partitionable AND-spine: a two-hop follows join hung with a
+    /// birthplace lookup — the candidate set fans out to thousands of
+    /// bindings that the pool splits into per-worker chunks.
+    pub fn spine_query() -> Pattern {
+        Pattern::t("?a", "follows", "?b")
+            .and(Pattern::t("?b", "follows", "?c"))
+            .and(Pattern::t("?a", "was_born_in", "?x"))
+    }
+
+    fn country_disjuncts() -> Vec<Pattern> {
+        let mut disjuncts = Vec::new();
+        for country in ["Chile", "Belgium", "Sweden"] {
+            let base = Pattern::t("?p", "was_born_in", country);
+            disjuncts.push(base.clone());
+            disjuncts.push(base.clone().and(Pattern::t("?p", "email", "?e")));
+            disjuncts.push(base.clone().and(Pattern::t("?p", "name", "?n")));
+            disjuncts.push(
+                base.clone()
+                    .and(Pattern::t("?p", "email", "?e"))
+                    .and(Pattern::t("?p", "name", "?n")),
+            );
+        }
+        disjuncts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +263,23 @@ mod tests {
             let out = engine.evaluate(&p);
             assert!(!out.is_empty(), "{name} produced nothing");
             assert_eq!(out, evaluate(&p, &g), "{name}");
+        }
+    }
+
+    #[test]
+    fn parallel_workload_queries_answer_and_agree() {
+        use owql_exec::Pool;
+        let g = par::graph(150);
+        let engine = Engine::new(&g);
+        let pool = Pool::new(4);
+        for (name, q) in [
+            ("union_ns", par::union_ns_query()),
+            ("wide_union", par::wide_union_query()),
+            ("spine", par::spine_query()),
+        ] {
+            let seq = engine.evaluate(&q);
+            assert!(!seq.is_empty(), "{name} produced nothing");
+            assert_eq!(engine.evaluate_parallel(&q, &pool), seq, "{name}");
         }
     }
 

@@ -49,9 +49,11 @@
 //! | [`logic`] | `owql-logic` | propositional logic, DPLL, cardinality, coloring (substrate of §7) |
 //! | [`theory`] | `owql-theory` | FO translation, rewrites, checkers, witnesses, reductions, synthesis |
 //! | [`store`] | `owql-store` | versioned concurrent triple store: epochs, snapshots, delta compaction, epoch-keyed query cache |
+//! | [`exec`] | `owql-exec` | scoped work-stealing thread pool behind parallel evaluation |
 
 pub use owql_algebra as algebra;
 pub use owql_eval as eval;
+pub use owql_exec as exec;
 pub use owql_logic as logic;
 pub use owql_parser as parser;
 pub use owql_rdf as rdf;
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use owql_algebra::pattern::{tp, Pattern, TriplePattern};
     pub use owql_algebra::{ConstructQuery, Mapping, MappingSet, Variable};
     pub use owql_eval::{construct, evaluate, Engine};
+    pub use owql_exec::Pool;
     pub use owql_parser::{parse_construct, parse_pattern};
     pub use owql_rdf::{Graph, GraphIndex, Iri, SnapshotIndex, Triple, TripleLookup};
     pub use owql_store::{Snapshot, Store, StoreOptions};

@@ -18,9 +18,17 @@
 
 use owql_algebra::mapping::Mapping;
 use owql_algebra::mapping_set::MappingSet;
+use owql_algebra::normal_form::union_spine;
 use owql_algebra::pattern::{Pattern, TermPattern, TriplePattern};
+use owql_algebra::Variable;
+use owql_exec::{chunk_ranges, Pool};
 use owql_rdf::{Graph, GraphIndex, Iri, SnapshotIndex, TripleLookup};
 use std::collections::BTreeSet;
+
+/// An AND-spine partition is only fanned out once the candidate set is
+/// at least this many bindings per worker — below that the chunk
+/// bookkeeping costs more than the join it parallelizes.
+const MIN_BINDINGS_PER_WORKER: usize = 2;
 
 /// An indexed engine bound to one graph (or any [`TripleLookup`]
 /// backend — see [`Engine::for_snapshot`] for evaluation over the live
@@ -91,10 +99,10 @@ impl<I: TripleLookup> Engine<I> {
     pub fn evaluate(&self, pattern: &Pattern) -> MappingSet {
         match pattern {
             Pattern::Triple(_) | Pattern::And(..) => {
-                let mut triples = Vec::new();
-                let mut others = Vec::new();
-                flatten_and_spine(pattern, &mut triples, &mut others);
-                self.evaluate_spine(triples, &others)
+                let (triples, others) = spine_parts(pattern);
+                let sub: Vec<MappingSet> = others.iter().map(|p| self.evaluate(p)).collect();
+                let (current, bound) = seed_spine(sub);
+                self.join_spine(current, triples, bound)
             }
             Pattern::Opt(a, b) => self.evaluate(a).left_outer_join(&self.evaluate(b)),
             Pattern::Union(a, b) => self.evaluate(a).union(&self.evaluate(b)),
@@ -105,32 +113,22 @@ impl<I: TripleLookup> Engine<I> {
         }
     }
 
-    /// Evaluates a flattened `AND`-spine: `triples` joined by index
-    /// nested loops in greedy order, then `others` hash-joined in.
-    fn evaluate_spine(&self, mut triples: Vec<TriplePattern>, others: &[&Pattern]) -> MappingSet {
-        // Seed: sub-results of the non-triple conjuncts (smallest first
-        // keeps intermediate joins small).
-        let mut current: Vec<Mapping> = vec![Mapping::new()];
-        if !others.is_empty() {
-            let mut sub: Vec<MappingSet> = others.iter().map(|p| self.evaluate(p)).collect();
-            sub.sort_by_key(MappingSet::len);
-            let mut acc = sub.remove(0);
-            for s in sub {
-                acc = acc.join(&s);
-            }
-            current = acc.iter().cloned().collect();
-        }
-
-        // Greedy index nested-loop over the triple patterns.
-        let mut bound: BTreeSet<owql_algebra::Variable> = BTreeSet::new();
-        if let Some(first) = current.first() {
-            bound.extend(first.dom());
-        }
-        // All mappings in `current` share a domain only when seeded from
-        // a single conjunct; for safety recompute per-step using the
-        // union of domains (a variable bound in *some* mapping still
-        // constrains matching for that mapping individually; the
-        // statically-tracked `bound` set is only an ordering heuristic).
+    /// The greedy index nested-loop join over the triple patterns of a
+    /// flattened `AND`-spine, from an already-seeded candidate set.
+    ///
+    /// This is the shared seam of the sequential and parallel engines:
+    /// [`Engine::evaluate`] calls it once over the full seed, the
+    /// parallel spine partitioner calls it per candidate chunk. `bound`
+    /// tracks statically-bound variables — an *ordering heuristic* only
+    /// (a variable bound in *some* mapping still constrains matching
+    /// for that mapping individually), so chunks sharing one global
+    /// `bound` pick identical join orders.
+    fn join_spine(
+        &self,
+        mut current: Vec<Mapping>,
+        mut triples: Vec<TriplePattern>,
+        mut bound: BTreeSet<Variable>,
+    ) -> MappingSet {
         while !triples.is_empty() {
             let next_idx = self.pick_next(&triples, &bound);
             let t = triples.swap_remove(next_idx);
@@ -140,7 +138,7 @@ impl<I: TripleLookup> Engine<I> {
             }
             // Set semantics: dedup.
             let set: MappingSet = next.into_iter().collect();
-            current = set.iter().cloned().collect();
+            current = set.into_iter().collect();
             bound.extend(t.vars());
             if current.is_empty() {
                 return MappingSet::new();
@@ -190,21 +188,173 @@ impl<I: TripleLookup> Engine<I> {
     }
 }
 
-/// Splits an `AND`-spine into its triple-pattern leaves and the other
-/// conjunct sub-patterns.
-fn flatten_and_spine<'a>(
-    p: &'a Pattern,
-    triples: &mut Vec<TriplePattern>,
-    others: &mut Vec<&'a Pattern>,
-) {
-    match p {
-        Pattern::And(a, b) => {
-            flatten_and_spine(a, triples, others);
-            flatten_and_spine(b, triples, others);
+/// Parallel evaluation over a pool of workers — available whenever the
+/// lookup backend is shareable across threads (`GraphIndex` and the
+/// store's `SnapshotIndex` both are).
+///
+/// Three operator shapes fan out, mirroring the independence structure
+/// of the semantics:
+///
+/// * **UNION** — the disjuncts of the syntactic UNION spine are fully
+///   independent sub-evaluations (`⟦P₁ UNION P₂⟧G = ⟦P₁⟧G ∪ ⟦P₂⟧G`);
+///   each runs on a worker and the results are merged with the
+///   consuming [`MappingSet::union_all`].
+/// * **AND-spines** — the candidate-binding set is partitioned into
+///   per-worker chunks after a short sequential ramp-up; every chunk
+///   runs the same greedy bound-propagation join (`Engine::join_spine`)
+///   locally, and per-chunk answer sets union to exactly the global
+///   answer (dedup placement never changes the set).
+/// * **NS** — subsumption-maximality filtering runs through
+///   [`MappingSet::maximal_parallel`] (domain-grouped shadow sets, or
+///   pairwise comparison blocked into tiles across workers).
+///
+/// A 1-thread pool short-circuits to the sequential [`Engine::evaluate`],
+/// and every width is held to exact agreement with it by differential
+/// tests here and in `tests/integration_parallel.rs`.
+impl<I: TripleLookup + Sync> Engine<I> {
+    /// Evaluates `⟦P⟧G` across `pool`'s workers. Agrees exactly with
+    /// [`Engine::evaluate`] at every pool width.
+    pub fn evaluate_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
+        if pool.threads() == 1 {
+            return self.evaluate(pattern);
         }
-        Pattern::Triple(t) => triples.push(*t),
-        other => others.push(other),
+        self.eval_par(pattern, pool)
     }
+
+    /// Optimizer + parallel evaluation: the parallel counterpart of
+    /// [`Engine::evaluate_optimized`], funnelling through the same
+    /// optimize-then-dispatch seam.
+    pub fn evaluate_optimized_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
+        self.evaluate_parallel(&crate::optimize::optimize(pattern), pool)
+    }
+
+    fn eval_par(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
+        match pattern {
+            Pattern::Triple(_) | Pattern::And(..) => {
+                let (triples, others) = spine_parts(pattern);
+                self.evaluate_spine_parallel(triples, &others, pool)
+            }
+            Pattern::Union(..) => {
+                let disjuncts = union_spine(pattern);
+                let parts = pool.map(&disjuncts, |d| self.eval_par(d, pool));
+                MappingSet::union_all(parts)
+            }
+            Pattern::Opt(a, b) => {
+                let [left, right] = self.eval_both(a, b, pool);
+                left.left_outer_join(&right)
+            }
+            Pattern::Minus(a, b) => {
+                let [left, right] = self.eval_both(a, b, pool);
+                left.difference(&right)
+            }
+            Pattern::Select(vars, p) => self.eval_par(p, pool).project(vars),
+            Pattern::Filter(p, r) => self.eval_par(p, pool).filter(r),
+            Pattern::Ns(p) => self.eval_par(p, pool).maximal_parallel(pool),
+        }
+    }
+
+    /// Evaluates two independent subpatterns, one per worker.
+    fn eval_both(&self, a: &Pattern, b: &Pattern, pool: &Pool) -> [MappingSet; 2] {
+        let mut results = pool.map(&[a, b], |p| self.eval_par(p, pool));
+        let right = results.pop().expect("two results");
+        let left = results.pop().expect("two results");
+        [left, right]
+    }
+
+    /// The partitioned AND-spine: seed from the non-triple conjuncts
+    /// (evaluated concurrently — they are independent), expand triple
+    /// patterns sequentially until the candidate set is wide enough,
+    /// then split it into chunks and run the remaining join per worker.
+    fn evaluate_spine_parallel(
+        &self,
+        mut triples: Vec<TriplePattern>,
+        others: &[&Pattern],
+        pool: &Pool,
+    ) -> MappingSet {
+        let sub = pool.map(others, |p| self.eval_par(p, pool));
+        let (mut current, mut bound) = seed_spine(sub);
+
+        // Ramp-up: a seed of one empty mapping (or a handful of
+        // conjunct bindings) has no parallelism to expose yet; expanding
+        // the most selective pattern first is exactly what the
+        // sequential engine does, and it manufactures the fan-out.
+        let target = pool.threads() * MIN_BINDINGS_PER_WORKER;
+        while !triples.is_empty() && current.len() < target {
+            let next_idx = self.pick_next(&triples, &bound);
+            let t = triples.swap_remove(next_idx);
+            let mut next: Vec<Mapping> = Vec::new();
+            for m in &current {
+                self.extend_matches(t, m, &mut next);
+            }
+            let set: MappingSet = next.into_iter().collect();
+            current = set.into_iter().collect();
+            bound.extend(t.vars());
+            if current.is_empty() {
+                return MappingSet::new();
+            }
+        }
+        if triples.is_empty() {
+            return current.into_iter().collect();
+        }
+
+        // Partition: chunks share the global `bound`, so each worker
+        // picks the same greedy join order, and the union of per-chunk
+        // answer sets is the global answer set.
+        let ranges = chunk_ranges(current.len(), pool.threads() * 4);
+        let chunks: Vec<&[Mapping]> = ranges
+            .into_iter()
+            .map(|(lo, hi)| &current[lo..hi])
+            .collect();
+        let parts = pool.map(&chunks, |chunk| {
+            self.join_spine(chunk.to_vec(), triples.clone(), bound.clone())
+        });
+        MappingSet::union_all(parts)
+    }
+}
+
+/// Splits an `AND`-spine into its triple-pattern leaves and the other
+/// conjunct sub-patterns — the shared flattening step of the
+/// sequential and parallel engines.
+fn spine_parts(p: &Pattern) -> (Vec<TriplePattern>, Vec<&Pattern>) {
+    fn flatten<'a>(
+        p: &'a Pattern,
+        triples: &mut Vec<TriplePattern>,
+        others: &mut Vec<&'a Pattern>,
+    ) {
+        match p {
+            Pattern::And(a, b) => {
+                flatten(a, triples, others);
+                flatten(b, triples, others);
+            }
+            Pattern::Triple(t) => triples.push(*t),
+            other => others.push(other),
+        }
+    }
+    let mut triples = Vec::new();
+    let mut others = Vec::new();
+    flatten(p, &mut triples, &mut others);
+    (triples, others)
+}
+
+/// Seeds an `AND`-spine from the evaluated non-triple conjuncts:
+/// smallest-first joins keep intermediates small; the returned `bound`
+/// set primes the greedy join-order heuristic.
+fn seed_spine(mut sub: Vec<MappingSet>) -> (Vec<Mapping>, BTreeSet<Variable>) {
+    let current: Vec<Mapping> = if sub.is_empty() {
+        vec![Mapping::new()]
+    } else {
+        sub.sort_by_key(MappingSet::len);
+        let mut acc = sub.remove(0);
+        for s in sub {
+            acc = acc.join(&s);
+        }
+        acc.into_iter().collect()
+    };
+    let mut bound: BTreeSet<Variable> = BTreeSet::new();
+    if let Some(first) = current.first() {
+        bound.extend(first.dom());
+    }
+    (current, bound)
 }
 
 fn constant_positions(t: TriplePattern) -> (Option<Iri>, Option<Iri>, Option<Iri>) {
@@ -325,5 +475,94 @@ mod tests {
         let engine = Engine::new(&Graph::new());
         assert!(engine.evaluate(&Pattern::t("?x", "?y", "?z")).is_empty());
         assert!(engine.index().is_empty());
+    }
+
+    /// The parallel differential test: at widths 1, 2, and 8 the
+    /// parallel engine agrees exactly with the sequential one on random
+    /// full-NS–SPARQL patterns (the width-1 pool also certifies the
+    /// sequential fallback seam).
+    #[test]
+    fn parallel_matches_sequential_across_widths() {
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL.with(Operators::MINUS),
+            ..PatternConfig::standard(4, 5)
+        };
+        for threads in [1usize, 2, 8] {
+            let pool = Pool::new(threads);
+            for seed in 0..80u64 {
+                let p = random_pattern(&cfg, seed);
+                let g = generate::uniform(40, 5, 5, 5, seed ^ 0xbeef)
+                    .union(&graph_over_pattern_iris(seed));
+                let engine = Engine::new(&g);
+                assert_eq!(
+                    engine.evaluate_parallel(&p, &pool),
+                    engine.evaluate(&p),
+                    "threads {threads}, seed {seed}, pattern {p}"
+                );
+            }
+        }
+    }
+
+    /// Shapes that specifically exercise each parallel fan-out: a wide
+    /// UNION spine, a long AND-spine with enough candidates to
+    /// partition, and NS over a large subsumption-layered answer set.
+    #[test]
+    fn parallel_fanout_shapes() {
+        let pool = Pool::new(4);
+
+        // Wide UNION over a star graph.
+        let g = generate::star("hub", "spoke", 40);
+        let engine = Engine::new(&g);
+        let disjuncts: Vec<Pattern> = (0..12)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Pattern::t("hub", "spoke", "?x")
+                } else {
+                    Pattern::t("?c", "spoke", format!("s{i}").as_str())
+                }
+            })
+            .collect();
+        let union = Pattern::union_all(disjuncts);
+        assert_eq!(
+            engine.evaluate_parallel(&union, &pool),
+            engine.evaluate(&union)
+        );
+
+        // Partitioned AND-spine: the star fans ?x out to 40 candidates.
+        let spine = Pattern::t("hub", "spoke", "?x")
+            .and(Pattern::t("hub", "spoke", "?y"))
+            .and(Pattern::t("hub", "spoke", "?z"));
+        assert_eq!(
+            engine.evaluate_parallel(&spine, &pool),
+            engine.evaluate(&spine)
+        );
+        assert_eq!(engine.evaluate_parallel(&spine, &pool).len(), 40 * 40 * 40);
+
+        // NS over layered optional extensions (large maximality input).
+        let chain = generate::chain("next", 400);
+        let engine = Engine::new(&chain);
+        let ns = Pattern::t("?a", "next", "?b")
+            .union(Pattern::t("?a", "next", "?b").and(Pattern::t("?b", "next", "?c")))
+            .ns();
+        assert_eq!(engine.evaluate_parallel(&ns, &pool), engine.evaluate(&ns));
+    }
+
+    #[test]
+    fn parallel_optimized_agrees_with_sequential_optimized() {
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL.with(Operators::MINUS),
+            ..PatternConfig::standard(4, 5)
+        };
+        let pool = Pool::new(3);
+        for seed in 0..40u64 {
+            let p = random_pattern(&cfg, seed);
+            let g = generate::uniform(30, 5, 5, 5, seed);
+            let engine = Engine::new(&g);
+            assert_eq!(
+                engine.evaluate_optimized_parallel(&p, &pool),
+                engine.evaluate_optimized(&p),
+                "seed {seed}"
+            );
+        }
     }
 }

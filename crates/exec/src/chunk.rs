@@ -1,0 +1,67 @@
+//! Range chunking for the work-stealing pool.
+
+/// Splits `0..len` into at most `chunks` contiguous half-open ranges of
+/// near-equal size (the first `len % chunks` ranges get one extra
+/// element). Returns an empty vector for `len == 0`.
+///
+/// ```
+/// use owql_exec::chunk_ranges;
+/// assert_eq!(chunk_ranges(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+/// assert_eq!(chunk_ranges(2, 8), vec![(0, 1), (1, 2)]);
+/// assert!(chunk_ranges(0, 4).is_empty());
+/// ```
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<(usize, usize)> {
+    if len == 0 || chunks == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.min(len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut lo = 0;
+    for i in 0..chunks {
+        let hi = lo + base + usize::from(i < extra);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        for len in 0..40usize {
+            for chunks in 1..10usize {
+                let ranges = chunk_ranges(len, chunks);
+                let mut covered = vec![0usize; len];
+                for (lo, hi) in &ranges {
+                    assert!(lo < hi, "empty range for len={len} chunks={chunks}");
+                    for slot in covered.iter_mut().take(*hi).skip(*lo) {
+                        *slot += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "len={len} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn never_more_chunks_than_items() {
+        assert_eq!(chunk_ranges(3, 16).len(), 3);
+        assert_eq!(chunk_ranges(16, 3).len(), 3);
+        assert!(chunk_ranges(0, 3).is_empty());
+        assert!(chunk_ranges(5, 0).is_empty());
+    }
+
+    #[test]
+    fn sizes_differ_by_at_most_one() {
+        let ranges = chunk_ranges(23, 5);
+        let sizes: Vec<usize> = ranges.iter().map(|(lo, hi)| hi - lo).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+    }
+}

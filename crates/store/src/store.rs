@@ -18,6 +18,7 @@ use crate::cache::{cache_key, CacheStats, QueryCache};
 use owql_algebra::mapping_set::MappingSet;
 use owql_algebra::pattern::Pattern;
 use owql_eval::Engine;
+use owql_exec::Pool;
 use owql_rdf::{Graph, GraphIndex, SnapshotIndex, Triple, TripleLookup};
 use std::collections::HashSet;
 use std::ops::Deref;
@@ -188,6 +189,13 @@ impl Snapshot {
     /// Evaluates `pattern` against this snapshot.
     pub fn evaluate(&self, pattern: &Pattern) -> MappingSet {
         self.engine().evaluate(pattern)
+    }
+
+    /// Evaluates `pattern` against this snapshot across `pool`'s
+    /// workers. The snapshot's `Arc`-shared index is `Send + Sync`, so
+    /// every worker reads the same frozen epoch.
+    pub fn evaluate_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
+        self.engine().evaluate_parallel(pattern, pool)
     }
 
     /// Materializes the visible triples.
@@ -445,6 +453,27 @@ impl Store {
         self.snapshot().evaluate(pattern)
     }
 
+    /// Parallel evaluation at the current epoch: takes one snapshot
+    /// up front — **pinning the epoch** for the whole run, so however
+    /// long the workers take and however many commits land meanwhile,
+    /// every worker reads the same immutable graph version — consults
+    /// the epoch-keyed cache first, and on a miss fans the evaluation
+    /// out across `pool` and fills the cache.
+    ///
+    /// Linearizable against writers: the result is exactly
+    /// `⟦pattern⟧G_e` for the epoch `e` the snapshot captured (the
+    /// point in time the query took effect). See DESIGN.md §8.
+    pub fn evaluate_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
+        let snapshot = self.snapshot();
+        let key = cache_key(pattern);
+        if let Some(hit) = self.cache.lookup(&key, snapshot.epoch()) {
+            return hit;
+        }
+        let result = snapshot.evaluate_parallel(pattern, pool);
+        self.cache.store(key, snapshot.epoch(), result.clone());
+        result
+    }
+
     /// Query-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -628,6 +657,65 @@ mod tests {
         assert_eq!(uncached, cold);
         assert_eq!(uncached, warm);
         assert_eq!(store.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn evaluate_parallel_matches_sequential_and_uses_cache() {
+        let store = Store::from_graph(&graph_from(&[
+            ("a", "p", "b"),
+            ("b", "p", "c"),
+            ("c", "p", "d"),
+            ("a", "q", "d"),
+        ]));
+        let pool = Pool::new(4);
+        let p = Pattern::t("?x", "p", "?y").and(Pattern::t("?y", "p", "?z"));
+        let parallel = store.evaluate_parallel(&p, &pool);
+        assert_eq!(parallel, store.query_uncached(&p));
+        // Second call hits the epoch-keyed cache (shared with `query`).
+        let again = store.evaluate_parallel(&p, &pool);
+        assert_eq!(again, parallel);
+        assert_eq!(store.cache_stats().hits, 1);
+        // And the sequential `query` sees the same entry.
+        assert_eq!(store.query(&p), parallel);
+        assert_eq!(store.cache_stats().hits, 2);
+    }
+
+    /// Epoch pinning: a parallel evaluation races a writer; whatever
+    /// interleaving happens, the answer equals the sequential answer at
+    /// *some* epoch the store actually passed through — and a snapshot
+    /// taken before the run is never skewed by the writes.
+    #[test]
+    fn parallel_evaluation_pins_epoch_against_writers() {
+        use std::thread;
+
+        let store = Arc::new(Store::new());
+        for i in 0..64 {
+            let s = format!("s{i}");
+            store.insert(triple(s.as_str(), "p", "o"));
+        }
+        let p = Pattern::t("?x", "p", "o").and(Pattern::t("?y", "p", "o"));
+        let pool = Pool::new(4);
+
+        let snap = store.snapshot();
+        let frozen = snap.evaluate(&p);
+        let writer = {
+            let store = store.clone();
+            thread::spawn(move || {
+                for i in 64..128 {
+                    let s = format!("s{i}");
+                    store.insert(triple(s.as_str(), "p", "o"));
+                }
+            })
+        };
+        // Evaluate the pinned snapshot in parallel while writes land.
+        for _ in 0..4 {
+            assert_eq!(snap.evaluate_parallel(&p, &pool), frozen);
+        }
+        writer.join().expect("writer panicked");
+        // The pre-write snapshot still answers from its epoch…
+        assert_eq!(snap.evaluate_parallel(&p, &pool), frozen);
+        // …and a fresh parallel query sees all 128 subjects.
+        assert_eq!(store.evaluate_parallel(&p, &pool).len(), 128 * 128);
     }
 
     #[test]

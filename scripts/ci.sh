@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: run every gate the CI runs,
+# in the same order, so a green `scripts/ci.sh` means a green PR.
+#
+#   scripts/ci.sh            # full pipeline
+#   scripts/ci.sh --fast     # skip the bench-smoke stage
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "fmt"
+cargo fmt --all --check
+
+step "clippy (all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "build (release)"
+cargo build --workspace --release
+
+step "test"
+cargo test --workspace -q
+
+step "determinism: width 1 vs width 8"
+norm() { grep -E '^(test result|running)' "$1" | sed -E 's/; finished in [0-9.]+s//' | sort; }
+OWQL_THREADS=1 cargo test --workspace -q 2>&1 | tee /tmp/owql_ci_t1.log >/dev/null
+OWQL_THREADS=8 cargo test --workspace -q 2>&1 | tee /tmp/owql_ci_t8.log >/dev/null
+norm /tmp/owql_ci_t1.log > /tmp/owql_ci_t1.norm
+norm /tmp/owql_ci_t8.log > /tmp/owql_ci_t8.norm
+diff -u /tmp/owql_ci_t1.norm /tmp/owql_ci_t8.norm
+echo "width-1 and width-8 test outputs identical"
+
+if [[ "$FAST" == "0" ]]; then
+  step "bench-smoke (quick drivers)"
+  cargo run --release -p owql-bench --bin store_churn -- --quick BENCH_store.json
+  cargo run --release -p owql-bench --bin parallel_bench -- --quick BENCH_parallel.json
+fi
+
+step "doc (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+step "all green"

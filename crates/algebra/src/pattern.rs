@@ -206,6 +206,23 @@ pub enum Pattern {
 }
 
 impl Pattern {
+    /// The surface-syntax name of this node's operator (`"TRIPLE"`,
+    /// `"AND"`, `"UNION"`, `"OPT"`, `"FILTER"`, `"SELECT"`, `"NS"`,
+    /// `"MINUS"`) — the node-kind tag the observability layer
+    /// (`owql-obs`) and the plan annotator key per-operator metrics on.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Pattern::Triple(_) => "TRIPLE",
+            Pattern::And(..) => "AND",
+            Pattern::Union(..) => "UNION",
+            Pattern::Opt(..) => "OPT",
+            Pattern::Filter(..) => "FILTER",
+            Pattern::Select(..) => "SELECT",
+            Pattern::Ns(_) => "NS",
+            Pattern::Minus(..) => "MINUS",
+        }
+    }
+
     /// Wraps a triple pattern.
     pub fn triple(t: TriplePattern) -> Pattern {
         Pattern::Triple(t)

@@ -18,6 +18,7 @@
 
 use owql_bench::par;
 use owql_exec::Pool;
+use owql_obs::{Profile, Recorder};
 use owql_store::{Store, StoreOptions};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -28,6 +29,9 @@ struct QueryRun {
     sequential_ms: f64,
     /// `(workers, ms, speedup_vs_sequential)`.
     widths: Vec<(usize, f64, f64)>,
+    /// One traced 8-worker run: per-operator totals, NS pruning, pool
+    /// counters.
+    profile: Profile,
 }
 
 struct SizeRun {
@@ -78,11 +82,17 @@ fn measure(people: usize, reps: usize) -> SizeRun {
             let (ms, _) = time_ms(reps, || engine.evaluate_parallel(&q, &pool).len());
             widths.push((workers, ms, sequential_ms / ms));
         }
+        // One instrumented 8-worker run (outside the timed loops) for
+        // the per-operator breakdown embedded in the artifact.
+        let rec = Recorder::new();
+        let traced = engine.evaluate_parallel_traced(&q, &Pool::new(8), &rec);
+        assert_eq!(traced, expected, "traced answers diverged: {name}");
         out.push(QueryRun {
             query: name,
             answers,
             sequential_ms,
             widths,
+            profile: rec.profile(),
         });
     }
     SizeRun {
@@ -111,6 +121,13 @@ fn main() -> std::io::Result<()> {
     let hardware = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // `hardware_threads` is what the container grants;
+    // `owql_threads` is the OWQL_THREADS override (if any) that
+    // `Pool::from_env` would honor — the two were previously conflated.
+    let owql_threads = std::env::var("OWQL_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0);
     let mut runs = Vec::new();
     for &people in sizes {
         let run = measure(people, reps);
@@ -134,11 +151,24 @@ fn main() -> std::io::Result<()> {
 
     let mut json = String::from("{\n  \"benchmark\": \"parallel_eval\",\n");
     let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
+    match owql_threads {
+        Some(n) => {
+            let _ = writeln!(json, "  \"owql_threads\": {n},");
+        }
+        None => json.push_str("  \"owql_threads\": null,\n"),
+    }
     let _ = writeln!(
         json,
         "  \"workload\": \"large-graph UNION/NS suite over the social graph; sequential = \
          Engine::evaluate, parallel = evaluate_parallel via the owql-exec pool, answers \
-         cross-checked equal before timing\","
+         cross-checked equal before timing; per-query profile = one traced 8-worker run\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"spine_fix\": \"partitioned AND-spines now fall back to the sequential join below \
+         2 chunks of MIN_BINDINGS_PER_CHUNK=4096 candidates (profiles showed chunk dealing + \
+         per-chunk dedup dominating); before: spine w2/w8 speedups 0.956/0.875 (1000 people) \
+         and 0.871/0.955 (3000 people)\","
     );
     json.push_str("  \"runs\": [\n");
     for (i, run) in runs.iter().enumerate() {
@@ -163,7 +193,26 @@ fn main() -> std::io::Result<()> {
                     json.push_str(", ");
                 }
             }
-            json.push_str("]}");
+            json.push_str("],\n       \"profile\": {\"operators\": [");
+            for (k, op) in q.profile.operators.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "{{\"op\": \"{}\", \"count\": {}, \"rows_out\": {}}}",
+                    op.kind, op.count, op.rows_out
+                );
+                if k + 1 < q.profile.operators.len() {
+                    json.push_str(", ");
+                }
+            }
+            let _ = write!(
+                json,
+                "], \"ns_candidates\": {}, \"ns_survivors\": {}, \"pool_chunks\": {}, \
+                 \"pool_steals\": {}}}}}",
+                q.profile.ns.candidates,
+                q.profile.ns.survivors,
+                q.profile.pool.chunks,
+                q.profile.pool.steals
+            );
             json.push_str(if j + 1 < run.queries.len() {
                 ",\n"
             } else {

@@ -19,8 +19,12 @@ struct Run {
     cached_ms: f64,
     hits: u64,
     misses: u64,
+    evictions: u64,
     invalidations: u64,
+    hit_rate: f64,
     compactions: u64,
+    base_len: usize,
+    delta_len: usize,
     final_len: usize,
     epoch: u64,
 }
@@ -49,17 +53,22 @@ fn run_workload(people: usize, rounds: usize, cached: bool) -> (f64, owql_store:
 fn measure(people: usize, rounds: usize) -> Run {
     let (cold_ms, _) = run_workload(people, rounds, false);
     let (cached_ms, store) = run_workload(people, rounds, true);
-    let stats = store.cache_stats();
+    // One StoreMetrics read feeds the whole row — the same unified
+    // snapshot `Store::observe` folds into query profiles.
     let metrics = store.metrics();
     Run {
         people,
         rounds,
         cold_ms,
         cached_ms,
-        hits: stats.hits,
-        misses: stats.misses,
-        invalidations: stats.invalidations,
+        hits: metrics.cache.hits,
+        misses: metrics.cache.misses,
+        evictions: metrics.cache.evictions,
+        invalidations: metrics.cache.invalidations,
+        hit_rate: metrics.cache.hit_rate(),
         compactions: metrics.compactions,
+        base_len: metrics.base_len,
+        delta_len: metrics.delta_len,
         final_len: metrics.len,
         epoch: metrics.epoch,
     }
@@ -81,7 +90,8 @@ fn main() -> std::io::Result<()> {
         let run = measure(people, rounds);
         println!(
             "people={:4} rounds={}  cold={:8.2}ms  cached={:8.2}ms  speedup={:.2}x  \
-             hits={} misses={} invalidations={} compactions={} epoch={}",
+             hits={} misses={} (rate {:.2}) invalidations={} compactions={} \
+             base={} delta={} epoch={}",
             run.people,
             run.rounds,
             run.cold_ms,
@@ -89,8 +99,11 @@ fn main() -> std::io::Result<()> {
             run.cold_ms / run.cached_ms,
             run.hits,
             run.misses,
+            run.hit_rate,
             run.invalidations,
             run.compactions,
+            run.base_len,
+            run.delta_len,
             run.epoch,
         );
         runs.push(run);
@@ -107,8 +120,9 @@ fn main() -> std::io::Result<()> {
             json,
             "    {{\"people\": {}, \"rounds\": {}, \"cold_ms\": {:.3}, \"cached_ms\": {:.3}, \
              \"speedup\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"cache_invalidations\": {}, \"compactions\": {}, \"final_triples\": {}, \
-             \"final_epoch\": {}}}",
+             \"cache_evictions\": {}, \"cache_invalidations\": {}, \"cache_hit_rate\": {:.3}, \
+             \"compactions\": {}, \"base_triples\": {}, \"delta_triples\": {}, \
+             \"final_triples\": {}, \"final_epoch\": {}}}",
             r.people,
             r.rounds,
             r.cold_ms,
@@ -116,8 +130,12 @@ fn main() -> std::io::Result<()> {
             r.cold_ms / r.cached_ms,
             r.hits,
             r.misses,
+            r.evictions,
             r.invalidations,
+            r.hit_rate,
             r.compactions,
+            r.base_len,
+            r.delta_len,
             r.final_len,
             r.epoch,
         );

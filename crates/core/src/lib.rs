@@ -50,11 +50,13 @@
 //! | [`theory`] | `owql-theory` | FO translation, rewrites, checkers, witnesses, reductions, synthesis |
 //! | [`store`] | `owql-store` | versioned concurrent triple store: epochs, snapshots, delta compaction, epoch-keyed query cache |
 //! | [`exec`] | `owql-exec` | scoped work-stealing thread pool behind parallel evaluation |
+//! | [`obs`] | `owql-obs` | span tracing, per-operator metrics, unified JSON profiles, EXPLAIN ANALYZE plumbing |
 
 pub use owql_algebra as algebra;
 pub use owql_eval as eval;
 pub use owql_exec as exec;
 pub use owql_logic as logic;
+pub use owql_obs as obs;
 pub use owql_parser as parser;
 pub use owql_rdf as rdf;
 pub use owql_store as store;
@@ -66,8 +68,9 @@ pub mod prelude {
     pub use owql_algebra::condition::Condition;
     pub use owql_algebra::pattern::{tp, Pattern, TriplePattern};
     pub use owql_algebra::{ConstructQuery, Mapping, MappingSet, Variable};
-    pub use owql_eval::{construct, evaluate, Engine};
+    pub use owql_eval::{construct, evaluate, AnnotatedPlan, Engine};
     pub use owql_exec::Pool;
+    pub use owql_obs::{Profile, Recorder};
     pub use owql_parser::{parse_construct, parse_pattern};
     pub use owql_rdf::{Graph, GraphIndex, Iri, SnapshotIndex, Triple, TripleLookup};
     pub use owql_store::{Snapshot, Store, StoreOptions};

@@ -22,6 +22,7 @@ use owql_algebra::normal_form::union_spine;
 use owql_algebra::pattern::{Pattern, TermPattern, TriplePattern};
 use owql_algebra::Variable;
 use owql_exec::{chunk_ranges, Pool};
+use owql_obs::{OpKind, Recorder, SpanId};
 use owql_rdf::{Graph, GraphIndex, Iri, SnapshotIndex, TripleLookup};
 use std::collections::BTreeSet;
 
@@ -29,6 +30,16 @@ use std::collections::BTreeSet;
 /// at least this many bindings per worker — below that the chunk
 /// bookkeeping costs more than the join it parallelizes.
 const MIN_BINDINGS_PER_WORKER: usize = 2;
+
+/// Minimum candidate bindings per dealt chunk of a partitioned
+/// AND-spine. The profiled EXPLAIN ANALYZE data behind the `spine`
+/// regression in BENCH_parallel.json showed small partitions paying
+/// more in chunk dealing + per-chunk dedup than the join they
+/// parallelize; capping the chunk count at
+/// `candidates / MIN_BINDINGS_PER_CHUNK` (sequential fallback below
+/// one full chunk) recovers the sequential baseline on small spines
+/// while leaving genuinely wide spines fanned out.
+const MIN_BINDINGS_PER_CHUNK: usize = 4096;
 
 /// An indexed engine bound to one graph (or any [`TripleLookup`]
 /// backend — see [`Engine::for_snapshot`] for evaluation over the live
@@ -299,8 +310,16 @@ impl<I: TripleLookup + Sync> Engine<I> {
 
         // Partition: chunks share the global `bound`, so each worker
         // picks the same greedy join order, and the union of per-chunk
-        // answer sets is the global answer set.
-        let ranges = chunk_ranges(current.len(), pool.threads() * 4);
+        // answer sets is the global answer set. The chunk count is
+        // capped so every chunk carries at least
+        // `MIN_BINDINGS_PER_CHUNK` bindings — a candidate set below one
+        // full chunk falls back to the sequential join, because dealing
+        // overhead and per-chunk dedup would outweigh the fan-out.
+        let max_chunks = current.len() / MIN_BINDINGS_PER_CHUNK;
+        if max_chunks < 2 {
+            return self.join_spine(current, triples, bound);
+        }
+        let ranges = chunk_ranges(current.len(), max_chunks.min(pool.threads() * 4));
         let chunks: Vec<&[Mapping]> = ranges
             .into_iter()
             .map(|(lo, hi)| &current[lo..hi])
@@ -310,6 +329,394 @@ impl<I: TripleLookup + Sync> Engine<I> {
         });
         MappingSet::union_all(parts)
     }
+}
+
+/// Instrumented (traced) evaluation — the observability path.
+///
+/// `evaluate_traced` mirrors [`Engine::evaluate`] operator for
+/// operator, recording one [`owql_obs::Span`] per algebra node (kind,
+/// label, input/output cardinality, wall time) plus one `SCAN` span
+/// per index nested-loop step, into a caller-supplied
+/// [`Recorder`]. A **disabled** recorder short-circuits straight to
+/// the uninstrumented path at the entry point, so carrying the traced
+/// API costs nothing when tracing is off; differential tests
+/// (`tests/integration_obs.rs`) hold both paths to exact answer
+/// agreement at widths 1 and 8.
+impl<I: TripleLookup> Engine<I> {
+    /// Evaluates `⟦P⟧G`, recording one span per operator node into
+    /// `rec`. Answer-identical to [`Engine::evaluate`].
+    pub fn evaluate_traced(&self, pattern: &Pattern, rec: &Recorder) -> MappingSet {
+        if !rec.is_enabled() {
+            return self.evaluate(pattern);
+        }
+        self.eval_traced(pattern, rec, SpanId::ROOT)
+    }
+
+    /// Runs the query and returns the plan annotated with the observed
+    /// per-node output cardinalities and wall times — EXPLAIN ANALYZE.
+    /// (See [`crate::plan::AnnotatedPlan`] for the rendered shape;
+    /// [`Engine::explain`] stays the purely static EXPLAIN.)
+    pub fn explain_analyze(&self, pattern: &Pattern) -> crate::plan::AnnotatedPlan {
+        let rec = Recorder::new();
+        let answers = self.evaluate_traced(pattern, &rec).len();
+        crate::plan::annotate(&rec.spans(), answers)
+    }
+
+    fn eval_traced(&self, pattern: &Pattern, rec: &Recorder, parent: SpanId) -> MappingSet {
+        let id = rec.begin();
+        let timer = rec.timer();
+        let (label, rows_in, out) = match pattern {
+            Pattern::Triple(_) | Pattern::And(..) => {
+                let (triples, others) = spine_parts(pattern);
+                let label = spine_label(triples.len(), others.len());
+                let sub: Vec<MappingSet> = others
+                    .iter()
+                    .map(|p| self.eval_traced(p, rec, id))
+                    .collect();
+                let (current, bound) = seed_spine(sub);
+                let seeded = current.len() as u64;
+                (
+                    label,
+                    Some(seeded),
+                    self.join_spine_traced(current, triples, bound, rec, id),
+                )
+            }
+            Pattern::Opt(a, b) => {
+                let left = self.eval_traced(a, rec, id);
+                let right = self.eval_traced(b, rec, id);
+                let rows_in = left.len() as u64;
+                (
+                    "left outer join".to_owned(),
+                    Some(rows_in),
+                    left.left_outer_join(&right),
+                )
+            }
+            Pattern::Union(a, b) => {
+                let left = self.eval_traced(a, rec, id);
+                let right = self.eval_traced(b, rec, id);
+                ("union".to_owned(), None, left.union(&right))
+            }
+            Pattern::Minus(a, b) => {
+                let left = self.eval_traced(a, rec, id);
+                let right = self.eval_traced(b, rec, id);
+                let rows_in = left.len() as u64;
+                (
+                    "difference".to_owned(),
+                    Some(rows_in),
+                    left.difference(&right),
+                )
+            }
+            Pattern::Select(vars, p) => {
+                let inner = self.eval_traced(p, rec, id);
+                let rows_in = inner.len() as u64;
+                (project_label(vars), Some(rows_in), inner.project(vars))
+            }
+            Pattern::Filter(p, r) => {
+                let inner = self.eval_traced(p, rec, id);
+                let rows_in = inner.len() as u64;
+                (format!("filter {r}"), Some(rows_in), inner.filter(r))
+            }
+            Pattern::Ns(p) => {
+                let inner = self.eval_traced(p, rec, id);
+                let candidates = inner.len() as u64;
+                let out = inner.maximal();
+                rec.record_ns(candidates, out.len() as u64);
+                ("maximal answers".to_owned(), Some(candidates), out)
+            }
+        };
+        rec.record_span(
+            id,
+            parent,
+            op_kind(pattern),
+            &label,
+            rows_in,
+            out.len() as u64,
+            &timer,
+        );
+        out
+    }
+
+    /// [`Engine::join_spine`] with one `SCAN` span per nested-loop
+    /// step: input candidates in, deduplicated bindings out — the
+    /// per-join cardinalities EXPLAIN ANALYZE reports.
+    fn join_spine_traced(
+        &self,
+        mut current: Vec<Mapping>,
+        mut triples: Vec<TriplePattern>,
+        mut bound: BTreeSet<Variable>,
+        rec: &Recorder,
+        parent: SpanId,
+    ) -> MappingSet {
+        while !triples.is_empty() {
+            let next_idx = self.pick_next(&triples, &bound);
+            let t = triples.swap_remove(next_idx);
+            let id = rec.begin();
+            let timer = rec.timer();
+            let rows_in = current.len() as u64;
+            let mut next: Vec<Mapping> = Vec::new();
+            for m in &current {
+                self.extend_matches(t, m, &mut next);
+            }
+            let set: MappingSet = next.into_iter().collect();
+            current = set.into_iter().collect();
+            bound.extend(t.vars());
+            rec.record_span(
+                id,
+                parent,
+                OpKind::Scan,
+                &format!("{t} via {}", crate::plan::access_path(t)),
+                Some(rows_in),
+                current.len() as u64,
+                &timer,
+            );
+            if current.is_empty() {
+                return MappingSet::new();
+            }
+        }
+        current.into_iter().collect()
+    }
+}
+
+/// Instrumented parallel evaluation: [`Engine::evaluate_parallel`]
+/// with spans, NS pruning counters, and per-worker pool stats (via
+/// [`Pool::map_profiled`]) recorded into a shared [`Recorder`].
+impl<I: TripleLookup + Sync> Engine<I> {
+    /// Evaluates `⟦P⟧G` across `pool`'s workers, recording operator
+    /// spans and worker stats into `rec`. Answer-identical to
+    /// [`Engine::evaluate_parallel`] at every width.
+    pub fn evaluate_parallel_traced(
+        &self,
+        pattern: &Pattern,
+        pool: &Pool,
+        rec: &Recorder,
+    ) -> MappingSet {
+        if !rec.is_enabled() {
+            return self.evaluate_parallel(pattern, pool);
+        }
+        if pool.threads() == 1 {
+            return self.eval_traced(pattern, rec, SpanId::ROOT);
+        }
+        self.eval_par_traced_at(pattern, pool, rec, SpanId::ROOT)
+    }
+
+    /// [`Engine::explain_analyze`] over the parallel engine: the
+    /// annotated plan additionally reflects the parallel operators
+    /// (partitioned spines, fanned-out unions).
+    pub fn explain_analyze_parallel(
+        &self,
+        pattern: &Pattern,
+        pool: &Pool,
+    ) -> crate::plan::AnnotatedPlan {
+        let rec = Recorder::new();
+        let answers = self.evaluate_parallel_traced(pattern, pool, &rec).len();
+        crate::plan::annotate(&rec.spans(), answers)
+    }
+
+    fn eval_par_traced_at(
+        &self,
+        pattern: &Pattern,
+        pool: &Pool,
+        rec: &Recorder,
+        parent: SpanId,
+    ) -> MappingSet {
+        let id = rec.begin();
+        let timer = rec.timer();
+        let (label, rows_in, out) = match pattern {
+            Pattern::Triple(_) | Pattern::And(..) => {
+                let (triples, others) = spine_parts(pattern);
+                let label = spine_label(triples.len(), others.len());
+                let (rows_in, out) =
+                    self.evaluate_spine_parallel_traced(triples, &others, pool, rec, id);
+                (label, rows_in, out)
+            }
+            Pattern::Union(..) => {
+                let disjuncts = union_spine(pattern);
+                let label = format!("union of {} disjuncts", disjuncts.len());
+                let parts = pool.map_profiled(&disjuncts, rec, |d| {
+                    self.eval_par_traced_at(d, pool, rec, id)
+                });
+                (label, None, MappingSet::union_all(parts))
+            }
+            Pattern::Opt(a, b) => {
+                let [left, right] = self.eval_both_traced(a, b, pool, rec, id);
+                let rows_in = left.len() as u64;
+                (
+                    "left outer join".to_owned(),
+                    Some(rows_in),
+                    left.left_outer_join(&right),
+                )
+            }
+            Pattern::Minus(a, b) => {
+                let [left, right] = self.eval_both_traced(a, b, pool, rec, id);
+                let rows_in = left.len() as u64;
+                (
+                    "difference".to_owned(),
+                    Some(rows_in),
+                    left.difference(&right),
+                )
+            }
+            Pattern::Select(vars, p) => {
+                let inner = self.eval_par_traced_at(p, pool, rec, id);
+                let rows_in = inner.len() as u64;
+                (project_label(vars), Some(rows_in), inner.project(vars))
+            }
+            Pattern::Filter(p, r) => {
+                let inner = self.eval_par_traced_at(p, pool, rec, id);
+                let rows_in = inner.len() as u64;
+                (format!("filter {r}"), Some(rows_in), inner.filter(r))
+            }
+            Pattern::Ns(p) => {
+                let inner = self.eval_par_traced_at(p, pool, rec, id);
+                let candidates = inner.len() as u64;
+                let out = inner.maximal_parallel(pool);
+                rec.record_ns(candidates, out.len() as u64);
+                (
+                    "maximal answers (parallel)".to_owned(),
+                    Some(candidates),
+                    out,
+                )
+            }
+        };
+        rec.record_span(
+            id,
+            parent,
+            op_kind(pattern),
+            &label,
+            rows_in,
+            out.len() as u64,
+            &timer,
+        );
+        out
+    }
+
+    /// Evaluates two independent subpatterns, one per worker, tracing
+    /// both.
+    fn eval_both_traced(
+        &self,
+        a: &Pattern,
+        b: &Pattern,
+        pool: &Pool,
+        rec: &Recorder,
+        parent: SpanId,
+    ) -> [MappingSet; 2] {
+        let mut results = pool.map_profiled(&[a, b], rec, |p| {
+            self.eval_par_traced_at(p, pool, rec, parent)
+        });
+        let right = results.pop().expect("two results");
+        let left = results.pop().expect("two results");
+        [left, right]
+    }
+
+    /// [`Engine::evaluate_spine_parallel`] with tracing: ramp-up steps
+    /// record `SCAN` spans like the sequential join; the partitioned
+    /// tail records one `SCAN` span summarizing the fan-out (chunks ×
+    /// remaining steps) so per-chunk noise stays out of the plan.
+    /// Returns `(seeded candidate count, result)`.
+    fn evaluate_spine_parallel_traced(
+        &self,
+        mut triples: Vec<TriplePattern>,
+        others: &[&Pattern],
+        pool: &Pool,
+        rec: &Recorder,
+        parent: SpanId,
+    ) -> (Option<u64>, MappingSet) {
+        let sub = pool.map_profiled(others, rec, |p| {
+            self.eval_par_traced_at(p, pool, rec, parent)
+        });
+        let (mut current, mut bound) = seed_spine(sub);
+        let seeded = Some(current.len() as u64);
+
+        let target = pool.threads() * MIN_BINDINGS_PER_WORKER;
+        while !triples.is_empty() && current.len() < target {
+            let next_idx = self.pick_next(&triples, &bound);
+            let t = triples.swap_remove(next_idx);
+            let id = rec.begin();
+            let timer = rec.timer();
+            let rows_in = current.len() as u64;
+            let mut next: Vec<Mapping> = Vec::new();
+            for m in &current {
+                self.extend_matches(t, m, &mut next);
+            }
+            let set: MappingSet = next.into_iter().collect();
+            current = set.into_iter().collect();
+            bound.extend(t.vars());
+            rec.record_span(
+                id,
+                parent,
+                OpKind::Scan,
+                &format!("{t} via {} (ramp-up)", crate::plan::access_path(t)),
+                Some(rows_in),
+                current.len() as u64,
+                &timer,
+            );
+            if current.is_empty() {
+                return (seeded, MappingSet::new());
+            }
+        }
+        if triples.is_empty() {
+            return (seeded, current.into_iter().collect());
+        }
+
+        let max_chunks = current.len() / MIN_BINDINGS_PER_CHUNK;
+        if max_chunks < 2 {
+            // Sequential fallback (small candidate set): trace each
+            // remaining step exactly like the sequential engine.
+            let out = self.join_spine_traced(current, triples, bound, rec, parent);
+            return (seeded, out);
+        }
+        let id = rec.begin();
+        let timer = rec.timer();
+        let rows_in = current.len() as u64;
+        let steps = triples.len();
+        let ranges = chunk_ranges(current.len(), max_chunks.min(pool.threads() * 4));
+        let chunk_count = ranges.len();
+        let chunks: Vec<&[Mapping]> = ranges
+            .into_iter()
+            .map(|(lo, hi)| &current[lo..hi])
+            .collect();
+        let parts = pool.map_profiled(&chunks, rec, |chunk| {
+            self.join_spine(chunk.to_vec(), triples.clone(), bound.clone())
+        });
+        let out = MappingSet::union_all(parts);
+        rec.record_span(
+            id,
+            parent,
+            OpKind::Scan,
+            &format!("partitioned join: {chunk_count} chunks x {steps} steps"),
+            Some(rows_in),
+            out.len() as u64,
+            &timer,
+        );
+        (seeded, out)
+    }
+}
+
+/// Maps an algebra node to its obs taxonomy kind (flattened
+/// `AND`-spines — including bare triple patterns — account as `AND`;
+/// individual nested-loop steps are recorded separately as `SCAN`).
+fn op_kind(p: &Pattern) -> OpKind {
+    match p {
+        Pattern::Triple(_) | Pattern::And(..) => OpKind::And,
+        Pattern::Union(..) => OpKind::Union,
+        Pattern::Opt(..) => OpKind::Opt,
+        Pattern::Minus(..) => OpKind::Minus,
+        Pattern::Filter(..) => OpKind::Filter,
+        Pattern::Select(..) => OpKind::Select,
+        Pattern::Ns(_) => OpKind::Ns,
+    }
+}
+
+fn spine_label(scans: usize, subpatterns: usize) -> String {
+    if subpatterns == 0 {
+        format!("index join: {scans} scans")
+    } else {
+        format!("index join: {scans} scans + {subpatterns} subpatterns")
+    }
+}
+
+fn project_label(vars: &BTreeSet<Variable>) -> String {
+    let names: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
+    format!("project {{{}}}", names.join(", "))
 }
 
 /// Splits an `AND`-spine into its triple-pattern leaves and the other
@@ -545,6 +952,82 @@ mod tests {
             .union(Pattern::t("?a", "next", "?b").and(Pattern::t("?b", "next", "?c")))
             .ns();
         assert_eq!(engine.evaluate_parallel(&ns, &pool), engine.evaluate(&ns));
+    }
+
+    /// The traced paths are answer-identical to the plain ones, and a
+    /// run records a span tree whose root reports the answer count.
+    #[test]
+    fn traced_matches_plain_and_records_spans() {
+        use owql_obs::Recorder;
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL.with(Operators::MINUS),
+            ..PatternConfig::standard(4, 5)
+        };
+        for seed in 0..40u64 {
+            let p = random_pattern(&cfg, seed);
+            let g =
+                generate::uniform(40, 5, 5, 5, seed ^ 0xfeed).union(&graph_over_pattern_iris(seed));
+            let engine = Engine::new(&g);
+            let expected = engine.evaluate(&p);
+
+            let rec = Recorder::new();
+            assert_eq!(engine.evaluate_traced(&p, &rec), expected, "seed {seed}");
+            let spans = rec.spans();
+            assert!(!spans.is_empty(), "seed {seed}: no spans recorded");
+            let root_out: u64 = spans
+                .iter()
+                .filter(|s| s.parent == owql_obs::SpanId::ROOT)
+                .map(|s| s.rows_out)
+                .sum();
+            assert_eq!(root_out, expected.len() as u64, "seed {seed}");
+
+            // Disabled recorder: same answers, zero spans.
+            let off = Recorder::disabled();
+            assert_eq!(engine.evaluate_traced(&p, &off), expected, "seed {seed}");
+            assert!(off.spans().is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_traced_matches_plain_across_widths() {
+        use owql_obs::Recorder;
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL.with(Operators::MINUS),
+            ..PatternConfig::standard(4, 5)
+        };
+        for threads in [1usize, 4] {
+            let pool = Pool::new(threads);
+            for seed in 0..30u64 {
+                let p = random_pattern(&cfg, seed);
+                let g = generate::uniform(40, 5, 5, 5, seed ^ 0xf00d)
+                    .union(&graph_over_pattern_iris(seed));
+                let engine = Engine::new(&g);
+                let rec = Recorder::new();
+                assert_eq!(
+                    engine.evaluate_parallel_traced(&p, &pool, &rec),
+                    engine.evaluate(&p),
+                    "threads {threads}, seed {seed}, pattern {p}"
+                );
+                assert!(!rec.spans().is_empty());
+            }
+        }
+    }
+
+    /// NS pruning counters: the recorder sees the candidate and
+    /// survivor counts of the maximality filter.
+    #[test]
+    fn traced_ns_records_pruning() {
+        use owql_obs::Recorder;
+        let chain = generate::chain("next", 50);
+        let engine = Engine::new(&chain);
+        let ns = Pattern::t("?a", "next", "?b")
+            .union(Pattern::t("?a", "next", "?b").and(Pattern::t("?b", "next", "?c")))
+            .ns();
+        let rec = Recorder::new();
+        let out = engine.evaluate_traced(&ns, &rec);
+        let profile = rec.profile();
+        assert_eq!(profile.ns.survivors, out.len() as u64);
+        assert!(profile.ns.candidates > profile.ns.survivors);
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //!   the gap).
 //!
 //! CONSTRUCT evaluation (Section 6.1) lives in [`mod@construct`].
+//!
+//! Both engines also expose an *instrumented* path
+//! ([`Engine::evaluate_traced`], [`Engine::evaluate_parallel_traced`])
+//! that records per-operator spans into an [`owql_obs::Recorder`], and
+//! [`Engine::explain_analyze`] renders the observed row counts and wall
+//! times as an [`plan::AnnotatedPlan`].
 
 pub mod construct;
 pub mod engine;
@@ -28,4 +34,5 @@ pub mod reference;
 
 pub use construct::construct;
 pub use engine::Engine;
+pub use plan::{AnnotatedNode, AnnotatedPlan, Plan};
 pub use reference::evaluate;

@@ -138,7 +138,7 @@ impl fmt::Display for Plan {
     }
 }
 
-fn access_path(t: TriplePattern) -> &'static str {
+pub(crate) fn access_path(t: TriplePattern) -> &'static str {
     match (
         t.s.as_iri().is_some(),
         t.p.as_iri().is_some(),
@@ -202,6 +202,122 @@ pub fn plan<I: TripleLookup>(pattern: &Pattern, index: &I) -> Plan {
             Plan::Project(Box::new(plan(p, index)), v.iter().copied().collect())
         }
         Pattern::Ns(p) => Plan::MaximalAnswers(Box::new(plan(p, index))),
+    }
+}
+
+/// One node of an EXPLAIN ANALYZE tree: the *observed* counterpart of
+/// [`Plan`], rebuilt from the spans an instrumented run recorded.
+#[derive(Clone, Debug)]
+pub struct AnnotatedNode {
+    /// Operator kind (obs taxonomy; index nested-loop steps are `SCAN`).
+    pub kind: owql_obs::OpKind,
+    /// Human-readable operator label (e.g. `"filter bound(?x)"`).
+    pub label: String,
+    /// Observed input cardinality, where the operator has one.
+    pub rows_in: Option<u64>,
+    /// Observed output cardinality.
+    pub rows_out: u64,
+    /// Observed wall time.
+    pub elapsed_ns: u64,
+    /// Child operators, in evaluation order.
+    pub children: Vec<AnnotatedNode>,
+}
+
+impl AnnotatedNode {
+    /// Number of nodes in this subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(AnnotatedNode::size).sum::<usize>()
+    }
+
+    fn fmt_at(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        Plan::indent(f, depth)?;
+        write!(f, "{} {}", self.kind, self.label)?;
+        match self.rows_in {
+            Some(rows_in) => write!(f, "  [rows: {} -> {}", rows_in, self.rows_out)?,
+            None => write!(f, "  [rows: {}", self.rows_out)?,
+        }
+        writeln!(f, ", {:.3} ms]", self.elapsed_ns as f64 / 1e6)?;
+        for c in &self.children {
+            c.fmt_at(f, depth + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// An EXPLAIN ANALYZE report: the operator tree with observed row
+/// counts and wall times per node, as returned by
+/// [`Engine::explain_analyze`](crate::engine::Engine::explain_analyze).
+///
+/// Where [`Plan`] prints *estimated* cardinalities from the index, this
+/// prints what the run actually produced — the tool for spotting a join
+/// step that exploded or an NS filter that pruned nothing.
+#[derive(Clone, Debug)]
+pub struct AnnotatedPlan {
+    /// Final answer count of the profiled run.
+    pub answers: usize,
+    /// Total wall time across the top-level operators.
+    pub total_ns: u64,
+    /// Top-level operators (one for a single query pattern).
+    pub roots: Vec<AnnotatedNode>,
+}
+
+impl AnnotatedPlan {
+    /// Number of operator nodes in the tree.
+    pub fn size(&self) -> usize {
+        self.roots.iter().map(AnnotatedNode::size).sum()
+    }
+}
+
+impl fmt::Display for AnnotatedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "EXPLAIN ANALYZE  [answers: {}, {:.3} ms]",
+            self.answers,
+            self.total_ns as f64 / 1e6
+        )?;
+        for r in &self.roots {
+            r.fmt_at(f, 0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Rebuilds the operator tree from the flat span list a [`Recorder`]
+/// collected. Span ids are allocated pre-order (a parent's id precedes
+/// its children's), so sorting each sibling list by id restores the
+/// evaluation order even though spans complete — and are recorded —
+/// post-order.
+///
+/// [`Recorder`]: owql_obs::Recorder
+pub fn annotate(spans: &[owql_obs::Span], answers: usize) -> AnnotatedPlan {
+    use std::collections::BTreeMap;
+    // Sort spans by id so children attach in evaluation order.
+    let mut ordered: Vec<&owql_obs::Span> = spans.iter().collect();
+    ordered.sort_by_key(|s| s.id.0);
+
+    // Build children bottom-up: iterating ids in *descending* order
+    // guarantees every child is finished before its parent is taken.
+    let mut pending: BTreeMap<u64, Vec<AnnotatedNode>> = BTreeMap::new();
+    for s in ordered.iter().rev() {
+        let node = AnnotatedNode {
+            kind: s.kind,
+            label: s.label.clone(),
+            rows_in: s.rows_in,
+            rows_out: s.rows_out,
+            elapsed_ns: s.elapsed_ns,
+            children: pending.remove(&s.id.0).unwrap_or_default(),
+        };
+        pending.entry(s.parent.0).or_default().insert(0, node);
+    }
+    let roots = pending
+        .remove(&owql_obs::SpanId::ROOT.0)
+        .unwrap_or_default();
+    let total_ns = roots.iter().map(|r| r.elapsed_ns).sum();
+    AnnotatedPlan {
+        answers,
+        total_ns,
+        roots,
     }
 }
 
@@ -281,6 +397,55 @@ mod tests {
             },
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn explain_analyze_annotates_observed_rows() {
+        let g = generate::star("hub", "spoke", 10);
+        let engine = Engine::new(&g);
+        let p = parse_pattern("((hub, spoke, ?x) AND (hub, spoke, ?y))").unwrap();
+        let analyzed = engine.explain_analyze(&p);
+        assert_eq!(analyzed.answers, 100);
+        assert_eq!(analyzed.roots.len(), 1);
+        let root = &analyzed.roots[0];
+        assert_eq!(root.kind, owql_obs::OpKind::And);
+        assert_eq!(root.rows_out, 100);
+        // Two SCAN children in evaluation order: 1 -> 10 -> 100.
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].rows_in, Some(1));
+        assert_eq!(root.children[0].rows_out, 10);
+        assert_eq!(root.children[1].rows_in, Some(10));
+        assert_eq!(root.children[1].rows_out, 100);
+        let text = analyzed.to_string();
+        for needle in [
+            "EXPLAIN ANALYZE",
+            "answers: 100",
+            "SCAN",
+            "rows: 10 -> 100",
+            "ms]",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn explain_analyze_renders_operator_tree() {
+        let g = generate::uniform(20, 4, 4, 4, 1);
+        let engine = Engine::new(&g);
+        let p = parse_pattern(
+            "NS((SELECT {?x} WHERE ((((?x, p0, ?y) OPT (?y, p1, ?z)) UNION \
+              ((?x, p2, ?w) MINUS (?w, p3, ?v))) FILTER bound(?x))))",
+        )
+        .unwrap();
+        let analyzed = engine.explain_analyze(&p);
+        let text = analyzed.to_string();
+        for needle in ["NS", "SELECT", "FILTER", "UNION", "OPT", "MINUS", "SCAN"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert_eq!(
+            analyzed.answers as u64,
+            analyzed.roots.iter().map(|r| r.rows_out).sum::<u64>()
+        );
     }
 
     #[test]

@@ -9,10 +9,12 @@
 //! remaining contiguous block of a victim's work.
 
 use crate::chunk::chunk_ranges;
+use owql_obs::Recorder;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// How many chunks each worker's deque starts with. More chunks give
 /// the stealers finer granularity at the cost of more lock traffic;
@@ -124,11 +126,41 @@ impl Pool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        self.map_inner(items, f, None)
+    }
+
+    /// [`Pool::map`] with per-worker observability: besides the pool's
+    /// own cumulative counters, each worker reports its busy wall time,
+    /// chunks executed, and chunks stolen into `recorder` (inline runs
+    /// count as inline maps there). A disabled recorder reduces this to
+    /// plain `map` — the worker loop doesn't even read the clock.
+    pub fn map_profiled<T, R, F>(&self, items: &[T], recorder: &Recorder, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_inner(items, f, Some(recorder))
+    }
+
+    fn map_inner<T, R, F>(&self, items: &[T], f: F, recorder: Option<&Recorder>) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let recording = recorder.is_some_and(Recorder::is_enabled);
         if self.threads == 1 || items.len() < 2 || IN_WORKER.with(Cell::get) {
             self.inline_maps.fetch_add(1, Ordering::Relaxed);
+            if let Some(rec) = recorder {
+                rec.record_map_inline();
+            }
             return items.iter().map(f).collect();
         }
         self.parallel_maps.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = recorder {
+            rec.record_map_parallel();
+        }
 
         let workers = self.threads.min(items.len());
         let ranges = chunk_ranges(items.len(), workers * CHUNKS_PER_WORKER);
@@ -152,6 +184,7 @@ impl Pool {
                 .map(|me| {
                     s.spawn(move || {
                         IN_WORKER.with(|w| w.set(true));
+                        let started = recording.then(Instant::now);
                         let mut out: Vec<(usize, R)> = Vec::new();
                         let mut executed = 0u64;
                         let mut stolen = 0u64;
@@ -163,14 +196,18 @@ impl Pool {
                             }
                         }
                         IN_WORKER.with(|w| w.set(false));
-                        (out, executed, stolen)
+                        let busy_ns = started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                        (out, executed, stolen, busy_ns)
                     })
                 })
                 .collect();
-            for handle in handles {
-                let (out, executed, stolen) = handle.join().expect("exec worker panicked");
+            for (me, handle) in handles.into_iter().enumerate() {
+                let (out, executed, stolen, busy_ns) = handle.join().expect("exec worker panicked");
                 self.tasks.fetch_add(executed, Ordering::Relaxed);
                 self.steals.fetch_add(stolen, Ordering::Relaxed);
+                if let Some(rec) = recorder {
+                    rec.record_worker(me, busy_ns, executed, stolen);
+                }
                 for (i, r) in out {
                     results[i] = Some(r);
                 }
@@ -283,6 +320,37 @@ mod tests {
             assert!(n != 17, "boom");
             n
         });
+    }
+
+    #[test]
+    fn map_profiled_reports_per_worker_stats() {
+        let pool = Pool::new(3);
+        let rec = Recorder::new();
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.map_profiled(&items, &rec, |&i| i * 2);
+        assert_eq!(out, items.iter().map(|&i| i * 2).collect::<Vec<_>>());
+        let profile = rec.profile();
+        assert_eq!(profile.pool.parallel_maps, 1);
+        // 3 workers × 4 chunks per worker, every chunk accounted for.
+        assert_eq!(profile.pool.chunks, 12);
+        assert_eq!(profile.pool.workers.len(), 3);
+        assert_eq!(
+            profile.pool.workers.iter().map(|w| w.chunks).sum::<u64>(),
+            12
+        );
+    }
+
+    #[test]
+    fn map_profiled_with_disabled_recorder_records_nothing() {
+        let pool = Pool::new(2);
+        let rec = Recorder::disabled();
+        let items: Vec<u32> = (0..50).collect();
+        assert_eq!(pool.map_profiled(&items, &rec, |&i| i), items);
+        let profile = rec.profile();
+        assert_eq!(profile.pool.parallel_maps, 0);
+        assert!(profile.pool.workers.is_empty());
+        // The pool's own counters still tick — only the recorder is off.
+        assert_eq!(pool.stats().parallel_maps, 1);
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! # owql-obs
+//!
+//! The observability layer of the workspace: query tracing, a
+//! per-operator metrics taxonomy, and JSON-serializable profile
+//! reports — dependency-free, like `owql-exec`, so every other crate
+//! can report into it.
+//!
+//! The stack before this crate was a black box: `BENCH_parallel.json`
+//! showed the `spine` workload *regressing* under parallelism and
+//! nothing could say why — no tracing, no per-operator timing, and the
+//! only metrics (`StoreMetrics`, `CacheStats`) were siloed per crate.
+//! This crate closes that gap with three pieces:
+//!
+//! * [`Recorder`] — a thread-safe span/event sink: atomic counters for
+//!   the cheap event streams (NS pruning, pool chunk/steal counts) and
+//!   a mutex-guarded buffer of finished [`Span`]s. A **disabled**
+//!   recorder ([`Recorder::disabled`]) records nothing and skips all
+//!   clock reads, so an instrumented code path carrying one costs a
+//!   handful of predictable branches — measured to stay within noise of
+//!   the uninstrumented path (see `tests/integration_obs.rs`).
+//! * [`OpKind`] — the operator taxonomy mirroring the NS–SPARQL
+//!   algebra (`AND`/`UNION`/`OPT`/`FILTER`/`SELECT`/`NS`/`MINUS`, plus
+//!   `SCAN` for individual index nested-loop steps), the unit of
+//!   per-operator accounting. Pérez/Arenas/Gutierrez and Mengel/Skritek
+//!   show SPARQL cost is dominated by operator shape — this is the
+//!   granularity every perf PR needs to see.
+//! * [`Profile`] — the unified snapshot: operator totals, the span
+//!   tree, NS pruning ratios, pool worker stats, and (optionally) the
+//!   store/cache counters folded in by `owql-store`, serialized to JSON
+//!   by a small hand-rolled writer ([`json`]) in the same style as the
+//!   `BENCH_*.json` artifacts.
+//!
+//! Producers: `Engine::{evaluate_traced, evaluate_parallel_traced,
+//! explain_analyze}` in `owql-eval`, `Pool::map_profiled` in
+//! `owql-exec`, and `Store::profile` in `owql-store` (which stitches
+//! all three into one report). Demo: `cargo run --release --example
+//! profile_query`.
+
+pub mod json;
+pub mod profile;
+pub mod recorder;
+
+pub use profile::{NsObs, OperatorTotals, PoolObs, Profile, StoreObs, WorkerStat};
+pub use recorder::{OpKind, Recorder, Span, SpanId, SpanTimer};

@@ -19,6 +19,7 @@ use owql_algebra::mapping_set::MappingSet;
 use owql_algebra::pattern::Pattern;
 use owql_eval::Engine;
 use owql_exec::Pool;
+use owql_obs::{Profile, Recorder, StoreObs};
 use owql_rdf::{Graph, GraphIndex, SnapshotIndex, Triple, TripleLookup};
 use std::collections::HashSet;
 use std::ops::Deref;
@@ -196,6 +197,29 @@ impl Snapshot {
     /// every worker reads the same frozen epoch.
     pub fn evaluate_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
         self.engine().evaluate_parallel(pattern, pool)
+    }
+
+    /// Instrumented evaluation: [`Snapshot::evaluate`] recording one
+    /// span per operator into `rec` (see `owql_obs`).
+    pub fn evaluate_traced(&self, pattern: &Pattern, rec: &Recorder) -> MappingSet {
+        self.engine().evaluate_traced(pattern, rec)
+    }
+
+    /// Instrumented parallel evaluation: [`Snapshot::evaluate_parallel`]
+    /// recording spans and per-worker pool stats into `rec`.
+    pub fn evaluate_parallel_traced(
+        &self,
+        pattern: &Pattern,
+        pool: &Pool,
+        rec: &Recorder,
+    ) -> MappingSet {
+        self.engine().evaluate_parallel_traced(pattern, pool, rec)
+    }
+
+    /// EXPLAIN ANALYZE against this snapshot (see
+    /// [`owql_eval::AnnotatedPlan`]).
+    pub fn explain_analyze(&self, pattern: &Pattern) -> owql_eval::AnnotatedPlan {
+        self.engine().explain_analyze(pattern)
     }
 
     /// Materializes the visible triples.
@@ -491,6 +515,54 @@ impl Store {
             cache: self.cache.stats(),
         }
     }
+
+    /// The store's counters folded into the obs taxonomy — the
+    /// `"store"` section of a [`Profile`].
+    pub fn observe(&self) -> StoreObs {
+        let m = self.metrics();
+        StoreObs {
+            epoch: m.epoch,
+            triples: m.len,
+            base_len: m.base_len,
+            delta_len: m.delta_len,
+            compactions: m.compactions,
+            cache_hits: m.cache.hits,
+            cache_misses: m.cache.misses,
+            cache_evictions: m.cache.evictions,
+            cache_invalidations: m.cache.invalidations,
+            cache_hit_rate: m.cache.hit_rate(),
+        }
+    }
+
+    /// Runs `pattern` uncached against a fresh snapshot with full
+    /// instrumentation and returns the answers plus the unified
+    /// [`Profile`]: operator spans and NS counters from the evaluator,
+    /// and this store's state/cache counters folded into the `"store"`
+    /// section. The cache is bypassed — a profile of a cache hit would
+    /// time the lookup, not the operators.
+    pub fn profile(&self, pattern: &Pattern) -> (MappingSet, Profile) {
+        let rec = Recorder::new();
+        let result = self.snapshot().evaluate_traced(pattern, &rec);
+        let mut profile = rec.profile();
+        profile.query = Some(pattern.to_string());
+        profile.answers = Some(result.len() as u64);
+        profile.store = Some(self.observe());
+        (result, profile)
+    }
+
+    /// [`Store::profile`] over the parallel engine: the profile
+    /// additionally carries per-worker pool stats.
+    pub fn profile_parallel(&self, pattern: &Pattern, pool: &Pool) -> (MappingSet, Profile) {
+        let rec = Recorder::new();
+        let result = self
+            .snapshot()
+            .evaluate_parallel_traced(pattern, pool, &rec);
+        let mut profile = rec.profile();
+        profile.query = Some(pattern.to_string());
+        profile.answers = Some(result.len() as u64);
+        profile.store = Some(self.observe());
+        (result, profile)
+    }
 }
 
 #[cfg(test)]
@@ -716,6 +788,39 @@ mod tests {
         assert_eq!(snap.evaluate_parallel(&p, &pool), frozen);
         // …and a fresh parallel query sees all 128 subjects.
         assert_eq!(store.evaluate_parallel(&p, &pool).len(), 128 * 128);
+    }
+
+    /// `Store::profile` answers like `query_uncached` and folds the
+    /// live store/cache counters into the report.
+    #[test]
+    fn profile_folds_store_counters_and_matches_uncached() {
+        let store = Store::from_graph(&graph_from(&[
+            ("a", "p", "b"),
+            ("b", "p", "c"),
+            ("c", "p", "d"),
+        ]));
+        let p = Pattern::t("?x", "p", "?y").and(Pattern::t("?y", "p", "?z"));
+        store.query(&p); // a miss, so the profile sees cache traffic
+        store.query(&p); // and a hit
+
+        let (result, profile) = store.profile(&p);
+        assert_eq!(result, store.query_uncached(&p));
+        assert_eq!(profile.answers, Some(result.len() as u64));
+        assert!(!profile.spans.is_empty());
+        let obs = profile.store.expect("store section");
+        assert_eq!(obs.epoch, store.epoch());
+        assert_eq!(obs.triples, 3);
+        assert_eq!(obs.cache_hits, 1);
+        assert_eq!(obs.cache_misses, 1);
+        assert!((obs.cache_hit_rate - 0.5).abs() < 1e-9);
+        let json = profile.to_json();
+        assert!(json.contains("\"cache_hit_rate\": 0.500"));
+
+        // Parallel profiling agrees and reports pool activity.
+        let pool = Pool::new(4);
+        let (par, par_profile) = store.profile_parallel(&p, &pool);
+        assert_eq!(par, result);
+        assert!(par_profile.store.is_some());
     }
 
     #[test]

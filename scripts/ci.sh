@@ -38,6 +38,16 @@ if [[ "$FAST" == "0" ]]; then
   step "bench-smoke (quick drivers)"
   cargo run --release -p owql-bench --bin store_churn -- --quick BENCH_store.json
   cargo run --release -p owql-bench --bin parallel_bench -- --quick BENCH_parallel.json
+
+  step "profile-smoke (profiled query + schema check)"
+  cargo run --release --example profile_query -- PROFILE_query.json
+  for key in '"profile"' '"operators"' '"ns"' '"pruned_fraction"' '"pool"' \
+             '"spans"' '"store"' '"cache_hit_rate"'; do
+    grep -q "$key" PROFILE_query.json || { echo "missing $key in PROFILE_query.json"; exit 1; }
+  done
+  grep -q '"owql_threads"' BENCH_parallel.json || { echo "missing owql_threads in BENCH_parallel.json"; exit 1; }
+  grep -q '"cache_hit_rate"' BENCH_store.json || { echo "missing cache_hit_rate in BENCH_store.json"; exit 1; }
+  echo "profile schema OK"
 fi
 
 step "doc (-D warnings)"

@@ -1,0 +1,205 @@
+//! Differential integration tests for the observability layer: traced
+//! evaluation must be answer-identical to the plain engines (sequential
+//! and parallel), a disabled recorder must record nothing, and the
+//! tracing overhead must stay within a sane bound.
+
+use owql::algebra::analysis::Operators;
+use owql::algebra::random::{random_pattern, PatternConfig};
+use owql::obs::{OpKind, SpanId};
+use owql::prelude::*;
+use proptest::prelude::*;
+use std::time::Instant;
+
+fn arb_iri() -> impl Strategy<Value = Iri> {
+    (0..6u8).prop_map(|i| Iri::new(&format!("c{i}")))
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((arb_iri(), arb_iri(), arb_iri()), 0..30)
+        .prop_map(|v| v.into_iter().map(|(s, p, o)| Triple { s, p, o }).collect())
+}
+
+fn pattern_config() -> PatternConfig {
+    PatternConfig {
+        allowed: Operators::NS_SPARQL.with(Operators::MINUS),
+        vars: (0..4).map(|i| Variable::new(&format!("pv{i}"))).collect(),
+        iris: (0..6).map(|i| Iri::new(&format!("c{i}"))).collect(),
+        max_depth: 3,
+        var_probability: 0.5,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Acceptance criterion: `evaluate_traced` agrees with `evaluate`
+    /// on random NS-SPARQL patterns over random graphs, and the
+    /// recorded span tree is well-formed (a root exists, every parent
+    /// id precedes its children's, and root output rows sum to the
+    /// answer count).
+    #[test]
+    fn traced_agrees_with_plain(seed in 0u64..10_000, g in arb_graph()) {
+        let p = random_pattern(&pattern_config(), seed);
+        let engine = Engine::new(&g);
+        let expected = engine.evaluate(&p);
+
+        let rec = Recorder::new();
+        prop_assert_eq!(
+            engine.evaluate_traced(&p, &rec),
+            expected.clone(),
+            "traced diverged on {}", p
+        );
+        let spans = rec.spans();
+        prop_assert!(!spans.is_empty());
+        let roots: Vec<_> = spans.iter().filter(|s| s.parent == SpanId::ROOT).collect();
+        prop_assert_eq!(roots.len(), 1, "one top-level operator per query");
+        prop_assert_eq!(roots[0].rows_out, expected.len() as u64);
+        for s in &spans {
+            prop_assert!(
+                s.parent == SpanId::ROOT || s.parent.0 < s.id.0,
+                "parent {} allocated after child {}", s.parent.0, s.id.0
+            );
+        }
+    }
+
+    /// Traced parallel evaluation agrees with the plain engine at
+    /// widths 1 and 8 (width 1 certifies the sequential-fallback seam
+    /// of the traced path too).
+    #[test]
+    fn traced_parallel_agrees_at_widths(seed in 0u64..10_000, g in arb_graph()) {
+        let p = random_pattern(&pattern_config(), seed);
+        let engine = Engine::new(&g);
+        let expected = engine.evaluate(&p);
+        for workers in [1usize, 8] {
+            let pool = Pool::new(workers);
+            let rec = Recorder::new();
+            prop_assert_eq!(
+                engine.evaluate_parallel_traced(&p, &pool, &rec),
+                expected.clone(),
+                "traced width {} diverged on {}", workers, p
+            );
+            prop_assert!(!rec.spans().is_empty());
+        }
+    }
+
+    /// A disabled recorder never records anything — no spans, no NS
+    /// counters, no pool stats — while answers stay exact.
+    #[test]
+    fn disabled_recorder_records_nothing(seed in 0u64..10_000, g in arb_graph()) {
+        let p = random_pattern(&pattern_config(), seed);
+        let engine = Engine::new(&g);
+        let rec = Recorder::disabled();
+        prop_assert_eq!(engine.evaluate_traced(&p, &rec), engine.evaluate(&p));
+        let pool = Pool::new(8);
+        prop_assert_eq!(
+            engine.evaluate_parallel_traced(&p, &pool, &rec),
+            engine.evaluate(&p)
+        );
+        let profile = rec.profile();
+        prop_assert!(profile.spans.is_empty());
+        prop_assert_eq!(profile.ns.candidates, 0);
+        prop_assert_eq!(profile.pool.parallel_maps, 0);
+        prop_assert_eq!(profile.pool.chunks, 0);
+        prop_assert!(profile.pool.workers.is_empty());
+    }
+
+    /// `Store::profile` answers exactly like the uncached query path
+    /// and its JSON report carries every schema section.
+    #[test]
+    fn store_profile_agrees_and_serializes(seed in 0u64..10_000, g in arb_graph()) {
+        let store = Store::new();
+        let mut tx = store.begin();
+        tx.insert_graph(&g);
+        store.commit(tx);
+        let p = random_pattern(&pattern_config(), seed);
+        let (result, profile) = store.profile(&p);
+        prop_assert_eq!(result.clone(), store.query_uncached(&p));
+        prop_assert_eq!(profile.answers, Some(result.len() as u64));
+        let json = profile.to_json();
+        for key in ["\"operators\"", "\"ns\"", "\"pool\"", "\"spans\"", "\"store\"",
+                    "\"cache_hit_rate\""] {
+            prop_assert!(json.contains(key), "missing {} in profile JSON", key);
+        }
+    }
+}
+
+/// `explain_analyze` reports observed (not estimated) cardinalities:
+/// its root output equals the answer count and its SCAN steps chain
+/// rows through the join.
+#[test]
+fn explain_analyze_reports_observed_cardinalities() {
+    let mut g = Graph::new();
+    for i in 0..25 {
+        let s = format!("s{i}");
+        g.insert(Triple::new("hub", "spoke", s.as_str()));
+    }
+    let engine = Engine::new(&g);
+    let p = parse_pattern("((hub, spoke, ?x) AND (hub, spoke, ?y))").unwrap();
+    let analyzed = engine.explain_analyze(&p);
+    assert_eq!(analyzed.answers, 625);
+    assert_eq!(analyzed.roots.len(), 1);
+    let root = &analyzed.roots[0];
+    assert_eq!(root.rows_out, 625);
+    assert_eq!(root.children.len(), 2);
+    assert_eq!(root.children[0].kind, OpKind::Scan);
+    assert_eq!(root.children[0].rows_out, 25);
+    assert_eq!(root.children[1].rows_in, Some(25));
+    assert_eq!(root.children[1].rows_out, 625);
+
+    let pool = Pool::new(4);
+    let parallel = engine.explain_analyze_parallel(&p, &pool);
+    assert_eq!(parallel.answers, 625);
+    assert!(parallel.to_string().contains("EXPLAIN ANALYZE"));
+}
+
+/// Tracing with an *enabled* recorder is an acceptable constant-factor
+/// overhead, and with a *disabled* recorder it stays within noise of
+/// the plain engine (both compared on their best-of-reps time, which
+/// resists scheduler noise).
+#[test]
+fn tracing_overhead_is_bounded() {
+    let mut g = Graph::new();
+    for i in 0..60u32 {
+        let s = format!("n{i}");
+        let o = format!("n{}", (i + 1) % 60);
+        g.insert(Triple::new(s.as_str(), "next", o.as_str()));
+        g.insert(Triple::new(s.as_str(), "tag", "t"));
+    }
+    let engine = Engine::new(&g);
+    let p = parse_pattern(
+        "NS((((?a, next, ?b) AND (?b, next, ?c)) UNION ((?a, tag, t) AND (?a, next, ?b))))",
+    )
+    .unwrap();
+
+    let best = |f: &dyn Fn() -> usize| -> u128 {
+        let mut best = u128::MAX;
+        for _ in 0..7 {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            best = best.min(start.elapsed().as_nanos());
+        }
+        best
+    };
+
+    let plain = best(&|| engine.evaluate(&p).len());
+    let disabled = {
+        let rec = Recorder::disabled();
+        best(&|| engine.evaluate_traced(&p, &rec).len())
+    };
+    let enabled = {
+        let rec = Recorder::new();
+        best(&|| engine.evaluate_traced(&p, &rec).len())
+    };
+
+    // Generous bounds: this is a smoke test against order-of-magnitude
+    // regressions (e.g. tracing accidentally always on), not a
+    // microbenchmark.
+    assert!(
+        disabled <= plain.saturating_mul(3).max(2_000_000),
+        "disabled-recorder path {disabled}ns vs plain {plain}ns"
+    );
+    assert!(
+        enabled <= plain.saturating_mul(10).max(20_000_000),
+        "enabled-recorder path {enabled}ns vs plain {plain}ns"
+    );
+}

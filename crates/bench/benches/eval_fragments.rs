@@ -6,8 +6,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use owql_bench::{fragment_suite, social};
-use owql_eval::Engine;
+use owql_eval::{Engine, ExecOpts};
+use owql_exec::Pool;
 use std::hint::black_box;
+
+fn eval_seq(engine: &Engine, p: &owql_algebra::Pattern) -> owql_algebra::MappingSet {
+    engine
+        .run(p, &ExecOpts::seq(), &Pool::sequential())
+        .expect("unlimited budget cannot time out")
+        .mappings
+}
 
 fn bench_fragments(c: &mut Criterion) {
     let mut group = c.benchmark_group("eval_fragments");
@@ -19,7 +27,7 @@ fn bench_fragments(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("{people}p/{}t", graph.len())),
                 &pattern,
-                |b, p| b.iter(|| black_box(engine.evaluate(black_box(p)))),
+                |b, p| b.iter(|| black_box(eval_seq(&engine, black_box(p)))),
             );
         }
     }

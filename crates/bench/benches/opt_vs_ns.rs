@@ -4,8 +4,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use owql_bench::{opt_ns_pairs, social};
-use owql_eval::Engine;
+use owql_eval::{Engine, ExecOpts};
+use owql_exec::Pool;
 use std::hint::black_box;
+
+fn eval_seq(engine: &Engine, p: &owql_algebra::Pattern) -> owql_algebra::MappingSet {
+    engine
+        .run(p, &ExecOpts::seq(), &Pool::sequential())
+        .expect("unlimited budget cannot time out")
+        .mappings
+}
 
 fn bench_pairs(c: &mut Criterion) {
     let mut group = c.benchmark_group("opt_vs_ns");
@@ -14,16 +22,16 @@ fn bench_pairs(c: &mut Criterion) {
         let graph = social(people);
         let engine = Engine::new(&graph);
         for (name, opt, ns) in opt_ns_pairs() {
-            assert_eq!(engine.evaluate(&opt), engine.evaluate(&ns));
+            assert_eq!(eval_seq(&engine, &opt), eval_seq(&engine, &ns));
             group.bench_with_input(
                 BenchmarkId::new(format!("{name}/OPT"), people),
                 &opt,
-                |b, p| b.iter(|| black_box(engine.evaluate(black_box(p)))),
+                |b, p| b.iter(|| black_box(eval_seq(&engine, black_box(p)))),
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("{name}/NS"), people),
                 &ns,
-                |b, p| b.iter(|| black_box(engine.evaluate(black_box(p)))),
+                |b, p| b.iter(|| black_box(eval_seq(&engine, black_box(p)))),
             );
         }
     }

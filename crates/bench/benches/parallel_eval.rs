@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use owql_bench::par;
-use owql_eval::Engine;
+use owql_eval::{Engine, ExecOpts};
 use owql_exec::Pool;
 use std::hint::black_box;
 
@@ -24,7 +24,17 @@ fn bench_parallel_eval(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("{name}_seq"), people),
                 &people,
-                |b, _| b.iter(|| black_box(engine.evaluate(black_box(&query)).len())),
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            engine
+                                .run(black_box(&query), &ExecOpts::seq(), &Pool::sequential())
+                                .expect("unlimited budget cannot time out")
+                                .mappings
+                                .len(),
+                        )
+                    })
+                },
             );
             for workers in [1usize, 2, 8] {
                 let pool = Pool::new(workers);
@@ -33,7 +43,13 @@ fn bench_parallel_eval(c: &mut Criterion) {
                     &people,
                     |b, _| {
                         b.iter(|| {
-                            black_box(engine.evaluate_parallel(black_box(&query), &pool).len())
+                            black_box(
+                                engine
+                                    .run(black_box(&query), &ExecOpts::parallel(), &pool)
+                                    .expect("unlimited budget cannot time out")
+                                    .mappings
+                                    .len(),
+                            )
                         })
                     },
                 );

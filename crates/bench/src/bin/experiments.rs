@@ -8,7 +8,16 @@ use owql_algebra::construct::example_6_1;
 use owql_algebra::pattern::Pattern;
 use owql_algebra::well_designed::well_designed_aof;
 use owql_bench::{campus, fragment_suite, opt_ns_pairs, social};
-use owql_eval::{construct, evaluate, Engine};
+use owql_eval::{construct, evaluate, Engine, ExecOpts};
+use owql_exec::Pool;
+
+/// Sequential evaluation through the unified entry point.
+fn eval_seq(engine: &Engine, p: &owql_algebra::Pattern) -> owql_algebra::MappingSet {
+    engine
+        .run(p, &ExecOpts::seq(), &Pool::sequential())
+        .expect("unlimited budget cannot time out")
+        .mappings
+}
 use owql_logic::coloring::{chromatic_number, UGraph};
 use owql_logic::dpll::solve_formula;
 use owql_logic::Formula;
@@ -49,26 +58,32 @@ fn e1() {
     let engine = Engine::new(&g);
     print_mappings(
         "⟦(?o, stands_for, sharing_rights)⟧G:",
-        &engine.evaluate(&parse_pattern("(?o, stands_for, sharing_rights)").unwrap()),
+        &eval_seq(
+            &engine,
+            &parse_pattern("(?o, stands_for, sharing_rights)").unwrap(),
+        ),
     );
     print_mappings(
         "⟦(?p, founder, ?o)⟧G:",
-        &engine.evaluate(&parse_pattern("(?p, founder, ?o)").unwrap()),
+        &eval_seq(&engine, &parse_pattern("(?p, founder, ?o)").unwrap()),
     );
     print_mappings(
         "⟦(?p, supporter, ?o)⟧G:",
-        &engine.evaluate(&parse_pattern("(?p, supporter, ?o)").unwrap()),
+        &eval_seq(&engine, &parse_pattern("(?p, supporter, ?o)").unwrap()),
     );
     print_mappings(
         "⟦(?p, founder, ?o) UNION (?p, supporter, ?o)⟧G:",
-        &engine.evaluate(&parse_pattern("((?p, founder, ?o) UNION (?p, supporter, ?o))").unwrap()),
+        &eval_seq(
+            &engine,
+            &parse_pattern("((?p, founder, ?o) UNION (?p, supporter, ?o))").unwrap(),
+        ),
     );
     let full = parse_pattern(
         "(SELECT {?p} WHERE ((?o, stands_for, sharing_rights) AND \
           ((?p, founder, ?o) UNION (?p, supporter, ?o))))",
     )
     .unwrap();
-    print_mappings("final SELECT {?p} table:", &engine.evaluate(&full));
+    print_mappings("final SELECT {?p} table:", &eval_seq(&engine, &full));
 }
 
 /// E2 — Figure 2 + Example 3.1.
@@ -224,13 +239,13 @@ fn e8() {
         let Pattern::Ns(inner) = &simple else {
             unreachable!()
         };
-        let same = engine.evaluate(&p) == engine.evaluate(&simple);
+        let same = eval_seq(&engine, &p) == eval_seq(&engine, &simple);
         println!(
             "{:<66} {:>9} {:>10} {:>7}",
             text,
             inner.disjuncts().len(),
             same,
-            engine.evaluate(&p).len()
+            eval_seq(&engine, &p).len()
         );
     }
 }
@@ -421,8 +436,8 @@ fn e12() {
         let g = social(people);
         let engine = Engine::new(&g);
         for (name, opt, ns) in opt_ns_pairs() {
-            let (out_opt, t_opt) = time_ms(|| engine.evaluate(&opt));
-            let (out_ns, t_ns) = time_ms(|| engine.evaluate(&ns));
+            let (out_opt, t_opt) = time_ms(|| eval_seq(&engine, &opt));
+            let (out_ns, t_ns) = time_ms(|| eval_seq(&engine, &ns));
             assert_eq!(out_opt, out_ns);
             println!(
                 "{:>8} {:>8} {:>18} {:>12.2} {:>12.2} {:>8}",
@@ -446,7 +461,7 @@ fn e12() {
         let engine = Engine::new(&g);
         for (name, p) in fragment_suite() {
             let (out_ref, t_ref) = time_ms(|| evaluate(&p, &g));
-            let (out_idx, t_idx) = time_ms(|| engine.evaluate(&p));
+            let (out_idx, t_idx) = time_ms(|| eval_seq(&engine, &p));
             assert_eq!(out_ref, out_idx);
             println!(
                 "{:>8} {:>26} {:>14.2} {:>14.2} {:>8}",

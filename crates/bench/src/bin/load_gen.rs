@@ -1,0 +1,285 @@
+//! Load generator for the owql-server front-end: boots an in-process
+//! server over the parallel workload graph, drives it over real TCP
+//! with concurrent clients through three phases — a client ramp, a
+//! sustained mixed-shape phase with mid-run churn writes, and a
+//! deliberate overload phase against a small admission queue — and
+//! writes `BENCH_server.json` with per-phase latency percentiles,
+//! throughput, and shed rate.
+//!
+//! Run with: `cargo run --release -p owql-bench --bin load_gen [out.json]`
+
+use owql_bench::par;
+use owql_rdf::Triple;
+use owql_server::{Server, ServerConfig};
+use owql_store::Store;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One completed request, as seen by a client.
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    status: u16,
+    latency: Duration,
+}
+
+/// Issues one `POST /query` and returns the status + wall latency.
+/// Connection failures surface as status 0.
+fn one_request(addr: SocketAddr, target: &str, body: &str) -> Sample {
+    let start = Instant::now();
+    let status = (|| -> std::io::Result<u16> {
+        let mut conn = TcpStream::connect(addr)?;
+        conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+        write!(
+            conn,
+            "POST {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        let mut response = String::new();
+        conn.read_to_string(&mut response)?;
+        Ok(response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0))
+    })()
+    .unwrap_or(0);
+    Sample {
+        status,
+        latency: start.elapsed(),
+    }
+}
+
+/// The mixed query shapes: `(target, body)` pairs cycled by clients.
+fn shapes() -> Vec<(String, String)> {
+    vec![
+        // Cheap scan through the epoch-keyed cache.
+        ("/query".to_owned(), "(?a, follows, ?b)".to_owned()),
+        // Sequential uncached join.
+        ("/query?cache=0".to_owned(), par::spine_query().to_string()),
+        // Parallel uncached NS-over-UNION (the subsumption-heavy shape).
+        (
+            "/query?cache=0&mode=parallel".to_owned(),
+            par::union_ns_query().to_string(),
+        ),
+        // Traced parallel wide UNION.
+        (
+            "/query?cache=0&mode=parallel&trace=1".to_owned(),
+            par::wide_union_query().to_string(),
+        ),
+    ]
+}
+
+/// Drives `clients` concurrent client threads for `duration`, cycling
+/// the query shapes, and returns every sample. `backoff` is how long a
+/// client sleeps after a `429` before retrying (the well-behaved-client
+/// analogue of `Retry-After`); zero models a retry storm.
+fn drive(addr: SocketAddr, clients: usize, duration: Duration, backoff: Duration) -> Vec<Sample> {
+    let samples = Arc::new(Mutex::new(Vec::new()));
+    let shapes = Arc::new(shapes());
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let samples = samples.clone();
+            let shapes = shapes.clone();
+            scope.spawn(move || {
+                let deadline = Instant::now() + duration;
+                let mut local = Vec::new();
+                let mut i = c; // stagger shape cycling across clients
+                while Instant::now() < deadline {
+                    let (target, body) = &shapes[i % shapes.len()];
+                    let sample = one_request(addr, target, body);
+                    let shed = sample.status == 429;
+                    local.push(sample);
+                    i += 1;
+                    if shed && !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+                samples.lock().expect("samples lock").extend(local);
+            });
+        }
+    });
+    Arc::try_unwrap(samples)
+        .expect("client threads joined")
+        .into_inner()
+        .expect("samples lock")
+}
+
+/// Per-phase aggregate written to the JSON artifact.
+struct PhaseReport {
+    phase: &'static str,
+    clients: usize,
+    wall: Duration,
+    samples: Vec<Sample>,
+}
+
+impl PhaseReport {
+    fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx].as_secs_f64() * 1e3
+    }
+
+    fn to_json(&self) -> String {
+        let total = self.samples.len();
+        let ok = self.samples.iter().filter(|s| s.status == 200).count();
+        let shed = self.samples.iter().filter(|s| s.status == 429).count();
+        let timeouts = self.samples.iter().filter(|s| s.status == 504).count();
+        let other = total - ok - shed - timeouts;
+        // Latency percentiles over *served* requests (sheds answer in
+        // microseconds and would flatter the tail).
+        let mut served: Vec<Duration> = self
+            .samples
+            .iter()
+            .filter(|s| s.status == 200)
+            .map(|s| s.latency)
+            .collect();
+        served.sort_unstable();
+        let secs = self.wall.as_secs_f64();
+        format!(
+            concat!(
+                "{{\"phase\": \"{}\", \"clients\": {}, \"wall_s\": {:.3}, ",
+                "\"requests\": {}, \"ok\": {}, \"shed\": {}, \"timeouts\": {}, \"other\": {}, ",
+                "\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, ",
+                "\"throughput_rps\": {:.1}, \"shed_rate\": {:.4}}}"
+            ),
+            self.phase,
+            self.clients,
+            secs,
+            total,
+            ok,
+            shed,
+            timeouts,
+            other,
+            Self::percentile_ms(&served, 0.50),
+            Self::percentile_ms(&served, 0.95),
+            Self::percentile_ms(&served, 0.99),
+            total as f64 / secs,
+            shed as f64 / total.max(1) as f64,
+        )
+    }
+}
+
+fn run_phase(
+    addr: SocketAddr,
+    phase: &'static str,
+    clients: usize,
+    duration: Duration,
+    backoff: Duration,
+) -> PhaseReport {
+    let start = Instant::now();
+    let samples = drive(addr, clients, duration, backoff);
+    let report = PhaseReport {
+        phase,
+        clients,
+        wall: start.elapsed(),
+        samples,
+    };
+    println!("  {}", report.to_json());
+    report
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_server.json".to_owned());
+
+    let store = Arc::new(Store::new());
+    let mut tx = store.begin();
+    tx.insert_graph(&par::graph(400));
+    store.commit(tx);
+    let triples = store.len();
+
+    // A small queue so the overload phase genuinely sheds: 16 clients
+    // against 2 workers × (queue of 4) cannot all be admitted.
+    let config = ServerConfig {
+        workers: 2,
+        queue_capacity: 4,
+        pool_threads: 2,
+        default_deadline: Some(Duration::from_secs(10)),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(store.clone(), config).expect("failed to bind");
+    let addr = server.addr();
+    println!("load_gen: serving {triples} triples on {addr}");
+
+    let mut reports = Vec::new();
+
+    // Phase 1 — ramp: 1 → 4 clients warming the path end to end.
+    println!("phase ramp:");
+    for clients in [1usize, 2, 4] {
+        reports.push(run_phase(
+            addr,
+            "ramp",
+            clients,
+            Duration::from_millis(400),
+            Duration::from_millis(50),
+        ));
+    }
+
+    // Phase 2 — sustained: 8 concurrent clients, mixed shapes, while a
+    // churn writer commits mid-run (each commit bumps the epoch and
+    // invalidates the cache).
+    println!("phase sustained (with churn writer):");
+    let stop_writer = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let store = store.clone();
+        let stop = stop_writer.clone();
+        std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                store.insert(Triple::new(
+                    &format!("churn{i}"),
+                    "follows",
+                    &format!("churn{}", i + 1),
+                ));
+                i += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            i
+        })
+    };
+    reports.push(run_phase(
+        addr,
+        "sustained",
+        8,
+        Duration::from_secs(3),
+        Duration::from_millis(50),
+    ));
+    stop_writer.store(true, Ordering::Relaxed);
+    let churn_commits = writer.join().expect("writer panicked");
+
+    // Phase 3 — overload: 16 clients retrying without backoff against
+    // the 2-worker / 4-slot queue; the excess must be shed with 429.
+    println!("phase overload:");
+    let overload = run_phase(addr, "overload", 16, Duration::from_secs(2), Duration::ZERO);
+    let overload_shed = overload.samples.iter().filter(|s| s.status == 429).count();
+    reports.push(overload);
+
+    let metrics_json = server.metrics().to_json();
+    server.shutdown();
+
+    let mut json = String::from("{\n  \"bench\": \"owql-server load_gen\",\n");
+    let _ = writeln!(json, "  \"triples\": {triples},");
+    let _ = writeln!(json, "  \"churn_commits\": {churn_commits},");
+    let _ = writeln!(json, "  \"server_metrics\": {metrics_json},");
+    json.push_str("  \"phases\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&r.to_json());
+        json.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write artifact");
+    println!("wrote {out_path}");
+
+    assert!(
+        overload_shed > 0,
+        "overload phase shed nothing — queue bound not exercised"
+    );
+}

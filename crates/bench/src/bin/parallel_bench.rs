@@ -1,13 +1,13 @@
 //! Parallel-evaluation summary driver: runs the large-graph UNION/NS
 //! workload through the sequential engine and through
-//! `Store::evaluate_parallel` at 1, 2, and 8 workers, and writes
+//! parallel-mode `Engine::run` at 1, 2, and 8 workers, and writes
 //! machine-readable results to `BENCH_parallel.json`.
 //!
 //! ```text
 //! cargo run --release -p owql-bench --bin parallel_bench -- [--quick] [out.json]
 //! ```
 //!
-//! The sequential baseline is today's `Engine::evaluate` over the same
+//! The sequential baseline is today's sequential `Engine::run` over the same
 //! store snapshot; parallel runs go through the `owql-exec` pool. Every
 //! run cross-checks that the parallel answer set equals the sequential
 //! one before timing is reported. `hardware_threads` records the cores
@@ -17,8 +17,9 @@
 //! pool adds wall-clock scaling on top.
 
 use owql_bench::par;
+use owql_eval::ExecOpts;
 use owql_exec::Pool;
-use owql_obs::{Profile, Recorder};
+use owql_obs::Profile;
 use owql_store::{Store, StoreOptions};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -69,30 +70,36 @@ fn measure(people: usize, reps: usize) -> SizeRun {
     ];
     let mut out = Vec::new();
     for (name, q) in queries {
-        let expected = engine.evaluate(&q);
-        let (sequential_ms, answers) = time_ms(reps, || engine.evaluate(&q).len());
+        let run = |opts: &ExecOpts, pool: &Pool| {
+            engine
+                .run(&q, opts, pool)
+                .expect("unlimited budget cannot time out")
+        };
+        let seq_pool = Pool::sequential();
+        let expected = run(&ExecOpts::seq(), &seq_pool).mappings;
+        let (sequential_ms, answers) =
+            time_ms(reps, || run(&ExecOpts::seq(), &seq_pool).mappings.len());
         let mut widths = Vec::new();
         for workers in [1usize, 2, 8] {
             let pool = Pool::new(workers);
             assert_eq!(
-                engine.evaluate_parallel(&q, &pool),
+                run(&ExecOpts::parallel(), &pool).mappings,
                 expected,
                 "parallel answers diverged: {name} at {workers} workers"
             );
-            let (ms, _) = time_ms(reps, || engine.evaluate_parallel(&q, &pool).len());
+            let (ms, _) = time_ms(reps, || run(&ExecOpts::parallel(), &pool).mappings.len());
             widths.push((workers, ms, sequential_ms / ms));
         }
         // One instrumented 8-worker run (outside the timed loops) for
         // the per-operator breakdown embedded in the artifact.
-        let rec = Recorder::new();
-        let traced = engine.evaluate_parallel_traced(&q, &Pool::new(8), &rec);
-        assert_eq!(traced, expected, "traced answers diverged: {name}");
+        let traced = run(&ExecOpts::parallel().traced(), &Pool::new(8));
+        assert_eq!(traced.mappings, expected, "traced answers diverged: {name}");
         out.push(QueryRun {
             query: name,
             answers,
             sequential_ms,
             widths,
-            profile: rec.profile(),
+            profile: traced.profile.expect("traced run has a profile"),
         });
     }
     SizeRun {
@@ -160,7 +167,7 @@ fn main() -> std::io::Result<()> {
     let _ = writeln!(
         json,
         "  \"workload\": \"large-graph UNION/NS suite over the social graph; sequential = \
-         Engine::evaluate, parallel = evaluate_parallel via the owql-exec pool, answers \
+         sequential Engine::run, parallel = ExecMode::Parallel via the owql-exec pool, answers \
          cross-checked equal before timing; per-query profile = one traced 8-worker run\","
     );
     let _ = writeln!(

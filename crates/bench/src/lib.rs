@@ -247,7 +247,16 @@ pub mod par {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use owql_eval::{evaluate, Engine};
+    use owql_eval::{evaluate, Engine, ExecOpts};
+    use owql_exec::Pool;
+    use owql_rdf::GraphIndex;
+
+    fn eval(engine: &Engine<GraphIndex>, p: &Pattern) -> owql_algebra::MappingSet {
+        engine
+            .run(p, &ExecOpts::seq(), &Pool::sequential())
+            .expect("unlimited budget cannot time out")
+            .mappings
+    }
 
     #[test]
     fn workloads_scale_with_parameter() {
@@ -260,7 +269,7 @@ mod tests {
         let g = social(120);
         let engine = Engine::new(&g);
         for (name, p) in fragment_suite() {
-            let out = engine.evaluate(&p);
+            let out = eval(&engine, &p);
             assert!(!out.is_empty(), "{name} produced nothing");
             assert_eq!(out, evaluate(&p, &g), "{name}");
         }
@@ -268,7 +277,6 @@ mod tests {
 
     #[test]
     fn parallel_workload_queries_answer_and_agree() {
-        use owql_exec::Pool;
         let g = par::graph(150);
         let engine = Engine::new(&g);
         let pool = Pool::new(4);
@@ -277,9 +285,13 @@ mod tests {
             ("wide_union", par::wide_union_query()),
             ("spine", par::spine_query()),
         ] {
-            let seq = engine.evaluate(&q);
+            let seq = eval(&engine, &q);
             assert!(!seq.is_empty(), "{name} produced nothing");
-            assert_eq!(engine.evaluate_parallel(&q, &pool), seq, "{name}");
+            let par = engine
+                .run(&q, &ExecOpts::parallel(), &pool)
+                .expect("unlimited budget cannot time out")
+                .mappings;
+            assert_eq!(par, seq, "{name}");
         }
     }
 
@@ -290,7 +302,7 @@ mod tests {
         let g = social(80);
         let engine = Engine::new(&g);
         for (name, opt, ns) in opt_ns_pairs() {
-            assert_eq!(engine.evaluate(&opt), engine.evaluate(&ns), "{name}");
+            assert_eq!(eval(&engine, &opt), eval(&engine, &ns), "{name}");
         }
     }
 }

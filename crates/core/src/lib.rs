@@ -26,7 +26,10 @@
 //!         ((?X, was_born_in, Chile) AND (?X, email, ?E))))",
 //! ).unwrap();
 //!
-//! let answers = Engine::new(&g).evaluate(&p);
+//! let out = Engine::new(&g)
+//!     .run(&p, &ExecOpts::seq(), &Pool::sequential())
+//!     .unwrap();
+//! let answers = out.mappings;
 //! assert_eq!(answers.len(), 1);
 //! assert!(answers.contains(&Mapping::from_str_pairs(&[
 //!     ("X", "Juan"), ("E", "juan@puc.cl"),
@@ -51,6 +54,7 @@
 //! | [`store`] | `owql-store` | versioned concurrent triple store: epochs, snapshots, delta compaction, epoch-keyed query cache |
 //! | [`exec`] | `owql-exec` | scoped work-stealing thread pool behind parallel evaluation |
 //! | [`obs`] | `owql-obs` | span tracing, per-operator metrics, unified JSON profiles, EXPLAIN ANALYZE plumbing |
+//! | [`server`] | `owql-server` | dependency-free HTTP/1.1 query server: bounded admission, per-request deadlines, snapshot isolation |
 
 pub use owql_algebra as algebra;
 pub use owql_eval as eval;
@@ -59,6 +63,7 @@ pub use owql_logic as logic;
 pub use owql_obs as obs;
 pub use owql_parser as parser;
 pub use owql_rdf as rdf;
+pub use owql_server as server;
 pub use owql_store as store;
 pub use owql_theory as theory;
 
@@ -68,12 +73,15 @@ pub mod prelude {
     pub use owql_algebra::condition::Condition;
     pub use owql_algebra::pattern::{tp, Pattern, TriplePattern};
     pub use owql_algebra::{ConstructQuery, Mapping, MappingSet, Variable};
-    pub use owql_eval::{construct, evaluate, AnnotatedPlan, Engine};
+    pub use owql_eval::{
+        construct, evaluate, AnnotatedPlan, Engine, EvalError, ExecMode, ExecOpts, RunOutcome,
+    };
     pub use owql_exec::Pool;
     pub use owql_obs::{Profile, Recorder};
     pub use owql_parser::{parse_construct, parse_pattern};
     pub use owql_rdf::{Graph, GraphIndex, Iri, SnapshotIndex, Triple, TripleLookup};
-    pub use owql_store::{Snapshot, Store, StoreOptions};
+    pub use owql_server::{Server, ServerConfig};
+    pub use owql_store::{QueryOutcome, QueryRequest, Snapshot, Store, StoreOptions};
 }
 
 #[cfg(test)]
@@ -85,6 +93,9 @@ mod tests {
         let g: Graph = [Triple::new("a", "p", "b")].into_iter().collect();
         let p = parse_pattern("(?x, p, ?y)").unwrap();
         assert_eq!(evaluate(&p, &g).len(), 1);
-        assert_eq!(Engine::new(&g).evaluate(&p).len(), 1);
+        let out = Engine::new(&g)
+            .run(&p, &ExecOpts::seq(), &Pool::sequential())
+            .unwrap();
+        assert_eq!(out.mappings.len(), 1);
     }
 }

@@ -37,7 +37,14 @@ pub fn construct(query: &ConstructQuery, graph: &Graph) -> Graph {
 /// Evaluates `ans(Q, G)` with the indexed engine.
 pub fn construct_indexed(query: &ConstructQuery, graph: &Graph) -> Graph {
     let engine = crate::engine::Engine::new(graph);
-    instantiate_template(query, &engine.evaluate(&query.pattern))
+    let out = engine
+        .run(
+            &query.pattern,
+            &crate::run::ExecOpts::seq(),
+            &owql_exec::Pool::sequential(),
+        )
+        .expect("unlimited budget cannot time out");
+    instantiate_template(query, &out.mappings)
 }
 
 #[cfg(test)]

@@ -14,8 +14,22 @@
 //! * non-triple conjuncts of a spine are evaluated recursively and
 //!   hash-joined in.
 //!
+//! The single entry point is [`Engine::run`]: the execution strategy —
+//! sequential or pool-parallel scheduling, span tracing, the static
+//! optimizer, a cooperative deadline — is selected by an
+//! [`ExecOpts`] value, not by the method name. The historical method
+//! matrix (`evaluate`, `evaluate_parallel`, `evaluate_traced`,
+//! `evaluate_parallel_traced`, and the `_optimized` twins) survives as
+//! `#[deprecated]` one-line wrappers.
+//!
+//! Every evaluation path threads an [`EvalBudget`] and checks it
+//! between operators (and every `BUDGET_CHECK_STRIDE` candidate
+//! bindings inside the nested-loop joins), so a run with a deadline
+//! unwinds with [`EvalError::Timeout`] instead of hanging.
+//!
 //! The `engine_ablation` benchmark quantifies each of these choices.
 
+use crate::run::{EvalBudget, EvalError, ExecMode, ExecOpts, RunOutcome, BUDGET_CHECK_STRIDE};
 use owql_algebra::mapping::Mapping;
 use owql_algebra::mapping_set::MappingSet;
 use owql_algebra::normal_form::union_spine;
@@ -41,18 +55,23 @@ const MIN_BINDINGS_PER_WORKER: usize = 2;
 /// while leaving genuinely wide spines fanned out.
 const MIN_BINDINGS_PER_CHUNK: usize = 4096;
 
+/// Expect-message for unwrapping runs made with an unlimited budget.
+const NO_BUDGET: &str = "unlimited budget cannot time out";
+
 /// An indexed engine bound to one graph (or any [`TripleLookup`]
 /// backend — see [`Engine::for_snapshot`] for evaluation over the live
 /// snapshots of `owql-store`).
 ///
 /// ```
 /// use owql_algebra::pattern::Pattern;
-/// use owql_eval::Engine;
+/// use owql_eval::{Engine, ExecOpts};
+/// use owql_exec::Pool;
 /// use owql_rdf::datasets::figure_1;
 /// let g = figure_1();
 /// let engine = Engine::new(&g);
 /// let p = Pattern::t("?p", "founder", "The_Pirate_Bay");
-/// assert_eq!(engine.evaluate(&p).len(), 3);
+/// let out = engine.run(&p, &ExecOpts::seq(), &Pool::sequential()).unwrap();
+/// assert_eq!(out.mappings.len(), 3);
 /// ```
 #[derive(Debug)]
 pub struct Engine<I: TripleLookup = GraphIndex> {
@@ -99,36 +118,60 @@ impl<I: TripleLookup> Engine<I> {
         crate::plan::plan(pattern, &self.index)
     }
 
-    /// Runs the static optimizer ([`crate::optimize::optimize`]) and
-    /// evaluates the result — the recommended entry point for
-    /// user-supplied queries.
+    /// Runs the static optimizer and evaluates the result.
+    #[deprecated(note = "use Engine::run with ExecOpts::seq().optimized()")]
     pub fn evaluate_optimized(&self, pattern: &Pattern) -> MappingSet {
-        self.evaluate(&crate::optimize::optimize(pattern))
+        self.try_evaluate(
+            &crate::optimize::optimize(pattern),
+            &EvalBudget::unlimited(),
+        )
+        .expect(NO_BUDGET)
     }
 
     /// Evaluates `⟦P⟧G` over the bound graph.
+    #[deprecated(note = "use Engine::run with ExecOpts::seq()")]
     pub fn evaluate(&self, pattern: &Pattern) -> MappingSet {
-        match pattern {
+        self.try_evaluate(pattern, &EvalBudget::unlimited())
+            .expect(NO_BUDGET)
+    }
+
+    /// Sequential `⟦P⟧G` under a cooperative `budget`.
+    fn try_evaluate(
+        &self,
+        pattern: &Pattern,
+        budget: &EvalBudget,
+    ) -> Result<MappingSet, EvalError> {
+        budget.check()?;
+        Ok(match pattern {
             Pattern::Triple(_) | Pattern::And(..) => {
                 let (triples, others) = spine_parts(pattern);
-                let sub: Vec<MappingSet> = others.iter().map(|p| self.evaluate(p)).collect();
+                let sub: Vec<MappingSet> = others
+                    .iter()
+                    .map(|p| self.try_evaluate(p, budget))
+                    .collect::<Result<_, _>>()?;
                 let (current, bound) = seed_spine(sub);
-                self.join_spine(current, triples, bound)
+                self.join_spine(current, triples, bound, budget)?
             }
-            Pattern::Opt(a, b) => self.evaluate(a).left_outer_join(&self.evaluate(b)),
-            Pattern::Union(a, b) => self.evaluate(a).union(&self.evaluate(b)),
-            Pattern::Select(vars, p) => self.evaluate(p).project(vars),
-            Pattern::Filter(p, r) => self.evaluate(p).filter(r),
-            Pattern::Ns(p) => self.evaluate(p).maximal(),
-            Pattern::Minus(a, b) => self.evaluate(a).difference(&self.evaluate(b)),
-        }
+            Pattern::Opt(a, b) => self
+                .try_evaluate(a, budget)?
+                .left_outer_join(&self.try_evaluate(b, budget)?),
+            Pattern::Union(a, b) => self
+                .try_evaluate(a, budget)?
+                .union(&self.try_evaluate(b, budget)?),
+            Pattern::Select(vars, p) => self.try_evaluate(p, budget)?.project(vars),
+            Pattern::Filter(p, r) => self.try_evaluate(p, budget)?.filter(r),
+            Pattern::Ns(p) => self.try_evaluate(p, budget)?.maximal(),
+            Pattern::Minus(a, b) => self
+                .try_evaluate(a, budget)?
+                .difference(&self.try_evaluate(b, budget)?),
+        })
     }
 
     /// The greedy index nested-loop join over the triple patterns of a
     /// flattened `AND`-spine, from an already-seeded candidate set.
     ///
     /// This is the shared seam of the sequential and parallel engines:
-    /// [`Engine::evaluate`] calls it once over the full seed, the
+    /// [`Engine::try_evaluate`] calls it once over the full seed, the
     /// parallel spine partitioner calls it per candidate chunk. `bound`
     /// tracks statically-bound variables — an *ordering heuristic* only
     /// (a variable bound in *some* mapping still constrains matching
@@ -139,12 +182,17 @@ impl<I: TripleLookup> Engine<I> {
         mut current: Vec<Mapping>,
         mut triples: Vec<TriplePattern>,
         mut bound: BTreeSet<Variable>,
-    ) -> MappingSet {
+        budget: &EvalBudget,
+    ) -> Result<MappingSet, EvalError> {
         while !triples.is_empty() {
+            budget.check()?;
             let next_idx = self.pick_next(&triples, &bound);
             let t = triples.swap_remove(next_idx);
             let mut next: Vec<Mapping> = Vec::new();
-            for m in &current {
+            for (i, m) in current.iter().enumerate() {
+                if i % BUDGET_CHECK_STRIDE == BUDGET_CHECK_STRIDE - 1 {
+                    budget.check()?;
+                }
                 self.extend_matches(t, m, &mut next);
             }
             // Set semantics: dedup.
@@ -152,10 +200,10 @@ impl<I: TripleLookup> Engine<I> {
             current = set.into_iter().collect();
             bound.extend(t.vars());
             if current.is_empty() {
-                return MappingSet::new();
+                return Ok(MappingSet::new());
             }
         }
-        current.into_iter().collect()
+        Ok(current.into_iter().collect())
     }
 
     /// Greedy choice: fewest variables not yet bound, breaking ties by
@@ -199,9 +247,9 @@ impl<I: TripleLookup> Engine<I> {
     }
 }
 
-/// Parallel evaluation over a pool of workers — available whenever the
-/// lookup backend is shareable across threads (`GraphIndex` and the
-/// store's `SnapshotIndex` both are).
+/// The unified entry point, plus parallel evaluation over a pool of
+/// workers — available whenever the lookup backend is shareable across
+/// threads (`GraphIndex` and the store's `SnapshotIndex` both are).
 ///
 /// Three operator shapes fan out, mirroring the independence structure
 /// of the semantics:
@@ -219,57 +267,115 @@ impl<I: TripleLookup> Engine<I> {
 ///   [`MappingSet::maximal_parallel`] (domain-grouped shadow sets, or
 ///   pairwise comparison blocked into tiles across workers).
 ///
-/// A 1-thread pool short-circuits to the sequential [`Engine::evaluate`],
-/// and every width is held to exact agreement with it by differential
-/// tests here and in `tests/integration_parallel.rs`.
+/// A 1-thread pool short-circuits to the sequential path, and every
+/// width is held to exact agreement with it by differential tests here
+/// and in `tests/integration_parallel.rs`.
 impl<I: TripleLookup + Sync> Engine<I> {
-    /// Evaluates `⟦P⟧G` across `pool`'s workers. Agrees exactly with
-    /// [`Engine::evaluate`] at every pool width.
+    /// Evaluates `⟦P⟧G` under `opts` — THE entry point; every other
+    /// evaluation method on `Engine`, `Store`, and `Snapshot` is a thin
+    /// wrapper over it.
+    ///
+    /// `pool` is only consulted in [`ExecMode::Parallel`]; pass
+    /// [`Pool::sequential`] for sequential runs. The outcome carries a
+    /// [`owql_obs::Profile`] iff `opts.trace` is set. A set
+    /// `opts.deadline` turns a long evaluation into
+    /// [`EvalError::Timeout`] instead of an open-ended hang;
+    /// `opts.cache` is ignored here (the bare engine has no cache —
+    /// see `Store::query_request`).
+    pub fn run(
+        &self,
+        pattern: &Pattern,
+        opts: &ExecOpts,
+        pool: &Pool,
+    ) -> Result<RunOutcome, EvalError> {
+        let budget = EvalBudget::from_opts(opts);
+        let optimized;
+        let pattern = if opts.optimize {
+            optimized = crate::optimize::optimize(pattern);
+            &optimized
+        } else {
+            pattern
+        };
+        let rec = if opts.trace {
+            Recorder::new()
+        } else {
+            Recorder::disabled()
+        };
+        let parallel = opts.mode == ExecMode::Parallel && pool.threads() > 1;
+        let mappings = match (parallel, opts.trace) {
+            (false, false) => self.try_evaluate(pattern, &budget)?,
+            (false, true) => self.try_eval_traced(pattern, &rec, SpanId::ROOT, &budget)?,
+            (true, false) => self.try_eval_par(pattern, pool, &budget)?,
+            (true, true) => self.try_eval_par_traced(pattern, pool, &rec, SpanId::ROOT, &budget)?,
+        };
+        Ok(RunOutcome {
+            mappings,
+            profile: opts.trace.then(|| rec.profile()),
+        })
+    }
+
+    /// Evaluates `⟦P⟧G` across `pool`'s workers.
+    #[deprecated(note = "use Engine::run with ExecOpts::parallel()")]
     pub fn evaluate_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
-        if pool.threads() == 1 {
-            return self.evaluate(pattern);
-        }
-        self.eval_par(pattern, pool)
+        self.run(pattern, &ExecOpts::parallel(), pool)
+            .expect(NO_BUDGET)
+            .mappings
     }
 
-    /// Optimizer + parallel evaluation: the parallel counterpart of
-    /// [`Engine::evaluate_optimized`], funnelling through the same
-    /// optimize-then-dispatch seam.
+    /// Optimizer + parallel evaluation.
+    #[deprecated(note = "use Engine::run with ExecOpts::parallel().optimized()")]
     pub fn evaluate_optimized_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
-        self.evaluate_parallel(&crate::optimize::optimize(pattern), pool)
+        self.run(pattern, &ExecOpts::parallel().optimized(), pool)
+            .expect(NO_BUDGET)
+            .mappings
     }
 
-    fn eval_par(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
-        match pattern {
+    fn try_eval_par(
+        &self,
+        pattern: &Pattern,
+        pool: &Pool,
+        budget: &EvalBudget,
+    ) -> Result<MappingSet, EvalError> {
+        budget.check()?;
+        Ok(match pattern {
             Pattern::Triple(_) | Pattern::And(..) => {
                 let (triples, others) = spine_parts(pattern);
-                self.evaluate_spine_parallel(triples, &others, pool)
+                self.evaluate_spine_parallel(triples, &others, pool, budget)?
             }
             Pattern::Union(..) => {
                 let disjuncts = union_spine(pattern);
-                let parts = pool.map(&disjuncts, |d| self.eval_par(d, pool));
-                MappingSet::union_all(parts)
+                let parts = pool.map(&disjuncts, |d| self.try_eval_par(d, pool, budget));
+                MappingSet::union_all(parts.into_iter().collect::<Result<Vec<_>, _>>()?)
             }
             Pattern::Opt(a, b) => {
-                let [left, right] = self.eval_both(a, b, pool);
+                let [left, right] = self.eval_both(a, b, pool, budget)?;
                 left.left_outer_join(&right)
             }
             Pattern::Minus(a, b) => {
-                let [left, right] = self.eval_both(a, b, pool);
+                let [left, right] = self.eval_both(a, b, pool, budget)?;
                 left.difference(&right)
             }
-            Pattern::Select(vars, p) => self.eval_par(p, pool).project(vars),
-            Pattern::Filter(p, r) => self.eval_par(p, pool).filter(r),
-            Pattern::Ns(p) => self.eval_par(p, pool).maximal_parallel(pool),
-        }
+            Pattern::Select(vars, p) => self.try_eval_par(p, pool, budget)?.project(vars),
+            Pattern::Filter(p, r) => self.try_eval_par(p, pool, budget)?.filter(r),
+            Pattern::Ns(p) => self.try_eval_par(p, pool, budget)?.maximal_parallel(pool),
+        })
     }
 
     /// Evaluates two independent subpatterns, one per worker.
-    fn eval_both(&self, a: &Pattern, b: &Pattern, pool: &Pool) -> [MappingSet; 2] {
-        let mut results = pool.map(&[a, b], |p| self.eval_par(p, pool));
+    fn eval_both(
+        &self,
+        a: &Pattern,
+        b: &Pattern,
+        pool: &Pool,
+        budget: &EvalBudget,
+    ) -> Result<[MappingSet; 2], EvalError> {
+        let mut results = pool
+            .map(&[a, b], |p| self.try_eval_par(p, pool, budget))
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         let right = results.pop().expect("two results");
         let left = results.pop().expect("two results");
-        [left, right]
+        Ok([left, right])
     }
 
     /// The partitioned AND-spine: seed from the non-triple conjuncts
@@ -281,8 +387,12 @@ impl<I: TripleLookup + Sync> Engine<I> {
         mut triples: Vec<TriplePattern>,
         others: &[&Pattern],
         pool: &Pool,
-    ) -> MappingSet {
-        let sub = pool.map(others, |p| self.eval_par(p, pool));
+        budget: &EvalBudget,
+    ) -> Result<MappingSet, EvalError> {
+        let sub = pool
+            .map(others, |p| self.try_eval_par(p, pool, budget))
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         let (mut current, mut bound) = seed_spine(sub);
 
         // Ramp-up: a seed of one empty mapping (or a handful of
@@ -291,6 +401,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
         // sequential engine does, and it manufactures the fan-out.
         let target = pool.threads() * MIN_BINDINGS_PER_WORKER;
         while !triples.is_empty() && current.len() < target {
+            budget.check()?;
             let next_idx = self.pick_next(&triples, &bound);
             let t = triples.swap_remove(next_idx);
             let mut next: Vec<Mapping> = Vec::new();
@@ -301,11 +412,11 @@ impl<I: TripleLookup + Sync> Engine<I> {
             current = set.into_iter().collect();
             bound.extend(t.vars());
             if current.is_empty() {
-                return MappingSet::new();
+                return Ok(MappingSet::new());
             }
         }
         if triples.is_empty() {
-            return current.into_iter().collect();
+            return Ok(current.into_iter().collect());
         }
 
         // Partition: chunks share the global `bound`, so each worker
@@ -317,7 +428,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
         // overhead and per-chunk dedup would outweigh the fan-out.
         let max_chunks = current.len() / MIN_BINDINGS_PER_CHUNK;
         if max_chunks < 2 {
-            return self.join_spine(current, triples, bound);
+            return self.join_spine(current, triples, bound, budget);
         }
         let ranges = chunk_ranges(current.len(), max_chunks.min(pool.threads() * 4));
         let chunks: Vec<&[Mapping]> = ranges
@@ -325,31 +436,36 @@ impl<I: TripleLookup + Sync> Engine<I> {
             .map(|(lo, hi)| &current[lo..hi])
             .collect();
         let parts = pool.map(&chunks, |chunk| {
-            self.join_spine(chunk.to_vec(), triples.clone(), bound.clone())
+            self.join_spine(chunk.to_vec(), triples.clone(), bound.clone(), budget)
         });
-        MappingSet::union_all(parts)
+        Ok(MappingSet::union_all(
+            parts.into_iter().collect::<Result<Vec<_>, _>>()?,
+        ))
     }
 }
 
 /// Instrumented (traced) evaluation — the observability path.
 ///
-/// `evaluate_traced` mirrors [`Engine::evaluate`] operator for
+/// `try_eval_traced` mirrors the plain sequential path operator for
 /// operator, recording one [`owql_obs::Span`] per algebra node (kind,
 /// label, input/output cardinality, wall time) plus one `SCAN` span
 /// per index nested-loop step, into a caller-supplied
-/// [`Recorder`]. A **disabled** recorder short-circuits straight to
-/// the uninstrumented path at the entry point, so carrying the traced
-/// API costs nothing when tracing is off; differential tests
-/// (`tests/integration_obs.rs`) hold both paths to exact answer
-/// agreement at widths 1 and 8.
+/// [`Recorder`]. A **disabled** recorder records nothing and skips all
+/// clock reads, so carrying the traced API costs almost nothing when
+/// tracing is off; differential tests (`tests/integration_obs.rs`)
+/// hold both paths to exact answer agreement at widths 1 and 8.
 impl<I: TripleLookup> Engine<I> {
     /// Evaluates `⟦P⟧G`, recording one span per operator node into
-    /// `rec`. Answer-identical to [`Engine::evaluate`].
+    /// `rec`.
+    #[deprecated(note = "use Engine::run with ExecOpts::seq().traced()")]
     pub fn evaluate_traced(&self, pattern: &Pattern, rec: &Recorder) -> MappingSet {
         if !rec.is_enabled() {
-            return self.evaluate(pattern);
+            return self
+                .try_evaluate(pattern, &EvalBudget::unlimited())
+                .expect(NO_BUDGET);
         }
-        self.eval_traced(pattern, rec, SpanId::ROOT)
+        self.try_eval_traced(pattern, rec, SpanId::ROOT, &EvalBudget::unlimited())
+            .expect(NO_BUDGET)
     }
 
     /// Runs the query and returns the plan annotated with the observed
@@ -358,11 +474,21 @@ impl<I: TripleLookup> Engine<I> {
     /// [`Engine::explain`] stays the purely static EXPLAIN.)
     pub fn explain_analyze(&self, pattern: &Pattern) -> crate::plan::AnnotatedPlan {
         let rec = Recorder::new();
-        let answers = self.evaluate_traced(pattern, &rec).len();
+        let answers = self
+            .try_eval_traced(pattern, &rec, SpanId::ROOT, &EvalBudget::unlimited())
+            .expect(NO_BUDGET)
+            .len();
         crate::plan::annotate(&rec.spans(), answers)
     }
 
-    fn eval_traced(&self, pattern: &Pattern, rec: &Recorder, parent: SpanId) -> MappingSet {
+    fn try_eval_traced(
+        &self,
+        pattern: &Pattern,
+        rec: &Recorder,
+        parent: SpanId,
+        budget: &EvalBudget,
+    ) -> Result<MappingSet, EvalError> {
+        budget.check()?;
         let id = rec.begin();
         let timer = rec.timer();
         let (label, rows_in, out) = match pattern {
@@ -371,19 +497,19 @@ impl<I: TripleLookup> Engine<I> {
                 let label = spine_label(triples.len(), others.len());
                 let sub: Vec<MappingSet> = others
                     .iter()
-                    .map(|p| self.eval_traced(p, rec, id))
-                    .collect();
+                    .map(|p| self.try_eval_traced(p, rec, id, budget))
+                    .collect::<Result<_, _>>()?;
                 let (current, bound) = seed_spine(sub);
                 let seeded = current.len() as u64;
                 (
                     label,
                     Some(seeded),
-                    self.join_spine_traced(current, triples, bound, rec, id),
+                    self.join_spine_traced(current, triples, bound, rec, id, budget)?,
                 )
             }
             Pattern::Opt(a, b) => {
-                let left = self.eval_traced(a, rec, id);
-                let right = self.eval_traced(b, rec, id);
+                let left = self.try_eval_traced(a, rec, id, budget)?;
+                let right = self.try_eval_traced(b, rec, id, budget)?;
                 let rows_in = left.len() as u64;
                 (
                     "left outer join".to_owned(),
@@ -392,13 +518,13 @@ impl<I: TripleLookup> Engine<I> {
                 )
             }
             Pattern::Union(a, b) => {
-                let left = self.eval_traced(a, rec, id);
-                let right = self.eval_traced(b, rec, id);
+                let left = self.try_eval_traced(a, rec, id, budget)?;
+                let right = self.try_eval_traced(b, rec, id, budget)?;
                 ("union".to_owned(), None, left.union(&right))
             }
             Pattern::Minus(a, b) => {
-                let left = self.eval_traced(a, rec, id);
-                let right = self.eval_traced(b, rec, id);
+                let left = self.try_eval_traced(a, rec, id, budget)?;
+                let right = self.try_eval_traced(b, rec, id, budget)?;
                 let rows_in = left.len() as u64;
                 (
                     "difference".to_owned(),
@@ -407,17 +533,17 @@ impl<I: TripleLookup> Engine<I> {
                 )
             }
             Pattern::Select(vars, p) => {
-                let inner = self.eval_traced(p, rec, id);
+                let inner = self.try_eval_traced(p, rec, id, budget)?;
                 let rows_in = inner.len() as u64;
                 (project_label(vars), Some(rows_in), inner.project(vars))
             }
             Pattern::Filter(p, r) => {
-                let inner = self.eval_traced(p, rec, id);
+                let inner = self.try_eval_traced(p, rec, id, budget)?;
                 let rows_in = inner.len() as u64;
                 (format!("filter {r}"), Some(rows_in), inner.filter(r))
             }
             Pattern::Ns(p) => {
-                let inner = self.eval_traced(p, rec, id);
+                let inner = self.try_eval_traced(p, rec, id, budget)?;
                 let candidates = inner.len() as u64;
                 let out = inner.maximal();
                 rec.record_ns(candidates, out.len() as u64);
@@ -433,12 +559,13 @@ impl<I: TripleLookup> Engine<I> {
             out.len() as u64,
             &timer,
         );
-        out
+        Ok(out)
     }
 
     /// [`Engine::join_spine`] with one `SCAN` span per nested-loop
     /// step: input candidates in, deduplicated bindings out — the
     /// per-join cardinalities EXPLAIN ANALYZE reports.
+    #[allow(clippy::too_many_arguments)]
     fn join_spine_traced(
         &self,
         mut current: Vec<Mapping>,
@@ -446,15 +573,20 @@ impl<I: TripleLookup> Engine<I> {
         mut bound: BTreeSet<Variable>,
         rec: &Recorder,
         parent: SpanId,
-    ) -> MappingSet {
+        budget: &EvalBudget,
+    ) -> Result<MappingSet, EvalError> {
         while !triples.is_empty() {
+            budget.check()?;
             let next_idx = self.pick_next(&triples, &bound);
             let t = triples.swap_remove(next_idx);
             let id = rec.begin();
             let timer = rec.timer();
             let rows_in = current.len() as u64;
             let mut next: Vec<Mapping> = Vec::new();
-            for m in &current {
+            for (i, m) in current.iter().enumerate() {
+                if i % BUDGET_CHECK_STRIDE == BUDGET_CHECK_STRIDE - 1 {
+                    budget.check()?;
+                }
                 self.extend_matches(t, m, &mut next);
             }
             let set: MappingSet = next.into_iter().collect();
@@ -470,33 +602,38 @@ impl<I: TripleLookup> Engine<I> {
                 &timer,
             );
             if current.is_empty() {
-                return MappingSet::new();
+                return Ok(MappingSet::new());
             }
         }
-        current.into_iter().collect()
+        Ok(current.into_iter().collect())
     }
 }
 
-/// Instrumented parallel evaluation: [`Engine::evaluate_parallel`]
-/// with spans, NS pruning counters, and per-worker pool stats (via
+/// Instrumented parallel evaluation: the parallel operators with spans,
+/// NS pruning counters, and per-worker pool stats (via
 /// [`Pool::map_profiled`]) recorded into a shared [`Recorder`].
 impl<I: TripleLookup + Sync> Engine<I> {
     /// Evaluates `⟦P⟧G` across `pool`'s workers, recording operator
-    /// spans and worker stats into `rec`. Answer-identical to
-    /// [`Engine::evaluate_parallel`] at every width.
+    /// spans and worker stats into `rec`.
+    #[deprecated(note = "use Engine::run with ExecOpts::parallel().traced()")]
     pub fn evaluate_parallel_traced(
         &self,
         pattern: &Pattern,
         pool: &Pool,
         rec: &Recorder,
     ) -> MappingSet {
+        let budget = EvalBudget::unlimited();
         if !rec.is_enabled() {
+            #[allow(deprecated)]
             return self.evaluate_parallel(pattern, pool);
         }
         if pool.threads() == 1 {
-            return self.eval_traced(pattern, rec, SpanId::ROOT);
+            return self
+                .try_eval_traced(pattern, rec, SpanId::ROOT, &budget)
+                .expect(NO_BUDGET);
         }
-        self.eval_par_traced_at(pattern, pool, rec, SpanId::ROOT)
+        self.try_eval_par_traced(pattern, pool, rec, SpanId::ROOT, &budget)
+            .expect(NO_BUDGET)
     }
 
     /// [`Engine::explain_analyze`] over the parallel engine: the
@@ -507,18 +644,22 @@ impl<I: TripleLookup + Sync> Engine<I> {
         pattern: &Pattern,
         pool: &Pool,
     ) -> crate::plan::AnnotatedPlan {
-        let rec = Recorder::new();
-        let answers = self.evaluate_parallel_traced(pattern, pool, &rec).len();
-        crate::plan::annotate(&rec.spans(), answers)
+        let outcome = self
+            .run(pattern, &ExecOpts::parallel().traced(), pool)
+            .expect(NO_BUDGET);
+        let profile = outcome.profile.expect("traced run has a profile");
+        crate::plan::annotate(&profile.spans, outcome.mappings.len())
     }
 
-    fn eval_par_traced_at(
+    fn try_eval_par_traced(
         &self,
         pattern: &Pattern,
         pool: &Pool,
         rec: &Recorder,
         parent: SpanId,
-    ) -> MappingSet {
+        budget: &EvalBudget,
+    ) -> Result<MappingSet, EvalError> {
+        budget.check()?;
         let id = rec.begin();
         let timer = rec.timer();
         let (label, rows_in, out) = match pattern {
@@ -526,19 +667,22 @@ impl<I: TripleLookup + Sync> Engine<I> {
                 let (triples, others) = spine_parts(pattern);
                 let label = spine_label(triples.len(), others.len());
                 let (rows_in, out) =
-                    self.evaluate_spine_parallel_traced(triples, &others, pool, rec, id);
+                    self.evaluate_spine_parallel_traced(triples, &others, pool, rec, id, budget)?;
                 (label, rows_in, out)
             }
             Pattern::Union(..) => {
                 let disjuncts = union_spine(pattern);
                 let label = format!("union of {} disjuncts", disjuncts.len());
-                let parts = pool.map_profiled(&disjuncts, rec, |d| {
-                    self.eval_par_traced_at(d, pool, rec, id)
-                });
+                let parts = pool
+                    .map_profiled(&disjuncts, rec, |d| {
+                        self.try_eval_par_traced(d, pool, rec, id, budget)
+                    })
+                    .into_iter()
+                    .collect::<Result<Vec<_>, _>>()?;
                 (label, None, MappingSet::union_all(parts))
             }
             Pattern::Opt(a, b) => {
-                let [left, right] = self.eval_both_traced(a, b, pool, rec, id);
+                let [left, right] = self.eval_both_traced(a, b, pool, rec, id, budget)?;
                 let rows_in = left.len() as u64;
                 (
                     "left outer join".to_owned(),
@@ -547,7 +691,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
                 )
             }
             Pattern::Minus(a, b) => {
-                let [left, right] = self.eval_both_traced(a, b, pool, rec, id);
+                let [left, right] = self.eval_both_traced(a, b, pool, rec, id, budget)?;
                 let rows_in = left.len() as u64;
                 (
                     "difference".to_owned(),
@@ -556,17 +700,17 @@ impl<I: TripleLookup + Sync> Engine<I> {
                 )
             }
             Pattern::Select(vars, p) => {
-                let inner = self.eval_par_traced_at(p, pool, rec, id);
+                let inner = self.try_eval_par_traced(p, pool, rec, id, budget)?;
                 let rows_in = inner.len() as u64;
                 (project_label(vars), Some(rows_in), inner.project(vars))
             }
             Pattern::Filter(p, r) => {
-                let inner = self.eval_par_traced_at(p, pool, rec, id);
+                let inner = self.try_eval_par_traced(p, pool, rec, id, budget)?;
                 let rows_in = inner.len() as u64;
                 (format!("filter {r}"), Some(rows_in), inner.filter(r))
             }
             Pattern::Ns(p) => {
-                let inner = self.eval_par_traced_at(p, pool, rec, id);
+                let inner = self.try_eval_par_traced(p, pool, rec, id, budget)?;
                 let candidates = inner.len() as u64;
                 let out = inner.maximal_parallel(pool);
                 rec.record_ns(candidates, out.len() as u64);
@@ -586,7 +730,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
             out.len() as u64,
             &timer,
         );
-        out
+        Ok(out)
     }
 
     /// Evaluates two independent subpatterns, one per worker, tracing
@@ -598,13 +742,17 @@ impl<I: TripleLookup + Sync> Engine<I> {
         pool: &Pool,
         rec: &Recorder,
         parent: SpanId,
-    ) -> [MappingSet; 2] {
-        let mut results = pool.map_profiled(&[a, b], rec, |p| {
-            self.eval_par_traced_at(p, pool, rec, parent)
-        });
+        budget: &EvalBudget,
+    ) -> Result<[MappingSet; 2], EvalError> {
+        let mut results = pool
+            .map_profiled(&[a, b], rec, |p| {
+                self.try_eval_par_traced(p, pool, rec, parent, budget)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         let right = results.pop().expect("two results");
         let left = results.pop().expect("two results");
-        [left, right]
+        Ok([left, right])
     }
 
     /// [`Engine::evaluate_spine_parallel`] with tracing: ramp-up steps
@@ -612,6 +760,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
     /// tail records one `SCAN` span summarizing the fan-out (chunks ×
     /// remaining steps) so per-chunk noise stays out of the plan.
     /// Returns `(seeded candidate count, result)`.
+    #[allow(clippy::type_complexity)]
     fn evaluate_spine_parallel_traced(
         &self,
         mut triples: Vec<TriplePattern>,
@@ -619,15 +768,20 @@ impl<I: TripleLookup + Sync> Engine<I> {
         pool: &Pool,
         rec: &Recorder,
         parent: SpanId,
-    ) -> (Option<u64>, MappingSet) {
-        let sub = pool.map_profiled(others, rec, |p| {
-            self.eval_par_traced_at(p, pool, rec, parent)
-        });
+        budget: &EvalBudget,
+    ) -> Result<(Option<u64>, MappingSet), EvalError> {
+        let sub = pool
+            .map_profiled(others, rec, |p| {
+                self.try_eval_par_traced(p, pool, rec, parent, budget)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         let (mut current, mut bound) = seed_spine(sub);
         let seeded = Some(current.len() as u64);
 
         let target = pool.threads() * MIN_BINDINGS_PER_WORKER;
         while !triples.is_empty() && current.len() < target {
+            budget.check()?;
             let next_idx = self.pick_next(&triples, &bound);
             let t = triples.swap_remove(next_idx);
             let id = rec.begin();
@@ -650,19 +804,19 @@ impl<I: TripleLookup + Sync> Engine<I> {
                 &timer,
             );
             if current.is_empty() {
-                return (seeded, MappingSet::new());
+                return Ok((seeded, MappingSet::new()));
             }
         }
         if triples.is_empty() {
-            return (seeded, current.into_iter().collect());
+            return Ok((seeded, current.into_iter().collect()));
         }
 
         let max_chunks = current.len() / MIN_BINDINGS_PER_CHUNK;
         if max_chunks < 2 {
             // Sequential fallback (small candidate set): trace each
             // remaining step exactly like the sequential engine.
-            let out = self.join_spine_traced(current, triples, bound, rec, parent);
-            return (seeded, out);
+            let out = self.join_spine_traced(current, triples, bound, rec, parent, budget)?;
+            return Ok((seeded, out));
         }
         let id = rec.begin();
         let timer = rec.timer();
@@ -674,9 +828,12 @@ impl<I: TripleLookup + Sync> Engine<I> {
             .into_iter()
             .map(|(lo, hi)| &current[lo..hi])
             .collect();
-        let parts = pool.map_profiled(&chunks, rec, |chunk| {
-            self.join_spine(chunk.to_vec(), triples.clone(), bound.clone())
-        });
+        let parts = pool
+            .map_profiled(&chunks, rec, |chunk| {
+                self.join_spine(chunk.to_vec(), triples.clone(), bound.clone(), budget)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         let out = MappingSet::union_all(parts);
         rec.record_span(
             id,
@@ -687,7 +844,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
             out.len() as u64,
             &timer,
         );
-        (seeded, out)
+        Ok((seeded, out))
     }
 }
 
@@ -776,6 +933,27 @@ mod tests {
     use owql_algebra::random::{random_pattern, PatternConfig};
     use owql_rdf::datasets::figure_1;
     use owql_rdf::generate;
+    use std::time::Duration;
+
+    /// Sequential `run` shorthand for the tests below.
+    fn eval<I: TripleLookup + Sync>(engine: &Engine<I>, p: &Pattern) -> MappingSet {
+        engine
+            .run(p, &ExecOpts::seq(), &Pool::sequential())
+            .expect(NO_BUDGET)
+            .mappings
+    }
+
+    /// Parallel `run` shorthand.
+    fn eval_par<I: TripleLookup + Sync>(
+        engine: &Engine<I>,
+        p: &Pattern,
+        pool: &Pool,
+    ) -> MappingSet {
+        engine
+            .run(p, &ExecOpts::parallel(), pool)
+            .expect(NO_BUDGET)
+            .mappings
+    }
 
     #[test]
     fn matches_reference_on_figure_1() {
@@ -783,8 +961,8 @@ mod tests {
         let engine = Engine::new(&g);
         let p = Pattern::t("?o", "stands_for", "sharing_rights")
             .and(Pattern::t("?p", "founder", "?o").union(Pattern::t("?p", "supporter", "?o")));
-        assert_eq!(engine.evaluate(&p), evaluate(&p, &g));
-        assert_eq!(engine.evaluate(&p).len(), 4);
+        assert_eq!(eval(&engine, &p), evaluate(&p, &g));
+        assert_eq!(eval(&engine, &p).len(), 4);
     }
 
     #[test]
@@ -795,7 +973,7 @@ mod tests {
         let p = Pattern::t("v0", "next", "?a")
             .and(Pattern::t("?a", "next", "?b"))
             .and(Pattern::t("?b", "next", "?c"));
-        let out = engine.evaluate(&p);
+        let out = eval(&engine, &p);
         assert_eq!(out.len(), 1);
         assert_eq!(out, evaluate(&p, &g));
     }
@@ -806,7 +984,7 @@ mod tests {
         let engine = Engine::new(&g);
         let p = Pattern::t("?a", "next", "?b")
             .and(Pattern::t("?b", "next", "?c").union(Pattern::t("?b", "next", "?c")));
-        assert_eq!(engine.evaluate(&p), evaluate(&p, &g));
+        assert_eq!(eval(&engine, &p), evaluate(&p, &g));
     }
 
     #[test]
@@ -815,7 +993,7 @@ mod tests {
         let g = generate::star("hub", "spoke", 4);
         let engine = Engine::new(&g);
         let p = Pattern::t("hub", "spoke", "?x").and(Pattern::t("hub", "spoke", "?y"));
-        let out = engine.evaluate(&p);
+        let out = eval(&engine, &p);
         assert_eq!(out.len(), 16);
         assert_eq!(out, evaluate(&p, &g));
     }
@@ -835,7 +1013,7 @@ mod tests {
                 generate::uniform(40, 5, 5, 5, seed ^ 0xdead).union(&graph_over_pattern_iris(seed));
             let engine = Engine::new(&g);
             assert_eq!(
-                engine.evaluate(&p),
+                eval(&engine, &p),
                 evaluate(&p, &g),
                 "seed {seed}, pattern {p}"
             );
@@ -860,18 +1038,22 @@ mod tests {
     }
 
     #[test]
-    fn evaluate_optimized_agrees_with_plain() {
+    fn optimized_run_agrees_with_plain() {
         let cfg = PatternConfig {
             allowed: Operators::NS_SPARQL.with(Operators::MINUS),
             ..PatternConfig::standard(4, 5)
         };
+        let pool = Pool::sequential();
         for seed in 0..60u64 {
             let p = random_pattern(&cfg, seed);
             let g = generate::uniform(30, 5, 5, 5, seed);
             let engine = Engine::new(&g);
             assert_eq!(
-                engine.evaluate_optimized(&p),
-                engine.evaluate(&p),
+                engine
+                    .run(&p, &ExecOpts::seq().optimized(), &pool)
+                    .expect(NO_BUDGET)
+                    .mappings,
+                eval(&engine, &p),
                 "seed {seed}"
             );
         }
@@ -880,7 +1062,7 @@ mod tests {
     #[test]
     fn empty_graph() {
         let engine = Engine::new(&Graph::new());
-        assert!(engine.evaluate(&Pattern::t("?x", "?y", "?z")).is_empty());
+        assert!(eval(&engine, &Pattern::t("?x", "?y", "?z")).is_empty());
         assert!(engine.index().is_empty());
     }
 
@@ -902,8 +1084,8 @@ mod tests {
                     .union(&graph_over_pattern_iris(seed));
                 let engine = Engine::new(&g);
                 assert_eq!(
-                    engine.evaluate_parallel(&p, &pool),
-                    engine.evaluate(&p),
+                    eval_par(&engine, &p, &pool),
+                    eval(&engine, &p),
                     "threads {threads}, seed {seed}, pattern {p}"
                 );
             }
@@ -930,20 +1112,14 @@ mod tests {
             })
             .collect();
         let union = Pattern::union_all(disjuncts);
-        assert_eq!(
-            engine.evaluate_parallel(&union, &pool),
-            engine.evaluate(&union)
-        );
+        assert_eq!(eval_par(&engine, &union, &pool), eval(&engine, &union));
 
         // Partitioned AND-spine: the star fans ?x out to 40 candidates.
         let spine = Pattern::t("hub", "spoke", "?x")
             .and(Pattern::t("hub", "spoke", "?y"))
             .and(Pattern::t("hub", "spoke", "?z"));
-        assert_eq!(
-            engine.evaluate_parallel(&spine, &pool),
-            engine.evaluate(&spine)
-        );
-        assert_eq!(engine.evaluate_parallel(&spine, &pool).len(), 40 * 40 * 40);
+        assert_eq!(eval_par(&engine, &spine, &pool), eval(&engine, &spine));
+        assert_eq!(eval_par(&engine, &spine, &pool).len(), 40 * 40 * 40);
 
         // NS over layered optional extensions (large maximality input).
         let chain = generate::chain("next", 400);
@@ -951,46 +1127,48 @@ mod tests {
         let ns = Pattern::t("?a", "next", "?b")
             .union(Pattern::t("?a", "next", "?b").and(Pattern::t("?b", "next", "?c")))
             .ns();
-        assert_eq!(engine.evaluate_parallel(&ns, &pool), engine.evaluate(&ns));
+        assert_eq!(eval_par(&engine, &ns, &pool), eval(&engine, &ns));
     }
 
-    /// The traced paths are answer-identical to the plain ones, and a
-    /// run records a span tree whose root reports the answer count.
+    /// The traced run is answer-identical to the plain one, and its
+    /// profile carries a span tree whose root reports the answer count.
     #[test]
     fn traced_matches_plain_and_records_spans() {
-        use owql_obs::Recorder;
         let cfg = PatternConfig {
             allowed: Operators::NS_SPARQL.with(Operators::MINUS),
             ..PatternConfig::standard(4, 5)
         };
+        let pool = Pool::sequential();
         for seed in 0..40u64 {
             let p = random_pattern(&cfg, seed);
             let g =
                 generate::uniform(40, 5, 5, 5, seed ^ 0xfeed).union(&graph_over_pattern_iris(seed));
             let engine = Engine::new(&g);
-            let expected = engine.evaluate(&p);
+            let expected = eval(&engine, &p);
 
-            let rec = Recorder::new();
-            assert_eq!(engine.evaluate_traced(&p, &rec), expected, "seed {seed}");
-            let spans = rec.spans();
-            assert!(!spans.is_empty(), "seed {seed}: no spans recorded");
-            let root_out: u64 = spans
+            let out = engine
+                .run(&p, &ExecOpts::seq().traced(), &pool)
+                .expect(NO_BUDGET);
+            assert_eq!(out.mappings, expected, "seed {seed}");
+            let profile = out.profile.expect("traced run has a profile");
+            assert!(!profile.spans.is_empty(), "seed {seed}: no spans recorded");
+            let root_out: u64 = profile
+                .spans
                 .iter()
                 .filter(|s| s.parent == owql_obs::SpanId::ROOT)
                 .map(|s| s.rows_out)
                 .sum();
             assert_eq!(root_out, expected.len() as u64, "seed {seed}");
 
-            // Disabled recorder: same answers, zero spans.
-            let off = Recorder::disabled();
-            assert_eq!(engine.evaluate_traced(&p, &off), expected, "seed {seed}");
-            assert!(off.spans().is_empty());
+            // Untraced run: same answers, no profile.
+            let plain = engine.run(&p, &ExecOpts::seq(), &pool).expect(NO_BUDGET);
+            assert_eq!(plain.mappings, expected, "seed {seed}");
+            assert!(plain.profile.is_none());
         }
     }
 
     #[test]
     fn parallel_traced_matches_plain_across_widths() {
-        use owql_obs::Recorder;
         let cfg = PatternConfig {
             allowed: Operators::NS_SPARQL.with(Operators::MINUS),
             ..PatternConfig::standard(4, 5)
@@ -1002,31 +1180,33 @@ mod tests {
                 let g = generate::uniform(40, 5, 5, 5, seed ^ 0xf00d)
                     .union(&graph_over_pattern_iris(seed));
                 let engine = Engine::new(&g);
-                let rec = Recorder::new();
+                let out = engine
+                    .run(&p, &ExecOpts::parallel().traced(), &pool)
+                    .expect(NO_BUDGET);
                 assert_eq!(
-                    engine.evaluate_parallel_traced(&p, &pool, &rec),
-                    engine.evaluate(&p),
+                    out.mappings,
+                    eval(&engine, &p),
                     "threads {threads}, seed {seed}, pattern {p}"
                 );
-                assert!(!rec.spans().is_empty());
+                assert!(!out.profile.expect("traced").spans.is_empty());
             }
         }
     }
 
-    /// NS pruning counters: the recorder sees the candidate and
+    /// NS pruning counters: the profile sees the candidate and
     /// survivor counts of the maximality filter.
     #[test]
     fn traced_ns_records_pruning() {
-        use owql_obs::Recorder;
         let chain = generate::chain("next", 50);
         let engine = Engine::new(&chain);
         let ns = Pattern::t("?a", "next", "?b")
             .union(Pattern::t("?a", "next", "?b").and(Pattern::t("?b", "next", "?c")))
             .ns();
-        let rec = Recorder::new();
-        let out = engine.evaluate_traced(&ns, &rec);
-        let profile = rec.profile();
-        assert_eq!(profile.ns.survivors, out.len() as u64);
+        let out = engine
+            .run(&ns, &ExecOpts::seq().traced(), &Pool::sequential())
+            .expect(NO_BUDGET);
+        let profile = out.profile.expect("traced");
+        assert_eq!(profile.ns.survivors, out.mappings.len() as u64);
         assert!(profile.ns.candidates > profile.ns.survivors);
     }
 
@@ -1042,10 +1222,80 @@ mod tests {
             let g = generate::uniform(30, 5, 5, 5, seed);
             let engine = Engine::new(&g);
             assert_eq!(
-                engine.evaluate_optimized_parallel(&p, &pool),
-                engine.evaluate_optimized(&p),
+                engine
+                    .run(&p, &ExecOpts::parallel().optimized(), &pool)
+                    .expect(NO_BUDGET)
+                    .mappings,
+                engine
+                    .run(&p, &ExecOpts::seq().optimized(), &pool)
+                    .expect(NO_BUDGET)
+                    .mappings,
                 "seed {seed}"
             );
         }
+    }
+
+    /// The deprecated wrapper matrix stays answer-identical to `run` —
+    /// the wrappers are one-liners, but this pins their behavior.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_agree_with_run() {
+        let g = figure_1();
+        let engine = Engine::new(&g);
+        let p = Pattern::t("?o", "stands_for", "sharing_rights")
+            .and(Pattern::t("?p", "founder", "?o").union(Pattern::t("?p", "supporter", "?o")));
+        let expected = eval(&engine, &p);
+        let pool = Pool::new(2);
+        let rec = Recorder::new();
+        assert_eq!(engine.evaluate(&p), expected);
+        assert_eq!(engine.evaluate_parallel(&p, &pool), expected);
+        assert_eq!(engine.evaluate_traced(&p, &rec), expected);
+        assert!(!rec.spans().is_empty());
+        assert_eq!(engine.evaluate_parallel_traced(&p, &pool, &rec), expected);
+        assert_eq!(engine.evaluate_optimized(&p), expected);
+        assert_eq!(engine.evaluate_optimized_parallel(&p, &pool), expected);
+        // A disabled recorder still evaluates, recording nothing.
+        let off = Recorder::disabled();
+        assert_eq!(engine.evaluate_traced(&p, &off), expected);
+        assert!(off.spans().is_empty());
+    }
+
+    /// A zero deadline times out on every execution path and leaves the
+    /// pool reusable afterwards.
+    #[test]
+    fn zero_deadline_times_out_on_every_path() {
+        let g = generate::star("hub", "spoke", 40);
+        let engine = Engine::new(&g);
+        let spine = Pattern::t("hub", "spoke", "?x")
+            .and(Pattern::t("hub", "spoke", "?y"))
+            .and(Pattern::t("hub", "spoke", "?z"));
+        let pool = Pool::new(4);
+        for opts in [
+            ExecOpts::seq(),
+            ExecOpts::seq().traced(),
+            ExecOpts::parallel(),
+            ExecOpts::parallel().traced(),
+        ] {
+            let result = engine.run(&spine, &opts.with_deadline(Duration::ZERO), &pool);
+            assert!(
+                matches!(result, Err(EvalError::Timeout { .. })),
+                "expected timeout for {opts:?}"
+            );
+        }
+        // The pool survives: a run without a deadline still answers.
+        assert_eq!(eval_par(&engine, &spine, &pool).len(), 40 * 40 * 40);
+    }
+
+    /// A generous deadline changes nothing about the answers.
+    #[test]
+    fn generous_deadline_is_transparent() {
+        let g = figure_1();
+        let engine = Engine::new(&g);
+        let p = Pattern::t("?p", "founder", "?o");
+        let opts = ExecOpts::seq().with_deadline(Duration::from_secs(3600));
+        let out = engine
+            .run(&p, &opts, &Pool::sequential())
+            .expect("in budget");
+        assert_eq!(out.mappings, eval(&engine, &p));
     }
 }

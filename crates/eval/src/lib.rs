@@ -20,10 +20,12 @@
 //!
 //! CONSTRUCT evaluation (Section 6.1) lives in [`mod@construct`].
 //!
-//! Both engines also expose an *instrumented* path
-//! ([`Engine::evaluate_traced`], [`Engine::evaluate_parallel_traced`])
-//! that records per-operator spans into an [`owql_obs::Recorder`], and
-//! [`Engine::explain_analyze`] renders the observed row counts and wall
+//! The single entry point of the indexed engine is [`Engine::run`]: an
+//! [`ExecOpts`] value selects sequential vs pool-parallel scheduling,
+//! span tracing (the outcome then carries an [`owql_obs::Profile`]),
+//! the static optimizer, and a cooperative deadline enforced by an
+//! [`EvalBudget`] (exceeded budgets surface as [`EvalError::Timeout`]).
+//! [`Engine::explain_analyze`] renders observed row counts and wall
 //! times as an [`plan::AnnotatedPlan`].
 
 pub mod construct;
@@ -31,8 +33,10 @@ pub mod engine;
 pub mod optimize;
 pub mod plan;
 pub mod reference;
+pub mod run;
 
 pub use construct::construct;
 pub use engine::Engine;
 pub use plan::{AnnotatedNode, AnnotatedPlan, Plan};
 pub use reference::evaluate;
+pub use run::{EvalBudget, EvalError, ExecMode, ExecOpts, RunOutcome};

@@ -1,0 +1,299 @@
+//! The unified execution API: one options struct instead of a method
+//! matrix.
+//!
+//! Before this module the engine's entry points formed a 2×2×… grid —
+//! `evaluate`, `evaluate_parallel`, `evaluate_traced`,
+//! `evaluate_parallel_traced`, plus `profile{,_parallel}` one crate up
+//! — and every new execution concern (a deadline, a cache toggle)
+//! threatened to double it again. Pérez/Arenas/Gutierrez frame
+//! evaluation as a single semantic function `⟦P⟧G` parameterized by the
+//! pattern; the *strategy* (parallelism, tracing, caching, deadlines)
+//! is an engine concern that belongs in data, not in method names.
+//!
+//! [`ExecOpts`] is that data. [`Engine::run`](crate::Engine::run)
+//! consumes it and returns a [`RunOutcome`]; `owql-store` wraps the
+//! same options in a `QueryRequest` and adds cache + epoch handling;
+//! `owql-server` maps them from query-string parameters. The legacy
+//! method matrix survives as `#[deprecated]` one-liners over this seam.
+//!
+//! Deadlines are enforced *cooperatively*: an [`EvalBudget`] derived
+//! from [`ExecOpts::deadline`] is threaded through every evaluation
+//! path and checked between operators (and periodically inside the
+//! long nested-loop joins). An exceeded budget surfaces as
+//! [`EvalError::Timeout`] — the evaluation unwinds cleanly instead of
+//! hanging, which is what lets a networked front-end map it to `504`
+//! without poisoning its worker pool.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// How the operators are scheduled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Single-threaded, operator-by-operator evaluation.
+    #[default]
+    Seq,
+    /// Fan out UNION spines, partitioned AND-spines, and NS filtering
+    /// across the caller-supplied [`owql_exec::Pool`].
+    Parallel,
+}
+
+/// Execution options for one query run — the single knob set behind
+/// [`Engine::run`](crate::Engine::run), `Store::query_request`, and the
+/// HTTP server.
+///
+/// ```
+/// use owql_eval::ExecOpts;
+/// use std::time::Duration;
+/// let opts = ExecOpts::parallel()
+///     .traced()
+///     .with_deadline(Duration::from_millis(250));
+/// assert!(opts.trace);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecOpts {
+    /// Sequential or pool-parallel scheduling.
+    pub mode: ExecMode,
+    /// Record per-operator spans and pool stats; the outcome then
+    /// carries a [`owql_obs::Profile`].
+    pub trace: bool,
+    /// Consult/fill the epoch-keyed result cache (only meaningful for
+    /// store-level entry points; the bare engine has no cache).
+    pub cache: bool,
+    /// Run the static optimizer before evaluating.
+    pub optimize: bool,
+    /// Wall-clock budget for the evaluation; exceeding it returns
+    /// [`EvalError::Timeout`] instead of running to completion.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ExecOpts {
+    /// [`ExecOpts::seq`].
+    fn default() -> ExecOpts {
+        ExecOpts::seq()
+    }
+}
+
+impl ExecOpts {
+    /// Sequential evaluation, cache on, no tracing, no deadline.
+    pub fn seq() -> ExecOpts {
+        ExecOpts {
+            mode: ExecMode::Seq,
+            trace: false,
+            cache: true,
+            optimize: false,
+            deadline: None,
+        }
+    }
+
+    /// Pool-parallel evaluation, cache on, no tracing, no deadline.
+    pub fn parallel() -> ExecOpts {
+        ExecOpts {
+            mode: ExecMode::Parallel,
+            ..ExecOpts::seq()
+        }
+    }
+
+    /// Enables span/metric recording for this run.
+    pub fn traced(mut self) -> ExecOpts {
+        self.trace = true;
+        self
+    }
+
+    /// Bypasses (and does not fill) the store-level result cache.
+    pub fn uncached(mut self) -> ExecOpts {
+        self.cache = false;
+        self
+    }
+
+    /// Runs the static optimizer on the pattern first.
+    pub fn optimized(mut self) -> ExecOpts {
+        self.optimize = true;
+        self
+    }
+
+    /// Caps the evaluation's wall-clock time.
+    pub fn with_deadline(mut self, limit: Duration) -> ExecOpts {
+        self.deadline = Some(limit);
+        self
+    }
+}
+
+/// Why an evaluation did not produce an answer set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// The cooperative deadline expired mid-evaluation.
+    Timeout {
+        /// The budget that was exceeded.
+        limit: Duration,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Timeout { limit } => {
+                write!(
+                    f,
+                    "evaluation exceeded its {}ms deadline",
+                    limit.as_millis()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// What [`Engine::run`](crate::Engine::run) produced.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The answer set `⟦P⟧G`.
+    pub mappings: owql_algebra::MappingSet,
+    /// The recorded profile — `Some` iff [`ExecOpts::trace`] was set.
+    pub profile: Option<owql_obs::Profile>,
+}
+
+/// How many candidate mappings a nested-loop join processes between
+/// deadline checks. Checks read the clock, so they are amortized over a
+/// block of bindings; one block is far below any usable deadline.
+pub(crate) const BUDGET_CHECK_STRIDE: usize = 1024;
+
+/// A cooperative wall-clock budget, threaded by reference through every
+/// evaluation path of [`Engine`](crate::Engine).
+///
+/// The budget is shared across pool workers (it is `Sync`); once any
+/// checker observes the deadline passed, the `expired` flag makes every
+/// subsequent [`EvalBudget::check`] fail without reading the clock, so
+/// a timed-out parallel evaluation unwinds quickly on all workers.
+#[derive(Debug)]
+pub struct EvalBudget {
+    started: Instant,
+    limit: Option<Duration>,
+    deadline: Option<Instant>,
+    expired: AtomicBool,
+}
+
+impl EvalBudget {
+    /// A budget that never expires: [`EvalBudget::check`] is a single
+    /// branch on `None`.
+    pub fn unlimited() -> EvalBudget {
+        let now = Instant::now();
+        EvalBudget {
+            started: now,
+            limit: None,
+            deadline: None,
+            expired: AtomicBool::new(false),
+        }
+    }
+
+    /// A budget of `limit` wall-clock time, starting now.
+    pub fn with_deadline(limit: Duration) -> EvalBudget {
+        let now = Instant::now();
+        EvalBudget {
+            started: now,
+            limit: Some(limit),
+            deadline: now.checked_add(limit),
+            expired: AtomicBool::new(false),
+        }
+    }
+
+    /// The budget an [`ExecOpts`] asks for.
+    pub fn from_opts(opts: &ExecOpts) -> EvalBudget {
+        match opts.deadline {
+            Some(limit) => EvalBudget::with_deadline(limit),
+            None => EvalBudget::unlimited(),
+        }
+    }
+
+    /// `true` once the deadline has been observed as passed.
+    pub fn is_expired(&self) -> bool {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since the budget started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Returns `Err(Timeout)` iff the deadline has passed. Called
+    /// between operators and every `BUDGET_CHECK_STRIDE` candidate
+    /// bindings inside join loops.
+    pub fn check(&self) -> Result<(), EvalError> {
+        let Some(deadline) = self.deadline else {
+            return Ok(());
+        };
+        let limit = self.limit.expect("deadline implies limit");
+        if self.expired.load(Ordering::Relaxed) || Instant::now() >= deadline {
+            self.expired.store(true, Ordering::Relaxed);
+            return Err(EvalError::Timeout { limit });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_expires() {
+        let budget = EvalBudget::unlimited();
+        for _ in 0..10_000 {
+            assert_eq!(budget.check(), Ok(()));
+        }
+        assert!(!budget.is_expired());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately_and_stays_expired() {
+        let budget = EvalBudget::with_deadline(Duration::ZERO);
+        assert!(matches!(
+            budget.check(),
+            Err(EvalError::Timeout { limit }) if limit == Duration::ZERO
+        ));
+        assert!(budget.is_expired());
+        assert!(budget.check().is_err());
+    }
+
+    #[test]
+    fn generous_deadline_passes_checks() {
+        let budget = EvalBudget::with_deadline(Duration::from_secs(3600));
+        assert_eq!(budget.check(), Ok(()));
+        assert!(!budget.is_expired());
+    }
+
+    #[test]
+    fn expiry_is_visible_across_threads() {
+        let budget = EvalBudget::with_deadline(Duration::ZERO);
+        assert!(budget.check().is_err());
+        std::thread::scope(|s| {
+            s.spawn(|| assert!(budget.is_expired() && budget.check().is_err()))
+                .join()
+                .expect("checker thread");
+        });
+    }
+
+    #[test]
+    fn opts_builders_compose() {
+        let opts = ExecOpts::parallel()
+            .traced()
+            .uncached()
+            .optimized()
+            .with_deadline(Duration::from_millis(5));
+        assert_eq!(opts.mode, ExecMode::Parallel);
+        assert!(opts.trace && opts.optimize && !opts.cache);
+        assert_eq!(opts.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(ExecOpts::seq(), ExecOpts::default());
+    }
+
+    #[test]
+    fn timeout_displays_limit() {
+        let e = EvalError::Timeout {
+            limit: Duration::from_millis(250),
+        };
+        assert!(e.to_string().contains("250ms"));
+    }
+}

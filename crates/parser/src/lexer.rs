@@ -67,66 +67,71 @@ impl fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
+/// A token plus the byte offset it starts at in the input — the span
+/// information parse errors report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token's first character in the input.
+    pub offset: usize,
+}
+
 /// `true` for characters that may appear in a bare word (IRI/keyword).
 fn is_word_char(c: char) -> bool {
     !c.is_whitespace() && !"(){},=!&|<>?".contains(c)
 }
 
-/// Tokenizes `input`.
+/// Tokenizes `input`, discarding span information.
 pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    Ok(tokenize_spanned(input)?
+        .into_iter()
+        .map(|st| st.token)
+        .collect())
+}
+
+/// Tokenizes `input`, tagging every token with its starting byte
+/// offset. All offsets — including [`LexError::offset`] — are *byte*
+/// offsets into the original string, so callers can echo them against
+/// the wire input directly.
+pub fn tokenize_spanned(input: &str) -> Result<Vec<SpannedToken>, LexError> {
+    // (byte offset, char) pairs; `at(j)` maps a char index back to its
+    // byte offset (or the input length past the end).
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    let at = |j: usize| chars.get(j).map_or(input.len(), |&(o, _)| o);
     let mut tokens = Vec::new();
-    let bytes: Vec<char> = input.chars().collect();
     let mut i = 0usize;
-    while i < bytes.len() {
-        let c = bytes[i];
-        match c {
-            c if c.is_whitespace() => i += 1,
-            '(' => {
-                tokens.push(Token::LParen);
-                i += 1;
-            }
-            ')' => {
-                tokens.push(Token::RParen);
-                i += 1;
-            }
-            '{' => {
-                tokens.push(Token::LBrace);
-                i += 1;
-            }
-            '}' => {
-                tokens.push(Token::RBrace);
-                i += 1;
-            }
-            ',' => {
-                tokens.push(Token::Comma);
-                i += 1;
-            }
-            '=' => {
-                tokens.push(Token::Eq);
-                i += 1;
-            }
-            '!' => {
-                tokens.push(Token::Bang);
-                i += 1;
-            }
+    while i < chars.len() {
+        let (offset, c) = chars[i];
+        let mut push = |token: Token, next: usize| {
+            tokens.push(SpannedToken { token, offset });
+            next
+        };
+        i = match c {
+            c if c.is_whitespace() => i + 1,
+            '(' => push(Token::LParen, i + 1),
+            ')' => push(Token::RParen, i + 1),
+            '{' => push(Token::LBrace, i + 1),
+            '}' => push(Token::RBrace, i + 1),
+            ',' => push(Token::Comma, i + 1),
+            '=' => push(Token::Eq, i + 1),
+            '!' => push(Token::Bang, i + 1),
             '&' => {
-                if bytes.get(i + 1) == Some(&'&') {
-                    tokens.push(Token::AndAnd);
-                    i += 2;
+                if chars.get(i + 1).map(|&(_, c)| c) == Some('&') {
+                    push(Token::AndAnd, i + 2)
                 } else {
                     return Err(LexError {
-                        offset: i,
+                        offset,
                         message: "expected '&&'".into(),
                     });
                 }
             }
             '|' => {
-                if bytes.get(i + 1) == Some(&'|') {
-                    tokens.push(Token::OrOr);
-                    i += 2;
+                if chars.get(i + 1).map(|&(_, c)| c) == Some('|') {
+                    push(Token::OrOr, i + 2)
                 } else {
                     return Err(LexError {
-                        offset: i,
+                        offset,
                         message: "expected '||'".into(),
                     });
                 }
@@ -134,56 +139,53 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             '?' => {
                 let start = i + 1;
                 let mut j = start;
-                while j < bytes.len() && is_word_char(bytes[j]) {
+                while j < chars.len() && is_word_char(chars[j].1) {
                     j += 1;
                 }
                 if j == start {
                     return Err(LexError {
-                        offset: i,
+                        offset,
                         message: "'?' must be followed by a variable name".into(),
                     });
                 }
-                tokens.push(Token::Var(bytes[start..j].iter().collect()));
-                i = j;
+                push(Token::Var(input[at(start)..at(j)].to_owned()), j)
             }
             '<' => {
                 let start = i + 1;
                 let mut j = start;
-                while j < bytes.len() && bytes[j] != '>' {
+                while j < chars.len() && chars[j].1 != '>' {
                     j += 1;
                 }
-                if j == bytes.len() {
+                if j == chars.len() {
                     return Err(LexError {
-                        offset: i,
+                        offset,
                         message: "unterminated '<' IRI".into(),
                     });
                 }
                 if j == start {
                     return Err(LexError {
-                        offset: i,
+                        offset,
                         message: "empty '<>' IRI".into(),
                     });
                 }
-                tokens.push(Token::QuotedIri(bytes[start..j].iter().collect()));
-                i = j + 1;
+                push(Token::QuotedIri(input[at(start)..at(j)].to_owned()), j + 1)
             }
             '>' => {
                 return Err(LexError {
-                    offset: i,
+                    offset,
                     message: "unexpected '>'".into(),
                 });
             }
             _ => {
                 let start = i;
                 let mut j = i;
-                while j < bytes.len() && is_word_char(bytes[j]) {
+                while j < chars.len() && is_word_char(chars[j].1) {
                     j += 1;
                 }
                 debug_assert!(j > start);
-                tokens.push(Token::Word(bytes[start..j].iter().collect()));
-                i = j;
+                push(Token::Word(input[at(start)..at(j)].to_owned()), j)
             }
-        }
+        };
     }
     Ok(tokens)
 }

@@ -23,5 +23,6 @@ pub mod lexer;
 pub mod parser;
 pub mod pretty;
 
+pub use lexer::{tokenize, tokenize_spanned, LexError, SpannedToken, Token};
 pub use parser::{parse_condition, parse_construct, parse_pattern, ParseError};
 pub use pretty::{pretty, pretty_construct};

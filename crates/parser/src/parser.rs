@@ -1,7 +1,7 @@
 //! Recursive-descent parser for NS–SPARQL patterns, conditions, and
 //! CONSTRUCT queries.
 
-use crate::lexer::{tokenize, LexError, Token};
+use crate::lexer::{tokenize_spanned, LexError, SpannedToken, Token};
 use owql_algebra::condition::Condition;
 use owql_algebra::construct::ConstructQuery;
 use owql_algebra::pattern::{Pattern, TermPattern, TriplePattern};
@@ -9,16 +9,25 @@ use owql_algebra::variable::Variable;
 use owql_rdf::Iri;
 use std::fmt;
 
-/// A parse error.
+/// A parse error with a byte-offset span.
+///
+/// The offset points into the *original input string* (for an
+/// unexpected-end-of-input error it is the input length), and the
+/// `Display` rendering — `parse error at byte N: ...` — is what the
+/// HTTP server echoes back verbatim in `400` bodies, so clients can
+/// point at the offending byte without any extra bookkeeping.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
+    /// Byte offset of the offending token (input length at EOF).
+    pub offset: usize,
     /// Description of what went wrong.
     pub message: String,
 }
 
 impl ParseError {
-    fn new(message: impl Into<String>) -> ParseError {
+    fn new(offset: usize, message: impl Into<String>) -> ParseError {
         ParseError {
+            offset,
             message: message.into(),
         }
     }
@@ -26,7 +35,7 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error: {}", self.message)
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
     }
 }
 
@@ -34,30 +43,51 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError::new(e.to_string())
+        ParseError::new(e.offset, e.message)
     }
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<SpannedToken>,
     pos: usize,
+    /// Byte length of the input — the offset reported at end-of-input.
+    end: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|st| &st.token)
     }
 
     fn peek2(&self) -> Option<&Token> {
-        self.tokens.get(self.pos + 1)
+        self.tokens.get(self.pos + 1).map(|st| &st.token)
+    }
+
+    /// Byte offset of the current token (input length at EOF).
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or(self.end, |st| st.offset)
+    }
+
+    /// A parse error anchored at the current token.
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.offset(), message)
+    }
+
+    /// A parse error anchored at the *previous* (just-consumed) token.
+    fn err_prev(&self, message: impl Into<String>) -> ParseError {
+        let offset = self
+            .tokens
+            .get(self.pos.saturating_sub(1))
+            .map_or(self.end, |st| st.offset);
+        ParseError::new(offset, message)
     }
 
     fn next(&mut self) -> Result<Token, ParseError> {
         let t = self
             .tokens
             .get(self.pos)
-            .cloned()
-            .ok_or_else(|| ParseError::new("unexpected end of input"))?;
+            .map(|st| st.token.clone())
+            .ok_or_else(|| self.err_here("unexpected end of input"))?;
         self.pos += 1;
         Ok(t)
     }
@@ -67,16 +97,14 @@ impl Parser {
         if &t == expected {
             Ok(())
         } else {
-            Err(ParseError::new(format!(
-                "expected '{expected}', found '{t}'"
-            )))
+            Err(self.err_prev(format!("expected '{expected}', found '{t}'")))
         }
     }
 
     fn expect_word(&mut self, word: &str) -> Result<(), ParseError> {
         match self.next()? {
             Token::Word(w) if w == word => Ok(()),
-            t => Err(ParseError::new(format!("expected '{word}', found '{t}'"))),
+            t => Err(self.err_prev(format!("expected '{word}', found '{t}'"))),
         }
     }
 
@@ -90,7 +118,7 @@ impl Parser {
             Token::Var(v) => Ok(TermPattern::Var(Variable::new(&v))),
             Token::Word(w) => Ok(TermPattern::Iri(Iri::new(&w))),
             Token::QuotedIri(i) => Ok(TermPattern::Iri(Iri::new(&i))),
-            t => Err(ParseError::new(format!("expected a term, found '{t}'"))),
+            t => Err(self.err_prev(format!("expected a term, found '{t}'"))),
         }
     }
 
@@ -119,8 +147,11 @@ impl Parser {
                 self.next()?;
                 self.paren_tail()
             }
-            Some(t) => Err(ParseError::new(format!("expected a pattern, found '{t}'"))),
-            None => Err(ParseError::new("expected a pattern, found end of input")),
+            Some(t) => {
+                let msg = format!("expected a pattern, found '{t}'");
+                Err(self.err_here(msg))
+            }
+            None => Err(self.err_here("expected a pattern, found end of input")),
         }
     }
 
@@ -157,16 +188,12 @@ impl Parser {
                 "MINUS" => left.minus(self.pattern()?),
                 "FILTER" => left.filter(self.condition()?),
                 other => {
-                    return Err(ParseError::new(format!(
+                    return Err(self.err_prev(format!(
                         "expected AND/UNION/OPT/MINUS/FILTER, found '{other}'"
                     )))
                 }
             },
-            t => {
-                return Err(ParseError::new(format!(
-                    "expected an operator keyword, found '{t}'"
-                )))
-            }
+            t => return Err(self.err_prev(format!("expected an operator keyword, found '{t}'"))),
         };
         self.expect(&Token::RParen)?;
         Ok(result)
@@ -185,16 +212,12 @@ impl Parser {
                 Token::Var(v) => {
                     vars.insert(Variable::new(&v));
                 }
-                t => return Err(ParseError::new(format!("expected a variable, found '{t}'"))),
+                t => return Err(self.err_prev(format!("expected a variable, found '{t}'"))),
             }
             match self.next()? {
                 Token::Comma => {}
                 Token::RBrace => break,
-                t => {
-                    return Err(ParseError::new(format!(
-                        "expected ',' or '}}', found '{t}'"
-                    )))
-                }
+                t => return Err(self.err_prev(format!("expected ',' or '}}', found '{t}'"))),
             }
         }
         Ok(vars)
@@ -244,7 +267,7 @@ impl Parser {
                 self.expect(&Token::LParen)?;
                 let v = match self.next()? {
                     Token::Var(v) => Variable::new(&v),
-                    t => return Err(ParseError::new(format!("expected a variable, found '{t}'"))),
+                    t => return Err(self.err_prev(format!("expected a variable, found '{t}'"))),
                 };
                 self.expect(&Token::RParen)?;
                 Ok(Condition::Bound(v))
@@ -256,12 +279,10 @@ impl Parser {
                     Token::Var(w) => Ok(Condition::EqVar(left, Variable::new(&w))),
                     Token::Word(c) => Ok(Condition::EqConst(left, Iri::new(&c))),
                     Token::QuotedIri(c) => Ok(Condition::EqConst(left, Iri::new(&c))),
-                    t => Err(ParseError::new(format!("expected a term, found '{t}'"))),
+                    t => Err(self.err_prev(format!("expected a term, found '{t}'"))),
                 }
             }
-            t => Err(ParseError::new(format!(
-                "expected a condition atom, found '{t}'"
-            ))),
+            t => Err(self.err_prev(format!("expected a condition atom, found '{t}'"))),
         }
     }
 
@@ -287,11 +308,7 @@ impl Parser {
                 match self.next()? {
                     Token::Comma => {}
                     Token::RBrace => break,
-                    t => {
-                        return Err(ParseError::new(format!(
-                            "expected ',' or '}}', found '{t}'"
-                        )))
-                    }
+                    t => return Err(self.err_prev(format!("expected ',' or '}}', found '{t}'"))),
                 }
             }
         }
@@ -308,8 +325,12 @@ fn finish<T>(mut p: Parser, value: T) -> Result<T, ParseError> {
     if p.at_end() {
         Ok(value)
     } else {
+        let offset = p.offset();
         let t = p.next().expect("not at end");
-        Err(ParseError::new(format!("unexpected trailing token '{t}'")))
+        Err(ParseError::new(
+            offset,
+            format!("unexpected trailing token '{t}'"),
+        ))
     }
 }
 
@@ -322,8 +343,9 @@ fn finish<T>(mut p: Parser, value: T) -> Result<T, ParseError> {
 /// ```
 pub fn parse_pattern(input: &str) -> Result<Pattern, ParseError> {
     let mut parser = Parser {
-        tokens: tokenize(input)?,
+        tokens: tokenize_spanned(input)?,
         pos: 0,
+        end: input.len(),
     };
     let p = parser.pattern()?;
     finish(parser, p)
@@ -332,8 +354,9 @@ pub fn parse_pattern(input: &str) -> Result<Pattern, ParseError> {
 /// Parses a built-in condition.
 pub fn parse_condition(input: &str) -> Result<Condition, ParseError> {
     let mut parser = Parser {
-        tokens: tokenize(input)?,
+        tokens: tokenize_spanned(input)?,
         pos: 0,
+        end: input.len(),
     };
     let c = parser.condition()?;
     finish(parser, c)
@@ -342,8 +365,9 @@ pub fn parse_condition(input: &str) -> Result<Condition, ParseError> {
 /// Parses a CONSTRUCT query.
 pub fn parse_construct(input: &str) -> Result<ConstructQuery, ParseError> {
     let mut parser = Parser {
-        tokens: tokenize(input)?,
+        tokens: tokenize_spanned(input)?,
         pos: 0,
+        end: input.len(),
     };
     let q = parser.construct()?;
     finish(parser, q)
@@ -448,6 +472,61 @@ mod tests {
     fn error_messages_are_descriptive() {
         let e = parse_pattern("((?x, a, b) XOR (?y, c, d))").unwrap_err();
         assert!(e.to_string().contains("XOR"));
+    }
+
+    /// Errors carry the byte offset of the offending token, and the
+    /// `Display` rendering names it — the `400` body contract.
+    #[test]
+    fn error_offsets_point_at_the_problem() {
+        // `XOR` starts at byte 12.
+        let e = parse_pattern("((?x, a, b) XOR (?y, c, d))").unwrap_err();
+        assert_eq!(e.offset, 12);
+        assert!(e.to_string().starts_with("parse error at byte 12:"));
+
+        // Truncated input: the offset is the input length.
+        let input = "((?x, a, b) AND ";
+        let e = parse_pattern(input).unwrap_err();
+        assert_eq!(e.offset, input.len());
+        assert!(e.message.contains("end of input"));
+
+        // Empty input.
+        let e = parse_pattern("").unwrap_err();
+        assert_eq!(e.offset, 0);
+
+        // Trailing garbage: offset of the first extra token.
+        let e = parse_pattern("(?x, a, b) extra").unwrap_err();
+        assert_eq!(e.offset, 11);
+
+        // Lex errors flow through with their byte offset.
+        let e = parse_pattern("(?x, a, >)").unwrap_err();
+        assert_eq!(e.offset, 8);
+
+        // Offsets are *byte* offsets even after multibyte characters:
+        // "é" is two bytes, so `>` at char 5 sits at byte 6.
+        let e = parse_pattern("(?é, >").unwrap_err();
+        assert_eq!(e.offset, 6);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2000))]
+
+        /// Totality fuzz: the parser never panics — any input returns
+        /// `Ok` or a `ParseError` whose offset stays within the input.
+        #[test]
+        fn fuzz_parser_is_total(input in "[(){},=!&|<>? a-zA-Z?_\u{e9}]{0,40}") {
+            match parse_pattern(&input) {
+                Ok(p) => {
+                    // Whatever parses must round-trip through Display.
+                    let reparsed = parse_pattern(&p.to_string());
+                    prop_assert_eq!(reparsed.as_ref(), Ok(&p));
+                }
+                Err(e) => prop_assert!(e.offset <= input.len()),
+            }
+            let _ = parse_condition(&input).map_err(|e| e.offset);
+            let _ = parse_construct(&input).map_err(|e| e.offset);
+        }
     }
 
     /// The round-trip property: display-then-parse is the identity on

@@ -1,0 +1,263 @@
+//! A minimal HTTP/1.1 codec over blocking streams.
+//!
+//! The workspace is dependency-free, so this module hand-rolls the
+//! slice of HTTP the query server needs: parse one request
+//! (request-line, headers, `Content-Length`-delimited body) from a
+//! stream, write one response, close the connection
+//! (`Connection: close` — one request per connection keeps the
+//! admission queue the single unit of accounting). It is a *server*
+//! codec: chunked encoding, keep-alive, and multi-line headers are
+//! rejected or ignored rather than implemented.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on header section and body sizes — a wire-level guard so a
+/// hostile client cannot balloon memory before admission control sees
+/// the request.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum accepted `Content-Length`.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`, `POST`.
+    pub method: String,
+    /// Path without the query string, e.g. `/query`.
+    pub path: String,
+    /// The raw query string (no leading `?`), empty if absent.
+    pub query: String,
+    /// The request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Iterates `key=value` pairs of the query string (no percent
+    /// decoding — the option grammar is plain ASCII).
+    pub fn query_params(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.query
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| kv.split_once('=').unwrap_or((kv, "")))
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::bad_request("request body is not valid UTF-8"))
+    }
+}
+
+/// A wire-level failure while reading a request, carrying the status
+/// code the connection should die with.
+#[derive(Clone, Debug)]
+pub struct HttpError {
+    /// Status code to answer with.
+    pub status: u16,
+    /// Human-readable description (sent as the response body).
+    pub message: String,
+}
+
+impl HttpError {
+    pub fn bad_request(message: impl Into<String>) -> HttpError {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one request from `stream`. Returns `Ok(None)` on a clean EOF
+/// before any byte (client connected and went away).
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    let mut header_bytes = 0usize;
+
+    // Request line.
+    let n = reader
+        .read_line(&mut head)
+        .map_err(|e| HttpError::bad_request(format!("failed to read request line: {e}")))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    header_bytes += n;
+    let mut parts = head.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::bad_request("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::bad_request("request line has no target"))?
+        .to_owned();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1") {
+        return Err(HttpError::bad_request(format!(
+            "unsupported protocol version '{version}'"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target, String::new()),
+    };
+
+    // Headers: only Content-Length matters to this codec.
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| HttpError::bad_request(format!("failed to read header: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::bad_request("connection closed mid-headers"));
+        }
+        header_bytes += n;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError {
+                status: 431,
+                message: "header section too large".into(),
+            });
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::bad_request("invalid Content-Length"))?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err(HttpError {
+                    status: 501,
+                    message: "transfer encodings are not supported".into(),
+                });
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError {
+            status: 413,
+            message: format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES} cap"),
+        });
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::bad_request(format!("failed to read body: {e}")))?;
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+    }))
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `Connection: close` response with optional extra headers
+/// (`name: value` pairs, already formatted values).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status_text(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    stream.write_all(out.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.write_all(raw).expect("write");
+        client
+            .shutdown(std::net::Shutdown::Write)
+            .expect("shutdown");
+        let (mut server_side, _) = listener.accept().expect("accept");
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(b"POST /query?mode=parallel&trace=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n(?a,b,?c)")
+            .expect("parse")
+            .expect("some");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        let params: Vec<_> = req.query_params().collect();
+        assert_eq!(params, vec![("mode", "parallel"), ("trace", "1")]);
+        assert_eq!(req.body_utf8().expect("utf8"), "(?a,b,?c)");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\n\r\n")
+            .expect("parse")
+            .expect("some");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn empty_connection_is_none() {
+        assert!(roundtrip(b"").expect("parse").is_none());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = format!(
+            "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = roundtrip(raw.as_bytes()).expect_err("too large");
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn chunked_encoding_is_rejected() {
+        let err = roundtrip(b"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .expect_err("unsupported");
+        assert_eq!(err.status, 501);
+    }
+}

@@ -1,0 +1,55 @@
+//! # owql-server — a networked query front-end
+//!
+//! A dependency-free HTTP/1.1 server over an [`owql_store::Store`],
+//! built on `std::net::TcpListener` and the workspace's own crates:
+//! the parser for request bodies, the unified
+//! `QueryRequest → QueryOutcome` API for evaluation, and owql-obs's
+//! hand-rolled JSON for responses.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Body | Answer |
+//! |---|---|---|
+//! | `POST /query` | pattern text | mappings as JSON (+ profile when `trace=1`) |
+//! | `POST /explain` | pattern text | EXPLAIN ANALYZE plan |
+//! | `GET /healthz` | — | liveness + current epoch |
+//! | `GET /metrics` | — | request counters + store/cache stats |
+//!
+//! `POST` endpoints take evaluation options in the query string:
+//! `mode=seq|parallel`, `trace=0|1`, `cache=0|1`, `optimize=0|1`,
+//! `deadline_ms=N`.
+//!
+//! ## Design
+//!
+//! - **Bounded admission.** A fixed worker pool drains a bounded
+//!   connection queue; when the queue is full the accept loop sheds
+//!   the connection with `429` + `Retry-After` without ever touching a
+//!   worker.
+//! - **Per-request deadlines.** `deadline_ms` (or the configured
+//!   default) becomes [`owql_eval::ExecOpts::deadline`]; the engine's
+//!   cooperative budget unwinds evaluation and the server answers
+//!   `504`. Workers survive timeouts — nothing is poisoned.
+//! - **Snapshot isolation.** Every request pins one store snapshot;
+//!   the response carries the epoch it is consistent with, so clients
+//!   can reason about read-your-writes across requests.
+//! - **Graceful shutdown.** [`Server::shutdown`] stops accepting,
+//!   drains queued and in-flight requests, and joins all threads.
+//!
+//! ```no_run
+//! use owql_server::{Server, ServerConfig};
+//! use owql_store::Store;
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(Store::new());
+//! let server = Server::start(store, ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! server.shutdown();
+//! ```
+
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use http::{Request, MAX_BODY_BYTES, MAX_HEADER_BYTES};
+pub use metrics::ServerMetrics;
+pub use server::{Server, ServerConfig};

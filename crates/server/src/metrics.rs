@@ -1,0 +1,81 @@
+//! Server-side counters, exported by `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free request accounting shared by the accept loop and workers.
+///
+/// All counters are monotonic except `in_flight` and `queue_depth`,
+/// which are gauges.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted (whether admitted or shed).
+    pub accepted_total: AtomicU64,
+    /// Requests answered, by status class.
+    pub responses_2xx: AtomicU64,
+    /// `400`/`404`/`405`-class answers.
+    pub responses_4xx: AtomicU64,
+    /// `5xx` answers (including `504` deadline timeouts).
+    pub responses_5xx: AtomicU64,
+    /// Requests shed with `429` because the admission queue was full.
+    pub shed_total: AtomicU64,
+    /// Requests that exceeded their deadline (`504`s).
+    pub timeouts_total: AtomicU64,
+    /// Requests currently being evaluated by workers.
+    pub in_flight: AtomicU64,
+    /// Connections currently waiting in the admission queue.
+    pub queue_depth: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Records a response status into the right class counter.
+    pub fn record_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Serializes the counters as a JSON object fragment (no trailing
+    /// comma; caller embeds it).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"accepted_total\": {}, \"responses_2xx\": {}, ",
+                "\"responses_4xx\": {}, \"responses_5xx\": {}, ",
+                "\"shed_total\": {}, \"timeouts_total\": {}, ",
+                "\"in_flight\": {}, \"queue_depth\": {}}}"
+            ),
+            self.accepted_total.load(Ordering::Relaxed),
+            self.responses_2xx.load(Ordering::Relaxed),
+            self.responses_4xx.load(Ordering::Relaxed),
+            self.responses_5xx.load(Ordering::Relaxed),
+            self.shed_total.load(Ordering::Relaxed),
+            self.timeouts_total.load(Ordering::Relaxed),
+            self.in_flight.load(Ordering::Relaxed),
+            self.queue_depth.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classes_route_to_counters() {
+        let m = ServerMetrics::default();
+        m.record_status(200);
+        m.record_status(204);
+        m.record_status(400);
+        m.record_status(429);
+        m.record_status(504);
+        assert_eq!(m.responses_2xx.load(Ordering::Relaxed), 2);
+        assert_eq!(m.responses_4xx.load(Ordering::Relaxed), 2);
+        assert_eq!(m.responses_5xx.load(Ordering::Relaxed), 1);
+        let json = m.to_json();
+        assert!(json.contains("\"responses_2xx\": 2"));
+        assert!(json.contains("\"responses_5xx\": 1"));
+    }
+}

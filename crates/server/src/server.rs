@@ -1,0 +1,587 @@
+//! The query server: accept loop, bounded admission queue, worker
+//! threads, request routing, graceful shutdown.
+//!
+//! ## Life of a request
+//!
+//! 1. The **accept loop** (one thread) takes the TCP connection and
+//!    offers it to the admission queue. A full queue sheds the
+//!    connection immediately with `429` + `Retry-After` — back-pressure
+//!    costs one response write, never a worker.
+//! 2. A **worker** (fixed set of threads) pops the connection, reads
+//!    one HTTP request, and routes it. Query evaluation pins one store
+//!    [`Snapshot`](owql_store::Store::snapshot) per request — writers
+//!    never block readers, and the response reports the epoch it is
+//!    consistent with.
+//! 3. Deadlines ride the unified API: `deadline_ms` becomes
+//!    [`ExecOpts::deadline`], the engine's cooperative budget unwinds
+//!    the evaluation, and the worker maps
+//!    [`EvalError::Timeout`] to `504` — the worker itself is never
+//!    poisoned or stuck.
+//! 4. **Shutdown** flips a flag, wakes the accept loop with a loopback
+//!    connection, closes the queue, and joins every thread — queued and
+//!    in-flight requests drain before the listener dies.
+
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::metrics::ServerMetrics;
+use owql_eval::{EvalError, ExecMode, ExecOpts};
+use owql_exec::Pool;
+use owql_obs::json;
+use owql_parser::parse_pattern;
+use owql_store::{QueryRequest, Store};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (see
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Admission-queue bound: connections waiting beyond the workers.
+    /// A full queue sheds new connections with `429`.
+    pub queue_capacity: usize,
+    /// Evaluation pool width *per worker* (parallel-mode requests).
+    pub pool_threads: usize,
+    /// Deadline applied to requests that don't set `deadline_ms`.
+    pub default_deadline: Option<Duration>,
+    /// Value of the `Retry-After` header on `429` responses, seconds.
+    pub retry_after_secs: u64,
+    /// Socket read/write timeout (slowloris guard).
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            pool_threads: 2,
+            default_deadline: Some(Duration::from_secs(30)),
+            retry_after_secs: 1,
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The bounded admission queue: a `Mutex<VecDeque>` + `Condvar`.
+/// `push` never blocks (full ⇒ shed); `pop` blocks until a connection
+/// arrives or the queue is closed *and* drained.
+#[derive(Debug)]
+struct Admission {
+    inner: Mutex<AdmissionInner>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct AdmissionInner {
+    queue: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl Admission {
+    fn new(capacity: usize) -> Admission {
+        Admission {
+            inner: Mutex::new(AdmissionInner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Offers a connection; hands it back if the queue is full or
+    /// closed (the caller sheds it).
+    fn push(&self, stream: TcpStream) -> Result<usize, TcpStream> {
+        let mut inner = self.inner.lock().expect("admission lock poisoned");
+        if inner.closed || inner.queue.len() >= self.capacity {
+            return Err(stream);
+        }
+        inner.queue.push_back(stream);
+        let depth = inner.queue.len();
+        self.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the next connection; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().expect("admission lock poisoned");
+        loop {
+            if let Some(stream) = inner.queue.pop_front() {
+                return Some(stream);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cv.wait(inner).expect("admission lock poisoned");
+        }
+    }
+
+    /// Closes the queue: queued connections still drain, new pushes
+    /// bounce, blocked poppers wake.
+    fn close(&self) {
+        self.inner.lock().expect("admission lock poisoned").closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// A running query server. Dropping it without calling
+/// [`Server::shutdown`] detaches the threads (the test and example
+/// entry points always shut down explicitly).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    admission: Arc<Admission>,
+    metrics: Arc<ServerMetrics>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the accept loop plus `config.workers` workers.
+    pub fn start(store: Arc<Store>, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let admission = Arc::new(Admission::new(config.queue_capacity));
+        let metrics = Arc::new(ServerMetrics::default());
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|_| {
+                let store = store.clone();
+                let admission = admission.clone();
+                let metrics = metrics.clone();
+                let config = config.clone();
+                std::thread::spawn(move || {
+                    // Each worker owns its pool: concurrent requests
+                    // never contend for evaluation threads.
+                    let pool = Pool::new(config.pool_threads.max(1));
+                    while let Some(mut stream) = admission.pop() {
+                        metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+                        handle_connection(&mut stream, &store, &pool, &config, &metrics);
+                        metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+
+        let accept_handle = {
+            let shutdown = shutdown.clone();
+            let admission = admission.clone();
+            let metrics = metrics.clone();
+            let config = config.clone();
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    metrics.accepted_total.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.set_read_timeout(Some(config.io_timeout));
+                    let _ = stream.set_write_timeout(Some(config.io_timeout));
+                    match admission.push(stream) {
+                        Ok(_) => {
+                            metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(mut shed) => {
+                            // Queue full: shed without consuming a
+                            // worker. A short-lived thread reads the
+                            // request before answering — closing with
+                            // unread bytes would RST the connection
+                            // and lose the 429 (the socket's io
+                            // timeout bounds a slow client).
+                            metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                            metrics.record_status(429);
+                            let retry_after = config.retry_after_secs.to_string();
+                            std::thread::spawn(move || {
+                                let _ = read_request(&mut shed);
+                                let _ = write_response(
+                                    &mut shed,
+                                    429,
+                                    "application/json",
+                                    &[("Retry-After", retry_after)],
+                                    &error_body("admission queue is full, retry later"),
+                                );
+                                let _ = shed.shutdown(std::net::Shutdown::Write);
+                            });
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            admission,
+            metrics,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared request counters.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// requests, join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // The accept loop is blocked in accept(); a loopback connection
+        // wakes it so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.admission.close();
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// JSON error body shared by every non-2xx answer.
+fn error_body(message: &str) -> String {
+    format!("{{\"error\": {}}}\n", json::string(message))
+}
+
+/// Parses `ExecOpts` from the request's query string.
+fn parse_opts(req: &Request, config: &ServerConfig) -> Result<ExecOpts, HttpError> {
+    let mut opts = ExecOpts::seq();
+    opts.deadline = config.default_deadline;
+    for (key, value) in req.query_params() {
+        match key {
+            "mode" => {
+                opts.mode = match value {
+                    "seq" => ExecMode::Seq,
+                    "parallel" => ExecMode::Parallel,
+                    other => {
+                        return Err(HttpError::bad_request(format!(
+                            "unknown mode '{other}' (expected 'seq' or 'parallel')"
+                        )))
+                    }
+                }
+            }
+            "trace" => opts.trace = parse_flag(key, value)?,
+            "cache" => opts.cache = parse_flag(key, value)?,
+            "optimize" => opts.optimize = parse_flag(key, value)?,
+            "deadline_ms" => {
+                let ms: u64 = value.parse().map_err(|_| {
+                    HttpError::bad_request(format!("invalid deadline_ms '{value}'"))
+                })?;
+                opts.deadline = Some(Duration::from_millis(ms));
+            }
+            other => {
+                return Err(HttpError::bad_request(format!(
+                    "unknown query parameter '{other}'"
+                )))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_flag(key: &str, value: &str) -> Result<bool, HttpError> {
+    match value {
+        "1" | "true" => Ok(true),
+        "0" | "false" => Ok(false),
+        other => Err(HttpError::bad_request(format!(
+            "invalid boolean '{other}' for '{key}'"
+        ))),
+    }
+}
+
+/// Serializes an answer set deterministically (mappings in sorted
+/// order, variables sorted within each mapping).
+fn mappings_json(mappings: &owql_algebra::MappingSet) -> String {
+    let mut out = String::from("[");
+    for (i, m) in mappings.iter_sorted().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('{');
+        for (j, (var, value)) in m.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json::string(var.name()));
+            out.push_str(": ");
+            out.push_str(&json::string(value.as_str()));
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+/// Reads, routes, answers, and closes one connection.
+fn handle_connection(
+    stream: &mut TcpStream,
+    store: &Store,
+    pool: &Pool,
+    config: &ServerConfig,
+    metrics: &ServerMetrics,
+) {
+    let req = match read_request(stream) {
+        Ok(Some(req)) => req,
+        Ok(None) => return, // client went away before sending anything
+        Err(e) => {
+            metrics.record_status(e.status);
+            let _ = write_response(
+                stream,
+                e.status,
+                "application/json",
+                &[],
+                &error_body(&e.message),
+            );
+            return;
+        }
+    };
+    let (status, body) = route(&req, store, pool, config, metrics);
+    metrics.record_status(status);
+    let _ = write_response(stream, status, "application/json", &[], &body);
+}
+
+/// Dispatches one parsed request to its endpoint, returning
+/// `(status, body)`.
+fn route(
+    req: &Request,
+    store: &Store,
+    pool: &Pool,
+    config: &ServerConfig,
+    metrics: &ServerMetrics,
+) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (
+            200,
+            format!("{{\"status\": \"ok\", \"epoch\": {}}}\n", store.epoch()),
+        ),
+        ("GET", "/metrics") => {
+            let obs = store.observe();
+            (
+                200,
+                format!(
+                    concat!(
+                        "{{\"server\": {},\n",
+                        " \"store\": {{\"epoch\": {}, \"triples\": {}, ",
+                        "\"cache_hits\": {}, \"cache_misses\": {}, ",
+                        "\"cache_hit_rate\": {}}}}}\n"
+                    ),
+                    metrics.to_json(),
+                    obs.epoch,
+                    obs.triples,
+                    obs.cache_hits,
+                    obs.cache_misses,
+                    json::number(obs.cache_hit_rate),
+                ),
+            )
+        }
+        ("POST", "/query") => answer_query(req, store, pool, config, metrics),
+        ("POST", "/explain") => answer_explain(req, store, config),
+        (_, "/healthz" | "/metrics" | "/query" | "/explain") => {
+            (405, error_body("method not allowed for this endpoint"))
+        }
+        _ => (404, error_body("no such endpoint")),
+    }
+}
+
+/// `POST /query`: pattern text in, mappings (and optionally a profile)
+/// out.
+fn answer_query(
+    req: &Request,
+    store: &Store,
+    pool: &Pool,
+    config: &ServerConfig,
+    metrics: &ServerMetrics,
+) -> (u16, String) {
+    let (pattern, opts) = match parse_query_input(req, config) {
+        Ok(parsed) => parsed,
+        Err(e) => return (e.status, error_body(&e.message)),
+    };
+    match store.query_request(&QueryRequest::with_opts(pattern, opts), pool) {
+        Ok(outcome) => {
+            let mut body = format!(
+                "{{\"epoch\": {}, \"cache_hit\": {}, \"count\": {}, \"mappings\": {}",
+                outcome.epoch,
+                outcome.cache_hit,
+                outcome.mappings.len(),
+                mappings_json(&outcome.mappings),
+            );
+            if let Some(profile) = &outcome.profile {
+                body.push_str(",\n\"profile\": ");
+                body.push_str(&profile.to_json());
+            }
+            body.push_str("}\n");
+            (200, body)
+        }
+        Err(e @ EvalError::Timeout { .. }) => {
+            metrics.timeouts_total.fetch_add(1, Ordering::Relaxed);
+            (504, error_body(&e.to_string()))
+        }
+        #[allow(unreachable_patterns)] // EvalError is #[non_exhaustive]
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+/// `POST /explain`: pattern text in, EXPLAIN ANALYZE out.
+fn answer_explain(req: &Request, store: &Store, config: &ServerConfig) -> (u16, String) {
+    let (pattern, _) = match parse_query_input(req, config) {
+        Ok(parsed) => parsed,
+        Err(e) => return (e.status, error_body(&e.message)),
+    };
+    let snapshot = store.snapshot();
+    let plan = snapshot.engine().explain_analyze(&pattern);
+    (
+        200,
+        format!(
+            "{{\"epoch\": {}, \"answers\": {}, \"total_ms\": {}, \"plan\": {}}}\n",
+            snapshot.epoch(),
+            plan.answers,
+            json::ns_as_ms(plan.total_ns),
+            json::string(&plan.to_string()),
+        ),
+    )
+}
+
+/// Shared body+options parsing for `/query` and `/explain`. A parse
+/// failure echoes the `ParseError` `Display` (with its byte offset)
+/// verbatim in the `400` body.
+fn parse_query_input(
+    req: &Request,
+    config: &ServerConfig,
+) -> Result<(owql_algebra::Pattern, ExecOpts), HttpError> {
+    let opts = parse_opts(req, config)?;
+    let text = req.body_utf8()?;
+    if text.trim().is_empty() {
+        return Err(HttpError::bad_request(
+            "empty request body (expected a graph pattern)",
+        ));
+    }
+    let pattern = parse_pattern(text.trim()).map_err(|e| HttpError::bad_request(e.to_string()))?;
+    Ok((pattern, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get_req(target: &str) -> Request {
+        let (path, query) = target.split_once('?').unwrap_or((target, ""));
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: query.into(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn opts_parse_from_query_string() {
+        let config = ServerConfig::default();
+        let req = get_req("/query?mode=parallel&trace=1&cache=0&deadline_ms=250");
+        let opts = parse_opts(&req, &config).expect("valid");
+        assert_eq!(opts.mode, ExecMode::Parallel);
+        assert!(opts.trace);
+        assert!(!opts.cache);
+        assert_eq!(opts.deadline, Some(Duration::from_millis(250)));
+
+        // Defaults: sequential, cached, config deadline.
+        let opts = parse_opts(&get_req("/query"), &config).expect("valid");
+        assert_eq!(opts.mode, ExecMode::Seq);
+        assert!(opts.cache);
+        assert_eq!(opts.deadline, config.default_deadline);
+
+        assert!(parse_opts(&get_req("/query?mode=warp"), &config).is_err());
+        assert!(parse_opts(&get_req("/query?trace=yes"), &config).is_err());
+        assert!(parse_opts(&get_req("/query?bogus=1"), &config).is_err());
+        assert!(parse_opts(&get_req("/query?deadline_ms=abc"), &config).is_err());
+    }
+
+    #[test]
+    fn mappings_serialize_sorted_and_escaped() {
+        use owql_algebra::Mapping;
+        let mut set = owql_algebra::MappingSet::new();
+        set.insert(Mapping::from_str_pairs(&[("b", "B"), ("a", "A")]));
+        set.insert(Mapping::from_str_pairs(&[("a", "quo\"te")]));
+        let json = mappings_json(&set);
+        assert_eq!(json, r#"[{"a": "A", "b": "B"}, {"a": "quo\"te"}]"#);
+        assert!(mappings_json(&owql_algebra::MappingSet::new()) == "[]");
+    }
+
+    #[test]
+    fn admission_queue_bounds_and_drains() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let q = Admission::new(2);
+        let mk = || TcpStream::connect(addr).expect("connect");
+        assert!(q.push(mk()).is_ok());
+        assert!(q.push(mk()).is_ok());
+        assert!(q.push(mk()).is_err(), "third push exceeds capacity 2");
+        assert!(q.pop().is_some());
+        q.close();
+        assert!(q.pop().is_some(), "close drains remaining entries");
+        assert!(q.pop().is_none());
+        assert!(q.push(mk()).is_err(), "closed queue rejects pushes");
+    }
+
+    #[test]
+    fn route_rejects_unknown_paths_and_methods() {
+        let store = Store::new();
+        let pool = Pool::sequential();
+        let config = ServerConfig::default();
+        let metrics = ServerMetrics::default();
+        let (status, _) = route(&get_req("/nope"), &store, &pool, &config, &metrics);
+        assert_eq!(status, 404);
+        let mut post = get_req("/healthz");
+        post.method = "POST".into();
+        let (status, _) = route(&post, &store, &pool, &config, &metrics);
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn query_route_answers_and_echoes_parse_errors() {
+        let store = Store::new();
+        store.insert(owql_rdf::Triple::new("a", "p", "b"));
+        let pool = Pool::sequential();
+        let config = ServerConfig::default();
+        let metrics = ServerMetrics::default();
+
+        let mut req = get_req("/query");
+        req.method = "POST".into();
+        req.body = b"(?x, p, ?y)".to_vec();
+        let (status, body) = route(&req, &store, &pool, &config, &metrics);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"count\": 1"));
+        assert!(body.contains("\"x\": \"a\""));
+
+        req.body = b"(?x, p".to_vec();
+        let (status, body) = route(&req, &store, &pool, &config, &metrics);
+        assert_eq!(status, 400);
+        assert!(body.contains("parse error at byte"), "{body}");
+
+        // The deadline path maps to 504.
+        req.body = b"(?x, p, ?y)".to_vec();
+        req.query = "deadline_ms=0&cache=0".into();
+        let (status, body) = route(&req, &store, &pool, &config, &metrics);
+        assert_eq!(status, 504);
+        assert!(body.contains("deadline"));
+    }
+}

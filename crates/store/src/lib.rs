@@ -45,5 +45,6 @@ pub mod store;
 
 pub use cache::{cache_key, CacheStats, QueryCache};
 pub use store::{
-    CommitSummary, DeltaOp, LogEntry, Snapshot, Store, StoreMetrics, StoreOptions, Transaction,
+    CommitSummary, DeltaOp, LogEntry, QueryOutcome, QueryRequest, Snapshot, Store, StoreMetrics,
+    StoreOptions, Transaction,
 };

@@ -17,13 +17,57 @@
 use crate::cache::{cache_key, CacheStats, QueryCache};
 use owql_algebra::mapping_set::MappingSet;
 use owql_algebra::pattern::Pattern;
-use owql_eval::Engine;
+use owql_eval::{Engine, EvalError, ExecOpts};
 use owql_exec::Pool;
 use owql_obs::{Profile, Recorder, StoreObs};
 use owql_rdf::{Graph, GraphIndex, SnapshotIndex, Triple, TripleLookup};
 use std::collections::HashSet;
 use std::ops::Deref;
 use std::sync::{Arc, RwLock};
+
+/// Expect-message for unwrapping requests made without a deadline.
+const NO_BUDGET: &str = "unlimited budget cannot time out";
+
+/// One query, fully described: the pattern plus the execution options.
+///
+/// This is the wire-level unit of the unified API — the HTTP server
+/// builds one per request, `Store::query_request` answers it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// The NS–SPARQL graph pattern to evaluate.
+    pub pattern: Pattern,
+    /// How to run it (scheduling, tracing, cache, deadline).
+    pub opts: ExecOpts,
+}
+
+impl QueryRequest {
+    /// A request with default (sequential, cached) options.
+    pub fn new(pattern: Pattern) -> QueryRequest {
+        QueryRequest {
+            pattern,
+            opts: ExecOpts::seq(),
+        }
+    }
+
+    /// A request with explicit options.
+    pub fn with_opts(pattern: Pattern, opts: ExecOpts) -> QueryRequest {
+        QueryRequest { pattern, opts }
+    }
+}
+
+/// What answering a [`QueryRequest`] produced.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The answer set `⟦P⟧G` at `epoch`.
+    pub mappings: MappingSet,
+    /// The recorded profile — `Some` iff the request asked for tracing.
+    pub profile: Option<Profile>,
+    /// The epoch the answer is consistent with (the snapshot the
+    /// evaluation pinned).
+    pub epoch: u64,
+    /// `true` iff the answer came from the epoch-keyed query cache.
+    pub cache_hit: bool,
+}
 
 /// Tuning knobs for a [`Store`].
 #[derive(Clone, Copy, Debug)]
@@ -164,7 +208,7 @@ impl StoreInner {
 ///
 /// Derefs to [`SnapshotIndex`], so it plugs directly into
 /// [`Engine::for_snapshot`] (or use the [`Snapshot::engine`] /
-/// [`Snapshot::evaluate`] conveniences).
+/// [`Snapshot::query_request`] conveniences).
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     epoch: u64,
@@ -187,32 +231,67 @@ impl Snapshot {
         Engine::for_snapshot(&self.index)
     }
 
+    /// Answers `req` against this frozen epoch — the snapshot-level
+    /// unified entry point. No cache is involved (the cache lives on
+    /// the [`Store`]); [`ExecOpts::cache`] is ignored here. The
+    /// snapshot's `Arc`-shared index is `Send + Sync`, so a parallel
+    /// request's workers all read the same frozen epoch.
+    pub fn query_request(
+        &self,
+        req: &QueryRequest,
+        pool: &Pool,
+    ) -> Result<QueryOutcome, EvalError> {
+        let out = self.engine().run(&req.pattern, &req.opts, pool)?;
+        let mut profile = out.profile;
+        if let Some(p) = profile.as_mut() {
+            p.query = Some(req.pattern.to_string());
+            p.answers = Some(out.mappings.len() as u64);
+        }
+        Ok(QueryOutcome {
+            mappings: out.mappings,
+            profile,
+            epoch: self.epoch,
+            cache_hit: false,
+        })
+    }
+
     /// Evaluates `pattern` against this snapshot.
+    #[deprecated(note = "use Snapshot::query_request")]
     pub fn evaluate(&self, pattern: &Pattern) -> MappingSet {
-        self.engine().evaluate(pattern)
+        self.engine()
+            .run(pattern, &ExecOpts::seq(), &Pool::sequential())
+            .expect(NO_BUDGET)
+            .mappings
     }
 
     /// Evaluates `pattern` against this snapshot across `pool`'s
-    /// workers. The snapshot's `Arc`-shared index is `Send + Sync`, so
-    /// every worker reads the same frozen epoch.
+    /// workers.
+    #[deprecated(note = "use Snapshot::query_request with ExecOpts::parallel()")]
     pub fn evaluate_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
-        self.engine().evaluate_parallel(pattern, pool)
+        self.engine()
+            .run(pattern, &ExecOpts::parallel(), pool)
+            .expect(NO_BUDGET)
+            .mappings
     }
 
-    /// Instrumented evaluation: [`Snapshot::evaluate`] recording one
-    /// span per operator into `rec` (see `owql_obs`).
+    /// Instrumented evaluation recording one span per operator into
+    /// the caller's `rec` (see `owql_obs`).
+    #[deprecated(note = "use Snapshot::query_request with ExecOpts::seq().traced()")]
     pub fn evaluate_traced(&self, pattern: &Pattern, rec: &Recorder) -> MappingSet {
+        #[allow(deprecated)]
         self.engine().evaluate_traced(pattern, rec)
     }
 
-    /// Instrumented parallel evaluation: [`Snapshot::evaluate_parallel`]
-    /// recording spans and per-worker pool stats into `rec`.
+    /// Instrumented parallel evaluation recording spans and per-worker
+    /// pool stats into the caller's `rec`.
+    #[deprecated(note = "use Snapshot::query_request with ExecOpts::parallel().traced()")]
     pub fn evaluate_parallel_traced(
         &self,
         pattern: &Pattern,
         pool: &Pool,
         rec: &Recorder,
     ) -> MappingSet {
+        #[allow(deprecated)]
         self.engine().evaluate_parallel_traced(pattern, pool, rec)
     }
 
@@ -249,9 +328,9 @@ impl Deref for Snapshot {
 ///
 /// ```
 /// use owql_algebra::pattern::Pattern;
-/// use owql_eval::Engine;
+/// use owql_exec::Pool;
 /// use owql_rdf::Triple;
-/// use owql_store::Store;
+/// use owql_store::{QueryRequest, Store};
 ///
 /// let store = Store::new();
 /// store.insert(Triple::new("Juan", "was_born_in", "Chile"));
@@ -259,11 +338,14 @@ impl Deref for Snapshot {
 /// let before = store.snapshot();
 /// store.insert(Triple::new("Marcelo", "was_born_in", "Chile"));
 ///
-/// let p = Pattern::t("?x", "was_born_in", "Chile");
+/// let pool = Pool::sequential();
+/// let req = QueryRequest::new(Pattern::t("?x", "was_born_in", "Chile"));
 /// // The old snapshot still answers from its epoch…
-/// assert_eq!(Engine::for_snapshot(&before).evaluate(&p).len(), 1);
-/// // …while a fresh one sees the write.
-/// assert_eq!(store.snapshot().evaluate(&p).len(), 2);
+/// assert_eq!(before.query_request(&req, &pool).unwrap().mappings.len(), 1);
+/// // …while the store's unified entry point sees the write.
+/// let out = store.query_request(&req, &pool).unwrap();
+/// assert_eq!(out.mappings.len(), 2);
+/// assert_eq!(out.epoch, 2);
 /// ```
 #[derive(Debug)]
 pub struct Store {
@@ -457,45 +539,88 @@ impl Store {
         self.snapshot().to_graph()
     }
 
-    /// Evaluates `pattern` at the current epoch through the query
-    /// cache: canonicalize ([`cache_key`]), look up `(key, epoch)`,
-    /// and on a miss evaluate against a fresh snapshot and fill the
-    /// cache.
-    pub fn query(&self, pattern: &Pattern) -> MappingSet {
-        let snapshot = self.snapshot();
-        let key = cache_key(pattern);
-        if let Some(hit) = self.cache.lookup(&key, snapshot.epoch()) {
-            return hit;
-        }
-        let result = snapshot.evaluate(pattern);
-        self.cache.store(key, snapshot.epoch(), result.clone());
-        result
-    }
-
-    /// Evaluates `pattern` bypassing (and not touching) the cache.
-    pub fn query_uncached(&self, pattern: &Pattern) -> MappingSet {
-        self.snapshot().evaluate(pattern)
-    }
-
-    /// Parallel evaluation at the current epoch: takes one snapshot
-    /// up front — **pinning the epoch** for the whole run, so however
-    /// long the workers take and however many commits land meanwhile,
-    /// every worker reads the same immutable graph version — consults
-    /// the epoch-keyed cache first, and on a miss fans the evaluation
-    /// out across `pool` and fills the cache.
+    /// Answers `req` at the current epoch — THE store-level entry
+    /// point; `query`, `query_uncached`, and the deprecated method
+    /// matrix are thin wrappers over it, and the HTTP server calls it
+    /// once per request.
+    ///
+    /// Takes one snapshot up front — **pinning the epoch** for the
+    /// whole run, so however long the evaluation takes and however many
+    /// commits land meanwhile, it reads one immutable graph version
+    /// (the outcome reports that epoch). When [`ExecOpts::cache`] is
+    /// set, the epoch-keyed cache is consulted first (canonicalize via
+    /// [`cache_key`], look up `(key, epoch)`) and filled on a miss —
+    /// so every hit *and* miss shows up in the cache counters that
+    /// traced profiles carry in their `"store"` section.
     ///
     /// Linearizable against writers: the result is exactly
     /// `⟦pattern⟧G_e` for the epoch `e` the snapshot captured (the
     /// point in time the query took effect). See DESIGN.md §8.
-    pub fn evaluate_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
+    pub fn query_request(
+        &self,
+        req: &QueryRequest,
+        pool: &Pool,
+    ) -> Result<QueryOutcome, EvalError> {
         let snapshot = self.snapshot();
-        let key = cache_key(pattern);
-        if let Some(hit) = self.cache.lookup(&key, snapshot.epoch()) {
-            return hit;
+        if req.opts.cache {
+            let key = cache_key(&req.pattern);
+            if let Some(hit) = self.cache.lookup(&key, snapshot.epoch()) {
+                let profile = req.opts.trace.then(|| Profile {
+                    query: Some(req.pattern.to_string()),
+                    answers: Some(hit.len() as u64),
+                    store: Some(self.observe()),
+                    ..Profile::default()
+                });
+                return Ok(QueryOutcome {
+                    mappings: hit,
+                    profile,
+                    epoch: snapshot.epoch(),
+                    cache_hit: true,
+                });
+            }
+            let mut outcome = snapshot.query_request(req, pool)?;
+            self.cache
+                .store(key, snapshot.epoch(), outcome.mappings.clone());
+            if let Some(p) = outcome.profile.as_mut() {
+                p.store = Some(self.observe());
+            }
+            Ok(outcome)
+        } else {
+            let mut outcome = snapshot.query_request(req, pool)?;
+            if let Some(p) = outcome.profile.as_mut() {
+                p.store = Some(self.observe());
+            }
+            Ok(outcome)
         }
-        let result = snapshot.evaluate_parallel(pattern, pool);
-        self.cache.store(key, snapshot.epoch(), result.clone());
-        result
+    }
+
+    /// Evaluates `pattern` at the current epoch through the query
+    /// cache (sequential, no tracing, no deadline).
+    pub fn query(&self, pattern: &Pattern) -> MappingSet {
+        self.query_request(&QueryRequest::new(pattern.clone()), &Pool::sequential())
+            .expect(NO_BUDGET)
+            .mappings
+    }
+
+    /// Evaluates `pattern` bypassing (and not touching) the cache.
+    pub fn query_uncached(&self, pattern: &Pattern) -> MappingSet {
+        self.query_request(
+            &QueryRequest::with_opts(pattern.clone(), ExecOpts::seq().uncached()),
+            &Pool::sequential(),
+        )
+        .expect(NO_BUDGET)
+        .mappings
+    }
+
+    /// Cached parallel evaluation at the current epoch.
+    #[deprecated(note = "use Store::query_request with ExecOpts::parallel()")]
+    pub fn evaluate_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
+        self.query_request(
+            &QueryRequest::with_opts(pattern.clone(), ExecOpts::parallel()),
+            pool,
+        )
+        .expect(NO_BUDGET)
+        .mappings
     }
 
     /// Query-cache counters.
@@ -535,33 +660,29 @@ impl Store {
     }
 
     /// Runs `pattern` uncached against a fresh snapshot with full
-    /// instrumentation and returns the answers plus the unified
-    /// [`Profile`]: operator spans and NS counters from the evaluator,
-    /// and this store's state/cache counters folded into the `"store"`
-    /// section. The cache is bypassed — a profile of a cache hit would
-    /// time the lookup, not the operators.
+    /// instrumentation. The cache is bypassed — a profile of a cache
+    /// hit would time the lookup, not the operators.
+    #[deprecated(note = "use Store::query_request with ExecOpts::seq().uncached().traced()")]
     pub fn profile(&self, pattern: &Pattern) -> (MappingSet, Profile) {
-        let rec = Recorder::new();
-        let result = self.snapshot().evaluate_traced(pattern, &rec);
-        let mut profile = rec.profile();
-        profile.query = Some(pattern.to_string());
-        profile.answers = Some(result.len() as u64);
-        profile.store = Some(self.observe());
-        (result, profile)
+        let out = self
+            .query_request(
+                &QueryRequest::with_opts(pattern.clone(), ExecOpts::seq().uncached().traced()),
+                &Pool::sequential(),
+            )
+            .expect(NO_BUDGET);
+        (out.mappings, out.profile.expect("traced run has a profile"))
     }
 
-    /// [`Store::profile`] over the parallel engine: the profile
-    /// additionally carries per-worker pool stats.
+    /// Uncached traced profiling over the parallel engine.
+    #[deprecated(note = "use Store::query_request with ExecOpts::parallel().uncached().traced()")]
     pub fn profile_parallel(&self, pattern: &Pattern, pool: &Pool) -> (MappingSet, Profile) {
-        let rec = Recorder::new();
-        let result = self
-            .snapshot()
-            .evaluate_parallel_traced(pattern, pool, &rec);
-        let mut profile = rec.profile();
-        profile.query = Some(pattern.to_string());
-        profile.answers = Some(result.len() as u64);
-        profile.store = Some(self.observe());
-        (result, profile)
+        let out = self
+            .query_request(
+                &QueryRequest::with_opts(pattern.clone(), ExecOpts::parallel().uncached().traced()),
+                pool,
+            )
+            .expect(NO_BUDGET);
+        (out.mappings, out.profile.expect("traced run has a profile"))
     }
 }
 
@@ -732,7 +853,7 @@ mod tests {
     }
 
     #[test]
-    fn evaluate_parallel_matches_sequential_and_uses_cache() {
+    fn parallel_request_matches_sequential_and_uses_cache() {
         let store = Store::from_graph(&graph_from(&[
             ("a", "p", "b"),
             ("b", "p", "c"),
@@ -741,15 +862,58 @@ mod tests {
         ]));
         let pool = Pool::new(4);
         let p = Pattern::t("?x", "p", "?y").and(Pattern::t("?y", "p", "?z"));
-        let parallel = store.evaluate_parallel(&p, &pool);
-        assert_eq!(parallel, store.query_uncached(&p));
+        let req = QueryRequest::with_opts(p.clone(), ExecOpts::parallel());
+        let first = store.query_request(&req, &pool).expect(NO_BUDGET);
+        assert_eq!(first.mappings, store.query_uncached(&p));
+        assert!(!first.cache_hit);
         // Second call hits the epoch-keyed cache (shared with `query`).
-        let again = store.evaluate_parallel(&p, &pool);
-        assert_eq!(again, parallel);
+        let again = store.query_request(&req, &pool).expect(NO_BUDGET);
+        assert_eq!(again.mappings, first.mappings);
+        assert!(again.cache_hit);
+        assert_eq!(again.epoch, first.epoch);
         assert_eq!(store.cache_stats().hits, 1);
         // And the sequential `query` sees the same entry.
-        assert_eq!(store.query(&p), parallel);
+        assert_eq!(store.query(&p), first.mappings);
         assert_eq!(store.cache_stats().hits, 2);
+    }
+
+    /// A traced cache hit still yields a profile (store section only —
+    /// no operators ran), so cache traffic is visible to observability.
+    #[test]
+    fn traced_cache_hit_reports_store_section() {
+        let store = Store::from_graph(&graph_from(&[("a", "p", "b")]));
+        let p = Pattern::t("?x", "p", "?y");
+        store.query(&p); // fill the cache
+        let req = QueryRequest::with_opts(p.clone(), ExecOpts::seq().traced());
+        let out = store
+            .query_request(&req, &Pool::sequential())
+            .expect(NO_BUDGET);
+        assert!(out.cache_hit);
+        let profile = out.profile.expect("traced request has a profile");
+        assert!(profile.spans.is_empty());
+        let obs = profile.store.expect("store section");
+        assert_eq!(obs.cache_hits, 1);
+        assert_eq!(obs.cache_misses, 1);
+    }
+
+    /// A zero deadline surfaces as `EvalError::Timeout` from the store
+    /// entry point without touching the cache.
+    #[test]
+    fn store_request_deadline_times_out() {
+        let store = Store::from_graph(&graph_from(&[
+            ("a", "p", "b"),
+            ("b", "p", "c"),
+            ("c", "p", "d"),
+        ]));
+        let p = Pattern::t("?x", "p", "?y").and(Pattern::t("?y", "p", "?z"));
+        let req = QueryRequest::with_opts(
+            p.clone(),
+            ExecOpts::seq().with_deadline(std::time::Duration::ZERO),
+        );
+        let result = store.query_request(&req, &Pool::sequential());
+        assert!(matches!(result, Err(EvalError::Timeout { .. })));
+        // The failed run did not poison or fill the cache.
+        assert_eq!(store.query(&p).len(), 2);
     }
 
     /// Epoch pinning: a parallel evaluation races a writer; whatever
@@ -769,7 +933,12 @@ mod tests {
         let pool = Pool::new(4);
 
         let snap = store.snapshot();
-        let frozen = snap.evaluate(&p);
+        let seq_req = QueryRequest::new(p.clone());
+        let par_req = QueryRequest::with_opts(p.clone(), ExecOpts::parallel());
+        let frozen = snap
+            .query_request(&seq_req, &Pool::sequential())
+            .expect(NO_BUDGET)
+            .mappings;
         let writer = {
             let store = store.clone();
             thread::spawn(move || {
@@ -781,19 +950,33 @@ mod tests {
         };
         // Evaluate the pinned snapshot in parallel while writes land.
         for _ in 0..4 {
-            assert_eq!(snap.evaluate_parallel(&p, &pool), frozen);
+            let out = snap.query_request(&par_req, &pool).expect(NO_BUDGET);
+            assert_eq!(out.mappings, frozen);
+            assert_eq!(out.epoch, snap.epoch());
         }
         writer.join().expect("writer panicked");
         // The pre-write snapshot still answers from its epoch…
-        assert_eq!(snap.evaluate_parallel(&p, &pool), frozen);
+        assert_eq!(
+            snap.query_request(&par_req, &pool)
+                .expect(NO_BUDGET)
+                .mappings,
+            frozen
+        );
         // …and a fresh parallel query sees all 128 subjects.
-        assert_eq!(store.evaluate_parallel(&p, &pool).len(), 128 * 128);
+        assert_eq!(
+            store
+                .query_request(&par_req, &pool)
+                .expect(NO_BUDGET)
+                .mappings
+                .len(),
+            128 * 128
+        );
     }
 
-    /// `Store::profile` answers like `query_uncached` and folds the
-    /// live store/cache counters into the report.
+    /// A traced uncached request answers like `query_uncached` and
+    /// folds the live store/cache counters into the report.
     #[test]
-    fn profile_folds_store_counters_and_matches_uncached() {
+    fn traced_request_folds_store_counters_and_matches_uncached() {
         let store = Store::from_graph(&graph_from(&[
             ("a", "p", "b"),
             ("b", "p", "c"),
@@ -803,7 +986,12 @@ mod tests {
         store.query(&p); // a miss, so the profile sees cache traffic
         store.query(&p); // and a hit
 
-        let (result, profile) = store.profile(&p);
+        let req = QueryRequest::with_opts(p.clone(), ExecOpts::seq().uncached().traced());
+        let out = store
+            .query_request(&req, &Pool::sequential())
+            .expect(NO_BUDGET);
+        let result = out.mappings;
+        let profile = out.profile.expect("traced run has a profile");
         assert_eq!(result, store.query_uncached(&p));
         assert_eq!(profile.answers, Some(result.len() as u64));
         assert!(!profile.spans.is_empty());
@@ -818,9 +1006,39 @@ mod tests {
 
         // Parallel profiling agrees and reports pool activity.
         let pool = Pool::new(4);
-        let (par, par_profile) = store.profile_parallel(&p, &pool);
-        assert_eq!(par, result);
-        assert!(par_profile.store.is_some());
+        let par_req = QueryRequest::with_opts(p.clone(), ExecOpts::parallel().uncached().traced());
+        let par = store.query_request(&par_req, &pool).expect(NO_BUDGET);
+        assert_eq!(par.mappings, result);
+        assert!(par.profile.expect("traced").store.is_some());
+    }
+
+    /// The deprecated wrapper matrix stays answer-identical to the
+    /// unified entry point.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_agree_with_query_request() {
+        let store = Store::from_graph(&graph_from(&[
+            ("a", "p", "b"),
+            ("b", "p", "c"),
+            ("c", "p", "d"),
+        ]));
+        let p = Pattern::t("?x", "p", "?y").and(Pattern::t("?y", "p", "?z"));
+        let pool = Pool::new(2);
+        let expected = store.query_uncached(&p);
+
+        let snap = store.snapshot();
+        let rec = Recorder::new();
+        assert_eq!(snap.evaluate(&p), expected);
+        assert_eq!(snap.evaluate_parallel(&p, &pool), expected);
+        assert_eq!(snap.evaluate_traced(&p, &rec), expected);
+        assert_eq!(snap.evaluate_parallel_traced(&p, &pool, &rec), expected);
+        assert_eq!(store.evaluate_parallel(&p, &pool), expected);
+        let (r1, prof1) = store.profile(&p);
+        assert_eq!(r1, expected);
+        assert!(prof1.store.is_some());
+        let (r2, prof2) = store.profile_parallel(&p, &pool);
+        assert_eq!(r2, expected);
+        assert!(prof2.store.is_some());
     }
 
     #[test]
@@ -843,12 +1061,25 @@ mod tests {
                 let p = p.clone();
                 thread::spawn(move || {
                     let mut observed = 0usize;
+                    let req = QueryRequest::new(p.clone());
+                    let pool = Pool::sequential();
                     while !stop.load(Ordering::Relaxed) {
                         let snapshot = store.snapshot();
-                        let direct = snapshot.evaluate(&p).len();
+                        let direct = snapshot
+                            .query_request(&req, &pool)
+                            .expect(NO_BUDGET)
+                            .mappings
+                            .len();
                         // The snapshot is frozen: re-evaluating gives the
                         // same answer regardless of concurrent writes.
-                        assert_eq!(snapshot.evaluate(&p).len(), direct);
+                        assert_eq!(
+                            snapshot
+                                .query_request(&req, &pool)
+                                .expect(NO_BUDGET)
+                                .mappings
+                                .len(),
+                            direct
+                        );
                         observed = observed.max(direct);
                     }
                     observed

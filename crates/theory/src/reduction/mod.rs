@@ -52,7 +52,13 @@ impl EvalInstance {
     /// Decides the instance with the indexed engine.
     pub fn decide_indexed(&self) -> bool {
         owql_eval::Engine::new(&self.graph)
-            .evaluate(&self.pattern)
+            .run(
+                &self.pattern,
+                &owql_eval::ExecOpts::seq(),
+                &owql_exec::Pool::sequential(),
+            )
+            .expect("unlimited budget cannot time out")
+            .mappings
             .contains(&self.mapping)
     }
 }

@@ -36,13 +36,19 @@ fn main() {
     let before = store.snapshot();
     store.insert(Triple::new("Marcelo", "email", "marcelo@puc.cl"));
 
+    let pool = Pool::sequential();
+    let answers = |snap: &Snapshot, p: &Pattern| {
+        snap.query_request(&QueryRequest::new(p.clone()), &pool)
+            .expect("unlimited budget cannot time out")
+            .mappings
+    };
     println!("\nAt epoch {} (pre-write snapshot):", before.epoch());
-    for m in before.evaluate(&ns).iter_sorted() {
+    for m in answers(&before, &ns).iter_sorted() {
         println!("  {m}");
     }
     let now = store.snapshot();
     println!("At epoch {} (current):", now.epoch());
-    for m in now.evaluate(&ns).iter_sorted() {
+    for m in answers(&now, &ns).iter_sorted() {
         println!("  {m}");
     }
 
@@ -54,7 +60,13 @@ fn main() {
     let frozen = store.snapshot();
     let reader = {
         let pattern = parse_pattern("(?x, was_born_in, Chile)").unwrap();
-        thread::spawn(move || frozen.evaluate(&pattern).len())
+        thread::spawn(move || {
+            frozen
+                .query_request(&QueryRequest::new(pattern), &Pool::sequential())
+                .expect("unlimited budget cannot time out")
+                .mappings
+                .len()
+        })
     };
     for i in 0..2000 {
         let name = format!("citizen{i}");

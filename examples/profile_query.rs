@@ -51,8 +51,14 @@ fn main() {
     store.query(&p);
     store.query(&p);
     let pool = Pool::from_env();
-    let (answers, profile) = store.profile_parallel(&p, &pool);
-    println!("{} answers at epoch {}.\n", answers.len(), store.epoch());
+    let out = store
+        .query_request(
+            &QueryRequest::with_opts(p.clone(), ExecOpts::parallel().uncached().traced()),
+            &pool,
+        )
+        .expect("unlimited budget cannot time out");
+    let (answers, profile) = (out.mappings, out.profile.expect("traced run has a profile"));
+    println!("{} answers at epoch {}.\n", answers.len(), out.epoch);
 
     let mut summary = String::new();
     for op in &profile.operators {

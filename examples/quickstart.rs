@@ -6,6 +6,13 @@
 use owql::prelude::*;
 use owql::rdf::{datasets, ntriples};
 
+fn eval(engine: &Engine, p: &Pattern) -> MappingSet {
+    engine
+        .run(p, &ExecOpts::seq(), &Pool::sequential())
+        .expect("unlimited budget cannot time out")
+        .mappings
+}
+
 fn print_answers(title: &str, answers: &MappingSet) {
     println!("{title}");
     for m in answers.iter_sorted() {
@@ -40,7 +47,7 @@ fn main() {
     let engine = Engine::new(&g);
     print_answers(
         "Example 2.2 — people behind sharing-rights orgs:",
-        &engine.evaluate(&p),
+        &eval(&engine, &p),
     );
 
     // ------------------------------------------------------------------
@@ -56,14 +63,14 @@ fn main() {
     )
     .unwrap();
     let e2 = Engine::new(&g2);
-    print_answers("OPT version:", &e2.evaluate(&opt));
-    print_answers("NS version:", &e2.evaluate(&ns));
+    print_answers("OPT version:", &eval(&e2, &opt));
+    print_answers("NS version:", &eval(&e2, &ns));
 
     // ------------------------------------------------------------------
     // 4. The two engines always agree; the indexed one is just faster.
     // ------------------------------------------------------------------
     let reference = owql::eval::evaluate(&p, &g);
-    assert_eq!(reference, Engine::new(&g).evaluate(&p));
+    assert_eq!(reference, eval(&Engine::new(&g), &p));
     println!(
         "Reference evaluator and indexed engine agree on {} answers.",
         reference.len()

@@ -116,7 +116,10 @@ fn handle(line: &str, graph: &mut Graph) -> bool {
     }
     match parse_pattern(line) {
         Ok(p) => {
-            let answers = Engine::new(graph).evaluate_optimized(&p);
+            let answers = Engine::new(graph)
+                .run(&p, &ExecOpts::seq().optimized(), &Pool::sequential())
+                .expect("unlimited budget cannot time out")
+                .mappings;
             for m in answers.iter_sorted() {
                 println!("{m}");
             }

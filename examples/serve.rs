@@ -1,0 +1,66 @@
+//! Boots a query server over a small social-network store and prints
+//! ready-to-paste curl commands.
+//!
+//! ```text
+//! cargo run --example serve
+//! curl -s localhost:PORT/healthz
+//! curl -s -X POST localhost:PORT/query -d '(?x, knows, ?y)'
+//! ```
+//!
+//! Set `OWQL_SERVE_ADDR` to pick the bind address (default
+//! `127.0.0.1:7878`); set `OWQL_SERVE_ONESHOT=1` to boot, self-query,
+//! and exit (used by CI).
+
+use owql_rdf::Triple;
+use owql_server::{Server, ServerConfig};
+use owql_store::Store;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn main() {
+    let store = Arc::new(Store::new());
+    store.insert(Triple::new("alice", "knows", "bob"));
+    store.insert(Triple::new("bob", "knows", "carol"));
+    store.insert(Triple::new("carol", "knows", "dave"));
+    store.insert(Triple::new("alice", "age", "42"));
+    store.insert(Triple::new("bob", "age", "37"));
+
+    let config = ServerConfig {
+        addr: std::env::var("OWQL_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_owned()),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(store, config).expect("failed to bind");
+    let addr = server.addr();
+    println!("owql-server listening on http://{addr}");
+    println!();
+    println!("Try:");
+    println!("  curl -s {addr}/healthz");
+    println!("  curl -s {addr}/metrics");
+    println!("  curl -s -X POST '{addr}/query' -d '(?x, knows, ?y)'");
+    println!("  curl -s -X POST '{addr}/query?mode=parallel&trace=1' -d '((?x, knows, ?y) AND (?y, knows, ?z))'");
+    println!("  curl -s -X POST '{addr}/explain' -d '((?x, knows, ?y) AND (?y, age, ?a))'");
+
+    if std::env::var("OWQL_SERVE_ONESHOT").as_deref() == Ok("1") {
+        // CI smoke mode: issue one query against ourselves and exit.
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let body = "(?x, knows, ?y)";
+        write!(
+            conn,
+            "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("read");
+        assert!(response.contains("\"count\": 3"), "unexpected: {response}");
+        println!("\noneshot query OK: 3 mappings");
+        server.shutdown();
+        return;
+    }
+
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -34,10 +34,19 @@ fn main() {
     );
 
     let engine = Engine::new(&g);
+    // One entry point for every run: options say how, the pool says
+    // with what parallelism.
+    let pool = Pool::from_env();
+    let eval = |p: &Pattern| {
+        engine
+            .run(p, &ExecOpts::parallel(), &pool)
+            .expect("unlimited budget cannot time out")
+            .mappings
+    };
 
     // 1. The well-designed OPT query.
     let opt_query = parse_pattern("((?p, was_born_in, Chile) OPT (?p, email, ?e))").unwrap();
-    let opt_answers = engine.evaluate(&opt_query);
+    let opt_answers = eval(&opt_query);
     let with_email = opt_answers
         .iter()
         .filter(|m| m.is_bound(Variable::new("e")))
@@ -54,7 +63,7 @@ fn main() {
             ((?p, was_born_in, Chile) AND (?p, email, ?e))))",
     )
     .unwrap();
-    let ns_answers = engine.evaluate(&ns_query);
+    let ns_answers = eval(&ns_query);
     assert_eq!(opt_answers, ns_answers, "well-designed OPT ≡ its NS form");
     println!("NS query agrees exactly ({} answers).", ns_answers.len());
 
@@ -89,7 +98,7 @@ fn main() {
           MINUS (?p, follows, ?c))",
     )
     .unwrap();
-    let recs = engine.evaluate(&fof);
+    let recs = eval(&fof);
     println!(
         "\nFollow recommendations (friend-of-friend, not yet followed): {}",
         recs.len()

@@ -48,6 +48,28 @@ if [[ "$FAST" == "0" ]]; then
   grep -q '"owql_threads"' BENCH_parallel.json || { echo "missing owql_threads in BENCH_parallel.json"; exit 1; }
   grep -q '"cache_hit_rate"' BENCH_store.json || { echo "missing cache_hit_rate in BENCH_store.json"; exit 1; }
   echo "profile schema OK"
+
+  step "server-smoke (oneshot boot + load_gen + schema + deprecated-API sweep)"
+  OWQL_SERVE_ONESHOT=1 cargo run --release --example serve
+  scripts/load_gen BENCH_server.json
+  for key in '"phases"' '"server_metrics"' '"p99_ms"' '"throughput_rps"' \
+             '"shed_rate"' '"churn_commits"' '"overload"' '"sustained"'; do
+    grep -q "$key" BENCH_server.json || { echo "missing $key in BENCH_server.json"; exit 1; }
+  done
+  python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_server.json"))
+overload = [p for p in d["phases"] if p["phase"] == "overload"]
+assert overload and overload[0]["shed_rate"] > 0, "overload phase shed nothing"
+sustained = [p for p in d["phases"] if p["phase"] == "sustained"]
+assert sustained and sustained[0]["clients"] >= 4, "no sustained multi-client phase"
+assert all("p99_ms" in p for p in d["phases"]), "missing p99 latency"
+EOF
+  if grep -rnE '\.(evaluate|evaluate_parallel|evaluate_traced|evaluate_parallel_traced|profile_parallel)\(' \
+      examples/ tests/ crates/bench/ crates/server/; then
+    echo "deprecated evaluate-variant call site found"; exit 1
+  fi
+  echo "server smoke OK"
 fi
 
 step "doc (-D warnings)"

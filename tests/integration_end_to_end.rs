@@ -9,6 +9,14 @@ use owql::theory::rewrite::ns_elimination::eliminate_ns;
 use owql::theory::rewrite::opt_to_ns::opt_to_ns;
 use owql::theory::rewrite::pattern_tree::wd_to_simple;
 
+/// Sequential evaluation through the unified entry point.
+fn eval(engine: &Engine, p: &Pattern) -> MappingSet {
+    engine
+        .run(p, &ExecOpts::seq(), &Pool::sequential())
+        .expect("unlimited budget cannot time out")
+        .mappings
+}
+
 fn quick() -> CheckOptions {
     CheckOptions {
         universe_size: 7,
@@ -44,10 +52,10 @@ fn full_pipeline_well_designed_to_core_sparql() {
     assert!(operators(&core).within(Operators::SPARQL));
 
     let engine = Engine::new(&g);
-    let reference = engine.evaluate(&p);
-    assert_eq!(reference, engine.evaluate(&simple), "Prop 5.6 stage");
-    assert_eq!(reference, engine.evaluate(&eliminated), "Thm 5.1 stage");
-    assert_eq!(reference, engine.evaluate(&core), "MINUS desugaring stage");
+    let reference = eval(&engine, &p);
+    assert_eq!(reference, eval(&engine, &simple), "Prop 5.6 stage");
+    assert_eq!(reference, eval(&engine, &eliminated), "Thm 5.1 stage");
+    assert_eq!(reference, eval(&engine, &core), "MINUS desugaring stage");
 }
 
 /// The OPT→NS story across a workload: on well-designed queries the
@@ -70,7 +78,7 @@ fn opt_vs_ns_on_workload() {
     for q in queries {
         let p = parse_pattern(q).unwrap();
         let ns = opt_to_ns(&p);
-        assert_eq!(engine.evaluate(&p), engine.evaluate(&ns), "{q}");
+        assert_eq!(eval(&engine, &p), eval(&engine, &ns), "{q}");
         assert!(checks::weakly_monotone(&ns, &quick()).holds(), "{q}");
     }
 }
@@ -120,7 +128,7 @@ fn engines_agree_on_workloads() {
         let engine = Engine::new(g);
         for q in queries {
             let p = parse_pattern(q).unwrap();
-            assert_eq!(engine.evaluate(&p), evaluate(&p, g), "{q}");
+            assert_eq!(eval(&engine, &p), evaluate(&p, g), "{q}");
         }
     }
 }

@@ -10,6 +10,13 @@ use owql::prelude::*;
 use proptest::prelude::*;
 use std::time::Instant;
 
+/// Runs `p` through the unified entry point with the given options.
+fn run_with(engine: &Engine, p: &Pattern, opts: &ExecOpts, pool: &Pool) -> RunOutcome {
+    engine
+        .run(p, opts, pool)
+        .expect("unlimited budget cannot time out")
+}
+
 fn arb_iri() -> impl Strategy<Value = Iri> {
     (0..6u8).prop_map(|i| Iri::new(&format!("c{i}")))
 }
@@ -32,7 +39,7 @@ fn pattern_config() -> PatternConfig {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Acceptance criterion: `evaluate_traced` agrees with `evaluate`
+    /// Acceptance criterion: a traced run agrees with an untraced run
     /// on random NS-SPARQL patterns over random graphs, and the
     /// recorded span tree is well-formed (a root exists, every parent
     /// id precedes its children's, and root output rows sum to the
@@ -41,15 +48,16 @@ proptest! {
     fn traced_agrees_with_plain(seed in 0u64..10_000, g in arb_graph()) {
         let p = random_pattern(&pattern_config(), seed);
         let engine = Engine::new(&g);
-        let expected = engine.evaluate(&p);
+        let pool = Pool::sequential();
+        let expected = run_with(&engine, &p, &ExecOpts::seq(), &pool).mappings;
 
-        let rec = Recorder::new();
+        let traced = run_with(&engine, &p, &ExecOpts::seq().traced(), &pool);
         prop_assert_eq!(
-            engine.evaluate_traced(&p, &rec),
+            traced.mappings,
             expected.clone(),
             "traced diverged on {}", p
         );
-        let spans = rec.spans();
+        let spans = traced.profile.expect("traced run has a profile").spans;
         prop_assert!(!spans.is_empty());
         let roots: Vec<_> = spans.iter().filter(|s| s.parent == SpanId::ROOT).collect();
         prop_assert_eq!(roots.len(), 1, "one top-level operator per query");
@@ -69,33 +77,34 @@ proptest! {
     fn traced_parallel_agrees_at_widths(seed in 0u64..10_000, g in arb_graph()) {
         let p = random_pattern(&pattern_config(), seed);
         let engine = Engine::new(&g);
-        let expected = engine.evaluate(&p);
+        let expected = run_with(&engine, &p, &ExecOpts::seq(), &Pool::sequential()).mappings;
         for workers in [1usize, 8] {
             let pool = Pool::new(workers);
-            let rec = Recorder::new();
+            let out = run_with(&engine, &p, &ExecOpts::parallel().traced(), &pool);
             prop_assert_eq!(
-                engine.evaluate_parallel_traced(&p, &pool, &rec),
+                out.mappings,
                 expected.clone(),
                 "traced width {} diverged on {}", workers, p
             );
-            prop_assert!(!rec.spans().is_empty());
+            prop_assert!(!out.profile.expect("traced run has a profile").spans.is_empty());
         }
     }
 
-    /// A disabled recorder never records anything — no spans, no NS
-    /// counters, no pool stats — while answers stay exact.
+    /// An untraced run records nothing — `RunOutcome::profile` is
+    /// `None` on both modes — while answers stay exact, and a disabled
+    /// recorder reports empty counters.
     #[test]
-    fn disabled_recorder_records_nothing(seed in 0u64..10_000, g in arb_graph()) {
+    fn untraced_runs_record_nothing(seed in 0u64..10_000, g in arb_graph()) {
         let p = random_pattern(&pattern_config(), seed);
         let engine = Engine::new(&g);
-        let rec = Recorder::disabled();
-        prop_assert_eq!(engine.evaluate_traced(&p, &rec), engine.evaluate(&p));
+        let seq = run_with(&engine, &p, &ExecOpts::seq(), &Pool::sequential());
+        prop_assert!(seq.profile.is_none());
         let pool = Pool::new(8);
-        prop_assert_eq!(
-            engine.evaluate_parallel_traced(&p, &pool, &rec),
-            engine.evaluate(&p)
-        );
-        let profile = rec.profile();
+        let par = run_with(&engine, &p, &ExecOpts::parallel(), &pool);
+        prop_assert!(par.profile.is_none());
+        prop_assert_eq!(par.mappings, seq.mappings);
+
+        let profile = Recorder::disabled().profile();
         prop_assert!(profile.spans.is_empty());
         prop_assert_eq!(profile.ns.candidates, 0);
         prop_assert_eq!(profile.pool.parallel_maps, 0);
@@ -103,8 +112,9 @@ proptest! {
         prop_assert!(profile.pool.workers.is_empty());
     }
 
-    /// `Store::profile` answers exactly like the uncached query path
-    /// and its JSON report carries every schema section.
+    /// A traced uncached `Store::query_request` answers exactly like
+    /// the uncached query path and its JSON report carries every schema
+    /// section.
     #[test]
     fn store_profile_agrees_and_serializes(seed in 0u64..10_000, g in arb_graph()) {
         let store = Store::new();
@@ -112,7 +122,13 @@ proptest! {
         tx.insert_graph(&g);
         store.commit(tx);
         let p = random_pattern(&pattern_config(), seed);
-        let (result, profile) = store.profile(&p);
+        let out = store
+            .query_request(
+                &QueryRequest::with_opts(p.clone(), ExecOpts::seq().uncached().traced()),
+                &Pool::sequential(),
+            )
+            .expect("unlimited budget cannot time out");
+        let (result, profile) = (out.mappings, out.profile.expect("traced run has a profile"));
         prop_assert_eq!(result.clone(), store.query_uncached(&p));
         prop_assert_eq!(profile.answers, Some(result.len() as u64));
         let json = profile.to_json();
@@ -181,23 +197,21 @@ fn tracing_overhead_is_bounded() {
         best
     };
 
-    let plain = best(&|| engine.evaluate(&p).len());
-    let disabled = {
-        let rec = Recorder::disabled();
-        best(&|| engine.evaluate_traced(&p, &rec).len())
-    };
-    let enabled = {
-        let rec = Recorder::new();
-        best(&|| engine.evaluate_traced(&p, &rec).len())
-    };
+    let pool = Pool::sequential();
+    let plain = best(&|| {
+        run_with(&engine, &p, &ExecOpts::seq(), &pool)
+            .mappings
+            .len()
+    });
+    let enabled = best(&|| {
+        run_with(&engine, &p, &ExecOpts::seq().traced(), &pool)
+            .mappings
+            .len()
+    });
 
-    // Generous bounds: this is a smoke test against order-of-magnitude
+    // Generous bound: this is a smoke test against order-of-magnitude
     // regressions (e.g. tracing accidentally always on), not a
     // microbenchmark.
-    assert!(
-        disabled <= plain.saturating_mul(3).max(2_000_000),
-        "disabled-recorder path {disabled}ns vs plain {plain}ns"
-    );
     assert!(
         enabled <= plain.saturating_mul(10).max(20_000_000),
         "enabled-recorder path {enabled}ns vs plain {plain}ns"

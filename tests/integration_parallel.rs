@@ -1,5 +1,5 @@
 //! Differential integration tests for parallel evaluation: the
-//! `owql-exec`-backed `evaluate_parallel` path must be answer-identical
+//! `owql-exec`-backed `ExecMode::Parallel` path must be answer-identical
 //! to the sequential engine at every pool width, for every pattern, on
 //! every graph — including while concurrent writers mutate the store.
 
@@ -9,6 +9,26 @@ use owql::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Runs `p` through the unified entry point with the given options.
+fn run_with<I: TripleLookup + Sync>(
+    engine: &Engine<I>,
+    p: &Pattern,
+    opts: &ExecOpts,
+    pool: &Pool,
+) -> MappingSet {
+    engine
+        .run(p, opts, pool)
+        .expect("unlimited budget cannot time out")
+        .mappings
+}
+
+fn store_request(store: &Store, p: &Pattern, opts: ExecOpts, pool: &Pool) -> MappingSet {
+    store
+        .query_request(&QueryRequest::with_opts(p.clone(), opts), pool)
+        .expect("unlimited budget cannot time out")
+        .mappings
+}
 
 fn arb_iri() -> impl Strategy<Value = Iri> {
     (0..6u8).prop_map(|i| Iri::new(&format!("c{i}")))
@@ -32,18 +52,18 @@ fn pattern_config() -> PatternConfig {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// Acceptance criterion: `evaluate_parallel` agrees with the
+    /// Acceptance criterion: parallel-mode `Engine::run` agrees with the
     /// sequential engine on random NS-SPARQL patterns over random
     /// graphs, at pool widths 1, 2, and 8.
     #[test]
     fn parallel_engine_agrees_at_every_width(seed in 0u64..10_000, g in arb_graph()) {
         let p = random_pattern(&pattern_config(), seed);
         let engine = Engine::new(&g);
-        let expected = engine.evaluate(&p);
+        let expected = run_with(&engine, &p, &ExecOpts::seq(), &Pool::sequential());
         for workers in [1usize, 2, 8] {
             let pool = Pool::new(workers);
             prop_assert_eq!(
-                engine.evaluate_parallel(&p, &pool),
+                run_with(&engine, &p, &ExecOpts::parallel(), &pool),
                 expected.clone(),
                 "width {} diverged on {}", workers, p
             );
@@ -58,15 +78,15 @@ proptest! {
         let engine = Engine::new(&g);
         let pool = Pool::new(8);
         prop_assert_eq!(
-            engine.evaluate_optimized_parallel(&p, &pool),
-            engine.evaluate(&p),
+            run_with(&engine, &p, &ExecOpts::parallel().optimized(), &pool),
+            run_with(&engine, &p, &ExecOpts::seq(), &Pool::sequential()),
             "optimized parallel diverged on {}", p
         );
     }
 
-    /// `Store::evaluate_parallel` answers exactly like the uncached
-    /// sequential query path at every width, through the store's
-    /// snapshot + cache machinery.
+    /// A parallel-mode `Store::query_request` answers exactly like the
+    /// uncached sequential query path at every width, through the
+    /// store's snapshot + cache machinery.
     #[test]
     fn store_parallel_agrees_with_query(seed in 0u64..10_000, g in arb_graph()) {
         let store = Store::new();
@@ -78,7 +98,7 @@ proptest! {
         for workers in [1usize, 2, 8] {
             let pool = Pool::new(workers);
             prop_assert_eq!(
-                store.evaluate_parallel(&p, &pool),
+                store_request(&store, &p, ExecOpts::parallel().uncached(), &pool),
                 expected.clone(),
                 "store width {} diverged on {}", workers, p
             );
@@ -137,16 +157,22 @@ fn parallel_evaluation_is_stable_under_concurrent_churn() {
             let engine = snapshot.engine();
             let pool = Pool::new(if round % 2 == 0 { 2 } else { 8 });
             for p in &patterns {
-                let sequential = engine.evaluate(p);
+                let sequential = run_with(&engine, p, &ExecOpts::seq(), &Pool::sequential());
+                let parallel = snapshot
+                    .query_request(
+                        &QueryRequest::with_opts(p.clone(), ExecOpts::parallel()),
+                        &pool,
+                    )
+                    .expect("unlimited budget cannot time out");
                 assert_eq!(
-                    snapshot.evaluate_parallel(p, &pool),
-                    sequential,
+                    parallel.mappings, sequential,
                     "pinned snapshot skewed under churn for {p}"
                 );
+                assert_eq!(parallel.epoch, snapshot.epoch());
                 // The store-level entry point pins its own snapshot;
                 // it must answer from *some* consistent epoch without
                 // panicking, racing the writer freely.
-                let _ = store.evaluate_parallel(p, &pool);
+                let _ = store_request(&store, p, ExecOpts::parallel(), &pool);
             }
         }
         writer.join().expect("writer panicked");
@@ -156,7 +182,10 @@ fn parallel_evaluation_is_stable_under_concurrent_churn() {
     // answers must equal the sequential uncached query exactly.
     let pool = Pool::new(8);
     for p in &patterns {
-        assert_eq!(store.evaluate_parallel(p, &pool), store.query_uncached(p));
+        assert_eq!(
+            store_request(&store, p, ExecOpts::parallel().uncached(), &pool),
+            store.query_uncached(p)
+        );
     }
 }
 
@@ -171,7 +200,10 @@ fn width_one_pool_is_sequential_fallback() {
     let cfg = pattern_config();
     for seed in 0..12u64 {
         let p = random_pattern(&cfg, 0xF00 + seed);
-        assert_eq!(engine.evaluate_parallel(&p, &pool), engine.evaluate(&p));
+        assert_eq!(
+            run_with(&engine, &p, &ExecOpts::parallel(), &pool),
+            run_with(&engine, &p, &ExecOpts::seq(), &Pool::sequential())
+        );
     }
     let stats = pool.stats();
     assert_eq!(stats.parallel_maps, 0, "width-1 pool must never spawn");

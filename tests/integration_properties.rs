@@ -196,7 +196,11 @@ proptest! {
             var_probability: 0.5,
         };
         let p = random_pattern(&cfg, seed);
-        prop_assert_eq!(Engine::new(&g).evaluate(&p), evaluate(&p, &g));
+        let indexed = Engine::new(&g)
+            .run(&p, &ExecOpts::seq(), &Pool::sequential())
+            .expect("unlimited budget cannot time out")
+            .mappings;
+        prop_assert_eq!(indexed, evaluate(&p, &g));
     }
 
     /// NS evaluation equals maximal-answer filtering of the plain

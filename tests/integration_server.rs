@@ -1,0 +1,309 @@
+//! End-to-end tests driving the query server over real TCP sockets:
+//! epoch-consistent answers under churn writes, deadline `504`s that
+//! leave the worker pool healthy, queue-full `429` shedding, parse
+//! errors echoed with byte offsets, and graceful shutdown draining
+//! in-flight requests.
+
+use owql_rdf::Triple;
+use owql_server::{Server, ServerConfig};
+use owql_store::Store;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sends one request and returns `(status, headers, body)`.
+fn send(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        conn,
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let (head, payload) = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator");
+    (status, head.to_owned(), payload.to_owned())
+}
+
+fn query(addr: SocketAddr, target: &str, pattern: &str) -> (u16, String) {
+    let (status, _, body) = send(addr, "POST", target, pattern);
+    (status, body)
+}
+
+/// Extracts an integer field from a flat JSON response body.
+fn json_u64(body: &str, field: &str) -> u64 {
+    let needle = format!("\"{field}\": ");
+    let start = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {field} in {body}"))
+        + needle.len();
+    body[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("integer field")
+}
+
+fn seeded_store(n: usize) -> Arc<Store> {
+    let store = Arc::new(Store::new());
+    for i in 0..n {
+        store.insert(Triple::new(&format!("s{i}"), "p", &format!("o{i}")));
+    }
+    store
+}
+
+#[test]
+fn healthz_metrics_and_basic_query() {
+    let store = seeded_store(3);
+    let server = Server::start(store.clone(), ServerConfig::default()).expect("start");
+    let addr = server.addr();
+
+    let (status, _, body) = send(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\": \"ok\""), "{body}");
+    assert_eq!(json_u64(&body, "epoch"), store.epoch());
+
+    let (status, body) = query(addr, "/query", "(?x, p, ?y)");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_u64(&body, "count"), 3);
+    assert!(body.contains("\"s0\""), "{body}");
+
+    // Same request again: served from the epoch-keyed cache.
+    let (_, body) = query(addr, "/query", "(?x, p, ?y)");
+    assert!(body.contains("\"cache_hit\": true"), "{body}");
+
+    // Traced parallel request carries a profile.
+    let (status, body) = query(addr, "/query?mode=parallel&trace=1&cache=0", "(?x, p, ?y)");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"profile\""), "{body}");
+
+    let (status, body) = query(addr, "/explain", "(?x, p, ?y)");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"plan\""), "{body}");
+
+    let (status, _, body) = send(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(json_u64(&body, "responses_2xx") >= 5, "{body}");
+    assert!(body.contains("\"cache_hits\""), "{body}");
+
+    let (status, _, body) = send(addr, "GET", "/nope", "");
+    assert_eq!(status, 404, "{body}");
+    let (status, _, _) = send(addr, "POST", "/healthz", "");
+    assert_eq!(status, 405);
+
+    server.shutdown();
+}
+
+#[test]
+fn parse_errors_echo_byte_offsets() {
+    let server = Server::start(seeded_store(1), ServerConfig::default()).expect("start");
+    let addr = server.addr();
+
+    let (status, body) = query(addr, "/query", "(?x, p");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("parse error at byte"), "{body}");
+
+    let (status, body) = query(addr, "/query", "");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("empty request body"), "{body}");
+
+    let (status, body) = query(addr, "/query?mode=sideways", "(?x, p, ?y)");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unknown mode"), "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_maps_to_504_without_poisoning_workers() {
+    let store = seeded_store(8);
+    let server = Server::start(
+        store,
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    // A zero deadline times out on every execution mode.
+    for target in [
+        "/query?deadline_ms=0&cache=0",
+        "/query?deadline_ms=0&cache=0&mode=parallel",
+        "/query?deadline_ms=0&cache=0&trace=1",
+    ] {
+        let (status, body) = query(addr, target, "((?x, p, ?y) AND (?y, q, ?z))");
+        assert_eq!(status, 504, "{target}: {body}");
+        assert!(body.contains("deadline"), "{body}");
+    }
+
+    // Workers survive: the very next requests answer normally on both
+    // modes, and more requests than workers all succeed.
+    for _ in 0..4 {
+        let (status, body) = query(addr, "/query?cache=0", "(?x, p, ?y)");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(json_u64(&body, "count"), 8);
+        let (status, body) = query(addr, "/query?cache=0&mode=parallel", "(?x, p, ?y)");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(json_u64(&body, "count"), 8);
+    }
+
+    let (_, _, body) = send(addr, "GET", "/metrics", "");
+    assert!(json_u64(&body, "timeouts_total") >= 3, "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_429_and_retry_after() {
+    let server = Server::start(
+        seeded_store(2),
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            io_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    // Tie up the single worker with a connection that sends nothing,
+    // then fill the one queue slot the same way.
+    let hold_worker = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(150));
+    let hold_queue = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Now the queue is full: this request must be shed.
+    let (status, head, body) = send(addr, "POST", "/query", "(?x, p, ?y)");
+    assert_eq!(status, 429, "{body}");
+    assert!(head.contains("Retry-After:"), "{head}");
+
+    // Release the held connections; the server recovers fully.
+    drop(hold_worker);
+    drop(hold_queue);
+    std::thread::sleep(Duration::from_millis(150));
+    let (status, body) = query(addr, "/query", "(?x, p, ?y)");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_u64(&body, "count"), 2);
+
+    let (_, _, body) = send(addr, "GET", "/metrics", "");
+    assert!(json_u64(&body, "shed_total") >= 1, "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_queries_under_churn_are_epoch_consistent() {
+    let base = 16;
+    let store = seeded_store(base);
+    let base_epoch = store.epoch();
+    let server = Server::start(
+        store.clone(),
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    // Churn writer: one new matching triple per commit, so the visible
+    // answer count at epoch E is exactly base + (E - base_epoch).
+    let writer_store = store.clone();
+    let writer = std::thread::spawn(move || {
+        for i in 0..64u32 {
+            writer_store.insert(Triple::new(&format!("w{i}"), "p", &format!("wo{i}")));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    });
+
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            std::thread::spawn(move || {
+                for i in 0..24 {
+                    let target = match (r + i) % 3 {
+                        0 => "/query?cache=0",
+                        1 => "/query?cache=0&mode=parallel",
+                        _ => "/query", // cached path is epoch-keyed too
+                    };
+                    let (status, body) = query(addr, target, "(?x, p, ?y)");
+                    assert_eq!(status, 200, "{body}");
+                    let epoch = json_u64(&body, "epoch");
+                    let count = json_u64(&body, "count");
+                    assert_eq!(
+                        count,
+                        base as u64 + (epoch - base_epoch),
+                        "answer count must match the reported epoch: {body}"
+                    );
+                }
+            })
+        })
+        .collect();
+
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+    writer.join().expect("writer panicked");
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let server = Server::start(seeded_store(4), ServerConfig::default()).expect("start");
+    let addr = server.addr();
+
+    // This client is admitted, then stalls before sending its request.
+    // Shutdown must wait for it rather than cutting the connection.
+    let slow_client = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        std::thread::sleep(Duration::from_millis(300));
+        let body = "(?x, p, ?y)";
+        write!(
+            conn,
+            "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write");
+        let mut response = String::new();
+        conn.read_to_string(&mut response).expect("read");
+        response
+    });
+
+    std::thread::sleep(Duration::from_millis(100));
+    server.shutdown(); // returns only after the in-flight request drains
+
+    let response = slow_client.join().expect("client panicked");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("\"count\": 4"), "{response}");
+
+    // The listener is gone afterwards.
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        TcpStream::connect(addr).is_err()
+            || TcpStream::connect(addr)
+                .and_then(|mut c| {
+                    let mut buf = [0u8; 1];
+                    c.write_all(b"GET /healthz HTTP/1.1\r\n\r\n")?;
+                    let n = c.read(&mut buf)?;
+                    Ok(n == 0)
+                })
+                .unwrap_or(true),
+        "server still answering after shutdown"
+    );
+}

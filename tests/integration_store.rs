@@ -8,6 +8,22 @@ use owql::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Sequential evaluation of `p` on any engine via the unified API.
+fn eval<I: TripleLookup + Sync>(engine: &Engine<I>, p: &Pattern) -> MappingSet {
+    engine
+        .run(p, &ExecOpts::seq(), &Pool::sequential())
+        .expect("unlimited budget cannot time out")
+        .mappings
+}
+
+/// Snapshot answers through `Snapshot::query_request`.
+fn snap_eval(snapshot: &Snapshot, p: &Pattern) -> MappingSet {
+    snapshot
+        .query_request(&QueryRequest::new(p.clone()), &Pool::sequential())
+        .expect("unlimited budget cannot time out")
+        .mappings
+}
+
 /// A small universe so random mutations collide: duplicate inserts,
 /// deletes of present triples, re-inserts of deleted ones.
 fn universe() -> Vec<Triple> {
@@ -83,8 +99,8 @@ fn differential_snapshot_equals_rebuilt_engine() {
         let rebuilt = Engine::new(&store.to_graph());
         for pattern_seed in 0..5u64 {
             let p = random_pattern(&cfg, seed * 1000 + pattern_seed);
-            let via_snapshot = Engine::for_snapshot(&snapshot).evaluate(&p);
-            let via_rebuild = rebuilt.evaluate(&p);
+            let via_snapshot = eval(&Engine::for_snapshot(&snapshot), &p);
+            let via_rebuild = eval(&rebuilt, &p);
             assert_eq!(
                 via_snapshot, via_rebuild,
                 "divergence at seed {seed}, pattern {p}"
@@ -102,7 +118,7 @@ fn snapshot_isolation_pins_pre_write_answers() {
 
     let before = store.snapshot();
     let p = parse_pattern("(?x, was_born_in, chile)").unwrap();
-    let pre_write = before.evaluate(&p);
+    let pre_write = snap_eval(&before, &p);
     assert_eq!(pre_write.len(), 1);
 
     // Concurrent-looking writes: add, delete the original, compact.
@@ -110,12 +126,16 @@ fn snapshot_isolation_pins_pre_write_answers() {
     store.delete(&Triple::new("juan", "was_born_in", "chile"));
     store.force_compact();
 
-    assert_eq!(before.evaluate(&p), pre_write, "snapshot answers shifted");
+    assert_eq!(
+        snap_eval(&before, &p),
+        pre_write,
+        "snapshot answers shifted"
+    );
     assert_eq!(before.epoch(), 1);
     assert!(store.epoch() > before.epoch());
 
     // A fresh snapshot sees the new world: marcelo only.
-    let after = store.snapshot().evaluate(&p);
+    let after = snap_eval(&store.snapshot(), &p);
     assert_eq!(after.len(), 1);
     assert!(after
         .iter()
@@ -191,8 +211,8 @@ fn compaction_is_semantically_invisible() {
     for seed in 0..12u64 {
         let p = random_pattern(&cfg, 7000 + seed);
         assert_eq!(
-            before.evaluate(&p),
-            after.evaluate(&p),
+            snap_eval(&before, &p),
+            snap_eval(&after, &p),
             "compaction changed answers for {p}"
         );
     }
@@ -216,7 +236,7 @@ fn ns_queries_over_snapshots() {
     )
     .unwrap();
     let live = store.query(&p);
-    let static_answers = Engine::new(&store.to_graph()).evaluate(&p);
+    let static_answers = eval(&Engine::new(&store.to_graph()), &p);
     assert_eq!(live, static_answers);
     assert_eq!(live.len(), 2); // juan with email, marcelo without
 

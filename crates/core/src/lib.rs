@@ -47,7 +47,8 @@
 //! |---|---|---|
 //! | [`rdf`] | `owql-rdf` | IRIs, triples, graphs, indexes, N-Triples I/O, workload generators |
 //! | [`algebra`] | `owql-algebra` | mappings, mapping-set algebra, patterns (incl. NS/MINUS), fragments, well-designedness, normal forms, CONSTRUCT |
-//! | [`parser`] | `owql-parser` | surface syntax |
+//! | [`parser`] | `owql-parser` | surface syntax, byte-span tracking, line:column locations |
+//! | [`lint`] | `owql-lint` | span-aware static analyzer: fragment/complexity classification, well-designedness and filter/projection/union diagnostics, admission vocabulary |
 //! | [`eval`] | `owql-eval` | reference + indexed engines, CONSTRUCT evaluation |
 //! | [`logic`] | `owql-logic` | propositional logic, DPLL, cardinality, coloring (substrate of §7) |
 //! | [`theory`] | `owql-theory` | FO translation, rewrites, checkers, witnesses, reductions, synthesis |
@@ -59,6 +60,7 @@
 pub use owql_algebra as algebra;
 pub use owql_eval as eval;
 pub use owql_exec as exec;
+pub use owql_lint as lint;
 pub use owql_logic as logic;
 pub use owql_obs as obs;
 pub use owql_parser as parser;
@@ -77,8 +79,9 @@ pub mod prelude {
         construct, evaluate, AnnotatedPlan, Engine, EvalError, ExecMode, ExecOpts, RunOutcome,
     };
     pub use owql_exec::Pool;
+    pub use owql_lint::{analyze_pattern, analyze_source, Analysis, ComplexityClass, Fragment};
     pub use owql_obs::{Profile, Recorder};
-    pub use owql_parser::{parse_construct, parse_pattern};
+    pub use owql_parser::{parse_construct, parse_pattern, parse_pattern_spanned};
     pub use owql_rdf::{Graph, GraphIndex, Iri, SnapshotIndex, Triple, TripleLookup};
     pub use owql_server::{Server, ServerConfig};
     pub use owql_store::{QueryOutcome, QueryRequest, Snapshot, Store, StoreOptions};

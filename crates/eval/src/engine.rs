@@ -16,11 +16,10 @@
 //!
 //! The single entry point is [`Engine::run`]: the execution strategy —
 //! sequential or pool-parallel scheduling, span tracing, the static
-//! optimizer, a cooperative deadline — is selected by an
-//! [`ExecOpts`] value, not by the method name. The historical method
-//! matrix (`evaluate`, `evaluate_parallel`, `evaluate_traced`,
-//! `evaluate_parallel_traced`, and the `_optimized` twins) survives as
-//! `#[deprecated]` one-line wrappers.
+//! optimizer, a cooperative deadline, an admission ceiling — is
+//! selected by an [`ExecOpts`] value, not by the method name. (The
+//! historical `evaluate*` method matrix has been removed after its
+//! deprecation cycle.)
 //!
 //! Every evaluation path threads an [`EvalBudget`] and checks it
 //! between operators (and every `BUDGET_CHECK_STRIDE` candidate
@@ -116,23 +115,6 @@ impl<I: TripleLookup> Engine<I> {
     /// (see [`crate::plan`]).
     pub fn explain(&self, pattern: &Pattern) -> crate::plan::Plan {
         crate::plan::plan(pattern, &self.index)
-    }
-
-    /// Runs the static optimizer and evaluates the result.
-    #[deprecated(note = "use Engine::run with ExecOpts::seq().optimized()")]
-    pub fn evaluate_optimized(&self, pattern: &Pattern) -> MappingSet {
-        self.try_evaluate(
-            &crate::optimize::optimize(pattern),
-            &EvalBudget::unlimited(),
-        )
-        .expect(NO_BUDGET)
-    }
-
-    /// Evaluates `⟦P⟧G` over the bound graph.
-    #[deprecated(note = "use Engine::run with ExecOpts::seq()")]
-    pub fn evaluate(&self, pattern: &Pattern) -> MappingSet {
-        self.try_evaluate(pattern, &EvalBudget::unlimited())
-            .expect(NO_BUDGET)
     }
 
     /// Sequential `⟦P⟧G` under a cooperative `budget`.
@@ -288,6 +270,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
         opts: &ExecOpts,
         pool: &Pool,
     ) -> Result<RunOutcome, EvalError> {
+        crate::run::check_admission(pattern, opts)?;
         let budget = EvalBudget::from_opts(opts);
         let optimized;
         let pattern = if opts.optimize {
@@ -312,22 +295,6 @@ impl<I: TripleLookup + Sync> Engine<I> {
             mappings,
             profile: opts.trace.then(|| rec.profile()),
         })
-    }
-
-    /// Evaluates `⟦P⟧G` across `pool`'s workers.
-    #[deprecated(note = "use Engine::run with ExecOpts::parallel()")]
-    pub fn evaluate_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
-        self.run(pattern, &ExecOpts::parallel(), pool)
-            .expect(NO_BUDGET)
-            .mappings
-    }
-
-    /// Optimizer + parallel evaluation.
-    #[deprecated(note = "use Engine::run with ExecOpts::parallel().optimized()")]
-    pub fn evaluate_optimized_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
-        self.run(pattern, &ExecOpts::parallel().optimized(), pool)
-            .expect(NO_BUDGET)
-            .mappings
     }
 
     fn try_eval_par(
@@ -455,19 +422,6 @@ impl<I: TripleLookup + Sync> Engine<I> {
 /// tracing is off; differential tests (`tests/integration_obs.rs`)
 /// hold both paths to exact answer agreement at widths 1 and 8.
 impl<I: TripleLookup> Engine<I> {
-    /// Evaluates `⟦P⟧G`, recording one span per operator node into
-    /// `rec`.
-    #[deprecated(note = "use Engine::run with ExecOpts::seq().traced()")]
-    pub fn evaluate_traced(&self, pattern: &Pattern, rec: &Recorder) -> MappingSet {
-        if !rec.is_enabled() {
-            return self
-                .try_evaluate(pattern, &EvalBudget::unlimited())
-                .expect(NO_BUDGET);
-        }
-        self.try_eval_traced(pattern, rec, SpanId::ROOT, &EvalBudget::unlimited())
-            .expect(NO_BUDGET)
-    }
-
     /// Runs the query and returns the plan annotated with the observed
     /// per-node output cardinalities and wall times — EXPLAIN ANALYZE.
     /// (See [`crate::plan::AnnotatedPlan`] for the rendered shape;
@@ -613,29 +567,6 @@ impl<I: TripleLookup> Engine<I> {
 /// NS pruning counters, and per-worker pool stats (via
 /// [`Pool::map_profiled`]) recorded into a shared [`Recorder`].
 impl<I: TripleLookup + Sync> Engine<I> {
-    /// Evaluates `⟦P⟧G` across `pool`'s workers, recording operator
-    /// spans and worker stats into `rec`.
-    #[deprecated(note = "use Engine::run with ExecOpts::parallel().traced()")]
-    pub fn evaluate_parallel_traced(
-        &self,
-        pattern: &Pattern,
-        pool: &Pool,
-        rec: &Recorder,
-    ) -> MappingSet {
-        let budget = EvalBudget::unlimited();
-        if !rec.is_enabled() {
-            #[allow(deprecated)]
-            return self.evaluate_parallel(pattern, pool);
-        }
-        if pool.threads() == 1 {
-            return self
-                .try_eval_traced(pattern, rec, SpanId::ROOT, &budget)
-                .expect(NO_BUDGET);
-        }
-        self.try_eval_par_traced(pattern, pool, rec, SpanId::ROOT, &budget)
-            .expect(NO_BUDGET)
-    }
-
     /// [`Engine::explain_analyze`] over the parallel engine: the
     /// annotated plan additionally reflects the parallel operators
     /// (partitioned spines, fanned-out unions).
@@ -1235,29 +1166,41 @@ mod tests {
         }
     }
 
-    /// The deprecated wrapper matrix stays answer-identical to `run` —
-    /// the wrappers are one-liners, but this pins their behavior.
+    /// The admission ceiling rejects over-class queries before any
+    /// evaluation work, on every execution path, and admits queries at
+    /// or below the ceiling unchanged.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_agree_with_run() {
+    fn admission_ceiling_gates_run() {
         let g = figure_1();
         let engine = Engine::new(&g);
-        let p = Pattern::t("?o", "stands_for", "sharing_rights")
+        let admitted = Pattern::t("?o", "stands_for", "sharing_rights")
             .and(Pattern::t("?p", "founder", "?o").union(Pattern::t("?p", "supporter", "?o")));
-        let expected = eval(&engine, &p);
+        let expected = eval(&engine, &admitted);
+        let denied = Pattern::t("?o", "stands_for", "?r")
+            .and(Pattern::t("?p", "founder", "?o").opt(Pattern::t("?p", "supporter", "?r")))
+            .ns();
         let pool = Pool::new(2);
-        let rec = Recorder::new();
-        assert_eq!(engine.evaluate(&p), expected);
-        assert_eq!(engine.evaluate_parallel(&p, &pool), expected);
-        assert_eq!(engine.evaluate_traced(&p, &rec), expected);
-        assert!(!rec.spans().is_empty());
-        assert_eq!(engine.evaluate_parallel_traced(&p, &pool, &rec), expected);
-        assert_eq!(engine.evaluate_optimized(&p), expected);
-        assert_eq!(engine.evaluate_optimized_parallel(&p, &pool), expected);
-        // A disabled recorder still evaluates, recording nothing.
-        let off = Recorder::disabled();
-        assert_eq!(engine.evaluate_traced(&p, &off), expected);
-        assert!(off.spans().is_empty());
+        for opts in [
+            ExecOpts::seq(),
+            ExecOpts::parallel(),
+            ExecOpts::seq().traced(),
+            ExecOpts::parallel().traced().optimized(),
+        ] {
+            let capped = opts.with_max_class(owql_lint::ComplexityClass::Np);
+            assert_eq!(
+                engine
+                    .run(&admitted, &capped, &pool)
+                    .expect(NO_BUDGET)
+                    .mappings,
+                expected
+            );
+            let err = engine.run(&denied, &capped, &pool).unwrap_err();
+            assert!(
+                matches!(&err, EvalError::AdmissionDenied { ceiling, .. }
+                    if *ceiling == owql_lint::ComplexityClass::Np),
+                "expected AdmissionDenied, got {err:?}"
+            );
+        }
     }
 
     /// A zero deadline times out on every execution path and leaves the

@@ -39,4 +39,4 @@ pub use construct::construct;
 pub use engine::Engine;
 pub use plan::{AnnotatedNode, AnnotatedPlan, Plan};
 pub use reference::evaluate;
-pub use run::{EvalBudget, EvalError, ExecMode, ExecOpts, RunOutcome};
+pub use run::{check_admission, EvalBudget, EvalError, ExecMode, ExecOpts, RunOutcome};

@@ -23,13 +23,24 @@
 //!    `P ∈ SPARQL[AOF]` or `P ∈ SPARQL[AFS]`: Section 5.2 of the paper
 //!    establishes that every pattern in these fragments is
 //!    subsumption-free, so taking maximal answers is the identity.
+//! 8. **OPT normal form** — `(P₁ OPT P₂) AND P₃ → (P₁ AND P₃) OPT P₂`
+//!    and `P₁ AND (P₂ OPT P₃) → (P₁ AND P₂) OPT P₃`, lifting OPTs
+//!    above ANDs so the AND-spine flattening of the engine sees the
+//!    full join spine. These equivalences hold only on *well-designed*
+//!    patterns (Pérez, Arenas, Gutierrez, TODS 2009), so the rewrite
+//!    runs only when the `owql-lint` analyzer proves the pattern
+//!    well-designed ([`owql_lint::well_designedness`]), per UNION
+//!    disjunct for the AUOF case — the analyzer verdict consumed as a
+//!    plan hint.
 //!
 //! The optimizer is purely syntactic and terminates: each pass either
-//! strictly shrinks the tree or is applied once bottom-up.
+//! strictly shrinks the tree, is applied once bottom-up, or (rule 8)
+//! strictly decreases the number of ANDs above an OPT.
 
 use owql_algebra::analysis::{certainly_bound_vars, in_fragment, pattern_vars, Operators};
 use owql_algebra::condition::Condition;
 use owql_algebra::pattern::Pattern;
+use owql_algebra::well_designed::well_designed_aof;
 
 /// Simplifies a FILTER condition by constant folding.
 pub fn simplify_condition(r: &Condition) -> Condition {
@@ -130,10 +141,67 @@ impl FuseFilters for Pattern {
     }
 }
 
+/// One bottom-up OPT-normal-form pass (rule 8). Only called on
+/// subtrees the analyzer proved well-designed, where the two lift
+/// rules are sound equivalences.
+fn opt_nf_pass(p: &Pattern) -> Pattern {
+    match p {
+        Pattern::And(a, b) => {
+            let a = opt_nf_pass(a);
+            let b = opt_nf_pass(b);
+            if let Pattern::Opt(p1, p2) = a {
+                // (P₁ OPT P₂) AND P₃ → (P₁ AND P₃) OPT P₂
+                p1.and(b).opt(*p2)
+            } else if let Pattern::Opt(p2, p3) = b {
+                // P₁ AND (P₂ OPT P₃) → (P₁ AND P₂) OPT P₃
+                a.and(*p2).opt(*p3)
+            } else {
+                a.and(b)
+            }
+        }
+        Pattern::Opt(a, b) => opt_nf_pass(a).opt(opt_nf_pass(b)),
+        Pattern::Filter(q, r) => opt_nf_pass(q).filter(r.clone()),
+        other => other.clone(),
+    }
+}
+
+/// Rewrites a pattern the analyzer proved well-designed (AOF, or AUOF
+/// per top-level UNION disjunct) into OPT normal form. Conservative on
+/// both ends: a subtree that fails `well_designed_aof` is returned
+/// unchanged, and a rewrite step whose result would not stay
+/// well-designed is discarded.
+fn opt_normal_form(p: &Pattern) -> Pattern {
+    if let Pattern::Union(a, b) = p {
+        return opt_normal_form(a).union(opt_normal_form(b));
+    }
+    if well_designed_aof(p).is_err() {
+        return p.clone();
+    }
+    let mut current = p.clone();
+    // Each effective pass lifts at least one OPT past an AND, so the
+    // pattern size bounds the number of passes.
+    for _ in 0..p.size() {
+        let next = opt_nf_pass(&current);
+        if next == current || well_designed_aof(&next).is_err() {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
 /// Optimizes a pattern to a fixpoint (bounded number of passes; each
-/// pass is linear in the tree).
+/// pass is linear in the tree). When the static analyzer proves the
+/// pattern well-designed, the OPT-normal-form rewrite (rule 8) runs
+/// first; the shrink rules then run on the lifted tree.
 pub fn optimize(p: &Pattern) -> Pattern {
     let mut current = p.clone();
+    if matches!(
+        owql_lint::well_designedness(p),
+        owql_lint::WellDesignedVerdict::Aof | owql_lint::WellDesignedVerdict::Auof
+    ) {
+        current = opt_normal_form(&current);
+    }
     for _ in 0..8 {
         let next = pass(&current);
         if next == current {
@@ -264,6 +332,67 @@ mod tests {
             evaluate(&aof.clone().ns(), &g),
             evaluate(&optimize(&aof.ns()), &g)
         );
+    }
+
+    #[test]
+    fn opt_normal_form_lifts_opt_above_and_when_well_designed() {
+        // ((t₁ OPT t₂) AND t₃) → ((t₁ AND t₃) OPT t₂): the engine then
+        // sees a two-triple AND-spine instead of a one-triple one.
+        let t1 = Pattern::t("?x", "a", "b");
+        let t2 = Pattern::t("?x", "c", "?y");
+        let t3 = Pattern::t("?x", "d", "?z");
+        let p = t1.clone().opt(t2.clone()).and(t3.clone());
+        assert_eq!(optimize(&p), t1.clone().and(t3.clone()).opt(t2.clone()));
+        // The mirror orientation lifts too.
+        let q = t3.clone().and(t1.clone().opt(t2.clone()));
+        assert_eq!(optimize(&q), t3.and(t1).opt(t2));
+        // Example 3.3's non-well-designed shape is left exactly alone.
+        let bad = Pattern::t("?X", "a", "Chile")
+            .and(Pattern::t("?Y", "a", "Chile").opt(Pattern::t("?Y", "b", "?X")));
+        assert_eq!(optimize(&bad), bad);
+    }
+
+    #[test]
+    fn opt_normal_form_applies_per_union_disjunct() {
+        let t1 = Pattern::t("?x", "a", "b");
+        let t2 = Pattern::t("?x", "c", "?y");
+        let t3 = Pattern::t("?x", "d", "?z");
+        let disjunct = t1.clone().opt(t2.clone()).and(t3.clone());
+        let other = Pattern::t("?u", "e", "?v");
+        let p = disjunct.union(other.clone());
+        assert_eq!(optimize(&p), t1.and(t3).opt(t2).union(other));
+    }
+
+    /// Rule 8 on random well-designed AOF patterns: semantics are
+    /// preserved exactly and the result stays well-designed.
+    #[test]
+    fn opt_normal_form_preserves_semantics_on_well_designed_patterns() {
+        let cfg = PatternConfig {
+            allowed: Operators::AOF,
+            max_depth: 4,
+            ..PatternConfig::standard(4, 4)
+        };
+        let mut checked = 0;
+        for seed in 0..400u64 {
+            let p = random_pattern(&cfg, seed);
+            if well_designed_aof(&p).is_err() {
+                continue;
+            }
+            let o = optimize(&p);
+            assert!(well_designed_aof(&o).is_ok(), "seed {seed}: {p} -> {o}");
+            let g = owql_rdf::generate::uniform(30, 4, 4, 4, seed).union(&graph_from(&[
+                ("i0", "i1", "i2"),
+                ("i2", "i3", "i0"),
+                ("i1", "i1", "i1"),
+            ]));
+            assert_eq!(
+                evaluate(&p, &g),
+                evaluate(&o, &g),
+                "seed {seed}: {p}  ~/~  {o}"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 100, "only {checked} well-designed seeds");
     }
 
     /// The global property: optimization preserves exact semantics on

@@ -13,8 +13,16 @@
 //! [`ExecOpts`] is that data. [`Engine::run`](crate::Engine::run)
 //! consumes it and returns a [`RunOutcome`]; `owql-store` wraps the
 //! same options in a `QueryRequest` and adds cache + epoch handling;
-//! `owql-server` maps them from query-string parameters. The legacy
-//! method matrix survives as `#[deprecated]` one-liners over this seam.
+//! `owql-server` maps them from query-string parameters. (The legacy
+//! `evaluate*` method matrix lived on for two releases as
+//! `#[deprecated]` one-liners over this seam and has been removed.)
+//!
+//! [`ExecOpts::max_class`] is the **admission ceiling**: before doing
+//! any work, [`Engine::run`](crate::Engine::run) statically classifies
+//! the pattern with `owql-lint` and refuses ([`EvalError::AdmissionDenied`])
+//! any query whose fragment's complexity class ranks above the ceiling
+//! — the Section 7 landscape (`P ⊆ NP/coNP ⊆ DP ⊆ BH₂ₖ ⊆ P^NP_∥ ⊆
+//! PSPACE`) used as an operational resource bound.
 //!
 //! Deadlines are enforced *cooperatively*: an [`EvalBudget`] derived
 //! from [`ExecOpts::deadline`] is threaded through every evaluation
@@ -66,6 +74,10 @@ pub struct ExecOpts {
     /// Wall-clock budget for the evaluation; exceeding it returns
     /// [`EvalError::Timeout`] instead of running to completion.
     pub deadline: Option<Duration>,
+    /// Admission ceiling: refuse the query up front with
+    /// [`EvalError::AdmissionDenied`] if its statically determined
+    /// complexity class ranks above this one. `None` admits everything.
+    pub max_class: Option<owql_lint::ComplexityClass>,
 }
 
 impl Default for ExecOpts {
@@ -84,6 +96,7 @@ impl ExecOpts {
             cache: true,
             optimize: false,
             deadline: None,
+            max_class: None,
         }
     }
 
@@ -118,6 +131,35 @@ impl ExecOpts {
         self.deadline = Some(limit);
         self
     }
+
+    /// Caps the admissible complexity class (see [`check_admission`]).
+    pub fn with_max_class(mut self, ceiling: owql_lint::ComplexityClass) -> ExecOpts {
+        self.max_class = Some(ceiling);
+        self
+    }
+}
+
+/// Enforces [`ExecOpts::max_class`]: classifies `pattern` with the
+/// static analyzer and returns [`EvalError::AdmissionDenied`] when its
+/// complexity class ranks strictly above the configured ceiling. A
+/// `None` ceiling admits everything without classifying.
+pub fn check_admission(
+    pattern: &owql_algebra::pattern::Pattern,
+    opts: &ExecOpts,
+) -> Result<(), EvalError> {
+    let Some(ceiling) = opts.max_class else {
+        return Ok(());
+    };
+    let fragment = owql_lint::classify(pattern);
+    let class = fragment.complexity();
+    if class.rank() > ceiling.rank() {
+        return Err(EvalError::AdmissionDenied {
+            class,
+            ceiling,
+            fragment: fragment.to_string(),
+        });
+    }
+    Ok(())
 }
 
 /// Why an evaluation did not produce an answer set.
@@ -129,6 +171,16 @@ pub enum EvalError {
         /// The budget that was exceeded.
         limit: Duration,
     },
+    /// The query's statically determined complexity class exceeds the
+    /// configured [`ExecOpts::max_class`] ceiling.
+    AdmissionDenied {
+        /// The class the query was classified into.
+        class: owql_lint::ComplexityClass,
+        /// The ceiling it exceeded.
+        ceiling: owql_lint::ComplexityClass,
+        /// Display name of the paper fragment the classifier chose.
+        fragment: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -139,6 +191,17 @@ impl fmt::Display for EvalError {
                     f,
                     "evaluation exceeded its {}ms deadline",
                     limit.as_millis()
+                )
+            }
+            EvalError::AdmissionDenied {
+                class,
+                ceiling,
+                fragment,
+            } => {
+                write!(
+                    f,
+                    "query admission denied: statically classified as {fragment}, whose \
+                     evaluation is {class}-hard, above the configured {ceiling} ceiling"
                 )
             }
         }
@@ -287,6 +350,42 @@ mod tests {
         assert!(opts.trace && opts.optimize && !opts.cache);
         assert_eq!(opts.deadline, Some(Duration::from_millis(5)));
         assert_eq!(ExecOpts::seq(), ExecOpts::default());
+        assert_eq!(opts.max_class, None);
+        let capped = opts.with_max_class(owql_lint::ComplexityClass::Dp);
+        assert_eq!(capped.max_class, Some(owql_lint::ComplexityClass::Dp));
+    }
+
+    #[test]
+    fn admission_compares_ranks_against_the_ceiling() {
+        use owql_lint::ComplexityClass;
+        let af = owql_parser::parse_pattern("((?x, a, b) AND (?x, c, ?y))").unwrap();
+        let ns = owql_parser::parse_pattern("NS(((?x, a, b) OPT (?x, c, ?y)))").unwrap();
+
+        // No ceiling admits everything.
+        assert_eq!(check_admission(&ns, &ExecOpts::seq()), Ok(()));
+
+        let capped = ExecOpts::seq().with_max_class(ComplexityClass::Np);
+        assert_eq!(check_admission(&af, &capped), Ok(()));
+        let denied = check_admission(&ns, &capped).unwrap_err();
+        let EvalError::AdmissionDenied {
+            class,
+            ceiling,
+            fragment,
+        } = &denied
+        else {
+            panic!("expected AdmissionDenied, got {denied:?}");
+        };
+        assert_eq!(*class, ComplexityClass::Pspace);
+        assert_eq!(*ceiling, ComplexityClass::Np);
+        assert_eq!(fragment, "NS-SPARQL");
+        assert!(denied
+            .to_string()
+            .contains("above the configured NP ceiling"));
+
+        // A class at exactly the ceiling is admitted; coNP passes an
+        // NP ceiling (same rank).
+        let wd = owql_parser::parse_pattern("((?x, a, b) OPT (?x, c, ?y))").unwrap();
+        assert_eq!(check_admission(&wd, &capped), Ok(()));
     }
 
     #[test]

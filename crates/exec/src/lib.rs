@@ -1,9 +1,9 @@
 //! # owql-exec
 //!
 //! A dependency-free, scoped, work-stealing thread pool — the execution
-//! substrate of the parallel evaluation engine (`Engine::
-//! evaluate_parallel` in `owql-eval` and `Store::evaluate_parallel` in
-//! `owql-store`).
+//! substrate of the parallel evaluation engine (`Engine::run` with
+//! `ExecOpts::parallel()` in `owql-eval` and the same options behind
+//! `Store::query_request` in `owql-store`).
 //!
 //! The build environment is fully offline, so this crate hand-rolls the
 //! small slice of a task scheduler the engine actually needs instead of

@@ -1,0 +1,488 @@
+//! The multi-pass analyzer.
+//!
+//! [`analyze`] walks a pattern together with its [`SpanNode`] tree and
+//! produces an [`Analysis`]: the fragment/complexity classification, a
+//! well-designedness verdict, and a list of span-carrying
+//! [`Diagnostic`]s. The well-designedness walk recomputes the same
+//! "outside variables" sets as `owql_algebra::well_designed::check`,
+//! but keeps going after the first violation so every offending OPT and
+//! FILTER gets its own diagnostic, anchored at the offending subtree's
+//! span.
+//!
+//! Everything here is *conservative*: subsumption between NS operands
+//! is undecidable (Kaminski & Kostylev), so rules that would need it
+//! (NS002) report at `Info` severity and never claim more than the
+//! paper's syntactic fragments justify.
+
+use crate::classify::{classify, ComplexityClass, Fragment};
+use crate::diagnostics::{Diagnostic, RuleId, Severity};
+use owql_algebra::analysis::{certainly_bound_vars, in_fragment, pattern_vars, Operators};
+use owql_algebra::condition::Condition;
+use owql_algebra::pattern::Pattern;
+use owql_algebra::variable::Variable;
+use owql_algebra::well_designed::{well_designed_aof, well_designed_auof};
+use owql_parser::{parse_pattern_spanned, ParseError, SpanNode};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Outcome of the well-designedness check, as consumed by the
+/// optimizer's OPT-normal-form rewrite and the server's `/lint`
+/// endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WellDesignedVerdict {
+    /// The pattern is a well-designed `SPARQL[AOF]` pattern.
+    Aof,
+    /// The pattern is a union of well-designed `SPARQL[AOF]` patterns.
+    Auof,
+    /// The pattern is in `SPARQL[AOF]`/`AUOF` but violates
+    /// Definition 3.4.
+    Violated,
+    /// The pattern uses operators outside `SPARQL[AUOF]`, so the
+    /// notion does not apply.
+    NotApplicable,
+}
+
+impl WellDesignedVerdict {
+    /// Stable lowercase name used in JSON payloads.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WellDesignedVerdict::Aof => "aof",
+            WellDesignedVerdict::Auof => "auof",
+            WellDesignedVerdict::Violated => "violated",
+            WellDesignedVerdict::NotApplicable => "not-applicable",
+        }
+    }
+}
+
+impl fmt::Display for WellDesignedVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// Classifies `p`'s well-designedness (Definition 3.4), trying the
+/// plain AOF check before the union-of-AOF one.
+pub fn well_designedness(p: &Pattern) -> WellDesignedVerdict {
+    let ops = owql_algebra::analysis::operators(p);
+    if ops.within(Operators::AOF) {
+        match well_designed_aof(p) {
+            Ok(()) => WellDesignedVerdict::Aof,
+            Err(_) => WellDesignedVerdict::Violated,
+        }
+    } else if ops.within(Operators::AUOF) {
+        match well_designed_auof(p) {
+            Ok(()) => WellDesignedVerdict::Auof,
+            Err(_) => WellDesignedVerdict::Violated,
+        }
+    } else {
+        WellDesignedVerdict::NotApplicable
+    }
+}
+
+/// Everything the analyzer knows about one pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Analysis {
+    /// Most specific paper fragment the pattern belongs to.
+    pub fragment: Fragment,
+    /// Complexity class of the fragment's evaluation problem.
+    pub complexity: ComplexityClass,
+    /// Well-designedness verdict.
+    pub well_designed: WellDesignedVerdict,
+    /// All findings, root classification (FR001) first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Analysis {
+    /// The highest severity among the diagnostics, if any fired beyond
+    /// the always-present FR001 classification note.
+    pub fn worst_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+}
+
+/// Analyzes source text: parses it (with spans) and runs [`analyze`],
+/// so diagnostics point into `input` itself.
+pub fn analyze_source(input: &str) -> Result<Analysis, ParseError> {
+    let (pattern, spans) = parse_pattern_spanned(input)?;
+    Ok(analyze(&pattern, &spans))
+}
+
+/// Analyzes an in-memory pattern; spans refer to the pattern's
+/// canonical `Display` rendering.
+pub fn analyze_pattern(p: &Pattern) -> Analysis {
+    analyze(p, &SpanNode::synthesize(p))
+}
+
+/// Runs every pass over `p` with `spans` as the span tree. If `spans`
+/// does not match `p`'s shape, the analyzer falls back to synthesized
+/// spans rather than panicking, so it is total on any input pair.
+pub fn analyze(p: &Pattern, spans: &SpanNode) -> Analysis {
+    let synthesized;
+    let spans = if congruent(p, spans) {
+        spans
+    } else {
+        synthesized = SpanNode::synthesize(p);
+        &synthesized
+    };
+
+    let fragment = classify(p);
+    let complexity = fragment.complexity();
+    let well_designed = well_designedness(p);
+
+    let mut diagnostics = Vec::new();
+    let monotone = if fragment.guarantees_weak_monotonicity() {
+        "membership guarantees weak monotonicity"
+    } else {
+        "weak monotonicity is not guaranteed by shape"
+    };
+    diagnostics.push(Diagnostic::new(
+        RuleId::Fragment,
+        spans.span,
+        format!("classified as {fragment}: evaluation is in {complexity}; {monotone}"),
+    ));
+    walk(p, spans, &BTreeSet::new(), false, &mut diagnostics);
+
+    Analysis {
+        fragment,
+        complexity,
+        well_designed,
+        diagnostics,
+    }
+}
+
+/// `true` iff the span tree has exactly the pattern's shape.
+fn congruent(p: &Pattern, node: &SpanNode) -> bool {
+    let children: Vec<&Pattern> = match p {
+        Pattern::Triple(_) => Vec::new(),
+        Pattern::And(a, b) | Pattern::Union(a, b) | Pattern::Opt(a, b) | Pattern::Minus(a, b) => {
+            vec![a, b]
+        }
+        Pattern::Filter(q, _) | Pattern::Select(_, q) | Pattern::Ns(q) => vec![q],
+    };
+    children.len() == node.children.len()
+        && children
+            .iter()
+            .zip(&node.children)
+            .all(|(c, n)| congruent(c, n))
+}
+
+/// The well-designedness / filter / projection / union / NS walk.
+/// `outside` is the set of variables occurring in the pattern outside
+/// the current subtree (the `check` invariant of
+/// `owql_algebra::well_designed`); `in_union_spine` suppresses
+/// re-collecting UNION branches at nested spine nodes.
+fn walk(
+    p: &Pattern,
+    node: &SpanNode,
+    outside: &BTreeSet<Variable>,
+    in_union_spine: bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    match p {
+        Pattern::Triple(_) => {}
+        Pattern::And(a, b) | Pattern::Minus(a, b) => {
+            let out_a: BTreeSet<Variable> = outside.union(&pattern_vars(b)).cloned().collect();
+            let out_b: BTreeSet<Variable> = outside.union(&pattern_vars(a)).cloned().collect();
+            walk(a, &node.children[0], &out_a, false, diags);
+            walk(b, &node.children[1], &out_b, false, diags);
+        }
+        Pattern::Union(a, b) => {
+            if !in_union_spine {
+                check_duplicate_branches(p, node, diags);
+            }
+            let out_a: BTreeSet<Variable> = outside.union(&pattern_vars(b)).cloned().collect();
+            let out_b: BTreeSet<Variable> = outside.union(&pattern_vars(a)).cloned().collect();
+            walk(a, &node.children[0], &out_a, true, diags);
+            walk(b, &node.children[1], &out_b, true, diags);
+        }
+        Pattern::Opt(a, b) => {
+            let va = pattern_vars(a);
+            for x in pattern_vars(b) {
+                if outside.contains(&x) && !va.contains(&x) {
+                    diags.push(Diagnostic::new(
+                        RuleId::BadOptVariable,
+                        node.span,
+                        format!(
+                            "OPT right-hand side mentions {x}, which occurs outside this OPT \
+                             but not on its left-hand side (violates well-designedness, \
+                             Definition 3.4)"
+                        ),
+                    ));
+                }
+            }
+            let out_a: BTreeSet<Variable> = outside.union(&pattern_vars(b)).cloned().collect();
+            let out_b: BTreeSet<Variable> = outside.union(&va).cloned().collect();
+            walk(a, &node.children[0], &out_a, false, diags);
+            walk(b, &node.children[1], &out_b, false, diags);
+        }
+        Pattern::Filter(q, r) => {
+            let vq = pattern_vars(q);
+            for x in r.vars() {
+                if !vq.contains(&x) {
+                    diags.push(Diagnostic::new(
+                        RuleId::UnsafeFilter,
+                        node.span,
+                        format!(
+                            "FILTER condition mentions {x}, which its operand can never bind \
+                             (the condition is unsafe)"
+                        ),
+                    ));
+                }
+            }
+            match fold_condition(r, &vq, &certainly_bound_vars(q)) {
+                Tri::False => diags.push(Diagnostic::new(
+                    RuleId::AlwaysFalseFilter,
+                    node.span,
+                    "FILTER condition is statically always false; this subpattern has no answers"
+                        .to_string(),
+                )),
+                Tri::True => diags.push(Diagnostic::new(
+                    RuleId::AlwaysTrueFilter,
+                    node.span,
+                    "FILTER condition is statically always true and can be dropped".to_string(),
+                )),
+                Tri::Unknown => {}
+            }
+            let out_q: BTreeSet<Variable> = outside.union(&r.vars()).cloned().collect();
+            walk(q, &node.children[0], &out_q, false, diags);
+        }
+        Pattern::Select(vars, q) => {
+            let vq = pattern_vars(q);
+            for v in vars {
+                if !vq.contains(v) {
+                    diags.push(Diagnostic::new(
+                        RuleId::DeadProjection,
+                        node.span,
+                        format!("SELECT projects {v}, which its operand can never bind"),
+                    ));
+                }
+            }
+            walk(q, &node.children[0], outside, false, diags);
+        }
+        Pattern::Ns(q) => {
+            if in_fragment(q, Operators::AOF) || in_fragment(q, Operators::AFS) {
+                diags.push(Diagnostic::new(
+                    RuleId::RedundantNs,
+                    node.span,
+                    "NS over a UNION-free weakly monotone operand is a no-op (the optimizer \
+                     elides it)"
+                        .to_string(),
+                ));
+            } else {
+                diags.push(Diagnostic::new(
+                    RuleId::OpaqueNs,
+                    node.span,
+                    "NS effect is not statically decidable here (subsumption between operands \
+                     is undecidable); classification is conservative"
+                        .to_string(),
+                ));
+            }
+            walk(q, &node.children[0], outside, false, diags);
+        }
+    }
+}
+
+/// Collects the branches of a maximal UNION spine (pattern + span
+/// pairs) and reports later branches that duplicate an earlier one.
+fn check_duplicate_branches(p: &Pattern, node: &SpanNode, diags: &mut Vec<Diagnostic>) {
+    fn branches<'a>(
+        p: &'a Pattern,
+        node: &'a SpanNode,
+        out: &mut Vec<(&'a Pattern, &'a SpanNode)>,
+    ) {
+        if let Pattern::Union(a, b) = p {
+            branches(a, &node.children[0], out);
+            branches(b, &node.children[1], out);
+        } else {
+            out.push((p, node));
+        }
+    }
+    let mut all = Vec::new();
+    branches(p, node, &mut all);
+    for j in 1..all.len() {
+        if all[..j].iter().any(|(earlier, _)| *earlier == all[j].0) {
+            diags.push(Diagnostic::new(
+                RuleId::DuplicateUnionBranch,
+                all[j].1.span,
+                "UNION branch duplicates an earlier branch and contributes no answers".to_string(),
+            ));
+        }
+    }
+}
+
+/// Three-valued static truth value of a condition.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tri {
+    True,
+    False,
+    Unknown,
+}
+
+/// Kleene fold of `r` given which variables the operand *may* bind
+/// (`vars`) and which it *certainly* binds (`certain`). Equalities on
+/// unbound variables are false under `satisfied_by`, which is what
+/// makes the never-bound cases definite.
+fn fold_condition(r: &Condition, vars: &BTreeSet<Variable>, certain: &BTreeSet<Variable>) -> Tri {
+    match r {
+        Condition::True => Tri::True,
+        Condition::False => Tri::False,
+        Condition::Bound(v) => {
+            if certain.contains(v) {
+                Tri::True
+            } else if !vars.contains(v) {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        Condition::EqConst(v, _) => {
+            if !vars.contains(v) {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        Condition::EqVar(v, w) => {
+            if v == w {
+                // `?X = ?X` holds exactly when `?X` is bound.
+                if certain.contains(v) {
+                    Tri::True
+                } else if !vars.contains(v) {
+                    Tri::False
+                } else {
+                    Tri::Unknown
+                }
+            } else if !vars.contains(v) || !vars.contains(w) {
+                Tri::False
+            } else {
+                Tri::Unknown
+            }
+        }
+        Condition::Not(inner) => match fold_condition(inner, vars, certain) {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Unknown => Tri::Unknown,
+        },
+        Condition::And(a, b) => {
+            match (
+                fold_condition(a, vars, certain),
+                fold_condition(b, vars, certain),
+            ) {
+                (Tri::False, _) | (_, Tri::False) => Tri::False,
+                (Tri::True, Tri::True) => Tri::True,
+                _ => Tri::Unknown,
+            }
+        }
+        Condition::Or(a, b) => {
+            match (
+                fold_condition(a, vars, certain),
+                fold_condition(b, vars, certain),
+            ) {
+                (Tri::True, _) | (_, Tri::True) => Tri::True,
+                (Tri::False, Tri::False) => Tri::False,
+                _ => Tri::Unknown,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(a: &Analysis) -> Vec<&'static str> {
+        a.diagnostics.iter().map(|d| d.rule.code()).collect()
+    }
+
+    fn analyze_text(text: &str) -> Analysis {
+        analyze_source(text).unwrap()
+    }
+
+    #[test]
+    fn clean_pattern_gets_only_the_classification_note() {
+        let a = analyze_text("((?x, a, b) AND (?x, c, ?y))");
+        assert_eq!(codes(&a), vec!["FR001"]);
+        assert_eq!(a.fragment, Fragment::Af);
+        assert_eq!(a.complexity, ComplexityClass::P);
+        assert_eq!(a.well_designed, WellDesignedVerdict::Aof);
+        assert_eq!(a.worst_severity(), Some(Severity::Info));
+        assert_eq!(a.diagnostics[0].span.start, 0);
+        assert_eq!(a.diagnostics[0].span.end, 28);
+    }
+
+    #[test]
+    fn example_3_3_non_well_designed_opt_is_flagged_with_its_span() {
+        // Example 3.3's shape: ?X occurs in the OPT's right-hand side
+        // and outside the OPT, but not on the left-hand side.
+        let text = "((?X, a, Chile) AND ((?Y, a, Chile) OPT (?Y, b, ?X)))";
+        let a = analyze_text(text);
+        assert_eq!(a.well_designed, WellDesignedVerdict::Violated);
+        let wd: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RuleId::BadOptVariable)
+            .collect();
+        assert_eq!(wd.len(), 1);
+        assert_eq!(
+            &text[wd[0].span.start..wd[0].span.end],
+            "((?Y, a, Chile) OPT (?Y, b, ?X))"
+        );
+        assert!(wd[0].message.contains("?X"));
+        assert_eq!(a.worst_severity(), Some(Severity::Warn));
+    }
+
+    #[test]
+    fn unsafe_and_always_false_filters_are_flagged() {
+        let a = analyze_text("((?x, a, b) FILTER bound(?z))");
+        let got = codes(&a);
+        assert!(got.contains(&"WD002"), "{got:?}");
+        assert!(got.contains(&"FL001"), "{got:?}");
+        assert_eq!(a.worst_severity(), Some(Severity::Error));
+
+        // ?y may be bound (OPT side) but is not certain: no verdict.
+        let b = analyze_text("(((?x, a, b) OPT (?x, c, ?y)) FILTER bound(?y))");
+        assert!(!codes(&b).contains(&"FL001"));
+        assert!(!codes(&b).contains(&"FL002"));
+
+        // A certainly-bound variable makes bound(?x) definite.
+        let c = analyze_text("((?x, a, b) FILTER bound(?x))");
+        assert!(codes(&c).contains(&"FL002"));
+    }
+
+    #[test]
+    fn dead_projection_and_duplicate_union_are_flagged() {
+        let a = analyze_text("(SELECT {?x, ?z} WHERE (?x, a, ?y))");
+        assert!(codes(&a).contains(&"PJ001"));
+
+        let text = "(((?x, a, b) UNION (?x, c, d)) UNION (?x, a, b))";
+        let b = analyze_text(text);
+        let dup: Vec<_> = b
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RuleId::DuplicateUnionBranch)
+            .collect();
+        assert_eq!(dup.len(), 1);
+        assert_eq!(&text[dup[0].span.start..dup[0].span.end], "(?x, a, b)");
+    }
+
+    #[test]
+    fn ns_rules_mirror_the_optimizer_elision_condition() {
+        let a = analyze_text("NS(((?x, a, b) OPT (?x, c, ?y)))");
+        assert!(codes(&a).contains(&"NS001"));
+        let b = analyze_text("NS(((?x, a, b) UNION ((?x, c, d) OPT (?x, e, ?y))))");
+        assert!(codes(&b).contains(&"NS002"));
+    }
+
+    #[test]
+    fn analyze_is_total_on_mismatched_span_trees() {
+        let p = owql_parser::parse_pattern("((?x, a, b) AND (?x, c, ?y))").unwrap();
+        let bogus = SpanNode {
+            span: owql_parser::Span::new(0, 1),
+            children: Vec::new(),
+        };
+        let a = analyze(&p, &bogus);
+        // Fallback to synthesized spans: the root span covers the
+        // canonical rendering.
+        assert_eq!(a.diagnostics[0].span.end, p.to_string().len());
+    }
+}

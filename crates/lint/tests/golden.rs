@@ -1,0 +1,65 @@
+//! Golden-file diagnostic tests: each `tests/golden/NAME.owql` holds
+//! one pattern, and `tests/golden/NAME.expected` pins the analysis —
+//! a header line with the fragment/complexity/well-designedness
+//! verdict, then one `CODE severity start..end` line per diagnostic
+//! (spans index into the trimmed source).
+//!
+//! Regenerate after an intentional analyzer change with:
+//!
+//! ```text
+//! OWQL_GOLDEN_UPDATE=1 cargo test -p owql-lint --test golden
+//! ```
+
+use owql_lint::analyze_source;
+use std::path::Path;
+
+fn render(input: &str) -> String {
+    let a = analyze_source(input).expect("golden inputs parse");
+    let mut out = format!(
+        "{} -> {} (well-designed: {})\n",
+        a.fragment, a.complexity, a.well_designed
+    );
+    for d in &a.diagnostics {
+        out.push_str(&format!("{} {} {}\n", d.rule, d.severity, d.span));
+    }
+    out
+}
+
+#[test]
+fn golden_diagnostics_are_stable() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let update = std::env::var_os("OWQL_GOLDEN_UPDATE").is_some();
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("golden dir exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "owql"))
+        .collect();
+    entries.sort();
+    for input_path in entries {
+        let raw = std::fs::read_to_string(&input_path).expect("readable input");
+        let got = render(raw.trim());
+        let expected_path = input_path.with_extension("expected");
+        if update {
+            std::fs::write(&expected_path, &got).expect("writable expected file");
+        } else {
+            let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+                panic!(
+                    "missing {} — run with OWQL_GOLDEN_UPDATE=1 to create it",
+                    expected_path.display()
+                )
+            });
+            assert_eq!(
+                got,
+                expected,
+                "stale golden file {} (regenerate with OWQL_GOLDEN_UPDATE=1)",
+                expected_path.display()
+            );
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 7,
+        "expected the full golden corpus, saw {checked}"
+    );
+}

@@ -30,11 +30,11 @@
 //!   by a small hand-rolled writer ([`json`]) in the same style as the
 //!   `BENCH_*.json` artifacts.
 //!
-//! Producers: `Engine::{evaluate_traced, evaluate_parallel_traced,
-//! explain_analyze}` in `owql-eval`, `Pool::map_profiled` in
-//! `owql-exec`, and `Store::profile` in `owql-store` (which stitches
-//! all three into one report). Demo: `cargo run --release --example
-//! profile_query`.
+//! Producers: `Engine::run` with traced `ExecOpts` (and
+//! `Engine::explain_analyze`) in `owql-eval`, `Pool::map_profiled` in
+//! `owql-exec`, and a traced `Store::query_request` in `owql-store`
+//! (which stitches all three into one report). Demo: `cargo run
+//! --release --example profile_query`.
 
 pub mod json;
 pub mod profile;

@@ -67,14 +67,17 @@ impl fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
-/// A token plus the byte offset it starts at in the input — the span
-/// information parse errors report.
+/// A token plus the byte range it occupies in the input — the span
+/// information parse errors and the span-building parser report.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpannedToken {
     /// The token.
     pub token: Token,
     /// Byte offset of the token's first character in the input.
     pub offset: usize,
+    /// Byte offset one past the token's last character, so the token's
+    /// text is `input[offset..end]`.
+    pub end: usize,
 }
 
 /// `true` for characters that may appear in a bare word (IRI/keyword).
@@ -104,7 +107,11 @@ pub fn tokenize_spanned(input: &str) -> Result<Vec<SpannedToken>, LexError> {
     while i < chars.len() {
         let (offset, c) = chars[i];
         let mut push = |token: Token, next: usize| {
-            tokens.push(SpannedToken { token, offset });
+            tokens.push(SpannedToken {
+                token,
+                offset,
+                end: at(next),
+            });
             next
         };
         i = match c {
@@ -248,5 +255,23 @@ mod tests {
         let e = tokenize("abc &x").unwrap_err();
         assert_eq!(e.offset, 4);
         assert!(e.to_string().contains("byte 4"));
+    }
+
+    /// Every token's `[offset, end)` range slices back to exactly the
+    /// text it was lexed from — including multibyte input.
+    #[test]
+    fn spans_slice_back_to_token_text() {
+        let input = "(?élan, <a b>, wörd) && ?x";
+        for st in tokenize_spanned(input).unwrap() {
+            let text = &input[st.offset..st.end];
+            match &st.token {
+                Token::Var(v) => assert_eq!(text, format!("?{v}")),
+                Token::QuotedIri(i) => assert_eq!(text, format!("<{i}>")),
+                other => assert_eq!(text, other.to_string()),
+            }
+        }
+        // The last token of the input ends at the input length.
+        let toks = tokenize_spanned(input).unwrap();
+        assert_eq!(toks.last().unwrap().end, input.len());
     }
 }

@@ -18,11 +18,20 @@
 //! for every pattern (round-trip property-tested). IRIs are bare words;
 //! an IRI that collides with a keyword or contains delimiters can be
 //! written in angle brackets: `<SELECT>`, `<a b>`.
+//!
+//! Spans survive the whole pipeline: every token records its byte
+//! range, [`parse_pattern_spanned`] returns a [`SpanNode`] tree shaped
+//! like the pattern, and [`ParseError`]s report line:column alongside
+//! the raw byte offset (multi-line inputs included).
 
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod span;
 
 pub use lexer::{tokenize, tokenize_spanned, LexError, SpannedToken, Token};
-pub use parser::{parse_condition, parse_construct, parse_pattern, ParseError};
+pub use parser::{
+    parse_condition, parse_construct, parse_pattern, parse_pattern_spanned, ParseError,
+};
 pub use pretty::{pretty, pretty_construct};
+pub use span::{line_col, Span, SpanNode};

@@ -2,6 +2,7 @@
 //! CONSTRUCT queries.
 
 use crate::lexer::{tokenize_spanned, LexError, SpannedToken, Token};
+use crate::span::{line_col, Span, SpanNode};
 use owql_algebra::condition::Condition;
 use owql_algebra::construct::ConstructQuery;
 use owql_algebra::pattern::{Pattern, TermPattern, TriplePattern};
@@ -9,17 +10,25 @@ use owql_algebra::variable::Variable;
 use owql_rdf::Iri;
 use std::fmt;
 
-/// A parse error with a byte-offset span.
+/// A parse error with a byte-offset span and its line/column position.
 ///
 /// The offset points into the *original input string* (for an
 /// unexpected-end-of-input error it is the input length), and the
-/// `Display` rendering — `parse error at byte N: ...` — is what the
-/// HTTP server echoes back verbatim in `400` bodies, so clients can
-/// point at the offending byte without any extra bookkeeping.
+/// `Display` rendering — `parse error at byte N (line L, column C): ...`
+/// — is what the HTTP server echoes back verbatim in `400` bodies, so
+/// clients can point at the offending position without any extra
+/// bookkeeping. Line and column are 1-based and computed against the
+/// original input, so they stay correct for multi-line patterns.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// Byte offset of the offending token (input length at EOF).
     pub offset: usize,
+    /// 1-based line of the offending token (0 until located against
+    /// the input; every public entry point locates).
+    pub line: usize,
+    /// 1-based character column of the offending token within its line
+    /// (0 until located).
+    pub column: usize,
     /// Description of what went wrong.
     pub message: String,
 }
@@ -28,14 +37,33 @@ impl ParseError {
     fn new(offset: usize, message: impl Into<String>) -> ParseError {
         ParseError {
             offset,
+            line: 0,
+            column: 0,
             message: message.into(),
         }
+    }
+
+    /// Fills [`ParseError::line`]/[`ParseError::column`] from the
+    /// source text the offset points into.
+    fn located(mut self, input: &str) -> ParseError {
+        let (line, column) = line_col(input, self.offset);
+        self.line = line;
+        self.column = column;
+        self
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+        if self.line > 0 {
+            write!(
+                f,
+                "parse error at byte {} (line {}, column {}): {}",
+                self.offset, self.line, self.column, self.message
+            )
+        } else {
+            write!(f, "parse error at byte {}: {}", self.offset, self.message)
+        }
     }
 }
 
@@ -112,6 +140,25 @@ impl Parser {
         self.pos >= self.tokens.len()
     }
 
+    /// Byte end of the *previous* (just-consumed) token — the end of
+    /// whatever construct that token closed.
+    fn prev_end(&self) -> usize {
+        if self.pos == 0 {
+            self.end
+        } else {
+            self.tokens.get(self.pos - 1).map_or(self.end, |st| st.end)
+        }
+    }
+
+    /// A leaf span node covering `start` through the last consumed
+    /// token.
+    fn leaf(&self, start: usize) -> SpanNode {
+        SpanNode {
+            span: Span::new(start, self.prev_end()),
+            children: Vec::new(),
+        }
+    }
+
     /// A term: variable, bare word, or quoted IRI.
     fn term(&mut self) -> Result<TermPattern, ParseError> {
         match self.next()? {
@@ -133,19 +180,27 @@ impl Parser {
         Ok(TriplePattern { s, p, o })
     }
 
-    /// A graph pattern.
-    fn pattern(&mut self) -> Result<Pattern, ParseError> {
+    /// A graph pattern, paired with its span tree.
+    fn pattern(&mut self) -> Result<(Pattern, SpanNode), ParseError> {
         match self.peek() {
             Some(Token::Word(w)) if w == "NS" => {
+                let start = self.offset();
                 self.next()?;
                 self.expect(&Token::LParen)?;
-                let inner = self.pattern()?;
+                let (inner, inner_node) = self.pattern()?;
                 self.expect(&Token::RParen)?;
-                Ok(inner.ns())
+                Ok((
+                    inner.ns(),
+                    SpanNode {
+                        span: Span::new(start, self.prev_end()),
+                        children: vec![inner_node],
+                    },
+                ))
             }
             Some(Token::LParen) => {
+                let start = self.offset();
                 self.next()?;
-                self.paren_tail()
+                self.paren_tail(start)
             }
             Some(t) => {
                 let msg = format!("expected a pattern, found '{t}'");
@@ -155,38 +210,58 @@ impl Parser {
         }
     }
 
-    /// After consuming `(`: a triple pattern, a SELECT, or a binary
-    /// compound.
-    fn paren_tail(&mut self) -> Result<Pattern, ParseError> {
+    /// After consuming `(` (which started at byte `start`): a triple
+    /// pattern, a SELECT, or a binary compound.
+    fn paren_tail(&mut self, start: usize) -> Result<(Pattern, SpanNode), ParseError> {
         // SELECT?
         if let Some(Token::Word(w)) = self.peek() {
             if w == "SELECT" {
                 self.next()?;
                 let vars = self.var_set()?;
                 self.expect_word("WHERE")?;
-                let inner = self.pattern()?;
+                let (inner, inner_node) = self.pattern()?;
                 self.expect(&Token::RParen)?;
-                return Ok(Pattern::Select(vars, Box::new(inner)));
+                return Ok((
+                    Pattern::Select(vars, Box::new(inner)),
+                    SpanNode {
+                        span: Span::new(start, self.prev_end()),
+                        children: vec![inner_node],
+                    },
+                ));
             }
             if w != "NS" {
                 // A bare word here must start a triple pattern.
-                return Ok(Pattern::Triple(self.triple_tail()?));
+                let t = self.triple_tail()?;
+                return Ok((Pattern::Triple(t), self.leaf(start)));
             }
         }
         // Variable or quoted IRI starts a triple pattern.
         if matches!(self.peek(), Some(Token::Var(_)) | Some(Token::QuotedIri(_))) {
-            return Ok(Pattern::Triple(self.triple_tail()?));
+            let t = self.triple_tail()?;
+            return Ok((Pattern::Triple(t), self.leaf(start)));
         }
         // Otherwise: a compound `(P op P)` or `(P FILTER R)`.
-        let left = self.pattern()?;
+        let (left, left_node) = self.pattern()?;
         let op = self.next()?;
-        let result = match op {
+        let (result, children) = match op {
             Token::Word(w) => match w.as_str() {
-                "AND" => left.and(self.pattern()?),
-                "UNION" => left.union(self.pattern()?),
-                "OPT" => left.opt(self.pattern()?),
-                "MINUS" => left.minus(self.pattern()?),
-                "FILTER" => left.filter(self.condition()?),
+                "AND" => {
+                    let (right, right_node) = self.pattern()?;
+                    (left.and(right), vec![left_node, right_node])
+                }
+                "UNION" => {
+                    let (right, right_node) = self.pattern()?;
+                    (left.union(right), vec![left_node, right_node])
+                }
+                "OPT" => {
+                    let (right, right_node) = self.pattern()?;
+                    (left.opt(right), vec![left_node, right_node])
+                }
+                "MINUS" => {
+                    let (right, right_node) = self.pattern()?;
+                    (left.minus(right), vec![left_node, right_node])
+                }
+                "FILTER" => (left.filter(self.condition()?), vec![left_node]),
                 other => {
                     return Err(self.err_prev(format!(
                         "expected AND/UNION/OPT/MINUS/FILTER, found '{other}'"
@@ -196,7 +271,13 @@ impl Parser {
             t => return Err(self.err_prev(format!("expected an operator keyword, found '{t}'"))),
         };
         self.expect(&Token::RParen)?;
-        Ok(result)
+        Ok((
+            result,
+            SpanNode {
+                span: Span::new(start, self.prev_end()),
+                children,
+            },
+        ))
     }
 
     /// `{?x, ?y, ...}` (possibly empty).
@@ -313,7 +394,7 @@ impl Parser {
             }
         }
         self.expect_word("WHERE")?;
-        let pattern = self.pattern()?;
+        let (pattern, _) = self.pattern()?;
         if parenthesized {
             self.expect(&Token::RParen)?;
         }
@@ -342,35 +423,62 @@ fn finish<T>(mut p: Parser, value: T) -> Result<T, ParseError> {
 /// assert_eq!(p.to_string(), "((?X, was_born_in, Chile) OPT (?X, email, ?Y))");
 /// ```
 pub fn parse_pattern(input: &str) -> Result<Pattern, ParseError> {
-    let mut parser = Parser {
-        tokens: tokenize_spanned(input)?,
-        pos: 0,
-        end: input.len(),
+    Ok(parse_pattern_spanned(input)?.0)
+}
+
+/// Parses a graph pattern along with its [`SpanNode`] span tree — one
+/// span per algebra node, pointing back into `input`, in the same shape
+/// as the pattern. This is what span-carrying diagnostics (owql-lint)
+/// consume.
+///
+/// ```
+/// use owql_parser::parse_pattern_spanned;
+/// let text = "((?x, a, b) OPT (?x, c, ?y))";
+/// let (p, spans) = parse_pattern_spanned(text).unwrap();
+/// assert_eq!(&text[spans.span.start..spans.span.end], text);
+/// let left = &spans.children[0];
+/// assert_eq!(&text[left.span.start..left.span.end], "(?x, a, b)");
+/// assert_eq!(p.to_string(), text);
+/// ```
+pub fn parse_pattern_spanned(input: &str) -> Result<(Pattern, SpanNode), ParseError> {
+    let parse = || {
+        let mut parser = Parser {
+            tokens: tokenize_spanned(input)?,
+            pos: 0,
+            end: input.len(),
+        };
+        let p = parser.pattern()?;
+        finish(parser, p)
     };
-    let p = parser.pattern()?;
-    finish(parser, p)
+    parse().map_err(|e| e.located(input))
 }
 
 /// Parses a built-in condition.
 pub fn parse_condition(input: &str) -> Result<Condition, ParseError> {
-    let mut parser = Parser {
-        tokens: tokenize_spanned(input)?,
-        pos: 0,
-        end: input.len(),
+    let parse = || {
+        let mut parser = Parser {
+            tokens: tokenize_spanned(input)?,
+            pos: 0,
+            end: input.len(),
+        };
+        let c = parser.condition()?;
+        finish(parser, c)
     };
-    let c = parser.condition()?;
-    finish(parser, c)
+    parse().map_err(|e| e.located(input))
 }
 
 /// Parses a CONSTRUCT query.
 pub fn parse_construct(input: &str) -> Result<ConstructQuery, ParseError> {
-    let mut parser = Parser {
-        tokens: tokenize_spanned(input)?,
-        pos: 0,
-        end: input.len(),
+    let parse = || {
+        let mut parser = Parser {
+            tokens: tokenize_spanned(input)?,
+            pos: 0,
+            end: input.len(),
+        };
+        let q = parser.construct()?;
+        finish(parser, q)
     };
-    let q = parser.construct()?;
-    finish(parser, q)
+    parse().map_err(|e| e.located(input))
 }
 
 #[cfg(test)]
@@ -481,7 +589,9 @@ mod tests {
         // `XOR` starts at byte 12.
         let e = parse_pattern("((?x, a, b) XOR (?y, c, d))").unwrap_err();
         assert_eq!(e.offset, 12);
-        assert!(e.to_string().starts_with("parse error at byte 12:"));
+        assert!(e
+            .to_string()
+            .starts_with("parse error at byte 12 (line 1, column 13):"));
 
         // Truncated input: the offset is the input length.
         let input = "((?x, a, b) AND ";
@@ -502,9 +612,55 @@ mod tests {
         assert_eq!(e.offset, 8);
 
         // Offsets are *byte* offsets even after multibyte characters:
-        // "é" is two bytes, so `>` at char 5 sits at byte 6.
+        // "é" is two bytes, so `>` at char 5 sits at byte 6 — but the
+        // column counts characters, so it reports column 6.
         let e = parse_pattern("(?é, >").unwrap_err();
         assert_eq!(e.offset, 6);
+        assert_eq!((e.line, e.column), (1, 6));
+    }
+
+    /// Multi-line inputs report the line and column of the offending
+    /// token alongside the raw byte offset.
+    #[test]
+    fn errors_locate_line_and_column_in_multiline_input() {
+        let input = "((?x, a, b)\n  XOR\n  (?y, c, d))";
+        let e = parse_pattern(input).unwrap_err();
+        assert_eq!(e.offset, 14); // byte offset of `XOR`
+        assert_eq!((e.line, e.column), (2, 3));
+        assert!(e
+            .to_string()
+            .starts_with("parse error at byte 14 (line 2, column 3):"));
+
+        // End-of-input errors point one past the last line's text.
+        let input = "((?x, a, b)\n  AND ";
+        let e = parse_pattern(input).unwrap_err();
+        assert_eq!(e.offset, input.len());
+        assert_eq!((e.line, e.column), (2, 7));
+
+        // Lex errors are located too.
+        let e = parse_pattern("(?x,\n >)").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 2));
+    }
+
+    /// The parser-recorded span tree agrees with the spans synthesized
+    /// from the canonical rendering, on random patterns over the full
+    /// operator set.
+    #[test]
+    fn parsed_spans_agree_with_synthesized_spans() {
+        use crate::span::SpanNode;
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL.with(Operators::MINUS),
+            max_depth: 4,
+            ..PatternConfig::standard(4, 4)
+        };
+        for seed in 0..200u64 {
+            let p = random_pattern(&cfg, seed);
+            let text = p.to_string();
+            let (reparsed, spans) = parse_pattern_spanned(&text)
+                .unwrap_or_else(|e| panic!("seed {seed}: failed to parse {text}: {e}"));
+            assert_eq!(reparsed, p, "seed {seed}");
+            assert_eq!(spans, SpanNode::synthesize(&p), "seed {seed}: {text}");
+        }
     }
 
     use proptest::prelude::*;

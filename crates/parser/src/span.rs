@@ -1,0 +1,170 @@
+//! Byte-offset spans over pattern source text.
+//!
+//! A [`Span`] is a half-open byte range `[start, end)` into the source
+//! a pattern was parsed from; a [`SpanNode`] mirrors the shape of an
+//! [`owql_algebra::pattern::Pattern`] so every algebra node can be
+//! traced back to the text that produced it. Two constructions exist
+//! and agree (property-tested in the parser):
+//!
+//! * [`crate::parser::parse_pattern_spanned`] records real spans while
+//!   parsing, and
+//! * [`SpanNode::synthesize`] re-derives them from the canonical
+//!   `Display` rendering — the fallback for patterns built
+//!   programmatically, so span-carrying diagnostics (owql-lint) work
+//!   even without source text.
+
+use owql_algebra::pattern::Pattern;
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// The span tree of a pattern: one node per [`Pattern`] node, in the
+/// same shape. Children follow the algebra's structure — binary
+/// operators (`AND`/`UNION`/`OPT`/`MINUS`) carry `[left, right]`,
+/// wrappers (`FILTER`/`SELECT`/`NS`) carry `[inner]`, and triple
+/// patterns are leaves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The byte range this pattern node occupies.
+    pub span: Span,
+    /// Span trees of the node's sub-patterns.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Derives the span tree of `p`'s canonical rendering
+    /// (`p.to_string()`), mirroring the `Display` grammar exactly.
+    ///
+    /// ```
+    /// use owql_algebra::pattern::Pattern;
+    /// use owql_parser::SpanNode;
+    /// let p = Pattern::t("?x", "a", "b").and(Pattern::t("?x", "c", "?y"));
+    /// let spans = SpanNode::synthesize(&p);
+    /// let text = p.to_string();
+    /// assert_eq!(&text[spans.children[0].span.start..spans.children[0].span.end],
+    ///            "(?x, a, b)");
+    /// ```
+    pub fn synthesize(p: &Pattern) -> SpanNode {
+        synth(p, 0)
+    }
+}
+
+fn synth(p: &Pattern, start: usize) -> SpanNode {
+    let span = Span::new(start, start + p.to_string().len());
+    let children = match p {
+        Pattern::Triple(_) => Vec::new(),
+        Pattern::And(a, b) => binary(a, b, " AND ", start),
+        Pattern::Union(a, b) => binary(a, b, " UNION ", start),
+        Pattern::Opt(a, b) => binary(a, b, " OPT ", start),
+        Pattern::Minus(a, b) => binary(a, b, " MINUS ", start),
+        Pattern::Filter(q, _) => vec![synth(q, start + 1)],
+        Pattern::Select(vs, q) => {
+            let vars: usize = vs.iter().map(|v| v.to_string().len()).sum::<usize>()
+                + vs.len().saturating_sub(1) * ", ".len();
+            vec![synth(
+                q,
+                start + "(SELECT {".len() + vars + "} WHERE ".len(),
+            )]
+        }
+        Pattern::Ns(q) => vec![synth(q, start + "NS(".len())],
+    };
+    SpanNode { span, children }
+}
+
+fn binary(a: &Pattern, b: &Pattern, op: &str, start: usize) -> Vec<SpanNode> {
+    let left = synth(a, start + 1);
+    let right = synth(b, left.span.end + op.len());
+    vec![left, right]
+}
+
+/// Maps a byte offset to a 1-based `(line, column)` pair in `input`;
+/// the column counts *characters* from the start of the line, so
+/// multibyte input reports editor-style positions. Offsets past the end
+/// (or mid-character, which token offsets never are) are clamped.
+pub fn line_col(input: &str, offset: usize) -> (usize, usize) {
+    let mut clamped = offset.min(input.len());
+    while !input.is_char_boundary(clamped) {
+        clamped -= 1;
+    }
+    let prefix = &input[..clamped];
+    let line = prefix.matches('\n').count() + 1;
+    let line_start = prefix.rfind('\n').map_or(0, |i| i + 1);
+    let column = prefix[line_start..].chars().count() + 1;
+    (line, column)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_pattern;
+
+    /// Every synthesized span slices the canonical rendering back to
+    /// exactly that sub-pattern's own rendering.
+    fn assert_spans_slice(p: &Pattern, node: &SpanNode, text: &str) {
+        assert_eq!(&text[node.span.start..node.span.end], p.to_string());
+        let subs: Vec<&Pattern> = match p {
+            Pattern::Triple(_) => vec![],
+            Pattern::And(a, b)
+            | Pattern::Union(a, b)
+            | Pattern::Opt(a, b)
+            | Pattern::Minus(a, b) => vec![a, b],
+            Pattern::Filter(q, _) => vec![q],
+            Pattern::Select(_, q) | Pattern::Ns(q) => vec![q],
+        };
+        assert_eq!(subs.len(), node.children.len());
+        for (sub, child) in subs.iter().zip(&node.children) {
+            assert_spans_slice(sub, child, text);
+        }
+    }
+
+    #[test]
+    fn synthesized_spans_match_rendering() {
+        for text in [
+            "(?o, stands_for, sharing_rights)",
+            "((?x, a, b) AND ((?y, c, ?z) UNION (?y, d, ?w)))",
+            "(((?x, a, b) OPT (?x, c, ?y)) FILTER bound(?y))",
+            "(SELECT {?x, ?y} WHERE NS(((?x, a, b) MINUS (?x, c, ?y))))",
+            "(SELECT {} WHERE (?x, a, b))",
+            "NS(NS((?x, <a b>, ?y)))",
+        ] {
+            let p = parse_pattern(text).unwrap();
+            let rendered = p.to_string();
+            assert_spans_slice(&p, &SpanNode::synthesize(&p), &rendered);
+        }
+    }
+
+    #[test]
+    fn line_col_is_one_based_and_char_counted() {
+        assert_eq!(line_col("", 0), (1, 1));
+        assert_eq!(line_col("abc", 0), (1, 1));
+        assert_eq!(line_col("abc", 3), (1, 4));
+        let multi = "ab\ncd\ne";
+        assert_eq!(line_col(multi, 3), (2, 1));
+        assert_eq!(line_col(multi, 5), (2, 3));
+        assert_eq!(line_col(multi, 6), (3, 1));
+        // Multibyte: "é" is one column but two bytes.
+        assert_eq!(line_col("(?é, >", 6), (1, 6));
+        // Past-the-end offsets clamp.
+        assert_eq!(line_col("ab", 99), (1, 3));
+    }
+}

@@ -17,6 +17,14 @@
 //!    the evaluation, and the worker maps
 //!    [`EvalError::Timeout`] to `504` — the worker itself is never
 //!    poisoned or stuck.
+//!    Likewise the **admission policy**: a configured
+//!    [`ServerConfig::admission_ceiling`] (tightenable per request via
+//!    `max_class=`) becomes [`ExecOpts::max_class`]; a query whose
+//!    statically determined complexity class exceeds it is shed with
+//!    `429` before any evaluation work, the body carrying an `AD001`
+//!    diagnostic from `owql-lint`. `POST /lint` exposes the full
+//!    analyzer (fragment, complexity, well-designedness, diagnostics
+//!    with spans and line:column) without evaluating anything.
 //! 4. **Shutdown** flips a flag, wakes the accept loop with a loopback
 //!    connection, closes the queue, and joins every thread — queued and
 //!    in-flight requests drain before the listener dies.
@@ -27,6 +35,7 @@ use owql_eval::{EvalError, ExecMode, ExecOpts};
 use owql_exec::Pool;
 use owql_obs::json;
 use owql_parser::parse_pattern;
+use owql_parser::Span;
 use owql_store::{QueryRequest, Store};
 use std::collections::VecDeque;
 use std::io;
@@ -55,6 +64,11 @@ pub struct ServerConfig {
     pub retry_after_secs: u64,
     /// Socket read/write timeout (slowloris guard).
     pub io_timeout: Duration,
+    /// Admission ceiling: queries whose statically determined
+    /// complexity class ranks above this are shed with `429` before
+    /// evaluation. Requests can tighten it with `max_class=` but never
+    /// raise it. `None` admits every class.
+    pub admission_ceiling: Option<owql_lint::ComplexityClass>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +81,7 @@ impl Default for ServerConfig {
             default_deadline: Some(Duration::from_secs(30)),
             retry_after_secs: 1,
             io_timeout: Duration::from_secs(5),
+            admission_ceiling: None,
         }
     }
 }
@@ -267,6 +282,7 @@ fn error_body(message: &str) -> String {
 fn parse_opts(req: &Request, config: &ServerConfig) -> Result<ExecOpts, HttpError> {
     let mut opts = ExecOpts::seq();
     opts.deadline = config.default_deadline;
+    opts.max_class = config.admission_ceiling;
     for (key, value) in req.query_params() {
         match key {
             "mode" => {
@@ -288,6 +304,15 @@ fn parse_opts(req: &Request, config: &ServerConfig) -> Result<ExecOpts, HttpErro
                     HttpError::bad_request(format!("invalid deadline_ms '{value}'"))
                 })?;
                 opts.deadline = Some(Duration::from_millis(ms));
+            }
+            "max_class" => {
+                let requested: owql_lint::ComplexityClass =
+                    value.parse().map_err(HttpError::bad_request)?;
+                // Requests may tighten the server ceiling, never relax it.
+                opts.max_class = Some(match opts.max_class {
+                    Some(configured) if configured.rank() < requested.rank() => configured,
+                    _ => requested,
+                });
             }
             other => {
                 return Err(HttpError::bad_request(format!(
@@ -396,7 +421,8 @@ fn route(
         }
         ("POST", "/query") => answer_query(req, store, pool, config, metrics),
         ("POST", "/explain") => answer_explain(req, store, config),
-        (_, "/healthz" | "/metrics" | "/query" | "/explain") => {
+        ("POST", "/lint") => answer_lint(req),
+        (_, "/healthz" | "/metrics" | "/query" | "/explain" | "/lint") => {
             (405, error_body("method not allowed for this endpoint"))
         }
         _ => (404, error_body("no such endpoint")),
@@ -416,7 +442,8 @@ fn answer_query(
         Ok(parsed) => parsed,
         Err(e) => return (e.status, error_body(&e.message)),
     };
-    match store.query_request(&QueryRequest::with_opts(pattern, opts), pool) {
+    let request = QueryRequest::with_opts(pattern, opts);
+    match store.query_request(&request, pool) {
         Ok(outcome) => {
             let mut body = format!(
                 "{{\"epoch\": {}, \"cache_hit\": {}, \"count\": {}, \"mappings\": {}",
@@ -436,8 +463,67 @@ fn answer_query(
             metrics.timeouts_total.fetch_add(1, Ordering::Relaxed);
             (504, error_body(&e.to_string()))
         }
+        // Admission shed: 429 (no Retry-After — retrying the same
+        // query cannot succeed) with a machine-readable AD001
+        // diagnostic alongside the error message.
+        Err(e @ EvalError::AdmissionDenied { .. }) => {
+            metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+            let text = request.pattern.to_string();
+            let diagnostic = owql_lint::Diagnostic::new(
+                owql_lint::RuleId::AdmissionDenied,
+                Span::new(0, text.len()),
+                e.to_string(),
+            );
+            (
+                429,
+                format!(
+                    "{{\"error\": {}, \"diagnostic\": {}}}\n",
+                    json::string(&e.to_string()),
+                    diagnostic.to_json(&text),
+                ),
+            )
+        }
         #[allow(unreachable_patterns)] // EvalError is #[non_exhaustive]
         Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+/// `POST /lint`: pattern text in, full static analysis out — fragment,
+/// complexity class, well-designedness verdict, and every diagnostic
+/// with its byte span and line:column into the request body. Nothing
+/// is evaluated.
+fn answer_lint(req: &Request) -> (u16, String) {
+    let text = match req.body_utf8() {
+        Ok(text) => text.trim(),
+        Err(e) => return (e.status, error_body(&e.message)),
+    };
+    if text.is_empty() {
+        return (
+            400,
+            error_body("empty request body (expected a graph pattern)"),
+        );
+    }
+    match owql_lint::analyze_source(text) {
+        Ok(analysis) => {
+            let diagnostics: Vec<String> = analysis
+                .diagnostics
+                .iter()
+                .map(|d| d.to_json(text))
+                .collect();
+            (
+                200,
+                format!(
+                    "{{\"fragment\": {}, \"complexity\": {}, \"well_designed\": {}, \
+                     \"count\": {}, \"diagnostics\": [{}]}}\n",
+                    json::string(&analysis.fragment.to_string()),
+                    json::string(&analysis.complexity.to_string()),
+                    json::string(analysis.well_designed.as_str()),
+                    analysis.diagnostics.len(),
+                    diagnostics.join(", "),
+                ),
+            )
+        }
+        Err(e) => (400, error_body(&e.to_string())),
     }
 }
 
@@ -516,6 +602,36 @@ mod tests {
     }
 
     #[test]
+    fn max_class_tightens_but_never_relaxes_the_configured_ceiling() {
+        use owql_lint::ComplexityClass;
+        let open = ServerConfig::default();
+        assert_eq!(
+            parse_opts(&get_req("/query"), &open)
+                .expect("valid")
+                .max_class,
+            None
+        );
+        // No server ceiling: the request sets one freely.
+        let opts = parse_opts(&get_req("/query?max_class=dp"), &open).expect("valid");
+        assert_eq!(opts.max_class, Some(ComplexityClass::Dp));
+
+        let capped = ServerConfig {
+            admission_ceiling: Some(ComplexityClass::Np),
+            ..ServerConfig::default()
+        };
+        // Default: the configured ceiling rides along.
+        let opts = parse_opts(&get_req("/query"), &capped).expect("valid");
+        assert_eq!(opts.max_class, Some(ComplexityClass::Np));
+        // Tightening below the ceiling is honored...
+        let opts = parse_opts(&get_req("/query?max_class=p"), &capped).expect("valid");
+        assert_eq!(opts.max_class, Some(ComplexityClass::P));
+        // ...but asking for more than the server allows is clamped.
+        let opts = parse_opts(&get_req("/query?max_class=pspace"), &capped).expect("valid");
+        assert_eq!(opts.max_class, Some(ComplexityClass::Np));
+        assert!(parse_opts(&get_req("/query?max_class=turing"), &capped).is_err());
+    }
+
+    #[test]
     fn mappings_serialize_sorted_and_escaped() {
         use owql_algebra::Mapping;
         let mut set = owql_algebra::MappingSet::new();
@@ -583,5 +699,62 @@ mod tests {
         let (status, body) = route(&req, &store, &pool, &config, &metrics);
         assert_eq!(status, 504);
         assert!(body.contains("deadline"));
+    }
+
+    #[test]
+    fn admission_ceiling_sheds_with_429_and_ad001_diagnostic() {
+        let store = Store::new();
+        store.insert(owql_rdf::Triple::new("a", "p", "b"));
+        let pool = Pool::sequential();
+        let config = ServerConfig {
+            admission_ceiling: Some(owql_lint::ComplexityClass::Np),
+            ..ServerConfig::default()
+        };
+        let metrics = ServerMetrics::default();
+
+        let mut req = get_req("/query");
+        req.method = "POST".into();
+        // PSPACE-class body: NS over a non-AUFS operand.
+        req.body = b"NS(((?x, p, ?y) OPT (?y, p, ?z)))".to_vec();
+        let (status, body) = route(&req, &store, &pool, &config, &metrics);
+        assert_eq!(status, 429, "{body}");
+        assert!(body.contains("\"rule\": \"AD001\""), "{body}");
+        assert!(body.contains("above the configured NP ceiling"), "{body}");
+        assert_eq!(metrics.shed_total.load(Ordering::Relaxed), 1);
+
+        // At or under the ceiling the same store still answers.
+        req.body = b"(?x, p, ?y)".to_vec();
+        let (status, _) = route(&req, &store, &pool, &config, &metrics);
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn lint_route_reports_diagnostics_without_evaluating() {
+        let store = Store::new();
+        let pool = Pool::sequential();
+        let config = ServerConfig::default();
+        let metrics = ServerMetrics::default();
+
+        let mut req = get_req("/lint");
+        req.method = "POST".into();
+        req.body = b"((?X, a, Chile) AND\n ((?Y, a, Chile) OPT (?Y, b, ?X)))".to_vec();
+        let (status, body) = route(&req, &store, &pool, &config, &metrics);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"fragment\": \"SPARQL\""), "{body}");
+        assert!(body.contains("\"complexity\": \"PSPACE\""), "{body}");
+        assert!(body.contains("\"well_designed\": \"violated\""), "{body}");
+        assert!(body.contains("\"rule\": \"WD001\""), "{body}");
+        // The WD001 span starts on line 2 of the multi-line body.
+        assert!(body.contains("\"line\": 2"), "{body}");
+
+        req.method = "GET".into();
+        let (status, _) = route(&req, &store, &pool, &config, &metrics);
+        assert_eq!(status, 405);
+
+        req.method = "POST".into();
+        req.body = b"(?x, p".to_vec();
+        let (status, body) = route(&req, &store, &pool, &config, &metrics);
+        assert_eq!(status, 400);
+        assert!(body.contains("parse error at byte"), "{body}");
     }
 }

@@ -19,7 +19,7 @@ use owql_algebra::mapping_set::MappingSet;
 use owql_algebra::pattern::Pattern;
 use owql_eval::{Engine, EvalError, ExecOpts};
 use owql_exec::Pool;
-use owql_obs::{Profile, Recorder, StoreObs};
+use owql_obs::{Profile, StoreObs};
 use owql_rdf::{Graph, GraphIndex, SnapshotIndex, Triple, TripleLookup};
 use std::collections::HashSet;
 use std::ops::Deref;
@@ -253,46 +253,6 @@ impl Snapshot {
             epoch: self.epoch,
             cache_hit: false,
         })
-    }
-
-    /// Evaluates `pattern` against this snapshot.
-    #[deprecated(note = "use Snapshot::query_request")]
-    pub fn evaluate(&self, pattern: &Pattern) -> MappingSet {
-        self.engine()
-            .run(pattern, &ExecOpts::seq(), &Pool::sequential())
-            .expect(NO_BUDGET)
-            .mappings
-    }
-
-    /// Evaluates `pattern` against this snapshot across `pool`'s
-    /// workers.
-    #[deprecated(note = "use Snapshot::query_request with ExecOpts::parallel()")]
-    pub fn evaluate_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
-        self.engine()
-            .run(pattern, &ExecOpts::parallel(), pool)
-            .expect(NO_BUDGET)
-            .mappings
-    }
-
-    /// Instrumented evaluation recording one span per operator into
-    /// the caller's `rec` (see `owql_obs`).
-    #[deprecated(note = "use Snapshot::query_request with ExecOpts::seq().traced()")]
-    pub fn evaluate_traced(&self, pattern: &Pattern, rec: &Recorder) -> MappingSet {
-        #[allow(deprecated)]
-        self.engine().evaluate_traced(pattern, rec)
-    }
-
-    /// Instrumented parallel evaluation recording spans and per-worker
-    /// pool stats into the caller's `rec`.
-    #[deprecated(note = "use Snapshot::query_request with ExecOpts::parallel().traced()")]
-    pub fn evaluate_parallel_traced(
-        &self,
-        pattern: &Pattern,
-        pool: &Pool,
-        rec: &Recorder,
-    ) -> MappingSet {
-        #[allow(deprecated)]
-        self.engine().evaluate_parallel_traced(pattern, pool, rec)
     }
 
     /// EXPLAIN ANALYZE against this snapshot (see
@@ -540,9 +500,12 @@ impl Store {
     }
 
     /// Answers `req` at the current epoch — THE store-level entry
-    /// point; `query`, `query_uncached`, and the deprecated method
-    /// matrix are thin wrappers over it, and the HTTP server calls it
-    /// once per request.
+    /// point; `query` and `query_uncached` are thin wrappers over it,
+    /// and the HTTP server calls it once per request.
+    ///
+    /// The [`ExecOpts::max_class`] admission ceiling is enforced
+    /// *before* the cache lookup, so a cached result can never smuggle
+    /// an over-ceiling query past the policy.
     ///
     /// Takes one snapshot up front — **pinning the epoch** for the
     /// whole run, so however long the evaluation takes and however many
@@ -561,6 +524,7 @@ impl Store {
         req: &QueryRequest,
         pool: &Pool,
     ) -> Result<QueryOutcome, EvalError> {
+        owql_eval::check_admission(&req.pattern, &req.opts)?;
         let snapshot = self.snapshot();
         if req.opts.cache {
             let key = cache_key(&req.pattern);
@@ -612,17 +576,6 @@ impl Store {
         .mappings
     }
 
-    /// Cached parallel evaluation at the current epoch.
-    #[deprecated(note = "use Store::query_request with ExecOpts::parallel()")]
-    pub fn evaluate_parallel(&self, pattern: &Pattern, pool: &Pool) -> MappingSet {
-        self.query_request(
-            &QueryRequest::with_opts(pattern.clone(), ExecOpts::parallel()),
-            pool,
-        )
-        .expect(NO_BUDGET)
-        .mappings
-    }
-
     /// Query-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -657,32 +610,6 @@ impl Store {
             cache_invalidations: m.cache.invalidations,
             cache_hit_rate: m.cache.hit_rate(),
         }
-    }
-
-    /// Runs `pattern` uncached against a fresh snapshot with full
-    /// instrumentation. The cache is bypassed — a profile of a cache
-    /// hit would time the lookup, not the operators.
-    #[deprecated(note = "use Store::query_request with ExecOpts::seq().uncached().traced()")]
-    pub fn profile(&self, pattern: &Pattern) -> (MappingSet, Profile) {
-        let out = self
-            .query_request(
-                &QueryRequest::with_opts(pattern.clone(), ExecOpts::seq().uncached().traced()),
-                &Pool::sequential(),
-            )
-            .expect(NO_BUDGET);
-        (out.mappings, out.profile.expect("traced run has a profile"))
-    }
-
-    /// Uncached traced profiling over the parallel engine.
-    #[deprecated(note = "use Store::query_request with ExecOpts::parallel().uncached().traced()")]
-    pub fn profile_parallel(&self, pattern: &Pattern, pool: &Pool) -> (MappingSet, Profile) {
-        let out = self
-            .query_request(
-                &QueryRequest::with_opts(pattern.clone(), ExecOpts::parallel().uncached().traced()),
-                pool,
-            )
-            .expect(NO_BUDGET);
-        (out.mappings, out.profile.expect("traced run has a profile"))
     }
 }
 
@@ -1012,33 +939,43 @@ mod tests {
         assert!(par.profile.expect("traced").store.is_some());
     }
 
-    /// The deprecated wrapper matrix stays answer-identical to the
-    /// unified entry point.
+    /// The admission ceiling is enforced before the cache: a cached
+    /// result for the same pattern must not bypass a later, stricter
+    /// ceiling.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_agree_with_query_request() {
-        let store = Store::from_graph(&graph_from(&[
-            ("a", "p", "b"),
-            ("b", "p", "c"),
-            ("c", "p", "d"),
-        ]));
-        let p = Pattern::t("?x", "p", "?y").and(Pattern::t("?y", "p", "?z"));
-        let pool = Pool::new(2);
-        let expected = store.query_uncached(&p);
+    fn admission_is_checked_before_the_cache() {
+        use owql_eval::EvalError;
+        use owql_lint::ComplexityClass;
 
-        let snap = store.snapshot();
-        let rec = Recorder::new();
-        assert_eq!(snap.evaluate(&p), expected);
-        assert_eq!(snap.evaluate_parallel(&p, &pool), expected);
-        assert_eq!(snap.evaluate_traced(&p, &rec), expected);
-        assert_eq!(snap.evaluate_parallel_traced(&p, &pool, &rec), expected);
-        assert_eq!(store.evaluate_parallel(&p, &pool), expected);
-        let (r1, prof1) = store.profile(&p);
-        assert_eq!(r1, expected);
-        assert!(prof1.store.is_some());
-        let (r2, prof2) = store.profile_parallel(&p, &pool);
-        assert_eq!(r2, expected);
-        assert!(prof2.store.is_some());
+        let store = Store::from_graph(&graph_from(&[("a", "p", "b"), ("b", "p", "c")]));
+        // PSPACE-class pattern: NS over a non-AUFS operand.
+        let p = Pattern::t("?x", "p", "?y")
+            .opt(Pattern::t("?y", "p", "?z"))
+            .ns();
+        let pool = Pool::sequential();
+
+        // Warm the cache without a ceiling.
+        let warmed = store
+            .query_request(&QueryRequest::new(p.clone()), &pool)
+            .expect(NO_BUDGET);
+        assert!(!warmed.cache_hit);
+        let hit = store
+            .query_request(&QueryRequest::new(p.clone()), &pool)
+            .expect(NO_BUDGET);
+        assert!(hit.cache_hit);
+
+        // The same (cached) pattern is still shed under a ceiling.
+        let capped = QueryRequest::with_opts(
+            p.clone(),
+            ExecOpts::seq().with_max_class(ComplexityClass::Dp),
+        );
+        let err = store.query_request(&capped, &pool).unwrap_err();
+        assert!(matches!(err, EvalError::AdmissionDenied { .. }), "{err:?}");
+
+        // At or below the ceiling, cached answers still flow.
+        let ok =
+            QueryRequest::with_opts(p, ExecOpts::seq().with_max_class(ComplexityClass::Pspace));
+        assert!(store.query_request(&ok, &pool).expect(NO_BUDGET).cache_hit);
     }
 
     #[test]

@@ -25,6 +25,16 @@ cargo build --workspace --release
 step "test"
 cargo test --workspace -q
 
+step "lint-smoke (analyzer over the pattern corpus)"
+cargo build --release -p owql-lint
+target/release/owql-lint --deny warn examples/patterns/*.owql
+set +e
+target/release/owql-lint --deny warn crates/lint/tests/golden/*.owql >/dev/null
+rc=$?
+set -e
+[[ "$rc" -eq 1 ]] || { echo "expected --deny warn exit 1 on golden corpus, got $rc"; exit 1; }
+echo "lint smoke OK"
+
 step "determinism: width 1 vs width 8"
 norm() { grep -E '^(test result|running)' "$1" | sed -E 's/; finished in [0-9.]+s//' | sort; }
 OWQL_THREADS=1 cargo test --workspace -q 2>&1 | tee /tmp/owql_ci_t1.log >/dev/null
@@ -49,7 +59,7 @@ if [[ "$FAST" == "0" ]]; then
   grep -q '"cache_hit_rate"' BENCH_store.json || { echo "missing cache_hit_rate in BENCH_store.json"; exit 1; }
   echo "profile schema OK"
 
-  step "server-smoke (oneshot boot + load_gen + schema + deprecated-API sweep)"
+  step "server-smoke (oneshot boot + load_gen + schema + removed-API sweep)"
   OWQL_SERVE_ONESHOT=1 cargo run --release --example serve
   scripts/load_gen BENCH_server.json
   for key in '"phases"' '"server_metrics"' '"p99_ms"' '"throughput_rps"' \
@@ -67,7 +77,7 @@ assert all("p99_ms" in p for p in d["phases"]), "missing p99 latency"
 EOF
   if grep -rnE '\.(evaluate|evaluate_parallel|evaluate_traced|evaluate_parallel_traced|profile_parallel)\(' \
       examples/ tests/ crates/bench/ crates/server/; then
-    echo "deprecated evaluate-variant call site found"; exit 1
+    echo "removed evaluate-variant call site found"; exit 1
   fi
   echo "server smoke OK"
 fi

@@ -128,6 +128,91 @@ fn parse_errors_echo_byte_offsets() {
 }
 
 #[test]
+fn admission_ceiling_sheds_over_class_queries_with_diagnostic_body() {
+    let server = Server::start(
+        seeded_store(3),
+        ServerConfig {
+            admission_ceiling: Some(owql_lint::ComplexityClass::Np),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.addr();
+
+    // A PSPACE-complete pattern (non-well-designed OPT) is refused up
+    // front with a machine-readable diagnostic, never evaluated.
+    let (status, body) = query(
+        addr,
+        "/query",
+        "((?X, a, b) AND ((?Y, a, b) OPT (?Y, c, ?X)))",
+    );
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("\"rule\": \"AD001\""), "{body}");
+    assert!(body.contains("\"severity\": \"error\""), "{body}");
+    assert!(body.contains("above the configured NP ceiling"), "{body}");
+
+    // The same query is also refused on the cached and parallel paths.
+    let (status, _) = query(
+        addr,
+        "/query?mode=parallel",
+        "((?X, a, b) AND ((?Y, a, b) OPT (?Y, c, ?X)))",
+    );
+    assert_eq!(status, 429);
+
+    // Queries inside the admitted fragment still answer normally.
+    let (status, body) = query(addr, "/query", "(?x, p, ?y)");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_u64(&body, "count"), 3);
+
+    // A request may tighten the ceiling further but not relax it.
+    let (status, body) = query(
+        addr,
+        "/query?max_class=p&cache=0",
+        "((?x, p, ?y) UNION (?x, q, ?y))",
+    );
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("AD001"), "{body}");
+    let (status, _) = query(
+        addr,
+        "/query?max_class=pspace",
+        "((?X, a, b) AND ((?Y, a, b) OPT (?Y, c, ?X)))",
+    );
+    assert_eq!(status, 429);
+
+    let (_, _, body) = send(addr, "GET", "/metrics", "");
+    assert!(json_u64(&body, "shed_total") >= 4, "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn lint_endpoint_classifies_and_reports_line_column_spans() {
+    let server = Server::start(seeded_store(1), ServerConfig::default()).expect("start");
+    let addr = server.addr();
+
+    let (status, body) = query(
+        addr,
+        "/lint",
+        "((?X, a, Chile) AND\n ((?Y, a, Chile) OPT (?Y, b, ?X)))",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"fragment\": \"SPARQL\""), "{body}");
+    assert!(body.contains("\"complexity\": \"PSPACE\""), "{body}");
+    assert!(body.contains("\"well_designed\": \"violated\""), "{body}");
+    assert!(body.contains("\"rule\": \"WD001\""), "{body}");
+    // The offending OPT subtree sits on the second line of the body.
+    assert!(body.contains("\"line\": 2"), "{body}");
+
+    // Parse errors surface line:column alongside the byte offset.
+    let (status, body) = query(addr, "/lint", "((?x, p, ?y) AND\n (?y, q");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("parse error at byte"), "{body}");
+    assert!(body.contains("line 2"), "{body}");
+
+    server.shutdown();
+}
+
+#[test]
 fn deadline_exceeded_maps_to_504_without_poisoning_workers() {
     let store = seeded_store(8);
     let server = Server::start(

@@ -1,0 +1,320 @@
+//! Persistence benchmark + crash-test driver. Three modes:
+//!
+//! ```text
+//! # Bench mode (default): writes BENCH_persist.json
+//! cargo run --release -p owql-bench --bin store_recovery -- [--quick] [out.json]
+//!
+//! # Crash-writer mode: commit `(s{i}, p, o)` forever with fsync on,
+//! # printing `committed <epoch>` per commit — the harness kill -9's us.
+//! cargo run -p owql-bench --bin store_recovery -- --crash-writer <dir> [n]
+//!
+//! # Verify mode: reopen <dir>, check the state is exactly commits
+//! # 1..=epoch of the deterministic workload, differentially against a
+//! # fresh in-memory store. Exits non-zero on any divergence.
+//! cargo run -p owql-bench --bin store_recovery -- --verify <dir>
+//! ```
+//!
+//! The bench mode measures what the design promises to trade:
+//! - commit throughput with fsync on vs off (the durability knob),
+//! - checkpoint latency at a given store size,
+//! - cold-start latency: segment-only open vs replaying a long WAL.
+
+use owql_algebra::pattern::Pattern;
+use owql_store::{PersistConfig, Store, StoreOptions};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Commit `i` of the deterministic workload inserts this triple.
+fn workload_triple(i: u64) -> owql_rdf::Triple {
+    let s = format!("s{i}");
+    let o = format!("o{}", i % 5);
+    owql_rdf::Triple::new(&s, "p", &o)
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("owql-recovery-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(dir: &PathBuf, fsync: bool) -> Store {
+    let config = if fsync {
+        PersistConfig::default()
+            .checkpoint_every(0)
+            .inline_indexer()
+    } else {
+        PersistConfig::default()
+            .no_fsync()
+            .checkpoint_every(0)
+            .inline_indexer()
+    };
+    Store::open(dir, StoreOptions::default(), config).expect("open store")
+}
+
+/// `--crash-writer <dir> [n]`: deterministic commit loop, fsync on.
+/// Epoch i ⇔ triples s1..si are durable — the verifier relies on it.
+fn crash_writer(dir: &str, n: u64) -> ! {
+    let store = Store::open(
+        dir,
+        StoreOptions::default(),
+        PersistConfig::default()
+            .checkpoint_every(0)
+            .inline_indexer(),
+    )
+    .expect("open store");
+    let start = store.epoch();
+    for i in start + 1..=n {
+        store.insert(workload_triple(i));
+        // One line per durable commit; the harness reads these to know
+        // how far we got before it killed us.
+        println!("committed {i}");
+    }
+    println!("writer finished at epoch {n}");
+    std::process::exit(0);
+}
+
+/// `--verify <dir>`: recovery must land on a fully-committed epoch E
+/// with state identical to a reference store that saw commits 1..=E.
+fn verify(dir: &str) -> ! {
+    let store = open(&PathBuf::from(dir), false);
+    let epoch = store.epoch();
+    let report = store.recovery_report().expect("durable store").clone();
+
+    let reference = Store::new();
+    for i in 1..=epoch {
+        reference.insert(workload_triple(i));
+    }
+    let mut failures = Vec::new();
+    if store.to_graph() != reference.to_graph() {
+        failures.push(format!(
+            "graph mismatch at epoch {epoch}: {} vs {} triples",
+            store.len(),
+            reference.len()
+        ));
+    }
+    for probe in [
+        Pattern::t("?x", "p", "?y"),
+        Pattern::t("?x", "p", "o1"),
+        Pattern::t("?x", "p", "?y").and(Pattern::t("?z", "p", "?y")),
+    ] {
+        if store.query(&probe) != reference.query(&probe) {
+            failures.push(format!("answers diverge for {probe}"));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "VERIFY OK epoch={epoch} triples={} segment_gen={} replayed={} skipped_bytes={}",
+            store.len(),
+            report.segment_generation,
+            report.replayed_records,
+            report.skipped_wal_bytes
+        );
+        std::process::exit(0);
+    }
+    for f in &failures {
+        eprintln!("VERIFY FAIL: {f}");
+    }
+    std::process::exit(1);
+}
+
+struct CommitRun {
+    fsync: bool,
+    commits: u64,
+    elapsed_ms: f64,
+    commits_per_sec: f64,
+    wal_bytes: u64,
+}
+
+fn bench_commits(commits: u64, fsync: bool) -> CommitRun {
+    let dir = fresh_dir(if fsync { "fsync-on" } else { "fsync-off" });
+    let store = open(&dir, fsync);
+    let start = Instant::now();
+    for i in 1..=commits {
+        store.insert(workload_triple(i));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let wal_bytes = store.persist_metrics().expect("durable").wal_bytes;
+    let run = CommitRun {
+        fsync,
+        commits,
+        elapsed_ms: elapsed * 1e3,
+        commits_per_sec: commits as f64 / elapsed,
+        wal_bytes,
+    };
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    run
+}
+
+struct CheckpointRun {
+    triples: usize,
+    checkpoint_ms: f64,
+    segment_bytes: u64,
+    wal_records_dropped: u64,
+}
+
+fn bench_checkpoint(commits: u64) -> CheckpointRun {
+    let dir = fresh_dir("checkpoint");
+    let store = open(&dir, false);
+    for i in 1..=commits {
+        store.insert(workload_triple(i));
+    }
+    let start = Instant::now();
+    let summary = store
+        .checkpoint()
+        .expect("checkpoint io")
+        .expect("checkpoint ran");
+    let checkpoint_ms = start.elapsed().as_secs_f64() * 1e3;
+    let segment_bytes = std::fs::metadata(owql_store::segment_path(&dir, summary.generation))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let run = CheckpointRun {
+        triples: summary.triples,
+        checkpoint_ms,
+        segment_bytes,
+        wal_records_dropped: summary.wal_records_dropped,
+    };
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    run
+}
+
+struct ColdStart {
+    commits: u64,
+    wal_replay_ms: f64,
+    replayed_records: u64,
+    segment_open_ms: f64,
+    segment_triples: usize,
+}
+
+/// Cold-start comparison at the same logical state: reopen a store
+/// whose entire history sits in the WAL vs one that was checkpointed
+/// (segment + empty WAL tail).
+fn bench_cold_start(commits: u64) -> ColdStart {
+    let dir = fresh_dir("cold-start");
+    {
+        let store = open(&dir, false);
+        for i in 1..=commits {
+            store.insert(workload_triple(i));
+        }
+    }
+    let start = Instant::now();
+    let store = open(&dir, false);
+    let wal_replay_ms = start.elapsed().as_secs_f64() * 1e3;
+    let replayed_records = store.recovery_report().expect("durable").replayed_records;
+    store.checkpoint().expect("io").expect("ran");
+    drop(store);
+
+    let start = Instant::now();
+    let store = open(&dir, false);
+    let segment_open_ms = start.elapsed().as_secs_f64() * 1e3;
+    let report = store.recovery_report().expect("durable").clone();
+    assert_eq!(report.replayed_records, 0, "checkpoint covered everything");
+    let run = ColdStart {
+        commits,
+        wal_replay_ms,
+        replayed_records,
+        segment_open_ms,
+        segment_triples: report.segment_triples,
+    };
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    run
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--crash-writer") => {
+            let dir = args.get(1).expect("--crash-writer needs a directory");
+            let n = args
+                .get(2)
+                .map(|s| s.parse().expect("bad commit count"))
+                .unwrap_or(u64::MAX);
+            crash_writer(dir, n);
+        }
+        Some("--verify") => {
+            verify(args.get(1).expect("--verify needs a directory"));
+        }
+        _ => {}
+    }
+
+    let mut quick = false;
+    let mut out = "BENCH_persist.json".to_owned();
+    for arg in args {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out = arg;
+        }
+    }
+    let (fsync_commits, commits) = if quick { (100, 2_000) } else { (400, 20_000) };
+
+    // fsync off first (cheap), then on (each commit waits on the disk).
+    let no_sync = bench_commits(commits, false);
+    let synced = bench_commits(fsync_commits, true);
+    for r in [&no_sync, &synced] {
+        println!(
+            "commits fsync={:5}: {:6} commits in {:9.2}ms = {:9.0}/s  (wal {} bytes)",
+            r.fsync, r.commits, r.elapsed_ms, r.commits_per_sec, r.wal_bytes
+        );
+    }
+    let checkpoint = bench_checkpoint(commits);
+    println!(
+        "checkpoint: {} triples in {:.2}ms -> {} byte segment ({} wal records dropped)",
+        checkpoint.triples,
+        checkpoint.checkpoint_ms,
+        checkpoint.segment_bytes,
+        checkpoint.wal_records_dropped
+    );
+    let cold = bench_cold_start(commits);
+    println!(
+        "cold start at {} commits: wal-replay {:.2}ms ({} records) vs segment {:.2}ms ({} triples)",
+        cold.commits,
+        cold.wal_replay_ms,
+        cold.replayed_records,
+        cold.segment_open_ms,
+        cold.segment_triples
+    );
+
+    let mut json = String::from("{\n  \"benchmark\": \"store_recovery\",\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"single-insert commits of (s_i, p, o_i%5); checkpoint + reopen at the same state\",",
+    );
+    json.push_str("  \"commit_throughput\": [\n");
+    for (i, r) in [&no_sync, &synced].iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"fsync\": {}, \"commits\": {}, \"elapsed_ms\": {:.3}, \
+             \"commits_per_sec\": {:.1}, \"wal_bytes\": {}}}",
+            r.fsync, r.commits, r.elapsed_ms, r.commits_per_sec, r.wal_bytes
+        );
+        json.push_str(if i == 0 { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"checkpoint\": {{\"triples\": {}, \"checkpoint_ms\": {:.3}, \
+         \"segment_bytes\": {}, \"wal_records_dropped\": {}}},",
+        checkpoint.triples,
+        checkpoint.checkpoint_ms,
+        checkpoint.segment_bytes,
+        checkpoint.wal_records_dropped
+    );
+    let _ = writeln!(
+        json,
+        "  \"cold_start\": {{\"commits\": {}, \"wal_replay_ms\": {:.3}, \
+         \"replayed_records\": {}, \"segment_open_ms\": {:.3}, \"segment_triples\": {}}}",
+        cold.commits,
+        cold.wal_replay_ms,
+        cold.replayed_records,
+        cold.segment_open_ms,
+        cold.segment_triples
+    );
+    json.push_str("}\n");
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("wrote {out}");
+}

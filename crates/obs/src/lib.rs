@@ -40,5 +40,5 @@ pub mod json;
 pub mod profile;
 pub mod recorder;
 
-pub use profile::{NsObs, OperatorTotals, PoolObs, Profile, StoreObs, WorkerStat};
+pub use profile::{NsObs, OperatorTotals, PersistObs, PoolObs, Profile, StoreObs, WorkerStat};
 pub use recorder::{OpKind, Recorder, Span, SpanId, SpanTimer};

@@ -99,6 +99,26 @@ pub struct StoreObs {
     pub cache_hit_rate: f64,
 }
 
+/// Durability counters, as folded in by `owql-store` when the store
+/// was opened on a data directory (mirrors the store's
+/// `PersistMetrics` without depending on it — same layering argument
+/// as [`StoreObs`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistObs {
+    /// Bytes currently in the write-ahead log.
+    pub wal_bytes: u64,
+    /// Commit records currently in the write-ahead log.
+    pub wal_records: u64,
+    /// Newest segment generation on disk (0 = none yet).
+    pub segment_generation: u64,
+    /// Epoch watermark of the newest checkpoint (0 = none yet).
+    pub last_checkpoint_epoch: u64,
+    /// Checkpoints taken since the store opened.
+    pub checkpoints: u64,
+    /// WAL records replayed when the store opened.
+    pub recovery_replayed_records: u64,
+}
+
 /// The unified observability snapshot. See the module docs.
 #[derive(Clone, Debug, Default)]
 pub struct Profile {
@@ -120,6 +140,8 @@ pub struct Profile {
     pub dropped_spans: u64,
     /// Store/cache counters, when profiling through `owql-store`.
     pub store: Option<StoreObs>,
+    /// Durability counters, when the store persists to a directory.
+    pub persist: Option<PersistObs>,
 }
 
 impl Profile {
@@ -219,7 +241,7 @@ impl Profile {
                     "  \"store\": {{\"epoch\": {}, \"triples\": {}, \"base_len\": {}, \
                      \"delta_len\": {}, \"compactions\": {}, \"cache_hits\": {}, \
                      \"cache_misses\": {}, \"cache_evictions\": {}, \
-                     \"cache_invalidations\": {}, \"cache_hit_rate\": {}}}",
+                     \"cache_invalidations\": {}, \"cache_hit_rate\": {}}},",
                     s.epoch,
                     s.triples,
                     s.base_len,
@@ -232,7 +254,24 @@ impl Profile {
                     json::number(s.cache_hit_rate)
                 );
             }
-            None => out.push_str("  \"store\": null\n"),
+            None => out.push_str("  \"store\": null,\n"),
+        }
+        match &self.persist {
+            Some(p) => {
+                let _ = writeln!(
+                    out,
+                    "  \"persist\": {{\"wal_bytes\": {}, \"wal_records\": {}, \
+                     \"segment_generation\": {}, \"last_checkpoint_epoch\": {}, \
+                     \"checkpoints\": {}, \"recovery_replayed_records\": {}}}",
+                    p.wal_bytes,
+                    p.wal_records,
+                    p.segment_generation,
+                    p.last_checkpoint_epoch,
+                    p.checkpoints,
+                    p.recovery_replayed_records
+                );
+            }
+            None => out.push_str("  \"persist\": null\n"),
         }
         out.push_str("}\n");
         out
@@ -269,6 +308,14 @@ mod tests {
             cache_invalidations: 1,
             cache_hit_rate: 0.6,
         });
+        profile.persist = Some(PersistObs {
+            wal_bytes: 4096,
+            wal_records: 7,
+            segment_generation: 3,
+            last_checkpoint_epoch: 40,
+            checkpoints: 3,
+            recovery_replayed_records: 2,
+        });
         profile
     }
 
@@ -289,6 +336,10 @@ mod tests {
             "\"dropped_spans\"",
             "\"store\"",
             "\"cache_hit_rate\"",
+            "\"persist\"",
+            "\"wal_bytes\"",
+            "\"segment_generation\"",
+            "\"recovery_replayed_records\"",
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
@@ -336,6 +387,7 @@ mod tests {
         let text = profile.to_json();
         assert!(text.contains("\"operators\": [],"));
         assert!(text.contains("\"spans\": [],"));
-        assert!(text.contains("\"store\": null"));
+        assert!(text.contains("\"store\": null,"));
+        assert!(text.contains("\"persist\": null"));
     }
 }

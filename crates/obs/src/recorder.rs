@@ -322,6 +322,7 @@ impl Recorder {
             spans,
             dropped_spans: self.dropped_spans.load(Ordering::Relaxed),
             store: None,
+            persist: None,
         }
     }
 }

@@ -401,6 +401,22 @@ fn route(
         ),
         ("GET", "/metrics") => {
             let obs = store.observe();
+            let persist = match store.observe_persist() {
+                Some(p) => format!(
+                    concat!(
+                        "{{\"wal_bytes\": {}, \"wal_records\": {}, ",
+                        "\"segment_generation\": {}, \"last_checkpoint_epoch\": {}, ",
+                        "\"checkpoints\": {}, \"recovery_replayed_records\": {}}}"
+                    ),
+                    p.wal_bytes,
+                    p.wal_records,
+                    p.segment_generation,
+                    p.last_checkpoint_epoch,
+                    p.checkpoints,
+                    p.recovery_replayed_records,
+                ),
+                None => "null".to_owned(),
+            };
             (
                 200,
                 format!(
@@ -408,7 +424,8 @@ fn route(
                         "{{\"server\": {},\n",
                         " \"store\": {{\"epoch\": {}, \"triples\": {}, ",
                         "\"cache_hits\": {}, \"cache_misses\": {}, ",
-                        "\"cache_hit_rate\": {}}}}}\n"
+                        "\"cache_hit_rate\": {}}},\n",
+                        " \"persist\": {}}}\n"
                     ),
                     metrics.to_json(),
                     obs.epoch,
@@ -416,6 +433,7 @@ fn route(
                     obs.cache_hits,
                     obs.cache_misses,
                     json::number(obs.cache_hit_rate),
+                    persist,
                 ),
             )
         }
@@ -656,6 +674,44 @@ mod tests {
         assert!(q.pop().is_some(), "close drains remaining entries");
         assert!(q.pop().is_none());
         assert!(q.push(mk()).is_err(), "closed queue rejects pushes");
+    }
+
+    #[test]
+    fn metrics_route_reports_persist_section() {
+        let pool = Pool::sequential();
+        let config = ServerConfig::default();
+        let metrics = ServerMetrics::default();
+
+        // In-memory store: persist is explicitly null.
+        let store = Store::new();
+        let (status, body) = route(&get_req("/metrics"), &store, &pool, &config, &metrics);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"persist\": null"), "{body}");
+
+        // Durable store: the counters appear.
+        let dir = std::env::temp_dir().join(format!("owql-server-metrics-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durable = Store::open(
+            &dir,
+            owql_store::StoreOptions::default(),
+            owql_store::PersistConfig::default()
+                .no_fsync()
+                .inline_indexer(),
+        )
+        .expect("open durable store");
+        durable.insert(owql_rdf::Triple::new("a", "p", "b"));
+        let (status, body) = route(&get_req("/metrics"), &durable, &pool, &config, &metrics);
+        assert_eq!(status, 200);
+        for key in [
+            "\"wal_bytes\"",
+            "\"wal_records\": 1",
+            "\"segment_generation\"",
+            "\"last_checkpoint_epoch\"",
+            "\"checkpoints\"",
+            "\"recovery_replayed_records\"",
+        ] {
+            assert!(body.contains(key), "missing {key} in {body}");
+        }
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //!   write bumps the epoch and thereby invalidates every cached entry
 //!   implicitly; hit/miss/eviction counters are exposed via
 //!   [`Store::cache_stats`].
+//! - **Durability** — [`Store::open`] puts the store on a data
+//!   directory: every commit is logged to a checksummed write-ahead
+//!   log (fsync'd before its epoch is published), a background indexer
+//!   checkpoints the snapshot into binary segment generations, and
+//!   reopening the directory recovers the last fully-committed epoch
+//!   even after `kill -9` (see `owql-persist` and DESIGN.md §12).
 //!
 //! ```
 //! use owql_rdf::Triple;
@@ -44,7 +50,8 @@ pub mod cache;
 pub mod store;
 
 pub use cache::{cache_key, CacheStats, QueryCache};
+pub use owql_persist::{segment_path, PersistConfig, RecoveryReport, WAL_FILE};
 pub use store::{
-    CommitSummary, DeltaOp, LogEntry, QueryOutcome, QueryRequest, Snapshot, Store, StoreMetrics,
-    StoreOptions, Transaction,
+    CheckpointSummary, CommitSummary, DeltaOp, LogEntry, PersistMetrics, QueryOutcome,
+    QueryRequest, Snapshot, Store, StoreMetrics, StoreOptions, Transaction,
 };

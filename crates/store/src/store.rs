@@ -13,17 +13,34 @@
 //! |base|)`, the commit folds it into a fresh base index (**delta
 //! compaction**) — replacing the seed's full `O(|G|)` index rebuild on
 //! *every* `Engine::new` with an amortized, threshold-driven one.
+//!
+//! ## Durability (`owql-persist`)
+//!
+//! A store opened with [`Store::open`] writes a checksummed
+//! write-ahead log record per commit — fsync'd **before** the commit's
+//! epoch is published, so every epoch a reader ever observed is
+//! reconstructible — and periodically checkpoints the snapshot into a
+//! binary segment generation (the **background indexer**, or inline
+//! when so configured), truncating the log behind the retained
+//! segments. Reopening the directory recovers the newest valid
+//! segment, replays the log tail past its epoch watermark, and skips
+//! any torn trailing record. See DESIGN.md §12.
 
 use crate::cache::{cache_key, CacheStats, QueryCache};
 use owql_algebra::mapping_set::MappingSet;
 use owql_algebra::pattern::Pattern;
 use owql_eval::{Engine, EvalError, ExecOpts};
 use owql_exec::Pool;
-use owql_obs::{Profile, StoreObs};
+use owql_obs::{PersistObs, Profile, StoreObs};
+use owql_persist::{CommitRecord, PersistConfig, RecoveryReport, Wal, WalOp};
 use owql_rdf::{Graph, GraphIndex, SnapshotIndex, Triple, TripleLookup};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::io;
 use std::ops::Deref;
-use std::sync::{Arc, RwLock};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
 
 /// Expect-message for unwrapping requests made without a deadline.
 const NO_BUDGET: &str = "unlimited budget cannot time out";
@@ -164,8 +181,38 @@ pub struct CommitSummary {
     pub compacted: bool,
 }
 
+/// What a checkpoint did (see [`Store::checkpoint`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointSummary {
+    /// The segment generation the checkpoint wrote.
+    pub generation: u64,
+    /// The epoch watermark baked into that segment.
+    pub epoch: u64,
+    /// Triples in the segment.
+    pub triples: usize,
+    /// WAL records truncated behind the retained generations.
+    pub wal_records_dropped: u64,
+}
+
+/// Durability counters for a store opened with [`Store::open`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistMetrics {
+    /// Bytes currently in the write-ahead log.
+    pub wal_bytes: u64,
+    /// Commit records currently in the write-ahead log.
+    pub wal_records: u64,
+    /// Newest segment generation on disk (0 = none yet).
+    pub segment_generation: u64,
+    /// Epoch watermark of the newest checkpoint (0 = none yet).
+    pub last_checkpoint_epoch: u64,
+    /// Checkpoints taken since this store opened.
+    pub checkpoints: u64,
+    /// WAL records replayed when this store opened.
+    pub recovery_replayed_records: u64,
+}
+
 /// Aggregate store state, for monitoring and the bench harness.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct StoreMetrics {
     /// Current epoch.
     pub epoch: u64,
@@ -179,6 +226,136 @@ pub struct StoreMetrics {
     pub compactions: u64,
     /// Query-cache counters.
     pub cache: CacheStats,
+    /// Durability counters — `Some` iff the store persists to disk.
+    pub persist: Option<PersistMetrics>,
+}
+
+/// Wake/shutdown flags for the background indexer thread.
+#[derive(Debug, Default)]
+struct IndexerSignal {
+    wake: bool,
+    shutdown: bool,
+}
+
+/// Everything the durable side of a store shares with its background
+/// indexer: the open WAL, the data directory, counters mirrored into
+/// atomics so `metrics()` never touches the WAL lock.
+#[derive(Debug)]
+struct PersistState {
+    dir: PathBuf,
+    config: PersistConfig,
+    wal: Mutex<Wal>,
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    segment_generation: AtomicU64,
+    last_checkpoint_epoch: AtomicU64,
+    checkpoints: AtomicU64,
+    recovery: RecoveryReport,
+    /// Serializes checkpoints (manual, inline, and background).
+    checkpoint_lock: Mutex<()>,
+    signal: Mutex<IndexerSignal>,
+    wake: Condvar,
+}
+
+impl PersistState {
+    fn metrics(&self) -> PersistMetrics {
+        PersistMetrics {
+            wal_bytes: self.wal_bytes.load(Ordering::SeqCst),
+            wal_records: self.wal_records.load(Ordering::SeqCst),
+            segment_generation: self.segment_generation.load(Ordering::SeqCst),
+            last_checkpoint_epoch: self.last_checkpoint_epoch.load(Ordering::SeqCst),
+            checkpoints: self.checkpoints.load(Ordering::SeqCst),
+            recovery_replayed_records: self.recovery.replayed_records,
+        }
+    }
+
+    fn wake_indexer(&self) {
+        let mut signal = self.signal.lock().expect("indexer signal poisoned");
+        signal.wake = true;
+        drop(signal);
+        self.wake.notify_all();
+    }
+}
+
+/// Flushes the current snapshot into a fresh segment generation,
+/// prunes old generations, and truncates the WAL behind the *oldest*
+/// retained one (so a corrupt newest segment still recovers from the
+/// previous generation plus the log). Runs on the committing thread
+/// (inline config / [`Store::checkpoint`]) or the background indexer.
+fn run_checkpoint(
+    inner: &RwLock<StoreInner>,
+    persist: &PersistState,
+) -> io::Result<Option<CheckpointSummary>> {
+    let _serialize = persist
+        .checkpoint_lock
+        .lock()
+        .expect("checkpoint lock poisoned");
+    // Snapshot under a read lock, then write the segment without
+    // holding any store lock — commits keep landing meanwhile (their
+    // epochs stay in the WAL until the *next* checkpoint).
+    let (epoch, index) = {
+        let inner = inner.read().expect("store lock poisoned");
+        (inner.epoch, inner.snapshot_index())
+    };
+    if epoch == persist.last_checkpoint_epoch.load(Ordering::SeqCst)
+        && persist.segment_generation.load(Ordering::SeqCst) > 0
+    {
+        return Ok(None); // nothing committed since the last checkpoint
+    }
+    let graph = index.to_graph();
+    let triples: Vec<Triple> = graph.iter().copied().collect();
+    let generation = persist.segment_generation.load(Ordering::SeqCst) + 1;
+    owql_persist::write_segment(&persist.dir, generation, epoch, &triples)?;
+    persist
+        .segment_generation
+        .store(generation, Ordering::SeqCst);
+    persist.last_checkpoint_epoch.store(epoch, Ordering::SeqCst);
+    persist.checkpoints.fetch_add(1, Ordering::SeqCst);
+    owql_persist::prune_segments(&persist.dir, persist.config.keep_segments.max(1))?;
+
+    // The WAL must still cover everything past the oldest retained
+    // generation's watermark, not just the newest one's.
+    let mut watermark = epoch;
+    for (gen, path) in owql_persist::segment_generations(&persist.dir)? {
+        let _ = gen;
+        if let Ok(e) = owql_persist::segment_epoch(&path) {
+            watermark = watermark.min(e);
+        }
+    }
+    let wal_records_dropped = {
+        let mut wal = persist.wal.lock().expect("wal lock poisoned");
+        let dropped = wal.truncate_behind(watermark)?;
+        persist.wal_records.store(wal.records(), Ordering::SeqCst);
+        persist.wal_bytes.store(wal.bytes(), Ordering::SeqCst);
+        dropped
+    };
+    Ok(Some(CheckpointSummary {
+        generation,
+        epoch,
+        triples: triples.len(),
+        wal_records_dropped,
+    }))
+}
+
+/// The background indexer: sleeps on the condvar, checkpoints when a
+/// commit crosses the WAL threshold, exits on shutdown (store drop).
+fn indexer_loop(inner: Arc<RwLock<StoreInner>>, persist: Arc<PersistState>) {
+    let mut signal = persist.signal.lock().expect("indexer signal poisoned");
+    loop {
+        while !signal.wake && !signal.shutdown {
+            signal = persist.wake.wait(signal).expect("indexer signal poisoned");
+        }
+        if signal.shutdown {
+            return;
+        }
+        signal.wake = false;
+        drop(signal);
+        // A failed background checkpoint is not fatal: the WAL still
+        // holds every commit, so durability is unaffected — the next
+        // threshold crossing (or a manual checkpoint) retries.
+        let _ = run_checkpoint(&inner, &persist);
+        signal = persist.signal.lock().expect("indexer signal poisoned");
+    }
 }
 
 #[derive(Debug)]
@@ -201,6 +378,42 @@ impl StoreInner {
 
     fn snapshot_index(&self) -> SnapshotIndex {
         SnapshotIndex::new(self.base.clone(), self.adds.clone(), self.dels.clone())
+    }
+
+    /// Applies one op to the overlay, recording it in the delta log
+    /// under `epoch`. Returns `true` iff the op changed the store.
+    /// Shared by the live commit path and WAL replay on `open`.
+    fn apply_op(&mut self, op: DeltaOp, epoch: u64) -> bool {
+        let changed = match op {
+            DeltaOp::Insert(t) => {
+                if self.visible(&t) {
+                    false
+                } else if self.dels.contains(&t) {
+                    // Re-insert of a base triple: cancel the delete.
+                    Arc::make_mut(&mut self.dels).remove(&t);
+                    true
+                } else {
+                    Arc::make_mut(&mut self.adds).insert(t);
+                    true
+                }
+            }
+            DeltaOp::Delete(t) => {
+                if !self.visible(&t) {
+                    false
+                } else if self.adds.contains(&t) {
+                    // Delete of an uncompacted add: cancel the add.
+                    Arc::make_mut(&mut self.adds).remove(&t);
+                    true
+                } else {
+                    Arc::make_mut(&mut self.dels).insert(t);
+                    true
+                }
+            }
+        };
+        if changed {
+            self.log.push(LogEntry { epoch, op });
+        }
+        changed
     }
 }
 
@@ -309,14 +522,33 @@ impl Deref for Snapshot {
 /// ```
 #[derive(Debug)]
 pub struct Store {
-    inner: RwLock<StoreInner>,
+    inner: Arc<RwLock<StoreInner>>,
     cache: QueryCache,
     opts: StoreOptions,
+    /// Durable side — `Some` iff opened with [`Store::open`].
+    persist: Option<Arc<PersistState>>,
+    /// The background indexer thread, joined on drop.
+    indexer: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Default for Store {
     fn default() -> Self {
         Store::new()
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        if let Some(p) = &self.persist {
+            let mut signal = p.signal.lock().expect("indexer signal poisoned");
+            signal.shutdown = true;
+            drop(signal);
+            p.wake.notify_all();
+        }
+        let handle = self.indexer.get_mut().ok().and_then(|slot| slot.take());
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -329,16 +561,124 @@ impl Store {
     /// An empty store with explicit options.
     pub fn with_options(opts: StoreOptions) -> Self {
         Store {
-            inner: RwLock::new(StoreInner {
+            inner: Arc::new(RwLock::new(StoreInner {
                 base: Arc::new(GraphIndex::default()),
                 adds: Arc::new(GraphIndex::default()),
                 dels: Arc::new(HashSet::new()),
                 epoch: 0,
                 log: Vec::new(),
                 compactions: 0,
-            }),
+            })),
             cache: QueryCache::new(opts.cache_capacity),
             opts,
+            persist: None,
+            indexer: Mutex::new(None),
+        }
+    }
+
+    /// Opens (or creates) a **durable** store on `dir` with default
+    /// options and persistence config.
+    pub fn open_default(dir: impl AsRef<Path>) -> io::Result<Store> {
+        Store::open(dir, StoreOptions::default(), PersistConfig::default())
+    }
+
+    /// Opens (or creates) a **durable** store on `dir`: recovers the
+    /// newest valid segment, replays the WAL tail past its epoch
+    /// watermark (skipping any torn trailing record), and resumes at
+    /// the last fully-committed epoch. Every subsequent commit is
+    /// WAL-logged (fsync'd before its epoch is published, per
+    /// `config.fsync`) and periodically checkpointed into a new
+    /// segment generation.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        opts: StoreOptions,
+        config: PersistConfig,
+    ) -> io::Result<Store> {
+        let dir = dir.as_ref().to_path_buf();
+        let recovered = owql_persist::recover(&dir)?;
+
+        let (base, watermark) = match &recovered.segment {
+            Some(seg) => (seg.to_graph_index(), seg.epoch()),
+            None => (GraphIndex::default(), 0),
+        };
+        let mut inner = StoreInner {
+            base: Arc::new(base),
+            adds: Arc::new(GraphIndex::default()),
+            dels: Arc::new(HashSet::new()),
+            epoch: watermark,
+            log: Vec::new(),
+            compactions: 0,
+        };
+        for record in &recovered.replay {
+            for op in &record.ops {
+                let delta = match op {
+                    WalOp::Insert(t) => DeltaOp::Insert(*t),
+                    WalOp::Delete(t) => DeltaOp::Delete(*t),
+                };
+                inner.apply_op(delta, record.epoch);
+            }
+            inner.epoch = record.epoch;
+        }
+
+        let report = recovered.report;
+        let wal_records = recovered.wal.records();
+        let wal_bytes = recovered.wal.bytes();
+        let persist = Arc::new(PersistState {
+            dir,
+            config: config.clone(),
+            wal: Mutex::new(recovered.wal),
+            wal_records: AtomicU64::new(wal_records),
+            wal_bytes: AtomicU64::new(wal_bytes),
+            segment_generation: AtomicU64::new(report.segment_generation),
+            last_checkpoint_epoch: AtomicU64::new(report.segment_epoch),
+            checkpoints: AtomicU64::new(0),
+            recovery: report,
+            checkpoint_lock: Mutex::new(()),
+            signal: Mutex::new(IndexerSignal::default()),
+            wake: Condvar::new(),
+        });
+
+        let store = Store {
+            inner: Arc::new(RwLock::new(inner)),
+            cache: QueryCache::new(opts.cache_capacity),
+            opts,
+            persist: Some(persist.clone()),
+            indexer: Mutex::new(None),
+        };
+        if config.background_indexer {
+            let inner = store.inner.clone();
+            let handle = std::thread::Builder::new()
+                .name("owql-indexer".to_owned())
+                .spawn(move || indexer_loop(inner, persist))?;
+            *store.indexer.lock().expect("indexer slot poisoned") = Some(handle);
+        }
+        Ok(store)
+    }
+
+    /// The data directory, when this store is durable.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.persist.as_deref().map(|p| p.dir.as_path())
+    }
+
+    /// `true` iff this store was opened with [`Store::open`].
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// What recovery found when this store opened (durable stores
+    /// only).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.persist.as_deref().map(|p| &p.recovery)
+    }
+
+    /// Forces a checkpoint now: flushes the current snapshot into a
+    /// new segment generation and truncates the WAL behind the
+    /// retained generations. Returns `Ok(None)` on an in-memory store
+    /// or when nothing was committed since the last checkpoint.
+    pub fn checkpoint(&self) -> io::Result<Option<CheckpointSummary>> {
+        match &self.persist {
+            Some(p) => run_checkpoint(&self.inner, p),
+            None => Ok(None),
         }
     }
 
@@ -385,59 +725,97 @@ impl Store {
 
     /// Applies a batch atomically. One epoch bump per commit that
     /// changes anything; no bump for all-no-op batches.
+    ///
+    /// On a durable store a WAL-append failure panics; use
+    /// [`Store::try_commit`] to handle the I/O error instead.
     pub fn commit(&self, tx: Transaction) -> CommitSummary {
+        self.try_commit(tx)
+            .expect("write-ahead log append failed; use try_commit to handle I/O errors")
+    }
+
+    /// [`Store::commit`], surfacing WAL I/O errors. On `Err` the store
+    /// is untouched: the effective ops are planned *before* the WAL
+    /// append (a dry run over the current overlay), the record is
+    /// written and — per [`PersistConfig::fsync`] — synced, and only
+    /// then are the ops applied and the new epoch published. A reader
+    /// can therefore never observe an epoch whose WAL record isn't on
+    /// disk.
+    pub fn try_commit(&self, tx: Transaction) -> io::Result<CommitSummary> {
         let mut inner = self.inner.write().expect("store lock poisoned");
         let next_epoch = inner.epoch + 1;
-        let mut applied = 0usize;
-        for op in tx.ops {
-            let changed = match op {
-                DeltaOp::Insert(t) => {
-                    if inner.visible(&t) {
-                        false
-                    } else if inner.dels.contains(&t) {
-                        // Re-insert of a base triple: cancel the delete.
-                        Arc::make_mut(&mut inner.dels).remove(&t);
-                        true
-                    } else {
-                        Arc::make_mut(&mut inner.adds).insert(t);
-                        true
-                    }
-                }
-                DeltaOp::Delete(t) => {
-                    if !inner.visible(&t) {
-                        false
-                    } else if inner.adds.contains(&t) {
-                        // Delete of an uncompacted add: cancel the add.
-                        Arc::make_mut(&mut inner.adds).remove(&t);
-                        true
-                    } else {
-                        Arc::make_mut(&mut inner.dels).insert(t);
-                        true
-                    }
-                }
+
+        // Phase 1 — plan: find the ops that will actually change the
+        // store, tracking intra-batch visibility without mutating.
+        let mut staged: HashMap<Triple, bool> = HashMap::new();
+        let mut effective: Vec<DeltaOp> = Vec::new();
+        for &op in &tx.ops {
+            let (t, wanted) = match op {
+                DeltaOp::Insert(t) => (t, true),
+                DeltaOp::Delete(t) => (t, false),
             };
-            if changed {
-                applied += 1;
-                inner.log.push(LogEntry {
-                    epoch: next_epoch,
-                    op,
-                });
+            let currently = staged.get(&t).copied().unwrap_or_else(|| inner.visible(&t));
+            if currently != wanted {
+                effective.push(op);
+                staged.insert(t, wanted);
             }
         }
-        if applied == 0 {
-            return CommitSummary {
+        if effective.is_empty() {
+            return Ok(CommitSummary {
                 epoch: inner.epoch,
                 applied: 0,
                 compacted: false,
-            };
+            });
         }
+
+        // Phase 2 — log: append + fsync the commit record while still
+        // holding the write lock, *before* any in-memory change. An
+        // I/O error aborts the commit with the store untouched.
+        if let Some(p) = &self.persist {
+            let record = CommitRecord {
+                epoch: next_epoch,
+                ops: effective
+                    .iter()
+                    .map(|op| match op {
+                        DeltaOp::Insert(t) => WalOp::Insert(*t),
+                        DeltaOp::Delete(t) => WalOp::Delete(*t),
+                    })
+                    .collect(),
+            };
+            let mut wal = p.wal.lock().expect("wal lock poisoned");
+            wal.append(&record, p.config.fsync)?;
+            p.wal_records.store(wal.records(), Ordering::SeqCst);
+            p.wal_bytes.store(wal.bytes(), Ordering::SeqCst);
+        }
+
+        // Phase 3 — apply and publish.
+        let mut applied = 0usize;
+        for &op in &effective {
+            if inner.apply_op(op, next_epoch) {
+                applied += 1;
+            }
+        }
+        debug_assert_eq!(applied, effective.len(), "plan/apply divergence");
         inner.epoch = next_epoch;
         let compacted = self.maybe_compact(&mut inner);
-        CommitSummary {
+        let summary = CommitSummary {
             epoch: inner.epoch,
             applied,
             compacted,
+        };
+        drop(inner);
+
+        // Phase 4 — maybe checkpoint (outside the write lock).
+        if let Some(p) = &self.persist {
+            let threshold = p.config.checkpoint_wal_records;
+            if threshold > 0 && p.wal_records.load(Ordering::SeqCst) >= threshold {
+                if p.config.background_indexer {
+                    p.wake_indexer();
+                } else {
+                    run_checkpoint(&self.inner, p)?;
+                }
+            }
         }
+        Ok(summary)
     }
 
     /// Single-triple insert (its own transaction). Returns `true` if
@@ -533,6 +911,7 @@ impl Store {
                     query: Some(req.pattern.to_string()),
                     answers: Some(hit.len() as u64),
                     store: Some(self.observe()),
+                    persist: self.observe_persist(),
                     ..Profile::default()
                 });
                 return Ok(QueryOutcome {
@@ -547,12 +926,14 @@ impl Store {
                 .store(key, snapshot.epoch(), outcome.mappings.clone());
             if let Some(p) = outcome.profile.as_mut() {
                 p.store = Some(self.observe());
+                p.persist = self.observe_persist();
             }
             Ok(outcome)
         } else {
             let mut outcome = snapshot.query_request(req, pool)?;
             if let Some(p) = outcome.profile.as_mut() {
                 p.store = Some(self.observe());
+                p.persist = self.observe_persist();
             }
             Ok(outcome)
         }
@@ -591,7 +972,26 @@ impl Store {
             delta_len: inner.adds.len() + inner.dels.len(),
             compactions: inner.compactions,
             cache: self.cache.stats(),
+            persist: self.persist.as_deref().map(PersistState::metrics),
         }
+    }
+
+    /// Durability counters — `Some` iff the store persists to disk.
+    pub fn persist_metrics(&self) -> Option<PersistMetrics> {
+        self.persist.as_deref().map(PersistState::metrics)
+    }
+
+    /// The durability counters folded into the obs taxonomy — the
+    /// `"persist"` section of a [`Profile`].
+    pub fn observe_persist(&self) -> Option<PersistObs> {
+        self.persist_metrics().map(|m| PersistObs {
+            wal_bytes: m.wal_bytes,
+            wal_records: m.wal_records,
+            segment_generation: m.segment_generation,
+            last_checkpoint_epoch: m.last_checkpoint_epoch,
+            checkpoints: m.checkpoints,
+            recovery_replayed_records: m.recovery_replayed_records,
+        })
     }
 
     /// The store's counters folded into the obs taxonomy — the
@@ -976,6 +1376,214 @@ mod tests {
         let ok =
             QueryRequest::with_opts(p, ExecOpts::seq().with_max_class(ComplexityClass::Pspace));
         assert!(store.query_request(&ok, &pool).expect(NO_BUDGET).cache_hit);
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("owql-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Deterministic persistence config for tests: inline indexer, no
+    /// auto-checkpoint, no fsync (tmpfs friendliness).
+    fn test_persist() -> PersistConfig {
+        PersistConfig::default()
+            .no_fsync()
+            .checkpoint_every(0)
+            .inline_indexer()
+    }
+
+    #[test]
+    fn durable_store_reopens_from_wal_alone() {
+        let dir = tmp_dir("wal-only");
+        {
+            let store = Store::open(&dir, StoreOptions::default(), test_persist()).expect("open");
+            assert!(store.is_persistent());
+            assert_eq!(store.data_dir(), Some(dir.as_path()));
+            store.insert(triple("a", "p", "b"));
+            store.insert(triple("b", "p", "c"));
+            store.delete(&triple("a", "p", "b"));
+        } // drop without checkpoint: state lives only in the WAL
+        let store = Store::open(&dir, StoreOptions::default(), test_persist()).expect("reopen");
+        assert_eq!(store.epoch(), 3);
+        assert_eq!(store.len(), 1);
+        assert!(store.to_graph().contains(&triple("b", "p", "c")));
+        let report = store.recovery_report().expect("report");
+        assert_eq!(report.replayed_records, 3);
+        assert_eq!(report.segment_generation, 0);
+        let m = store.persist_metrics().expect("persist metrics");
+        assert_eq!(m.recovery_replayed_records, 3);
+        assert_eq!(m.wal_records, 3);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_reopen_uses_segment() {
+        let dir = tmp_dir("checkpoint");
+        {
+            let store = Store::open(&dir, StoreOptions::default(), test_persist()).expect("open");
+            for i in 0..10 {
+                let s = format!("s{i}");
+                store.insert(triple(s.as_str(), "p", "o"));
+            }
+            let summary = store
+                .checkpoint()
+                .expect("checkpoint io")
+                .expect("checkpoint ran");
+            assert_eq!(summary.epoch, 10);
+            assert_eq!(summary.triples, 10);
+            assert_eq!(summary.generation, 1);
+            // keep_segments=2 but only one generation exists, so the
+            // oldest retained epoch is 10: the whole WAL goes.
+            assert_eq!(summary.wal_records_dropped, 10);
+            let m = store.persist_metrics().expect("metrics");
+            assert_eq!(m.wal_records, 0);
+            assert_eq!(m.segment_generation, 1);
+            assert_eq!(m.last_checkpoint_epoch, 10);
+            assert_eq!(m.checkpoints, 1);
+            // Unchanged epoch: second checkpoint is a no-op.
+            assert!(store.checkpoint().expect("io").is_none());
+            // A few post-checkpoint commits land in the WAL tail.
+            store.insert(triple("tail", "p", "o"));
+        }
+        let store = Store::open(&dir, StoreOptions::default(), test_persist()).expect("reopen");
+        assert_eq!(store.epoch(), 11);
+        assert_eq!(store.len(), 11);
+        let report = store.recovery_report().expect("report");
+        assert_eq!(report.segment_generation, 1);
+        assert_eq!(report.segment_epoch, 10);
+        assert_eq!(report.segment_triples, 10);
+        assert_eq!(report.replayed_records, 1);
+    }
+
+    /// Old WAL records that a retained segment already covers are kept
+    /// until the *oldest* retained generation passes them — so a
+    /// corrupt newest segment still recovers losslessly.
+    #[test]
+    fn corrupt_newest_segment_recovers_from_previous_generation() {
+        use std::io::{Read as _, Seek, SeekFrom, Write as _};
+
+        let dir = tmp_dir("gen-fallback");
+        {
+            let store = Store::open(&dir, StoreOptions::default(), test_persist()).expect("open");
+            for i in 0..5 {
+                let s = format!("a{i}");
+                store.insert(triple(s.as_str(), "p", "o"));
+            }
+            store.checkpoint().expect("io").expect("gen 1");
+            for i in 0..5 {
+                let s = format!("b{i}");
+                store.insert(triple(s.as_str(), "p", "o"));
+            }
+            store.checkpoint().expect("io").expect("gen 2");
+        }
+        // Flip a byte in the newest segment's body.
+        let gen2 = owql_persist::segment_path(&dir, 2);
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&gen2)
+            .expect("open segment");
+        file.seek(SeekFrom::Start(100)).expect("seek");
+        let mut byte = [0u8; 1];
+        file.read_exact(&mut byte).expect("read");
+        byte[0] ^= 0xFF;
+        file.seek(SeekFrom::Start(100)).expect("seek");
+        file.write_all(&byte).expect("write");
+        drop(file);
+
+        let store = Store::open(&dir, StoreOptions::default(), test_persist()).expect("reopen");
+        let report = store.recovery_report().expect("report");
+        assert_eq!(report.segment_generation, 1, "fell back a generation");
+        assert_eq!(report.rejected_segments.len(), 1);
+        // Gen 1 (epoch 5) + WAL records 6..=10 rebuild everything.
+        assert_eq!(store.epoch(), 10);
+        assert_eq!(store.len(), 10);
+        assert_eq!(report.replayed_records, 5);
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_at_wal_threshold_inline() {
+        let dir = tmp_dir("auto-inline");
+        let config = PersistConfig::default()
+            .no_fsync()
+            .checkpoint_every(5)
+            .inline_indexer();
+        let store = Store::open(&dir, StoreOptions::default(), config).expect("open");
+        for i in 0..12 {
+            let s = format!("s{i}");
+            store.insert(triple(s.as_str(), "p", "o"));
+        }
+        let m = store.persist_metrics().expect("metrics");
+        assert!(m.checkpoints >= 2, "threshold 5 over 12 commits: {m:?}");
+        assert!(m.wal_records < 5, "WAL stays bounded: {m:?}");
+        assert_eq!(store.len(), 12);
+    }
+
+    #[test]
+    fn background_indexer_checkpoints_and_joins_on_drop() {
+        let dir = tmp_dir("auto-bg");
+        let config = PersistConfig::default().no_fsync().checkpoint_every(4);
+        {
+            let store = Store::open(&dir, StoreOptions::default(), config).expect("open");
+            for i in 0..40 {
+                let s = format!("s{i}");
+                store.insert(triple(s.as_str(), "p", "o"));
+            }
+            // The indexer runs asynchronously; wait (bounded) for at
+            // least one checkpoint to land.
+            for _ in 0..200 {
+                if store.persist_metrics().expect("metrics").checkpoints > 0 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            assert!(
+                store.persist_metrics().expect("metrics").checkpoints > 0,
+                "background indexer never checkpointed"
+            );
+        } // drop joins the indexer thread
+        let store = Store::open(&dir, StoreOptions::default(), test_persist()).expect("reopen");
+        assert_eq!(store.len(), 40);
+        assert_eq!(store.epoch(), 40);
+    }
+
+    /// The full differential check: a durable store, closed and
+    /// reopened, answers every probe pattern identically to an
+    /// in-memory reference that saw the same mutation stream.
+    #[test]
+    fn reopened_store_is_differentially_identical_to_reference() {
+        let dir = tmp_dir("differential");
+        let reference = Store::new();
+        {
+            let durable = Store::open(&dir, StoreOptions::default(), test_persist()).expect("open");
+            for i in 0..30 {
+                let s = format!("s{}", i % 10);
+                let o = format!("o{}", i % 7);
+                let t = triple(s.as_str(), "p", o.as_str());
+                if i % 5 == 4 {
+                    durable.delete(&t);
+                    reference.delete(&t);
+                } else {
+                    durable.insert(t);
+                    reference.insert(t);
+                }
+                if i == 15 {
+                    durable.checkpoint().expect("io");
+                }
+            }
+        }
+        let reopened = Store::open(&dir, StoreOptions::default(), test_persist()).expect("reopen");
+        assert_eq!(reopened.to_graph(), reference.to_graph());
+        for p in [
+            Pattern::t("?x", "p", "?y"),
+            Pattern::t("s1", "p", "?y"),
+            Pattern::t("?x", "p", "o3").and(Pattern::t("?x", "p", "?z")),
+            Pattern::t("?x", "p", "?y")
+                .opt(Pattern::t("?y", "p", "?z"))
+                .ns(),
+        ] {
+            assert_eq!(reopened.query(&p), reference.query(&p), "pattern {p}");
+        }
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!
 //! Set `OWQL_SERVE_ADDR` to pick the bind address (default
 //! `127.0.0.1:7878`); set `OWQL_SERVE_ONESHOT=1` to boot, self-query,
-//! and exit (used by CI).
+//! and exit (used by CI). Pass `--data-dir <path>` (or set
+//! `OWQL_SERVE_DATA_DIR`) to serve a **durable** store: commits are
+//! WAL-logged and checkpointed there, and restarting the server
+//! recovers them (`GET /metrics` then carries a `persist` section).
 
 use owql_rdf::Triple;
 use owql_server::{Server, ServerConfig};
@@ -18,13 +21,43 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 
+/// `--data-dir <path>` from argv, falling back to `OWQL_SERVE_DATA_DIR`.
+fn data_dir_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--data-dir" {
+            return Some(args.next().expect("--data-dir needs a path"));
+        }
+        if let Some(path) = arg.strip_prefix("--data-dir=") {
+            return Some(path.to_owned());
+        }
+    }
+    std::env::var("OWQL_SERVE_DATA_DIR").ok()
+}
+
 fn main() {
-    let store = Arc::new(Store::new());
-    store.insert(Triple::new("alice", "knows", "bob"));
-    store.insert(Triple::new("bob", "knows", "carol"));
-    store.insert(Triple::new("carol", "knows", "dave"));
-    store.insert(Triple::new("alice", "age", "42"));
-    store.insert(Triple::new("bob", "age", "37"));
+    let store = Arc::new(match data_dir_arg() {
+        Some(dir) => {
+            let store = Store::open_default(&dir).expect("failed to open data dir");
+            let report = store.recovery_report().expect("durable store");
+            println!(
+                "recovered {} at epoch {} (segment gen {} + {} replayed WAL records)",
+                dir,
+                store.epoch(),
+                report.segment_generation,
+                report.replayed_records
+            );
+            store
+        }
+        None => Store::new(),
+    });
+    if store.is_empty() {
+        store.insert(Triple::new("alice", "knows", "bob"));
+        store.insert(Triple::new("bob", "knows", "carol"));
+        store.insert(Triple::new("carol", "knows", "dave"));
+        store.insert(Triple::new("alice", "age", "42"));
+        store.insert(Triple::new("bob", "age", "37"));
+    }
 
     let config = ServerConfig {
         addr: std::env::var("OWQL_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_owned()),

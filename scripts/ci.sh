@@ -52,7 +52,7 @@ if [[ "$FAST" == "0" ]]; then
   step "profile-smoke (profiled query + schema check)"
   cargo run --release --example profile_query -- PROFILE_query.json
   for key in '"profile"' '"operators"' '"ns"' '"pruned_fraction"' '"pool"' \
-             '"spans"' '"store"' '"cache_hit_rate"'; do
+             '"spans"' '"store"' '"cache_hit_rate"' '"persist"'; do
     grep -q "$key" PROFILE_query.json || { echo "missing $key in PROFILE_query.json"; exit 1; }
   done
   grep -q '"owql_threads"' BENCH_parallel.json || { echo "missing owql_threads in BENCH_parallel.json"; exit 1; }
@@ -80,6 +80,30 @@ EOF
     echo "removed evaluate-variant call site found"; exit 1
   fi
   echo "server smoke OK"
+
+  step "persist-smoke (durable example, kill -9 recovery, bench schema)"
+  cargo run --release --example durable_store
+  cargo build --release -p owql-bench --bin store_recovery
+  PERSIST_DIR=$(mktemp -d /tmp/owql-persist-smoke.XXXXXX)
+  rm -rf "$PERSIST_DIR"
+  : > /tmp/owql_writer.log
+  target/release/store_recovery --crash-writer "$PERSIST_DIR" > /tmp/owql_writer.log &
+  WRITER_PID=$!
+  for _ in $(seq 1 200); do
+    grep -q '^committed 25$' /tmp/owql_writer.log && break
+    sleep 0.1
+  done
+  kill -9 "$WRITER_PID" 2>/dev/null || true
+  wait "$WRITER_PID" 2>/dev/null || true
+  grep -q '^committed 25$' /tmp/owql_writer.log || { echo "writer never confirmed epoch 25"; exit 1; }
+  target/release/store_recovery --verify "$PERSIST_DIR"
+  rm -rf "$PERSIST_DIR"
+  cargo run --release -p owql-bench --bin store_recovery -- --quick BENCH_persist.json
+  for key in '"commit_throughput"' '"fsync"' '"commits_per_sec"' '"checkpoint_ms"' \
+             '"cold_start"' '"wal_replay_ms"' '"segment_open_ms"'; do
+    grep -q "$key" BENCH_persist.json || { echo "missing $key in BENCH_persist.json"; exit 1; }
+  done
+  echo "persist smoke OK"
 fi
 
 step "doc (-D warnings)"

@@ -27,6 +27,7 @@ pub mod condition;
 pub mod construct;
 pub mod display;
 pub mod equivalence;
+pub mod id_mapping;
 pub mod mapping;
 pub mod mapping_set;
 pub mod normal_form;
@@ -37,6 +38,7 @@ pub mod well_designed;
 
 pub use condition::Condition;
 pub use construct::ConstructQuery;
+pub use id_mapping::{IdMapping, IdMappingSet, VarFrame};
 pub use mapping::Mapping;
 pub use mapping_set::MappingSet;
 pub use pattern::{Pattern, TermPattern, TriplePattern};

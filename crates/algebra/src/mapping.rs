@@ -18,6 +18,57 @@ use crate::variable::Variable;
 use owql_rdf::Iri;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
+
+/// Bindings at most this long are stored inline in the `Mapping`
+/// itself — no heap allocation. Covers the overwhelming majority of
+/// query results (one slot per selected variable); wider mappings
+/// spill to a `Vec`.
+const INLINE: usize = 6;
+
+/// Filler pair for unused inline slots (never observed through the
+/// public API: every accessor goes through [`Bindings::as_slice`],
+/// which stops at the live length).
+fn pad() -> (Variable, Iri) {
+    static PAD: OnceLock<(Variable, Iri)> = OnceLock::new();
+    *PAD.get_or_init(|| (Variable::new("__pad"), Iri::new("__pad")))
+}
+
+/// Small-size-optimized storage for a sorted binding list.
+#[derive(Clone)]
+enum Bindings {
+    /// Up to [`INLINE`] pairs stored in place; slots past `len` hold
+    /// the padding pair.
+    Inline {
+        len: u8,
+        pairs: [(Variable, Iri); INLINE],
+    },
+    /// Wider mappings fall back to the heap.
+    Heap(Vec<(Variable, Iri)>),
+}
+
+impl Bindings {
+    fn as_slice(&self) -> &[(Variable, Iri)] {
+        match self {
+            Bindings::Inline { len, pairs } => &pairs[..*len as usize],
+            Bindings::Heap(v) => v,
+        }
+    }
+
+    fn from_sorted_slice(sorted: &[(Variable, Iri)]) -> Bindings {
+        if sorted.len() <= INLINE {
+            let mut pairs = [pad(); INLINE];
+            pairs[..sorted.len()].copy_from_slice(sorted);
+            Bindings::Inline {
+                len: sorted.len() as u8,
+                pairs,
+            }
+        } else {
+            Bindings::Heap(sorted.to_vec())
+        }
+    }
+}
 
 /// A solution mapping: a partial function from variables to IRIs.
 ///
@@ -29,10 +80,94 @@ use std::fmt;
 /// assert_eq!(m.get(x), Some(Iri::new("Juan")));
 /// assert_eq!(m.to_string(), "[?X -> Juan]");
 /// ```
-#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct Mapping {
     /// Sorted by variable; no duplicate variables.
-    bindings: Vec<(Variable, Iri)>,
+    bindings: Bindings,
+}
+
+impl Default for Mapping {
+    fn default() -> Self {
+        Mapping {
+            bindings: Bindings::from_sorted_slice(&[]),
+        }
+    }
+}
+
+// Equality, ordering, and hashing are over the *live* binding list, so
+// the inline and heap representations of the same mapping coincide.
+impl PartialEq for Mapping {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Mapping {}
+
+impl Hash for Mapping {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // One packed word per binding: both handles are interned u32
+        // ids, so equal mappings feed identical words (required), and
+        // the folded input is half the writes of hashing the pairs
+        // field-by-field — measurable on result-set materialization.
+        let a = self.as_slice();
+        state.write_usize(a.len());
+        for &(v, x) in a {
+            state.write_u64(((v.id() as u64) << 32) | x.id() as u64);
+        }
+    }
+}
+
+impl PartialOrd for Mapping {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Mapping {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+/// Incremental builder that stays inline while the result fits.
+struct BindingsBuilder {
+    len: usize,
+    pairs: [(Variable, Iri); INLINE],
+    spill: Vec<(Variable, Iri)>,
+}
+
+impl BindingsBuilder {
+    fn new() -> Self {
+        BindingsBuilder {
+            len: 0,
+            pairs: [pad(); INLINE],
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, p: (Variable, Iri)) {
+        if self.len < INLINE {
+            self.pairs[self.len] = p;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.extend_from_slice(&self.pairs);
+            }
+            self.spill.push(p);
+        }
+        self.len += 1;
+    }
+
+    fn finish(self) -> Bindings {
+        if self.len <= INLINE {
+            Bindings::Inline {
+                len: self.len as u8,
+                pairs: self.pairs,
+            }
+        } else {
+            Bindings::Heap(self.spill)
+        }
+    }
 }
 
 impl Mapping {
@@ -57,30 +192,68 @@ impl Mapping {
         Mapping::from_pairs(pairs.iter().map(|&(v, i)| (Variable::new(v), Iri::new(i))))
     }
 
+    /// The sorted binding list.
+    fn as_slice(&self) -> &[(Variable, Iri)] {
+        self.bindings.as_slice()
+    }
+
     /// Returns a copy of the mapping extended with `var → value`.
     ///
     /// Panics if `var` is already bound to a *different* value (use
     /// [`Mapping::compatible`] + [`Mapping::union`] for merging).
     pub fn bind(&self, var: Variable, value: Iri) -> Self {
-        let mut bindings = self.bindings.clone();
-        match bindings.binary_search_by_key(&var, |&(v, _)| v) {
+        let a = self.as_slice();
+        match a.binary_search_by_key(&var, |&(v, _)| v) {
             Ok(pos) => {
                 assert_eq!(
-                    bindings[pos].1, value,
+                    a[pos].1, value,
                     "variable {var} already bound to a different value"
                 );
+                self.clone()
             }
-            Err(pos) => bindings.insert(pos, (var, value)),
+            Err(pos) => {
+                let mut b = BindingsBuilder::new();
+                for &p in &a[..pos] {
+                    b.push(p);
+                }
+                b.push((var, value));
+                for &p in &a[pos..] {
+                    b.push(p);
+                }
+                Mapping {
+                    bindings: b.finish(),
+                }
+            }
         }
-        Mapping { bindings }
+    }
+
+    /// Builds a mapping directly from bindings already sorted by
+    /// variable with no duplicates — the caller guarantees the
+    /// invariant. This is the allocation-free decode path of the
+    /// columnar evaluator ([`crate::id_mapping::IdMappingSet`] rows
+    /// are visited in variable-frame order, which is sorted). The
+    /// sortedness precondition is debug-asserted.
+    pub fn from_sorted_iter(pairs: impl Iterator<Item = (Variable, Iri)>) -> Self {
+        let mut b = BindingsBuilder::new();
+        for p in pairs {
+            b.push(p);
+        }
+        let m = Mapping {
+            bindings: b.finish(),
+        };
+        debug_assert!(
+            m.as_slice().windows(2).all(|w| w[0].0 < w[1].0),
+            "bindings must be strictly sorted by variable"
+        );
+        m
     }
 
     /// The value of `var`, if bound.
     pub fn get(&self, var: Variable) -> Option<Iri> {
-        self.bindings
-            .binary_search_by_key(&var, |&(v, _)| v)
+        let a = self.as_slice();
+        a.binary_search_by_key(&var, |&(v, _)| v)
             .ok()
-            .map(|pos| self.bindings[pos].1)
+            .map(|pos| a[pos].1)
     }
 
     /// `true` iff `var ∈ dom(µ)` — the paper's `bound(?X)`.
@@ -90,7 +263,7 @@ impl Mapping {
 
     /// `dom(µ)` as an iterator over variables (sorted).
     pub fn dom(&self) -> impl Iterator<Item = Variable> + '_ {
-        self.bindings.iter().map(|&(v, _)| v)
+        self.as_slice().iter().map(|&(v, _)| v)
     }
 
     /// `dom(µ)` as a sorted set.
@@ -100,26 +273,27 @@ impl Mapping {
 
     /// `|dom(µ)|`.
     pub fn len(&self) -> usize {
-        self.bindings.len()
+        self.as_slice().len()
     }
 
     /// `true` iff this is the empty mapping.
     pub fn is_empty(&self) -> bool {
-        self.bindings.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// Iterates over `(variable, value)` pairs in variable order.
     pub fn iter(&self) -> impl Iterator<Item = (Variable, Iri)> + '_ {
-        self.bindings.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// Compatibility `µ₁ ∼ µ₂`: agreement on every shared variable.
     pub fn compatible(&self, other: &Mapping) -> bool {
+        let (a, b) = (self.as_slice(), other.as_slice());
         // Linear merge over the two sorted binding lists.
         let (mut i, mut j) = (0, 0);
-        while i < self.bindings.len() && j < other.bindings.len() {
-            let (v1, x1) = self.bindings[i];
-            let (v2, x2) = other.bindings[j];
+        while i < a.len() && j < b.len() {
+            let (v1, x1) = a[i];
+            let (v2, x2) = b[j];
             match v1.cmp(&v2) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
@@ -140,59 +314,69 @@ impl Mapping {
     ///
     /// Returns `None` when the mappings are incompatible.
     pub fn union(&self, other: &Mapping) -> Option<Mapping> {
-        let mut bindings = Vec::with_capacity(self.bindings.len() + other.bindings.len());
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut out = BindingsBuilder::new();
         let (mut i, mut j) = (0, 0);
-        while i < self.bindings.len() && j < other.bindings.len() {
-            let (v1, x1) = self.bindings[i];
-            let (v2, x2) = other.bindings[j];
+        while i < a.len() && j < b.len() {
+            let (v1, x1) = a[i];
+            let (v2, x2) = b[j];
             match v1.cmp(&v2) {
                 std::cmp::Ordering::Less => {
-                    bindings.push((v1, x1));
+                    out.push((v1, x1));
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    bindings.push((v2, x2));
+                    out.push((v2, x2));
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
                     if x1 != x2 {
                         return None;
                     }
-                    bindings.push((v1, x1));
+                    out.push((v1, x1));
                     i += 1;
                     j += 1;
                 }
             }
         }
-        bindings.extend_from_slice(&self.bindings[i..]);
-        bindings.extend_from_slice(&other.bindings[j..]);
-        Some(Mapping { bindings })
+        for &p in &a[i..] {
+            out.push(p);
+        }
+        for &p in &b[j..] {
+            out.push(p);
+        }
+        Some(Mapping {
+            bindings: out.finish(),
+        })
     }
 
     /// Restriction `µ|V`: the mapping restricted to `dom(µ) ∩ V`.
     pub fn restrict(&self, vars: &BTreeSet<Variable>) -> Mapping {
+        let mut out = BindingsBuilder::new();
+        for &(v, x) in self.as_slice() {
+            if vars.contains(&v) {
+                out.push((v, x));
+            }
+        }
         Mapping {
-            bindings: self
-                .bindings
-                .iter()
-                .filter(|(v, _)| vars.contains(v))
-                .copied()
-                .collect(),
+            bindings: out.finish(),
         }
     }
 
     /// Subsumption `µ₁ ⪯ µ₂`: `dom(µ₁) ⊆ dom(µ₂)` and `µ₁(?X) = µ₂(?X)`
     /// for every `?X ∈ dom(µ₁)` (Section 3.1).
     pub fn subsumed_by(&self, other: &Mapping) -> bool {
-        if self.bindings.len() > other.bindings.len() {
+        if self.len() > other.len() {
             return false;
         }
-        self.bindings.iter().all(|&(v, x)| other.get(v) == Some(x))
+        self.as_slice()
+            .iter()
+            .all(|&(v, x)| other.get(v) == Some(x))
     }
 
     /// Proper subsumption `µ₁ ≺ µ₂`: `µ₁ ⪯ µ₂` and `µ₁ ≠ µ₂`.
     pub fn properly_subsumed_by(&self, other: &Mapping) -> bool {
-        self.bindings.len() < other.bindings.len() && self.subsumed_by(other)
+        self.len() < other.len() && self.subsumed_by(other)
     }
 }
 
@@ -206,7 +390,7 @@ impl fmt::Display for Mapping {
     /// Paper notation: `[?X -> a, ?Y -> b]`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, (v, x)) in self.bindings.iter().enumerate() {
+        for (i, (v, x)) in self.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }

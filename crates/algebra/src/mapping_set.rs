@@ -16,6 +16,7 @@ use crate::condition::Condition;
 use crate::mapping::Mapping;
 use crate::variable::Variable;
 use owql_exec::{chunk_ranges, Pool};
+use owql_rdf::FxHashSet;
 use std::collections::hash_set;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
@@ -29,10 +30,77 @@ const GROUPED_DOMAIN_LIMIT: usize = 64;
 /// sequential [`MappingSet::maximal`] — fan-out costs more than the work.
 const PARALLEL_NS_MIN: usize = 128;
 
+/// The backing storage of a [`MappingSet`].
+///
+/// `Hashed` is the general form. `Distinct` is a flat vector whose
+/// elements are pairwise distinct *by construction* — the columnar
+/// evaluator's decode produces it, because materializing answer sets
+/// through a hash table costs more than the rest of the query on large
+/// results. Mutating operations promote `Distinct` to `Hashed` in
+/// place; read-only operations work on either form.
+#[derive(Clone)]
+enum Repr {
+    Hashed(FxHashSet<Mapping>),
+    Distinct(Vec<Mapping>),
+}
+
 /// A finite set of solution mappings (set semantics, as in the paper).
-#[derive(Clone, Default, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct MappingSet {
-    maps: HashSet<Mapping>,
+    repr: Repr,
+}
+
+impl Default for MappingSet {
+    fn default() -> Self {
+        MappingSet {
+            repr: Repr::Hashed(FxHashSet::default()),
+        }
+    }
+}
+
+/// Borrowed iterator over a [`MappingSet`] (unspecified order).
+#[derive(Clone)]
+pub enum Iter<'a> {
+    Hashed(hash_set::Iter<'a, Mapping>),
+    Distinct(std::slice::Iter<'a, Mapping>),
+}
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = &'a Mapping;
+    fn next(&mut self) -> Option<&'a Mapping> {
+        match self {
+            Iter::Hashed(it) => it.next(),
+            Iter::Distinct(it) => it.next(),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Iter::Hashed(it) => it.size_hint(),
+            Iter::Distinct(it) => it.size_hint(),
+        }
+    }
+}
+
+/// Owning iterator over a [`MappingSet`] (unspecified order).
+pub enum IntoIter {
+    Hashed(hash_set::IntoIter<Mapping>),
+    Distinct(std::vec::IntoIter<Mapping>),
+}
+
+impl Iterator for IntoIter {
+    type Item = Mapping;
+    fn next(&mut self) -> Option<Mapping> {
+        match self {
+            IntoIter::Hashed(it) => it.next(),
+            IntoIter::Distinct(it) => it.next(),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            IntoIter::Hashed(it) => it.size_hint(),
+            IntoIter::Distinct(it) => it.size_hint(),
+        }
+    }
 }
 
 impl MappingSet {
@@ -52,39 +120,78 @@ impl MappingSet {
     /// Builds a set from an iterator of mappings (duplicates collapse).
     pub fn from_iter_mappings(iter: impl IntoIterator<Item = Mapping>) -> Self {
         MappingSet {
-            maps: iter.into_iter().collect(),
+            repr: Repr::Hashed(iter.into_iter().collect()),
+        }
+    }
+
+    /// Builds a set from mappings that are already pairwise distinct,
+    /// skipping hash-table construction entirely (the caller guarantees
+    /// distinctness; it is debug-asserted). This is the result boundary
+    /// of the columnar evaluator, where the id table's rows are distinct
+    /// by the set semantics of every operator.
+    pub fn from_distinct_vec(v: Vec<Mapping>) -> Self {
+        debug_assert!(
+            {
+                let set: FxHashSet<&Mapping> = v.iter().collect();
+                set.len() == v.len()
+            },
+            "from_distinct_vec called with duplicate mappings"
+        );
+        MappingSet {
+            repr: Repr::Distinct(v),
+        }
+    }
+
+    /// The hashed form, promoting a distinct vector in place.
+    fn as_hashed(&mut self) -> &mut FxHashSet<Mapping> {
+        if let Repr::Distinct(v) = &mut self.repr {
+            let set: FxHashSet<Mapping> = std::mem::take(v).into_iter().collect();
+            self.repr = Repr::Hashed(set);
+        }
+        match &mut self.repr {
+            Repr::Hashed(set) => set,
+            Repr::Distinct(_) => unreachable!("promoted above"),
         }
     }
 
     /// Inserts a mapping; returns `true` if it was new.
     pub fn insert(&mut self, m: Mapping) -> bool {
-        self.maps.insert(m)
+        self.as_hashed().insert(m)
     }
 
     /// Membership test — the core of the paper's evaluation problem
     /// (`Is µ ∈ ⟦P⟧G?`, Section 7).
     pub fn contains(&self, m: &Mapping) -> bool {
-        self.maps.contains(m)
+        match &self.repr {
+            Repr::Hashed(set) => set.contains(m),
+            Repr::Distinct(v) => v.contains(m),
+        }
     }
 
     /// Number of mappings.
     pub fn len(&self) -> usize {
-        self.maps.len()
+        match &self.repr {
+            Repr::Hashed(set) => set.len(),
+            Repr::Distinct(v) => v.len(),
+        }
     }
 
     /// `true` iff the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.maps.is_empty()
+        self.len() == 0
     }
 
     /// Iterates in unspecified order.
-    pub fn iter(&self) -> hash_set::Iter<'_, Mapping> {
-        self.maps.iter()
+    pub fn iter(&self) -> Iter<'_> {
+        match &self.repr {
+            Repr::Hashed(set) => Iter::Hashed(set.iter()),
+            Repr::Distinct(v) => Iter::Distinct(v.iter()),
+        }
     }
 
     /// The mappings sorted (deterministic tabular output).
     pub fn iter_sorted(&self) -> Vec<Mapping> {
-        let mut v: Vec<Mapping> = self.maps.iter().cloned().collect();
+        let mut v: Vec<Mapping> = self.iter().cloned().collect();
         v.sort();
         v
     }
@@ -136,8 +243,9 @@ impl MappingSet {
         };
         let mut acc = sets.swap_remove(largest);
         for s in sets {
-            for m in s.maps {
-                acc.maps.insert(m);
+            let target = acc.as_hashed();
+            for m in s {
+                target.insert(m);
             }
         }
         acc
@@ -184,7 +292,7 @@ impl MappingSet {
     /// `ns_maximal` benchmark measures this against the naive all-pairs
     /// variant (see [`MappingSet::maximal_naive`]).
     pub fn maximal(&self) -> MappingSet {
-        let mut by_size: Vec<&Mapping> = self.maps.iter().collect();
+        let mut by_size: Vec<&Mapping> = self.iter().collect();
         by_size.sort_by_key(|m| std::cmp::Reverse(m.len()));
         let mut out = MappingSet::new();
         for (i, m) in by_size.iter().enumerate() {
@@ -298,7 +406,7 @@ impl MappingSet {
     /// the same size-sorted prefix scan as [`MappingSet::maximal`], with
     /// each tile of candidates checked by one worker.
     fn maximal_tiled(&self, pool: &Pool) -> MappingSet {
-        let mut by_size: Vec<&Mapping> = self.maps.iter().collect();
+        let mut by_size: Vec<&Mapping> = self.iter().collect();
         by_size.sort_by_key(|m| std::cmp::Reverse(m.len()));
         let by_size = &by_size;
         let tiles = chunk_ranges(by_size.len(), pool.threads() * 8);
@@ -330,7 +438,7 @@ impl MappingSet {
 
     /// Plain set inclusion `Ω₁ ⊆ Ω₂` (the relation behind monotonicity).
     pub fn subset_of(&self, other: &MappingSet) -> bool {
-        self.maps.is_subset(&other.maps)
+        self.len() <= other.len() && self.iter().all(|m| other.contains(m))
     }
 
     /// `true` iff `Ω = Ω^max`, i.e. the set carries no properly subsumed
@@ -342,6 +450,31 @@ impl MappingSet {
     }
 }
 
+impl PartialEq for MappingSet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Hashed(a), Repr::Hashed(b)) => a == b,
+            // Equal length plus distinct elements: inclusion one way is
+            // equality.
+            (Repr::Hashed(set), Repr::Distinct(v)) | (Repr::Distinct(v), Repr::Hashed(set)) => {
+                v.iter().all(|m| set.contains(m))
+            }
+            (Repr::Distinct(a), Repr::Distinct(b)) => {
+                let mut a: Vec<&Mapping> = a.iter().collect();
+                let mut b: Vec<&Mapping> = b.iter().collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                a == b
+            }
+        }
+    }
+}
+
+impl Eq for MappingSet {}
+
 impl FromIterator<Mapping> for MappingSet {
     fn from_iter<T: IntoIterator<Item = Mapping>>(iter: T) -> Self {
         MappingSet::from_iter_mappings(iter)
@@ -350,17 +483,20 @@ impl FromIterator<Mapping> for MappingSet {
 
 impl IntoIterator for MappingSet {
     type Item = Mapping;
-    type IntoIter = hash_set::IntoIter<Mapping>;
+    type IntoIter = IntoIter;
     fn into_iter(self) -> Self::IntoIter {
-        self.maps.into_iter()
+        match self.repr {
+            Repr::Hashed(set) => IntoIter::Hashed(set.into_iter()),
+            Repr::Distinct(v) => IntoIter::Distinct(v.into_iter()),
+        }
     }
 }
 
 impl<'a> IntoIterator for &'a MappingSet {
     type Item = &'a Mapping;
-    type IntoIter = hash_set::Iter<'a, Mapping>;
+    type IntoIter = Iter<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.maps.iter()
+        self.iter()
     }
 }
 

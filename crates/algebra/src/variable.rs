@@ -56,6 +56,12 @@ impl Variable {
         Variable(id)
     }
 
+    /// The dense interner id (an equality witness; ordering still goes
+    /// through the name).
+    pub(crate) fn id(self) -> u32 {
+        self.0.get()
+    }
+
     /// The variable name without the `?` prefix.
     pub fn name(self) -> &'static str {
         let guard = interner().lock().expect("variable interner poisoned");

@@ -41,13 +41,19 @@ struct SizeRun {
     queries: Vec<QueryRun>,
 }
 
+/// Best-of-`reps` timing: the minimum observed wall clock is the
+/// noise-robust estimate of what the code path costs — the artifact
+/// feeds a CI gate (`scripts/check_bench.py`), and averaging lets one
+/// scheduler preemption on a small runner poison a committed speedup.
 fn time_ms(reps: usize, mut f: impl FnMut() -> usize) -> (f64, usize) {
     let mut answers = 0;
-    let start = Instant::now();
+    let mut best = f64::INFINITY;
     for _ in 0..reps {
+        let start = Instant::now();
         answers = std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
     }
-    (start.elapsed().as_secs_f64() * 1e3 / reps as f64, answers)
+    (best, answers)
 }
 
 fn measure(people: usize, reps: usize) -> SizeRun {
@@ -120,9 +126,9 @@ fn main() -> std::io::Result<()> {
         }
     }
     let (sizes, reps): (&[usize], usize) = if quick {
-        (&[400, 1200], 2)
+        (&[400, 1200], 3)
     } else {
-        (&[1000, 3000], 3)
+        (&[1000, 3000], 5)
     };
 
     let hardware = std::thread::available_parallelism()

@@ -82,7 +82,10 @@ pub mod prelude {
     pub use owql_lint::{analyze_pattern, analyze_source, Analysis, ComplexityClass, Fragment};
     pub use owql_obs::{Profile, Recorder};
     pub use owql_parser::{parse_construct, parse_pattern, parse_pattern_spanned};
-    pub use owql_rdf::{Graph, GraphIndex, Iri, SnapshotIndex, Triple, TripleLookup};
+    pub use owql_rdf::{
+        Graph, GraphIndex, IdRuns, IdView, Iri, SnapshotIndex, TermDict, TermId, Triple,
+        TripleLookup, NO_TERM,
+    };
     pub use owql_server::{Server, ServerConfig};
     pub use owql_store::{QueryOutcome, QueryRequest, Snapshot, Store, StoreOptions};
 }

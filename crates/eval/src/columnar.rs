@@ -1,0 +1,432 @@
+//! The columnar, dictionary-encoded evaluation path.
+//!
+//! When the lookup backend serves an [`IdView`] (a term dictionary plus
+//! id-encoded SPO/POS/OSP sorted runs — `GraphIndex` always does, a
+//! store `SnapshotIndex` does whenever base and delta share the store
+//! dictionary), [`try_run`] evaluates the whole pattern over
+//! [`IdMappingSet`] tables: binary-searched run scans, id-merge
+//! AND-spine joins, word-compare compatibility for `OPT`/`MINUS`, and
+//! bitmask-grouped NS maximality. Terms are decoded exactly once, at
+//! the result boundary.
+//!
+//! Answer-set equality with the term-at-a-time engine is the contract:
+//! every operator here mirrors the corresponding `MappingSet`
+//! operation, and the differential suites (`#[cfg(test)]` below and
+//! `tests/integration_columnar.rs`) hold the two paths to identical
+//! results over randomized NS-SPARQL patterns and live-churn stores.
+//!
+//! [`try_run`] returns `None` — "stay on the reference path" — when the
+//! backend has no id view, when the pattern binds no variables, or when
+//! its variable frame exceeds the 64-column domain-bitmask limit.
+
+use crate::engine::{spine_parts, Engine, MIN_BINDINGS_PER_CHUNK};
+use crate::run::{EvalBudget, EvalError, BUDGET_CHECK_STRIDE};
+use owql_algebra::analysis::pattern_vars;
+use owql_algebra::id_mapping::{IdMappingSet, VarFrame};
+use owql_algebra::normal_form::union_spine;
+use owql_algebra::{Condition, Pattern, TermPattern, TriplePattern};
+use owql_exec::{chunk_ranges, Pool};
+use owql_rdf::{FxHashSet, IdView, TermId, TripleLookup, NO_TERM};
+
+/// One triple-pattern position, id-compiled against the frame and
+/// dictionary.
+#[derive(Clone, Copy, Debug)]
+enum IdPos {
+    /// A constant that is interned — matches exactly this id.
+    Const(TermId),
+    /// A constant absent from the dictionary — matches nothing.
+    Missing,
+    /// A variable at this frame column.
+    Var(usize),
+}
+
+/// An id-compiled triple pattern.
+#[derive(Clone, Copy, Debug)]
+struct IdTriple {
+    pos: [IdPos; 3],
+}
+
+impl IdTriple {
+    /// `true` iff some constant cannot match (the pattern is empty).
+    fn unsatisfiable(&self) -> bool {
+        self.pos.iter().any(|p| matches!(p, IdPos::Missing))
+    }
+
+    /// Bitmask of the frame columns this pattern's variables occupy.
+    fn var_mask(&self) -> u64 {
+        self.pos.iter().fold(0u64, |m, p| match p {
+            IdPos::Var(c) => m | (1 << c),
+            _ => m,
+        })
+    }
+}
+
+/// A [`Condition`] compiled onto frame columns and term ids.
+#[derive(Clone, Debug)]
+enum IdCond {
+    Always,
+    Never,
+    Bound(usize),
+    EqConst(usize, TermId),
+    EqVar(usize, usize),
+    Not(Box<IdCond>),
+    And(Box<IdCond>, Box<IdCond>),
+    Or(Box<IdCond>, Box<IdCond>),
+}
+
+impl IdCond {
+    fn satisfied_by(&self, row: &[TermId]) -> bool {
+        match self {
+            IdCond::Always => true,
+            IdCond::Never => false,
+            IdCond::Bound(c) => row[*c] != NO_TERM,
+            // An unbound slot is 0 and real ids start at 1, so the
+            // plain compare also encodes "bound and equal".
+            IdCond::EqConst(c, id) => row[*c] == *id,
+            IdCond::EqVar(a, b) => row[*a] != NO_TERM && row[*a] == row[*b],
+            IdCond::Not(r) => !r.satisfied_by(row),
+            IdCond::And(a, b) => a.satisfied_by(row) && b.satisfied_by(row),
+            IdCond::Or(a, b) => a.satisfied_by(row) || b.satisfied_by(row),
+        }
+    }
+}
+
+/// Per-query columnar evaluation context.
+struct Columnar<'a> {
+    view: IdView<'a>,
+    frame: VarFrame,
+    /// The snapshot's deletion set, id-encoded once up front.
+    dels: FxHashSet<[TermId; 3]>,
+    pool: &'a Pool,
+    parallel: bool,
+}
+
+/// Attempts the columnar path for `pattern` over `engine`'s backend.
+/// `None` means "not servable — use the term-at-a-time engine".
+pub(crate) fn try_run<I: TripleLookup + Sync>(
+    engine: &Engine<I>,
+    pattern: &Pattern,
+    parallel: bool,
+    pool: &Pool,
+    budget: &EvalBudget,
+) -> Option<Result<owql_algebra::MappingSet, EvalError>> {
+    let view = engine.index().id_view()?;
+    let vars = pattern_vars(pattern);
+    if vars.is_empty() {
+        // Fully ground patterns produce zero-width tables; the
+        // reference path handles them directly.
+        return None;
+    }
+    let frame = VarFrame::new(vars)?;
+    let ctx = Columnar {
+        dels: view.del_rows(),
+        view,
+        frame,
+        pool,
+        parallel,
+    };
+    Some(
+        ctx.eval(pattern, budget)
+            .map(|table| table.decode(&ctx.frame, ctx.view.dict)),
+    )
+}
+
+impl Columnar<'_> {
+    fn width(&self) -> usize {
+        self.frame.width()
+    }
+
+    fn compile_triple(&self, t: TriplePattern) -> IdTriple {
+        let compile = |tp: TermPattern| match tp {
+            TermPattern::Iri(iri) => match self.view.dict.lookup(iri) {
+                Some(id) => IdPos::Const(id),
+                None => IdPos::Missing,
+            },
+            TermPattern::Var(v) => IdPos::Var(
+                self.frame
+                    .col(v)
+                    .expect("frame covers every pattern variable"),
+            ),
+        };
+        IdTriple {
+            pos: [compile(t.s), compile(t.p), compile(t.o)],
+        }
+    }
+
+    fn compile_cond(&self, r: &Condition) -> IdCond {
+        match r {
+            Condition::True => IdCond::Always,
+            Condition::False => IdCond::Never,
+            Condition::Bound(v) => IdCond::Bound(self.col(*v)),
+            Condition::EqConst(v, c) => match self.view.dict.lookup(*c) {
+                // A never-interned constant equals no binding.
+                None => IdCond::Never,
+                Some(id) => IdCond::EqConst(self.col(*v), id),
+            },
+            Condition::EqVar(a, b) => IdCond::EqVar(self.col(*a), self.col(*b)),
+            Condition::Not(r) => IdCond::Not(Box::new(self.compile_cond(r))),
+            Condition::And(a, b) => IdCond::And(
+                Box::new(self.compile_cond(a)),
+                Box::new(self.compile_cond(b)),
+            ),
+            Condition::Or(a, b) => IdCond::Or(
+                Box::new(self.compile_cond(a)),
+                Box::new(self.compile_cond(b)),
+            ),
+        }
+    }
+
+    fn col(&self, v: owql_algebra::Variable) -> usize {
+        self.frame
+            .col(v)
+            .expect("frame covers every condition variable")
+    }
+
+    fn eval(&self, pattern: &Pattern, budget: &EvalBudget) -> Result<IdMappingSet, EvalError> {
+        budget.check()?;
+        Ok(match pattern {
+            Pattern::Triple(_) | Pattern::And(..) => self.eval_spine(pattern, budget)?,
+            Pattern::Opt(a, b) => self
+                .eval(a, budget)?
+                .left_outer_join(&self.eval(b, budget)?),
+            Pattern::Union(..) if self.parallel => {
+                let disjuncts = union_spine(pattern);
+                let parts = self.pool.map(&disjuncts, |d| self.eval(d, budget));
+                let mut out = IdMappingSet::new(self.width());
+                for part in parts {
+                    let part = part?;
+                    for row in part.rows() {
+                        out.push_row(row);
+                    }
+                }
+                out.sort_dedup();
+                out
+            }
+            Pattern::Union(a, b) => self.eval(a, budget)?.union(&self.eval(b, budget)?),
+            Pattern::Select(vars, p) => {
+                let keep: Vec<bool> = (0..self.width())
+                    .map(|c| vars.contains(&self.frame.var(c)))
+                    .collect();
+                self.eval(p, budget)?.project(&keep)
+            }
+            Pattern::Filter(p, r) => {
+                let cond = self.compile_cond(r);
+                let mut inner = self.eval(p, budget)?;
+                inner.retain(|row| cond.satisfied_by(row));
+                inner
+            }
+            Pattern::Ns(p) => self
+                .eval(p, budget)?
+                .maximal(self.parallel.then_some(self.pool)),
+            Pattern::Minus(a, b) => self.eval(a, budget)?.difference(&self.eval(b, budget)?),
+        })
+    }
+
+    /// The `AND`-spine: evaluate the non-triple conjuncts, join them
+    /// smallest-first as the seed, then extend with the triple patterns
+    /// greedily (fewest-unbound-columns, then scan cardinality) via
+    /// binary-searched run scans.
+    fn eval_spine(
+        &self,
+        pattern: &Pattern,
+        budget: &EvalBudget,
+    ) -> Result<IdMappingSet, EvalError> {
+        let (triples, others) = spine_parts(pattern);
+        let w = self.width();
+        let mut compiled: Vec<IdTriple> = triples.iter().map(|&t| self.compile_triple(t)).collect();
+        if compiled.iter().any(IdTriple::unsatisfiable) {
+            // Some constant was never interned: that conjunct — and
+            // with it the whole AND — matches nothing.
+            return Ok(IdMappingSet::new(w));
+        }
+        let mut sub: Vec<IdMappingSet> = others
+            .iter()
+            .map(|p| self.eval(p, budget))
+            .collect::<Result<_, _>>()?;
+        let mut current = if sub.is_empty() {
+            let mut seed = IdMappingSet::new(w);
+            seed.push_row(&vec![NO_TERM; w]);
+            seed
+        } else {
+            sub.sort_by_key(IdMappingSet::len);
+            let mut acc = sub.remove(0);
+            for s in sub {
+                acc = acc.join(&s);
+            }
+            acc
+        };
+        // The ordering heuristic's bound set: columns bound in the
+        // first seed row (mirrors the term engine's choice, which uses
+        // the first mapping's domain).
+        let mut bound_mask = if current.is_empty() {
+            0
+        } else {
+            owql_algebra::id_mapping::IdMapping::new(current.row(0)).domain_mask()
+        };
+        // When every seed row has the same domain, extending distinct
+        // rows yields distinct rows (the differing bound column
+        // persists, and differing scan matches differ in some variable
+        // column), and all extensions share a domain again — so the
+        // per-step dedup can be skipped. Heterogeneous seeds (an OPT or
+        // UNION conjunct) keep the dedup: overwritten-free extension
+        // can then collide across rows with different domains.
+        let homogeneous = current
+            .rows()
+            .all(|r| owql_algebra::id_mapping::IdMapping::new(r).domain_mask() == bound_mask);
+        while !compiled.is_empty() {
+            budget.check()?;
+            if current.is_empty() {
+                return Ok(IdMappingSet::new(w));
+            }
+            let next = self.pick_next(&compiled, bound_mask);
+            let t = compiled.swap_remove(next);
+            current = self.extend(&current, t, !homogeneous, budget)?;
+            bound_mask |= t.var_mask();
+        }
+        Ok(current)
+    }
+
+    /// Greedy choice: fewest variable columns not yet bound, breaking
+    /// ties by the constant-only scan cardinality (a pair of binary
+    /// searches per run — no rows are touched).
+    fn pick_next(&self, triples: &[IdTriple], bound_mask: u64) -> usize {
+        let mut best = 0usize;
+        let mut best_key = (usize::MAX, usize::MAX);
+        for (i, t) in triples.iter().enumerate() {
+            let unbound = (t.var_mask() & !bound_mask).count_ones() as usize;
+            let key_of = |p: IdPos| match p {
+                IdPos::Const(id) => Some(id),
+                _ => None,
+            };
+            let card =
+                self.view
+                    .cardinality_upper(key_of(t.pos[0]), key_of(t.pos[1]), key_of(t.pos[2]));
+            let key = (unbound, card);
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// One spine step: extend every row of `current` with every run
+    /// match of `t` under that row's bindings. Parallel mode chunks the
+    /// row range across the pool once it clears the same
+    /// candidates-per-chunk threshold as the term engine.
+    fn extend(
+        &self,
+        current: &IdMappingSet,
+        t: IdTriple,
+        dedup: bool,
+        budget: &EvalBudget,
+    ) -> Result<IdMappingSet, EvalError> {
+        let w = self.width();
+        let n = current.len();
+        let chunks = if self.parallel && n >= 2 * MIN_BINDINGS_PER_CHUNK {
+            (n / MIN_BINDINGS_PER_CHUNK).min(self.pool.threads() * 4)
+        } else {
+            1
+        };
+        let mut out = if chunks <= 1 {
+            // Matched rows rarely shrink the table: seed the buffer at
+            // the input size to skip the early doubling reallocations.
+            let mut data = Vec::with_capacity(n * w);
+            self.extend_range(current, 0, n, t, budget, &mut data)?;
+            IdMappingSet::from_raw(w, data)
+        } else {
+            let ranges = chunk_ranges(n, chunks);
+            let parts = self.pool.map(&ranges, |&(lo, hi)| {
+                let mut data = Vec::new();
+                self.extend_range(current, lo, hi, t, budget, &mut data)
+                    .map(|()| data)
+            });
+            let mut data = Vec::new();
+            for part in parts {
+                data.append(&mut part?);
+            }
+            IdMappingSet::from_raw(w, data)
+        };
+        if dedup {
+            out.sort_dedup();
+        }
+        Ok(out)
+    }
+
+    /// Extends rows `lo..hi` of `current`, appending result rows to
+    /// `data`.
+    fn extend_range(
+        &self,
+        current: &IdMappingSet,
+        lo: usize,
+        hi: usize,
+        t: IdTriple,
+        budget: &EvalBudget,
+        data: &mut Vec<TermId>,
+    ) -> Result<(), EvalError> {
+        let check_dels = !self.dels.is_empty();
+        // Consecutive rows tend toward equal or ascending scan keys
+        // (they came out of a sorted run themselves): equal keys reuse
+        // the previous slice outright, and fresh keys gallop from the
+        // previous match position instead of binary-searching the whole
+        // run.
+        let mut last_key: Option<(Option<TermId>, Option<TermId>, Option<TermId>)> = None;
+        let mut memo_base: &[[TermId; 3]] = &[];
+        let mut memo_base_order = owql_rdf::RunOrder::Spo;
+        let mut memo_adds: &[[TermId; 3]] = &[];
+        let mut memo_adds_order = owql_rdf::RunOrder::Spo;
+        let mut hint_base = 0usize;
+        let mut hint_adds = 0usize;
+        for i in lo..hi {
+            if (i - lo) % BUDGET_CHECK_STRIDE == BUDGET_CHECK_STRIDE - 1 {
+                budget.check()?;
+            }
+            let row = current.row(i);
+            // Resolve each position under this row's bindings: a bound
+            // variable column constrains the scan like a constant.
+            let resolve = |p: IdPos| match p {
+                IdPos::Const(id) => Some(id),
+                IdPos::Missing => unreachable!("unsatisfiable patterns are filtered out"),
+                IdPos::Var(c) => match row[c] {
+                    NO_TERM => None,
+                    id => Some(id),
+                },
+            };
+            let (s, p, o) = (resolve(t.pos[0]), resolve(t.pos[1]), resolve(t.pos[2]));
+            if last_key != Some((s, p, o)) {
+                last_key = Some((s, p, o));
+                (memo_base, memo_base_order) = self.view.base.scan_from(s, p, o, &mut hint_base);
+                if let Some(adds) = self.view.adds {
+                    (memo_adds, memo_adds_order) = adds.scan_from(s, p, o, &mut hint_adds);
+                }
+            }
+            let mut emit = |matched: [TermId; 3]| {
+                if check_dels && self.dels.contains(&matched) {
+                    return;
+                }
+                let start = data.len();
+                data.extend_from_slice(row);
+                let new = &mut data[start..];
+                // Repeated variables: the second occurrence must agree
+                // with the binding the first just wrote.
+                for (pos, val) in t.pos.iter().zip(matched) {
+                    if let IdPos::Var(c) = pos {
+                        if new[*c] == NO_TERM {
+                            new[*c] = val;
+                        } else if new[*c] != val {
+                            data.truncate(start);
+                            return;
+                        }
+                    }
+                }
+            };
+            for &r in memo_base {
+                emit(memo_base_order.to_spo(r));
+            }
+            for &r in memo_adds {
+                emit(memo_adds_order.to_spo(r));
+            }
+        }
+        Ok(())
+    }
+}

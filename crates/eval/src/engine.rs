@@ -52,7 +52,7 @@ const MIN_BINDINGS_PER_WORKER: usize = 2;
 /// `candidates / MIN_BINDINGS_PER_CHUNK` (sequential fallback below
 /// one full chunk) recovers the sequential baseline on small spines
 /// while leaving genuinely wide spines fanned out.
-const MIN_BINDINGS_PER_CHUNK: usize = 4096;
+pub(crate) const MIN_BINDINGS_PER_CHUNK: usize = 4096;
 
 /// Expect-message for unwrapping runs made with an unlimited budget.
 const NO_BUDGET: &str = "unlimited budget cannot time out";
@@ -285,6 +285,18 @@ impl<I: TripleLookup + Sync> Engine<I> {
             Recorder::disabled()
         };
         let parallel = opts.mode == ExecMode::Parallel && pool.threads() > 1;
+        // The columnar path covers untraced runs whenever the backend
+        // serves an id view; traced runs keep the span-recording
+        // term-at-a-time engine.
+        if opts.columnar_enabled() && !opts.trace {
+            if let Some(mappings) = crate::columnar::try_run(self, pattern, parallel, pool, &budget)
+            {
+                return Ok(RunOutcome {
+                    mappings: mappings?,
+                    profile: None,
+                });
+            }
+        }
         let mappings = match (parallel, opts.trace) {
             (false, false) => self.try_evaluate(pattern, &budget)?,
             (false, true) => self.try_eval_traced(pattern, &rec, SpanId::ROOT, &budget)?,
@@ -810,7 +822,7 @@ fn project_label(vars: &BTreeSet<Variable>) -> String {
 /// Splits an `AND`-spine into its triple-pattern leaves and the other
 /// conjunct sub-patterns — the shared flattening step of the
 /// sequential and parallel engines.
-fn spine_parts(p: &Pattern) -> (Vec<TriplePattern>, Vec<&Pattern>) {
+pub(crate) fn spine_parts(p: &Pattern) -> (Vec<TriplePattern>, Vec<&Pattern>) {
     fn flatten<'a>(
         p: &'a Pattern,
         triples: &mut Vec<TriplePattern>,

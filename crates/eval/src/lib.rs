@@ -28,6 +28,7 @@
 //! [`Engine::explain_analyze`] renders observed row counts and wall
 //! times as an [`plan::AnnotatedPlan`].
 
+pub(crate) mod columnar;
 pub mod construct;
 pub mod engine;
 pub mod optimize;

@@ -78,6 +78,13 @@ pub struct ExecOpts {
     /// [`EvalError::AdmissionDenied`] if its statically determined
     /// complexity class ranks above this one. `None` admits everything.
     pub max_class: Option<owql_lint::ComplexityClass>,
+    /// Columnar dictionary-encoded evaluation: `Some(b)` forces it on
+    /// or off; `None` defers to the `OWQL_COLUMNAR` environment
+    /// variable (`0`/`false`/`off` disables; anything else — including
+    /// unset — enables). Either way the engine silently falls back to
+    /// the term-at-a-time path when the backend serves no id view, the
+    /// query is traced, or its variable frame does not fit.
+    pub columnar: Option<bool>,
 }
 
 impl Default for ExecOpts {
@@ -97,6 +104,7 @@ impl ExecOpts {
             optimize: false,
             deadline: None,
             max_class: None,
+            columnar: None,
         }
     }
 
@@ -137,6 +145,33 @@ impl ExecOpts {
         self.max_class = Some(ceiling);
         self
     }
+
+    /// Forces the columnar id-encoded evaluation path on or off for
+    /// this run, overriding the `OWQL_COLUMNAR` environment default.
+    pub fn with_columnar(mut self, enabled: bool) -> ExecOpts {
+        self.columnar = Some(enabled);
+        self
+    }
+
+    /// Whether this run should try the columnar path (the engine still
+    /// falls back when the backend or query shape cannot serve it).
+    pub fn columnar_enabled(&self) -> bool {
+        self.columnar.unwrap_or_else(columnar_env_default)
+    }
+}
+
+/// The process-wide `OWQL_COLUMNAR` default: on unless explicitly
+/// disabled (`0`, `false`, or `off`). Read once — it is a CI-level
+/// escape hatch, not a per-query switch (use
+/// [`ExecOpts::with_columnar`] for that).
+fn columnar_env_default() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| {
+        !matches!(
+            std::env::var("OWQL_COLUMNAR").as_deref().map(str::trim),
+            Ok("0") | Ok("false") | Ok("off")
+        )
+    })
 }
 
 /// Enforces [`ExecOpts::max_class`]: classifies `pattern` with the

@@ -87,6 +87,12 @@ pub struct StoreObs {
     pub delta_len: usize,
     /// Compactions performed so far.
     pub compactions: u64,
+    /// Terms in the store-wide dictionary.
+    pub dict_terms: u64,
+    /// Dictionary interns that found an existing id.
+    pub dict_hits: u64,
+    /// Dictionary interns that assigned a fresh id.
+    pub dict_misses: u64,
     /// Query-cache hits.
     pub cache_hits: u64,
     /// Query-cache misses.
@@ -239,7 +245,8 @@ impl Profile {
                 let _ = writeln!(
                     out,
                     "  \"store\": {{\"epoch\": {}, \"triples\": {}, \"base_len\": {}, \
-                     \"delta_len\": {}, \"compactions\": {}, \"cache_hits\": {}, \
+                     \"delta_len\": {}, \"compactions\": {}, \"dict_terms\": {}, \
+                     \"dict_hits\": {}, \"dict_misses\": {}, \"cache_hits\": {}, \
                      \"cache_misses\": {}, \"cache_evictions\": {}, \
                      \"cache_invalidations\": {}, \"cache_hit_rate\": {}}},",
                     s.epoch,
@@ -247,6 +254,9 @@ impl Profile {
                     s.base_len,
                     s.delta_len,
                     s.compactions,
+                    s.dict_terms,
+                    s.dict_hits,
+                    s.dict_misses,
                     s.cache_hits,
                     s.cache_misses,
                     s.cache_evictions,
@@ -302,6 +312,9 @@ mod tests {
             base_len: 90,
             delta_len: 10,
             compactions: 1,
+            dict_terms: 42,
+            dict_hits: 5,
+            dict_misses: 42,
             cache_hits: 3,
             cache_misses: 2,
             cache_evictions: 0,

@@ -297,6 +297,15 @@ impl Segment {
         self.terms.len()
     }
 
+    /// The term dictionary: lexicographically sorted, id = rank. A
+    /// recovering store seeds its in-memory `TermDict` from this table
+    /// (`TermDict::from_sorted_terms` assigns `rank + 1`, reserving `0`
+    /// for "unbound"), so segment-resident triples re-index with zero
+    /// dictionary misses.
+    pub fn terms(&self) -> &[Iri] {
+        &self.terms
+    }
+
     /// Resolves a term to its dictionary id (rank), if present.
     fn term_id(&self, iri: Iri) -> Option<u32> {
         self.terms.binary_search(&iri).ok().map(|at| at as u32)

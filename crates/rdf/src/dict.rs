@@ -1,0 +1,601 @@
+//! Term dictionary and id-encoded sorted-run indexes.
+//!
+//! The evaluation hot path — scans, AND-spine joins, mapping
+//! compatibility, NS subsumption — historically compared [`Iri`] terms
+//! per mapping. This module interns every term into a dense `u64`
+//! [`TermId`] once, at load/commit time, so the hot path becomes word
+//! compares over columnar batches:
+//!
+//! * [`TermDict`] — an append-only, thread-safe `Iri ↔ TermId` map.
+//!   Ids are *rank-preserving at seed time*: [`TermDict::from_sorted_terms`]
+//!   assigns `id = rank + 1` over a lexicographically sorted term table,
+//!   which is exactly the layout of a persisted segment's term
+//!   dictionary — so a store recovered from disk serves id scans with
+//!   zero re-interning. Ids are never renumbered afterwards (terms
+//!   interned later get the next id), so an id is stable for the
+//!   lifetime of the dictionary across epochs.
+//! * [`IdRuns`] — the id-encoded SPO/POS/OSP sorted runs. Every one of
+//!   the eight triple-pattern shapes maps to one contiguous,
+//!   binary-searchable range of exactly one run (the same layout the
+//!   persist segments use on disk).
+//! * [`IdView`] — the borrowed id-scan surface an evaluation engine
+//!   consumes: a dictionary plus base runs, optionally overlaid with
+//!   delta runs and a deletion set (the `owql-store` snapshot shape).
+//!
+//! Id `0` is reserved as the "unbound" sentinel so a columnar mapping
+//! row can use a plain `0` for an absent binding.
+
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::term::{Iri, Triple};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// A dictionary-assigned term identifier. `0` is reserved for "unbound";
+/// real ids start at `1`.
+pub type TermId = u64;
+
+/// The reserved "no binding" sentinel.
+pub const NO_TERM: TermId = 0;
+
+#[derive(Debug, Default)]
+struct DictInner {
+    ids: FxHashMap<Iri, TermId>,
+    /// `terms[id - 1]` is the term with id `id`.
+    terms: Vec<Iri>,
+}
+
+/// Append-only, thread-safe term dictionary.
+///
+/// Interning is a read-locked hash probe on the hit path and a
+/// write-locked append on the miss path; ids are assigned in intern
+/// order and never renumbered, so every id handed out stays valid (and
+/// keeps meaning the same term) for the lifetime of the dictionary.
+#[derive(Debug, Default)]
+pub struct TermDict {
+    inner: RwLock<DictInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TermDict {
+    /// An empty dictionary.
+    pub fn new() -> TermDict {
+        TermDict::default()
+    }
+
+    /// Seeds a dictionary from a lexicographically sorted, distinct term
+    /// table, assigning `id = rank + 1` — the persisted-segment layout,
+    /// so a recovered store reuses segment ids verbatim.
+    pub fn from_sorted_terms(terms: &[Iri]) -> TermDict {
+        debug_assert!(
+            terms.windows(2).all(|w| w[0] < w[1]),
+            "seed terms must be sorted and distinct"
+        );
+        let mut inner = DictInner {
+            ids: FxHashMap::with_capacity_and_hasher(terms.len(), Default::default()),
+            terms: terms.to_vec(),
+        };
+        for (rank, &t) in terms.iter().enumerate() {
+            inner.ids.insert(t, rank as TermId + 1);
+        }
+        TermDict {
+            inner: RwLock::new(inner),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Interns a term, returning its id (existing id on a hit, a fresh
+    /// one on a miss).
+    pub fn intern(&self, term: Iri) -> TermId {
+        if let Some(&id) = self.inner.read().unwrap().ids.get(&term) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return id;
+        }
+        let mut inner = self.inner.write().unwrap();
+        // Double-check: another writer may have interned it between locks.
+        if let Some(&id) = inner.ids.get(&term) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return id;
+        }
+        inner.terms.push(term);
+        let id = inner.terms.len() as TermId;
+        inner.ids.insert(term, id);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// The id of an already-interned term, if any. Does not intern and
+    /// does not touch the hit/miss counters (this is the query-time
+    /// probe: a constant absent from the dictionary matches nothing).
+    pub fn lookup(&self, term: Iri) -> Option<TermId> {
+        self.inner.read().unwrap().ids.get(&term).copied()
+    }
+
+    /// The term behind an id, if the id was ever assigned.
+    pub fn resolve(&self, id: TermId) -> Option<Iri> {
+        if id == NO_TERM {
+            return None;
+        }
+        self.inner
+            .read()
+            .unwrap()
+            .terms
+            .get(id as usize - 1)
+            .copied()
+    }
+
+    /// Runs `f` over the full id→term table under one read lock —
+    /// the batch-decode path (avoids a lock round-trip per id).
+    /// `terms[id - 1]` is the term with id `id`.
+    pub fn with_terms<R>(&self, f: impl FnOnce(&[Iri]) -> R) -> R {
+        f(&self.inner.read().unwrap().terms)
+    }
+
+    /// Encodes each triple of `triples` as an `[s, p, o]` id row under
+    /// one read lock. Returns `None` if any term is not interned.
+    pub fn encode_all(&self, triples: &[Triple]) -> Option<Vec<[TermId; 3]>> {
+        let inner = self.inner.read().unwrap();
+        triples
+            .iter()
+            .map(|t| {
+                Some([
+                    *inner.ids.get(&t.s)?,
+                    *inner.ids.get(&t.p)?,
+                    *inner.ids.get(&t.o)?,
+                ])
+            })
+            .collect()
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().terms.len()
+    }
+
+    /// `true` iff no term has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Interns that found an existing id.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Interns that assigned a fresh id.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Which permutation a sorted run stores its rows in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOrder {
+    /// Rows are `[s, p, o]`.
+    Spo,
+    /// Rows are `[p, o, s]`.
+    Pos,
+    /// Rows are `[o, s, p]`.
+    Osp,
+}
+
+impl RunOrder {
+    /// Restores a permuted row to `[s, p, o]` order.
+    #[inline]
+    pub fn to_spo(self, row: [TermId; 3]) -> [TermId; 3] {
+        match self {
+            RunOrder::Spo => row,
+            RunOrder::Pos => [row[2], row[0], row[1]],
+            RunOrder::Osp => [row[1], row[2], row[0]],
+        }
+    }
+
+    /// Permutes an `[s, p, o]` row into this run's component order.
+    #[inline]
+    pub fn from_spo(self, [s, p, o]: [TermId; 3]) -> [TermId; 3] {
+        match self {
+            RunOrder::Spo => [s, p, o],
+            RunOrder::Pos => [p, o, s],
+            RunOrder::Osp => [o, s, p],
+        }
+    }
+}
+
+/// Id-encoded SPO/POS/OSP sorted runs over one triple set.
+///
+/// The three permutations make every triple-pattern shape a contiguous
+/// range found by two `partition_point` binary searches — the in-memory
+/// twin of the persisted segment layout.
+#[derive(Clone, Debug, Default)]
+pub struct IdRuns {
+    spo: Vec<[TermId; 3]>,
+    pos: Vec<[TermId; 3]>,
+    osp: Vec<[TermId; 3]>,
+}
+
+impl IdRuns {
+    /// Builds the three runs for `triples`, interning any new terms into
+    /// `dict`.
+    ///
+    /// Terms are interned in lexicographic order, so on a fresh
+    /// dictionary the assigned ids are exactly the sorted ranks (the
+    /// segment-compatible layout); on a pre-seeded dictionary existing
+    /// ids are reused untouched and only genuinely new terms extend it.
+    pub fn build(triples: &[Triple], dict: &TermDict) -> IdRuns {
+        let mut terms: Vec<Iri> = triples
+            .iter()
+            .flat_map(|t| [t.s, t.p, t.o])
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        terms.sort_unstable();
+        for t in terms {
+            dict.intern(t);
+        }
+        let rows = dict
+            .encode_all(triples)
+            .expect("all terms were just interned");
+        let mut runs = IdRuns {
+            spo: rows,
+            pos: Vec::new(),
+            osp: Vec::new(),
+        };
+        runs.spo.sort_unstable();
+        runs.spo.dedup();
+        runs.pos = runs
+            .spo
+            .iter()
+            .map(|&r| RunOrder::Pos.from_spo(r))
+            .collect();
+        runs.pos.sort_unstable();
+        runs.osp = runs
+            .spo
+            .iter()
+            .map(|&r| RunOrder::Osp.from_spo(r))
+            .collect();
+        runs.osp.sort_unstable();
+        runs
+    }
+
+    /// Inserts one `[s, p, o]` id row into all three runs; returns
+    /// `true` if it was new. `O(n)` per run (binary search + shift) —
+    /// sized for the store's bounded delta overlays, like
+    /// `GraphIndex::insert`.
+    pub fn insert(&mut self, row: [TermId; 3]) -> bool {
+        match self.spo.binary_search(&row) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.spo.insert(pos, row);
+                for (run, order) in [
+                    (&mut self.pos, RunOrder::Pos),
+                    (&mut self.osp, RunOrder::Osp),
+                ] {
+                    let permuted = order.from_spo(row);
+                    if let Err(p) = run.binary_search(&permuted) {
+                        run.insert(p, permuted);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Removes one `[s, p, o]` id row from all three runs; returns
+    /// `true` if it was present.
+    pub fn remove(&mut self, row: [TermId; 3]) -> bool {
+        match self.spo.binary_search(&row) {
+            Err(_) => false,
+            Ok(pos) => {
+                self.spo.remove(pos);
+                for (run, order) in [
+                    (&mut self.pos, RunOrder::Pos),
+                    (&mut self.osp, RunOrder::Osp),
+                ] {
+                    if let Ok(p) = run.binary_search(&order.from_spo(row)) {
+                        run.remove(p);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// `true` iff no row is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// The full SPO run, sorted.
+    pub fn spo(&self) -> &[[TermId; 3]] {
+        &self.spo
+    }
+
+    /// The contiguous rows matching a pattern with optionally bound
+    /// positions, plus the component order the rows are stored in.
+    ///
+    /// Shape → run: `S*`, `SP*`, `SPO`, and the full scan use SPO;
+    /// `P*` and `PO` use POS; `O*` and `SO` use OSP (key `[o, s]`).
+    pub fn scan(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> (&[[TermId; 3]], RunOrder) {
+        match (s, p, o) {
+            (None, None, None) => (&self.spo, RunOrder::Spo),
+            (Some(s), None, None) => (prefix_range(&self.spo, &[s]), RunOrder::Spo),
+            (Some(s), Some(p), None) => (prefix_range(&self.spo, &[s, p]), RunOrder::Spo),
+            (Some(s), Some(p), Some(o)) => (prefix_range(&self.spo, &[s, p, o]), RunOrder::Spo),
+            (None, Some(p), None) => (prefix_range(&self.pos, &[p]), RunOrder::Pos),
+            (None, Some(p), Some(o)) => (prefix_range(&self.pos, &[p, o]), RunOrder::Pos),
+            (None, None, Some(o)) => (prefix_range(&self.osp, &[o]), RunOrder::Osp),
+            (Some(s), None, Some(o)) => (prefix_range(&self.osp, &[o, s]), RunOrder::Osp),
+        }
+    }
+
+    /// [`IdRuns::scan`] with a positional hint: `hint` is a guess at the
+    /// matching range's start in the chosen run (updated to the actual
+    /// start on return). The search gallops outward from the hint, so a
+    /// caller scanning a sequence of *near-sorted* keys — an AND-spine
+    /// extending rows that themselves came out of a sorted run — pays
+    /// `O(log distance)` per scan instead of a full binary search.
+    ///
+    /// The hint only stays meaningful while the pattern *shape* (which
+    /// positions are bound) is fixed, since the shape picks the run.
+    pub fn scan_from(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+        hint: &mut usize,
+    ) -> (&[[TermId; 3]], RunOrder) {
+        let (run, order, key, k): (&[[TermId; 3]], RunOrder, [TermId; 3], usize) = match (s, p, o) {
+            (None, None, None) => return (&self.spo, RunOrder::Spo),
+            (Some(s), None, None) => (&self.spo, RunOrder::Spo, [s, 0, 0], 1),
+            (Some(s), Some(p), None) => (&self.spo, RunOrder::Spo, [s, p, 0], 2),
+            (Some(s), Some(p), Some(o)) => (&self.spo, RunOrder::Spo, [s, p, o], 3),
+            (None, Some(p), None) => (&self.pos, RunOrder::Pos, [p, 0, 0], 1),
+            (None, Some(p), Some(o)) => (&self.pos, RunOrder::Pos, [p, o, 0], 2),
+            (None, None, Some(o)) => (&self.osp, RunOrder::Osp, [o, 0, 0], 1),
+            (Some(s), None, Some(o)) => (&self.osp, RunOrder::Osp, [o, s, 0], 2),
+        };
+        let key = &key[..k];
+        let lo = partition_from(run, *hint, |r| r[..k] < *key);
+        let hi = partition_from(run, lo, |r| r[..k] <= *key);
+        *hint = lo;
+        (&run[lo..hi], order)
+    }
+
+    /// Exact number of rows matching a pattern (a slice length — two
+    /// binary searches, no row is touched).
+    pub fn cardinality(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        self.scan(s, p, o).0.len()
+    }
+
+    /// Membership test for a fully ground id row.
+    pub fn contains(&self, row: [TermId; 3]) -> bool {
+        self.spo.binary_search(&row).is_ok()
+    }
+}
+
+/// The rows of `run` whose first `key.len()` components equal `key`.
+fn prefix_range<'a>(run: &'a [[TermId; 3]], key: &[TermId]) -> &'a [[TermId; 3]] {
+    let k = key.len();
+    let lo = run.partition_point(|row| row[..k] < *key);
+    let hi = run.partition_point(|row| row[..k] <= *key);
+    &run[lo..hi]
+}
+
+/// The partition point of monotone `pred` (`true*false*`) found by
+/// galloping outward from `from` — `O(log distance)` instead of
+/// `O(log n)` when the caller's guess is close.
+fn partition_from(run: &[[TermId; 3]], from: usize, pred: impl Fn(&[TermId; 3]) -> bool) -> usize {
+    let n = run.len();
+    let start = from.min(n);
+    if start < n && pred(&run[start]) {
+        // The point is above `start`: bracket it going forward.
+        let mut prev = start;
+        let mut step = 1usize;
+        loop {
+            let next = start.saturating_add(step).min(n);
+            if next == n || !pred(&run[next]) {
+                return prev + 1 + run[prev + 1..next].partition_point(&pred);
+            }
+            prev = next;
+            step *= 2;
+        }
+    } else {
+        // The point is at or below `start`: bracket it going backward.
+        let mut upper = start;
+        let mut step = 1usize;
+        loop {
+            let next = start.saturating_sub(step);
+            if next == 0 || pred(&run[next - 1]) {
+                return next + run[next..upper].partition_point(&pred);
+            }
+            upper = next;
+            step *= 2;
+        }
+    }
+}
+
+/// The borrowed id-scan surface an evaluation engine consumes: a
+/// dictionary plus base runs, optionally overlaid with delta runs
+/// (sharing the *same* dictionary) and a set of deleted base triples.
+///
+/// Exposed through `TripleLookup::id_view`; `None` there means the
+/// backend cannot serve id scans and the engine must stay on the
+/// term-at-a-time path.
+#[derive(Clone, Copy, Debug)]
+pub struct IdView<'a> {
+    /// The shared dictionary every id in `base`/`adds` was assigned by.
+    pub dict: &'a TermDict,
+    /// Sorted runs over the base triple set.
+    pub base: &'a IdRuns,
+    /// Sorted runs over added triples (disjoint from the base), if any.
+    pub adds: Option<&'a IdRuns>,
+    /// Base triples deleted since the base was built, if any.
+    pub dels: Option<&'a HashSet<Triple>>,
+}
+
+impl<'a> IdView<'a> {
+    /// A view over a single run set with no overlay.
+    pub fn plain(dict: &'a TermDict, base: &'a IdRuns) -> IdView<'a> {
+        IdView {
+            dict,
+            base,
+            adds: None,
+            dels: None,
+        }
+    }
+
+    /// The deletion set encoded as id rows (empty if there are no
+    /// deletions). Deleted triples are always base triples, so every
+    /// term resolves.
+    pub fn del_rows(&self) -> FxHashSet<[TermId; 3]> {
+        let Some(dels) = self.dels else {
+            return FxHashSet::default();
+        };
+        let rows: Vec<Triple> = dels.iter().copied().collect();
+        self.dict
+            .encode_all(&rows)
+            .expect("deleted triples are base triples, so their terms are interned")
+            .into_iter()
+            .collect()
+    }
+
+    /// Upper bound on the rows matching a pattern (ignores deletions —
+    /// good enough for join ordering).
+    pub fn cardinality_upper(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> usize {
+        self.base.cardinality(s, p, o) + self.adds.map_or(0, |a| a.cardinality(s, p, o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::triple;
+
+    #[test]
+    fn intern_is_stable_and_counted() {
+        let d = TermDict::new();
+        let a = d.intern(Iri::new("a"));
+        let b = d.intern(Iri::new("b"));
+        assert_ne!(a, b);
+        assert_ne!(a, NO_TERM);
+        assert_eq!(d.intern(Iri::new("a")), a);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.misses(), 2);
+        assert_eq!(d.hits(), 1);
+        assert_eq!(d.resolve(a), Some(Iri::new("a")));
+        assert_eq!(d.resolve(NO_TERM), None);
+        assert_eq!(d.resolve(99), None);
+        assert_eq!(d.lookup(Iri::new("b")), Some(b));
+        assert_eq!(d.lookup(Iri::new("zz")), None);
+    }
+
+    #[test]
+    fn seeded_ids_are_ranks() {
+        let terms: Vec<Iri> = ["a", "b", "m", "z"].iter().map(|s| Iri::new(s)).collect();
+        let d = TermDict::from_sorted_terms(&terms);
+        for (rank, &t) in terms.iter().enumerate() {
+            assert_eq!(d.lookup(t), Some(rank as TermId + 1));
+        }
+        // Interning a seeded term is a pure hit; a new term appends.
+        assert_eq!(d.intern(Iri::new("m")), 3);
+        assert_eq!(d.misses(), 0);
+        let fresh = d.intern(Iri::new("q"));
+        assert_eq!(fresh, 5);
+        assert_eq!(d.lookup(Iri::new("z")), Some(4), "existing ids unchanged");
+    }
+
+    #[test]
+    fn runs_serve_all_eight_shapes() {
+        let triples = vec![
+            triple("a", "p", "b"),
+            triple("a", "p", "c"),
+            triple("a", "q", "b"),
+            triple("d", "p", "b"),
+        ];
+        let dict = TermDict::new();
+        let runs = IdRuns::build(&triples, &dict);
+        assert_eq!(runs.len(), 4);
+        let id = |s: &str| dict.lookup(Iri::new(s)).unwrap();
+        let count = |s: Option<&str>, p: Option<&str>, o: Option<&str>| {
+            let (rows, order) = runs.scan(s.map(id), p.map(id), o.map(id));
+            // Every returned row actually matches after un-permuting.
+            for &row in rows {
+                let [rs, rp, ro] = order.to_spo(row);
+                assert!(s.is_none_or(|s| id(s) == rs));
+                assert!(p.is_none_or(|p| id(p) == rp));
+                assert!(o.is_none_or(|o| id(o) == ro));
+            }
+            rows.len()
+        };
+        assert_eq!(count(None, None, None), 4);
+        assert_eq!(count(Some("a"), None, None), 3);
+        assert_eq!(count(None, Some("p"), None), 3);
+        assert_eq!(count(None, None, Some("b")), 3);
+        assert_eq!(count(Some("a"), Some("p"), None), 2);
+        assert_eq!(count(None, Some("p"), Some("b")), 2);
+        assert_eq!(count(Some("a"), None, Some("b")), 2);
+        assert_eq!(count(Some("a"), Some("p"), Some("b")), 1);
+        // A constant that was never interned has no id, hence no match.
+        assert_eq!(dict.lookup(Iri::new("zz")), None);
+        assert_eq!(runs.scan(Some(999), None, None).0.len(), 0);
+    }
+
+    #[test]
+    fn incremental_runs_match_rebuild() {
+        let dict = TermDict::new();
+        let mut runs = IdRuns::build(&[], &dict);
+        let triples = vec![
+            triple("a", "p", "b"),
+            triple("c", "q", "d"),
+            triple("a", "r", "d"),
+        ];
+        for t in &triples {
+            let row = [dict.intern(t.s), dict.intern(t.p), dict.intern(t.o)];
+            assert!(runs.insert(row));
+            assert!(!runs.insert(row), "duplicate insert is a no-op");
+        }
+        let gone = triples[1];
+        let gone_row = [
+            dict.lookup(gone.s).unwrap(),
+            dict.lookup(gone.p).unwrap(),
+            dict.lookup(gone.o).unwrap(),
+        ];
+        assert!(runs.remove(gone_row));
+        assert!(!runs.remove(gone_row));
+
+        let kept: Vec<Triple> = vec![triples[0], triples[2]];
+        let rebuilt = IdRuns::build(&kept, &dict);
+        assert_eq!(runs.spo, rebuilt.spo);
+        assert_eq!(runs.pos, rebuilt.pos);
+        assert_eq!(runs.osp, rebuilt.osp);
+    }
+
+    #[test]
+    fn fresh_dict_build_assigns_rank_ids() {
+        let triples = vec![triple("z", "p", "a"), triple("m", "p", "a")];
+        let dict = TermDict::new();
+        IdRuns::build(&triples, &dict);
+        // Distinct sorted terms: a, m, p, z → ids 1..=4.
+        assert_eq!(dict.lookup(Iri::new("a")), Some(1));
+        assert_eq!(dict.lookup(Iri::new("m")), Some(2));
+        assert_eq!(dict.lookup(Iri::new("p")), Some(3));
+        assert_eq!(dict.lookup(Iri::new("z")), Some(4));
+    }
+}

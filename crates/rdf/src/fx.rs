@@ -1,0 +1,107 @@
+//! A fast, non-cryptographic hasher for interned-handle keys.
+//!
+//! The engine's hot hash collections key on small fixed-size values —
+//! interned [`crate::Iri`] handles, `(Variable, Iri)` binding lists,
+//! id-encoded triples. SipHash's DoS resistance buys nothing there
+//! (keys are dense interner handles, not attacker-controlled strings)
+//! and costs a large constant per lookup, which the columnar result
+//! decode pays once per answer. This multiply-rotate hash (the classic
+//! "Fx" scheme) folds each word in a few cycles.
+//!
+//! Not for untrusted input: collisions are trivial to construct.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate word folder (64-bit Fx variant).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// `2^64 / φ`, the usual odd multiplier.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while let Some((chunk, rest)) = bytes.split_first_chunk::<8>() {
+            self.add(u64::from_le_bytes(*chunk));
+            bytes = rest;
+        }
+        if !bytes.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..bytes.len()].copy_from_slice(bytes);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn hashes_are_stable_and_spread() {
+        let b = FxBuildHasher::default();
+        let h1 = b.hash_one([1u64, 2, 3]);
+        let h2 = b.hash_one([1u64, 2, 3]);
+        let h3 = b.hash_one([1u64, 2, 4]);
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn byte_tail_is_hashed() {
+        let b = FxBuildHasher::default();
+        assert_ne!(b.hash_one("ab"), b.hash_one("ac"));
+        assert_ne!(b.hash_one("abcdefghi"), b.hash_one("abcdefghj"));
+    }
+}

@@ -20,6 +20,7 @@
 //! scans the graph exactly as the paper's semantics is written — which is
 //! what the `engine_ablation` benchmark measures.
 
+use crate::dict::{IdRuns, IdView, TermDict};
 use crate::graph::Graph;
 use crate::term::{Iri, Triple};
 use std::collections::{HashMap, HashSet};
@@ -56,6 +57,22 @@ pub trait TripleLookup {
     fn to_graph(&self) -> Graph {
         self.matching(None, None, None).into_iter().collect()
     }
+
+    /// The id-encoded scan surface, if this backend can serve one
+    /// (a term dictionary plus sorted id runs covering exactly the
+    /// triples visible through this lookup). `None` keeps the engine on
+    /// the term-at-a-time path.
+    fn id_view(&self) -> Option<IdView<'_>> {
+        None
+    }
+}
+
+/// The dictionary + sorted-run state a [`GraphIndex`] optionally carries
+/// to serve id scans.
+#[derive(Clone, Debug)]
+struct IdState {
+    dict: Arc<TermDict>,
+    runs: IdRuns,
 }
 
 /// A fully materialized secondary index over a [`Graph`].
@@ -72,6 +89,10 @@ pub struct GraphIndex {
     by_sp: HashMap<(Iri, Iri), Vec<Triple>>,
     by_po: HashMap<(Iri, Iri), Vec<Triple>>,
     by_so: HashMap<(Iri, Iri), Vec<Triple>>,
+    /// Id-encoded twin of `all`: dictionary + SPO/POS/OSP sorted runs.
+    /// Bulk constructors always attach it; [`GraphIndex::default`] does
+    /// not (attach one with [`GraphIndex::with_dict`]).
+    ids: Option<IdState>,
 }
 
 impl GraphIndex {
@@ -81,8 +102,21 @@ impl GraphIndex {
     }
 
     /// Builds the index from an iterator of (not necessarily distinct)
-    /// triples.
+    /// triples, interning every term into a fresh private dictionary
+    /// (ids = lexicographic ranks). Use
+    /// [`GraphIndex::from_triples_with_dict`] to share a dictionary
+    /// across indexes.
     pub fn from_triples(triples: impl IntoIterator<Item = Triple>) -> Self {
+        GraphIndex::from_triples_with_dict(triples, Arc::new(TermDict::new()))
+    }
+
+    /// Builds the index from an iterator of triples, interning terms
+    /// into `dict` (existing ids are reused; new terms are appended in
+    /// lexicographic order).
+    pub fn from_triples_with_dict(
+        triples: impl IntoIterator<Item = Triple>,
+        dict: Arc<TermDict>,
+    ) -> Self {
         let mut all: Vec<Triple> = triples.into_iter().collect();
         all.sort();
         all.dedup();
@@ -94,7 +128,30 @@ impl GraphIndex {
             idx.all.push(t);
             idx.index_entry(t);
         }
+        let runs = IdRuns::build(&idx.all, &dict);
+        idx.ids = Some(IdState { dict, runs });
         idx
+    }
+
+    /// Replaces this index's id state with one keyed by `dict`
+    /// (re-encoding every triple). Used by `owql-store` to re-home an
+    /// index built elsewhere (e.g. a compaction fold or a recovered
+    /// segment) onto the store-wide dictionary.
+    pub fn with_dict(mut self, dict: Arc<TermDict>) -> Self {
+        let runs = IdRuns::build(&self.all, &dict);
+        self.ids = Some(IdState { dict, runs });
+        self
+    }
+
+    /// The dictionary this index's id runs are encoded with, if id
+    /// state is attached.
+    pub fn dict(&self) -> Option<&Arc<TermDict>> {
+        self.ids.as_ref().map(|s| &s.dict)
+    }
+
+    /// The id-encoded sorted runs, if id state is attached.
+    pub fn id_runs(&self) -> Option<&IdRuns> {
+        self.ids.as_ref().map(|s| &s.runs)
     }
 
     fn index_entry(&mut self, t: Triple) {
@@ -118,6 +175,14 @@ impl GraphIndex {
             Err(pos) => {
                 self.all.insert(pos, t);
                 self.index_entry(t);
+                if let Some(ids) = &mut self.ids {
+                    let row = [
+                        ids.dict.intern(t.s),
+                        ids.dict.intern(t.p),
+                        ids.dict.intern(t.o),
+                    ];
+                    ids.runs.insert(row);
+                }
                 true
             }
         }
@@ -148,6 +213,12 @@ impl GraphIndex {
                 unindex(&mut self.by_sp, (t.s, t.p), t);
                 unindex(&mut self.by_po, (t.p, t.o), t);
                 unindex(&mut self.by_so, (t.s, t.o), t);
+                if let Some(ids) = &mut self.ids {
+                    // A present triple's terms are always interned.
+                    if let Some(rows) = ids.dict.encode_all(std::slice::from_ref(t)) {
+                        ids.runs.remove(rows[0]);
+                    }
+                }
                 true
             }
         }
@@ -240,6 +311,10 @@ impl TripleLookup for GraphIndex {
 
     fn len(&self) -> usize {
         GraphIndex::len(self)
+    }
+
+    fn id_view(&self) -> Option<IdView<'_>> {
+        self.ids.as_ref().map(|s| IdView::plain(&s.dict, &s.runs))
     }
 }
 
@@ -345,6 +420,24 @@ impl TripleLookup for SnapshotIndex {
 
     fn len(&self) -> usize {
         self.base.len() - self.dels.len() + self.adds.len()
+    }
+
+    /// A merged id view exists only when base and overlay carry id
+    /// state encoded by the *same* dictionary (the invariant
+    /// `owql-store` maintains); otherwise the ids of the two run sets
+    /// are not comparable and the engine must stay on the term path.
+    fn id_view(&self) -> Option<IdView<'_>> {
+        let base = self.base.ids.as_ref()?;
+        let adds = self.adds.ids.as_ref()?;
+        if !Arc::ptr_eq(&base.dict, &adds.dict) {
+            return None;
+        }
+        Some(IdView {
+            dict: &base.dict,
+            base: &base.runs,
+            adds: (!adds.runs.is_empty()).then_some(&adds.runs),
+            dels: (!self.dels.is_empty()).then_some(&self.dels),
+        })
     }
 }
 

@@ -24,6 +24,8 @@
 //! * [`datasets`] — the concrete graphs of Figures 1–3 of the paper.
 
 pub mod datasets;
+pub mod dict;
+pub mod fx;
 pub mod generate;
 pub mod graph;
 pub mod index;
@@ -32,6 +34,8 @@ pub mod stats;
 pub mod term;
 pub mod turtle;
 
+pub use dict::{IdRuns, IdView, RunOrder, TermDict, TermId, NO_TERM};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use graph::Graph;
 pub use index::{GraphIndex, SnapshotIndex, TripleLookup};
 pub use term::{Iri, Triple};

@@ -33,7 +33,7 @@ use owql_eval::{Engine, EvalError, ExecOpts};
 use owql_exec::Pool;
 use owql_obs::{PersistObs, Profile, StoreObs};
 use owql_persist::{CommitRecord, PersistConfig, RecoveryReport, Wal, WalOp};
-use owql_rdf::{Graph, GraphIndex, SnapshotIndex, Triple, TripleLookup};
+use owql_rdf::{Graph, GraphIndex, SnapshotIndex, TermDict, Triple, TripleLookup};
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::ops::Deref;
@@ -224,6 +224,12 @@ pub struct StoreMetrics {
     pub delta_len: usize,
     /// Compactions performed so far.
     pub compactions: u64,
+    /// Terms in the store-wide dictionary (append-only across epochs).
+    pub dict_terms: usize,
+    /// Dictionary interns that found an existing id.
+    pub dict_hits: u64,
+    /// Dictionary interns that assigned a fresh id.
+    pub dict_misses: u64,
     /// Query-cache counters.
     pub cache: CacheStats,
     /// Durability counters — `Some` iff the store persists to disk.
@@ -360,6 +366,11 @@ fn indexer_loop(inner: Arc<RwLock<StoreInner>>, persist: Arc<PersistState>) {
 
 #[derive(Debug)]
 struct StoreInner {
+    /// The store-wide term dictionary. Append-only: ids survive
+    /// compactions and epochs, and both `base` and `adds` encode their
+    /// id runs with it (the invariant that makes the merged snapshot
+    /// `id_view` valid).
+    dict: Arc<TermDict>,
     base: Arc<GraphIndex>,
     /// Net additions (disjoint from `base`), incrementally indexed.
     adds: Arc<GraphIndex>,
@@ -560,11 +571,13 @@ impl Store {
 
     /// An empty store with explicit options.
     pub fn with_options(opts: StoreOptions) -> Self {
+        let dict = Arc::new(TermDict::new());
         Store {
             inner: Arc::new(RwLock::new(StoreInner {
-                base: Arc::new(GraphIndex::default()),
-                adds: Arc::new(GraphIndex::default()),
+                base: Arc::new(GraphIndex::default().with_dict(dict.clone())),
+                adds: Arc::new(GraphIndex::default().with_dict(dict.clone())),
                 dels: Arc::new(HashSet::new()),
+                dict,
                 epoch: 0,
                 log: Vec::new(),
                 compactions: 0,
@@ -597,14 +610,25 @@ impl Store {
         let dir = dir.as_ref().to_path_buf();
         let recovered = owql_persist::recover(&dir)?;
 
-        let (base, watermark) = match &recovered.segment {
-            Some(seg) => (seg.to_graph_index(), seg.epoch()),
-            None => (GraphIndex::default(), 0),
+        // Seed the term dictionary straight from the segment's
+        // rank-sorted term table: every segment triple then re-indexes
+        // with dictionary *hits* only (zero re-interning on recovery).
+        let (dict, base, watermark) = match &recovered.segment {
+            Some(seg) => {
+                let dict = Arc::new(TermDict::from_sorted_terms(seg.terms()));
+                let base = GraphIndex::from_triples_with_dict(seg.triples(), dict.clone());
+                (dict, base, seg.epoch())
+            }
+            None => {
+                let dict = Arc::new(TermDict::new());
+                (dict.clone(), GraphIndex::default().with_dict(dict), 0)
+            }
         };
         let mut inner = StoreInner {
             base: Arc::new(base),
-            adds: Arc::new(GraphIndex::default()),
+            adds: Arc::new(GraphIndex::default().with_dict(dict.clone())),
             dels: Arc::new(HashSet::new()),
+            dict,
             epoch: watermark,
             log: Vec::new(),
             compactions: 0,
@@ -687,7 +711,10 @@ impl Store {
         let store = Store::new();
         {
             let mut inner = store.inner.write().expect("store lock poisoned");
-            inner.base = Arc::new(GraphIndex::build(graph));
+            inner.base = Arc::new(GraphIndex::from_triples_with_dict(
+                graph.iter().copied(),
+                inner.dict.clone(),
+            ));
         }
         store
     }
@@ -850,9 +877,21 @@ impl Store {
     }
 
     fn compact_inner(&self, inner: &mut StoreInner) {
-        let folded = inner.snapshot_index().compacted();
+        // Fold the overlay into a fresh base, re-encoded with the
+        // store-wide dictionary (ids are append-only, so every
+        // surviving triple keeps the ids it already had).
+        let folded = GraphIndex::from_triples_with_dict(
+            inner
+                .base
+                .all()
+                .iter()
+                .filter(|t| !inner.dels.contains(t))
+                .chain(inner.adds.all().iter())
+                .copied(),
+            inner.dict.clone(),
+        );
         inner.base = Arc::new(folded);
-        inner.adds = Arc::new(GraphIndex::default());
+        inner.adds = Arc::new(GraphIndex::default().with_dict(inner.dict.clone()));
         inner.dels = Arc::new(HashSet::new());
         inner.log.clear();
         inner.compactions += 1;
@@ -971,9 +1010,19 @@ impl Store {
             base_len: inner.base.len(),
             delta_len: inner.adds.len() + inner.dels.len(),
             compactions: inner.compactions,
+            dict_terms: inner.dict.len(),
+            dict_hits: inner.dict.hits(),
+            dict_misses: inner.dict.misses(),
             cache: self.cache.stats(),
             persist: self.persist.as_deref().map(PersistState::metrics),
         }
+    }
+
+    /// The store-wide term dictionary (shared with every index and
+    /// snapshot this store hands out). Ids are append-only: once a term
+    /// has an id, it keeps it across commits and compactions.
+    pub fn dict(&self) -> Arc<TermDict> {
+        self.inner.read().expect("store lock poisoned").dict.clone()
     }
 
     /// Durability counters — `Some` iff the store persists to disk.
@@ -1004,6 +1053,9 @@ impl Store {
             base_len: m.base_len,
             delta_len: m.delta_len,
             compactions: m.compactions,
+            dict_terms: m.dict_terms as u64,
+            dict_hits: m.dict_hits,
+            dict_misses: m.dict_misses,
             cache_hits: m.cache.hits,
             cache_misses: m.cache.misses,
             cache_evictions: m.cache.evictions,

@@ -1,53 +1,91 @@
 #!/usr/bin/env bash
-# Local mirror of .github/workflows/ci.yml: run every gate the CI runs,
-# in the same order, so a green `scripts/ci.sh` means a green PR.
+# Single source of truth for CI. Every job in .github/workflows/ci.yml
+# is a thin `scripts/ci.sh <stage>` invocation, so the hosted pipeline
+# and this local mirror cannot drift: a green `scripts/ci.sh` means a
+# green PR.
 #
-#   scripts/ci.sh            # full pipeline
-#   scripts/ci.sh --fast     # skip the bench-smoke stage
+#   scripts/ci.sh                  # every stage, in CI order
+#   scripts/ci.sh --fast           # cheap stages only (skip bench/server/persist smokes)
+#   scripts/ci.sh <stage> [...]    # just the named stage(s)
+#
+# Stages:
+#   check         fmt + clippy + release build + tests
+#   determinism   width-1 vs width-8 full-suite output diff
+#   differential  evaluator suites with the columnar path forced off and on
+#   lint-smoke    analyzer over the clean + golden pattern corpora
+#   bench-smoke   quick bench drivers + perf gate + profile schema
+#   server-smoke  HTTP front-end boot, load_gen, schema, removed-API sweep
+#   persist-smoke durable example, kill -9 recovery, recovery bench
+#   doc           rustdoc with -D warnings
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
-FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
 
 step() { printf '\n==> %s\n' "$*"; }
 
-step "fmt"
-cargo fmt --all --check
+stage_check() {
+  step "fmt"
+  cargo fmt --all --check
 
-step "clippy (all targets, -D warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+  step "clippy (all targets, -D warnings)"
+  cargo clippy --workspace --all-targets -- -D warnings
 
-step "build (release)"
-cargo build --workspace --release
+  step "build (release)"
+  cargo build --workspace --release
 
-step "test"
-cargo test --workspace -q
+  step "test"
+  cargo test --workspace -q
+}
 
-step "lint-smoke (analyzer over the pattern corpus)"
-cargo build --release -p owql-lint
-target/release/owql-lint --deny warn examples/patterns/*.owql
-set +e
-target/release/owql-lint --deny warn crates/lint/tests/golden/*.owql >/dev/null
-rc=$?
-set -e
-[[ "$rc" -eq 1 ]] || { echo "expected --deny warn exit 1 on golden corpus, got $rc"; exit 1; }
-echo "lint smoke OK"
+stage_determinism() {
+  step "determinism: width 1 vs width 8"
+  norm() { grep -E '^(test result|running)' "$1" | sed -E 's/; finished in [0-9.]+s//' | sort; }
+  OWQL_THREADS=1 cargo test --workspace -q 2>&1 | tee /tmp/owql_ci_t1.log >/dev/null
+  OWQL_THREADS=8 cargo test --workspace -q 2>&1 | tee /tmp/owql_ci_t8.log >/dev/null
+  norm /tmp/owql_ci_t1.log > /tmp/owql_ci_t1.norm
+  norm /tmp/owql_ci_t8.log > /tmp/owql_ci_t8.norm
+  diff -u /tmp/owql_ci_t1.norm /tmp/owql_ci_t8.norm
+  echo "width-1 and width-8 test outputs identical"
+}
 
-step "determinism: width 1 vs width 8"
-norm() { grep -E '^(test result|running)' "$1" | sed -E 's/; finished in [0-9.]+s//' | sort; }
-OWQL_THREADS=1 cargo test --workspace -q 2>&1 | tee /tmp/owql_ci_t1.log >/dev/null
-OWQL_THREADS=8 cargo test --workspace -q 2>&1 | tee /tmp/owql_ci_t8.log >/dev/null
-norm /tmp/owql_ci_t1.log > /tmp/owql_ci_t1.norm
-norm /tmp/owql_ci_t8.log > /tmp/owql_ci_t8.norm
-diff -u /tmp/owql_ci_t1.norm /tmp/owql_ci_t8.norm
-echo "width-1 and width-8 test outputs identical"
+stage_differential() {
+  step "differential: evaluator suites with OWQL_COLUMNAR=0 and OWQL_COLUMNAR=1"
+  # The columnar flag flips the *default* execution path; the suites
+  # below pin it per-run too, so both sweeps exercise both engines and
+  # every store/parallel configuration against the reference answers.
+  for mode in 0 1; do
+    echo "--- OWQL_COLUMNAR=$mode"
+    OWQL_COLUMNAR=$mode cargo test -q -p owql \
+      --test integration_columnar --test integration_store --test integration_parallel
+  done
+  OWQL_COLUMNAR=1 cargo test -q -p owql-rdf --test proptest_dict
+  echo "differential OK"
+}
 
-if [[ "$FAST" == "0" ]]; then
+stage_lint_smoke() {
+  step "lint-smoke (analyzer over the pattern corpus)"
+  cargo build --release -p owql-lint
+  target/release/owql-lint --deny warn examples/patterns/*.owql
+  set +e
+  target/release/owql-lint --deny warn crates/lint/tests/golden/*.owql >/dev/null
+  local rc=$?
+  set -e
+  [[ "$rc" -eq 1 ]] || { echo "expected --deny warn exit 1 on golden corpus, got $rc"; exit 1; }
+  echo "lint smoke OK"
+}
+
+stage_bench_smoke() {
   step "bench-smoke (quick drivers)"
   cargo run --release -p owql-bench --bin store_churn -- --quick BENCH_store.json
-  cargo run --release -p owql-bench --bin parallel_bench -- --quick BENCH_parallel.json
+  mkdir -p target/ci-bench
+  cargo run --release -p owql-bench --bin parallel_bench -- --quick target/ci-bench/parallel_fresh_1.json
+  cargo run --release -p owql-bench --bin parallel_bench -- --quick target/ci-bench/parallel_fresh_2.json
+
+  step "bench gate (committed speedups + fresh sequential baselines)"
+  python3 scripts/check_bench.py BENCH_parallel.json \
+    --fresh target/ci-bench/parallel_fresh_1.json \
+    --fresh target/ci-bench/parallel_fresh_2.json
 
   step "profile-smoke (profiled query + schema check)"
   cargo run --release --example profile_query -- PROFILE_query.json
@@ -55,10 +93,15 @@ if [[ "$FAST" == "0" ]]; then
              '"spans"' '"store"' '"cache_hit_rate"' '"persist"'; do
     grep -q "$key" PROFILE_query.json || { echo "missing $key in PROFILE_query.json"; exit 1; }
   done
-  grep -q '"owql_threads"' BENCH_parallel.json || { echo "missing owql_threads in BENCH_parallel.json"; exit 1; }
+  for key in '"owql_threads"' '"hardware_threads"'; do
+    grep -q "$key" target/ci-bench/parallel_fresh_1.json \
+      || { echo "missing $key in parallel bench output"; exit 1; }
+  done
   grep -q '"cache_hit_rate"' BENCH_store.json || { echo "missing cache_hit_rate in BENCH_store.json"; exit 1; }
   echo "profile schema OK"
+}
 
+stage_server_smoke() {
   step "server-smoke (oneshot boot + load_gen + schema + removed-API sweep)"
   OWQL_SERVE_ONESHOT=1 cargo run --release --example serve
   scripts/load_gen BENCH_server.json
@@ -80,33 +123,67 @@ EOF
     echo "removed evaluate-variant call site found"; exit 1
   fi
   echo "server smoke OK"
+}
 
+stage_persist_smoke() {
   step "persist-smoke (durable example, kill -9 recovery, bench schema)"
   cargo run --release --example durable_store
   cargo build --release -p owql-bench --bin store_recovery
-  PERSIST_DIR=$(mktemp -d /tmp/owql-persist-smoke.XXXXXX)
-  rm -rf "$PERSIST_DIR"
+  local persist_dir
+  persist_dir=$(mktemp -d /tmp/owql-persist-smoke.XXXXXX)
+  rm -rf "$persist_dir"
   : > /tmp/owql_writer.log
-  target/release/store_recovery --crash-writer "$PERSIST_DIR" > /tmp/owql_writer.log &
-  WRITER_PID=$!
+  target/release/store_recovery --crash-writer "$persist_dir" > /tmp/owql_writer.log &
+  local writer_pid=$!
   for _ in $(seq 1 200); do
     grep -q '^committed 25$' /tmp/owql_writer.log && break
     sleep 0.1
   done
-  kill -9 "$WRITER_PID" 2>/dev/null || true
-  wait "$WRITER_PID" 2>/dev/null || true
+  kill -9 "$writer_pid" 2>/dev/null || true
+  wait "$writer_pid" 2>/dev/null || true
   grep -q '^committed 25$' /tmp/owql_writer.log || { echo "writer never confirmed epoch 25"; exit 1; }
-  target/release/store_recovery --verify "$PERSIST_DIR"
-  rm -rf "$PERSIST_DIR"
+  target/release/store_recovery --verify "$persist_dir"
+  rm -rf "$persist_dir"
   cargo run --release -p owql-bench --bin store_recovery -- --quick BENCH_persist.json
   for key in '"commit_throughput"' '"fsync"' '"commits_per_sec"' '"checkpoint_ms"' \
              '"cold_start"' '"wal_replay_ms"' '"segment_open_ms"'; do
     grep -q "$key" BENCH_persist.json || { echo "missing $key in BENCH_persist.json"; exit 1; }
   done
   echo "persist smoke OK"
+}
+
+stage_doc() {
+  step "doc (-D warnings)"
+  RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+}
+
+run_stage() {
+  case "$1" in
+    check)         stage_check ;;
+    determinism)   stage_determinism ;;
+    differential)  stage_differential ;;
+    lint-smoke)    stage_lint_smoke ;;
+    bench-smoke)   stage_bench_smoke ;;
+    server-smoke)  stage_server_smoke ;;
+    persist-smoke) stage_persist_smoke ;;
+    doc)           stage_doc ;;
+    *) echo "unknown stage: $1 (see scripts/ci.sh header for the list)"; exit 2 ;;
+  esac
+}
+
+ALL_STAGES=(check determinism differential lint-smoke bench-smoke server-smoke persist-smoke doc)
+FAST_STAGES=(check determinism differential lint-smoke doc)
+
+if [[ $# -eq 0 ]]; then
+  stages=("${ALL_STAGES[@]}")
+elif [[ "$1" == "--fast" ]]; then
+  stages=("${FAST_STAGES[@]}")
+else
+  stages=("$@")
 fi
 
-step "doc (-D warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+for s in "${stages[@]}"; do
+  run_stage "$s"
+done
 
-step "all green"
+step "all green (${stages[*]})"

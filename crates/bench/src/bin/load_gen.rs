@@ -6,9 +6,16 @@
 //! writes `BENCH_server.json` with per-phase latency percentiles,
 //! throughput, and shed rate.
 //!
+//! Latencies are accumulated in the stack's shared log2
+//! [`owql_obs::Histogram`] — the same fixed bucket boundaries the
+//! server exports on `GET /metrics` — so the artifact's percentiles
+//! and the live Prometheus series bucket identically, and each phase
+//! records its raw `histogram_buckets` alongside the quantiles.
+//!
 //! Run with: `cargo run --release -p owql-bench --bin load_gen [out.json]`
 
 use owql_bench::par;
+use owql_obs::Histogram;
 use owql_rdf::Triple;
 use owql_server::{Server, ServerConfig};
 use owql_store::Store;
@@ -117,14 +124,6 @@ struct PhaseReport {
 }
 
 impl PhaseReport {
-    fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
-        if sorted.is_empty() {
-            return 0.0;
-        }
-        let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
-        sorted[idx].as_secs_f64() * 1e3
-    }
-
     fn to_json(&self) -> String {
         let total = self.samples.len();
         let ok = self.samples.iter().filter(|s| s.status == 200).count();
@@ -132,21 +131,21 @@ impl PhaseReport {
         let timeouts = self.samples.iter().filter(|s| s.status == 504).count();
         let other = total - ok - shed - timeouts;
         // Latency percentiles over *served* requests (sheds answer in
-        // microseconds and would flatter the tail).
-        let mut served: Vec<Duration> = self
-            .samples
-            .iter()
-            .filter(|s| s.status == 200)
-            .map(|s| s.latency)
-            .collect();
-        served.sort_unstable();
+        // microseconds and would flatter the tail), bucketed by the
+        // shared log2 histogram so the artifact agrees with /metrics.
+        let histogram = Histogram::new();
+        for sample in self.samples.iter().filter(|s| s.status == 200) {
+            histogram.record(sample.latency);
+        }
+        let snap = histogram.snapshot();
         let secs = self.wall.as_secs_f64();
         format!(
             concat!(
                 "{{\"phase\": \"{}\", \"clients\": {}, \"wall_s\": {:.3}, ",
                 "\"requests\": {}, \"ok\": {}, \"shed\": {}, \"timeouts\": {}, \"other\": {}, ",
                 "\"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, ",
-                "\"throughput_rps\": {:.1}, \"shed_rate\": {:.4}}}"
+                "\"throughput_rps\": {:.1}, \"shed_rate\": {:.4}, ",
+                "\"histogram_buckets\": {}}}"
             ),
             self.phase,
             self.clients,
@@ -156,11 +155,12 @@ impl PhaseReport {
             shed,
             timeouts,
             other,
-            Self::percentile_ms(&served, 0.50),
-            Self::percentile_ms(&served, 0.95),
-            Self::percentile_ms(&served, 0.99),
+            snap.quantile_ms(0.50),
+            snap.quantile_ms(0.95),
+            snap.quantile_ms(0.99),
             total as f64 / secs,
             shed as f64 / total.max(1) as f64,
+            snap.buckets_to_json(""),
         )
     }
 }

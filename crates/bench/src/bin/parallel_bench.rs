@@ -30,6 +30,11 @@ struct QueryRun {
     sequential_ms: f64,
     /// `(workers, ms, speedup_vs_sequential)`.
     widths: Vec<(usize, f64, f64)>,
+    /// Best-of-reps columnar 8-worker run, tracing off.
+    columnar_untraced_ms: f64,
+    /// Best-of-reps columnar 8-worker run, tracing on (native columnar
+    /// tracing — no term-engine fallback).
+    columnar_traced_ms: f64,
     /// One traced 8-worker run: per-operator totals, NS pruning, pool
     /// counters.
     profile: Profile,
@@ -96,15 +101,28 @@ fn measure(people: usize, reps: usize) -> SizeRun {
             let (ms, _) = time_ms(reps, || run(&ExecOpts::parallel(), &pool).mappings.len());
             widths.push((workers, ms, sequential_ms / ms));
         }
+        // Tracing-overhead measurement (CI gate: traced stays within
+        // 1.15x of untraced on these workloads): best-of-reps columnar
+        // 8-worker runs with the recorder disabled and enabled. Both
+        // legs force the columnar path so the ratio isolates the
+        // recorder seam, not an engine switch.
+        let pool8 = Pool::new(8);
+        let untraced_opts = ExecOpts::parallel().with_columnar(true);
+        let traced_opts = ExecOpts::parallel().with_columnar(true).traced();
+        let (columnar_untraced_ms, _) =
+            time_ms(reps, || run(&untraced_opts, &pool8).mappings.len());
+        let (columnar_traced_ms, _) = time_ms(reps, || run(&traced_opts, &pool8).mappings.len());
         // One instrumented 8-worker run (outside the timed loops) for
         // the per-operator breakdown embedded in the artifact.
-        let traced = run(&ExecOpts::parallel().traced(), &Pool::new(8));
+        let traced = run(&traced_opts, &pool8);
         assert_eq!(traced.mappings, expected, "traced answers diverged: {name}");
         out.push(QueryRun {
             query: name,
             answers,
             sequential_ms,
             widths,
+            columnar_untraced_ms,
+            columnar_traced_ms,
             profile: traced.profile.expect("traced run has a profile"),
         });
     }
@@ -151,12 +169,13 @@ fn main() -> std::io::Result<()> {
                 .map(|(w, ms, s)| format!("w{w}={ms:.1}ms ({s:.2}x)"))
                 .collect();
             println!(
-                "people={:5} {:11} answers={:6}  seq={:8.1}ms  {}",
+                "people={:5} {:11} answers={:6}  seq={:8.1}ms  {}  trace={:.2}x",
                 run.people,
                 q.query,
                 q.answers,
                 q.sequential_ms,
-                widths.join("  ")
+                widths.join("  "),
+                q.columnar_traced_ms / q.columnar_untraced_ms.max(1e-9),
             );
         }
         runs.push(run);
@@ -206,7 +225,15 @@ fn main() -> std::io::Result<()> {
                     json.push_str(", ");
                 }
             }
-            json.push_str("],\n       \"profile\": {\"operators\": [");
+            let _ = write!(
+                json,
+                "],\n       \"columnar_untraced_ms\": {:.3}, \"columnar_traced_ms\": {:.3}, \
+                 \"trace_overhead\": {:.3},",
+                q.columnar_untraced_ms,
+                q.columnar_traced_ms,
+                q.columnar_traced_ms / q.columnar_untraced_ms.max(1e-9),
+            );
+            json.push_str("\n       \"profile\": {\"operators\": [");
             for (k, op) in q.profile.operators.iter().enumerate() {
                 let _ = write!(
                     json,

@@ -18,14 +18,31 @@
 //! [`try_run`] returns `None` — "stay on the reference path" — when the
 //! backend has no id view, when the pattern binds no variables, or when
 //! its variable frame exceeds the 64-column domain-bitmask limit.
+//!
+//! **Native tracing.** The evaluator carries an [`owql_obs::Recorder`]
+//! seam: every operator records one span (kind, label, observed
+//! input/output rows), every spine step records a `SCAN` span whose
+//! `estimated_rows` is seeded from the constant-only [`IdView`] run
+//! cardinality (the same statistic the greedy join order uses — the
+//! estimated-vs-observed feed for the future cost-based planner), and
+//! the event counters — galloping-scan hint hits/misses, dict decode
+//! rows, `Repr::Distinct` results, homogeneous-domain dedup skips —
+//! flow through the recorder's columnar atomics. A *disabled* recorder
+//! short-circuits before any label formatting or clock read, so the
+//! untraced hot path pays only a predictable branch per operator: the
+//! `ExecOpts { trace: true, columnar: true }` combination runs *this*
+//! engine, never a silent fallback.
 
-use crate::engine::{spine_parts, Engine, MIN_BINDINGS_PER_CHUNK};
+use crate::engine::{
+    op_kind, project_label, spine_label, spine_parts, Engine, MIN_BINDINGS_PER_CHUNK,
+};
 use crate::run::{EvalBudget, EvalError, BUDGET_CHECK_STRIDE};
 use owql_algebra::analysis::pattern_vars;
 use owql_algebra::id_mapping::{IdMappingSet, VarFrame};
 use owql_algebra::normal_form::union_spine;
 use owql_algebra::{Condition, Pattern, TermPattern, TriplePattern};
 use owql_exec::{chunk_ranges, Pool};
+use owql_obs::{OpKind, Recorder, SpanId};
 use owql_rdf::{FxHashSet, IdView, TermId, TripleLookup, NO_TERM};
 
 /// One triple-pattern position, id-compiled against the frame and
@@ -99,6 +116,9 @@ struct Columnar<'a> {
     dels: FxHashSet<[TermId; 3]>,
     pool: &'a Pool,
     parallel: bool,
+    /// The span/event sink — disabled outside traced runs, in which
+    /// case every recording call short-circuits on one branch.
+    rec: &'a Recorder,
 }
 
 /// Attempts the columnar path for `pattern` over `engine`'s backend.
@@ -108,6 +128,7 @@ pub(crate) fn try_run<I: TripleLookup + Sync>(
     pattern: &Pattern,
     parallel: bool,
     pool: &Pool,
+    rec: &Recorder,
     budget: &EvalBudget,
 ) -> Option<Result<owql_algebra::MappingSet, EvalError>> {
     let view = engine.index().id_view()?;
@@ -124,11 +145,16 @@ pub(crate) fn try_run<I: TripleLookup + Sync>(
         frame,
         pool,
         parallel,
+        rec,
     };
-    Some(
-        ctx.eval(pattern, budget)
-            .map(|table| table.decode(&ctx.frame, ctx.view.dict)),
-    )
+    Some(ctx.eval(pattern, SpanId::ROOT, budget).map(|table| {
+        let rows = table.len() as u64;
+        // `decode` emits provably distinct rows, so the resulting
+        // `MappingSet` keeps the `Repr::Distinct` fast path and never
+        // builds a hash set.
+        rec.record_columnar_decode(rows, true);
+        table.decode(&ctx.frame, ctx.view.dict)
+    }))
 }
 
 impl Columnar<'_> {
@@ -182,16 +208,31 @@ impl Columnar<'_> {
             .expect("frame covers every condition variable")
     }
 
-    fn eval(&self, pattern: &Pattern, budget: &EvalBudget) -> Result<IdMappingSet, EvalError> {
+    /// One algebra node: evaluates the operator and records its span
+    /// under `parent`. With a disabled recorder the `begin`/`timer`
+    /// calls return immediately and the label is never formatted.
+    fn eval(
+        &self,
+        pattern: &Pattern,
+        parent: SpanId,
+        budget: &EvalBudget,
+    ) -> Result<IdMappingSet, EvalError> {
         budget.check()?;
-        Ok(match pattern {
-            Pattern::Triple(_) | Pattern::And(..) => self.eval_spine(pattern, budget)?,
-            Pattern::Opt(a, b) => self
-                .eval(a, budget)?
-                .left_outer_join(&self.eval(b, budget)?),
+        let rec = self.rec;
+        let id = rec.begin();
+        let timer = rec.timer();
+        let (rows_in, out) = match pattern {
+            Pattern::Triple(_) | Pattern::And(..) => self.eval_spine(pattern, id, budget)?,
+            Pattern::Opt(a, b) => {
+                let left = self.eval(a, id, budget)?;
+                let right = self.eval(b, id, budget)?;
+                (Some(left.len() as u64), left.left_outer_join(&right))
+            }
             Pattern::Union(..) if self.parallel => {
                 let disjuncts = union_spine(pattern);
-                let parts = self.pool.map(&disjuncts, |d| self.eval(d, budget));
+                let parts = self
+                    .pool
+                    .map_profiled(&disjuncts, rec, |d| self.eval(d, id, budget));
                 let mut out = IdMappingSet::new(self.width());
                 for part in parts {
                     let part = part?;
@@ -200,48 +241,106 @@ impl Columnar<'_> {
                     }
                 }
                 out.sort_dedup();
-                out
+                (None, out)
             }
-            Pattern::Union(a, b) => self.eval(a, budget)?.union(&self.eval(b, budget)?),
+            Pattern::Union(a, b) => {
+                let left = self.eval(a, id, budget)?;
+                (None, left.union(&self.eval(b, id, budget)?))
+            }
             Pattern::Select(vars, p) => {
                 let keep: Vec<bool> = (0..self.width())
                     .map(|c| vars.contains(&self.frame.var(c)))
                     .collect();
-                self.eval(p, budget)?.project(&keep)
+                let inner = self.eval(p, id, budget)?;
+                (Some(inner.len() as u64), inner.project(&keep))
             }
             Pattern::Filter(p, r) => {
                 let cond = self.compile_cond(r);
-                let mut inner = self.eval(p, budget)?;
+                let mut inner = self.eval(p, id, budget)?;
+                let rows_in = inner.len() as u64;
                 inner.retain(|row| cond.satisfied_by(row));
-                inner
+                (Some(rows_in), inner)
             }
-            Pattern::Ns(p) => self
-                .eval(p, budget)?
-                .maximal(self.parallel.then_some(self.pool)),
-            Pattern::Minus(a, b) => self.eval(a, budget)?.difference(&self.eval(b, budget)?),
-        })
+            Pattern::Ns(p) => {
+                let inner = self.eval(p, id, budget)?;
+                let candidates = inner.len() as u64;
+                let out = inner.maximal(self.parallel.then_some(self.pool));
+                rec.record_ns(candidates, out.len() as u64);
+                (Some(candidates), out)
+            }
+            Pattern::Minus(a, b) => {
+                let left = self.eval(a, id, budget)?;
+                (
+                    Some(left.len() as u64),
+                    left.difference(&self.eval(b, id, budget)?),
+                )
+            }
+        };
+        if rec.is_enabled() {
+            rec.record_span(
+                id,
+                parent,
+                op_kind(pattern),
+                &self.op_label(pattern),
+                rows_in,
+                out.len() as u64,
+                &timer,
+            );
+        }
+        Ok(out)
+    }
+
+    /// The human-readable span label for one operator node. Only
+    /// called when the recorder is enabled, so the formatting cost
+    /// stays off the untraced hot path.
+    fn op_label(&self, pattern: &Pattern) -> String {
+        match pattern {
+            Pattern::Triple(_) | Pattern::And(..) => {
+                let (triples, others) = spine_parts(pattern);
+                format!("columnar {}", spine_label(triples.len(), others.len()))
+            }
+            Pattern::Union(..) if self.parallel => {
+                format!(
+                    "union of {} disjuncts (columnar)",
+                    union_spine(pattern).len()
+                )
+            }
+            Pattern::Union(..) => "union (columnar)".to_owned(),
+            Pattern::Opt(..) => "left outer join (columnar)".to_owned(),
+            Pattern::Minus(..) => "difference (columnar)".to_owned(),
+            Pattern::Select(vars, _) => format!("{} (columnar)", project_label(vars)),
+            Pattern::Filter(_, r) => format!("filter {r} (columnar)"),
+            Pattern::Ns(_) => "maximal answers (columnar)".to_owned(),
+        }
     }
 
     /// The `AND`-spine: evaluate the non-triple conjuncts, join them
     /// smallest-first as the seed, then extend with the triple patterns
     /// greedily (fewest-unbound-columns, then scan cardinality) via
-    /// binary-searched run scans.
+    /// binary-searched run scans. `span` is this spine's own span id —
+    /// the per-step `SCAN` spans cite it as their parent. Returns the
+    /// seeded candidate count (the spine span's `rows_in`) with the
+    /// result.
     fn eval_spine(
         &self,
         pattern: &Pattern,
+        span: SpanId,
         budget: &EvalBudget,
-    ) -> Result<IdMappingSet, EvalError> {
+    ) -> Result<(Option<u64>, IdMappingSet), EvalError> {
         let (triples, others) = spine_parts(pattern);
         let w = self.width();
-        let mut compiled: Vec<IdTriple> = triples.iter().map(|&t| self.compile_triple(t)).collect();
-        if compiled.iter().any(IdTriple::unsatisfiable) {
+        let mut compiled: Vec<(IdTriple, TriplePattern)> = triples
+            .iter()
+            .map(|&t| (self.compile_triple(t), t))
+            .collect();
+        if compiled.iter().any(|(c, _)| c.unsatisfiable()) {
             // Some constant was never interned: that conjunct — and
             // with it the whole AND — matches nothing.
-            return Ok(IdMappingSet::new(w));
+            return Ok((Some(0), IdMappingSet::new(w)));
         }
         let mut sub: Vec<IdMappingSet> = others
             .iter()
-            .map(|p| self.eval(p, budget))
+            .map(|p| self.eval(p, span, budget))
             .collect::<Result<_, _>>()?;
         let mut current = if sub.is_empty() {
             let mut seed = IdMappingSet::new(w);
@@ -255,6 +354,7 @@ impl Columnar<'_> {
             }
             acc
         };
+        let seeded = Some(current.len() as u64);
         // The ordering heuristic's bound set: columns bound in the
         // first seed row (mirrors the term engine's choice, which uses
         // the first mapping's domain).
@@ -273,26 +373,58 @@ impl Columnar<'_> {
         let homogeneous = current
             .rows()
             .all(|r| owql_algebra::id_mapping::IdMapping::new(r).domain_mask() == bound_mask);
+        if homogeneous && !compiled.is_empty() {
+            self.rec.record_columnar_dedup_skip();
+        }
         while !compiled.is_empty() {
             budget.check()?;
             if current.is_empty() {
-                return Ok(IdMappingSet::new(w));
+                return Ok((seeded, IdMappingSet::new(w)));
             }
             let next = self.pick_next(&compiled, bound_mask);
-            let t = compiled.swap_remove(next);
+            let (t, tp) = compiled.swap_remove(next);
+            let rec = self.rec;
+            let id = rec.begin();
+            let timer = rec.timer();
+            let rows_in = current.len() as u64;
             current = self.extend(&current, t, !homogeneous, budget)?;
+            if rec.is_enabled() {
+                rec.record_span_est(
+                    id,
+                    span,
+                    OpKind::Scan,
+                    &format!("{tp} via {} (columnar)", crate::plan::access_path(tp)),
+                    Some(rows_in),
+                    current.len() as u64,
+                    Some(self.scan_estimate(t)),
+                    &timer,
+                );
+            }
             bound_mask |= t.var_mask();
         }
-        Ok(current)
+        Ok((seeded, current))
+    }
+
+    /// The planner-side output estimate for one scan step: the
+    /// constant-only run cardinality upper bound — the same `IdRuns`
+    /// statistic [`Columnar::pick_next`] orders the join by, reported
+    /// per span so EXPLAIN ANALYZE shows estimated vs observed rows.
+    fn scan_estimate(&self, t: IdTriple) -> u64 {
+        let key_of = |p: IdPos| match p {
+            IdPos::Const(id) => Some(id),
+            _ => None,
+        };
+        self.view
+            .cardinality_upper(key_of(t.pos[0]), key_of(t.pos[1]), key_of(t.pos[2])) as u64
     }
 
     /// Greedy choice: fewest variable columns not yet bound, breaking
     /// ties by the constant-only scan cardinality (a pair of binary
     /// searches per run — no rows are touched).
-    fn pick_next(&self, triples: &[IdTriple], bound_mask: u64) -> usize {
+    fn pick_next(&self, triples: &[(IdTriple, TriplePattern)], bound_mask: u64) -> usize {
         let mut best = 0usize;
         let mut best_key = (usize::MAX, usize::MAX);
-        for (i, t) in triples.iter().enumerate() {
+        for (i, (t, _)) in triples.iter().enumerate() {
             let unbound = (t.var_mask() & !bound_mask).count_ones() as usize;
             let key_of = |p: IdPos| match p {
                 IdPos::Const(id) => Some(id),
@@ -336,7 +468,7 @@ impl Columnar<'_> {
             IdMappingSet::from_raw(w, data)
         } else {
             let ranges = chunk_ranges(n, chunks);
-            let parts = self.pool.map(&ranges, |&(lo, hi)| {
+            let parts = self.pool.map_profiled(&ranges, self.rec, |&(lo, hi)| {
                 let mut data = Vec::new();
                 self.extend_range(current, lo, hi, t, budget, &mut data)
                     .map(|()| data)
@@ -377,6 +509,12 @@ impl Columnar<'_> {
         let mut memo_adds_order = owql_rdf::RunOrder::Spo;
         let mut hint_base = 0usize;
         let mut hint_adds = 0usize;
+        // Hint accounting: a key equal to the previous row's reuses the
+        // memoized slice outright (hit); a fresh key pays the hinted
+        // gallop (miss). Local counters — one predictable add per row —
+        // flushed into the recorder's atomics once per range.
+        let mut hint_hits = 0u64;
+        let mut hint_misses = 0u64;
         for i in lo..hi {
             if (i - lo) % BUDGET_CHECK_STRIDE == BUDGET_CHECK_STRIDE - 1 {
                 budget.check()?;
@@ -395,10 +533,13 @@ impl Columnar<'_> {
             let (s, p, o) = (resolve(t.pos[0]), resolve(t.pos[1]), resolve(t.pos[2]));
             if last_key != Some((s, p, o)) {
                 last_key = Some((s, p, o));
+                hint_misses += 1;
                 (memo_base, memo_base_order) = self.view.base.scan_from(s, p, o, &mut hint_base);
                 if let Some(adds) = self.view.adds {
                     (memo_adds, memo_adds_order) = adds.scan_from(s, p, o, &mut hint_adds);
                 }
+            } else {
+                hint_hits += 1;
             }
             let mut emit = |matched: [TermId; 3]| {
                 if check_dels && self.dels.contains(&matched) {
@@ -427,6 +568,7 @@ impl Columnar<'_> {
                 emit(memo_adds_order.to_spo(r));
             }
         }
+        self.rec.record_columnar_hints(hint_hits, hint_misses);
         Ok(())
     }
 }

@@ -28,7 +28,9 @@
 //!
 //! The `engine_ablation` benchmark quantifies each of these choices.
 
-use crate::run::{EvalBudget, EvalError, ExecMode, ExecOpts, RunOutcome, BUDGET_CHECK_STRIDE};
+use crate::run::{
+    ColumnarPath, EvalBudget, EvalError, ExecMode, ExecOpts, RunOutcome, BUDGET_CHECK_STRIDE,
+};
 use owql_algebra::mapping::Mapping;
 use owql_algebra::mapping_set::MappingSet;
 use owql_algebra::normal_form::union_spine;
@@ -285,17 +287,25 @@ impl<I: TripleLookup + Sync> Engine<I> {
             Recorder::disabled()
         };
         let parallel = opts.mode == ExecMode::Parallel && pool.threads() > 1;
-        // The columnar path covers untraced runs whenever the backend
-        // serves an id view; traced runs keep the span-recording
-        // term-at-a-time engine.
-        if opts.columnar_enabled() && !opts.trace {
-            if let Some(mappings) = crate::columnar::try_run(self, pattern, parallel, pool, &budget)
+        // The columnar path covers traced and untraced runs alike: the
+        // id-batch evaluator records its own per-operator spans (with
+        // `estimated_rows` seeded from run cardinality) into `rec`, so
+        // tracing no longer forces the term-at-a-time engine.
+        let mut columnar_path = ColumnarPath::Disabled;
+        if opts.columnar_enabled() {
+            if let Some(mappings) =
+                crate::columnar::try_run(self, pattern, parallel, pool, &rec, &budget)
             {
                 return Ok(RunOutcome {
                     mappings: mappings?,
-                    profile: None,
+                    profile: opts.trace.then(|| rec.profile()),
+                    columnar_path: ColumnarPath::Used,
                 });
             }
+            // Columnar was requested but the backend/query shape cannot
+            // serve it: fall back loudly, never silently.
+            rec.record_columnar_fallback();
+            columnar_path = ColumnarPath::Fallback;
         }
         let mappings = match (parallel, opts.trace) {
             (false, false) => self.try_evaluate(pattern, &budget)?,
@@ -306,6 +316,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
         Ok(RunOutcome {
             mappings,
             profile: opts.trace.then(|| rec.profile()),
+            columnar_path,
         })
     }
 
@@ -434,19 +445,6 @@ impl<I: TripleLookup + Sync> Engine<I> {
 /// tracing is off; differential tests (`tests/integration_obs.rs`)
 /// hold both paths to exact answer agreement at widths 1 and 8.
 impl<I: TripleLookup> Engine<I> {
-    /// Runs the query and returns the plan annotated with the observed
-    /// per-node output cardinalities and wall times — EXPLAIN ANALYZE.
-    /// (See [`crate::plan::AnnotatedPlan`] for the rendered shape;
-    /// [`Engine::explain`] stays the purely static EXPLAIN.)
-    pub fn explain_analyze(&self, pattern: &Pattern) -> crate::plan::AnnotatedPlan {
-        let rec = Recorder::new();
-        let answers = self
-            .try_eval_traced(pattern, &rec, SpanId::ROOT, &EvalBudget::unlimited())
-            .expect(NO_BUDGET)
-            .len();
-        crate::plan::annotate(&rec.spans(), answers)
-    }
-
     fn try_eval_traced(
         &self,
         pattern: &Pattern,
@@ -579,6 +577,23 @@ impl<I: TripleLookup> Engine<I> {
 /// NS pruning counters, and per-worker pool stats (via
 /// [`Pool::map_profiled`]) recorded into a shared [`Recorder`].
 impl<I: TripleLookup + Sync> Engine<I> {
+    /// Runs the query and returns the plan annotated with the observed
+    /// per-node output cardinalities, wall times, and (on columnar
+    /// scan steps) the planner-side `estimated_rows` — EXPLAIN
+    /// ANALYZE. Routed through [`Engine::run`] with sequential traced
+    /// options, so it profiles whichever engine actually serves
+    /// queries: the columnar id-batch evaluator when the backend has
+    /// an id view, the term-at-a-time engine otherwise. (See
+    /// [`crate::plan::AnnotatedPlan`] for the rendered shape;
+    /// [`Engine::explain`] stays the purely static EXPLAIN.)
+    pub fn explain_analyze(&self, pattern: &Pattern) -> crate::plan::AnnotatedPlan {
+        let outcome = self
+            .run(pattern, &ExecOpts::seq().traced(), &Pool::sequential())
+            .expect(NO_BUDGET);
+        let profile = outcome.profile.expect("traced run has a profile");
+        crate::plan::annotate(&profile.spans, outcome.mappings.len())
+    }
+
     /// [`Engine::explain_analyze`] over the parallel engine: the
     /// annotated plan additionally reflects the parallel operators
     /// (partitioned spines, fanned-out unions).
@@ -794,7 +809,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
 /// Maps an algebra node to its obs taxonomy kind (flattened
 /// `AND`-spines — including bare triple patterns — account as `AND`;
 /// individual nested-loop steps are recorded separately as `SCAN`).
-fn op_kind(p: &Pattern) -> OpKind {
+pub(crate) fn op_kind(p: &Pattern) -> OpKind {
     match p {
         Pattern::Triple(_) | Pattern::And(..) => OpKind::And,
         Pattern::Union(..) => OpKind::Union,
@@ -806,7 +821,7 @@ fn op_kind(p: &Pattern) -> OpKind {
     }
 }
 
-fn spine_label(scans: usize, subpatterns: usize) -> String {
+pub(crate) fn spine_label(scans: usize, subpatterns: usize) -> String {
     if subpatterns == 0 {
         format!("index join: {scans} scans")
     } else {
@@ -814,7 +829,7 @@ fn spine_label(scans: usize, subpatterns: usize) -> String {
     }
 }
 
-fn project_label(vars: &BTreeSet<Variable>) -> String {
+pub(crate) fn project_label(vars: &BTreeSet<Variable>) -> String {
     let names: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
     format!("project {{{}}}", names.join(", "))
 }

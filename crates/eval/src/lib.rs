@@ -40,4 +40,6 @@ pub use construct::construct;
 pub use engine::Engine;
 pub use plan::{AnnotatedNode, AnnotatedPlan, Plan};
 pub use reference::evaluate;
-pub use run::{check_admission, EvalBudget, EvalError, ExecMode, ExecOpts, RunOutcome};
+pub use run::{
+    check_admission, ColumnarPath, EvalBudget, EvalError, ExecMode, ExecOpts, RunOutcome,
+};

@@ -81,10 +81,19 @@ pub struct ExecOpts {
     /// Columnar dictionary-encoded evaluation: `Some(b)` forces it on
     /// or off; `None` defers to the `OWQL_COLUMNAR` environment
     /// variable (`0`/`false`/`off` disables; anything else — including
-    /// unset — enables). Either way the engine silently falls back to
-    /// the term-at-a-time path when the backend serves no id view, the
-    /// query is traced, or its variable frame does not fit.
+    /// unset — enables). Traced runs stay columnar — the id-batch
+    /// evaluator records its own spans. The engine falls back to the
+    /// term-at-a-time path only when the backend serves no id view, the
+    /// pattern binds no variables, or its variable frame does not fit
+    /// the 64-column domain mask; every such fallback is reported in
+    /// [`RunOutcome::columnar_path`] (and, for traced runs, the
+    /// profile's `columnar.fallbacks` counter) rather than happening
+    /// silently.
     pub columnar: Option<bool>,
+    /// Slow-query threshold: store-level entry points log any query
+    /// whose end-to-end latency reaches this bound into the metrics
+    /// hub's ring-buffer slow-query log. `None` disables capture.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ExecOpts {
@@ -105,6 +114,7 @@ impl ExecOpts {
             deadline: None,
             max_class: None,
             columnar: None,
+            slow_query: None,
         }
     }
 
@@ -150,6 +160,13 @@ impl ExecOpts {
     /// this run, overriding the `OWQL_COLUMNAR` environment default.
     pub fn with_columnar(mut self, enabled: bool) -> ExecOpts {
         self.columnar = Some(enabled);
+        self
+    }
+
+    /// Sets the slow-query capture threshold (see
+    /// [`ExecOpts::slow_query`]).
+    pub fn with_slow_query(mut self, threshold: Duration) -> ExecOpts {
+        self.slow_query = Some(threshold);
         self
     }
 
@@ -245,6 +262,23 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
+/// Which engine actually answered a run — the columnar id-batch
+/// evaluator, a forced fallback to the term-at-a-time engine, or the
+/// term engine because columnar was never requested. Lets store-level
+/// metrics count fallbacks even for untraced runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ColumnarPath {
+    /// Columnar evaluation was not requested for this run.
+    #[default]
+    Disabled,
+    /// The columnar engine served the answer.
+    Used,
+    /// Columnar was requested but the backend or query shape could not
+    /// serve it (no id view, no variables, or frame wider than the
+    /// 64-column domain mask) — the term-at-a-time engine answered.
+    Fallback,
+}
+
 /// What [`Engine::run`](crate::Engine::run) produced.
 #[derive(Clone, Debug)]
 pub struct RunOutcome {
@@ -252,6 +286,8 @@ pub struct RunOutcome {
     pub mappings: owql_algebra::MappingSet,
     /// The recorded profile — `Some` iff [`ExecOpts::trace`] was set.
     pub profile: Option<owql_obs::Profile>,
+    /// Which engine answered (see [`ColumnarPath`]).
+    pub columnar_path: ColumnarPath,
 }
 
 /// How many candidate mappings a nested-loop join processes between
@@ -380,10 +416,13 @@ mod tests {
             .traced()
             .uncached()
             .optimized()
-            .with_deadline(Duration::from_millis(5));
+            .with_deadline(Duration::from_millis(5))
+            .with_slow_query(Duration::from_millis(100));
         assert_eq!(opts.mode, ExecMode::Parallel);
         assert!(opts.trace && opts.optimize && !opts.cache);
         assert_eq!(opts.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(opts.slow_query, Some(Duration::from_millis(100)));
+        assert_eq!(ExecOpts::seq().slow_query, None);
         assert_eq!(ExecOpts::seq(), ExecOpts::default());
         assert_eq!(opts.max_class, None);
         let capped = opts.with_max_class(owql_lint::ComplexityClass::Dp);

@@ -30,15 +30,37 @@
 //!   by a small hand-rolled writer ([`json`]) in the same style as the
 //!   `BENCH_*.json` artifacts.
 //!
+//! Beyond per-query tracing, the crate is the stack's metrics layer:
+//!
+//! * [`Histogram`] — fixed-boundary log2 latency histograms with
+//!   lock-free atomic buckets, shared by the server, the store's
+//!   query/WAL/checkpoint paths, and the bench drivers so every
+//!   percentile in the repo buckets identically.
+//! * [`MetricsHub`] — the per-store accumulator: query latency,
+//!   per-operator wall time, WAL fsync and checkpoint histograms,
+//!   columnar run/fallback counters, and a ring-buffer [`SlowQuery`]
+//!   log.
+//! * [`prometheus`] — text-format (0.0.4) exposition writers backing
+//!   the server's `GET /metrics`.
+//!
 //! Producers: `Engine::run` with traced `ExecOpts` (and
-//! `Engine::explain_analyze`) in `owql-eval`, `Pool::map_profiled` in
-//! `owql-exec`, and a traced `Store::query_request` in `owql-store`
-//! (which stitches all three into one report). Demo: `cargo run
-//! --release --example profile_query`.
+//! `Engine::explain_analyze`) in `owql-eval` — including the columnar
+//! id-batch engine, which records spans with `estimated_rows` seeded
+//! from `IdRuns` cardinality — `Pool::map_profiled` in `owql-exec`,
+//! and a traced `Store::query_request` in `owql-store` (which stitches
+//! all three into one report). Demo: `cargo run --release --example
+//! profile_query`.
 
+pub mod histogram;
 pub mod json;
+pub mod metrics;
 pub mod profile;
+pub mod prometheus;
 pub mod recorder;
 
-pub use profile::{NsObs, OperatorTotals, PersistObs, PoolObs, Profile, StoreObs, WorkerStat};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use metrics::{MetricsHub, SlowQuery};
+pub use profile::{
+    ColumnarObs, NsObs, OperatorTotals, PersistObs, PoolObs, Profile, StoreObs, WorkerStat,
+};
 pub use recorder::{OpKind, Recorder, Span, SpanId, SpanTimer};

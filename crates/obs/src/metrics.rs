@@ -1,0 +1,386 @@
+//! The process-level metrics hub: latency histograms and the
+//! slow-query log.
+//!
+//! Where [`crate::Recorder`] is scoped to one traced query, a
+//! [`MetricsHub`] accumulates across *every* query a store serves:
+//! end-to-end latency, per-operator wall time (folded from traced
+//! spans), WAL fsync latency, checkpoint duration — all as lock-free
+//! [`Histogram`]s — plus counters for columnar engine usage and a
+//! bounded ring buffer of the slowest queries. `owql-store` owns one
+//! hub per store and records into it on the query and commit paths;
+//! `owql-server` renders it on `GET /metrics` in Prometheus text
+//! format ([`crate::prometheus`]) or JSON (`?format=json`).
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::profile::OperatorTotals;
+use crate::recorder::{OpKind, Span};
+use crate::{json, prometheus};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Capacity of the slow-query ring buffer: old entries are evicted
+/// FIFO once this many are held.
+pub const SLOW_QUERY_CAPACITY: usize = 64;
+
+/// One captured slow query.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// Surface rendering of the pattern.
+    pub query: String,
+    /// Store epoch the query ran at.
+    pub epoch: u64,
+    /// Observed end-to-end latency.
+    pub elapsed_ns: u64,
+    /// Answer count.
+    pub answers: u64,
+    /// Whether the answer came from the query cache.
+    pub cache_hit: bool,
+    /// Static plan snapshot (EXPLAIN rendering) at capture time.
+    pub plan: String,
+    /// Per-operator totals from the traced profile, when the query was
+    /// traced (empty otherwise).
+    pub operators: Vec<OperatorTotals>,
+}
+
+impl SlowQuery {
+    fn to_json(&self, indent: &str) -> String {
+        let mut out = format!(
+            "{{\n{indent}  \"query\": {},\n{indent}  \"epoch\": {},\n\
+             {indent}  \"ms\": {},\n{indent}  \"answers\": {},\n\
+             {indent}  \"cache_hit\": {},\n{indent}  \"plan\": {},\n\
+             {indent}  \"operators\": [",
+            json::string(&self.query),
+            self.epoch,
+            json::ns_as_ms(self.elapsed_ns),
+            self.answers,
+            self.cache_hit,
+            json::string(&self.plan),
+        );
+        for (i, op) in self.operators.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"op\": {}, \"count\": {}, \"rows_out\": {}, \"ms\": {}}}",
+                json::string(op.kind.as_str()),
+                op.count,
+                op.rows_out,
+                json::ns_as_ms(op.elapsed_ns)
+            );
+        }
+        let _ = write!(out, "]\n{indent}}}");
+        out
+    }
+}
+
+/// The cross-query metrics accumulator. See module docs.
+#[derive(Debug, Default)]
+pub struct MetricsHub {
+    /// End-to-end latency of every query served (cache hits included).
+    pub query_latency: Histogram,
+    /// Wall time per operator kind, folded from traced spans; indexed
+    /// by [`OpKind::index`].
+    pub operator_latency: [Histogram; OpKind::ALL.len()],
+    /// WAL append+fsync latency per commit (durable stores only).
+    pub wal_fsync: Histogram,
+    /// Checkpoint (segment write + WAL truncate) duration.
+    pub checkpoint: Histogram,
+    /// Queries served.
+    pub queries_total: AtomicU64,
+    /// Queries answered by the columnar id-batch engine.
+    pub columnar_runs: AtomicU64,
+    /// Queries that requested the columnar engine but were forced back
+    /// to the term-at-a-time path (no id view, empty variable frame, or
+    /// a frame wider than the 64-column domain mask).
+    pub columnar_fallbacks: AtomicU64,
+    /// Queries that crossed the slow-query threshold.
+    pub slow_queries_total: AtomicU64,
+    slow: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl MetricsHub {
+    /// An empty hub.
+    pub fn new() -> MetricsHub {
+        MetricsHub::default()
+    }
+
+    /// Folds one traced query's spans into the per-operator histograms.
+    pub fn observe_spans(&self, spans: &[Span]) {
+        for span in spans {
+            self.operator_latency[span.kind.index()].record_ns(span.elapsed_ns);
+        }
+    }
+
+    /// Pushes one slow query into the ring buffer (evicting the oldest
+    /// past [`SLOW_QUERY_CAPACITY`]) and bumps the counter.
+    pub fn record_slow_query(&self, entry: SlowQuery) {
+        self.slow_queries_total.fetch_add(1, Ordering::Relaxed);
+        let mut slow = self.slow.lock().expect("slow-query log poisoned");
+        if slow.len() >= SLOW_QUERY_CAPACITY {
+            slow.pop_front();
+        }
+        slow.push_back(entry);
+    }
+
+    /// The captured slow queries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow
+            .lock()
+            .expect("slow-query log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Renders every hub-owned family in Prometheus text format.
+    /// Callers append their own families (store gauges, server
+    /// counters) around this with the [`prometheus`] helpers.
+    pub fn render_prometheus(&self, out: &mut String) {
+        prometheus::counter(
+            out,
+            "owql_queries_total",
+            "Queries served (cache hits included).",
+            self.queries_total.load(Ordering::Relaxed),
+        );
+        prometheus::histogram(
+            out,
+            "owql_query_latency_seconds",
+            "End-to-end query latency.",
+            &self.query_latency.snapshot(),
+        );
+        prometheus::header(
+            out,
+            "owql_operator_latency_seconds",
+            "histogram",
+            "Per-operator wall time from traced queries.",
+        );
+        for kind in OpKind::ALL {
+            let snap = self.operator_latency[kind.index()].snapshot();
+            if snap.count == 0 {
+                continue;
+            }
+            let label = format!("op=\"{}\"", kind.as_str());
+            prometheus::histogram_samples(out, "owql_operator_latency_seconds", &label, &snap);
+        }
+        prometheus::counter(
+            out,
+            "owql_columnar_runs_total",
+            "Queries answered by the columnar id-batch engine.",
+            self.columnar_runs.load(Ordering::Relaxed),
+        );
+        prometheus::counter(
+            out,
+            "owql_columnar_fallbacks_total",
+            "Columnar-enabled queries forced back to the term-at-a-time engine.",
+            self.columnar_fallbacks.load(Ordering::Relaxed),
+        );
+        prometheus::histogram(
+            out,
+            "owql_wal_fsync_seconds",
+            "WAL append and fsync latency per commit.",
+            &self.wal_fsync.snapshot(),
+        );
+        prometheus::histogram(
+            out,
+            "owql_checkpoint_seconds",
+            "Checkpoint (segment write and WAL truncation) duration.",
+            &self.checkpoint.snapshot(),
+        );
+        prometheus::counter(
+            out,
+            "owql_slow_queries_total",
+            "Queries that crossed the slow-query threshold.",
+            self.slow_queries_total.load(Ordering::Relaxed),
+        );
+    }
+
+    /// Renders the hub as a JSON object (for `GET /metrics?format=json`
+    /// and tests): latency quantiles, counters, bucket lists, and the
+    /// slow-query log.
+    pub fn to_json(&self, indent: &str) -> String {
+        let q = self.query_latency.snapshot();
+        let mut out = format!(
+            "{{\n{indent}  \"queries_total\": {},\n\
+             {indent}  \"columnar_runs\": {},\n\
+             {indent}  \"columnar_fallbacks\": {},\n\
+             {indent}  \"slow_queries_total\": {},\n\
+             {indent}  \"query_latency\": {},\n\
+             {indent}  \"wal_fsync\": {},\n\
+             {indent}  \"checkpoint\": {},\n\
+             {indent}  \"slow_queries\": [",
+            self.queries_total.load(Ordering::Relaxed),
+            self.columnar_runs.load(Ordering::Relaxed),
+            self.columnar_fallbacks.load(Ordering::Relaxed),
+            self.slow_queries_total.load(Ordering::Relaxed),
+            latency_json(&q, &format!("{indent}  ")),
+            latency_json(&self.wal_fsync.snapshot(), &format!("{indent}  ")),
+            latency_json(&self.checkpoint.snapshot(), &format!("{indent}  ")),
+        );
+        let slow = self.slow_queries();
+        for (i, entry) in slow.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{indent}    {}",
+                entry.to_json(&format!("{indent}    "))
+            );
+        }
+        if slow.is_empty() {
+            let _ = write!(out, "]\n{indent}}}");
+        } else {
+            let _ = write!(out, "\n{indent}  ]\n{indent}}}");
+        }
+        out
+    }
+}
+
+/// One latency histogram as JSON: count, mean, p50/p95/p99, buckets.
+fn latency_json(snap: &HistogramSnapshot, indent: &str) -> String {
+    format!(
+        "{{\"count\": {}, \"mean_ms\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \
+         \"p99_ms\": {}, \"histogram_buckets\": {}}}",
+        snap.count,
+        json::number(snap.mean_ms()),
+        json::number(snap.quantile_ms(0.50)),
+        json::number(snap.quantile_ms(0.95)),
+        json::number(snap.quantile_ms(0.99)),
+        snap.buckets_to_json(indent),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, SpanId};
+
+    fn hub_with_traffic() -> MetricsHub {
+        let hub = MetricsHub::new();
+        for _ in 0..5 {
+            hub.queries_total.fetch_add(1, Ordering::Relaxed);
+            hub.query_latency.record_ns(2_000_000);
+        }
+        hub.columnar_runs.fetch_add(4, Ordering::Relaxed);
+        hub.columnar_fallbacks.fetch_add(1, Ordering::Relaxed);
+        hub.wal_fsync.record_ns(500_000);
+        hub.checkpoint.record_ns(9_000_000);
+        let rec = Recorder::new();
+        let id = rec.begin();
+        let t = rec.timer();
+        rec.record_span(id, SpanId::ROOT, OpKind::Ns, "ns", Some(10), 3, &t);
+        hub.observe_spans(&rec.spans());
+        hub.record_slow_query(SlowQuery {
+            query: "(?x, p, ?y)".to_owned(),
+            epoch: 7,
+            elapsed_ns: 250_000_000,
+            answers: 3,
+            cache_hit: false,
+            plan: "SCAN (?x, p, ?y) via POS".to_owned(),
+            operators: vec![OperatorTotals {
+                kind: OpKind::Scan,
+                count: 1,
+                rows_out: 3,
+                elapsed_ns: 240_000_000,
+            }],
+        });
+        hub
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_every_family() {
+        let mut out = String::new();
+        hub_with_traffic().render_prometheus(&mut out);
+        for family in [
+            "owql_queries_total",
+            "owql_query_latency_seconds",
+            "owql_operator_latency_seconds",
+            "owql_columnar_runs_total",
+            "owql_columnar_fallbacks_total",
+            "owql_wal_fsync_seconds",
+            "owql_checkpoint_seconds",
+            "owql_slow_queries_total",
+        ] {
+            assert!(
+                out.contains(&format!("# TYPE {family}")),
+                "missing {family}:\n{out}"
+            );
+            assert!(
+                out.contains(&format!("# HELP {family}")),
+                "missing help {family}"
+            );
+        }
+        assert!(out.contains("owql_queries_total 5"));
+        assert!(out.contains("owql_query_latency_seconds_count 5"));
+        assert!(out.contains("op=\"NS\""));
+        assert!(out.contains("owql_columnar_fallbacks_total 1"));
+    }
+
+    #[test]
+    fn slow_query_ring_buffer_evicts_oldest() {
+        let hub = MetricsHub::new();
+        for i in 0..(SLOW_QUERY_CAPACITY + 3) {
+            hub.record_slow_query(SlowQuery {
+                query: format!("q{i}"),
+                epoch: i as u64,
+                elapsed_ns: 1,
+                answers: 0,
+                cache_hit: false,
+                plan: String::new(),
+                operators: Vec::new(),
+            });
+        }
+        let slow = hub.slow_queries();
+        assert_eq!(slow.len(), SLOW_QUERY_CAPACITY);
+        assert_eq!(slow[0].query, "q3");
+        assert_eq!(
+            hub.slow_queries_total.load(Ordering::Relaxed),
+            (SLOW_QUERY_CAPACITY + 3) as u64
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_structurally_balanced() {
+        let text = hub_with_traffic().to_json("  ");
+        for key in [
+            "\"queries_total\"",
+            "\"columnar_fallbacks\"",
+            "\"query_latency\"",
+            "\"histogram_buckets\"",
+            "\"p99_ms\"",
+            "\"slow_queries\"",
+            "\"plan\"",
+            "\"cache_hit\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
+        let (mut braces, mut brackets) = (0i64, 0i64);
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in text.chars() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' => braces += 1,
+                '}' => braces -= 1,
+                '[' => brackets += 1,
+                ']' => brackets -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(braces, 0);
+        assert_eq!(brackets, 0);
+    }
+}

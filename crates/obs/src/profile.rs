@@ -44,6 +44,40 @@ impl NsObs {
     }
 }
 
+/// Columnar id-batch engine counters for one traced run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ColumnarObs {
+    /// Columnar-enabled runs forced back to the term-at-a-time engine
+    /// (no id view, empty variable frame, or frame wider than the
+    /// 64-column domain mask).
+    pub fallbacks: u64,
+    /// Galloping-scan probes answered by the memoized previous key.
+    pub hint_hits: u64,
+    /// Galloping-scan probes that needed a fresh hinted binary search.
+    pub hint_misses: u64,
+    /// Id-rows decoded back to terms at the result boundary.
+    pub decoded_rows: u64,
+    /// Decodes that kept the `Repr::Distinct` fast path (provably
+    /// duplicate-free rows skip the hash-set build).
+    pub distinct_results: u64,
+    /// Spines that proved a homogeneous variable domain and skipped
+    /// per-extension sort-dedup.
+    pub dedup_skips: u64,
+}
+
+impl ColumnarObs {
+    /// Fraction of scan probes served by the memoized key (0 when the
+    /// spine never scanned).
+    pub fn hint_hit_rate(&self) -> f64 {
+        let total = self.hint_hits + self.hint_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hint_hits as f64 / total as f64
+        }
+    }
+}
+
 /// One worker's contribution to one parallel map.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WorkerStat {
@@ -138,6 +172,8 @@ pub struct Profile {
     pub operators: Vec<OperatorTotals>,
     /// NS pruning counters.
     pub ns: NsObs,
+    /// Columnar id-batch engine counters.
+    pub columnar: ColumnarObs,
     /// Pool-level counters and per-worker stats.
     pub pool: PoolObs,
     /// Every recorded span, in completion order.
@@ -190,6 +226,20 @@ impl Profile {
             json::number(self.ns.pruned_fraction())
         );
 
+        let _ = writeln!(
+            out,
+            "  \"columnar\": {{\"fallbacks\": {}, \"hint_hits\": {}, \"hint_misses\": {}, \
+             \"hint_hit_rate\": {}, \"decoded_rows\": {}, \"distinct_results\": {}, \
+             \"dedup_skips\": {}}},",
+            self.columnar.fallbacks,
+            self.columnar.hint_hits,
+            self.columnar.hint_misses,
+            json::number(self.columnar.hint_hit_rate()),
+            self.columnar.decoded_rows,
+            self.columnar.distinct_results,
+            self.columnar.dedup_skips
+        );
+
         let _ = write!(
             out,
             "  \"pool\": {{\"inline_maps\": {}, \"parallel_maps\": {}, \"chunks\": {}, \
@@ -220,16 +270,21 @@ impl Profile {
                 Some(n) => n.to_string(),
                 None => "null".to_owned(),
             };
+            let estimated = match s.estimated_rows {
+                Some(n) => n.to_string(),
+                None => "null".to_owned(),
+            };
             let _ = write!(
                 out,
                 "\n    {{\"id\": {}, \"parent\": {}, \"op\": {}, \"label\": {}, \
-                 \"rows_in\": {}, \"rows_out\": {}, \"ms\": {}}}",
+                 \"rows_in\": {}, \"rows_out\": {}, \"estimated_rows\": {}, \"ms\": {}}}",
                 s.id.0,
                 s.parent.0,
                 json::string(s.kind.as_str()),
                 json::string(&s.label),
                 rows_in,
                 s.rows_out,
+                estimated,
                 json::ns_as_ms(s.elapsed_ns)
             );
         }
@@ -298,9 +353,21 @@ mod tests {
         let root = rec.begin();
         let child = rec.begin();
         let t = rec.timer();
-        rec.record_span(child, root, OpKind::Scan, "scan \"?x\"", Some(5), 3, &t);
+        rec.record_span_est(
+            child,
+            root,
+            OpKind::Scan,
+            "scan \"?x\"",
+            Some(5),
+            3,
+            Some(8),
+            &t,
+        );
         rec.record_span(root, SpanId::ROOT, OpKind::And, "spine", None, 3, &t);
         rec.record_ns(10, 4);
+        rec.record_columnar_hints(9, 3);
+        rec.record_columnar_decode(3, true);
+        rec.record_columnar_dedup_skip();
         rec.record_map_parallel();
         rec.record_worker(0, 1000, 2, 1);
         let mut profile = rec.profile();
@@ -343,6 +410,9 @@ mod tests {
             "\"operators\"",
             "\"ns\"",
             "\"pruned_fraction\"",
+            "\"columnar\"",
+            "\"hint_hit_rate\"",
+            "\"estimated_rows\"",
             "\"pool\"",
             "\"workers\"",
             "\"spans\"",

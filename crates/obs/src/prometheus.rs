@@ -1,0 +1,141 @@
+//! Prometheus text-format (version 0.0.4) exposition helpers.
+//!
+//! Small append-style writers for the three metric families the stack
+//! exposes — counters, gauges, and histograms — producing the classic
+//! `# HELP` / `# TYPE` / sample-line layout that `promtool check
+//! metrics` and any Prometheus scraper accept. Histograms render the
+//! cumulative-`le` view of a [`HistogramSnapshot`], with bounds
+//! converted from nanoseconds to seconds (the Prometheus base unit for
+//! time).
+//!
+//! The writers are plain functions over `&mut String` rather than a
+//! registry: callers (the server's `GET /metrics`, tests) compose the
+//! exposition from whatever counters they hold, in the same
+//! hand-rolled spirit as [`crate::json`].
+
+use crate::histogram::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// Appends the `# HELP` / `# TYPE` header for one metric family.
+/// `kind` is the Prometheus metric type: `counter`, `gauge`, or
+/// `histogram`. Public so callers can emit one header over several
+/// labeled [`histogram_samples`] blocks.
+pub fn header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Appends one counter family with a single sample.
+pub fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    header(out, name, "counter", help);
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends one gauge family with a single sample.
+pub fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    header(out, name, "gauge", help);
+    let _ = writeln!(out, "{name} {}", fmt_float(value));
+}
+
+/// Appends one histogram family: cumulative `_bucket{le=...}` samples
+/// (seconds), then `_sum` (seconds) and `_count`.
+pub fn histogram(out: &mut String, name: &str, help: &str, snap: &HistogramSnapshot) {
+    header(out, name, "histogram", help);
+    histogram_samples(out, name, "", snap);
+}
+
+/// Appends the sample lines of one histogram series (no header), with
+/// an optional extra label like `op="AND"` merged before `le`. Used to
+/// emit several labeled series under a single family header.
+pub fn histogram_samples(out: &mut String, name: &str, label: &str, snap: &HistogramSnapshot) {
+    let sep = if label.is_empty() { "" } else { "," };
+    let brace = if label.is_empty() {
+        String::new()
+    } else {
+        format!("{{{label}}}")
+    };
+    for (bound, cum) in snap.cumulative() {
+        let le = match bound {
+            Some(ns) => fmt_float(ns as f64 / 1e9),
+            None => "+Inf".to_owned(),
+        };
+        let _ = writeln!(out, "{name}_bucket{{{label}{sep}le=\"{le}\"}} {cum}");
+    }
+    let _ = writeln!(
+        out,
+        "{name}_sum{brace} {}",
+        fmt_float(snap.sum_ns as f64 / 1e9)
+    );
+    let _ = writeln!(out, "{name}_count{brace} {}", snap.count);
+}
+
+/// A float in Prometheus sample syntax: shortest-roundtrip decimal
+/// (Rust's default `Display`), with non-finite values spelled the way
+/// the exposition format expects.
+fn fmt_float(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_owned()
+    } else if x == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if x == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    #[test]
+    fn counter_and_gauge_render_headers_and_samples() {
+        let mut out = String::new();
+        counter(&mut out, "owql_queries_total", "Queries served.", 7);
+        gauge(&mut out, "owql_store_epoch", "Current epoch.", 3.0);
+        assert!(out.contains("# HELP owql_queries_total Queries served."));
+        assert!(out.contains("# TYPE owql_queries_total counter"));
+        assert!(out.contains("owql_queries_total 7\n"));
+        assert!(out.contains("# TYPE owql_store_epoch gauge"));
+        assert!(out.contains("owql_store_epoch 3\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_le_sum_count() {
+        let h = Histogram::new();
+        h.record_ns(1_000); // first bucket (≤ 1024 ns)
+        h.record_ns(2_000_000); // ~2 ms
+        let mut out = String::new();
+        histogram(
+            &mut out,
+            "owql_query_latency_seconds",
+            "E2E latency.",
+            &h.snapshot(),
+        );
+        assert!(out.contains("# TYPE owql_query_latency_seconds histogram"));
+        assert!(out.contains("owql_query_latency_seconds_bucket{le=\"0.000001024\"} 1"));
+        assert!(out.contains("owql_query_latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(out.contains("owql_query_latency_seconds_count 2"));
+        assert!(out.contains("owql_query_latency_seconds_sum 0.002001"));
+        // Cumulative counts never decrease down the bucket list.
+        let mut prev = 0u64;
+        for line in out.lines().filter(|l| l.contains("_bucket{")) {
+            let v: u64 = line
+                .rsplit(' ')
+                .next()
+                .expect("sample")
+                .parse()
+                .expect("int");
+            assert!(v >= prev, "non-monotone bucket line: {line}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn floats_render_in_exposition_syntax() {
+        assert_eq!(fmt_float(0.25), "0.25");
+        assert_eq!(fmt_float(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_float(f64::NAN), "NaN");
+    }
+}

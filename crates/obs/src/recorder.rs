@@ -56,6 +56,21 @@ impl OpKind {
         OpKind::Ns,
     ];
 
+    /// This kind's position in [`OpKind::ALL`] — the index used by
+    /// per-operator histogram arrays in the metrics hub.
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::And => 0,
+            OpKind::Scan => 1,
+            OpKind::Union => 2,
+            OpKind::Opt => 3,
+            OpKind::Minus => 4,
+            OpKind::Filter => 5,
+            OpKind::Select => 6,
+            OpKind::Ns => 7,
+        }
+    }
+
     /// The canonical (surface-syntax) name.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -103,6 +118,11 @@ pub struct Span {
     pub rows_in: Option<u64>,
     /// Observed output cardinality.
     pub rows_out: u64,
+    /// Planner-side output estimate, where the operator has one (scan
+    /// steps seed it from `IdRuns` cardinality; structural nodes
+    /// don't). Feed for the future cost-based planner: estimated vs
+    /// observed rows per operator, from the engine that actually runs.
+    pub estimated_rows: Option<u64>,
     /// Observed wall time.
     pub elapsed_ns: u64,
 }
@@ -135,6 +155,12 @@ pub struct Recorder {
     chunks: AtomicU64,
     steals: AtomicU64,
     workers: Mutex<Vec<WorkerStat>>,
+    columnar_fallbacks: AtomicU64,
+    hint_hits: AtomicU64,
+    hint_misses: AtomicU64,
+    decoded_rows: AtomicU64,
+    distinct_results: AtomicU64,
+    dedup_skips: AtomicU64,
 }
 
 impl Default for Recorder {
@@ -157,6 +183,12 @@ impl Recorder {
             chunks: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             workers: Mutex::new(Vec::new()),
+            columnar_fallbacks: AtomicU64::new(0),
+            hint_hits: AtomicU64::new(0),
+            hint_misses: AtomicU64::new(0),
+            decoded_rows: AtomicU64::new(0),
+            distinct_results: AtomicU64::new(0),
+            dedup_skips: AtomicU64::new(0),
         }
     }
 
@@ -190,7 +222,8 @@ impl Recorder {
         SpanTimer(self.enabled.then(Instant::now))
     }
 
-    /// Records one finished operator span.
+    /// Records one finished operator span (no planner estimate; see
+    /// [`Recorder::record_span_est`]).
     #[allow(clippy::too_many_arguments)]
     pub fn record_span(
         &self,
@@ -200,6 +233,23 @@ impl Recorder {
         label: &str,
         rows_in: Option<u64>,
         rows_out: u64,
+        timer: &SpanTimer,
+    ) {
+        self.record_span_est(id, parent, kind, label, rows_in, rows_out, None, timer);
+    }
+
+    /// Records one finished operator span carrying a planner-side
+    /// output estimate alongside the observed cardinality.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span_est(
+        &self,
+        id: SpanId,
+        parent: SpanId,
+        kind: OpKind,
+        label: &str,
+        rows_in: Option<u64>,
+        rows_out: u64,
+        estimated_rows: Option<u64>,
         timer: &SpanTimer,
     ) {
         if !self.enabled {
@@ -218,6 +268,7 @@ impl Recorder {
             label: label.to_owned(),
             rows_in,
             rows_out,
+            estimated_rows,
             elapsed_ns,
         });
     }
@@ -263,6 +314,48 @@ impl Recorder {
                 chunks,
                 steals,
             });
+    }
+
+    /// Counts one columnar-enabled run forced back to the
+    /// term-at-a-time engine (no id view, empty variable frame, or a
+    /// frame wider than the 64-column domain mask).
+    pub fn record_columnar_fallback(&self) {
+        if self.enabled {
+            self.columnar_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulates galloping-scan hint reuse counters from one spine
+    /// extension: `hits` = scans answered by the memoized previous key,
+    /// `misses` = fresh `scan_from` probes.
+    pub fn record_columnar_hints(&self, hits: u64, misses: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.hint_hits.fetch_add(hits, Ordering::Relaxed);
+        self.hint_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Records the dictionary decode at the columnar result boundary:
+    /// `rows` id-rows decoded to terms, `distinct` whether the decoded
+    /// set kept the `Repr::Distinct` fast path (skipping the hash-set
+    /// build).
+    pub fn record_columnar_decode(&self, rows: u64, distinct: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.decoded_rows.fetch_add(rows, Ordering::Relaxed);
+        if distinct {
+            self.distinct_results.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one spine that proved a homogeneous variable domain and
+    /// skipped per-extension sort-dedup entirely.
+    pub fn record_columnar_dedup_skip(&self) {
+        if self.enabled {
+            self.dedup_skips.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// A copy of the finished spans, in completion order.
@@ -318,6 +411,14 @@ impl Recorder {
                 chunks: self.chunks.load(Ordering::Relaxed),
                 steals: self.steals.load(Ordering::Relaxed),
                 workers,
+            },
+            columnar: crate::profile::ColumnarObs {
+                fallbacks: self.columnar_fallbacks.load(Ordering::Relaxed),
+                hint_hits: self.hint_hits.load(Ordering::Relaxed),
+                hint_misses: self.hint_misses.load(Ordering::Relaxed),
+                decoded_rows: self.decoded_rows.load(Ordering::Relaxed),
+                distinct_results: self.distinct_results.load(Ordering::Relaxed),
+                dedup_skips: self.dedup_skips.load(Ordering::Relaxed),
             },
             spans,
             dropped_spans: self.dropped_spans.load(Ordering::Relaxed),

@@ -1,5 +1,7 @@
 //! Server-side counters, exported by `GET /metrics`.
 
+use owql_obs::prometheus;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Lock-free request accounting shared by the accept loop and workers.
@@ -56,6 +58,58 @@ impl ServerMetrics {
             self.in_flight.load(Ordering::Relaxed),
             self.queue_depth.load(Ordering::Relaxed),
         )
+    }
+
+    /// Renders the counters in Prometheus text format (the server
+    /// section of `GET /metrics`).
+    pub fn render_prometheus(&self, out: &mut String) {
+        prometheus::counter(
+            out,
+            "owql_server_accepted_total",
+            "Connections accepted (admitted or shed).",
+            self.accepted_total.load(Ordering::Relaxed),
+        );
+        prometheus::header(
+            out,
+            "owql_server_responses_total",
+            "counter",
+            "Responses by status class.",
+        );
+        for (class, counter) in [
+            ("2xx", &self.responses_2xx),
+            ("4xx", &self.responses_4xx),
+            ("5xx", &self.responses_5xx),
+        ] {
+            let _ = writeln!(
+                out,
+                "owql_server_responses_total{{class=\"{class}\"}} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+        prometheus::counter(
+            out,
+            "owql_server_shed_total",
+            "Requests shed with 429 (full queue or admission ceiling).",
+            self.shed_total.load(Ordering::Relaxed),
+        );
+        prometheus::counter(
+            out,
+            "owql_server_timeouts_total",
+            "Requests that exceeded their deadline (504).",
+            self.timeouts_total.load(Ordering::Relaxed),
+        );
+        prometheus::gauge(
+            out,
+            "owql_server_in_flight",
+            "Requests currently being evaluated by workers.",
+            self.in_flight.load(Ordering::Relaxed) as f64,
+        );
+        prometheus::gauge(
+            out,
+            "owql_server_queue_depth",
+            "Connections waiting in the admission queue.",
+            self.queue_depth.load(Ordering::Relaxed) as f64,
+        );
     }
 }
 

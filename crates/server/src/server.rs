@@ -69,6 +69,11 @@ pub struct ServerConfig {
     /// evaluation. Requests can tighten it with `max_class=` but never
     /// raise it. `None` admits every class.
     pub admission_ceiling: Option<owql_lint::ComplexityClass>,
+    /// Queries slower than this land in the store's slow-query ring
+    /// buffer (exported under `GET /metrics?format=json`). Requests can
+    /// override it with `slow_ms=` (`slow_ms=0` captures every query —
+    /// the smoke-test injection mechanism). `None` disables capture.
+    pub slow_query_threshold: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +87,7 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             io_timeout: Duration::from_secs(5),
             admission_ceiling: None,
+            slow_query_threshold: Some(Duration::from_millis(250)),
         }
     }
 }
@@ -283,6 +289,7 @@ fn parse_opts(req: &Request, config: &ServerConfig) -> Result<ExecOpts, HttpErro
     let mut opts = ExecOpts::seq();
     opts.deadline = config.default_deadline;
     opts.max_class = config.admission_ceiling;
+    opts.slow_query = config.slow_query_threshold;
     for (key, value) in req.query_params() {
         match key {
             "mode" => {
@@ -299,6 +306,13 @@ fn parse_opts(req: &Request, config: &ServerConfig) -> Result<ExecOpts, HttpErro
             "trace" => opts.trace = parse_flag(key, value)?,
             "cache" => opts.cache = parse_flag(key, value)?,
             "optimize" => opts.optimize = parse_flag(key, value)?,
+            "columnar" => opts.columnar = Some(parse_flag(key, value)?),
+            "slow_ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| HttpError::bad_request(format!("invalid slow_ms '{value}'")))?;
+                opts.slow_query = Some(Duration::from_millis(ms));
+            }
             "deadline_ms" => {
                 let ms: u64 = value.parse().map_err(|_| {
                     HttpError::bad_request(format!("invalid deadline_ms '{value}'"))
@@ -357,6 +371,103 @@ fn mappings_json(mappings: &owql_algebra::MappingSet) -> String {
     out
 }
 
+/// `true` iff the request asked for the JSON rendering of `/metrics`
+/// (`?format=json`); the default is Prometheus text exposition.
+fn metrics_wants_json(req: &Request) -> bool {
+    req.query_params()
+        .any(|(key, value)| key == "format" && value == "json")
+}
+
+/// `GET /metrics?format=json`: server counters, store gauges, persist
+/// counters, and the hub (latency histograms + slow-query log).
+fn metrics_json(store: &Store, metrics: &ServerMetrics) -> String {
+    let obs = store.observe();
+    let persist = match store.observe_persist() {
+        Some(p) => format!(
+            concat!(
+                "{{\"wal_bytes\": {}, \"wal_records\": {}, ",
+                "\"segment_generation\": {}, \"last_checkpoint_epoch\": {}, ",
+                "\"checkpoints\": {}, \"recovery_replayed_records\": {}}}"
+            ),
+            p.wal_bytes,
+            p.wal_records,
+            p.segment_generation,
+            p.last_checkpoint_epoch,
+            p.checkpoints,
+            p.recovery_replayed_records,
+        ),
+        None => "null".to_owned(),
+    };
+    format!(
+        concat!(
+            "{{\"server\": {},\n",
+            " \"store\": {{\"epoch\": {}, \"triples\": {}, ",
+            "\"cache_hits\": {}, \"cache_misses\": {}, ",
+            "\"cache_hit_rate\": {}}},\n",
+            " \"persist\": {},\n",
+            " \"hub\": {}}}\n"
+        ),
+        metrics.to_json(),
+        obs.epoch,
+        obs.triples,
+        obs.cache_hits,
+        obs.cache_misses,
+        json::number(obs.cache_hit_rate),
+        persist,
+        store.metrics_hub().to_json(" "),
+    )
+}
+
+/// `GET /metrics` (default): Prometheus text exposition — the hub's
+/// histograms and counters, the server's request counters, and the
+/// store's state gauges.
+fn metrics_prometheus(store: &Store, metrics: &ServerMetrics) -> String {
+    use owql_obs::prometheus;
+    let mut out = String::new();
+    store.metrics_hub().render_prometheus(&mut out);
+    metrics.render_prometheus(&mut out);
+    let obs = store.observe();
+    prometheus::gauge(
+        &mut out,
+        "owql_store_epoch",
+        "Current store epoch.",
+        obs.epoch as f64,
+    );
+    prometheus::gauge(
+        &mut out,
+        "owql_store_triples",
+        "Triples visible to a fresh snapshot.",
+        obs.triples as f64,
+    );
+    prometheus::counter(
+        &mut out,
+        "owql_store_cache_hits_total",
+        "Query-cache hits.",
+        obs.cache_hits,
+    );
+    prometheus::counter(
+        &mut out,
+        "owql_store_cache_misses_total",
+        "Query-cache misses.",
+        obs.cache_misses,
+    );
+    if let Some(p) = store.observe_persist() {
+        prometheus::gauge(
+            &mut out,
+            "owql_wal_records",
+            "Commit records currently in the write-ahead log.",
+            p.wal_records as f64,
+        );
+        prometheus::counter(
+            &mut out,
+            "owql_checkpoints_total",
+            "Checkpoints taken since this store opened.",
+            p.checkpoints,
+        );
+    }
+    out
+}
+
 /// Reads, routes, answers, and closes one connection.
 fn handle_connection(
     stream: &mut TcpStream,
@@ -382,7 +493,15 @@ fn handle_connection(
     };
     let (status, body) = route(&req, store, pool, config, metrics);
     metrics.record_status(status);
-    let _ = write_response(stream, status, "application/json", &[], &body);
+    // Everything speaks JSON except the default (Prometheus text)
+    // rendering of /metrics.
+    let content_type = if req.method == "GET" && req.path == "/metrics" && !metrics_wants_json(&req)
+    {
+        "text/plain; version=0.0.4"
+    } else {
+        "application/json"
+    };
+    let _ = write_response(stream, status, content_type, &[], &body);
 }
 
 /// Dispatches one parsed request to its endpoint, returning
@@ -400,42 +519,11 @@ fn route(
             format!("{{\"status\": \"ok\", \"epoch\": {}}}\n", store.epoch()),
         ),
         ("GET", "/metrics") => {
-            let obs = store.observe();
-            let persist = match store.observe_persist() {
-                Some(p) => format!(
-                    concat!(
-                        "{{\"wal_bytes\": {}, \"wal_records\": {}, ",
-                        "\"segment_generation\": {}, \"last_checkpoint_epoch\": {}, ",
-                        "\"checkpoints\": {}, \"recovery_replayed_records\": {}}}"
-                    ),
-                    p.wal_bytes,
-                    p.wal_records,
-                    p.segment_generation,
-                    p.last_checkpoint_epoch,
-                    p.checkpoints,
-                    p.recovery_replayed_records,
-                ),
-                None => "null".to_owned(),
-            };
-            (
-                200,
-                format!(
-                    concat!(
-                        "{{\"server\": {},\n",
-                        " \"store\": {{\"epoch\": {}, \"triples\": {}, ",
-                        "\"cache_hits\": {}, \"cache_misses\": {}, ",
-                        "\"cache_hit_rate\": {}}},\n",
-                        " \"persist\": {}}}\n"
-                    ),
-                    metrics.to_json(),
-                    obs.epoch,
-                    obs.triples,
-                    obs.cache_hits,
-                    obs.cache_misses,
-                    json::number(obs.cache_hit_rate),
-                    persist,
-                ),
-            )
+            if metrics_wants_json(req) {
+                (200, metrics_json(store, metrics))
+            } else {
+                (200, metrics_prometheus(store, metrics))
+            }
         }
         ("POST", "/query") => answer_query(req, store, pool, config, metrics),
         ("POST", "/explain") => answer_explain(req, store, config),
@@ -607,16 +695,27 @@ mod tests {
         assert!(!opts.cache);
         assert_eq!(opts.deadline, Some(Duration::from_millis(250)));
 
-        // Defaults: sequential, cached, config deadline.
+        // Defaults: sequential, cached, config deadline and slow-query
+        // threshold.
         let opts = parse_opts(&get_req("/query"), &config).expect("valid");
         assert_eq!(opts.mode, ExecMode::Seq);
         assert!(opts.cache);
         assert_eq!(opts.deadline, config.default_deadline);
+        assert_eq!(opts.slow_query, config.slow_query_threshold);
+        assert_eq!(opts.columnar, None);
+
+        // Per-request overrides for the columnar engine and the
+        // slow-query threshold.
+        let opts = parse_opts(&get_req("/query?columnar=0&slow_ms=5"), &config).expect("valid");
+        assert_eq!(opts.columnar, Some(false));
+        assert_eq!(opts.slow_query, Some(Duration::from_millis(5)));
 
         assert!(parse_opts(&get_req("/query?mode=warp"), &config).is_err());
         assert!(parse_opts(&get_req("/query?trace=yes"), &config).is_err());
         assert!(parse_opts(&get_req("/query?bogus=1"), &config).is_err());
         assert!(parse_opts(&get_req("/query?deadline_ms=abc"), &config).is_err());
+        assert!(parse_opts(&get_req("/query?slow_ms=fast"), &config).is_err());
+        assert!(parse_opts(&get_req("/query?columnar=maybe"), &config).is_err());
     }
 
     #[test]
@@ -684,9 +783,17 @@ mod tests {
 
         // In-memory store: persist is explicitly null.
         let store = Store::new();
-        let (status, body) = route(&get_req("/metrics"), &store, &pool, &config, &metrics);
+        let (status, body) = route(
+            &get_req("/metrics?format=json"),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+        );
         assert_eq!(status, 200);
         assert!(body.contains("\"persist\": null"), "{body}");
+        assert!(body.contains("\"hub\""), "{body}");
+        assert!(body.contains("\"slow_queries\""), "{body}");
 
         // Durable store: the counters appear.
         let dir = std::env::temp_dir().join(format!("owql-server-metrics-{}", std::process::id()));
@@ -700,7 +807,13 @@ mod tests {
         )
         .expect("open durable store");
         durable.insert(owql_rdf::Triple::new("a", "p", "b"));
-        let (status, body) = route(&get_req("/metrics"), &durable, &pool, &config, &metrics);
+        let (status, body) = route(
+            &get_req("/metrics?format=json"),
+            &durable,
+            &pool,
+            &config,
+            &metrics,
+        );
         assert_eq!(status, 200);
         for key in [
             "\"wal_bytes\"",
@@ -709,9 +822,118 @@ mod tests {
             "\"last_checkpoint_epoch\"",
             "\"checkpoints\"",
             "\"recovery_replayed_records\"",
+            "\"wal_fsync\"",
+            "\"histogram_buckets\"",
         ] {
             assert!(body.contains(key), "missing {key} in {body}");
         }
+    }
+
+    /// The golden Prometheus-format test: after `N` queries the default
+    /// `/metrics` rendering carries every `# TYPE`/`# HELP` pair, a
+    /// monotonically non-decreasing cumulative `le` series ending in
+    /// `+Inf`, and `owql_query_latency_seconds_count == N`.
+    #[test]
+    fn metrics_route_renders_prometheus_text_by_default() {
+        let pool = Pool::sequential();
+        let config = ServerConfig::default();
+        let metrics = ServerMetrics::default();
+        let store = Store::new();
+        store.insert(owql_rdf::Triple::new("a", "p", "b"));
+        store.insert(owql_rdf::Triple::new("b", "p", "c"));
+
+        const N: usize = 7;
+        let mut query = get_req("/query?cache=0&trace=1");
+        query.method = "POST".into();
+        query.body = b"((?x, p, ?y) AND (?y, p, ?z))".to_vec();
+        for _ in 0..N {
+            let (status, _) = route(&query, &store, &pool, &config, &metrics);
+            assert_eq!(status, 200);
+        }
+
+        let (status, body) = route(&get_req("/metrics"), &store, &pool, &config, &metrics);
+        assert_eq!(status, 200);
+        assert!(
+            !body.trim_start().starts_with('{'),
+            "default rendering must be Prometheus text, not JSON: {body}"
+        );
+        for family in [
+            ("owql_queries_total", "counter"),
+            ("owql_query_latency_seconds", "histogram"),
+            ("owql_operator_latency_seconds", "histogram"),
+            ("owql_columnar_runs_total", "counter"),
+            ("owql_columnar_fallbacks_total", "counter"),
+            ("owql_wal_fsync_seconds", "histogram"),
+            ("owql_checkpoint_seconds", "histogram"),
+            ("owql_slow_queries_total", "counter"),
+            ("owql_server_accepted_total", "counter"),
+            ("owql_server_responses_total", "counter"),
+            ("owql_store_epoch", "gauge"),
+            ("owql_store_triples", "gauge"),
+        ] {
+            let (name, kind) = family;
+            assert!(
+                body.contains(&format!("# TYPE {name} {kind}")),
+                "missing # TYPE {name} {kind} in:\n{body}"
+            );
+            assert!(
+                body.contains(&format!("# HELP {name} ")),
+                "missing # HELP {name} in:\n{body}"
+            );
+        }
+        assert!(
+            body.contains(&format!("owql_query_latency_seconds_count {N}")),
+            "count must equal the {N} queries served:\n{body}"
+        );
+        assert!(body.contains("owql_store_triples 2"), "{body}");
+
+        // Cumulative bucket counts are monotone and end at +Inf == count.
+        let buckets: Vec<u64> = body
+            .lines()
+            .filter(|l| l.starts_with("owql_query_latency_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(!buckets.is_empty());
+        assert!(
+            buckets.windows(2).all(|w| w[0] <= w[1]),
+            "le series must be cumulative: {buckets:?}"
+        );
+        assert_eq!(*buckets.last().unwrap(), N as u64, "+Inf bucket == count");
+        let inf_lines: Vec<&str> = body
+            .lines()
+            .filter(|l| l.starts_with("owql_query_latency_seconds_bucket") && l.contains("+Inf"))
+            .collect();
+        assert_eq!(inf_lines.len(), 1, "exactly one +Inf bucket");
+    }
+
+    /// `slow_ms=0` forces every query into the slow-query log, which the
+    /// JSON metrics rendering then exposes.
+    #[test]
+    fn slow_ms_zero_injects_into_the_slow_query_log() {
+        let pool = Pool::sequential();
+        let config = ServerConfig::default();
+        let metrics = ServerMetrics::default();
+        let store = Store::new();
+        store.insert(owql_rdf::Triple::new("a", "p", "b"));
+
+        let mut query = get_req("/query?cache=0&slow_ms=0");
+        query.method = "POST".into();
+        query.body = b"(?x, p, ?y)".to_vec();
+        let (status, _) = route(&query, &store, &pool, &config, &metrics);
+        assert_eq!(status, 200);
+
+        let (status, body) = route(
+            &get_req("/metrics?format=json"),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+        );
+        assert_eq!(status, 200);
+        assert!(body.contains("\"slow_queries_total\": 1"), "{body}");
+        assert!(body.contains("(?x, p, ?y)"), "{body}");
+        let (_, prom) = route(&get_req("/metrics"), &store, &pool, &config, &metrics);
+        assert!(prom.contains("owql_slow_queries_total 1"), "{prom}");
     }
 
     #[test]

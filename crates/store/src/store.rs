@@ -29,9 +29,9 @@
 use crate::cache::{cache_key, CacheStats, QueryCache};
 use owql_algebra::mapping_set::MappingSet;
 use owql_algebra::pattern::Pattern;
-use owql_eval::{Engine, EvalError, ExecOpts};
+use owql_eval::{ColumnarPath, Engine, EvalError, ExecOpts};
 use owql_exec::Pool;
-use owql_obs::{PersistObs, Profile, StoreObs};
+use owql_obs::{MetricsHub, PersistObs, Profile, SlowQuery, StoreObs};
 use owql_persist::{CommitRecord, PersistConfig, RecoveryReport, Wal, WalOp};
 use owql_rdf::{Graph, GraphIndex, SnapshotIndex, TermDict, Triple, TripleLookup};
 use std::collections::{HashMap, HashSet};
@@ -41,6 +41,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Expect-message for unwrapping requests made without a deadline.
 const NO_BUDGET: &str = "unlimited budget cannot time out";
@@ -84,6 +85,11 @@ pub struct QueryOutcome {
     pub epoch: u64,
     /// `true` iff the answer came from the epoch-keyed query cache.
     pub cache_hit: bool,
+    /// Which engine served the request: `Used` when the columnar
+    /// id-batch path answered, `Fallback` when it was requested but the
+    /// term-at-a-time engine had to take over, `Disabled` otherwise
+    /// (including cache hits, which run no engine at all).
+    pub columnar_path: ColumnarPath,
 }
 
 /// Tuning knobs for a [`Store`].
@@ -257,6 +263,9 @@ struct PersistState {
     last_checkpoint_epoch: AtomicU64,
     checkpoints: AtomicU64,
     recovery: RecoveryReport,
+    /// The owning store's metrics hub, shared so checkpoints running on
+    /// the background indexer thread land in the same histograms.
+    hub: Arc<MetricsHub>,
     /// Serializes checkpoints (manual, inline, and background).
     checkpoint_lock: Mutex<()>,
     signal: Mutex<IndexerSignal>,
@@ -296,6 +305,7 @@ fn run_checkpoint(
         .checkpoint_lock
         .lock()
         .expect("checkpoint lock poisoned");
+    let started = Instant::now();
     // Snapshot under a read lock, then write the segment without
     // holding any store lock — commits keep landing meanwhile (their
     // epochs stay in the WAL until the *next* checkpoint).
@@ -335,6 +345,7 @@ fn run_checkpoint(
         persist.wal_bytes.store(wal.bytes(), Ordering::SeqCst);
         dropped
     };
+    persist.hub.checkpoint.record(started.elapsed());
     Ok(Some(CheckpointSummary {
         generation,
         epoch,
@@ -476,6 +487,7 @@ impl Snapshot {
             profile,
             epoch: self.epoch,
             cache_hit: false,
+            columnar_path: out.columnar_path,
         })
     }
 
@@ -536,6 +548,9 @@ pub struct Store {
     inner: Arc<RwLock<StoreInner>>,
     cache: QueryCache,
     opts: StoreOptions,
+    /// Cross-query metrics: latency histograms, columnar engine
+    /// counters, and the slow-query log (see [`Store::metrics_hub`]).
+    hub: Arc<MetricsHub>,
     /// Durable side — `Some` iff opened with [`Store::open`].
     persist: Option<Arc<PersistState>>,
     /// The background indexer thread, joined on drop.
@@ -584,6 +599,7 @@ impl Store {
             })),
             cache: QueryCache::new(opts.cache_capacity),
             opts,
+            hub: Arc::new(MetricsHub::new()),
             persist: None,
             indexer: Mutex::new(None),
         }
@@ -647,6 +663,7 @@ impl Store {
         let report = recovered.report;
         let wal_records = recovered.wal.records();
         let wal_bytes = recovered.wal.bytes();
+        let hub = Arc::new(MetricsHub::new());
         let persist = Arc::new(PersistState {
             dir,
             config: config.clone(),
@@ -657,6 +674,7 @@ impl Store {
             last_checkpoint_epoch: AtomicU64::new(report.segment_epoch),
             checkpoints: AtomicU64::new(0),
             recovery: report,
+            hub: hub.clone(),
             checkpoint_lock: Mutex::new(()),
             signal: Mutex::new(IndexerSignal::default()),
             wake: Condvar::new(),
@@ -666,6 +684,7 @@ impl Store {
             inner: Arc::new(RwLock::new(inner)),
             cache: QueryCache::new(opts.cache_capacity),
             opts,
+            hub,
             persist: Some(persist.clone()),
             indexer: Mutex::new(None),
         };
@@ -809,7 +828,9 @@ impl Store {
                     .collect(),
             };
             let mut wal = p.wal.lock().expect("wal lock poisoned");
+            let fsync_started = Instant::now();
             wal.append(&record, p.config.fsync)?;
+            self.hub.wal_fsync.record(fsync_started.elapsed());
             p.wal_records.store(wal.records(), Ordering::SeqCst);
             p.wal_bytes.store(wal.bytes(), Ordering::SeqCst);
         }
@@ -941,6 +962,55 @@ impl Store {
         req: &QueryRequest,
         pool: &Pool,
     ) -> Result<QueryOutcome, EvalError> {
+        let started = Instant::now();
+        let outcome = self.query_request_inner(req, pool)?;
+        let elapsed = started.elapsed();
+        self.hub.queries_total.fetch_add(1, Ordering::Relaxed);
+        self.hub.query_latency.record(elapsed);
+        match outcome.columnar_path {
+            ColumnarPath::Used => {
+                self.hub.columnar_runs.fetch_add(1, Ordering::Relaxed);
+            }
+            ColumnarPath::Fallback => {
+                self.hub.columnar_fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+            ColumnarPath::Disabled => {}
+        }
+        if let Some(profile) = &outcome.profile {
+            self.hub.observe_spans(&profile.spans);
+        }
+        if let Some(threshold) = req.opts.slow_query {
+            if elapsed >= threshold {
+                // The static plan is re-derived here rather than carried
+                // through the outcome: only queries that cross the
+                // threshold pay for the rendering.
+                let plan = self.snapshot().engine().explain(&req.pattern).to_string();
+                self.hub.record_slow_query(SlowQuery {
+                    query: req.pattern.to_string(),
+                    epoch: outcome.epoch,
+                    elapsed_ns: elapsed.as_nanos() as u64,
+                    answers: outcome.mappings.len() as u64,
+                    cache_hit: outcome.cache_hit,
+                    plan,
+                    operators: outcome
+                        .profile
+                        .as_ref()
+                        .map(|p| p.operators.clone())
+                        .unwrap_or_default(),
+                });
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// The uninstrumented body of [`Store::query_request`] (admission,
+    /// cache, snapshot evaluation) — the wrapper above times it and
+    /// folds the outcome into the [`MetricsHub`].
+    fn query_request_inner(
+        &self,
+        req: &QueryRequest,
+        pool: &Pool,
+    ) -> Result<QueryOutcome, EvalError> {
         owql_eval::check_admission(&req.pattern, &req.opts)?;
         let snapshot = self.snapshot();
         if req.opts.cache {
@@ -958,6 +1028,7 @@ impl Store {
                     profile,
                     epoch: snapshot.epoch(),
                     cache_hit: true,
+                    columnar_path: ColumnarPath::Disabled,
                 });
             }
             let mut outcome = snapshot.query_request(req, pool)?;
@@ -999,6 +1070,15 @@ impl Store {
     /// Query-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The store's cross-query metrics hub: latency histograms
+    /// (query / per-operator / WAL fsync / checkpoint), columnar
+    /// run-vs-fallback counters, and the slow-query ring buffer. Shared
+    /// (`Arc`) with the background indexer; the HTTP server renders it
+    /// on `GET /metrics`.
+    pub fn metrics_hub(&self) -> Arc<MetricsHub> {
+        self.hub.clone()
     }
 
     /// Aggregate state for monitoring.
@@ -1430,6 +1510,96 @@ mod tests {
         assert!(store.query_request(&ok, &pool).expect(NO_BUDGET).cache_hit);
     }
 
+    /// Every served query lands in the hub: the total counter, the
+    /// latency histogram, and — for columnar-capable requests — the
+    /// run/fallback counters.
+    #[test]
+    fn metrics_hub_counts_queries_and_columnar_runs() {
+        let store = Store::from_graph(&graph_from(&[("a", "p", "b"), ("b", "p", "c")]));
+        let hub = store.metrics_hub();
+        let p = Pattern::t("?x", "p", "?y");
+        store.query(&p); // miss → evaluated (columnar, default-on)
+        store.query(&p); // cache hit → still counted, no engine ran
+        assert_eq!(hub.queries_total.load(Ordering::Relaxed), 2);
+        assert_eq!(hub.query_latency.snapshot().count, 2);
+        let runs = hub.columnar_runs.load(Ordering::Relaxed);
+        let fallbacks = hub.columnar_fallbacks.load(Ordering::Relaxed);
+        assert_eq!(runs + fallbacks, 1, "one engine run, one cache hit");
+
+        // A request with columnar forced off records neither counter.
+        let req = QueryRequest::with_opts(
+            Pattern::t("?x", "p", "c"),
+            ExecOpts::seq().uncached().with_columnar(false),
+        );
+        store
+            .query_request(&req, &Pool::sequential())
+            .expect(NO_BUDGET);
+        assert_eq!(hub.columnar_runs.load(Ordering::Relaxed), runs);
+        assert_eq!(hub.columnar_fallbacks.load(Ordering::Relaxed), fallbacks);
+        assert_eq!(hub.queries_total.load(Ordering::Relaxed), 3);
+    }
+
+    /// A traced query folds its spans into the per-operator histograms.
+    #[test]
+    fn traced_queries_feed_operator_histograms() {
+        let store = Store::from_graph(&graph_from(&[("a", "p", "b"), ("b", "p", "c")]));
+        let hub = store.metrics_hub();
+        let p = Pattern::t("?x", "p", "?y").and(Pattern::t("?y", "p", "?z"));
+        let req = QueryRequest::with_opts(p, ExecOpts::seq().uncached().traced());
+        store
+            .query_request(&req, &Pool::sequential())
+            .expect(NO_BUDGET);
+        let folded: u64 = (0..owql_obs::OpKind::ALL.len())
+            .map(|i| hub.operator_latency[i].snapshot().count)
+            .sum();
+        assert!(folded > 0, "traced spans must reach the hub");
+    }
+
+    /// `ExecOpts::slow_query` below the observed latency captures the
+    /// query — pattern text, epoch, plan snapshot, operator totals —
+    /// into the ring buffer; a cache hit is captured as such.
+    #[test]
+    fn slow_query_threshold_captures_into_ring_buffer() {
+        let store = Store::from_graph(&graph_from(&[("a", "p", "b"), ("b", "p", "c")]));
+        let hub = store.metrics_hub();
+        let p = Pattern::t("?x", "p", "?y");
+
+        // Threshold zero: everything is "slow".
+        let req = QueryRequest::with_opts(
+            p.clone(),
+            ExecOpts::seq()
+                .traced()
+                .with_slow_query(std::time::Duration::ZERO),
+        );
+        let pool = Pool::sequential();
+        let miss = store.query_request(&req, &pool).expect(NO_BUDGET);
+        assert!(!miss.cache_hit);
+        let hit = store.query_request(&req, &pool).expect(NO_BUDGET);
+        assert!(hit.cache_hit);
+
+        assert_eq!(hub.slow_queries_total.load(Ordering::Relaxed), 2);
+        let slow = hub.slow_queries();
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].query, p.to_string());
+        assert!(!slow[0].cache_hit);
+        assert!(slow[1].cache_hit);
+        assert_eq!(slow[0].answers, 2);
+        assert_eq!(slow[0].epoch, store.epoch());
+        assert!(slow[0].plan.contains("scan"), "plan: {}", slow[0].plan);
+        assert!(
+            !slow[0].operators.is_empty(),
+            "traced capture carries operator totals"
+        );
+
+        // A generous threshold captures nothing further.
+        let fast = QueryRequest::with_opts(
+            p.clone(),
+            ExecOpts::seq().with_slow_query(std::time::Duration::from_secs(3600)),
+        );
+        store.query_request(&fast, &pool).expect(NO_BUDGET);
+        assert_eq!(hub.slow_queries_total.load(Ordering::Relaxed), 2);
+    }
+
     fn tmp_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("owql-store-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -1569,6 +1739,25 @@ mod tests {
         assert!(m.checkpoints >= 2, "threshold 5 over 12 commits: {m:?}");
         assert!(m.wal_records < 5, "WAL stays bounded: {m:?}");
         assert_eq!(store.len(), 12);
+    }
+
+    /// Durable stores time every WAL append and checkpoint into the
+    /// hub's histograms.
+    #[test]
+    fn durable_store_times_wal_fsync_and_checkpoints() {
+        let dir = tmp_dir("hub-timing");
+        let store = Store::open(&dir, StoreOptions::default(), test_persist()).expect("open");
+        let hub = store.metrics_hub();
+        for i in 0..5 {
+            let s = format!("s{i}");
+            store.insert(triple(s.as_str(), "p", "o"));
+        }
+        assert_eq!(hub.wal_fsync.snapshot().count, 5);
+        store.checkpoint().expect("io").expect("checkpoint ran");
+        assert_eq!(hub.checkpoint.snapshot().count, 1);
+        // A no-op checkpoint (nothing committed since) records nothing.
+        assert!(store.checkpoint().expect("io").is_none());
+        assert_eq!(hub.checkpoint.snapshot().count, 1);
     }
 
     #[test]

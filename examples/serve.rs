@@ -7,6 +7,25 @@
 //! curl -s -X POST localhost:PORT/query -d '(?x, knows, ?y)'
 //! ```
 //!
+//! `GET /metrics` speaks Prometheus text exposition (0.0.4), so the
+//! server can be scraped directly. Quickstart with a local Prometheus:
+//!
+//! ```text
+//! # prometheus.yml
+//! scrape_configs:
+//!   - job_name: owql
+//!     scrape_interval: 5s
+//!     static_configs:
+//!       - targets: ["127.0.0.1:7878"]
+//! # validate the config, then sanity-check the exposition format:
+//! promtool check config prometheus.yml
+//! curl -s localhost:7878/metrics | promtool check metrics
+//! ```
+//!
+//! `GET /metrics?format=json` returns the same counters as a JSON
+//! document, including the slow-query ring buffer (queries over the
+//! 250 ms default threshold; override per request with `?slow_ms=`).
+//!
 //! Set `OWQL_SERVE_ADDR` to pick the bind address (default
 //! `127.0.0.1:7878`); set `OWQL_SERVE_ONESHOT=1` to boot, self-query,
 //! and exit (used by CI). Pass `--data-dir <path>` (or set
@@ -69,7 +88,9 @@ fn main() {
     println!();
     println!("Try:");
     println!("  curl -s {addr}/healthz");
-    println!("  curl -s {addr}/metrics");
+    println!("  curl -s {addr}/metrics                 # Prometheus text format");
+    println!("  curl -s '{addr}/metrics?format=json'   # JSON + slow-query log");
+    println!("  curl -s {addr}/metrics | promtool check metrics");
     println!("  curl -s -X POST '{addr}/query' -d '(?x, knows, ?y)'");
     println!("  curl -s -X POST '{addr}/query?mode=parallel&trace=1' -d '((?x, knows, ?y) AND (?y, knows, ?z))'");
     println!("  curl -s -X POST '{addr}/explain' -d '((?x, knows, ?y) AND (?y, age, ?a))'");

@@ -8,7 +8,14 @@ Two checks:
    width *slower* than sequential (speedup < 1.0x, minus measurement
    tolerance) is a regression that must not be merged.
 
-2. Dynamic (with --fresh): the freshly measured sequential baselines
+2. Static (always): the committed tracing overhead — columnar traced
+   vs. columnar untraced at 8 workers — must stay within
+   MAX_TRACE_OVERHEAD on every gated query. Tracing is meant to be a
+   recorder seam over the same execution, not a second engine; a
+   committed artifact where tracing costs more than 15% means the
+   zero-cost-when-off contract broke.
+
+3. Dynamic (with --fresh): the freshly measured sequential baselines
    must not regress more than MAX_REGRESSION versus the committed
    sequential_ms. Several --fresh files may be given (e.g. two quick
    reruns); the per-query minimum is compared, which keeps scheduler
@@ -37,6 +44,13 @@ MIN_SEQUENTIAL_MS = 1.0
 # number fails the dynamic gate.
 MAX_REGRESSION = 1.25
 
+# Committed columnar-traced runs slower than this multiple of the
+# untraced columnar runs fail the static gate. Only applied where the
+# untraced baseline clears MIN_TRACE_BASELINE_MS — below that, timer
+# granularity makes the ratio meaningless.
+MAX_TRACE_OVERHEAD = 1.15
+MIN_TRACE_BASELINE_MS = 1.0
+
 
 def rows(doc):
     """Flattens an artifact into {(query, people): query-record}."""
@@ -62,6 +76,25 @@ def static_gate(artifact):
                     f"  {query}@{people} w{w['workers']}: committed speedup "
                     f"{w['speedup']:.3f}x < {MIN_SPEEDUP}x"
                 )
+    return failures
+
+
+def trace_gated(q):
+    return q.get("columnar_untraced_ms", 0.0) >= MIN_TRACE_BASELINE_MS
+
+
+def trace_gate(artifact):
+    failures = []
+    for (query, people), q in rows(artifact).items():
+        if not trace_gated(q):
+            continue
+        overhead = q["trace_overhead"]
+        if overhead > MAX_TRACE_OVERHEAD:
+            failures.append(
+                f"  {query}@{people}: committed trace overhead {overhead:.3f}x > "
+                f"{MAX_TRACE_OVERHEAD}x (untraced {q['columnar_untraced_ms']:.3f}ms, "
+                f"traced {q['columnar_traced_ms']:.3f}ms)"
+            )
     return failures
 
 
@@ -114,7 +147,7 @@ def main(argv):
         print(f"cannot read artifact: {e}")
         return 2
 
-    failures = static_gate(artifact)
+    failures = static_gate(artifact) + trace_gate(artifact)
     if fresh_docs:
         failures += dynamic_gate(artifact, fresh_docs)
 
@@ -123,8 +156,10 @@ def main(argv):
         print("\n".join(failures))
         return 1
     checked = sum(len(q["workers"]) for q in rows(artifact).values() if gated(q))
+    traced = sum(1 for q in rows(artifact).values() if trace_gated(q))
     print(
-        f"bench gate OK: {checked} committed speedups >= {MIN_SPEEDUP}x"
+        f"bench gate OK: {checked} committed speedups >= {MIN_SPEEDUP}x, "
+        f"{traced} trace overheads <= {MAX_TRACE_OVERHEAD}x"
         + (
             f", sequential baselines within {MAX_REGRESSION}x of committed"
             if fresh_docs

@@ -15,6 +15,7 @@
 #   lint-smoke    analyzer over the clean + golden pattern corpora
 #   bench-smoke   quick bench drivers + perf gate + profile schema
 #   server-smoke  HTTP front-end boot, load_gen, schema, removed-API sweep
+#   obs-smoke     live server scrape: Prometheus + JSON /metrics, slow-query injection
 #   persist-smoke durable example, kill -9 recovery, recovery bench
 #   doc           rustdoc with -D warnings
 set -euo pipefail
@@ -90,10 +91,11 @@ stage_bench_smoke() {
   step "profile-smoke (profiled query + schema check)"
   cargo run --release --example profile_query -- PROFILE_query.json
   for key in '"profile"' '"operators"' '"ns"' '"pruned_fraction"' '"pool"' \
-             '"spans"' '"store"' '"cache_hit_rate"' '"persist"'; do
+             '"spans"' '"store"' '"cache_hit_rate"' '"persist"' \
+             '"columnar"' '"estimated_rows"'; do
     grep -q "$key" PROFILE_query.json || { echo "missing $key in PROFILE_query.json"; exit 1; }
   done
-  for key in '"owql_threads"' '"hardware_threads"'; do
+  for key in '"owql_threads"' '"hardware_threads"' '"trace_overhead"'; do
     grep -q "$key" target/ci-bench/parallel_fresh_1.json \
       || { echo "missing $key in parallel bench output"; exit 1; }
   done
@@ -123,6 +125,25 @@ EOF
     echo "removed evaluate-variant call site found"; exit 1
   fi
   echo "server smoke OK"
+}
+
+stage_obs_smoke() {
+  step "obs-smoke (live /metrics scrape + slow-query injection)"
+  cargo build --release --example serve
+  local addr="127.0.0.1:7911"
+  OWQL_SERVE_ADDR="$addr" target/release/examples/serve > /tmp/owql_obs_serve.log &
+  local serve_pid=$!
+  # shellcheck disable=SC2064 — expand serve_pid now, not at trap time.
+  trap "kill $serve_pid 2>/dev/null || true" RETURN
+  for _ in $(seq 1 100); do
+    grep -q 'listening on' /tmp/owql_obs_serve.log && break
+    sleep 0.1
+  done
+  grep -q 'listening on' /tmp/owql_obs_serve.log || { echo "serve never came up"; exit 1; }
+  python3 scripts/obs_smoke.py "$addr"
+  kill "$serve_pid" 2>/dev/null || true
+  wait "$serve_pid" 2>/dev/null || true
+  echo "obs smoke OK"
 }
 
 stage_persist_smoke() {
@@ -165,13 +186,14 @@ run_stage() {
     lint-smoke)    stage_lint_smoke ;;
     bench-smoke)   stage_bench_smoke ;;
     server-smoke)  stage_server_smoke ;;
+    obs-smoke)     stage_obs_smoke ;;
     persist-smoke) stage_persist_smoke ;;
     doc)           stage_doc ;;
     *) echo "unknown stage: $1 (see scripts/ci.sh header for the list)"; exit 2 ;;
   esac
 }
 
-ALL_STAGES=(check determinism differential lint-smoke bench-smoke server-smoke persist-smoke doc)
+ALL_STAGES=(check determinism differential lint-smoke bench-smoke server-smoke obs-smoke persist-smoke doc)
 FAST_STAGES=(check determinism differential lint-smoke doc)
 
 if [[ $# -eq 0 ]]; then

@@ -163,6 +163,67 @@ fn columnar_matches_reference_on_plain_graphs() {
     }
 }
 
+/// Satellite acceptance: tracing is observation, not behavior — with
+/// `trace: true, columnar: true` the engine stays on the columnar path
+/// (no fallback), answers exactly like the untraced columnar run at
+/// pool widths 1, 2, and 8, and emits a populated span tree whose scan
+/// spans carry `estimated_rows`.
+#[test]
+fn traced_columnar_matches_untraced_and_stays_columnar() {
+    let graph: Graph = universe().into_iter().collect();
+    let engine = Engine::new(&graph);
+    let x_y = Pattern::t("?x", "p", "?y");
+    let workloads = vec![
+        x_y.clone().and(Pattern::t("?y", "q", "?z")),
+        x_y.clone().union(Pattern::t("?x", "q", "?y")),
+        x_y.clone().opt(Pattern::t("?y", "q", "?z")),
+        x_y.clone().minus(Pattern::t("?x", "q", "?y")),
+        x_y.clone()
+            .and(Pattern::t("?y", "q", "?z"))
+            .select(["x", "z"]),
+        x_y.clone().opt(Pattern::t("?y", "q", "?z")).ns(),
+    ];
+    for workers in [1usize, 2, 8] {
+        let pool = Pool::new(workers);
+        for p in &workloads {
+            let base = ExecOpts::parallel().with_columnar(true);
+            let untraced = engine
+                .run(p, &base, &pool)
+                .expect("unlimited budget cannot time out");
+            let traced = engine
+                .run(p, &base.traced(), &pool)
+                .expect("unlimited budget cannot time out");
+            assert_eq!(
+                traced.mappings, untraced.mappings,
+                "tracing changed answers at {workers} workers, pattern {p}"
+            );
+            assert_eq!(
+                untraced.columnar_path,
+                ColumnarPath::Used,
+                "untraced run fell off the columnar path for {p}"
+            );
+            assert_eq!(
+                traced.columnar_path,
+                ColumnarPath::Used,
+                "traced run fell off the columnar path for {p}"
+            );
+            let profile = traced.profile.expect("traced run has a profile");
+            assert_eq!(
+                profile.columnar.fallbacks, 0,
+                "no fallback may be recorded for {p}"
+            );
+            assert!(
+                !profile.spans.is_empty(),
+                "traced columnar run must emit spans for {p}"
+            );
+            assert!(
+                profile.spans.iter().any(|s| s.estimated_rows.is_some()),
+                "scan spans must carry estimated_rows for {p}"
+            );
+        }
+    }
+}
+
 /// Dictionary ids assigned at one commit survive later commits
 /// untouched: the id of every term visible in an early snapshot's
 /// dictionary resolves to the same term after arbitrary further churn.

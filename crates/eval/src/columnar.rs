@@ -59,18 +59,18 @@ enum IdPos {
 
 /// An id-compiled triple pattern.
 #[derive(Clone, Copy, Debug)]
-struct IdTriple {
+pub(crate) struct IdTriple {
     pos: [IdPos; 3],
 }
 
 impl IdTriple {
     /// `true` iff some constant cannot match (the pattern is empty).
-    fn unsatisfiable(&self) -> bool {
+    pub(crate) fn unsatisfiable(&self) -> bool {
         self.pos.iter().any(|p| matches!(p, IdPos::Missing))
     }
 
     /// Bitmask of the frame columns this pattern's variables occupy.
-    fn var_mask(&self) -> u64 {
+    pub(crate) fn var_mask(&self) -> u64 {
         self.pos.iter().fold(0u64, |m, p| match p {
             IdPos::Var(c) => m | (1 << c),
             _ => m,
@@ -80,7 +80,7 @@ impl IdTriple {
 
 /// A [`Condition`] compiled onto frame columns and term ids.
 #[derive(Clone, Debug)]
-enum IdCond {
+pub(crate) enum IdCond {
     Always,
     Never,
     Bound(usize),
@@ -92,7 +92,7 @@ enum IdCond {
 }
 
 impl IdCond {
-    fn satisfied_by(&self, row: &[TermId]) -> bool {
+    pub(crate) fn satisfied_by(&self, row: &[TermId]) -> bool {
         match self {
             IdCond::Always => true,
             IdCond::Never => false,
@@ -109,16 +109,16 @@ impl IdCond {
 }
 
 /// Per-query columnar evaluation context.
-struct Columnar<'a> {
-    view: IdView<'a>,
-    frame: VarFrame,
+pub(crate) struct Columnar<'a> {
+    pub(crate) view: IdView<'a>,
+    pub(crate) frame: VarFrame,
     /// The snapshot's deletion set, id-encoded once up front.
-    dels: FxHashSet<[TermId; 3]>,
-    pool: &'a Pool,
-    parallel: bool,
+    pub(crate) dels: FxHashSet<[TermId; 3]>,
+    pub(crate) pool: &'a Pool,
+    pub(crate) parallel: bool,
     /// The span/event sink — disabled outside traced runs, in which
     /// case every recording call short-circuits on one branch.
-    rec: &'a Recorder,
+    pub(crate) rec: &'a Recorder,
 }
 
 /// Attempts the columnar path for `pattern` over `engine`'s backend.
@@ -158,11 +158,11 @@ pub(crate) fn try_run<I: TripleLookup + Sync>(
 }
 
 impl Columnar<'_> {
-    fn width(&self) -> usize {
+    pub(crate) fn width(&self) -> usize {
         self.frame.width()
     }
 
-    fn compile_triple(&self, t: TriplePattern) -> IdTriple {
+    pub(crate) fn compile_triple(&self, t: TriplePattern) -> IdTriple {
         let compile = |tp: TermPattern| match tp {
             TermPattern::Iri(iri) => match self.view.dict.lookup(iri) {
                 Some(id) => IdPos::Const(id),
@@ -179,7 +179,7 @@ impl Columnar<'_> {
         }
     }
 
-    fn compile_cond(&self, r: &Condition) -> IdCond {
+    pub(crate) fn compile_cond(&self, r: &Condition) -> IdCond {
         match r {
             Condition::True => IdCond::Always,
             Condition::False => IdCond::Never,
@@ -211,7 +211,7 @@ impl Columnar<'_> {
     /// One algebra node: evaluates the operator and records its span
     /// under `parent`. With a disabled recorder the `begin`/`timer`
     /// calls return immediately and the label is never formatted.
-    fn eval(
+    pub(crate) fn eval(
         &self,
         pattern: &Pattern,
         parent: SpanId,
@@ -421,7 +421,11 @@ impl Columnar<'_> {
     /// Greedy choice: fewest variable columns not yet bound, breaking
     /// ties by the constant-only scan cardinality (a pair of binary
     /// searches per run — no rows are touched).
-    fn pick_next(&self, triples: &[(IdTriple, TriplePattern)], bound_mask: u64) -> usize {
+    pub(crate) fn pick_next(
+        &self,
+        triples: &[(IdTriple, TriplePattern)],
+        bound_mask: u64,
+    ) -> usize {
         let mut best = 0usize;
         let mut best_key = (usize::MAX, usize::MAX);
         for (i, (t, _)) in triples.iter().enumerate() {
@@ -446,7 +450,7 @@ impl Columnar<'_> {
     /// match of `t` under that row's bindings. Parallel mode chunks the
     /// row range across the pool once it clears the same
     /// candidates-per-chunk threshold as the term engine.
-    fn extend(
+    pub(crate) fn extend(
         &self,
         current: &IdMappingSet,
         t: IdTriple,

@@ -320,6 +320,53 @@ impl<I: TripleLookup + Sync> Engine<I> {
         })
     }
 
+    /// [`Engine::run`]'s scatter-gather sibling: evaluates over
+    /// `shard_runs` (disjoint subject-hash partitions of this engine's
+    /// snapshot, one [`Pool`] per shard) with the same admission,
+    /// optimizer, deadline, and tracing semantics. Returns `None` when
+    /// the pattern or backend is outside the columnar envelope — the
+    /// caller then falls back to [`Engine::run`], exactly like the
+    /// single-node columnar fallback.
+    pub fn run_sharded(
+        &self,
+        pattern: &Pattern,
+        opts: &ExecOpts,
+        shard_runs: &[owql_rdf::IdRuns],
+        pools: &[Pool],
+        metrics: Option<&owql_obs::ShardMetrics>,
+    ) -> Option<Result<RunOutcome, EvalError>>
+    where
+        I: Sync,
+    {
+        if !opts.columnar_enabled() {
+            return None;
+        }
+        if let Err(e) = crate::run::check_admission(pattern, opts) {
+            return Some(Err(e));
+        }
+        let budget = EvalBudget::from_opts(opts);
+        let optimized;
+        let pattern = if opts.optimize {
+            optimized = crate::optimize::optimize(pattern);
+            &optimized
+        } else {
+            pattern
+        };
+        let rec = if opts.trace {
+            Recorder::new()
+        } else {
+            Recorder::disabled()
+        };
+        let mappings = crate::sharded::try_run_sharded(
+            self, pattern, shard_runs, pools, &rec, &budget, metrics,
+        )?;
+        Some(mappings.map(|mappings| RunOutcome {
+            mappings,
+            profile: opts.trace.then(|| rec.profile()),
+            columnar_path: ColumnarPath::Used,
+        }))
+    }
+
     fn try_eval_par(
         &self,
         pattern: &Pattern,

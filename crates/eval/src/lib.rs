@@ -35,11 +35,14 @@ pub mod optimize;
 pub mod plan;
 pub mod reference;
 pub mod run;
+pub mod sharded;
 
 pub use construct::construct;
 pub use engine::Engine;
 pub use plan::{AnnotatedNode, AnnotatedPlan, Plan};
 pub use reference::evaluate;
 pub use run::{
-    check_admission, ColumnarPath, EvalBudget, EvalError, ExecMode, ExecOpts, RunOutcome,
+    check_admission, ColumnarPath, EvalBudget, EvalError, ExecMode, ExecOpts, ExecOptsBuilder,
+    RunOutcome,
 };
+pub use sharded::try_run_sharded;

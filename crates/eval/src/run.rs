@@ -175,6 +175,93 @@ impl ExecOpts {
     pub fn columnar_enabled(&self) -> bool {
         self.columnar.unwrap_or_else(columnar_env_default)
     }
+
+    /// A builder over [`ExecOpts::seq`] defaults. The chainable
+    /// `ExecOpts` methods mutate a `Copy` value, which works until a
+    /// caller needs to apply options conditionally; the builder gives
+    /// that callers-with-knobs shape a stable home so new fields stop
+    /// breaking struct-literal construction sites.
+    ///
+    /// ```
+    /// use owql_eval::{ExecMode, ExecOpts};
+    /// let opts = ExecOpts::builder()
+    ///     .mode(ExecMode::Parallel)
+    ///     .trace(true)
+    ///     .deadline_ms(Some(250))
+    ///     .build();
+    /// assert!(opts.trace && opts.mode == ExecMode::Parallel);
+    /// ```
+    pub fn builder() -> ExecOptsBuilder {
+        ExecOptsBuilder {
+            opts: ExecOpts::seq(),
+        }
+    }
+}
+
+/// Chainable constructor for [`ExecOpts`]; see [`ExecOpts::builder`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptsBuilder {
+    opts: ExecOpts,
+}
+
+impl ExecOptsBuilder {
+    /// Sequential or pool-parallel scheduling.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.opts.mode = mode;
+        self
+    }
+
+    /// Record per-operator spans and pool stats.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.opts.trace = trace;
+        self
+    }
+
+    /// Consult/fill the store-level result cache.
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.opts.cache = cache;
+        self
+    }
+
+    /// Run the static optimizer first.
+    pub fn optimize(mut self, optimize: bool) -> Self {
+        self.opts.optimize = optimize;
+        self
+    }
+
+    /// Wall-clock budget; `None` runs to completion.
+    pub fn deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.opts.deadline = deadline;
+        self
+    }
+
+    /// Wall-clock budget in milliseconds (the `/v1` wire unit).
+    pub fn deadline_ms(self, ms: Option<u64>) -> Self {
+        self.deadline(ms.map(Duration::from_millis))
+    }
+
+    /// Admission ceiling; `None` admits everything.
+    pub fn max_class(mut self, ceiling: Option<owql_lint::ComplexityClass>) -> Self {
+        self.opts.max_class = ceiling;
+        self
+    }
+
+    /// Columnar path override; `None` defers to `OWQL_COLUMNAR`.
+    pub fn columnar(mut self, columnar: Option<bool>) -> Self {
+        self.opts.columnar = columnar;
+        self
+    }
+
+    /// Slow-query capture threshold; `None` disables capture.
+    pub fn slow_query(mut self, threshold: Option<Duration>) -> Self {
+        self.opts.slow_query = threshold;
+        self
+    }
+
+    /// The finished options value.
+    pub fn build(self) -> ExecOpts {
+        self.opts
+    }
 }
 
 /// The process-wide `OWQL_COLUMNAR` default: on unless explicitly

@@ -59,7 +59,7 @@ pub mod prometheus;
 pub mod recorder;
 
 pub use histogram::{Histogram, HistogramSnapshot};
-pub use metrics::{MetricsHub, SlowQuery};
+pub use metrics::{MetricsHub, ShardMetrics, SlowQuery, MAX_SHARDS};
 pub use profile::{
     ColumnarObs, NsObs, OperatorTotals, PersistObs, PoolObs, Profile, StoreObs, WorkerStat,
 };

@@ -76,6 +76,162 @@ impl SlowQuery {
     }
 }
 
+/// Upper bound on shards the metrics arrays are sized for. Scatter
+/// plans wider than this still evaluate; only per-shard attribution
+/// saturates into the last slot.
+pub const MAX_SHARDS: usize = 64;
+
+/// Counters for the sharded scatter-gather evaluation path: how many
+/// queries scattered, a power-of-two fan-out histogram (shards that
+/// produced non-empty partial tables per scatter round), and per-shard
+/// task/row attribution. All relaxed atomics — recorded from inside
+/// the scatter workers without contention.
+#[derive(Debug)]
+pub struct ShardMetrics {
+    /// Queries answered on the sharded path.
+    pub queries_total: AtomicU64,
+    /// Scatter rounds executed (one per AND-spine seed scan or UNION
+    /// fan-out).
+    pub scatters_total: AtomicU64,
+    /// Fan-out histogram: bucket `i` counts scatter rounds whose
+    /// non-empty partial count was ≤ 2^i (bounds 1, 2, 4, …, 64).
+    pub fanout_buckets: [AtomicU64; 7],
+    /// Sum of fan-outs, for the mean.
+    pub fanout_sum: AtomicU64,
+    /// Scatter tasks executed per shard id.
+    pub shard_tasks: [AtomicU64; MAX_SHARDS],
+    /// Partial-result rows produced per shard id.
+    pub shard_rows: [AtomicU64; MAX_SHARDS],
+}
+
+impl Default for ShardMetrics {
+    fn default() -> ShardMetrics {
+        ShardMetrics {
+            queries_total: AtomicU64::new(0),
+            scatters_total: AtomicU64::new(0),
+            fanout_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            fanout_sum: AtomicU64::new(0),
+            shard_tasks: std::array::from_fn(|_| AtomicU64::new(0)),
+            shard_rows: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ShardMetrics {
+    /// Records one scatter round that saw `fanout` shards produce
+    /// non-empty partials.
+    pub fn record_scatter(&self, fanout: usize) {
+        self.scatters_total.fetch_add(1, Ordering::Relaxed);
+        self.fanout_sum.fetch_add(fanout as u64, Ordering::Relaxed);
+        // Bucket index = log2 of the next power of two ≥ fanout,
+        // saturating into the last (le="64") bucket.
+        let idx = (fanout.max(1).next_power_of_two().trailing_zeros() as usize).min(6);
+        self.fanout_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one per-shard scatter task and the rows it produced.
+    pub fn record_shard_task(&self, shard: usize, rows: u64) {
+        let k = shard.min(MAX_SHARDS - 1);
+        self.shard_tasks[k].fetch_add(1, Ordering::Relaxed);
+        self.shard_rows[k].fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Renders the shard families in Prometheus text format. Emits
+    /// nothing until the first scatter, so expositions from unsharded
+    /// deployments are unchanged.
+    pub fn render_prometheus(&self, out: &mut String) {
+        let scatters = self.scatters_total.load(Ordering::Relaxed);
+        if scatters == 0 {
+            return;
+        }
+        prometheus::counter(
+            out,
+            "owql_sharded_queries_total",
+            "Queries answered by the sharded scatter-gather path.",
+            self.queries_total.load(Ordering::Relaxed),
+        );
+        prometheus::header(
+            out,
+            "owql_shard_fanout",
+            "histogram",
+            "Shards producing non-empty partials per scatter round.",
+        );
+        let mut cum = 0u64;
+        for (i, b) in self.fanout_buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            let _ = writeln!(
+                out,
+                "owql_shard_fanout_bucket{{le=\"{}\"}} {cum}",
+                1u64 << i
+            );
+        }
+        let _ = writeln!(out, "owql_shard_fanout_bucket{{le=\"+Inf\"}} {cum}");
+        let _ = writeln!(
+            out,
+            "owql_shard_fanout_sum {}",
+            self.fanout_sum.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "owql_shard_fanout_count {scatters}");
+        prometheus::header(
+            out,
+            "owql_shard_tasks_total",
+            "counter",
+            "Scatter tasks executed per shard.",
+        );
+        for (k, tasks) in self.shard_tasks.iter().enumerate() {
+            let tasks = tasks.load(Ordering::Relaxed);
+            if tasks == 0 {
+                continue;
+            }
+            let _ = writeln!(out, "owql_shard_tasks_total{{shard=\"{k}\"}} {tasks}");
+        }
+        prometheus::header(
+            out,
+            "owql_shard_rows_total",
+            "counter",
+            "Partial-result rows produced per shard.",
+        );
+        for (k, rows) in self.shard_rows.iter().enumerate() {
+            if self.shard_tasks[k].load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "owql_shard_rows_total{{shard=\"{k}\"}} {}",
+                rows.load(Ordering::Relaxed)
+            );
+        }
+    }
+
+    /// The shard counters as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"queries_total\": {}, \"scatters_total\": {}, \"fanout_sum\": {}, \"per_shard\": [",
+            self.queries_total.load(Ordering::Relaxed),
+            self.scatters_total.load(Ordering::Relaxed),
+            self.fanout_sum.load(Ordering::Relaxed),
+        );
+        let mut first = true;
+        for k in 0..MAX_SHARDS {
+            let tasks = self.shard_tasks[k].load(Ordering::Relaxed);
+            if tasks == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"shard\": {k}, \"tasks\": {tasks}, \"rows\": {}}}",
+                self.shard_rows[k].load(Ordering::Relaxed)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 /// The cross-query metrics accumulator. See module docs.
 #[derive(Debug, Default)]
 pub struct MetricsHub {
@@ -98,6 +254,8 @@ pub struct MetricsHub {
     pub columnar_fallbacks: AtomicU64,
     /// Queries that crossed the slow-query threshold.
     pub slow_queries_total: AtomicU64,
+    /// Scatter-gather shard counters (zero until sharding is enabled).
+    pub shards: ShardMetrics,
     slow: Mutex<VecDeque<SlowQuery>>,
 }
 
@@ -195,6 +353,7 @@ impl MetricsHub {
             "Queries that crossed the slow-query threshold.",
             self.slow_queries_total.load(Ordering::Relaxed),
         );
+        self.shards.render_prometheus(out);
     }
 
     /// Renders the hub as a JSON object (for `GET /metrics?format=json`
@@ -207,6 +366,7 @@ impl MetricsHub {
              {indent}  \"columnar_runs\": {},\n\
              {indent}  \"columnar_fallbacks\": {},\n\
              {indent}  \"slow_queries_total\": {},\n\
+             {indent}  \"shards\": {},\n\
              {indent}  \"query_latency\": {},\n\
              {indent}  \"wal_fsync\": {},\n\
              {indent}  \"checkpoint\": {},\n\
@@ -215,6 +375,7 @@ impl MetricsHub {
             self.columnar_runs.load(Ordering::Relaxed),
             self.columnar_fallbacks.load(Ordering::Relaxed),
             self.slow_queries_total.load(Ordering::Relaxed),
+            self.shards.to_json(),
             latency_json(&q, &format!("{indent}  ")),
             latency_json(&self.wal_fsync.snapshot(), &format!("{indent}  ")),
             latency_json(&self.checkpoint.snapshot(), &format!("{indent}  ")),

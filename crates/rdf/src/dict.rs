@@ -259,6 +259,34 @@ impl IdRuns {
         runs
     }
 
+    /// Builds the three runs from already-encoded `[s, p, o]` id rows
+    /// (sorted or not, duplicates tolerated). This is the shard
+    /// partitioner's constructor: the rows were id-encoded by an
+    /// existing dictionary, so no interning happens here and the ids
+    /// stay comparable across every shard built from the same dict.
+    pub fn from_spo_rows(rows: Vec<[TermId; 3]>) -> IdRuns {
+        let mut runs = IdRuns {
+            spo: rows,
+            pos: Vec::new(),
+            osp: Vec::new(),
+        };
+        runs.spo.sort_unstable();
+        runs.spo.dedup();
+        runs.pos = runs
+            .spo
+            .iter()
+            .map(|&r| RunOrder::Pos.from_spo(r))
+            .collect();
+        runs.pos.sort_unstable();
+        runs.osp = runs
+            .spo
+            .iter()
+            .map(|&r| RunOrder::Osp.from_spo(r))
+            .collect();
+        runs.osp.sort_unstable();
+        runs
+    }
+
     /// Inserts one `[s, p, o]` id row into all three runs; returns
     /// `true` if it was new. `O(n)` per run (binary search + shift) —
     /// sized for the store's bounded delta overlays, like

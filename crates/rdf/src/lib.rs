@@ -30,6 +30,7 @@ pub mod generate;
 pub mod graph;
 pub mod index;
 pub mod ntriples;
+pub mod shard;
 pub mod stats;
 pub mod term;
 pub mod turtle;
@@ -38,4 +39,5 @@ pub use dict::{IdRuns, IdView, RunOrder, TermDict, TermId, NO_TERM};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use graph::Graph;
 pub use index::{GraphIndex, SnapshotIndex, TripleLookup};
+pub use shard::{shard_of, shard_rows};
 pub use term::{Iri, Triple};

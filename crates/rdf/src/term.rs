@@ -7,6 +7,7 @@
 //! go through the underlying string (so output is deterministic and
 //! human-readable).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::num::NonZeroU32;
@@ -64,9 +65,29 @@ impl Iri {
     }
 
     /// Returns the IRI text.
+    ///
+    /// Resolution goes through a per-thread snapshot of the id → text
+    /// table: ids are dense and append-only and the texts are
+    /// `'static`, so any id below the snapshot length resolves without
+    /// the global lock. A miss (an IRI interned since the snapshot)
+    /// refreshes the snapshot under the lock. This keeps `as_str` —
+    /// and through it `Ord`/`Display` — off the interner mutex on hot
+    /// paths like sorting and serialization.
     pub fn as_str(self) -> &'static str {
-        let guard = interner().lock().expect("IRI interner poisoned");
-        guard.strings[self.0.get() as usize - 1]
+        thread_local! {
+            static RESOLVED: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+        }
+        let idx = self.0.get() as usize - 1;
+        RESOLVED.with(|cache| {
+            if let Some(&text) = cache.borrow().get(idx) {
+                return text;
+            }
+            let guard = interner().lock().expect("IRI interner poisoned");
+            let mut cache = cache.borrow_mut();
+            cache.clear();
+            cache.extend_from_slice(&guard.strings);
+            cache[idx]
+        })
     }
 
     /// Returns the dense interner id (useful as an array index).

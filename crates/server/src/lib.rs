@@ -1,30 +1,47 @@
 //! # owql-server — a networked query front-end
 //!
 //! A dependency-free HTTP/1.1 server over an [`owql_store::Store`],
-//! built on `std::net::TcpListener` and the workspace's own crates:
-//! the parser for request bodies, the unified
+//! built on a raw epoll event loop ([`sys`]) and the workspace's own
+//! crates: the parser for request bodies, the unified
 //! `QueryRequest → QueryOutcome` API for evaluation, and owql-obs's
 //! hand-rolled JSON for responses.
 //!
-//! ## Endpoints
+//! ## Endpoints (versioned surface)
 //!
 //! | Endpoint | Body | Answer |
 //! |---|---|---|
-//! | `POST /query` | pattern text | mappings as JSON (+ profile when `trace=1`) |
-//! | `POST /explain` | pattern text | EXPLAIN ANALYZE plan |
-//! | `GET /healthz` | — | liveness + current epoch |
-//! | `GET /metrics` | — | request counters + store/cache stats |
+//! | `POST /v1/query` | `{"pattern": "...", "opts": {...}}` | mappings as JSON (+ profile when `trace`) |
+//! | `POST /v1/explain` | `{"pattern": "...", "opts": {...}}` | EXPLAIN ANALYZE plan |
+//! | `POST /v1/lint` | `{"pattern": "..."}` | static analysis with diagnostics |
+//! | `GET /v1/healthz` | — | liveness; `?ready=1` = readiness probe (`503` until serving) |
+//! | `GET /metrics` | — | Prometheus text (or `?format=json`) |
 //!
-//! `POST` endpoints take evaluation options in the query string:
-//! `mode=seq|parallel`, `trace=0|1`, `cache=0|1`, `optimize=0|1`,
-//! `deadline_ms=N`.
+//! `"opts"` keys: `mode` (`"seq"`/`"parallel"`), `trace`, `cache`,
+//! `optimize`, `columnar` (booleans), `deadline_ms`, `slow_ms`
+//! (integers), `max_class` (complexity-class name, tighten-only).
+//! Errors answer a unified envelope
+//! `{"error": {"code", "message", "span"?, "retry_after"?}}`.
+//!
+//! The original query-string endpoints (`POST /query?...` with a bare
+//! pattern body, `/explain`, `/lint`, `GET /healthz`) remain as thin
+//! adapters that answer with a `Deprecation` header and a `Link` to
+//! their `/v1` successor.
 //!
 //! ## Design
 //!
-//! - **Bounded admission.** A fixed worker pool drains a bounded
-//!   connection queue; when the queue is full the accept loop sheds
-//!   the connection with `429` + `Retry-After` without ever touching a
-//!   worker.
+//! - **Epoll front-end.** One event-loop thread multiplexes every
+//!   connection through non-blocking sockets and
+//!   [`sys::Epoll`] — HTTP/1.1 keep-alive, pipelining (responses in
+//!   request order), and chunked transfer-encoding for large result
+//!   sets, with no async runtime and no `libc` crate.
+//! - **Bounded dispatch.** Parsed requests enter a bounded job queue
+//!   drained by a fixed worker pool; a full queue sheds with `429` +
+//!   `Retry-After` written inline without costing a worker — and
+//!   without sacrificing the connection.
+//! - **Sharded scatter-gather.** With [`ServerConfig::shards`] set,
+//!   the store partitions its id-encoded runs by subject and
+//!   parallel-mode queries fan out across per-shard evaluation pools
+//!   pinned to a single snapshot epoch.
 //! - **Per-request deadlines.** `deadline_ms` (or the configured
 //!   default) becomes [`owql_eval::ExecOpts::deadline`]; the engine's
 //!   cooperative budget unwinds evaluation and the server answers
@@ -33,7 +50,7 @@
 //!   the response carries the epoch it is consistent with, so clients
 //!   can reason about read-your-writes across requests.
 //! - **Graceful shutdown.** [`Server::shutdown`] stops accepting,
-//!   drains queued and in-flight requests, and joins all threads.
+//!   drains in-flight and pipelined requests, and joins all threads.
 //!
 //! ```no_run
 //! use owql_server::{Server, ServerConfig};
@@ -41,15 +58,18 @@
 //! use std::sync::Arc;
 //!
 //! let store = Arc::new(Store::new());
-//! let server = Server::start(store, ServerConfig::default()).unwrap();
+//! let config = ServerConfig::builder().shards(2).build();
+//! let server = Server::start(store, config).unwrap();
 //! println!("listening on {}", server.addr());
 //! server.shutdown();
 //! ```
 
 pub mod http;
+pub mod json;
 pub mod metrics;
 pub mod server;
+pub mod sys;
 
-pub use http::{Request, MAX_BODY_BYTES, MAX_HEADER_BYTES};
+pub use http::{decode_chunked, Request, MAX_BODY_BYTES, MAX_HEADER_BYTES};
 pub use metrics::ServerMetrics;
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ServerConfigBuilder};

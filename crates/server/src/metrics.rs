@@ -24,8 +24,19 @@ pub struct ServerMetrics {
     pub timeouts_total: AtomicU64,
     /// Requests currently being evaluated by workers.
     pub in_flight: AtomicU64,
-    /// Connections currently waiting in the admission queue.
+    /// Requests currently waiting in the dispatch queue.
     pub queue_depth: AtomicU64,
+    /// Epoll readiness events processed by the event loop.
+    pub ready_events_total: AtomicU64,
+    /// Connections currently registered with the event loop.
+    pub connections_open: AtomicU64,
+    /// Requests served beyond the first on a kept-alive connection.
+    pub keepalive_reuses_total: AtomicU64,
+    /// Requests that arrived pipelined behind another request on the
+    /// same connection.
+    pub pipelined_requests_total: AtomicU64,
+    /// Responses streamed as chunked transfer-encoding.
+    pub chunked_responses_total: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -47,7 +58,10 @@ impl ServerMetrics {
                 "{{\"accepted_total\": {}, \"responses_2xx\": {}, ",
                 "\"responses_4xx\": {}, \"responses_5xx\": {}, ",
                 "\"shed_total\": {}, \"timeouts_total\": {}, ",
-                "\"in_flight\": {}, \"queue_depth\": {}}}"
+                "\"in_flight\": {}, \"queue_depth\": {}, ",
+                "\"ready_events_total\": {}, \"connections_open\": {}, ",
+                "\"keepalive_reuses_total\": {}, \"pipelined_requests_total\": {}, ",
+                "\"chunked_responses_total\": {}}}"
             ),
             self.accepted_total.load(Ordering::Relaxed),
             self.responses_2xx.load(Ordering::Relaxed),
@@ -57,6 +71,11 @@ impl ServerMetrics {
             self.timeouts_total.load(Ordering::Relaxed),
             self.in_flight.load(Ordering::Relaxed),
             self.queue_depth.load(Ordering::Relaxed),
+            self.ready_events_total.load(Ordering::Relaxed),
+            self.connections_open.load(Ordering::Relaxed),
+            self.keepalive_reuses_total.load(Ordering::Relaxed),
+            self.pipelined_requests_total.load(Ordering::Relaxed),
+            self.chunked_responses_total.load(Ordering::Relaxed),
         )
     }
 
@@ -107,8 +126,38 @@ impl ServerMetrics {
         prometheus::gauge(
             out,
             "owql_server_queue_depth",
-            "Connections waiting in the admission queue.",
+            "Requests waiting in the dispatch queue.",
             self.queue_depth.load(Ordering::Relaxed) as f64,
+        );
+        prometheus::counter(
+            out,
+            "owql_server_ready_events_total",
+            "Epoll readiness events processed by the event loop.",
+            self.ready_events_total.load(Ordering::Relaxed),
+        );
+        prometheus::gauge(
+            out,
+            "owql_server_connections_open",
+            "Connections currently registered with the event loop.",
+            self.connections_open.load(Ordering::Relaxed) as f64,
+        );
+        prometheus::counter(
+            out,
+            "owql_server_keepalive_reuses_total",
+            "Requests served beyond the first on a kept-alive connection.",
+            self.keepalive_reuses_total.load(Ordering::Relaxed),
+        );
+        prometheus::counter(
+            out,
+            "owql_server_pipelined_requests_total",
+            "Requests that arrived pipelined behind another on the same connection.",
+            self.pipelined_requests_total.load(Ordering::Relaxed),
+        );
+        prometheus::counter(
+            out,
+            "owql_server_chunked_responses_total",
+            "Responses streamed as chunked transfer-encoding.",
+            self.chunked_responses_total.load(Ordering::Relaxed),
         );
     }
 }

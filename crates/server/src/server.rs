@@ -1,60 +1,95 @@
-//! The query server: accept loop, bounded admission queue, worker
-//! threads, request routing, graceful shutdown.
+//! The query server: an epoll event loop, a bounded dispatch queue,
+//! worker threads, request routing, graceful shutdown.
 //!
 //! ## Life of a request
 //!
-//! 1. The **accept loop** (one thread) takes the TCP connection and
-//!    offers it to the admission queue. A full queue sheds the
-//!    connection immediately with `429` + `Retry-After` — back-pressure
-//!    costs one response write, never a worker.
-//! 2. A **worker** (fixed set of threads) pops the connection, reads
-//!    one HTTP request, and routes it. Query evaluation pins one store
+//! 1. The **event loop** (one thread, [`sys::Epoll`](crate::sys::Epoll))
+//!    owns the listener and every connection. Sockets are non-blocking;
+//!    reads append into a per-connection buffer and
+//!    [`parse_request`](crate::http::parse_request) peels complete
+//!    requests off the front — several pipelined requests parse out of
+//!    one readable event. Responses queue into a per-connection write
+//!    buffer flushed as the socket allows (`EPOLLOUT` is armed only
+//!    while bytes are pending).
+//! 2. Parsed requests are **dispatched** to a bounded job queue, one at
+//!    a time per connection so pipelined responses keep request order.
+//!    A full queue sheds with `429` + `Retry-After` written inline by
+//!    the event loop — back-pressure costs one buffered write, never a
+//!    worker, and the connection *stays open* (a shed under pipelining
+//!    does not sacrifice the keep-alive socket). `GET` requests
+//!    (`/healthz`, `/metrics`) bypass the bound so probes stay
+//!    responsive under overload.
+//! 3. A **worker** (fixed set of threads, each owning an evaluation
+//!    pool) pops a job, routes it, and frames the response bytes
+//!    (`Content-Length`, or chunked transfer-encoding for large bodies
+//!    on HTTP/1.1). Query evaluation pins one store
 //!    [`Snapshot`](owql_store::Store::snapshot) per request — writers
 //!    never block readers, and the response reports the epoch it is
-//!    consistent with.
-//! 3. Deadlines ride the unified API: `deadline_ms` becomes
+//!    consistent with. When sharded scatter-gather is enabled
+//!    ([`ServerConfig::shards`]), parallel-mode queries fan out across
+//!    shard evaluation pools pinned to that same snapshot epoch.
+//! 4. Deadlines ride the unified API: `deadline_ms` becomes
 //!    [`ExecOpts::deadline`], the engine's cooperative budget unwinds
-//!    the evaluation, and the worker maps
-//!    [`EvalError::Timeout`] to `504` — the worker itself is never
-//!    poisoned or stuck.
-//!    Likewise the **admission policy**: a configured
-//!    [`ServerConfig::admission_ceiling`] (tightenable per request via
-//!    `max_class=`) becomes [`ExecOpts::max_class`]; a query whose
-//!    statically determined complexity class exceeds it is shed with
-//!    `429` before any evaluation work, the body carrying an `AD001`
-//!    diagnostic from `owql-lint`. `POST /lint` exposes the full
-//!    analyzer (fragment, complexity, well-designedness, diagnostics
-//!    with spans and line:column) without evaluating anything.
-//! 4. **Shutdown** flips a flag, wakes the accept loop with a loopback
-//!    connection, closes the queue, and joins every thread — queued and
-//!    in-flight requests drain before the listener dies.
+//!    the evaluation, and the worker maps [`EvalError::Timeout`] to
+//!    `504`. Likewise the **admission policy**: a configured
+//!    [`ServerConfig::admission_ceiling`] (tightenable per request)
+//!    becomes [`ExecOpts::max_class`]; a query whose statically
+//!    determined complexity class exceeds it is shed with `429` before
+//!    any evaluation work, the body carrying an `AD001` diagnostic
+//!    from `owql-lint`.
+//! 5. **Shutdown** flips a flag; the event loop drops the listener,
+//!    clears readiness, and drains: connections finish their in-flight
+//!    and pipelined requests (responses forced to `Connection: close`),
+//!    idle served connections close, and the loop exits once the slab
+//!    is empty. Then the job queue closes and every worker joins.
+//!
+//! ## Wire surface
+//!
+//! The versioned `/v1` endpoints take a JSON body
+//! `{"pattern": "...", "opts": {...}}` and answer errors with a
+//! unified envelope `{"error": {"code", "message", "span"?,
+//! "retry_after"?}}`. The original query-string endpoints remain as
+//! thin adapters that answer with a `Deprecation` header.
 
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{encode_response_into, parse_request, HttpError, Request};
+use crate::json as reqjson;
 use crate::metrics::ServerMetrics;
+use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use owql_eval::{EvalError, ExecMode, ExecOpts};
 use owql_exec::Pool;
 use owql_obs::json;
 use owql_parser::parse_pattern;
 use owql_parser::Span;
 use owql_store::{QueryRequest, Store};
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::io;
+use std::fmt::Write as _;
+use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Server tuning knobs.
+/// Server tuning knobs. Construct via [`ServerConfig::builder`] (or
+/// struct literal with `..Default::default()`).
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address; use port 0 to let the OS pick (see
     /// [`Server::addr`]).
     pub addr: String,
-    /// Worker threads answering requests.
+    /// Worker threads answering requests. `0` selects *inline* mode
+    /// (thread-per-core style): requests are evaluated directly on the
+    /// event-loop thread, removing the queue hand-off, wake pipe, and
+    /// two context switches per request — the fastest shape on a
+    /// single-core host. Admission control is unchanged: the dispatch
+    /// queue still bounds how many parsed requests one readiness sweep
+    /// may admit before excess demand is shed with `429`.
     pub workers: usize,
-    /// Admission-queue bound: connections waiting beyond the workers.
-    /// A full queue sheds new connections with `429`.
+    /// Dispatch-queue bound: parsed requests waiting for a worker.
+    /// A full queue sheds with `429` (`GET`s bypass the bound).
     pub queue_capacity: usize,
     /// Evaluation pool width *per worker* (parallel-mode requests).
     pub pool_threads: usize,
@@ -62,18 +97,24 @@ pub struct ServerConfig {
     pub default_deadline: Option<Duration>,
     /// Value of the `Retry-After` header on `429` responses, seconds.
     pub retry_after_secs: u64,
-    /// Socket read/write timeout (slowloris guard).
+    /// Idle-connection timeout (slowloris guard): connections with no
+    /// traffic and no in-flight request for this long are closed.
     pub io_timeout: Duration,
     /// Admission ceiling: queries whose statically determined
     /// complexity class ranks above this are shed with `429` before
-    /// evaluation. Requests can tighten it with `max_class=` but never
+    /// evaluation. Requests can tighten it with `max_class` but never
     /// raise it. `None` admits every class.
     pub admission_ceiling: Option<owql_lint::ComplexityClass>,
     /// Queries slower than this land in the store's slow-query ring
     /// buffer (exported under `GET /metrics?format=json`). Requests can
-    /// override it with `slow_ms=` (`slow_ms=0` captures every query —
+    /// override it with `slow_ms` (`slow_ms=0` captures every query —
     /// the smoke-test injection mechanism). `None` disables capture.
     pub slow_query_threshold: Option<Duration>,
+    /// Shards for scatter-gather evaluation: `Server::start` calls
+    /// [`Store::enable_sharding`] with this count (each shard gets
+    /// `pool_threads` evaluation threads) and prewarms the partitioned
+    /// runs before accepting traffic. `0` leaves sharding off.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,254 +129,299 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_secs(5),
             admission_ceiling: None,
             slow_query_threshold: Some(Duration::from_millis(250)),
+            shards: 0,
         }
     }
 }
 
-/// The bounded admission queue: a `Mutex<VecDeque>` + `Condvar`.
-/// `push` never blocks (full ⇒ shed); `pop` blocks until a connection
-/// arrives or the queue is closed *and* drained.
-#[derive(Debug)]
-struct Admission {
-    inner: Mutex<AdmissionInner>,
-    cv: Condvar,
-    capacity: usize,
-}
-
-#[derive(Debug)]
-struct AdmissionInner {
-    queue: VecDeque<TcpStream>,
-    closed: bool,
-}
-
-impl Admission {
-    fn new(capacity: usize) -> Admission {
-        Admission {
-            inner: Mutex::new(AdmissionInner {
-                queue: VecDeque::new(),
-                closed: false,
-            }),
-            cv: Condvar::new(),
-            capacity,
-        }
-    }
-
-    /// Offers a connection; hands it back if the queue is full or
-    /// closed (the caller sheds it).
-    fn push(&self, stream: TcpStream) -> Result<usize, TcpStream> {
-        let mut inner = self.inner.lock().expect("admission lock poisoned");
-        if inner.closed || inner.queue.len() >= self.capacity {
-            return Err(stream);
-        }
-        inner.queue.push_back(stream);
-        let depth = inner.queue.len();
-        self.cv.notify_one();
-        Ok(depth)
-    }
-
-    /// Blocks for the next connection; `None` once closed and drained.
-    fn pop(&self) -> Option<TcpStream> {
-        let mut inner = self.inner.lock().expect("admission lock poisoned");
-        loop {
-            if let Some(stream) = inner.queue.pop_front() {
-                return Some(stream);
-            }
-            if inner.closed {
-                return None;
-            }
-            inner = self.cv.wait(inner).expect("admission lock poisoned");
-        }
-    }
-
-    /// Closes the queue: queued connections still drain, new pushes
-    /// bounce, blocked poppers wake.
-    fn close(&self) {
-        self.inner.lock().expect("admission lock poisoned").closed = true;
-        self.cv.notify_all();
-    }
-}
-
-/// A running query server. Dropping it without calling
-/// [`Server::shutdown`] detaches the threads (the test and example
-/// entry points always shut down explicitly).
-#[derive(Debug)]
-pub struct Server {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    admission: Arc<Admission>,
-    metrics: Arc<ServerMetrics>,
-    accept_handle: Option<JoinHandle<()>>,
-    worker_handles: Vec<JoinHandle<()>>,
-}
-
-impl Server {
-    /// Binds and starts the accept loop plus `config.workers` workers.
-    pub fn start(store: Arc<Store>, config: ServerConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let admission = Arc::new(Admission::new(config.queue_capacity));
-        let metrics = Arc::new(ServerMetrics::default());
-
-        let worker_handles: Vec<JoinHandle<()>> = (0..config.workers.max(1))
-            .map(|_| {
-                let store = store.clone();
-                let admission = admission.clone();
-                let metrics = metrics.clone();
-                let config = config.clone();
-                std::thread::spawn(move || {
-                    // Each worker owns its pool: concurrent requests
-                    // never contend for evaluation threads.
-                    let pool = Pool::new(config.pool_threads.max(1));
-                    while let Some(mut stream) = admission.pop() {
-                        metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                        metrics.in_flight.fetch_add(1, Ordering::Relaxed);
-                        handle_connection(&mut stream, &store, &pool, &config, &metrics);
-                        metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
-                    }
-                })
-            })
-            .collect();
-
-        let accept_handle = {
-            let shutdown = shutdown.clone();
-            let admission = admission.clone();
-            let metrics = metrics.clone();
-            let config = config.clone();
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    metrics.accepted_total.fetch_add(1, Ordering::Relaxed);
-                    let _ = stream.set_read_timeout(Some(config.io_timeout));
-                    let _ = stream.set_write_timeout(Some(config.io_timeout));
-                    match admission.push(stream) {
-                        Ok(_) => {
-                            metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(mut shed) => {
-                            // Queue full: shed without consuming a
-                            // worker. A short-lived thread reads the
-                            // request before answering — closing with
-                            // unread bytes would RST the connection
-                            // and lose the 429 (the socket's io
-                            // timeout bounds a slow client).
-                            metrics.shed_total.fetch_add(1, Ordering::Relaxed);
-                            metrics.record_status(429);
-                            let retry_after = config.retry_after_secs.to_string();
-                            std::thread::spawn(move || {
-                                let _ = read_request(&mut shed);
-                                let _ = write_response(
-                                    &mut shed,
-                                    429,
-                                    "application/json",
-                                    &[("Retry-After", retry_after)],
-                                    &error_body("admission queue is full, retry later"),
-                                );
-                                let _ = shed.shutdown(std::net::Shutdown::Write);
-                            });
-                        }
-                    }
-                }
-            })
-        };
-
-        Ok(Server {
-            addr,
-            shutdown,
-            admission,
-            metrics,
-            accept_handle: Some(accept_handle),
-            worker_handles,
-        })
-    }
-
-    /// The bound address (resolves port 0 to the OS-assigned port).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Shared request counters.
-    pub fn metrics(&self) -> &ServerMetrics {
-        &self.metrics
-    }
-
-    /// Graceful shutdown: stop accepting, drain queued and in-flight
-    /// requests, join every thread.
-    pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        // The accept loop is blocked in accept(); a loopback connection
-        // wakes it so it can observe the flag and exit.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
-        self.admission.close();
-        for handle in self.worker_handles.drain(..) {
-            let _ = handle.join();
+impl ServerConfig {
+    /// Chainable constructor starting from [`ServerConfig::default`].
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
         }
     }
 }
 
-/// JSON error body shared by every non-2xx answer.
+/// Chainable constructor for [`ServerConfig`]; see
+/// [`ServerConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Bind address (port 0 = OS-assigned).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Worker threads answering requests (`0` = inline mode: evaluate
+    /// on the event-loop thread).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Dispatch-queue bound (full ⇒ `429`).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Evaluation pool width per worker.
+    pub fn pool_threads(mut self, threads: usize) -> Self {
+        self.config.pool_threads = threads;
+        self
+    }
+
+    /// Default per-request deadline.
+    pub fn default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.config.default_deadline = deadline;
+        self
+    }
+
+    /// `Retry-After` seconds on `429`.
+    pub fn retry_after_secs(mut self, secs: u64) -> Self {
+        self.config.retry_after_secs = secs;
+        self
+    }
+
+    /// Idle-connection timeout.
+    pub fn io_timeout(mut self, timeout: Duration) -> Self {
+        self.config.io_timeout = timeout;
+        self
+    }
+
+    /// Complexity-class admission ceiling.
+    pub fn admission_ceiling(mut self, ceiling: Option<owql_lint::ComplexityClass>) -> Self {
+        self.config.admission_ceiling = ceiling;
+        self
+    }
+
+    /// Slow-query capture threshold.
+    pub fn slow_query_threshold(mut self, threshold: Option<Duration>) -> Self {
+        self.config.slow_query_threshold = threshold;
+        self
+    }
+
+    /// Scatter-gather shard count (0 = off).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> ServerConfig {
+        self.config
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replies and the /v1 error envelope
+// ---------------------------------------------------------------------
+
+/// One routed response before wire framing: the worker (or, for inline
+/// sheds, the event loop) turns this into bytes with
+/// [`encode_response_into`].
+#[derive(Clone, Debug)]
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    headers: Vec<(&'static str, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    fn text(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Reply {
+        self.headers.push((name, value.into()));
+        self
+    }
+}
+
+/// A `/v1` API failure: status + the unified error envelope
+/// `{"error": {"code", "message", "span"?, "retry_after"?}}`.
+#[derive(Clone, Debug)]
+struct ApiError {
+    status: u16,
+    code: &'static str,
+    message: String,
+    /// `(offset, line, column)` into the submitted pattern.
+    span: Option<(usize, usize, usize)>,
+    retry_after: Option<u64>,
+    /// Extra raw-JSON sibling of `"error"` (the AD001 diagnostic).
+    diagnostic: Option<String>,
+}
+
+impl ApiError {
+    fn new(status: u16, code: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            code,
+            message: message.into(),
+            span: None,
+            retry_after: None,
+            diagnostic: None,
+        }
+    }
+
+    fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError::new(400, "bad_request", message)
+    }
+
+    fn with_span(mut self, offset: usize, line: usize, column: usize) -> ApiError {
+        self.span = Some((offset, line, column));
+        self
+    }
+
+    fn with_retry_after(mut self, secs: u64) -> ApiError {
+        self.retry_after = Some(secs);
+        self
+    }
+
+    fn with_diagnostic(mut self, diagnostic: String) -> ApiError {
+        self.diagnostic = Some(diagnostic);
+        self
+    }
+
+    /// Renders the envelope body.
+    fn body(&self) -> String {
+        let mut out = String::with_capacity(96 + self.message.len());
+        out.push_str("{\"error\": {\"code\": ");
+        out.push_str(&json::string(self.code));
+        out.push_str(", \"message\": ");
+        out.push_str(&json::string(&self.message));
+        if let Some((offset, line, column)) = self.span {
+            let _ = write!(
+                out,
+                ", \"span\": {{\"offset\": {offset}, \"line\": {line}, \"column\": {column}}}"
+            );
+        }
+        if let Some(secs) = self.retry_after {
+            let _ = write!(out, ", \"retry_after\": {secs}");
+        }
+        out.push('}');
+        if let Some(diagnostic) = &self.diagnostic {
+            out.push_str(", \"diagnostic\": ");
+            out.push_str(diagnostic);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// The envelope as a routed reply (`Retry-After` header rides
+    /// along when `retry_after` is set).
+    fn reply(&self) -> Reply {
+        let mut reply = Reply::json(self.status, self.body());
+        if let Some(secs) = self.retry_after {
+            reply = reply.with_header("Retry-After", secs.to_string());
+        }
+        reply
+    }
+}
+
+/// JSON error body shared by the legacy (pre-`/v1`) endpoints.
 fn error_body(message: &str) -> String {
     format!("{{\"error\": {}}}\n", json::string(message))
 }
 
-/// Parses `ExecOpts` from the request's query string.
+/// Envelope body for wire-level failures (emitted by the event loop
+/// before routing sees the request).
+fn wire_error_body(status: u16, message: &str) -> String {
+    let code = match status {
+        400 => "bad_request",
+        413 => "payload_too_large",
+        431 => "headers_too_large",
+        501 => "not_implemented",
+        _ => "internal",
+    };
+    ApiError::new(status, code, message).body()
+}
+
+// ---------------------------------------------------------------------
+// Option parsing (legacy query string and /v1 JSON opts)
+// ---------------------------------------------------------------------
+
+/// Clamps a requested complexity ceiling against the configured one:
+/// requests may tighten the ceiling, never relax it.
+fn tighten_ceiling(
+    configured: Option<owql_lint::ComplexityClass>,
+    requested: owql_lint::ComplexityClass,
+) -> owql_lint::ComplexityClass {
+    match configured {
+        Some(c) if c.rank() < requested.rank() => c,
+        _ => requested,
+    }
+}
+
+/// Parses `ExecOpts` from the request's query string (legacy
+/// endpoints).
 fn parse_opts(req: &Request, config: &ServerConfig) -> Result<ExecOpts, HttpError> {
-    let mut opts = ExecOpts::seq();
-    opts.deadline = config.default_deadline;
-    opts.max_class = config.admission_ceiling;
-    opts.slow_query = config.slow_query_threshold;
+    let mut builder = ExecOpts::builder()
+        .deadline(config.default_deadline)
+        .max_class(config.admission_ceiling)
+        .slow_query(config.slow_query_threshold);
     for (key, value) in req.query_params() {
-        match key {
-            "mode" => {
-                opts.mode = match value {
-                    "seq" => ExecMode::Seq,
-                    "parallel" => ExecMode::Parallel,
-                    other => {
-                        return Err(HttpError::bad_request(format!(
-                            "unknown mode '{other}' (expected 'seq' or 'parallel')"
-                        )))
-                    }
-                }
-            }
-            "trace" => opts.trace = parse_flag(key, value)?,
-            "cache" => opts.cache = parse_flag(key, value)?,
-            "optimize" => opts.optimize = parse_flag(key, value)?,
-            "columnar" => opts.columnar = Some(parse_flag(key, value)?),
+        builder = match key {
+            "mode" => builder.mode(parse_mode(value).map_err(HttpError::bad_request)?),
+            "trace" => builder.trace(parse_flag(key, value)?),
+            "cache" => builder.cache(parse_flag(key, value)?),
+            "optimize" => builder.optimize(parse_flag(key, value)?),
+            "columnar" => builder.columnar(Some(parse_flag(key, value)?)),
             "slow_ms" => {
                 let ms: u64 = value
                     .parse()
                     .map_err(|_| HttpError::bad_request(format!("invalid slow_ms '{value}'")))?;
-                opts.slow_query = Some(Duration::from_millis(ms));
+                builder.slow_query(Some(Duration::from_millis(ms)))
             }
             "deadline_ms" => {
                 let ms: u64 = value.parse().map_err(|_| {
                     HttpError::bad_request(format!("invalid deadline_ms '{value}'"))
                 })?;
-                opts.deadline = Some(Duration::from_millis(ms));
+                builder.deadline_ms(Some(ms))
             }
             "max_class" => {
                 let requested: owql_lint::ComplexityClass =
                     value.parse().map_err(HttpError::bad_request)?;
-                // Requests may tighten the server ceiling, never relax it.
-                opts.max_class = Some(match opts.max_class {
-                    Some(configured) if configured.rank() < requested.rank() => configured,
-                    _ => requested,
-                });
+                builder.max_class(Some(tighten_ceiling(config.admission_ceiling, requested)))
             }
             other => {
                 return Err(HttpError::bad_request(format!(
                     "unknown query parameter '{other}'"
                 )))
             }
-        }
+        };
     }
-    Ok(opts)
+    Ok(builder.build())
+}
+
+fn parse_mode(value: &str) -> Result<ExecMode, String> {
+    match value {
+        "seq" => Ok(ExecMode::Seq),
+        "parallel" => Ok(ExecMode::Parallel),
+        other => Err(format!(
+            "unknown mode '{other}' (expected 'seq' or 'parallel')"
+        )),
+    }
 }
 
 fn parse_flag(key: &str, value: &str) -> Result<bool, HttpError> {
@@ -348,27 +434,366 @@ fn parse_flag(key: &str, value: &str) -> Result<bool, HttpError> {
     }
 }
 
-/// Serializes an answer set deterministically (mappings in sorted
-/// order, variables sorted within each mapping).
-fn mappings_json(mappings: &owql_algebra::MappingSet) -> String {
-    let mut out = String::from("[");
-    for (i, m) in mappings.iter_sorted().iter().enumerate() {
-        if i > 0 {
-            out.push_str(", ");
+/// Parses the `/v1` request body `{"pattern": "...", "opts": {...}}`
+/// into the pattern text and its options document.
+fn v1_body(req: &Request) -> Result<reqjson::JsonValue, ApiError> {
+    let text = req
+        .body_utf8()
+        .map_err(|e| ApiError::bad_request(e.message))?;
+    if text.trim().is_empty() {
+        return Err(ApiError::bad_request(
+            "empty request body (expected {\"pattern\": ..., \"opts\": {...}})",
+        ));
+    }
+    reqjson::parse(text).map_err(|e| ApiError::bad_request(format!("invalid JSON body: {e}")))
+}
+
+/// Extracts the mandatory `"pattern"` string from a parsed body.
+fn v1_pattern_text(doc: &reqjson::JsonValue) -> Result<&str, ApiError> {
+    doc.get("pattern")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| ApiError::bad_request("body must carry a string \"pattern\""))
+}
+
+/// Parses `ExecOpts` from the `/v1` body's `"opts"` object.
+fn v1_opts(opts: Option<&reqjson::JsonValue>, config: &ServerConfig) -> Result<ExecOpts, ApiError> {
+    let mut builder = ExecOpts::builder()
+        .deadline(config.default_deadline)
+        .max_class(config.admission_ceiling)
+        .slow_query(config.slow_query_threshold);
+    let Some(opts) = opts else {
+        return Ok(builder.build());
+    };
+    let reqjson::JsonValue::Obj(pairs) = opts else {
+        return Err(ApiError::bad_request("\"opts\" must be an object"));
+    };
+    for (key, value) in pairs {
+        builder = match key.as_str() {
+            "mode" => {
+                let mode = value
+                    .as_str()
+                    .ok_or(())
+                    .and_then(|v| parse_mode(v).map_err(drop))
+                    .map_err(|_| {
+                        ApiError::bad_request("\"mode\" must be \"seq\" or \"parallel\"")
+                    })?;
+                builder.mode(mode)
+            }
+            "trace" => builder.trace(v1_bool(value, "trace")?),
+            "cache" => builder.cache(v1_bool(value, "cache")?),
+            "optimize" => builder.optimize(v1_bool(value, "optimize")?),
+            "columnar" => builder.columnar(Some(v1_bool(value, "columnar")?)),
+            "deadline_ms" => builder.deadline_ms(Some(v1_u64(value, "deadline_ms")?)),
+            "slow_ms" => builder.slow_query(Some(Duration::from_millis(v1_u64(value, "slow_ms")?))),
+            "max_class" => {
+                let requested: owql_lint::ComplexityClass = value
+                    .as_str()
+                    .ok_or_else(|| ApiError::bad_request("\"max_class\" must be a string"))?
+                    .parse()
+                    .map_err(ApiError::bad_request)?;
+                builder.max_class(Some(tighten_ceiling(config.admission_ceiling, requested)))
+            }
+            other => {
+                return Err(ApiError::bad_request(format!("unknown option '{other}'")));
+            }
+        };
+    }
+    Ok(builder.build())
+}
+
+fn v1_bool(value: &reqjson::JsonValue, key: &str) -> Result<bool, ApiError> {
+    value
+        .as_bool()
+        .ok_or_else(|| ApiError::bad_request(format!("\"{key}\" must be a boolean")))
+}
+
+fn v1_u64(value: &reqjson::JsonValue, key: &str) -> Result<u64, ApiError> {
+    value
+        .as_u64()
+        .ok_or_else(|| ApiError::bad_request(format!("\"{key}\" must be a non-negative integer")))
+}
+
+/// Shared `/v1` body parsing for `/v1/query` and `/v1/explain`: the
+/// pattern (with a `parse_error` + span envelope on failure) plus the
+/// options.
+fn v1_parse_input(
+    req: &Request,
+    config: &ServerConfig,
+) -> Result<(owql_algebra::Pattern, ExecOpts), ApiError> {
+    let doc = v1_body(req)?;
+    let opts = v1_opts(doc.get("opts"), config)?;
+    let text = v1_pattern_text(&doc)?;
+    let pattern = parse_pattern(text.trim()).map_err(|e| {
+        ApiError::new(400, "parse_error", e.to_string()).with_span(e.offset, e.line, e.column)
+    })?;
+    Ok((pattern, opts))
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+/// Appends `s` as a JSON string literal. The fast path copies clean
+/// ASCII in one `push_str`; only strings carrying a quote, backslash,
+/// or control byte take the per-char escape walk.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    if s.bytes().any(|b| b == b'"' || b == b'\\' || b < 0x20) {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
         }
-        out.push('{');
-        for (j, (var, value)) in m.iter().enumerate() {
-            if j > 0 {
+    } else {
+        out.push_str(s);
+    }
+    out.push('"');
+}
+
+/// Appends `s` JSON-escaped, without the surrounding quotes (the
+/// caller's skeleton supplies them).
+#[inline]
+fn push_json_escaped(out: &mut String, s: &str) {
+    // Overwhelmingly common case first: nothing to escape, straight
+    // copy. The scan and the copy read the same few bytes, still warm.
+    if s.bytes().all(|b| b != b'"' && b != b'\\' && b >= 0x20) {
+        out.push_str(s);
+        return;
+    }
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Span of one rendered row in the arena, with a sort accelerator:
+/// rows rendered under the same domain generation (`dom`) share their
+/// skeleton prefix, so `key` — the first eight value bytes past that
+/// prefix, big-endian — settles most comparisons without touching the
+/// arena. JSON output never contains a raw `0x00` (control characters
+/// are escaped), so zero-padding short rows keeps the key order
+/// consistent with full bytewise order.
+struct RowSpan {
+    start: u32,
+    end: u32,
+    dom: u32,
+    key: u64,
+}
+
+thread_local! {
+    /// Per-worker render scratch (row arena + spans), reused across
+    /// requests so large answer sets stop paying allocation and
+    /// first-touch page faults on every response.
+    static RENDER_SCRATCH: RefCell<(String, Vec<RowSpan>)> =
+        const { RefCell::new((String::new(), Vec::new())) };
+    /// Retired response bodies, recycled by [`take_body`].
+    static BODY_POOL: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pops a recycled body buffer (or allocates one) with at least `cap`
+/// spare capacity.
+fn take_body(cap: usize) -> String {
+    let mut body = BODY_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default();
+    body.reserve(cap);
+    body
+}
+
+/// Returns a served body's allocation to the thread's pool.
+fn retire_body(mut body: String) {
+    if body.capacity() >= 4096 {
+        body.clear();
+        BODY_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < 4 {
+                pool.push(body);
+            }
+        });
+    }
+}
+
+/// Serializes an answer set deterministically (mappings in sorted
+/// order; variables are already sorted within each mapping), appending
+/// to `out`.
+///
+/// Rendering is arena-based: every row is rendered once into a single
+/// backing `String`, the row spans are sorted bytewise (rendered JSON
+/// rows compare in the same order as the mappings they encode, because
+/// binding pairs are serialized in sorted variable order), and the
+/// output is assembled from the sorted spans. This avoids the
+/// clone-sort-reformat pass that previously dominated response
+/// latency on large result sets.
+fn mappings_json_into(out: &mut String, mappings: &owql_algebra::MappingSet) {
+    RENDER_SCRATCH.with(|scratch| {
+        let (arena, spans) = &mut *scratch.borrow_mut();
+        arena.clear();
+        spans.clear();
+        // No up-front size pass: iterating the (columnar) mapping set
+        // materializes rows, so a counting pass would double that cost.
+        // The thread-local arena keeps its high-water capacity, so
+        // growth reallocations only happen while it warms up.
+        spans.reserve(mappings.len());
+        // Rows from one answer set overwhelmingly share a variable
+        // domain (OPT aside), so the constant framing between values —
+        // `{"a": "`, `", "b": "`, `"}` — is rendered once per domain
+        // and reused while consecutive rows match it. The match check
+        // compares interned `Variable` handles — integer equality, no
+        // name resolution.
+        let mut domain: Vec<owql_algebra::Variable> = Vec::new();
+        let mut segments: Vec<String> = Vec::new();
+        let mut dom = 0u32;
+        let mut key_off = 0usize;
+        for m in mappings.iter() {
+            let start = arena.len() as u32;
+            if !(m.len() == domain.len() && m.iter().map(|(v, _)| v).eq(domain.iter().copied())) {
+                domain.clear();
+                domain.extend(m.iter().map(|(v, _)| v));
+                segments.clear();
+                for (j, var) in domain.iter().enumerate() {
+                    let name = var.name();
+                    let mut seg = String::with_capacity(name.len() + 8);
+                    seg.push_str(if j == 0 { "{" } else { "\", " });
+                    push_json_str(&mut seg, name);
+                    seg.push_str(": \"");
+                    segments.push(seg);
+                }
+                segments.push(if domain.is_empty() { "{}" } else { "\"}" }.to_owned());
+                dom += 1;
+                key_off = if domain.is_empty() {
+                    0
+                } else {
+                    segments[0].len()
+                };
+            }
+            for (j, (_, value)) in m.iter().enumerate() {
+                arena.push_str(&segments[j]);
+                push_json_escaped(arena, value.as_str());
+            }
+            arena.push_str(segments.last().expect("tail segment"));
+            let end = arena.len() as u32;
+            let key_start = (start as usize + key_off).min(end as usize);
+            let tail = &arena.as_bytes()[key_start..end as usize];
+            let mut key_bytes = [0u8; 8];
+            let n = tail.len().min(8);
+            key_bytes[..n].copy_from_slice(&tail[..n]);
+            spans.push(RowSpan {
+                start,
+                end,
+                dom,
+                key: u64::from_be_bytes(key_bytes),
+            });
+        }
+        let bytes = arena.as_bytes();
+        // Stable (run-adaptive) sort: evaluation emits rows in
+        // near-sorted order (~3% adjacent inversions on the bench
+        // shapes), which a merge of natural runs exploits far better
+        // than pattern-defeating quicksort.
+        spans.sort_by(|a, b| {
+            let full = || {
+                bytes[a.start as usize..a.end as usize]
+                    .cmp(&bytes[b.start as usize..b.end as usize])
+            };
+            if a.dom == b.dom {
+                a.key.cmp(&b.key).then_with(full)
+            } else {
+                full()
+            }
+        });
+        out.reserve(arena.len() + 2 * spans.len() + 2);
+        out.push('[');
+        for (i, span) in spans.iter().enumerate() {
+            if i > 0 {
                 out.push_str(", ");
             }
-            out.push_str(&json::string(var.name()));
-            out.push_str(": ");
-            out.push_str(&json::string(value.as_str()));
+            out.push_str(&arena[span.start as usize..span.end as usize]);
         }
-        out.push('}');
-    }
-    out.push(']');
+        out.push(']');
+    });
+}
+
+#[cfg(test)]
+fn mappings_json(mappings: &owql_algebra::MappingSet) -> String {
+    let mut out = String::new();
+    mappings_json_into(&mut out, mappings);
     out
+}
+
+/// Memoized wrapper around [`query_success_body`] for cache-hit
+/// outcomes: the store's query cache already guarantees an identical
+/// `QueryOutcome` for an identical request within one epoch, so
+/// re-rendering it per request is pure waste. Keyed by the raw request
+/// (path + query string + body), bounded, and cleared whenever the
+/// epoch moves. Traced outcomes are excluded — their profiles differ
+/// per execution even on a cache hit.
+fn query_success_body_memo(req: &Request, outcome: &owql_store::QueryOutcome) -> String {
+    if !outcome.cache_hit || outcome.profile.is_some() {
+        return query_success_body(outcome);
+    }
+    type MemoKey = (String, String, Vec<u8>);
+    thread_local! {
+        static MEMO: RefCell<(u64, Vec<(MemoKey, String)>)> =
+            const { RefCell::new((0, Vec::new())) };
+    }
+    MEMO.with(|memo| {
+        let (epoch, entries) = &mut *memo.borrow_mut();
+        if *epoch != outcome.epoch {
+            entries.clear();
+            *epoch = outcome.epoch;
+        }
+        if let Some((_, rendered)) = entries
+            .iter()
+            .find(|(k, _)| k.0 == req.path && k.1 == req.query && k.2 == req.body)
+        {
+            let mut body = take_body(rendered.len());
+            body.push_str(rendered);
+            return body;
+        }
+        let body = query_success_body(outcome);
+        if entries.len() < 8 {
+            entries.push((
+                (req.path.clone(), req.query.clone(), req.body.clone()),
+                body.clone(),
+            ));
+        }
+        body
+    })
+}
+
+/// The shared `200` body of `/query` and `/v1/query`.
+fn query_success_body(outcome: &owql_store::QueryOutcome) -> String {
+    let mut body = take_body(128);
+    let _ = write!(
+        body,
+        "{{\"epoch\": {}, \"cache_hit\": {}, \"count\": {}, \"mappings\": ",
+        outcome.epoch,
+        outcome.cache_hit,
+        outcome.mappings.len(),
+    );
+    mappings_json_into(&mut body, &outcome.mappings);
+    if let Some(profile) = &outcome.profile {
+        body.push_str(",\n\"profile\": ");
+        body.push_str(&profile.to_json());
+    }
+    body.push_str("}\n");
+    body
 }
 
 /// `true` iff the request asked for the JSON rendering of `/metrics`
@@ -468,106 +893,184 @@ fn metrics_prometheus(store: &Store, metrics: &ServerMetrics) -> String {
     out
 }
 
-/// Reads, routes, answers, and closes one connection.
-fn handle_connection(
-    stream: &mut TcpStream,
-    store: &Store,
-    pool: &Pool,
-    config: &ServerConfig,
-    metrics: &ServerMetrics,
-) {
-    let req = match read_request(stream) {
-        Ok(Some(req)) => req,
-        Ok(None) => return, // client went away before sending anything
-        Err(e) => {
-            metrics.record_status(e.status);
-            let _ = write_response(
-                stream,
-                e.status,
-                "application/json",
-                &[],
-                &error_body(&e.message),
-            );
-            return;
-        }
-    };
-    let (status, body) = route(&req, store, pool, config, metrics);
-    metrics.record_status(status);
-    // Everything speaks JSON except the default (Prometheus text)
-    // rendering of /metrics.
-    let content_type = if req.method == "GET" && req.path == "/metrics" && !metrics_wants_json(&req)
-    {
-        "text/plain; version=0.0.4"
-    } else {
-        "application/json"
-    };
-    let _ = write_response(stream, status, content_type, &[], &body);
+// ---------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------
+
+/// `Link` header value advertising the `/v1` successor of a legacy
+/// endpoint.
+fn successor_link(path: &str) -> String {
+    format!("</v1{path}>; rel=\"successor-version\"")
 }
 
-/// Dispatches one parsed request to its endpoint, returning
-/// `(status, body)`.
+/// Marks a legacy reply as deprecated, pointing at its `/v1`
+/// successor.
+fn deprecated(reply: Reply, path: &str) -> Reply {
+    reply
+        .with_header("Deprecation", "true".to_owned())
+        .with_header("Link", successor_link(path))
+}
+
+/// Dispatches one parsed request to its endpoint.
+///
+/// `ready` gates `/v1/healthz?ready=1` — it is `true` once segments
+/// are recovered and the shard runtime (when configured) is prewarmed,
+/// and drops back to `false` while draining for shutdown.
 fn route(
     req: &Request,
     store: &Store,
     pool: &Pool,
     config: &ServerConfig,
     metrics: &ServerMetrics,
-) -> (u16, String) {
+    ready: bool,
+) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (
-            200,
-            format!("{{\"status\": \"ok\", \"epoch\": {}}}\n", store.epoch()),
-        ),
+        // --- versioned surface -----------------------------------------
+        ("GET", "/v1/healthz") => v1_healthz(req, store, ready),
+        ("POST", "/v1/query") => v1_query(req, store, pool, config, metrics),
+        ("POST", "/v1/explain") => v1_explain(req, store, config),
+        ("POST", "/v1/lint") => v1_lint(req),
+        (_, "/v1/healthz" | "/v1/query" | "/v1/explain" | "/v1/lint") => ApiError::new(
+            405,
+            "method_not_allowed",
+            "method not allowed for this endpoint",
+        )
+        .reply(),
+        // --- shared infrastructure -------------------------------------
         ("GET", "/metrics") => {
             if metrics_wants_json(req) {
-                (200, metrics_json(store, metrics))
+                Reply::json(200, metrics_json(store, metrics))
             } else {
-                (200, metrics_prometheus(store, metrics))
+                Reply::text(200, metrics_prometheus(store, metrics))
             }
         }
-        ("POST", "/query") => answer_query(req, store, pool, config, metrics),
-        ("POST", "/explain") => answer_explain(req, store, config),
-        ("POST", "/lint") => answer_lint(req),
+        // --- legacy adapters (Deprecation + Link to /v1) ---------------
+        ("GET", "/healthz") => deprecated(
+            Reply::json(
+                200,
+                format!("{{\"status\": \"ok\", \"epoch\": {}}}\n", store.epoch()),
+            ),
+            "/healthz",
+        ),
+        ("POST", "/query") => deprecated(answer_query(req, store, pool, config, metrics), "/query"),
+        ("POST", "/explain") => deprecated(answer_explain(req, store, config), "/explain"),
+        ("POST", "/lint") => deprecated(answer_lint(req), "/lint"),
         (_, "/healthz" | "/metrics" | "/query" | "/explain" | "/lint") => {
-            (405, error_body("method not allowed for this endpoint"))
+            Reply::json(405, error_body("method not allowed for this endpoint"))
         }
-        _ => (404, error_body("no such endpoint")),
+        _ => ApiError::new(404, "not_found", "no such endpoint").reply(),
     }
 }
 
-/// `POST /query`: pattern text in, mappings (and optionally a profile)
-/// out.
+/// `GET /v1/healthz`: liveness always answers; `?ready=1` makes it a
+/// readiness probe that fails `503` until the server can actually
+/// serve queries (segments recovered, shards built) and while
+/// draining.
+fn v1_healthz(req: &Request, store: &Store, ready: bool) -> Reply {
+    let wants_ready = req
+        .query_params()
+        .any(|(key, value)| key == "ready" && (value == "1" || value == "true"));
+    if wants_ready && !ready {
+        return ApiError::new(503, "not_ready", "server is not ready to serve queries").reply();
+    }
+    Reply::json(
+        200,
+        format!(
+            "{{\"status\": \"ok\", \"ready\": {ready}, \"epoch\": {}}}\n",
+            store.epoch()
+        ),
+    )
+}
+
+/// `POST /v1/query`: JSON envelope in, mappings (and optionally a
+/// profile) out; errors in the unified envelope.
+fn v1_query(
+    req: &Request,
+    store: &Store,
+    pool: &Pool,
+    config: &ServerConfig,
+    metrics: &ServerMetrics,
+) -> Reply {
+    let (pattern, opts) = match v1_parse_input(req, config) {
+        Ok(parsed) => parsed,
+        Err(e) => return e.reply(),
+    };
+    let request = QueryRequest::with_opts(pattern, opts);
+    match store.query_request(&request, pool) {
+        Ok(outcome) => Reply::json(200, query_success_body_memo(req, &outcome)),
+        Err(e @ EvalError::Timeout { .. }) => {
+            metrics.timeouts_total.fetch_add(1, Ordering::Relaxed);
+            ApiError::new(504, "timeout", e.to_string()).reply()
+        }
+        // Admission shed: no Retry-After — retrying the same query
+        // cannot succeed. The machine-readable AD001 diagnostic rides
+        // as a sibling of the envelope.
+        Err(e @ EvalError::AdmissionDenied { .. }) => {
+            metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+            let text = request.pattern.to_string();
+            let diagnostic = owql_lint::Diagnostic::new(
+                owql_lint::RuleId::AdmissionDenied,
+                Span::new(0, text.len()),
+                e.to_string(),
+            );
+            ApiError::new(429, "admission_denied", e.to_string())
+                .with_span(0, 1, 1)
+                .with_diagnostic(diagnostic.to_json(&text))
+                .reply()
+        }
+        #[allow(unreachable_patterns)] // EvalError is #[non_exhaustive]
+        Err(e) => ApiError::new(500, "internal", e.to_string()).reply(),
+    }
+}
+
+/// `POST /v1/explain`: JSON envelope in, EXPLAIN ANALYZE out.
+fn v1_explain(req: &Request, store: &Store, config: &ServerConfig) -> Reply {
+    let (pattern, _) = match v1_parse_input(req, config) {
+        Ok(parsed) => parsed,
+        Err(e) => return e.reply(),
+    };
+    Reply::json(200, explain_body(store, &pattern))
+}
+
+/// `POST /v1/lint`: JSON envelope in, full static analysis out.
+fn v1_lint(req: &Request) -> Reply {
+    let doc = match v1_body(req) {
+        Ok(doc) => doc,
+        Err(e) => return e.reply(),
+    };
+    let text = match v1_pattern_text(&doc) {
+        Ok(text) => text.trim(),
+        Err(e) => return e.reply(),
+    };
+    if text.is_empty() {
+        return ApiError::bad_request("\"pattern\" must not be empty").reply();
+    }
+    match owql_lint::analyze_source(text) {
+        Ok(analysis) => Reply::json(200, lint_body(text, &analysis)),
+        Err(e) => ApiError::new(400, "parse_error", e.to_string())
+            .with_span(e.offset, e.line, e.column)
+            .reply(),
+    }
+}
+
+/// `POST /query` (legacy): pattern text in, mappings out.
 fn answer_query(
     req: &Request,
     store: &Store,
     pool: &Pool,
     config: &ServerConfig,
     metrics: &ServerMetrics,
-) -> (u16, String) {
+) -> Reply {
     let (pattern, opts) = match parse_query_input(req, config) {
         Ok(parsed) => parsed,
-        Err(e) => return (e.status, error_body(&e.message)),
+        Err(e) => return Reply::json(e.status, error_body(&e.message)),
     };
     let request = QueryRequest::with_opts(pattern, opts);
     match store.query_request(&request, pool) {
-        Ok(outcome) => {
-            let mut body = format!(
-                "{{\"epoch\": {}, \"cache_hit\": {}, \"count\": {}, \"mappings\": {}",
-                outcome.epoch,
-                outcome.cache_hit,
-                outcome.mappings.len(),
-                mappings_json(&outcome.mappings),
-            );
-            if let Some(profile) = &outcome.profile {
-                body.push_str(",\n\"profile\": ");
-                body.push_str(&profile.to_json());
-            }
-            body.push_str("}\n");
-            (200, body)
-        }
+        Ok(outcome) => Reply::json(200, query_success_body_memo(req, &outcome)),
         Err(e @ EvalError::Timeout { .. }) => {
             metrics.timeouts_total.fetch_add(1, Ordering::Relaxed);
-            (504, error_body(&e.to_string()))
+            Reply::json(504, error_body(&e.to_string()))
         }
         // Admission shed: 429 (no Retry-After — retrying the same
         // query cannot succeed) with a machine-readable AD001
@@ -580,7 +1083,7 @@ fn answer_query(
                 Span::new(0, text.len()),
                 e.to_string(),
             );
-            (
+            Reply::json(
                 429,
                 format!(
                     "{{\"error\": {}, \"diagnostic\": {}}}\n",
@@ -590,72 +1093,74 @@ fn answer_query(
             )
         }
         #[allow(unreachable_patterns)] // EvalError is #[non_exhaustive]
-        Err(e) => (500, error_body(&e.to_string())),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
     }
 }
 
-/// `POST /lint`: pattern text in, full static analysis out — fragment,
-/// complexity class, well-designedness verdict, and every diagnostic
-/// with its byte span and line:column into the request body. Nothing
-/// is evaluated.
-fn answer_lint(req: &Request) -> (u16, String) {
+/// The shared `200` body of `/lint` and `/v1/lint`.
+fn lint_body(text: &str, analysis: &owql_lint::Analysis) -> String {
+    let diagnostics: Vec<String> = analysis
+        .diagnostics
+        .iter()
+        .map(|d| d.to_json(text))
+        .collect();
+    format!(
+        "{{\"fragment\": {}, \"complexity\": {}, \"well_designed\": {}, \
+         \"count\": {}, \"diagnostics\": [{}]}}\n",
+        json::string(&analysis.fragment.to_string()),
+        json::string(&analysis.complexity.to_string()),
+        json::string(analysis.well_designed.as_str()),
+        analysis.diagnostics.len(),
+        diagnostics.join(", "),
+    )
+}
+
+/// `POST /lint` (legacy): pattern text in, full static analysis out —
+/// fragment, complexity class, well-designedness verdict, and every
+/// diagnostic with its byte span and line:column into the request
+/// body. Nothing is evaluated.
+fn answer_lint(req: &Request) -> Reply {
     let text = match req.body_utf8() {
         Ok(text) => text.trim(),
-        Err(e) => return (e.status, error_body(&e.message)),
+        Err(e) => return Reply::json(e.status, error_body(&e.message)),
     };
     if text.is_empty() {
-        return (
+        return Reply::json(
             400,
             error_body("empty request body (expected a graph pattern)"),
         );
     }
     match owql_lint::analyze_source(text) {
-        Ok(analysis) => {
-            let diagnostics: Vec<String> = analysis
-                .diagnostics
-                .iter()
-                .map(|d| d.to_json(text))
-                .collect();
-            (
-                200,
-                format!(
-                    "{{\"fragment\": {}, \"complexity\": {}, \"well_designed\": {}, \
-                     \"count\": {}, \"diagnostics\": [{}]}}\n",
-                    json::string(&analysis.fragment.to_string()),
-                    json::string(&analysis.complexity.to_string()),
-                    json::string(analysis.well_designed.as_str()),
-                    analysis.diagnostics.len(),
-                    diagnostics.join(", "),
-                ),
-            )
-        }
-        Err(e) => (400, error_body(&e.to_string())),
+        Ok(analysis) => Reply::json(200, lint_body(text, &analysis)),
+        Err(e) => Reply::json(400, error_body(&e.to_string())),
     }
 }
 
-/// `POST /explain`: pattern text in, EXPLAIN ANALYZE out.
-fn answer_explain(req: &Request, store: &Store, config: &ServerConfig) -> (u16, String) {
-    let (pattern, _) = match parse_query_input(req, config) {
-        Ok(parsed) => parsed,
-        Err(e) => return (e.status, error_body(&e.message)),
-    };
+/// The shared `200` body of `/explain` and `/v1/explain`.
+fn explain_body(store: &Store, pattern: &owql_algebra::Pattern) -> String {
     let snapshot = store.snapshot();
-    let plan = snapshot.engine().explain_analyze(&pattern);
-    (
-        200,
-        format!(
-            "{{\"epoch\": {}, \"answers\": {}, \"total_ms\": {}, \"plan\": {}}}\n",
-            snapshot.epoch(),
-            plan.answers,
-            json::ns_as_ms(plan.total_ns),
-            json::string(&plan.to_string()),
-        ),
+    let plan = snapshot.engine().explain_analyze(pattern);
+    format!(
+        "{{\"epoch\": {}, \"answers\": {}, \"total_ms\": {}, \"plan\": {}}}\n",
+        snapshot.epoch(),
+        plan.answers,
+        json::ns_as_ms(plan.total_ns),
+        json::string(&plan.to_string()),
     )
 }
 
-/// Shared body+options parsing for `/query` and `/explain`. A parse
-/// failure echoes the `ParseError` `Display` (with its byte offset)
-/// verbatim in the `400` body.
+/// `POST /explain` (legacy): pattern text in, EXPLAIN ANALYZE out.
+fn answer_explain(req: &Request, store: &Store, config: &ServerConfig) -> Reply {
+    let (pattern, _) = match parse_query_input(req, config) {
+        Ok(parsed) => parsed,
+        Err(e) => return Reply::json(e.status, error_body(&e.message)),
+    };
+    Reply::json(200, explain_body(store, &pattern))
+}
+
+/// Shared body+options parsing for the legacy `/query` and `/explain`.
+/// A parse failure echoes the `ParseError` `Display` (with its byte
+/// offset) verbatim in the `400` body.
 fn parse_query_input(
     req: &Request,
     config: &ServerConfig,
@@ -671,6 +1176,904 @@ fn parse_query_input(
     Ok((pattern, opts))
 }
 
+// ---------------------------------------------------------------------
+// Dispatch queue, workers, and the completion bridge
+// ---------------------------------------------------------------------
+
+/// One parsed request bound for a worker, tagged with the connection
+/// slot and generation that must receive the response.
+#[derive(Debug)]
+struct Job {
+    slot: usize,
+    gen: u64,
+    req: Request,
+}
+
+/// One framed response coming back from a worker. `close` mirrors the
+/// framing decision (`Connection: close`) so the event loop tears the
+/// connection down after the flush.
+#[derive(Debug)]
+struct Completion {
+    slot: usize,
+    gen: u64,
+    bytes: Vec<u8>,
+    close: bool,
+}
+
+/// The bounded dispatch queue: a `Mutex<VecDeque>` + `Condvar`.
+/// `push` never blocks (full ⇒ the caller sheds); `pop` blocks until a
+/// job arrives or the queue is closed *and* drained.
+#[derive(Debug)]
+struct JobQueue {
+    inner: Mutex<JobQueueInner>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct JobQueueInner {
+    queue: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(JobQueueInner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Offers a job; hands it back if the queue is full (unless
+    /// `force`) or closed. `force` lets `GET` probes (`/healthz`,
+    /// `/metrics`) bypass the bound so observability survives
+    /// overload.
+    fn push(&self, job: Job, force: bool) -> Result<(), Job> {
+        let mut inner = self.inner.lock().expect("job queue lock poisoned");
+        if inner.closed || (!force && inner.queue.len() >= self.capacity) {
+            return Err(job);
+        }
+        inner.queue.push_back(job);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("job queue lock poisoned");
+        loop {
+            if let Some(job) = inner.queue.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cv.wait(inner).expect("job queue lock poisoned");
+        }
+    }
+
+    /// Non-blocking pop for inline mode (`workers == 0`), where the
+    /// event loop drains the queue itself between readiness sweeps.
+    fn try_pop(&self) -> Option<Job> {
+        self.inner
+            .lock()
+            .expect("job queue lock poisoned")
+            .queue
+            .pop_front()
+    }
+
+    /// Closes the queue: queued jobs still drain, new pushes bounce,
+    /// blocked poppers wake.
+    fn close(&self) {
+        self.inner.lock().expect("job queue lock poisoned").closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Worker → event-loop completion channel: completions accumulate
+/// under a mutex and a byte on the wake pipe makes the epoll wait
+/// return to drain them.
+#[derive(Debug)]
+struct Bridge {
+    completions: Mutex<Vec<Completion>>,
+    wake_tx: UnixStream,
+    /// Retired response buffers cycling back from the event loop so
+    /// workers can encode large responses without fresh allocations.
+    spares: Mutex<Vec<Vec<u8>>>,
+}
+
+impl Bridge {
+    /// Pops a recycled encode buffer, empty but with capacity.
+    fn take_spare(&self) -> Vec<u8> {
+        self.spares
+            .lock()
+            .expect("bridge spares lock poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a drained response buffer for reuse by a worker.
+    fn retire_spare(&self, mut buf: Vec<u8>) {
+        if buf.capacity() < 4096 {
+            return;
+        }
+        buf.clear();
+        let mut spares = self.spares.lock().expect("bridge spares lock poisoned");
+        if spares.len() < 8 {
+            spares.push(buf);
+        }
+    }
+
+    fn push(&self, completion: Completion) {
+        self.completions
+            .lock()
+            .expect("bridge lock poisoned")
+            .push(completion);
+        // A full pipe means a wakeup is already pending — dropping the
+        // byte is fine.
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.completions.lock().expect("bridge lock poisoned"))
+    }
+}
+
+/// One worker: pops jobs, routes them, frames the response bytes, and
+/// pushes the completion back to the event loop.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    jobs: Arc<JobQueue>,
+    bridge: Arc<Bridge>,
+    store: Arc<Store>,
+    config: ServerConfig,
+    metrics: Arc<ServerMetrics>,
+    draining: Arc<AtomicBool>,
+    ready: Arc<AtomicBool>,
+) {
+    // Each worker owns its pool: concurrent requests never contend for
+    // evaluation threads.
+    let pool = Pool::new(config.pool_threads.max(1));
+    while let Some(job) = jobs.pop() {
+        metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let reply = route(
+            &job.req,
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            ready.load(Ordering::Acquire),
+        );
+        metrics.record_status(reply.status);
+        // Shutdown drains by forcing every in-flight response to
+        // Connection: close.
+        let keep = job.req.keep_alive && !draining.load(Ordering::Relaxed);
+        let mut bytes = bridge.take_spare();
+        let chunked = encode_response_into(
+            &mut bytes,
+            reply.status,
+            reply.content_type,
+            &reply.headers,
+            reply.body.as_bytes(),
+            keep,
+            job.req.http11,
+        );
+        if chunked {
+            metrics
+                .chunked_responses_total
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        bridge.push(Completion {
+            slot: job.slot,
+            gen: job.gen,
+            bytes,
+            close: !keep,
+        });
+        retire_body(reply.body);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The event loop
+// ---------------------------------------------------------------------
+
+/// Epoll tag for the listener.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Epoll tag for the worker wake pipe.
+const WAKE_TOKEN: u64 = u64::MAX - 1;
+/// Epoll tick, ms: bounds how stale the timeout sweep and the
+/// shutdown-flag check can get while the loop is otherwise idle.
+const TICK_MS: i32 = 100;
+
+/// Per-connection state machine.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    /// Generation tag: completions for a recycled slot are dropped
+    /// when their generation doesn't match.
+    gen: u64,
+    /// Bytes read but not yet parsed into a request.
+    read_buf: Vec<u8>,
+    /// Parsed requests waiting their turn (pipelining). Dispatch is
+    /// one-at-a-time per connection so responses keep request order.
+    pending: VecDeque<Request>,
+    /// A job for this connection is in flight with a worker.
+    busy: bool,
+    /// Bytes queued for the socket; `write_pos` marks the flushed
+    /// prefix.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Close once the write buffer drains (Connection: close, wire
+    /// error, or forced by drain mode).
+    closing: bool,
+    /// Peer shut down its write half (EOF / EPOLLRDHUP).
+    read_eof: bool,
+    /// EPOLLOUT currently armed.
+    want_write: bool,
+    /// Requests dispatched on this connection so far.
+    served: u64,
+    last_activity: Instant,
+    /// A wire-level parse failure, deferred until the pipelined
+    /// requests ahead of it have been answered.
+    wire_error: Option<HttpError>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, gen: u64) -> Conn {
+        Conn {
+            stream,
+            gen,
+            read_buf: Vec::new(),
+            pending: VecDeque::new(),
+            busy: false,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            closing: false,
+            read_eof: false,
+            want_write: false,
+            served: 0,
+            last_activity: Instant::now(),
+            wire_error: None,
+        }
+    }
+
+    fn write_drained(&self) -> bool {
+        self.write_pos >= self.write_buf.len()
+    }
+}
+
+/// The event loop: owns the epoll instance, the listener, the wake
+/// pipe, and the connection slab.
+struct EventLoop {
+    epoll: Epoll,
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_gen: u64,
+    open: usize,
+    jobs: Arc<JobQueue>,
+    bridge: Arc<Bridge>,
+    metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    ready: Arc<AtomicBool>,
+    config: ServerConfig,
+    store: Arc<Store>,
+    /// `Some` in inline mode (`workers == 0`): the evaluation pool the
+    /// event loop routes with when it drains the job queue itself.
+    inline_pool: Option<Pool>,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        let mut events = [EpollEvent::default(); 256];
+        loop {
+            let n = self.epoll.wait(&mut events, TICK_MS).unwrap_or(0);
+            if n > 0 {
+                self.metrics
+                    .ready_events_total
+                    .fetch_add(n as u64, Ordering::Relaxed);
+            }
+            for event in &events[..n] {
+                let token = event.data;
+                let bits = event.events;
+                match token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKE_TOKEN => self.drain_wake(),
+                    slot => self.conn_ready(slot as usize, bits),
+                }
+            }
+            if self.inline_pool.is_some() {
+                self.drain_jobs_inline();
+            }
+            self.apply_completions();
+            if self.shutdown.load(Ordering::Relaxed) && self.listener.is_some() {
+                self.begin_drain();
+            }
+            if self.draining.load(Ordering::Relaxed) {
+                self.sweep_drain();
+                if self.open == 0 {
+                    return;
+                }
+            }
+            self.sweep_timeouts();
+        }
+    }
+
+    /// Edge-triggered accept: drain the backlog until `WouldBlock`.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.metrics.accepted_total.fetch_add(1, Ordering::Relaxed);
+                    self.register(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) {
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        if self
+            .epoll
+            .add(stream.as_raw_fd(), slot as u64, EPOLLIN | EPOLLRDHUP)
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        self.conns[slot] = Some(Conn::new(stream, gen));
+        self.open += 1;
+        self.metrics
+            .connections_open
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match self.wake_rx.read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, slot: usize, bits: u32) {
+        if self.conns.get(slot).is_none_or(|c| c.is_none()) {
+            return; // already closed this iteration
+        }
+        if bits & EPOLLERR != 0 {
+            self.close(slot);
+            return;
+        }
+        if bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 {
+            self.readable(slot);
+        }
+        if self.conns[slot].is_some() && bits & EPOLLOUT != 0 {
+            self.flush(slot);
+            self.maybe_close(slot);
+        }
+    }
+
+    /// Reads whatever arrived, parses pipelined requests off the
+    /// buffer, and dispatches.
+    fn readable(&mut self, slot: usize) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let conn = self.conns[slot].as_mut().expect("conn checked by caller");
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                    if n < chunk.len() {
+                        break; // socket drained
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+        self.parse_pending(slot);
+        self.try_dispatch(slot);
+        self.flush(slot);
+        self.maybe_close(slot);
+    }
+
+    fn parse_pending(&mut self, slot: usize) {
+        let conn = self.conns[slot].as_mut().expect("conn checked by caller");
+        let mut pipelined = 0u64;
+        while conn.wire_error.is_none() && !conn.closing {
+            match parse_request(&mut conn.read_buf) {
+                Ok(Some(req)) => {
+                    if conn.busy || !conn.pending.is_empty() {
+                        pipelined += 1;
+                    }
+                    conn.pending.push_back(req);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // Defer: requests already pipelined ahead of the
+                    // bad bytes still get answers before the error
+                    // closes the connection.
+                    conn.wire_error = Some(e);
+                    break;
+                }
+            }
+        }
+        if pipelined > 0 {
+            self.metrics
+                .pipelined_requests_total
+                .fetch_add(pipelined, Ordering::Relaxed);
+        }
+    }
+
+    /// Dispatches the head-of-line request if the connection is free.
+    /// Sheds (full queue) are answered inline and dispatch continues
+    /// with the next pipelined request — the connection survives.
+    fn try_dispatch(&mut self, slot: usize) {
+        loop {
+            let draining = self.draining.load(Ordering::Relaxed);
+            let conn = self.conns[slot].as_mut().expect("conn checked by caller");
+            if conn.busy || conn.closing {
+                return;
+            }
+            let Some(req) = conn.pending.pop_front() else {
+                // Everything answered: a deferred wire error now takes
+                // its turn and the connection closes behind it.
+                if let Some(e) = conn.wire_error.take() {
+                    let body = wire_error_body(e.status, &e.message);
+                    encode_response_into(
+                        &mut conn.write_buf,
+                        e.status,
+                        "application/json",
+                        &[],
+                        body.as_bytes(),
+                        false,
+                        false,
+                    );
+                    conn.closing = true;
+                    self.metrics.record_status(e.status);
+                }
+                return;
+            };
+            if conn.served > 0 {
+                self.metrics
+                    .keepalive_reuses_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            conn.served += 1;
+            let keep = req.keep_alive && !draining;
+            // GET probes bypass the bound: health and metrics stay
+            // answerable while query traffic is being shed.
+            let force = req.method == "GET";
+            let gen = conn.gen;
+            match self.jobs.push(Job { slot, gen, req }, force) {
+                Ok(()) => {
+                    self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                    let conn = self.conns[slot].as_mut().expect("conn exists");
+                    conn.busy = true;
+                    return;
+                }
+                Err(job) => {
+                    // Inline shed: one buffered 429, keep-alive
+                    // preserved, loop on to the next pipelined request.
+                    self.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.record_status(429);
+                    let reply = shed_reply(&job.req, &self.config);
+                    let conn = self.conns[slot].as_mut().expect("conn exists");
+                    encode_response_into(
+                        &mut conn.write_buf,
+                        reply.status,
+                        reply.content_type,
+                        &reply.headers,
+                        reply.body.as_bytes(),
+                        keep,
+                        job.req.http11,
+                    );
+                    if !keep {
+                        conn.closing = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Inline mode: serve every queued job on this thread, encoding
+    /// straight into the connection's write buffer. Dispatching the
+    /// next pipelined request re-enters the queue, so one sweep fully
+    /// drains a pipelined connection. Admission (and shedding) already
+    /// happened in [`EventLoop::try_dispatch`]; this is the worker half
+    /// of the request without the thread hand-off.
+    fn drain_jobs_inline(&mut self) {
+        while let Some(job) = self.jobs.try_pop() {
+            self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            self.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+            let pool = self.inline_pool.as_ref().expect("inline pool present");
+            let reply = route(
+                &job.req,
+                &self.store,
+                pool,
+                &self.config,
+                &self.metrics,
+                self.ready.load(Ordering::Acquire),
+            );
+            self.metrics.record_status(reply.status);
+            let keep = job.req.keep_alive && !self.draining.load(Ordering::Relaxed);
+            self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+            let Some(conn) = self.conns.get_mut(job.slot).and_then(|c| c.as_mut()) else {
+                retire_body(reply.body);
+                continue;
+            };
+            if conn.gen != job.gen {
+                retire_body(reply.body);
+                continue;
+            }
+            conn.busy = false;
+            let chunked = encode_response_into(
+                &mut conn.write_buf,
+                reply.status,
+                reply.content_type,
+                &reply.headers,
+                reply.body.as_bytes(),
+                keep,
+                job.req.http11,
+            );
+            if chunked {
+                self.metrics
+                    .chunked_responses_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            retire_body(reply.body);
+            conn.last_activity = Instant::now();
+            if !keep {
+                conn.closing = true;
+                conn.pending.clear();
+                conn.wire_error = None;
+            }
+            self.try_dispatch(job.slot);
+            self.flush(job.slot);
+            self.maybe_close(job.slot);
+        }
+    }
+
+    fn apply_completions(&mut self) {
+        for completion in self.bridge.drain() {
+            let Some(conn) = self.conns.get_mut(completion.slot).and_then(|c| c.as_mut()) else {
+                continue;
+            };
+            if conn.gen != completion.gen {
+                continue; // slot was recycled under the worker
+            }
+            conn.busy = false;
+            if conn.write_buf.is_empty() {
+                // Common case: nothing pending — adopt the worker's
+                // buffer instead of copying it, and cycle the drained
+                // predecessor back to the workers.
+                let old = std::mem::replace(&mut conn.write_buf, completion.bytes);
+                conn.write_pos = 0;
+                self.bridge.retire_spare(old);
+            } else {
+                conn.write_buf.extend_from_slice(&completion.bytes);
+                self.bridge.retire_spare(completion.bytes);
+            }
+            conn.last_activity = Instant::now();
+            if completion.close {
+                conn.closing = true;
+                conn.pending.clear();
+                conn.wire_error = None;
+            }
+            self.try_dispatch(completion.slot);
+            self.flush(completion.slot);
+            self.maybe_close(completion.slot);
+        }
+    }
+
+    /// Flushes the write buffer as far as the socket allows, arming
+    /// `EPOLLOUT` only while bytes remain.
+    fn flush(&mut self, slot: usize) {
+        loop {
+            let conn = self.conns[slot].as_mut().expect("conn checked by caller");
+            if conn.write_drained() {
+                conn.write_buf.clear();
+                conn.write_pos = 0;
+                break;
+            }
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => {
+                    self.close(slot);
+                    return;
+                }
+                Ok(n) => {
+                    conn.write_pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.arm_write(slot, true);
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+        self.arm_write(slot, false);
+    }
+
+    fn arm_write(&mut self, slot: usize, want: bool) {
+        let conn = self.conns[slot].as_mut().expect("conn checked by caller");
+        if conn.want_write == want {
+            return;
+        }
+        let mut interest = EPOLLIN | EPOLLRDHUP;
+        if want {
+            interest |= EPOLLOUT;
+        }
+        if self
+            .epoll
+            .modify(conn.stream.as_raw_fd(), slot as u64, interest)
+            .is_ok()
+        {
+            let conn = self.conns[slot].as_mut().expect("conn exists");
+            conn.want_write = want;
+        }
+    }
+
+    /// Closes the connection if nothing more can happen on it.
+    fn maybe_close(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get(slot).and_then(|c| c.as_ref()) else {
+            return;
+        };
+        if conn.busy || !conn.write_drained() {
+            return;
+        }
+        if conn.closing || (conn.read_eof && conn.pending.is_empty() && conn.wire_error.is_none()) {
+            self.close(slot);
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.open -= 1;
+            self.metrics
+                .connections_open
+                .fetch_sub(1, Ordering::Relaxed);
+            self.free.push(slot);
+        }
+    }
+
+    /// Enters drain mode: stop accepting, clear readiness; existing
+    /// connections finish what they started.
+    fn begin_drain(&mut self) {
+        self.draining.store(true, Ordering::Relaxed);
+        self.ready.store(false, Ordering::Release);
+        if let Some(listener) = self.listener.take() {
+            let _ = self.epoll.delete(listener.as_raw_fd());
+        }
+    }
+
+    /// During drain, closes connections that have been served (or hung
+    /// up) and have nothing left in flight. Connections that connected
+    /// but have not yet sent a request stay until they do (their
+    /// response is forced to `Connection: close`) or until the idle
+    /// sweep reaps them.
+    fn sweep_drain(&mut self) {
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                continue;
+            };
+            if !conn.busy
+                && conn.pending.is_empty()
+                && conn.wire_error.is_none()
+                && conn.write_drained()
+                && (conn.served > 0 || conn.read_eof)
+            {
+                self.close(slot);
+            }
+        }
+    }
+
+    /// Slowloris guard: reaps connections idle past the configured
+    /// timeout with no request in flight.
+    fn sweep_timeouts(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                continue;
+            };
+            if !conn.busy && now.duration_since(conn.last_activity) > self.config.io_timeout {
+                self.close(slot);
+            }
+        }
+    }
+}
+
+/// The inline `429` for a full dispatch queue: envelope format on
+/// `/v1` paths, the legacy error body elsewhere; `Retry-After` either
+/// way.
+fn shed_reply(req: &Request, config: &ServerConfig) -> Reply {
+    if req.path.starts_with("/v1/") {
+        ApiError::new(429, "shed", "dispatch queue is full, retry later")
+            .with_retry_after(config.retry_after_secs)
+            .reply()
+    } else {
+        Reply::json(429, error_body("admission queue is full, retry later"))
+            .with_header("Retry-After", config.retry_after_secs.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The server
+// ---------------------------------------------------------------------
+
+/// A running query server. Dropping it without calling
+/// [`Server::shutdown`] detaches the threads (the test and example
+/// entry points always shut down explicitly).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    jobs: Arc<JobQueue>,
+    metrics: Arc<ServerMetrics>,
+    io_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, builds the shard runtime when configured, and starts the
+    /// event loop plus `config.workers` workers. Readiness
+    /// (`/v1/healthz?ready=1`) turns true here, after sharding is
+    /// prewarmed and before the first connection is served.
+    pub fn start(store: Arc<Store>, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let epoll = Epoll::new()?;
+        epoll.add(listener.as_raw_fd(), LISTENER_TOKEN, EPOLLIN | EPOLLET)?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        epoll.add(wake_rx.as_raw_fd(), WAKE_TOKEN, EPOLLIN)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
+        let ready = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(ServerMetrics::default());
+        let jobs = Arc::new(JobQueue::new(config.queue_capacity.max(1)));
+        let bridge = Arc::new(Bridge {
+            completions: Mutex::new(Vec::new()),
+            wake_tx,
+            spares: Mutex::new(Vec::new()),
+        });
+
+        // Build and prewarm the shard runtime before declaring
+        // readiness: the first scatter-gather query must not pay the
+        // partitioning cost.
+        if config.shards > 0 {
+            store.enable_sharding(config.shards, config.pool_threads.max(1));
+            if let Some(runtime) = store.shard_runtime() {
+                let _ = runtime.runs_for(&store.snapshot());
+            }
+        }
+        ready.store(true, Ordering::Release);
+
+        // `workers == 0` is inline mode: no worker threads, the event
+        // loop routes requests itself with its own pool.
+        let worker_handles: Vec<JoinHandle<()>> = (0..config.workers)
+            .map(|_| {
+                let jobs = jobs.clone();
+                let bridge = bridge.clone();
+                let store = store.clone();
+                let config = config.clone();
+                let metrics = metrics.clone();
+                let draining = draining.clone();
+                let ready = ready.clone();
+                std::thread::spawn(move || {
+                    worker_loop(jobs, bridge, store, config, metrics, draining, ready)
+                })
+            })
+            .collect();
+
+        let io_handle = {
+            let inline_pool = if config.workers == 0 {
+                Some(Pool::new(config.pool_threads.max(1)))
+            } else {
+                None
+            };
+            let event_loop = EventLoop {
+                epoll,
+                listener: Some(listener),
+                wake_rx,
+                conns: Vec::new(),
+                free: Vec::new(),
+                next_gen: 0,
+                open: 0,
+                jobs: jobs.clone(),
+                bridge,
+                metrics: metrics.clone(),
+                shutdown: shutdown.clone(),
+                draining,
+                ready,
+                config: config.clone(),
+                store,
+                inline_pool,
+            };
+            std::thread::spawn(move || event_loop.run())
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            jobs,
+            metrics,
+            io_handle: Some(io_handle),
+            worker_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the OS-assigned port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared request counters.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight and
+    /// pipelined requests, join every thread. The event loop notices
+    /// the flag within one tick, drops the listener, and exits once
+    /// every connection has been served and closed; then the job queue
+    /// closes and the workers join.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.io_handle.take() {
+            let _ = handle.join();
+        }
+        self.jobs.close();
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -681,8 +2084,15 @@ mod tests {
             method: "GET".into(),
             path: path.into(),
             query: query.into(),
-            body: Vec::new(),
+            ..Request::default()
         }
+    }
+
+    fn post_req(target: &str, body: &[u8]) -> Request {
+        let mut req = get_req(target);
+        req.method = "POST".into();
+        req.body = body.to_vec();
+        req
     }
 
     #[test]
@@ -746,6 +2156,45 @@ mod tests {
         let opts = parse_opts(&get_req("/query?max_class=pspace"), &capped).expect("valid");
         assert_eq!(opts.max_class, Some(ComplexityClass::Np));
         assert!(parse_opts(&get_req("/query?max_class=turing"), &capped).is_err());
+
+        // The /v1 JSON opts apply the same clamp.
+        let doc = reqjson::parse(r#"{"max_class": "pspace"}"#).expect("valid json");
+        let opts = v1_opts(Some(&doc), &capped).expect("valid");
+        assert_eq!(opts.max_class, Some(ComplexityClass::Np));
+    }
+
+    #[test]
+    fn v1_opts_parse_and_reject_unknowns() {
+        let config = ServerConfig::default();
+        let doc = reqjson::parse(
+            r#"{"mode": "parallel", "trace": true, "cache": false,
+                "columnar": true, "deadline_ms": 250, "slow_ms": 5}"#,
+        )
+        .expect("valid json");
+        let opts = v1_opts(Some(&doc), &config).expect("valid");
+        assert_eq!(opts.mode, ExecMode::Parallel);
+        assert!(opts.trace);
+        assert!(!opts.cache);
+        assert_eq!(opts.columnar, Some(true));
+        assert_eq!(opts.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(opts.slow_query, Some(Duration::from_millis(5)));
+
+        // Absent opts: config defaults.
+        let opts = v1_opts(None, &config).expect("valid");
+        assert_eq!(opts.deadline, config.default_deadline);
+
+        for bad in [
+            r#"{"mode": "warp"}"#,
+            r#"{"trace": "yes"}"#,
+            r#"{"deadline_ms": -1}"#,
+            r#"{"deadline_ms": 2.5}"#,
+            r#"{"bogus": 1}"#,
+            r#"{"max_class": 3}"#,
+        ] {
+            let doc = reqjson::parse(bad).expect("valid json");
+            assert!(v1_opts(Some(&doc), &config).is_err(), "{bad} should fail");
+        }
+        assert!(v1_opts(Some(&reqjson::JsonValue::Num(1.0)), &config).is_err());
     }
 
     #[test]
@@ -760,19 +2209,54 @@ mod tests {
     }
 
     #[test]
-    fn admission_queue_bounds_and_drains() {
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let addr = listener.local_addr().expect("addr");
-        let q = Admission::new(2);
-        let mk = || TcpStream::connect(addr).expect("connect");
-        assert!(q.push(mk()).is_ok());
-        assert!(q.push(mk()).is_ok());
-        assert!(q.push(mk()).is_err(), "third push exceeds capacity 2");
+    fn job_queue_bounds_forces_and_drains() {
+        let q = JobQueue::new(2);
+        let mk = || Job {
+            slot: 0,
+            gen: 0,
+            req: Request::default(),
+        };
+        assert!(q.push(mk(), false).is_ok());
+        assert!(q.push(mk(), false).is_ok());
+        assert!(
+            q.push(mk(), false).is_err(),
+            "third push exceeds capacity 2"
+        );
+        assert!(q.push(mk(), true).is_ok(), "force bypasses the bound");
         assert!(q.pop().is_some());
         q.close();
         assert!(q.pop().is_some(), "close drains remaining entries");
+        assert!(q.pop().is_some());
         assert!(q.pop().is_none());
-        assert!(q.push(mk()).is_err(), "closed queue rejects pushes");
+        assert!(q.push(mk(), true).is_err(), "closed queue rejects pushes");
+    }
+
+    #[test]
+    fn config_builder_sets_every_knob() {
+        let config = ServerConfig::builder()
+            .addr("127.0.0.1:0")
+            .workers(2)
+            .queue_capacity(16)
+            .pool_threads(3)
+            .default_deadline(Some(Duration::from_secs(5)))
+            .retry_after_secs(7)
+            .io_timeout(Duration::from_secs(9))
+            .admission_ceiling(Some(owql_lint::ComplexityClass::Np))
+            .slow_query_threshold(None)
+            .shards(4)
+            .build();
+        assert_eq!(config.workers, 2);
+        assert_eq!(config.queue_capacity, 16);
+        assert_eq!(config.pool_threads, 3);
+        assert_eq!(config.default_deadline, Some(Duration::from_secs(5)));
+        assert_eq!(config.retry_after_secs, 7);
+        assert_eq!(config.io_timeout, Duration::from_secs(9));
+        assert_eq!(
+            config.admission_ceiling,
+            Some(owql_lint::ComplexityClass::Np)
+        );
+        assert_eq!(config.slow_query_threshold, None);
+        assert_eq!(config.shards, 4);
     }
 
     #[test]
@@ -783,17 +2267,18 @@ mod tests {
 
         // In-memory store: persist is explicitly null.
         let store = Store::new();
-        let (status, body) = route(
+        let reply = route(
             &get_req("/metrics?format=json"),
             &store,
             &pool,
             &config,
             &metrics,
+            true,
         );
-        assert_eq!(status, 200);
-        assert!(body.contains("\"persist\": null"), "{body}");
-        assert!(body.contains("\"hub\""), "{body}");
-        assert!(body.contains("\"slow_queries\""), "{body}");
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"persist\": null"), "{}", reply.body);
+        assert!(reply.body.contains("\"hub\""), "{}", reply.body);
+        assert!(reply.body.contains("\"slow_queries\""), "{}", reply.body);
 
         // Durable store: the counters appear.
         let dir = std::env::temp_dir().join(format!("owql-server-metrics-{}", std::process::id()));
@@ -807,14 +2292,15 @@ mod tests {
         )
         .expect("open durable store");
         durable.insert(owql_rdf::Triple::new("a", "p", "b"));
-        let (status, body) = route(
+        let reply = route(
             &get_req("/metrics?format=json"),
             &durable,
             &pool,
             &config,
             &metrics,
+            true,
         );
-        assert_eq!(status, 200);
+        assert_eq!(reply.status, 200);
         for key in [
             "\"wal_bytes\"",
             "\"wal_records\": 1",
@@ -825,7 +2311,7 @@ mod tests {
             "\"wal_fsync\"",
             "\"histogram_buckets\"",
         ] {
-            assert!(body.contains(key), "missing {key} in {body}");
+            assert!(reply.body.contains(key), "missing {key} in {}", reply.body);
         }
     }
 
@@ -843,20 +2329,20 @@ mod tests {
         store.insert(owql_rdf::Triple::new("b", "p", "c"));
 
         const N: usize = 7;
-        let mut query = get_req("/query?cache=0&trace=1");
-        query.method = "POST".into();
-        query.body = b"((?x, p, ?y) AND (?y, p, ?z))".to_vec();
+        let query = post_req("/query?cache=0&trace=1", b"((?x, p, ?y) AND (?y, p, ?z))");
         for _ in 0..N {
-            let (status, _) = route(&query, &store, &pool, &config, &metrics);
-            assert_eq!(status, 200);
+            let reply = route(&query, &store, &pool, &config, &metrics, true);
+            assert_eq!(reply.status, 200);
         }
 
-        let (status, body) = route(&get_req("/metrics"), &store, &pool, &config, &metrics);
-        assert_eq!(status, 200);
+        let reply = route(&get_req("/metrics"), &store, &pool, &config, &metrics, true);
+        assert_eq!(reply.status, 200);
+        let body = reply.body;
         assert!(
             !body.trim_start().starts_with('{'),
             "default rendering must be Prometheus text, not JSON: {body}"
         );
+        assert_eq!(reply.content_type, "text/plain; version=0.0.4");
         for family in [
             ("owql_queries_total", "counter"),
             ("owql_query_latency_seconds", "histogram"),
@@ -868,6 +2354,11 @@ mod tests {
             ("owql_slow_queries_total", "counter"),
             ("owql_server_accepted_total", "counter"),
             ("owql_server_responses_total", "counter"),
+            ("owql_server_ready_events_total", "counter"),
+            ("owql_server_connections_open", "gauge"),
+            ("owql_server_keepalive_reuses_total", "counter"),
+            ("owql_server_pipelined_requests_total", "counter"),
+            ("owql_server_chunked_responses_total", "counter"),
             ("owql_store_epoch", "gauge"),
             ("owql_store_triples", "gauge"),
         ] {
@@ -916,24 +2407,31 @@ mod tests {
         let store = Store::new();
         store.insert(owql_rdf::Triple::new("a", "p", "b"));
 
-        let mut query = get_req("/query?cache=0&slow_ms=0");
-        query.method = "POST".into();
-        query.body = b"(?x, p, ?y)".to_vec();
-        let (status, _) = route(&query, &store, &pool, &config, &metrics);
-        assert_eq!(status, 200);
+        let query = post_req("/query?cache=0&slow_ms=0", b"(?x, p, ?y)");
+        let reply = route(&query, &store, &pool, &config, &metrics, true);
+        assert_eq!(reply.status, 200);
 
-        let (status, body) = route(
+        let reply = route(
             &get_req("/metrics?format=json"),
             &store,
             &pool,
             &config,
             &metrics,
+            true,
         );
-        assert_eq!(status, 200);
-        assert!(body.contains("\"slow_queries_total\": 1"), "{body}");
-        assert!(body.contains("(?x, p, ?y)"), "{body}");
-        let (_, prom) = route(&get_req("/metrics"), &store, &pool, &config, &metrics);
-        assert!(prom.contains("owql_slow_queries_total 1"), "{prom}");
+        assert_eq!(reply.status, 200);
+        assert!(
+            reply.body.contains("\"slow_queries_total\": 1"),
+            "{}",
+            reply.body
+        );
+        assert!(reply.body.contains("(?x, p, ?y)"), "{}", reply.body);
+        let prom = route(&get_req("/metrics"), &store, &pool, &config, &metrics, true);
+        assert!(
+            prom.body.contains("owql_slow_queries_total 1"),
+            "{}",
+            prom.body
+        );
     }
 
     #[test]
@@ -942,12 +2440,286 @@ mod tests {
         let pool = Pool::sequential();
         let config = ServerConfig::default();
         let metrics = ServerMetrics::default();
-        let (status, _) = route(&get_req("/nope"), &store, &pool, &config, &metrics);
-        assert_eq!(status, 404);
+        let reply = route(&get_req("/nope"), &store, &pool, &config, &metrics, true);
+        assert_eq!(reply.status, 404);
+        assert!(
+            reply.body.contains("\"code\": \"not_found\""),
+            "{}",
+            reply.body
+        );
         let mut post = get_req("/healthz");
         post.method = "POST".into();
-        let (status, _) = route(&post, &store, &pool, &config, &metrics);
-        assert_eq!(status, 405);
+        let reply = route(&post, &store, &pool, &config, &metrics, true);
+        assert_eq!(reply.status, 405);
+        let mut post = get_req("/v1/healthz");
+        post.method = "POST".into();
+        let reply = route(&post, &store, &pool, &config, &metrics, true);
+        assert_eq!(reply.status, 405);
+        assert!(
+            reply.body.contains("\"code\": \"method_not_allowed\""),
+            "{}",
+            reply.body
+        );
+    }
+
+    #[test]
+    fn legacy_endpoints_answer_with_deprecation_headers() {
+        let store = Store::new();
+        store.insert(owql_rdf::Triple::new("a", "p", "b"));
+        let pool = Pool::sequential();
+        let config = ServerConfig::default();
+        let metrics = ServerMetrics::default();
+
+        let reply = route(&get_req("/healthz"), &store, &pool, &config, &metrics, true);
+        assert_eq!(reply.status, 200);
+        assert!(reply
+            .headers
+            .iter()
+            .any(|(name, value)| *name == "Deprecation" && value == "true"));
+        assert!(reply
+            .headers
+            .iter()
+            .any(|(name, value)| *name == "Link" && value.contains("/v1/healthz")));
+
+        let reply = route(
+            &post_req("/query", b"(?x, p, ?y)"),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 200);
+        assert!(reply.headers.iter().any(|(name, _)| *name == "Deprecation"));
+
+        // The versioned endpoints carry no deprecation marker.
+        let reply = route(
+            &get_req("/v1/healthz"),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 200);
+        assert!(reply.headers.is_empty(), "{:?}", reply.headers);
+    }
+
+    #[test]
+    fn v1_healthz_readiness_gates_on_the_flag() {
+        let store = Store::new();
+        let pool = Pool::sequential();
+        let config = ServerConfig::default();
+        let metrics = ServerMetrics::default();
+
+        // Liveness always answers, reporting readiness.
+        let reply = route(
+            &get_req("/v1/healthz"),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            false,
+        );
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"ready\": false"), "{}", reply.body);
+
+        // The readiness probe fails until ready.
+        let reply = route(
+            &get_req("/v1/healthz?ready=1"),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            false,
+        );
+        assert_eq!(reply.status, 503);
+        assert!(
+            reply.body.contains("\"code\": \"not_ready\""),
+            "{}",
+            reply.body
+        );
+        let reply = route(
+            &get_req("/v1/healthz?ready=1"),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"ready\": true"), "{}", reply.body);
+    }
+
+    #[test]
+    fn v1_query_answers_and_envelopes_errors() {
+        let store = Store::new();
+        store.insert(owql_rdf::Triple::new("a", "p", "b"));
+        let pool = Pool::sequential();
+        let config = ServerConfig::default();
+        let metrics = ServerMetrics::default();
+
+        let reply = route(
+            &post_req("/v1/query", br#"{"pattern": "(?x, p, ?y)"}"#),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert!(reply.body.contains("\"count\": 1"), "{}", reply.body);
+        assert!(reply.body.contains("\"x\": \"a\""), "{}", reply.body);
+
+        // Options ride in the body; trace=true yields a profile.
+        let reply = route(
+            &post_req(
+                "/v1/query",
+                br#"{"pattern": "(?x, p, ?y)", "opts": {"trace": true, "cache": false}}"#,
+            ),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert!(reply.body.contains("\"profile\""), "{}", reply.body);
+
+        // A pattern parse failure carries a parse_error code and the
+        // offending span.
+        let reply = route(
+            &post_req("/v1/query", br#"{"pattern": "(?x, p"}"#),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 400);
+        assert!(
+            reply.body.contains("\"code\": \"parse_error\""),
+            "{}",
+            reply.body
+        );
+        assert!(reply.body.contains("\"span\""), "{}", reply.body);
+        assert!(reply.body.contains("\"offset\""), "{}", reply.body);
+
+        // Malformed JSON and missing pattern are bad_request.
+        for bad in [&b"not json"[..], br#"{"opts": {}}"#] {
+            let reply = route(
+                &post_req("/v1/query", bad),
+                &store,
+                &pool,
+                &config,
+                &metrics,
+                true,
+            );
+            assert_eq!(reply.status, 400, "{}", reply.body);
+            assert!(
+                reply.body.contains("\"code\": \"bad_request\""),
+                "{}",
+                reply.body
+            );
+        }
+
+        // The deadline path maps to a timeout envelope.
+        let reply = route(
+            &post_req(
+                "/v1/query",
+                br#"{"pattern": "(?x, p, ?y)", "opts": {"deadline_ms": 0, "cache": false}}"#,
+            ),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 504);
+        assert!(
+            reply.body.contains("\"code\": \"timeout\""),
+            "{}",
+            reply.body
+        );
+
+        // The admission ceiling maps to admission_denied + AD001.
+        let capped = ServerConfig {
+            admission_ceiling: Some(owql_lint::ComplexityClass::Np),
+            ..ServerConfig::default()
+        };
+        let reply = route(
+            &post_req(
+                "/v1/query",
+                br#"{"pattern": "NS(((?x, p, ?y) OPT (?y, p, ?z)))"}"#,
+            ),
+            &store,
+            &pool,
+            &capped,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 429, "{}", reply.body);
+        assert!(
+            reply.body.contains("\"code\": \"admission_denied\""),
+            "{}",
+            reply.body
+        );
+        assert!(reply.body.contains("\"rule\": \"AD001\""), "{}", reply.body);
+    }
+
+    #[test]
+    fn v1_explain_and_lint_answer() {
+        let store = Store::new();
+        store.insert(owql_rdf::Triple::new("a", "p", "b"));
+        let pool = Pool::sequential();
+        let config = ServerConfig::default();
+        let metrics = ServerMetrics::default();
+
+        let reply = route(
+            &post_req("/v1/explain", br#"{"pattern": "(?x, p, ?y)"}"#),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert!(reply.body.contains("\"plan\""), "{}", reply.body);
+
+        let reply = route(
+            &post_req(
+                "/v1/lint",
+                br#"{"pattern": "((?X, a, Chile) AND ((?Y, a, Chile) OPT (?Y, b, ?X)))"}"#,
+            ),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert!(
+            reply.body.contains("\"well_designed\": \"violated\""),
+            "{}",
+            reply.body
+        );
+        assert!(reply.body.contains("\"rule\": \"WD001\""), "{}", reply.body);
+
+        // Lint parse failures carry the span envelope too.
+        let reply = route(
+            &post_req("/v1/lint", br#"{"pattern": "(?x, p"}"#),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 400);
+        assert!(
+            reply.body.contains("\"code\": \"parse_error\""),
+            "{}",
+            reply.body
+        );
     }
 
     #[test]
@@ -958,25 +2730,40 @@ mod tests {
         let config = ServerConfig::default();
         let metrics = ServerMetrics::default();
 
-        let mut req = get_req("/query");
-        req.method = "POST".into();
-        req.body = b"(?x, p, ?y)".to_vec();
-        let (status, body) = route(&req, &store, &pool, &config, &metrics);
-        assert_eq!(status, 200);
-        assert!(body.contains("\"count\": 1"));
-        assert!(body.contains("\"x\": \"a\""));
+        let reply = route(
+            &post_req("/query", b"(?x, p, ?y)"),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"count\": 1"));
+        assert!(reply.body.contains("\"x\": \"a\""));
 
-        req.body = b"(?x, p".to_vec();
-        let (status, body) = route(&req, &store, &pool, &config, &metrics);
-        assert_eq!(status, 400);
-        assert!(body.contains("parse error at byte"), "{body}");
+        let reply = route(
+            &post_req("/query", b"(?x, p"),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 400);
+        assert!(reply.body.contains("parse error at byte"), "{}", reply.body);
 
         // The deadline path maps to 504.
-        req.body = b"(?x, p, ?y)".to_vec();
-        req.query = "deadline_ms=0&cache=0".into();
-        let (status, body) = route(&req, &store, &pool, &config, &metrics);
-        assert_eq!(status, 504);
-        assert!(body.contains("deadline"));
+        let reply = route(
+            &post_req("/query?deadline_ms=0&cache=0", b"(?x, p, ?y)"),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 504);
+        assert!(reply.body.contains("deadline"));
     }
 
     #[test]
@@ -990,20 +2777,34 @@ mod tests {
         };
         let metrics = ServerMetrics::default();
 
-        let mut req = get_req("/query");
-        req.method = "POST".into();
         // PSPACE-class body: NS over a non-AUFS operand.
-        req.body = b"NS(((?x, p, ?y) OPT (?y, p, ?z)))".to_vec();
-        let (status, body) = route(&req, &store, &pool, &config, &metrics);
-        assert_eq!(status, 429, "{body}");
-        assert!(body.contains("\"rule\": \"AD001\""), "{body}");
-        assert!(body.contains("above the configured NP ceiling"), "{body}");
+        let reply = route(
+            &post_req("/query", b"NS(((?x, p, ?y) OPT (?y, p, ?z)))"),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 429, "{}", reply.body);
+        assert!(reply.body.contains("\"rule\": \"AD001\""), "{}", reply.body);
+        assert!(
+            reply.body.contains("above the configured NP ceiling"),
+            "{}",
+            reply.body
+        );
         assert_eq!(metrics.shed_total.load(Ordering::Relaxed), 1);
 
         // At or under the ceiling the same store still answers.
-        req.body = b"(?x, p, ?y)".to_vec();
-        let (status, _) = route(&req, &store, &pool, &config, &metrics);
-        assert_eq!(status, 200);
+        let reply = route(
+            &post_req("/query", b"(?x, p, ?y)"),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 200);
     }
 
     #[test]
@@ -1013,26 +2814,66 @@ mod tests {
         let config = ServerConfig::default();
         let metrics = ServerMetrics::default();
 
-        let mut req = get_req("/lint");
-        req.method = "POST".into();
-        req.body = b"((?X, a, Chile) AND\n ((?Y, a, Chile) OPT (?Y, b, ?X)))".to_vec();
-        let (status, body) = route(&req, &store, &pool, &config, &metrics);
-        assert_eq!(status, 200, "{body}");
-        assert!(body.contains("\"fragment\": \"SPARQL\""), "{body}");
-        assert!(body.contains("\"complexity\": \"PSPACE\""), "{body}");
-        assert!(body.contains("\"well_designed\": \"violated\""), "{body}");
-        assert!(body.contains("\"rule\": \"WD001\""), "{body}");
+        let req = post_req(
+            "/lint",
+            b"((?X, a, Chile) AND\n ((?Y, a, Chile) OPT (?Y, b, ?X)))",
+        );
+        let reply = route(&req, &store, &pool, &config, &metrics, true);
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert!(
+            reply.body.contains("\"fragment\": \"SPARQL\""),
+            "{}",
+            reply.body
+        );
+        assert!(
+            reply.body.contains("\"complexity\": \"PSPACE\""),
+            "{}",
+            reply.body
+        );
+        assert!(
+            reply.body.contains("\"well_designed\": \"violated\""),
+            "{}",
+            reply.body
+        );
+        assert!(reply.body.contains("\"rule\": \"WD001\""), "{}", reply.body);
         // The WD001 span starts on line 2 of the multi-line body.
-        assert!(body.contains("\"line\": 2"), "{body}");
+        assert!(reply.body.contains("\"line\": 2"), "{}", reply.body);
 
-        req.method = "GET".into();
-        let (status, _) = route(&req, &store, &pool, &config, &metrics);
-        assert_eq!(status, 405);
+        let mut get = req.clone();
+        get.method = "GET".into();
+        let reply = route(&get, &store, &pool, &config, &metrics, true);
+        assert_eq!(reply.status, 405);
 
-        req.method = "POST".into();
-        req.body = b"(?x, p".to_vec();
-        let (status, body) = route(&req, &store, &pool, &config, &metrics);
-        assert_eq!(status, 400);
-        assert!(body.contains("parse error at byte"), "{body}");
+        let reply = route(
+            &post_req("/lint", b"(?x, p"),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 400);
+        assert!(reply.body.contains("parse error at byte"), "{}", reply.body);
+    }
+
+    #[test]
+    fn shed_reply_formats_follow_the_surface() {
+        let config = ServerConfig::default();
+        let legacy = shed_reply(&post_req("/query", b"x"), &config);
+        assert_eq!(legacy.status, 429);
+        assert!(legacy.body.starts_with("{\"error\": \""), "{}", legacy.body);
+        assert!(legacy
+            .headers
+            .iter()
+            .any(|(name, value)| *name == "Retry-After" && value == "1"));
+
+        let v1 = shed_reply(&post_req("/v1/query", b"x"), &config);
+        assert_eq!(v1.status, 429);
+        assert!(v1.body.contains("\"code\": \"shed\""), "{}", v1.body);
+        assert!(v1.body.contains("\"retry_after\": 1"), "{}", v1.body);
+        assert!(v1
+            .headers
+            .iter()
+            .any(|(name, value)| *name == "Retry-After" && value == "1"));
     }
 }

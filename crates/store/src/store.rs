@@ -29,11 +29,13 @@
 use crate::cache::{cache_key, CacheStats, QueryCache};
 use owql_algebra::mapping_set::MappingSet;
 use owql_algebra::pattern::Pattern;
-use owql_eval::{ColumnarPath, Engine, EvalError, ExecOpts};
+use owql_eval::{ColumnarPath, Engine, EvalError, ExecMode, ExecOpts};
 use owql_exec::Pool;
-use owql_obs::{MetricsHub, PersistObs, Profile, SlowQuery, StoreObs};
+use owql_obs::{MetricsHub, PersistObs, Profile, ShardMetrics, SlowQuery, StoreObs};
 use owql_persist::{CommitRecord, PersistConfig, RecoveryReport, Wal, WalOp};
-use owql_rdf::{Graph, GraphIndex, SnapshotIndex, TermDict, Triple, TripleLookup};
+use owql_rdf::{
+    shard_rows, Graph, GraphIndex, IdRuns, SnapshotIndex, TermDict, Triple, TripleLookup,
+};
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::ops::Deref;
@@ -491,6 +493,36 @@ impl Snapshot {
         })
     }
 
+    /// Scatter-gather variant of [`Snapshot::query_request`]: answers
+    /// `req` across `rt`'s shards, all pinned to this snapshot's epoch.
+    /// `None` means the pattern or backend is outside the sharded
+    /// columnar envelope — fall back to [`Snapshot::query_request`].
+    pub fn query_request_sharded(
+        &self,
+        req: &QueryRequest,
+        rt: &ShardRuntime,
+        metrics: Option<&ShardMetrics>,
+    ) -> Option<Result<QueryOutcome, EvalError>> {
+        let runs = rt.runs_for(self)?;
+        let out = self
+            .engine()
+            .run_sharded(&req.pattern, &req.opts, &runs, rt.pools(), metrics)?;
+        Some(out.map(|out| {
+            let mut profile = out.profile;
+            if let Some(p) = profile.as_mut() {
+                p.query = Some(req.pattern.to_string());
+                p.answers = Some(out.mappings.len() as u64);
+            }
+            QueryOutcome {
+                mappings: out.mappings,
+                profile,
+                epoch: self.epoch,
+                cache_hit: false,
+                columnar_path: out.columnar_path,
+            }
+        }))
+    }
+
     /// EXPLAIN ANALYZE against this snapshot (see
     /// [`owql_eval::AnnotatedPlan`]).
     pub fn explain_analyze(&self, pattern: &Pattern) -> owql_eval::AnnotatedPlan {
@@ -517,6 +549,68 @@ impl Deref for Snapshot {
     type Target = SnapshotIndex;
     fn deref(&self) -> &SnapshotIndex {
         &self.index
+    }
+}
+
+/// The scatter-gather shard runtime: `N` evaluation pools plus an
+/// epoch-keyed cache of the subject-hash shard partitions.
+///
+/// Shard runs are **pinned to a snapshot epoch**: [`ShardRuntime::runs_for`]
+/// rebuilds the partition the first time a query observes a new epoch
+/// and reuses the cached `Arc` for every query at that epoch, so a
+/// scatter never mixes rows from two store versions. The pools are
+/// long-lived — one per shard, each sized independently of the
+/// request-level pool.
+#[derive(Debug)]
+pub struct ShardRuntime {
+    shards: usize,
+    pools: Vec<Pool>,
+    runs: Mutex<Option<(u64, Arc<Vec<IdRuns>>)>>,
+}
+
+impl ShardRuntime {
+    /// A runtime of `shards` partitions with `threads_each` workers
+    /// per shard pool.
+    pub fn new(shards: usize, threads_each: usize) -> ShardRuntime {
+        let shards = shards.max(1);
+        ShardRuntime {
+            shards,
+            pools: Pool::shard_pools(shards, threads_each),
+            runs: Mutex::new(None),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The per-shard evaluation pools.
+    pub fn pools(&self) -> &[Pool] {
+        &self.pools
+    }
+
+    /// The shard partition for `snapshot`'s epoch, building (and
+    /// caching) it on first use. `None` when the snapshot serves no id
+    /// view (mixed-dictionary delta) — callers fall back to unsharded
+    /// evaluation.
+    pub fn runs_for(&self, snapshot: &Snapshot) -> Option<Arc<Vec<IdRuns>>> {
+        let epoch = snapshot.epoch();
+        {
+            let guard = self.runs.lock().expect("shard runs lock poisoned");
+            if let Some((e, runs)) = guard.as_ref() {
+                if *e == epoch {
+                    return Some(runs.clone());
+                }
+            }
+        }
+        let view = snapshot.index().id_view()?;
+        let built = Arc::new(shard_rows(&view, self.shards));
+        let mut guard = self.runs.lock().expect("shard runs lock poisoned");
+        // Last writer wins: under churn two epochs can race here, and
+        // whichever publishes second simply serves the next rebuild.
+        *guard = Some((epoch, built.clone()));
+        Some(built)
     }
 }
 
@@ -555,6 +649,9 @@ pub struct Store {
     persist: Option<Arc<PersistState>>,
     /// The background indexer thread, joined on drop.
     indexer: Mutex<Option<JoinHandle<()>>>,
+    /// Scatter-gather shard runtime — `Some` after
+    /// [`Store::enable_sharding`].
+    shards: Mutex<Option<Arc<ShardRuntime>>>,
 }
 
 impl Default for Store {
@@ -602,6 +699,7 @@ impl Store {
             hub: Arc::new(MetricsHub::new()),
             persist: None,
             indexer: Mutex::new(None),
+            shards: Mutex::new(None),
         }
     }
 
@@ -687,6 +785,7 @@ impl Store {
             hub,
             persist: Some(persist.clone()),
             indexer: Mutex::new(None),
+            shards: Mutex::new(None),
         };
         if config.background_indexer {
             let inner = store.inner.clone();
@@ -1031,7 +1130,7 @@ impl Store {
                     columnar_path: ColumnarPath::Disabled,
                 });
             }
-            let mut outcome = snapshot.query_request(req, pool)?;
+            let mut outcome = self.eval_snapshot(&snapshot, req, pool)?;
             self.cache
                 .store(key, snapshot.epoch(), outcome.mappings.clone());
             if let Some(p) = outcome.profile.as_mut() {
@@ -1040,13 +1139,53 @@ impl Store {
             }
             Ok(outcome)
         } else {
-            let mut outcome = snapshot.query_request(req, pool)?;
+            let mut outcome = self.eval_snapshot(&snapshot, req, pool)?;
             if let Some(p) = outcome.profile.as_mut() {
                 p.store = Some(self.observe());
                 p.persist = self.observe_persist();
             }
             Ok(outcome)
         }
+    }
+
+    /// Evaluates `req` against `snapshot`, preferring the sharded
+    /// scatter-gather path when a [`ShardRuntime`] is enabled and the
+    /// request asks for parallel scheduling; anything outside the
+    /// sharded envelope falls back to the snapshot's single-node path.
+    fn eval_snapshot(
+        &self,
+        snapshot: &Snapshot,
+        req: &QueryRequest,
+        pool: &Pool,
+    ) -> Result<QueryOutcome, EvalError> {
+        if req.opts.mode == ExecMode::Parallel {
+            if let Some(rt) = self.shard_runtime() {
+                if let Some(out) = snapshot.query_request_sharded(req, &rt, Some(&self.hub.shards))
+                {
+                    return out;
+                }
+            }
+        }
+        snapshot.query_request(req, pool)
+    }
+
+    /// Enables scatter-gather evaluation: partitions every queried
+    /// epoch into `shards` subject-hash shards, each with its own
+    /// `threads_each`-worker pool. Parallel-mode requests then
+    /// scatter across the shards (sequential requests keep the
+    /// single-node path). Idempotent: calling again replaces the
+    /// runtime.
+    pub fn enable_sharding(&self, shards: usize, threads_each: usize) {
+        *self.shards.lock().expect("shard runtime lock poisoned") =
+            Some(Arc::new(ShardRuntime::new(shards, threads_each)));
+    }
+
+    /// The active shard runtime, if sharding was enabled.
+    pub fn shard_runtime(&self) -> Option<Arc<ShardRuntime>> {
+        self.shards
+            .lock()
+            .expect("shard runtime lock poisoned")
+            .clone()
     }
 
     /// Evaluates `pattern` at the current epoch through the query
@@ -1508,6 +1647,47 @@ mod tests {
         let ok =
             QueryRequest::with_opts(p, ExecOpts::seq().with_max_class(ComplexityClass::Pspace));
         assert!(store.query_request(&ok, &pool).expect(NO_BUDGET).cache_hit);
+    }
+
+    /// Sharded scatter-gather answers match the single-node path over
+    /// churn, the shard partition is pinned per epoch (same `Arc`
+    /// while the epoch stands, rebuilt after a commit), and the hub's
+    /// shard counters advance.
+    #[test]
+    fn sharded_queries_match_and_pin_epochs() {
+        let store = Store::from_graph(&graph_from(&[
+            ("a", "knows", "b"),
+            ("b", "knows", "c"),
+            ("c", "knows", "d"),
+            ("a", "age", "42"),
+        ]));
+        store.enable_sharding(2, 1);
+        let rt = store.shard_runtime().expect("sharding enabled");
+        assert_eq!(rt.shards(), 2);
+        let pool = Pool::new(2);
+        let p = Pattern::t("?x", "knows", "?y").and(Pattern::t("?y", "knows", "?z"));
+        for round in 0..3 {
+            let snap = store.snapshot();
+            let runs1 = rt.runs_for(&snap).expect("id view");
+            let runs2 = rt.runs_for(&snap).expect("id view");
+            assert!(
+                Arc::ptr_eq(&runs1, &runs2),
+                "same epoch must reuse the cached partition"
+            );
+            let sharded = QueryRequest::with_opts(p.clone(), ExecOpts::parallel().uncached());
+            let seq = QueryRequest::with_opts(p.clone(), ExecOpts::seq().uncached());
+            let got = store.query_request(&sharded, &pool).expect(NO_BUDGET);
+            let want = store.query_request(&seq, &pool).expect(NO_BUDGET);
+            assert_eq!(got.mappings, want.mappings, "round {round}");
+            // Churn: the next epoch must rebuild the partition.
+            store.insert(Triple::new(&format!("n{round}"), "knows", "a"));
+            let next = store.snapshot();
+            let runs3 = rt.runs_for(&next).expect("id view");
+            assert!(!Arc::ptr_eq(&runs1, &runs3), "new epoch rebuilds");
+        }
+        let hub = store.metrics_hub();
+        assert!(hub.shards.queries_total.load(Ordering::Relaxed) >= 3);
+        assert!(hub.shards.scatters_total.load(Ordering::Relaxed) >= 3);
     }
 
     /// Every served query lands in the hub: the total counter, the

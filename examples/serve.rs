@@ -3,9 +3,15 @@
 //!
 //! ```text
 //! cargo run --example serve
-//! curl -s localhost:PORT/healthz
-//! curl -s -X POST localhost:PORT/query -d '(?x, knows, ?y)'
+//! curl -s localhost:PORT/v1/healthz
+//! curl -s -X POST localhost:PORT/v1/query -d '{"pattern": "(?x, knows, ?y)"}'
 //! ```
+//!
+//! The versioned `/v1` endpoints take a JSON envelope (`pattern` plus
+//! an optional `opts` object) and answer errors in a unified
+//! `{"error": {"code", "message", ...}}` envelope. The original
+//! unversioned endpoints still answer but carry a `Deprecation: true`
+//! header and a `Link` to their `/v1` successor.
 //!
 //! `GET /metrics` speaks Prometheus text exposition (0.0.4), so the
 //! server can be scraped directly. Quickstart with a local Prometheus:
@@ -87,21 +93,23 @@ fn main() {
     println!("owql-server listening on http://{addr}");
     println!();
     println!("Try:");
-    println!("  curl -s {addr}/healthz");
+    println!("  curl -s {addr}/v1/healthz              # liveness (add ?ready=1 for readiness)");
     println!("  curl -s {addr}/metrics                 # Prometheus text format");
     println!("  curl -s '{addr}/metrics?format=json'   # JSON + slow-query log");
     println!("  curl -s {addr}/metrics | promtool check metrics");
-    println!("  curl -s -X POST '{addr}/query' -d '(?x, knows, ?y)'");
-    println!("  curl -s -X POST '{addr}/query?mode=parallel&trace=1' -d '((?x, knows, ?y) AND (?y, knows, ?z))'");
-    println!("  curl -s -X POST '{addr}/explain' -d '((?x, knows, ?y) AND (?y, age, ?a))'");
+    println!("  curl -s -X POST {addr}/v1/query -d '{{\"pattern\": \"(?x, knows, ?y)\"}}'");
+    println!("  curl -s -X POST {addr}/v1/query -d '{{\"pattern\": \"((?x, knows, ?y) AND (?y, knows, ?z))\", \"opts\": {{\"mode\": \"parallel\", \"trace\": true}}}}'");
+    println!("  curl -s -X POST {addr}/v1/explain -d '{{\"pattern\": \"((?x, knows, ?y) AND (?y, age, ?a))\"}}'");
+    println!("  curl -s -X POST {addr}/v1/lint -d '{{\"pattern\": \"((?x, knows, ?y) OPT (?z, age, ?a))\"}}'");
+    println!("  curl -si -X POST {addr}/query -d '(?x, knows, ?y)'   # legacy: note the Deprecation header");
 
     if std::env::var("OWQL_SERVE_ONESHOT").as_deref() == Ok("1") {
-        // CI smoke mode: issue one query against ourselves and exit.
+        // CI smoke mode: issue one /v1 query against ourselves and exit.
         let mut conn = TcpStream::connect(addr).expect("connect");
-        let body = "(?x, knows, ?y)";
+        let body = r#"{"pattern": "(?x, knows, ?y)"}"#;
         write!(
             conn,
-            "POST /query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST /v1/query HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         )
         .expect("write");

@@ -14,7 +14,7 @@
 #   differential  evaluator suites with the columnar path forced off and on
 #   lint-smoke    analyzer over the clean + golden pattern corpora
 #   bench-smoke   quick bench drivers + perf gate + profile schema
-#   server-smoke  HTTP front-end boot, load_gen, schema, removed-API sweep
+#   server-smoke  HTTP boot, live /v1 smoke, load_gen perf gate, removed-API sweep
 #   obs-smoke     live server scrape: Prometheus + JSON /metrics, slow-query injection
 #   persist-smoke durable example, kill -9 recovery, recovery bench
 #   doc           rustdoc with -D warnings
@@ -104,22 +104,48 @@ stage_bench_smoke() {
 }
 
 stage_server_smoke() {
-  step "server-smoke (oneshot boot + load_gen + schema + removed-API sweep)"
+  step "server-smoke (oneshot boot + /v1 smoke + load_gen gate + removed-API sweep)"
   OWQL_SERVE_ONESHOT=1 cargo run --release --example serve
-  scripts/load_gen BENCH_server.json
+
+  step "v1-smoke (live /v1 surface + legacy Deprecation headers)"
+  local addr="127.0.0.1:7912"
+  OWQL_SERVE_ADDR="$addr" target/release/examples/serve > /tmp/owql_v1_serve.log &
+  local serve_pid=$!
+  # shellcheck disable=SC2064 — expand serve_pid now, not at trap time.
+  trap "kill $serve_pid 2>/dev/null || true" RETURN
+  for _ in $(seq 1 100); do
+    grep -q 'listening on' /tmp/owql_v1_serve.log && break
+    sleep 0.1
+  done
+  grep -q 'listening on' /tmp/owql_v1_serve.log || { echo "serve never came up"; exit 1; }
+  python3 scripts/v1_smoke.py "$addr"
+  kill "$serve_pid" 2>/dev/null || true
+  wait "$serve_pid" 2>/dev/null || true
+
+  step "server bench gate (committed artifact + fresh rerun)"
+  # The committed BENCH_server.json is the reviewed perf claim; the
+  # fresh run goes to target/ and is held to the committed numbers
+  # divided by the noise tolerance, never overwriting the artifact.
+  python3 scripts/check_bench.py --server BENCH_server.json
+  mkdir -p target/ci-bench
+  scripts/load_gen target/ci-bench/server_fresh.json
   for key in '"phases"' '"server_metrics"' '"p99_ms"' '"throughput_rps"' \
              '"shed_rate"' '"churn_commits"' '"overload"' '"sustained"'; do
-    grep -q "$key" BENCH_server.json || { echo "missing $key in BENCH_server.json"; exit 1; }
+    grep -q "$key" target/ci-bench/server_fresh.json \
+      || { echo "missing $key in server_fresh.json"; exit 1; }
   done
   python3 - <<'EOF'
 import json
-d = json.load(open("BENCH_server.json"))
+d = json.load(open("target/ci-bench/server_fresh.json"))
 overload = [p for p in d["phases"] if p["phase"] == "overload"]
 assert overload and overload[0]["shed_rate"] > 0, "overload phase shed nothing"
 sustained = [p for p in d["phases"] if p["phase"] == "sustained"]
 assert sustained and sustained[0]["clients"] >= 4, "no sustained multi-client phase"
 assert all("p99_ms" in p for p in d["phases"]), "missing p99 latency"
 EOF
+  python3 scripts/check_bench.py --server BENCH_server.json \
+    --fresh target/ci-bench/server_fresh.json
+
   if grep -rnE '\.(evaluate|evaluate_parallel|evaluate_traced|evaluate_parallel_traced|profile_parallel)\(' \
       examples/ tests/ crates/bench/ crates/server/; then
     echo "removed evaluate-variant call site found"; exit 1

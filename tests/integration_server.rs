@@ -1,25 +1,28 @@
 //! End-to-end tests driving the query server over real TCP sockets:
 //! epoch-consistent answers under churn writes, deadline `504`s that
-//! leave the worker pool healthy, queue-full `429` shedding, parse
-//! errors echoed with byte offsets, and graceful shutdown draining
-//! in-flight requests.
+//! leave the worker pool healthy, queue-full `429` shedding that
+//! preserves keep-alive, HTTP/1.1 pipelining with in-order responses,
+//! chunked transfer-encoding for large result sets, the versioned
+//! `/v1` JSON surface, and graceful shutdown draining in-flight
+//! requests.
 
 use owql_rdf::Triple;
-use owql_server::{Server, ServerConfig};
+use owql_server::{decode_chunked, Server, ServerConfig};
 use owql_store::Store;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Sends one request and returns `(status, headers, body)`.
+/// Sends one request on a fresh connection (`Connection: close`) and
+/// returns `(status, headers, body)`.
 fn send(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, String, String) {
     let mut conn = TcpStream::connect(addr).expect("connect");
     conn.set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     write!(
         conn,
-        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("write request");
@@ -34,12 +37,115 @@ fn send(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, Strin
     let (head, payload) = response
         .split_once("\r\n\r\n")
         .expect("header/body separator");
-    (status, head.to_owned(), payload.to_owned())
+    let payload = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        let decoded = decode_chunked(payload.as_bytes())
+            .expect("complete chunked body")
+            .expect("well-formed chunked body");
+        String::from_utf8(decoded).expect("utf8 body")
+    } else {
+        payload.to_owned()
+    };
+    (status, head.to_owned(), payload)
 }
 
 fn query(addr: SocketAddr, target: &str, pattern: &str) -> (u16, String) {
     let (status, _, body) = send(addr, "POST", target, pattern);
     (status, body)
+}
+
+/// A persistent keep-alive client: writes requests without
+/// `Connection: close` and parses response frames (`Content-Length`
+/// or chunked) off the same socket.
+struct Client {
+    conn: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            conn,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, method: &str, target: &str, body: &str) {
+        write!(
+            self.conn,
+            "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write request");
+    }
+
+    /// Reads exactly one response frame; `(status, head, body)`.
+    fn read_response(&mut self) -> (u16, String, String) {
+        let mut chunk = [0u8; 4096];
+        loop {
+            let Some(head_end) = find(&self.buf, b"\r\n\r\n") else {
+                let n = self.conn.read(&mut chunk).expect("read response");
+                assert!(n > 0, "connection closed mid-response");
+                self.buf.extend_from_slice(&chunk[..n]);
+                continue;
+            };
+            let head = String::from_utf8_lossy(&self.buf[..head_end]).to_string();
+            let lower = head.to_ascii_lowercase();
+            let body_start = head_end + 4;
+            let status: u16 = head
+                .split_whitespace()
+                .nth(1)
+                .expect("status code")
+                .parse()
+                .expect("numeric status");
+            if lower.contains("transfer-encoding: chunked") {
+                match decode_chunked(&self.buf[body_start..]) {
+                    Some(result) => {
+                        let body = String::from_utf8(result.expect("well-formed chunked body"))
+                            .expect("utf8 body");
+                        // Chunked frames only end a test exchange here,
+                        // so nothing pipelined follows in the buffer.
+                        self.buf.clear();
+                        return (status, head, body);
+                    }
+                    None => {
+                        let n = self.conn.read(&mut chunk).expect("read response");
+                        assert!(n > 0, "connection closed mid-chunk");
+                        self.buf.extend_from_slice(&chunk[..n]);
+                    }
+                }
+            } else {
+                let length: usize = lower
+                    .lines()
+                    .find_map(|l| l.strip_prefix("content-length: "))
+                    .expect("content-length header")
+                    .trim()
+                    .parse()
+                    .expect("numeric content-length");
+                if self.buf.len() < body_start + length {
+                    let n = self.conn.read(&mut chunk).expect("read response");
+                    assert!(n > 0, "connection closed mid-body");
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    continue;
+                }
+                let body =
+                    String::from_utf8_lossy(&self.buf[body_start..body_start + length]).to_string();
+                self.buf.drain(..body_start + length);
+                return (status, head, body);
+            }
+        }
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
 }
 
 /// Extracts an integer field from a flat JSON response body.
@@ -71,10 +177,13 @@ fn healthz_metrics_and_basic_query() {
     let server = Server::start(store.clone(), ServerConfig::default()).expect("start");
     let addr = server.addr();
 
-    let (status, _, body) = send(addr, "GET", "/healthz", "");
+    let (status, head, body) = send(addr, "GET", "/healthz", "");
     assert_eq!(status, 200);
     assert!(body.contains("\"status\": \"ok\""), "{body}");
     assert_eq!(json_u64(&body, "epoch"), store.epoch());
+    // The legacy endpoint is marked deprecated, pointing at /v1.
+    assert!(head.contains("Deprecation: true"), "{head}");
+    assert!(head.contains("/v1/healthz"), "{head}");
 
     let (status, body) = query(addr, "/query", "(?x, p, ?y)");
     assert_eq!(status, 200, "{body}");
@@ -118,6 +227,140 @@ fn healthz_metrics_and_basic_query() {
     assert_eq!(status, 404, "{body}");
     let (status, _, _) = send(addr, "POST", "/healthz", "");
     assert_eq!(status, 405);
+
+    server.shutdown();
+}
+
+#[test]
+fn v1_surface_speaks_json_envelopes() {
+    let store = seeded_store(5);
+    // Exercise the sharded scatter-gather path end-to-end too.
+    let config = ServerConfig::builder().workers(2).shards(2).build();
+    let server = Server::start(store, config).expect("start");
+    let addr = server.addr();
+
+    // Readiness probe: sharding is prewarmed before start() returns.
+    let (status, _, body) = send(addr, "GET", "/v1/healthz?ready=1", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ready\": true"), "{body}");
+
+    // Query with options in the JSON body, over the sharded path.
+    let (status, _, body) = send(
+        addr,
+        "POST",
+        "/v1/query",
+        r#"{"pattern": "(?x, p, ?y)", "opts": {"mode": "parallel", "cache": false}}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_u64(&body, "count"), 5);
+
+    // Parse failures answer the unified envelope with a span.
+    let (status, _, body) = send(addr, "POST", "/v1/query", r#"{"pattern": "(?x, p"}"#);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"code\": \"parse_error\""), "{body}");
+    assert!(body.contains("\"span\""), "{body}");
+
+    // Malformed JSON is bad_request.
+    let (status, _, body) = send(addr, "POST", "/v1/query", "not json");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"code\": \"bad_request\""), "{body}");
+
+    // Explain and lint ride the same envelope.
+    let (status, _, body) = send(addr, "POST", "/v1/explain", r#"{"pattern": "(?x, p, ?y)"}"#);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"plan\""), "{body}");
+    let (status, _, body) = send(
+        addr,
+        "POST",
+        "/v1/lint",
+        r#"{"pattern": "((?X, a, C) AND ((?Y, a, C) OPT (?Y, b, ?X)))"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"well_designed\": \"violated\""), "{body}");
+
+    // Unknown endpoints under /v1 are enveloped 404s.
+    let (status, _, body) = send(addr, "GET", "/v1/nope", "");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("\"code\": \"not_found\""), "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order_on_one_socket() {
+    let store = seeded_store(4);
+    let server = Server::start(store, ServerConfig::default()).expect("start");
+    let addr = server.addr();
+
+    // Three requests written back-to-back before reading anything.
+    let mut client = Client::connect(addr);
+    for i in 0..3 {
+        let body = format!("(s{i}, p, ?y)");
+        write!(
+            client.conn,
+            "POST /query?cache=0 HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write pipelined request");
+    }
+    for i in 0..3 {
+        let (status, head, body) = client.read_response();
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            head.contains("Connection: keep-alive"),
+            "pipelined responses keep the socket alive: {head}"
+        );
+        assert!(
+            body.contains(&format!("\"o{i}\"")),
+            "response {i} out of order: {body}"
+        );
+    }
+
+    // A fourth request on the same socket still answers.
+    client.send("POST", "/query?cache=0", "(s3, p, ?y)");
+    let (status, _, body) = client.read_response();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"o3\""), "{body}");
+
+    let (_, _, body) = send(addr, "GET", "/metrics?format=json", "");
+    assert!(json_u64(&body, "pipelined_requests_total") >= 1, "{body}");
+    assert!(json_u64(&body, "keepalive_reuses_total") >= 3, "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn large_result_sets_stream_chunked_and_decode() {
+    let store = seeded_store(1200);
+    let server = Server::start(store, ServerConfig::default()).expect("start");
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr);
+    client.send("POST", "/query?cache=0", "(?x, p, ?y)");
+    let (status, head, body) = client.read_response();
+    assert_eq!(status, 200);
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("transfer-encoding: chunked"),
+        "large bodies must stream chunked: {head}"
+    );
+    assert!(
+        !head.to_ascii_lowercase().contains("content-length"),
+        "{head}"
+    );
+    assert_eq!(json_u64(&body, "count"), 1200);
+    assert!(
+        body.len() > 16 * 1024,
+        "body should exceed the chunk threshold"
+    );
+
+    // The socket survives a chunked exchange.
+    client.send("GET", "/healthz", "");
+    let (status, _, body) = client.read_response();
+    assert_eq!(status, 200, "{body}");
+
+    let (_, _, body) = send(addr, "GET", "/metrics?format=json", "");
+    assert!(json_u64(&body, "chunked_responses_total") >= 1, "{body}");
 
     server.shutdown();
 }
@@ -269,38 +512,53 @@ fn deadline_exceeded_maps_to_504_without_poisoning_workers() {
 }
 
 #[test]
-fn full_queue_sheds_with_429_and_retry_after() {
+fn full_queue_sheds_with_429_and_the_connection_survives() {
     let server = Server::start(
-        seeded_store(2),
+        seeded_store(400),
         ServerConfig {
             workers: 1,
             queue_capacity: 1,
-            io_timeout: Duration::from_secs(2),
             ..ServerConfig::default()
         },
     )
     .expect("start");
     let addr = server.addr();
 
-    // Tie up the single worker with a connection that sends nothing,
-    // then fill the one queue slot the same way.
-    let hold_worker = TcpStream::connect(addr).expect("connect");
-    std::thread::sleep(Duration::from_millis(150));
-    let hold_queue = TcpStream::connect(addr).expect("connect");
-    std::thread::sleep(Duration::from_millis(150));
+    // Occupy the single worker with a deadline-bound heavy query (the
+    // cross join would run far past 600ms; the cooperative budget cuts
+    // it off), then fill the one queue slot the same way.
+    let heavy = "((?a, p, ?b) AND ((?c, p, ?d) AND (?e, p, ?f)))";
+    let heavy_target = "/query?cache=0&deadline_ms=600";
+    let mut hold_worker = Client::connect(addr);
+    hold_worker.send("POST", heavy_target, heavy);
+    std::thread::sleep(Duration::from_millis(100));
+    let mut hold_queue = Client::connect(addr);
+    hold_queue.send("POST", heavy_target, heavy);
+    std::thread::sleep(Duration::from_millis(100));
 
-    // Now the queue is full: this request must be shed.
-    let (status, head, body) = send(addr, "POST", "/query", "(?x, p, ?y)");
+    // Now the queue is full: this request is shed with 429 — and the
+    // connection stays open.
+    let mut probe = Client::connect(addr);
+    probe.send("POST", "/query", "(?x, p, ?y)");
+    let (status, head, body) = probe.read_response();
     assert_eq!(status, 429, "{body}");
     assert!(head.contains("Retry-After:"), "{head}");
+    assert!(
+        head.contains("Connection: keep-alive"),
+        "a shed must not cost the connection: {head}"
+    );
 
-    // Release the held connections; the server recovers fully.
-    drop(hold_worker);
-    drop(hold_queue);
-    std::thread::sleep(Duration::from_millis(150));
-    let (status, body) = query(addr, "/query", "(?x, p, ?y)");
+    // The held requests finish as 504s.
+    let (status, _, _) = hold_worker.read_response();
+    assert_eq!(status, 504);
+    let (status, _, _) = hold_queue.read_response();
+    assert_eq!(status, 504);
+
+    // The same socket that was shed now answers normally.
+    probe.send("POST", "/query", "(?x, p, ?y)");
+    let (status, _, body) = probe.read_response();
     assert_eq!(status, 200, "{body}");
-    assert_eq!(json_u64(&body, "count"), 2);
+    assert_eq!(json_u64(&body, "count"), 400);
 
     let (_, _, body) = send(addr, "GET", "/metrics?format=json", "");
     assert!(json_u64(&body, "shed_total") >= 1, "{body}");
@@ -391,6 +649,8 @@ fn graceful_shutdown_drains_in_flight_requests() {
     let response = slow_client.join().expect("client panicked");
     assert!(response.starts_with("HTTP/1.1 200"), "{response}");
     assert!(response.contains("\"count\": 4"), "{response}");
+    // Drain mode forces the response onto a closing connection.
+    assert!(response.contains("Connection: close"), "{response}");
 
     // The listener is gone afterwards.
     std::thread::sleep(Duration::from_millis(50));
@@ -406,4 +666,49 @@ fn graceful_shutdown_drains_in_flight_requests() {
                 .unwrap_or(true),
         "server still answering after shutdown"
     );
+}
+
+#[test]
+fn inline_mode_serves_pipelined_queries_without_workers() {
+    let store = seeded_store(4);
+    // workers: 0 evaluates on the event-loop thread itself; admission
+    // stays bounded by the queue.
+    let config = ServerConfig::builder().workers(0).queue_capacity(4).build();
+    let server = Server::start(store, config).expect("start");
+    let addr = server.addr();
+
+    let (status, _, body) = send(addr, "POST", "/v1/query", r#"{"pattern": "(?x, p, ?y)"}"#);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_u64(&body, "count"), 4);
+
+    // Pipelined requests on one socket drain fully and in order, even
+    // though no worker thread exists to hand them to.
+    let mut client = Client::connect(addr);
+    for i in 0..3 {
+        let body = format!("(s{i}, p, ?y)");
+        write!(
+            client.conn,
+            "POST /query?cache=0 HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write pipelined request");
+    }
+    for i in 0..3 {
+        let (status, head, body) = client.read_response();
+        assert_eq!(status, 200, "{body}");
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        assert!(
+            body.contains(&format!("\"o{i}\"")),
+            "response {i} out of order: {body}"
+        );
+    }
+
+    // Legacy adapters answer inline too, deprecation headers intact.
+    let (status, head, _) = send(addr, "POST", "/query", "(?x, p, ?y)");
+    assert_eq!(status, 200);
+    assert!(head.contains("Deprecation: true"), "{head}");
+    assert!(head.contains("rel=\"successor-version\""), "{head}");
+
+    // Shutdown drains without a worker pool to join.
+    server.shutdown();
 }

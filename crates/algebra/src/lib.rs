@@ -41,5 +41,6 @@ pub use construct::ConstructQuery;
 pub use id_mapping::{IdMapping, IdMappingSet, VarFrame};
 pub use mapping::Mapping;
 pub use mapping_set::MappingSet;
+pub use owql_rdf::Iri;
 pub use pattern::{Pattern, TermPattern, TriplePattern};
 pub use variable::Variable;

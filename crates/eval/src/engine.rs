@@ -274,9 +274,10 @@ impl<I: TripleLookup + Sync> Engine<I> {
     ) -> Result<RunOutcome, EvalError> {
         crate::run::check_admission(pattern, opts)?;
         let budget = EvalBudget::from_opts(opts);
+        let mut prunes = owql_obs::PruneObs::default();
         let optimized;
         let pattern = if opts.optimize {
-            optimized = crate::optimize::optimize(pattern);
+            (optimized, prunes) = crate::optimize::optimize_with_stats(pattern);
             &optimized
         } else {
             pattern
@@ -286,6 +287,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
         } else {
             Recorder::disabled()
         };
+        rec.record_prunes(prunes);
         let parallel = opts.mode == ExecMode::Parallel && pool.threads() > 1;
         // The columnar path covers traced and untraced runs alike: the
         // id-batch evaluator records its own per-operator spans (with
@@ -300,6 +302,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
                     mappings: mappings?,
                     profile: opts.trace.then(|| rec.profile()),
                     columnar_path: ColumnarPath::Used,
+                    prunes,
                 });
             }
             // Columnar was requested but the backend/query shape cannot
@@ -317,6 +320,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
             mappings,
             profile: opts.trace.then(|| rec.profile()),
             columnar_path,
+            prunes,
         })
     }
 
@@ -345,9 +349,10 @@ impl<I: TripleLookup + Sync> Engine<I> {
             return Some(Err(e));
         }
         let budget = EvalBudget::from_opts(opts);
+        let mut prunes = owql_obs::PruneObs::default();
         let optimized;
         let pattern = if opts.optimize {
-            optimized = crate::optimize::optimize(pattern);
+            (optimized, prunes) = crate::optimize::optimize_with_stats(pattern);
             &optimized
         } else {
             pattern
@@ -357,6 +362,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
         } else {
             Recorder::disabled()
         };
+        rec.record_prunes(prunes);
         let mappings = crate::sharded::try_run_sharded(
             self, pattern, shard_runs, pools, &rec, &budget, metrics,
         )?;
@@ -364,6 +370,7 @@ impl<I: TripleLookup + Sync> Engine<I> {
             mappings,
             profile: opts.trace.then(|| rec.profile()),
             columnar_path: ColumnarPath::Used,
+            prunes,
         }))
     }
 

@@ -39,6 +39,7 @@ pub mod sharded;
 
 pub use construct::construct;
 pub use engine::Engine;
+pub use optimize::{optimize, optimize_with_stats};
 pub use plan::{AnnotatedNode, AnnotatedPlan, Plan};
 pub use reference::evaluate;
 pub use run::{

@@ -33,14 +33,43 @@
 //!    disjunct for the AUOF case — the analyzer verdict consumed as a
 //!    plan hint.
 //!
+//! On top of the shrink rules, [`optimize_with_stats`] runs one
+//! **certified pruning** pass driven by the `owql-lint`
+//! semantic dataflow analysis — the analyzer verdicts consumed as
+//! proofs rather than hints:
+//!
+//! * **FL003 / unsatisfiable filter** — a `FILTER` whose condition the
+//!   constraint-propagation check ([`owql_lint::filter_satisfiable`])
+//!   refutes against the binding lattice denotes `∅` on every graph;
+//!   the subtree is replaced by an always-empty marker.
+//! * **UN002 / subsumed branch** — a UNION branch whose answers are
+//!   contained in a sibling's on every graph
+//!   ([`owql_lint::branch_subsumes`], AND/FILTER fragment only) is
+//!   dropped from the union spine.
+//! * **BD001 / collapsible OPT** — `(P₁ OPT P₂) FILTER R` collapses to
+//!   `(P₁ AND P₂) FILTER R` when `R` requires a binding that only the
+//!   optional side can certainly supply: rows where the OPT degraded
+//!   to `P₁` alone cannot satisfy `R`, so the outer join is a join.
+//!
+//! Each prune is an exact answer-set equality (not mere containment),
+//! so the rewrites stay sound under any enclosing context — including
+//! non-monotone `NS` and `MINUS`. Provable emptiness propagates
+//! upward through the algebra (`∅ AND P → ∅`, `P OPT ∅ → P`,
+//! `P MINUS ∅ → P`, a UNION drops empty branches, …). The counts of
+//! applied prunes surface in [`owql_obs::PruneObs`] and flow into
+//! query profiles, the metrics hub, and Prometheus
+//! `owql_lint_prunes_total`.
+//!
 //! The optimizer is purely syntactic and terminates: each pass either
 //! strictly shrinks the tree, is applied once bottom-up, or (rule 8)
 //! strictly decreases the number of ANDs above an OPT.
 
-use owql_algebra::analysis::{certainly_bound_vars, in_fragment, pattern_vars, Operators};
+use owql_algebra::analysis::{in_fragment, pattern_vars, triple_patterns, Operators};
 use owql_algebra::condition::Condition;
 use owql_algebra::pattern::Pattern;
 use owql_algebra::well_designed::well_designed_aof;
+use owql_lint::{branch_subsumes, filter_satisfiable, must_bind, Bindings, Satisfiability};
+use owql_obs::PruneObs;
 
 /// Simplifies a FILTER condition by constant folding.
 pub fn simplify_condition(r: &Condition) -> Condition {
@@ -84,11 +113,17 @@ fn pass(p: &Pattern) -> Pattern {
                 (Pattern::Filter(inner, r1), r2) => {
                     pass(&Pattern::Filter(inner, r1).filter(r2).fuse_filters())
                 }
-                // Rule 4: push below AND when safe.
+                // Rule 4: push below AND when safe. Certain bindings
+                // come from the lint dataflow lattice — strictly
+                // richer than the old syntactic certainly-bound set
+                // (it sees through FILTERs that force bindings), and
+                // still an under-approximation, so the push stays
+                // sound: joined rows agree with the pushed-side row on
+                // every certainly-bound variable.
                 (Pattern::And(a, b), r) => {
-                    if r.vars().is_subset(&certainly_bound_vars(&a)) {
+                    if r.vars().is_subset(&Bindings::of(&a).certain) {
                         pass(&a.filter(r).and(*b))
-                    } else if r.vars().is_subset(&certainly_bound_vars(&b)) {
+                    } else if r.vars().is_subset(&Bindings::of(&b).certain) {
                         pass(&a.and(b.filter(r)))
                     } else {
                         Pattern::And(a, b).filter(r)
@@ -190,26 +225,219 @@ fn opt_normal_form(p: &Pattern) -> Pattern {
     current
 }
 
-/// Optimizes a pattern to a fixpoint (bounded number of passes; each
-/// pass is linear in the tree). When the static analyzer proves the
-/// pattern well-designed, the OPT-normal-form rewrite (rule 8) runs
-/// first; the shrink rules then run on the lifted tree.
-pub fn optimize(p: &Pattern) -> Pattern {
+/// The shrink rules (1–7) to a fixpoint (bounded number of passes;
+/// each pass is linear in the tree).
+fn shrink_fixpoint(p: &Pattern) -> Pattern {
     let mut current = p.clone();
-    if matches!(
-        owql_lint::well_designedness(p),
-        owql_lint::WellDesignedVerdict::Aof | owql_lint::WellDesignedVerdict::Auof
-    ) {
-        current = opt_normal_form(&current);
-    }
     for _ in 0..8 {
         let next = pass(&current);
         if next == current {
-            return current;
+            break;
         }
         current = next;
     }
     current
+}
+
+/// A pruned subtree: its rewritten pattern, and whether the analyzer
+/// proved it denotes `∅` on every graph.
+struct Pruned {
+    pattern: Pattern,
+    empty: bool,
+}
+
+impl Pruned {
+    fn keep(pattern: Pattern) -> Pruned {
+        Pruned {
+            pattern,
+            empty: false,
+        }
+    }
+
+    /// Marks a subtree provably empty. The carried pattern is an
+    /// always-empty placeholder ([`empty_marker`]) in case emptiness
+    /// cannot be absorbed by the enclosing operator (e.g. at the
+    /// root): it evaluates to `∅` on every graph, cheaply.
+    fn empty(original: &Pattern) -> Pruned {
+        Pruned {
+            pattern: empty_marker(original),
+            empty: true,
+        }
+    }
+}
+
+/// `t₀ FILTER false` for the most-constant triple pattern `t₀` of the
+/// pruned subtree — denotes `∅` on every graph, and the engine's scan
+/// over the most-selective access path keeps even the degenerate
+/// evaluation cheap.
+fn empty_marker(original: &Pattern) -> Pattern {
+    let t = triple_patterns(original)
+        .into_iter()
+        .min_by_key(|t| t.vars().len())
+        .expect("every pattern contains a triple");
+    Pattern::Triple(t).filter(Condition::False)
+}
+
+/// One bottom-up certified-pruning pass. Every rewrite is an exact
+/// answer-set equality proven by the `owql-lint` semantic dataflow
+/// analysis (see the module docs), so the pass is sound in any
+/// enclosing context, including `NS` and `MINUS`. Counts each applied
+/// prune in `obs`; emptiness discovered below propagates upward
+/// through the algebra without further counting.
+fn prune(p: &Pattern, obs: &mut PruneObs) -> Pruned {
+    match p {
+        Pattern::Triple(t) => Pruned::keep(Pattern::Triple(*t)),
+        // ⟦P₁ AND P₂⟧ = ⟦P₁⟧ ⋈ ⟦P₂⟧: a join with ∅ is ∅.
+        Pattern::And(a, b) => {
+            let a = prune(a, obs);
+            let b = prune(b, obs);
+            if a.empty || b.empty {
+                Pruned::empty(p)
+            } else {
+                Pruned::keep(a.pattern.and(b.pattern))
+            }
+        }
+        // A UNION spine drops provably-empty and subsumed branches.
+        Pattern::Union(_, _) => {
+            let mut kept: Vec<Pattern> = Vec::new();
+            for branch in p.disjuncts() {
+                let pruned = prune(branch, obs);
+                if pruned.empty {
+                    continue;
+                }
+                let branch = pruned.pattern;
+                // UN002: a branch whose answers a kept sibling already
+                // contains (on every graph) adds nothing to the union.
+                if kept
+                    .iter()
+                    .any(|k| k == &branch || branch_subsumes(k, &branch))
+                {
+                    obs.subsumed_branches += 1;
+                    continue;
+                }
+                // ... and a new branch can retroactively subsume
+                // earlier kept ones (strictly: the reverse direction
+                // was just checked).
+                kept.retain(|k| {
+                    if branch_subsumes(&branch, k) {
+                        obs.subsumed_branches += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                kept.push(branch);
+            }
+            match kept.into_iter().reduce(|acc, b| acc.union(b)) {
+                Some(pattern) => Pruned::keep(pattern),
+                None => Pruned::empty(p),
+            }
+        }
+        // ⟦P₁ OPT P₂⟧ = (⟦P₁⟧ ⋈ ⟦P₂⟧) ∪ (⟦P₁⟧ ∖ ⟦P₂⟧): with ⟦P₂⟧ = ∅
+        // the join side vanishes and the difference is ⟦P₁⟧; with
+        // ⟦P₁⟧ = ∅ both sides vanish.
+        Pattern::Opt(a, b) => {
+            let a = prune(a, obs);
+            let b = prune(b, obs);
+            if a.empty {
+                Pruned::empty(p)
+            } else if b.empty {
+                a
+            } else {
+                Pruned::keep(a.pattern.opt(b.pattern))
+            }
+        }
+        // ⟦P₁ MINUS P₂⟧ ⊆ ⟦P₁⟧, and `P MINUS ∅ = P`.
+        Pattern::Minus(a, b) => {
+            let a = prune(a, obs);
+            let b = prune(b, obs);
+            if a.empty {
+                Pruned::empty(p)
+            } else if b.empty {
+                a
+            } else {
+                Pruned::keep(a.pattern.minus(b.pattern))
+            }
+        }
+        Pattern::Filter(q, r) => {
+            let q = prune(q, obs);
+            if q.empty {
+                return Pruned::empty(p);
+            }
+            let mut q = q.pattern;
+            // BD001: `(P₁ OPT P₂) FILTER R` where R requires a
+            // variable that P₂ certainly binds and P₁ cannot bind at
+            // all. Rows from the no-match side of the OPT leave the
+            // variable unbound, so R rejects them — only joined rows
+            // survive, and the outer join is a plain join.
+            if let Pattern::Opt(a, b) = &q {
+                let ba = Bindings::of(a);
+                let bb = Bindings::of(b);
+                if must_bind(r)
+                    .iter()
+                    .any(|v| bb.certain.contains(v) && !ba.possible.contains(v))
+                {
+                    obs.opt_collapses += 1;
+                    q = a.clone().and((**b).clone());
+                }
+            }
+            // FL003: a condition the constraint propagation refutes
+            // against the binding lattice rejects every mapping.
+            if filter_satisfiable(r, &Bindings::of(&q)) == Satisfiability::Unsat {
+                obs.unsat_filters += 1;
+                return Pruned::empty(p);
+            }
+            Pruned::keep(q.filter(r.clone()))
+        }
+        // ⟦SELECT V P⟧ and ⟦NS(P)⟧ are projections/maximal subsets of
+        // images of ⟦P⟧ — empty iff ⟦P⟧ is.
+        Pattern::Select(v, q) => {
+            let q = prune(q, obs);
+            if q.empty {
+                Pruned::empty(p)
+            } else {
+                Pruned::keep(Pattern::Select(v.clone(), Box::new(q.pattern)))
+            }
+        }
+        Pattern::Ns(q) => {
+            let q = prune(q, obs);
+            if q.empty {
+                Pruned::empty(p)
+            } else {
+                Pruned::keep(q.pattern.ns())
+            }
+        }
+    }
+}
+
+/// Optimizes a pattern and reports which certified prunes fired.
+///
+/// Pass order: shrink rules to a fixpoint (so the prune analysis sees
+/// folded conditions and fused filters), one certified-pruning pass,
+/// shrink again (pruning may expose new shrink opportunities, e.g. a
+/// UNION reduced to one branch under an elidable NS), then — when the
+/// analyzer proves the result well-designed — the OPT-normal-form
+/// lift followed by a final shrink of the lifted tree.
+pub fn optimize_with_stats(p: &Pattern) -> (Pattern, PruneObs) {
+    let mut obs = PruneObs::default();
+    let mut current = shrink_fixpoint(p);
+    current = prune(&current, &mut obs).pattern;
+    current = shrink_fixpoint(&current);
+    if matches!(
+        owql_lint::well_designedness(&current),
+        owql_lint::WellDesignedVerdict::Aof | owql_lint::WellDesignedVerdict::Auof
+    ) {
+        current = opt_normal_form(&current);
+        current = shrink_fixpoint(&current);
+    }
+    (current, obs)
+}
+
+/// Optimizes a pattern to a fixpoint (bounded number of passes; each
+/// pass is linear in the tree). Shorthand for [`optimize_with_stats`]
+/// discarding the prune counters.
+pub fn optimize(p: &Pattern) -> Pattern {
+    optimize_with_stats(p).0
 }
 
 #[cfg(test)]
@@ -293,11 +521,90 @@ mod tests {
 
     #[test]
     fn filter_not_pushed_when_unsafe() {
-        // bound(?z) where ?z is optional must stay above the OPT.
+        // (bound(?z) || bound(?x)) must stay above the OPT: neither
+        // variable is required (must_bind of a disjunction is the
+        // intersection), so the OPT cannot collapse, and the filter
+        // cannot move below the outer join.
         let p = Pattern::t("?x", "a", "b")
             .opt(Pattern::t("?x", "c", "?z"))
-            .filter(Condition::bound("z"));
+            .filter(Condition::bound("z").or(Condition::bound("x")));
         assert_eq!(optimize(&p), p);
+    }
+
+    #[test]
+    fn collapsible_opt_filter_becomes_join() {
+        // BD001: bound(?z) is required, ?z is certain on the optional
+        // side and impossible on the left — the OPT is a join, and the
+        // filter then pushes onto the right conjunct.
+        let t1 = Pattern::t("?x", "a", "b");
+        let t2 = Pattern::t("?x", "c", "?z");
+        let p = t1.clone().opt(t2.clone()).filter(Condition::bound("z"));
+        let (o, obs) = optimize_with_stats(&p);
+        assert_eq!(obs.opt_collapses, 1);
+        assert_eq!(obs.total(), 1);
+        assert_eq!(o, t1.and(t2.filter(Condition::bound("z"))));
+        let g = graph_from(&[("1", "a", "b"), ("1", "c", "2"), ("3", "a", "b")]);
+        assert_eq!(evaluate(&p, &g), evaluate(&o, &g));
+    }
+
+    #[test]
+    fn unsatisfiable_filter_prunes_to_empty_marker() {
+        // ?y cannot equal two distinct constants at once.
+        let p = Pattern::t("?x", "a", "?y")
+            .filter(Condition::eq_const("y", "c1").and(Condition::eq_const("y", "c2")));
+        let (o, obs) = optimize_with_stats(&p);
+        assert_eq!(obs.unsat_filters, 1);
+        assert_eq!(o, Pattern::t("?x", "a", "?y").filter(Condition::False));
+        let g = graph_from(&[("1", "a", "c1"), ("2", "a", "c2")]);
+        assert!(evaluate(&o, &g).is_empty());
+        assert_eq!(evaluate(&p, &g), evaluate(&o, &g));
+    }
+
+    #[test]
+    fn emptiness_propagates_through_the_algebra() {
+        let empty = Pattern::t("?x", "a", "?y")
+            .filter(Condition::eq_const("y", "c1").and(Condition::eq_const("y", "c2")));
+        let t = Pattern::t("?u", "b", "?v");
+        // P OPT ∅ → P and P MINUS ∅ → P.
+        let (o, obs) = optimize_with_stats(&t.clone().opt(empty.clone()));
+        assert_eq!((o, obs.unsat_filters), (t.clone(), 1));
+        let (o, _) = optimize_with_stats(&t.clone().minus(empty.clone()));
+        assert_eq!(o, t.clone());
+        // ∅ AND P → ∅ (the marker cites the pruned subtree's most
+        // constant triple), and a UNION drops the empty branch.
+        let (o, _) = optimize_with_stats(&empty.clone().and(t.clone()));
+        assert_eq!(o, Pattern::t("?x", "a", "?y").filter(Condition::False));
+        let (o, _) = optimize_with_stats(&empty.clone().union(t.clone()));
+        assert_eq!(o, t.clone());
+        // NS(∅) and SELECT over ∅ stay empty.
+        let (o, _) = optimize_with_stats(&empty.clone().ns().select(["?x"]));
+        assert_eq!(o, Pattern::t("?x", "a", "?y").filter(Condition::False));
+    }
+
+    #[test]
+    fn subsumed_union_branch_is_dropped() {
+        // ⟦broad AND extra⟧ ⊆ ⟦broad⟧ on every graph (equal variable
+        // sets, superset of triples) — the refined branch is dropped
+        // whichever side of the UNION it sits on.
+        let broad = Pattern::t("?x", "a", "?y");
+        let refined = broad.clone().and(Pattern::t("?y", "b", "?x"));
+        let (o, obs) = optimize_with_stats(&broad.clone().union(refined.clone()));
+        assert_eq!(obs.subsumed_branches, 1);
+        assert_eq!(o, broad);
+        let (o, obs) = optimize_with_stats(&refined.clone().union(broad.clone()));
+        assert_eq!(obs.subsumed_branches, 1);
+        assert_eq!(o, broad);
+        let g = graph_from(&[("1", "a", "2"), ("2", "b", "1"), ("3", "a", "4")]);
+        assert_eq!(
+            evaluate(&broad.clone().union(refined), &g),
+            evaluate(&o, &g)
+        );
+        // Distinct variable sets must block subsumption: OPT-like
+        // unions of different shapes keep both branches.
+        let other = Pattern::t("?x", "a", "?z");
+        let (o, obs) = optimize_with_stats(&broad.clone().union(other.clone()));
+        assert_eq!(obs.subsumed_branches, 0);
+        assert_eq!(o, broad.union(other));
     }
 
     #[test]
@@ -432,8 +739,10 @@ mod tests {
             let p = random_pattern(&cfg, seed);
             let o = optimize(&p);
             assert!(o.size() <= p.size(), "seed {seed}: {p} grew to {o}");
-            // And the result uses no operator the input didn't.
-            assert!(operators(&o).within(operators(&p).with(Operators::NONE)));
+            // And the result uses no operator the input didn't — except
+            // AND, which the BD001 collapse may introduce in place of
+            // an OPT.
+            assert!(operators(&o).within(operators(&p).with(Operators::AND)));
         }
     }
 }

@@ -375,6 +375,10 @@ pub struct RunOutcome {
     pub profile: Option<owql_obs::Profile>,
     /// Which engine answered (see [`ColumnarPath`]).
     pub columnar_path: ColumnarPath,
+    /// Certified pruning rewrites the optimizer applied before the
+    /// engine saw the plan (all-zero unless [`ExecOpts::optimize`] was
+    /// set and a lint-proven prune fired).
+    pub prunes: owql_obs::PruneObs,
 }
 
 /// How many candidate mappings a nested-loop join processes between

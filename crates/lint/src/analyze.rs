@@ -15,9 +15,11 @@
 //! paper's syntactic fragments justify.
 
 use crate::classify::{classify, ComplexityClass, Fragment};
+use crate::dataflow::{fold_condition, must_bind, Bindings, Tri};
 use crate::diagnostics::{Diagnostic, RuleId, Severity};
-use owql_algebra::analysis::{certainly_bound_vars, in_fragment, pattern_vars, Operators};
-use owql_algebra::condition::Condition;
+use crate::sat::{filter_satisfiable, Satisfiability};
+use crate::subsume::branch_subsumes;
+use owql_algebra::analysis::{in_fragment, pattern_vars, Operators};
 use owql_algebra::pattern::Pattern;
 use owql_algebra::variable::Variable;
 use owql_algebra::well_designed::{well_designed_aof, well_designed_auof};
@@ -88,6 +90,9 @@ pub struct Analysis {
     pub complexity: ComplexityClass,
     /// Well-designedness verdict.
     pub well_designed: WellDesignedVerdict,
+    /// The root's binding lattice: which variables every answer
+    /// certainly binds, and which it may bind at all.
+    pub bindings: Bindings,
     /// All findings, root classification (FR001) first.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -146,6 +151,7 @@ pub fn analyze(p: &Pattern, spans: &SpanNode) -> Analysis {
         fragment,
         complexity,
         well_designed,
+        bindings: Bindings::of(p),
         diagnostics,
     }
 }
@@ -216,9 +222,9 @@ fn walk(
             walk(b, &node.children[1], &out_b, false, diags);
         }
         Pattern::Filter(q, r) => {
-            let vq = pattern_vars(q);
+            let b = Bindings::of(q);
             for x in r.vars() {
-                if !vq.contains(&x) {
+                if !b.possible.contains(&x) {
                     diags.push(Diagnostic::new(
                         RuleId::UnsafeFilter,
                         node.span,
@@ -229,7 +235,7 @@ fn walk(
                     ));
                 }
             }
-            match fold_condition(r, &vq, &certainly_bound_vars(q)) {
+            match fold_condition(r, &b) {
                 Tri::False => diags.push(Diagnostic::new(
                     RuleId::AlwaysFalseFilter,
                     node.span,
@@ -241,15 +247,48 @@ fn walk(
                     node.span,
                     "FILTER condition is statically always true and can be dropped".to_string(),
                 )),
-                Tri::Unknown => {}
+                Tri::Unknown => {
+                    // The Kleene fold gave up atom-by-atom; constraint
+                    // propagation across the conjunction may still
+                    // prove the filter empty (FL003).
+                    if filter_satisfiable(r, &b) == Satisfiability::Unsat {
+                        diags.push(Diagnostic::new(
+                            RuleId::UnsatisfiableConjunction,
+                            node.span,
+                            "FILTER conjunction is unsatisfiable (constant-equality closure); \
+                             this subpattern has no answers and the optimizer prunes it"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+            // BD001: a filter that forces a variable only the optional
+            // side of an OPT can bind turns the OPT into an AND.
+            if let Pattern::Opt(a, opt_side) = q.as_ref() {
+                let ba = Bindings::of(a);
+                let bb = Bindings::of(opt_side);
+                if let Some(v) = must_bind(r)
+                    .iter()
+                    .find(|v| bb.certain.contains(v) && !ba.possible.contains(v))
+                {
+                    diags.push(Diagnostic::new(
+                        RuleId::OptCollapsible,
+                        node.span,
+                        format!(
+                            "FILTER forces {v}, which only the optional side can bind (and \
+                             certainly binds): the OPT behaves as AND and the optimizer \
+                             collapses it"
+                        ),
+                    ));
+                }
             }
             let out_q: BTreeSet<Variable> = outside.union(&r.vars()).cloned().collect();
             walk(q, &node.children[0], &out_q, false, diags);
         }
         Pattern::Select(vars, q) => {
-            let vq = pattern_vars(q);
+            let b = Bindings::of(q);
             for v in vars {
-                if !vq.contains(v) {
+                if !b.possible.contains(v) {
                     diags.push(Diagnostic::new(
                         RuleId::DeadProjection,
                         node.span,
@@ -283,7 +322,9 @@ fn walk(
 }
 
 /// Collects the branches of a maximal UNION spine (pattern + span
-/// pairs) and reports later branches that duplicate an earlier one.
+/// pairs), reports later branches that duplicate an earlier one
+/// (UN001), and reports branches subsumed by a sibling under the
+/// AND/FILTER containment criterion of [`crate::subsume`] (UN002).
 fn check_duplicate_branches(p: &Pattern, node: &SpanNode, diags: &mut Vec<Diagnostic>) {
     fn branches<'a>(
         p: &'a Pattern,
@@ -299,89 +340,32 @@ fn check_duplicate_branches(p: &Pattern, node: &SpanNode, diags: &mut Vec<Diagno
     }
     let mut all = Vec::new();
     branches(p, node, &mut all);
-    for j in 1..all.len() {
-        if all[..j].iter().any(|(earlier, _)| *earlier == all[j].0) {
+    for j in 0..all.len() {
+        if j > 0 && all[..j].iter().any(|(earlier, _)| *earlier == all[j].0) {
             diags.push(Diagnostic::new(
                 RuleId::DuplicateUnionBranch,
                 all[j].1.span,
                 "UNION branch duplicates an earlier branch and contributes no answers".to_string(),
             ));
+            continue;
         }
-    }
-}
-
-/// Three-valued static truth value of a condition.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Tri {
-    True,
-    False,
-    Unknown,
-}
-
-/// Kleene fold of `r` given which variables the operand *may* bind
-/// (`vars`) and which it *certainly* binds (`certain`). Equalities on
-/// unbound variables are false under `satisfied_by`, which is what
-/// makes the never-bound cases definite.
-fn fold_condition(r: &Condition, vars: &BTreeSet<Variable>, certain: &BTreeSet<Variable>) -> Tri {
-    match r {
-        Condition::True => Tri::True,
-        Condition::False => Tri::False,
-        Condition::Bound(v) => {
-            if certain.contains(v) {
-                Tri::True
-            } else if !vars.contains(v) {
-                Tri::False
-            } else {
-                Tri::Unknown
-            }
-        }
-        Condition::EqConst(v, _) => {
-            if !vars.contains(v) {
-                Tri::False
-            } else {
-                Tri::Unknown
-            }
-        }
-        Condition::EqVar(v, w) => {
-            if v == w {
-                // `?X = ?X` holds exactly when `?X` is bound.
-                if certain.contains(v) {
-                    Tri::True
-                } else if !vars.contains(v) {
-                    Tri::False
-                } else {
-                    Tri::Unknown
-                }
-            } else if !vars.contains(v) || !vars.contains(w) {
-                Tri::False
-            } else {
-                Tri::Unknown
-            }
-        }
-        Condition::Not(inner) => match fold_condition(inner, vars, certain) {
-            Tri::True => Tri::False,
-            Tri::False => Tri::True,
-            Tri::Unknown => Tri::Unknown,
-        },
-        Condition::And(a, b) => {
-            match (
-                fold_condition(a, vars, certain),
-                fold_condition(b, vars, certain),
-            ) {
-                (Tri::False, _) | (_, Tri::False) => Tri::False,
-                (Tri::True, Tri::True) => Tri::True,
-                _ => Tri::Unknown,
-            }
-        }
-        Condition::Or(a, b) => {
-            match (
-                fold_condition(a, vars, certain),
-                fold_condition(b, vars, certain),
-            ) {
-                (Tri::True, _) | (_, Tri::True) => Tri::True,
-                (Tri::False, Tri::False) => Tri::False,
-                _ => Tri::Unknown,
-            }
+        // UN002: a strictly-subsuming sibling (or a mutually-subsuming
+        // earlier sibling) makes this branch redundant. Exact
+        // duplicates are UN001's job, handled above.
+        let subsumed_by_sibling = all.iter().enumerate().any(|(i, (other, _))| {
+            i != j
+                && *other != all[j].0
+                && branch_subsumes(other, all[j].0)
+                && (!branch_subsumes(all[j].0, other) || i < j)
+        });
+        if subsumed_by_sibling {
+            diags.push(Diagnostic::new(
+                RuleId::SubsumedBranch,
+                all[j].1.span,
+                "UNION branch is subsumed by a sibling branch (every answer it produces is \
+                 already produced there); the optimizer drops it"
+                    .to_string(),
+            ));
         }
     }
 }
@@ -471,6 +455,73 @@ mod tests {
         assert!(codes(&a).contains(&"NS001"));
         let b = analyze_text("NS(((?x, a, b) UNION ((?x, c, d) OPT (?x, e, ?y))))");
         assert!(codes(&b).contains(&"NS002"));
+    }
+
+    #[test]
+    fn unsatisfiable_conjunction_is_flagged_without_fl001() {
+        // No single atom is false, but the closure is: ?y = c1 ∧ ?y = c2.
+        let text = "((?x, a, ?y) FILTER ((?y = c1) && (?y = c2)))";
+        let a = analyze_text(text);
+        let got = codes(&a);
+        assert!(got.contains(&"FL003"), "{got:?}");
+        assert!(!got.contains(&"FL001"), "{got:?}");
+        assert_eq!(a.worst_severity(), Some(Severity::Error));
+        // The fold-decidable case stays FL001, never FL003.
+        let b = analyze_text("((?x, a, b) FILTER bound(?z))");
+        let got = codes(&b);
+        assert!(got.contains(&"FL001"), "{got:?}");
+        assert!(!got.contains(&"FL003"), "{got:?}");
+        // A satisfiable conjunction fires neither.
+        let c = analyze_text("((?x, a, ?y) FILTER ((?y = c1) && bound(?x)))");
+        let got = codes(&c);
+        assert!(!got.contains(&"FL001"), "{got:?}");
+        assert!(!got.contains(&"FL003"), "{got:?}");
+    }
+
+    #[test]
+    fn subsumed_union_branch_is_flagged_with_its_span() {
+        // Right branch refines the left with an extra triple over the
+        // same variables: subsumed, not duplicate.
+        let text = "((?x, p, ?y) UNION ((?x, p, ?y) AND (?y, q, ?x)))";
+        let a = analyze_text(text);
+        let un2: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RuleId::SubsumedBranch)
+            .collect();
+        assert_eq!(un2.len(), 1, "{:?}", codes(&a));
+        assert_eq!(
+            &text[un2[0].span.start..un2[0].span.end],
+            "((?x, p, ?y) AND (?y, q, ?x))"
+        );
+        assert!(!codes(&a).contains(&"UN001"));
+        // Branches with different domains are not subsumed.
+        let b = analyze_text("((?x, p, ?y) UNION (?x, p, c))");
+        assert!(!codes(&b).contains(&"UN002"));
+        // OPT branches are refused, never flagged.
+        let c = analyze_text("((?x, p, ?y) UNION ((?x, p, ?y) OPT (?y, q, ?z)))");
+        assert!(!codes(&c).contains(&"UN002"));
+    }
+
+    #[test]
+    fn collapsible_opt_is_flagged() {
+        // bound(?y) forces the optional side: OPT ≡ AND here.
+        let a = analyze_text("(((?x, a, b) OPT (?x, c, ?y)) FILTER bound(?y))");
+        assert!(codes(&a).contains(&"BD001"), "{:?}", codes(&a));
+        // ?y possible on the left too: no verdict.
+        let b = analyze_text("(((?x, a, ?y) OPT (?x, c, ?y)) FILTER bound(?y))");
+        assert!(!codes(&b).contains(&"BD001"));
+        // A negated atom forces nothing.
+        let c = analyze_text("(((?x, a, b) OPT (?x, c, ?y)) FILTER !(bound(?y)))");
+        assert!(!codes(&c).contains(&"BD001"));
+    }
+
+    #[test]
+    fn analysis_exposes_the_root_binding_lattice() {
+        let a = analyze_text("((?x, a, b) OPT (?x, c, ?y))");
+        let vars = |s: &BTreeSet<Variable>| s.iter().map(|v| v.to_string()).collect::<Vec<_>>();
+        assert_eq!(vars(&a.bindings.certain), vec!["?x"]);
+        assert_eq!(vars(&a.bindings.possible), vec!["?x", "?y"]);
     }
 
     #[test]

@@ -27,6 +27,18 @@ fn usage() -> &'static str {
     "usage: owql-lint [--deny error|warn|info|never] [--format text|json] FILE..."
 }
 
+/// `?x, ?y` — the binding-lattice footer rendering.
+fn join_vars(vars: &std::collections::BTreeSet<owql_algebra::Variable>) -> String {
+    let rendered: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
+    rendered.join(", ")
+}
+
+/// `"?x", "?y"` — the JSON array body for a variable set.
+fn json_vars(vars: &std::collections::BTreeSet<owql_algebra::Variable>) -> String {
+    let rendered: Vec<String> = vars.iter().map(|v| json_string(&v.to_string())).collect();
+    rendered.join(", ")
+}
+
 fn main() -> ExitCode {
     let mut deny = Deny::AtLeast(Severity::Error);
     let mut format = Format::Text;
@@ -122,6 +134,11 @@ fn main() -> ExitCode {
                     "{file}: {} -> {} (well-designed: {})",
                     analysis.fragment, analysis.complexity, analysis.well_designed
                 );
+                println!(
+                    "{file}: binds certainly {{{}}} possibly {{{}}}",
+                    join_vars(&analysis.bindings.certain),
+                    join_vars(&analysis.bindings.possible)
+                );
             }
             Format::Json => {
                 let diags: Vec<String> = analysis
@@ -130,11 +147,14 @@ fn main() -> ExitCode {
                     .map(|d| d.to_json(input))
                     .collect();
                 json_entries.push(format!(
-                    "{{\"file\": {}, \"fragment\": {}, \"complexity\": {}, \"well_designed\": {}, \"diagnostics\": [{}]}}",
+                    "{{\"file\": {}, \"fragment\": {}, \"complexity\": {}, \"well_designed\": {}, \
+                     \"bindings\": {{\"certain\": [{}], \"possible\": [{}]}}, \"diagnostics\": [{}]}}",
                     json_string(file),
                     json_string(&analysis.fragment.to_string()),
                     json_string(&analysis.complexity.to_string()),
                     json_string(analysis.well_designed.as_str()),
+                    json_vars(&analysis.bindings.certain),
+                    json_vars(&analysis.bindings.possible),
                     diags.join(", ")
                 ));
             }

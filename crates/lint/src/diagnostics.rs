@@ -64,11 +64,24 @@ pub enum RuleId {
     /// FL002 — a FILTER condition is statically always true and can be
     /// dropped.
     AlwaysTrueFilter,
+    /// FL003 — a FILTER conjunction is unsatisfiable by constraint
+    /// propagation (constant-equality closure / bound reasoning) even
+    /// though no single atom is statically false; the optimizer prunes
+    /// the subtree.
+    UnsatisfiableConjunction,
     /// PJ001 — a SELECT projects a variable its operand can never bind.
     DeadProjection,
     /// UN001 — a UNION branch duplicates an earlier branch and
     /// contributes no answers.
     DuplicateUnionBranch,
+    /// UN002 — a UNION branch is subsumed by a sibling branch
+    /// (AND/FILTER fragment containment): every answer it produces is
+    /// already produced by the sibling, so it contributes nothing.
+    SubsumedBranch,
+    /// BD001 — a `FILTER` above an `OPT` forces a variable the
+    /// optional side certainly binds and the mandatory side never
+    /// binds, so the OPT behaves exactly like an AND.
+    OptCollapsible,
     /// NS001 — `NS(P)` where `P` is already weakly monotone by shape,
     /// so the NS closure is a no-op the optimizer elides.
     RedundantNs,
@@ -91,8 +104,11 @@ impl RuleId {
             RuleId::UnsafeFilter => "WD002",
             RuleId::AlwaysFalseFilter => "FL001",
             RuleId::AlwaysTrueFilter => "FL002",
+            RuleId::UnsatisfiableConjunction => "FL003",
             RuleId::DeadProjection => "PJ001",
             RuleId::DuplicateUnionBranch => "UN001",
+            RuleId::SubsumedBranch => "UN002",
+            RuleId::OptCollapsible => "BD001",
             RuleId::RedundantNs => "NS001",
             RuleId::OpaqueNs => "NS002",
             RuleId::Fragment => "FR001",
@@ -106,11 +122,15 @@ impl RuleId {
             RuleId::BadOptVariable
             | RuleId::UnsafeFilter
             | RuleId::DeadProjection
-            | RuleId::DuplicateUnionBranch => Severity::Warn,
-            RuleId::AlwaysFalseFilter | RuleId::AdmissionDenied => Severity::Error,
+            | RuleId::DuplicateUnionBranch
+            | RuleId::SubsumedBranch => Severity::Warn,
+            RuleId::AlwaysFalseFilter
+            | RuleId::UnsatisfiableConjunction
+            | RuleId::AdmissionDenied => Severity::Error,
             RuleId::AlwaysTrueFilter
             | RuleId::RedundantNs
             | RuleId::OpaqueNs
+            | RuleId::OptCollapsible
             | RuleId::Fragment => Severity::Info,
         }
     }

@@ -12,8 +12,15 @@
 //! 2. **Well-designedness** ([`well_designedness`] and the WD001/WD002
 //!    diagnostics): Definition 3.4 checked per OPT subtree, with each
 //!    violation anchored at the offending subtree's byte span.
-//! 3. **Lints**: statically always-false/always-true filters, dead
-//!    projection, duplicate UNION branches, redundant or opaque `NS`.
+//! 3. **Semantic dataflow** ([`dataflow::Bindings`]): the
+//!    certainly-bound / possibly-bound variable lattice, computed
+//!    bottom-up and consumed by every rule that reasons about
+//!    bindings — and by the optimizer's certified pruning rewrites.
+//! 4. **Lints**: statically always-false/always-true filters (FL001/2),
+//!    unsatisfiable filter conjunctions by constraint propagation
+//!    (FL003, [`sat`]), dead projection, duplicate and subsumed UNION
+//!    branches (UN001/UN002, [`subsume`]), collapsible OPTs (BD001),
+//!    redundant or opaque `NS`.
 //!
 //! Diagnostics carry stable rule codes (`WD001`, `FL001`, …) and byte
 //! spans into the source (when analyzed via [`analyze_source`]) or into
@@ -34,10 +41,16 @@
 
 pub mod analyze;
 pub mod classify;
+pub mod dataflow;
 pub mod diagnostics;
+pub mod sat;
+pub mod subsume;
 
 pub use analyze::{
     analyze, analyze_pattern, analyze_source, well_designedness, Analysis, WellDesignedVerdict,
 };
 pub use classify::{classify, ComplexityClass, Fragment};
+pub use dataflow::{fold_condition, must_bind, Bindings, Tri};
 pub use diagnostics::{json_string, Diagnostic, RuleId, Severity};
+pub use sat::{filter_satisfiable, Satisfiability};
+pub use subsume::{branch_subsumes, conjunctive, subsumes, ConjunctiveBranch};

@@ -1,0 +1,439 @@
+//! Static satisfiability of FILTER conditions over a binding lattice.
+//!
+//! "On the satisfiability problem for SPARQL patterns" (Zhang, Van den
+//! Bussche, Picalausa) shows satisfiability is decidable — and cheap —
+//! for the paper's FILTER fragment (`bound`, `?X = c`, `?X = ?Y`,
+//! closed under `¬ ∧ ∨`). This module implements the decision
+//! procedure the Kleene fold of [`crate::dataflow::fold_condition`]
+//! cannot express: it puts the condition in disjunctive normal form
+//! and runs a *constant-equality closure* per disjunct, so
+//! contradictions that span several atoms — `?X = a ∧ ?X = b`, or
+//! `?X = ?Y ∧ ?Y = c ∧ ¬(?X = c)` — are detected.
+//!
+//! The verdict is one-sided on purpose: [`Satisfiability::Unsat`]
+//! is a proof that **no answer of the FILTER's operand satisfies the
+//! condition on any graph**, which licenses the optimizer to replace
+//! the whole subtree by an empty pattern (rule FL003).
+//! [`Satisfiability::Unknown`] claims nothing. DNF expansion is capped
+//! ([`MAX_DISJUNCTS`]); past the cap the checker returns `Unknown`
+//! rather than spending exponential time, keeping the analyzer total
+//! and linear-ish on adversarial inputs.
+
+use crate::dataflow::Bindings;
+use owql_algebra::condition::Condition;
+use owql_algebra::variable::Variable;
+use owql_algebra::Iri;
+use std::collections::BTreeMap;
+
+/// One-sided satisfiability verdict for a FILTER condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Satisfiability {
+    /// Proof: no mapping the operand can produce satisfies the
+    /// condition, on any graph.
+    Unsat,
+    /// No proof either way (includes "gave up at the DNF cap").
+    Unknown,
+}
+
+/// DNF expansion cap: conditions whose normal form would exceed this
+/// many disjuncts get an `Unknown` verdict instead of a blowup.
+pub const MAX_DISJUNCTS: usize = 64;
+
+/// Signed atomic constraint — one literal of a DNF disjunct.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Lit {
+    Bound(Variable),
+    NotBound(Variable),
+    EqConst(Variable, Iri),
+    NeqConst(Variable, Iri),
+    EqVar(Variable, Variable),
+    NeqVar(Variable, Variable),
+}
+
+/// Decides satisfiability of `r` over the answers described by the
+/// operand lattice `b`: every atom is checked against `b.possible`
+/// (a variable the operand can never bind falsifies `bound`/equality
+/// atoms) and `b.certain` (a certainly-bound variable falsifies
+/// `¬bound`), and each DNF disjunct runs an equality closure over its
+/// `?X = ?Y` / `?X = c` literals.
+pub fn filter_satisfiable(r: &Condition, b: &Bindings) -> Satisfiability {
+    let Some(disjuncts) = dnf(r, false) else {
+        return Satisfiability::Unknown;
+    };
+    if disjuncts.iter().any(|d| disjunct_consistent(d, b)) {
+        Satisfiability::Unknown
+    } else {
+        Satisfiability::Unsat
+    }
+}
+
+/// Negation-normal-form + distribution into DNF. `negated` tracks the
+/// sign pushed down by De Morgan. Returns `None` past [`MAX_DISJUNCTS`].
+fn dnf(r: &Condition, negated: bool) -> Option<Vec<Vec<Lit>>> {
+    let atom = |l: Lit| Some(vec![vec![l]]);
+    match (r, negated) {
+        // An empty disjunction is unsatisfiable; a single empty
+        // disjunct is trivially satisfiable.
+        (Condition::True, false) | (Condition::False, true) => Some(vec![vec![]]),
+        (Condition::True, true) | (Condition::False, false) => Some(vec![]),
+        (Condition::Bound(v), false) => atom(Lit::Bound(*v)),
+        (Condition::Bound(v), true) => atom(Lit::NotBound(*v)),
+        (Condition::EqConst(v, c), false) => atom(Lit::EqConst(*v, *c)),
+        (Condition::EqConst(v, c), true) => atom(Lit::NeqConst(*v, *c)),
+        (Condition::EqVar(v, w), false) => atom(Lit::EqVar(*v, *w)),
+        (Condition::EqVar(v, w), true) => atom(Lit::NeqVar(*v, *w)),
+        (Condition::Not(inner), neg) => dnf(inner, !neg),
+        // ∧ distributes (cross product); ∨ concatenates — and the
+        // roles swap under negation.
+        (Condition::And(x, y), false) | (Condition::Or(x, y), true) => {
+            cross(dnf(x, negated)?, dnf(y, negated)?)
+        }
+        (Condition::Or(x, y), false) | (Condition::And(x, y), true) => {
+            let mut out = dnf(x, negated)?;
+            out.extend(dnf(y, negated)?);
+            (out.len() <= MAX_DISJUNCTS).then_some(out)
+        }
+    }
+}
+
+fn cross(xs: Vec<Vec<Lit>>, ys: Vec<Vec<Lit>>) -> Option<Vec<Vec<Lit>>> {
+    if xs.len().saturating_mul(ys.len()) > MAX_DISJUNCTS {
+        return None;
+    }
+    let mut out = Vec::with_capacity(xs.len() * ys.len());
+    for x in &xs {
+        for y in &ys {
+            let mut d = x.clone();
+            d.extend(y.iter().copied());
+            out.push(d);
+        }
+    }
+    Some(out)
+}
+
+/// Union-find over the variables of one disjunct, with an optional
+/// constant per equivalence class.
+struct Classes {
+    parent: BTreeMap<Variable, Variable>,
+    constant: BTreeMap<Variable, Iri>,
+}
+
+impl Classes {
+    fn new() -> Classes {
+        Classes {
+            parent: BTreeMap::new(),
+            constant: BTreeMap::new(),
+        }
+    }
+
+    fn find(&mut self, v: Variable) -> Variable {
+        let p = *self.parent.entry(v).or_insert(v);
+        if p == v {
+            return v;
+        }
+        let root = self.find(p);
+        self.parent.insert(v, root);
+        root
+    }
+
+    /// Merges the classes of `v` and `w`; `false` on constant clash.
+    fn union(&mut self, v: Variable, w: Variable) -> bool {
+        let (rv, rw) = (self.find(v), self.find(w));
+        if rv == rw {
+            return true;
+        }
+        let cv = self.constant.get(&rv).copied();
+        let cw = self.constant.get(&rw).copied();
+        if let (Some(a), Some(b)) = (cv, cw) {
+            if a != b {
+                return false;
+            }
+        }
+        self.parent.insert(rw, rv);
+        if let (None, Some(c)) = (cv, cw) {
+            self.constant.insert(rv, c);
+        }
+        true
+    }
+
+    /// Pins the class of `v` to constant `c`; `false` on clash.
+    fn assign(&mut self, v: Variable, c: Iri) -> bool {
+        let r = self.find(v);
+        match self.constant.get(&r) {
+            Some(existing) => *existing == c,
+            None => {
+                self.constant.insert(r, c);
+                true
+            }
+        }
+    }
+}
+
+/// `true` iff the conjunction of `lits` has no *static* contradiction
+/// over the operand lattice `b` (a conservative consistency check —
+/// `true` does not prove satisfiability, `false` proves the disjunct
+/// empty).
+fn disjunct_consistent(lits: &[Lit], b: &Bindings) -> bool {
+    // Every variable in a positive `bound`/equality literal must be
+    // bindable at all; `¬bound` clashes with certainly-bound.
+    for l in lits {
+        match *l {
+            Lit::Bound(v) | Lit::EqConst(v, _) => {
+                if !b.possible.contains(&v) {
+                    return false;
+                }
+            }
+            Lit::EqVar(v, w) => {
+                if !b.possible.contains(&v) || !b.possible.contains(&w) {
+                    return false;
+                }
+            }
+            Lit::NotBound(v) => {
+                if b.certain.contains(&v) {
+                    return false;
+                }
+            }
+            Lit::NeqConst(..) | Lit::NeqVar(..) => {}
+        }
+    }
+    // Positive equalities force their variables bound, so a `¬bound`
+    // on any of them is a clash independent of the lattice.
+    let mut classes = Classes::new();
+    for l in lits {
+        match *l {
+            Lit::EqVar(v, w) if !classes.union(v, w) => return false,
+            Lit::EqConst(v, c) if !classes.assign(v, c) => return false,
+            _ => {}
+        }
+    }
+    for l in lits {
+        match *l {
+            Lit::NotBound(v) => {
+                // `v` forced bound by an equality literal in the same
+                // disjunct?
+                let forced = lits.iter().any(|m| match *m {
+                    Lit::Bound(w) | Lit::EqConst(w, _) => w == v,
+                    Lit::EqVar(w, x) => w == v || x == v,
+                    _ => false,
+                });
+                if forced {
+                    return false;
+                }
+            }
+            Lit::NeqConst(v, c) => {
+                // ¬(v = c) fails only when v is provably bound to c.
+                let r = classes.find(v);
+                if classes.constant.get(&r) == Some(&c) {
+                    return false;
+                }
+            }
+            Lit::NeqVar(v, w) => {
+                if v == w {
+                    // ¬(?X = ?X) ⇔ ¬bound(?X).
+                    if b.certain.contains(&v) {
+                        return false;
+                    }
+                    let forced = lits.iter().any(|m| match *m {
+                        Lit::Bound(x) | Lit::EqConst(x, _) => x == v,
+                        Lit::EqVar(x, y) => x == v || y == v,
+                        _ => false,
+                    });
+                    if forced {
+                        return false;
+                    }
+                } else {
+                    let (rv, rw) = (classes.find(v), classes.find(w));
+                    if rv == rw {
+                        return false;
+                    }
+                    // Distinct classes pinned to the same constant are
+                    // still provably equal.
+                    if let (Some(a), Some(bc)) =
+                        (classes.constant.get(&rv), classes.constant.get(&rw))
+                    {
+                        if a == bc {
+                            return false;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owql_algebra::pattern::Pattern;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn lattice(p: &Pattern) -> Bindings {
+        Bindings::of(p)
+    }
+
+    fn sat(r: &Condition, p: &Pattern) -> Satisfiability {
+        filter_satisfiable(r, &lattice(p))
+    }
+
+    #[test]
+    fn constant_equality_closure_detects_conflicts() {
+        let p = Pattern::t("?x", "a", "?y");
+        // ?x = a ∧ ?x = b
+        let r = Condition::eq_const("x", "k1").and(Condition::eq_const("x", "k2"));
+        assert_eq!(sat(&r, &p), Satisfiability::Unsat);
+        // ?x = ?y ∧ ?x = a ∧ ¬(?y = a)
+        let r = Condition::eq_var("x", "y")
+            .and(Condition::eq_const("x", "k1"))
+            .and(Condition::eq_const("y", "k1").not());
+        assert_eq!(sat(&r, &p), Satisfiability::Unsat);
+        // ?x = a ∧ ?y = a ∧ ¬(?x = ?y): both pinned to the same IRI.
+        let r = Condition::eq_const("x", "k1")
+            .and(Condition::eq_const("y", "k1"))
+            .and(Condition::eq_var("x", "y").not());
+        assert_eq!(sat(&r, &p), Satisfiability::Unsat);
+        // Consistent: ?x = a ∧ ?y = b.
+        let r = Condition::eq_const("x", "k1").and(Condition::eq_const("y", "k2"));
+        assert_eq!(sat(&r, &p), Satisfiability::Unknown);
+    }
+
+    #[test]
+    fn bound_literals_interact_with_equalities() {
+        let p = Pattern::t("?x", "a", "?y");
+        // ¬bound(?x) ∧ ?x = ?y: the equality forces ?x bound.
+        let r = Condition::bound("x").not().and(Condition::eq_var("x", "y"));
+        assert_eq!(sat(&r, &p), Satisfiability::Unsat);
+        // ¬(?x = ?x) ⇔ ¬bound(?x), contradicted by certain ?x.
+        let r = Condition::eq_var("x", "x").not();
+        assert_eq!(sat(&r, &p), Satisfiability::Unsat);
+    }
+
+    #[test]
+    fn lattice_falsifies_never_bound_and_certainly_bound() {
+        let p = Pattern::t("?x", "a", "b");
+        // ?z can never be bound by the operand.
+        assert_eq!(sat(&Condition::bound("z"), &p), Satisfiability::Unsat);
+        assert_eq!(sat(&Condition::eq_var("x", "z"), &p), Satisfiability::Unsat);
+        // ¬bound(?x) on a certainly-binding operand.
+        assert_eq!(sat(&Condition::bound("x").not(), &p), Satisfiability::Unsat);
+        // Over an OPT, ?y is possible but not certain: no proof.
+        let o = Pattern::t("?x", "a", "b").opt(Pattern::t("?x", "c", "?y"));
+        assert_eq!(
+            filter_satisfiable(&Condition::bound("y"), &Bindings::of(&o)),
+            Satisfiability::Unknown
+        );
+    }
+
+    #[test]
+    fn disjunction_needs_every_branch_refuted() {
+        let p = Pattern::t("?x", "a", "?y");
+        let bad = Condition::eq_const("x", "k1").and(Condition::eq_const("x", "k2"));
+        let fine = Condition::bound("y");
+        assert_eq!(sat(&bad.clone().or(fine), &p), Satisfiability::Unknown);
+        let also_bad = Condition::bound("z");
+        assert_eq!(sat(&bad.or(also_bad), &p), Satisfiability::Unsat);
+    }
+
+    #[test]
+    fn dnf_cap_yields_unknown_not_blowup() {
+        // (a₁ ∨ b₁) ∧ (a₂ ∨ b₂) ∧ … crosses past MAX_DISJUNCTS.
+        let p = Pattern::t("?x", "a", "?y");
+        let clause = |i: usize| {
+            Condition::eq_const("x", format!("k{i}").as_str())
+                .or(Condition::eq_const("y", format!("k{i}").as_str()))
+        };
+        let r = Condition::conj((0..12).map(clause));
+        assert_eq!(sat(&r, &p), Satisfiability::Unknown);
+    }
+
+    /// Refutation safety: whenever the checker says Unsat, brute-force
+    /// enumeration of sub-mappings over the mentioned constants finds
+    /// no satisfying mapping consistent with the lattice.
+    #[test]
+    fn unsat_verdicts_are_sound_by_enumeration() {
+        use owql_algebra::analysis::Operators;
+        use owql_algebra::mapping::Mapping;
+        use owql_algebra::random::{random_pattern, PatternConfig};
+
+        let cfg = PatternConfig {
+            allowed: Operators::NS_SPARQL.with(Operators::MINUS),
+            max_depth: 3,
+            ..PatternConfig::standard(3, 3)
+        };
+        let mut unsat_seen = 0;
+        for seed in 0..500u64 {
+            let p = random_pattern(&cfg, seed);
+            let b = Bindings::of(&p);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5A7);
+            let r = random_condition(&mut rng, 4);
+            if filter_satisfiable(&r, &b) != Satisfiability::Unsat {
+                continue;
+            }
+            unsat_seen += 1;
+            // Enumerate every mapping over vars(r) ∪ certain with
+            // values from the mentioned constants + a fresh one, where
+            // certain vars are always bound and only possible vars may
+            // be bound — the abstraction Unsat quantifies over.
+            let vars: Vec<Variable> = r.vars().union(&b.certain).copied().collect();
+            let mut consts: Vec<Iri> = r.iris().into_iter().collect();
+            consts.push(Iri::new("fresh__a"));
+            consts.push(Iri::new("fresh__b"));
+            let n = consts.len() + 1; // last slot = unbound
+            let combos = (n as u64).pow(vars.len() as u32);
+            for mut code in 0..combos {
+                let mut m = Mapping::new();
+                let mut ok = true;
+                for &v in &vars {
+                    let slot = (code % n as u64) as usize;
+                    code /= n as u64;
+                    if slot == consts.len() {
+                        if b.certain.contains(&v) {
+                            ok = false; // certain vars must be bound
+                            break;
+                        }
+                    } else {
+                        if !b.possible.contains(&v) {
+                            ok = false; // impossible vars must be unbound
+                            break;
+                        }
+                        m = m.bind(v, consts[slot]);
+                    }
+                }
+                if ok {
+                    assert!(
+                        !r.satisfied_by(&m),
+                        "seed {seed}: Unsat verdict refuted — {r} satisfied by {m} over {p}"
+                    );
+                }
+            }
+        }
+        assert!(unsat_seen >= 5, "only {unsat_seen} Unsat verdicts sampled");
+    }
+
+    fn random_condition(rng: &mut StdRng, depth: usize) -> Condition {
+        // Same universe as `PatternConfig::standard(3, 3)`, so the
+        // conditions interact with the pattern's binding lattice.
+        let vars = ["v0", "v1", "v2"];
+        let consts = ["i0", "i1"];
+        if depth == 0 || rng.gen_bool(0.4) {
+            return match rng.gen_range(0..3) {
+                0 => Condition::bound(vars[rng.gen_range(0..vars.len())]),
+                1 => Condition::eq_const(
+                    vars[rng.gen_range(0..vars.len())],
+                    consts[rng.gen_range(0..consts.len())],
+                ),
+                _ => Condition::eq_var(
+                    vars[rng.gen_range(0..vars.len())],
+                    vars[rng.gen_range(0..vars.len())],
+                ),
+            };
+        }
+        match rng.gen_range(0..3) {
+            0 => random_condition(rng, depth - 1).not(),
+            1 => random_condition(rng, depth - 1).and(random_condition(rng, depth - 1)),
+            _ => random_condition(rng, depth - 1).or(random_condition(rng, depth - 1)),
+        }
+    }
+}

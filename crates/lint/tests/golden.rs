@@ -1,8 +1,9 @@
 //! Golden-file diagnostic tests: each `tests/golden/NAME.owql` holds
 //! one pattern, and `tests/golden/NAME.expected` pins the analysis —
 //! a header line with the fragment/complexity/well-designedness
-//! verdict, then one `CODE severity start..end` line per diagnostic
-//! (spans index into the trimmed source).
+//! verdict, a `binds` line with the certainly/possibly-bound variable
+//! sets of the dataflow lattice, then one `CODE severity start..end`
+//! line per diagnostic (spans index into the trimmed source).
 //!
 //! Regenerate after an intentional analyzer change with:
 //!
@@ -15,9 +16,17 @@ use std::path::Path;
 
 fn render(input: &str) -> String {
     let a = analyze_source(input).expect("golden inputs parse");
+    let vars = |set: &std::collections::BTreeSet<owql_algebra::Variable>| {
+        let rendered: Vec<String> = set.iter().map(|v| v.to_string()).collect();
+        rendered.join(", ")
+    };
     let mut out = format!(
-        "{} -> {} (well-designed: {})\n",
-        a.fragment, a.complexity, a.well_designed
+        "{} -> {} (well-designed: {})\nbinds certainly {{{}}} possibly {{{}}}\n",
+        a.fragment,
+        a.complexity,
+        a.well_designed,
+        vars(&a.bindings.certain),
+        vars(&a.bindings.possible)
     );
     for d in &a.diagnostics {
         out.push_str(&format!("{} {} {}\n", d.rule, d.severity, d.span));
@@ -59,7 +68,7 @@ fn golden_diagnostics_are_stable() {
         checked += 1;
     }
     assert!(
-        checked >= 7,
+        checked >= 10,
         "expected the full golden corpus, saw {checked}"
     );
 }

@@ -61,6 +61,7 @@ pub mod recorder;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{MetricsHub, ShardMetrics, SlowQuery, MAX_SHARDS};
 pub use profile::{
-    ColumnarObs, NsObs, OperatorTotals, PersistObs, PoolObs, Profile, StoreObs, WorkerStat,
+    ColumnarObs, NsObs, OperatorTotals, PersistObs, PoolObs, Profile, PruneObs, StoreObs,
+    WorkerStat,
 };
 pub use recorder::{OpKind, Recorder, Span, SpanId, SpanTimer};

@@ -12,7 +12,7 @@
 //! format ([`crate::prometheus`]) or JSON (`?format=json`).
 
 use crate::histogram::{Histogram, HistogramSnapshot};
-use crate::profile::OperatorTotals;
+use crate::profile::{OperatorTotals, PruneObs};
 use crate::recorder::{OpKind, Span};
 use crate::{json, prometheus};
 use std::collections::VecDeque;
@@ -254,6 +254,15 @@ pub struct MetricsHub {
     pub columnar_fallbacks: AtomicU64,
     /// Queries that crossed the slow-query threshold.
     pub slow_queries_total: AtomicU64,
+    /// Plan subtrees pruned as unsatisfiable FILTER conjunctions
+    /// (lint rule FL003) by the certified optimizer rewrites.
+    pub pruned_unsat_filters: AtomicU64,
+    /// UNION branches dropped as subsumed by a sibling (lint rule
+    /// UN002).
+    pub pruned_subsumed_branches: AtomicU64,
+    /// OPT nodes collapsed to AND because the enclosing FILTER demands
+    /// an optional-only binding (lint rule BD001).
+    pub pruned_opt_collapses: AtomicU64,
     /// Scatter-gather shard counters (zero until sharding is enabled).
     pub shards: ShardMetrics,
     slow: Mutex<VecDeque<SlowQuery>>,
@@ -270,6 +279,19 @@ impl MetricsHub {
         for span in spans {
             self.operator_latency[span.kind.index()].record_ns(span.elapsed_ns);
         }
+    }
+
+    /// Folds one query's certified-pruning counters into the hub.
+    pub fn observe_prunes(&self, prunes: PruneObs) {
+        if prunes.total() == 0 {
+            return;
+        }
+        self.pruned_unsat_filters
+            .fetch_add(prunes.unsat_filters, Ordering::Relaxed);
+        self.pruned_subsumed_branches
+            .fetch_add(prunes.subsumed_branches, Ordering::Relaxed);
+        self.pruned_opt_collapses
+            .fetch_add(prunes.opt_collapses, Ordering::Relaxed);
     }
 
     /// Pushes one slow query into the ring buffer (evicting the oldest
@@ -353,6 +375,23 @@ impl MetricsHub {
             "Queries that crossed the slow-query threshold.",
             self.slow_queries_total.load(Ordering::Relaxed),
         );
+        prometheus::header(
+            out,
+            "owql_lint_prunes_total",
+            "counter",
+            "Plan rewrites certified by the lint dataflow pass, by rule.",
+        );
+        for (rule, counter) in [
+            ("FL003", &self.pruned_unsat_filters),
+            ("UN002", &self.pruned_subsumed_branches),
+            ("BD001", &self.pruned_opt_collapses),
+        ] {
+            let _ = writeln!(
+                out,
+                "owql_lint_prunes_total{{rule=\"{rule}\"}} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
         self.shards.render_prometheus(out);
     }
 
@@ -366,6 +405,8 @@ impl MetricsHub {
              {indent}  \"columnar_runs\": {},\n\
              {indent}  \"columnar_fallbacks\": {},\n\
              {indent}  \"slow_queries_total\": {},\n\
+             {indent}  \"lint_prunes\": {{\"unsat_filters\": {}, \
+             \"subsumed_branches\": {}, \"opt_collapses\": {}}},\n\
              {indent}  \"shards\": {},\n\
              {indent}  \"query_latency\": {},\n\
              {indent}  \"wal_fsync\": {},\n\
@@ -375,6 +416,9 @@ impl MetricsHub {
             self.columnar_runs.load(Ordering::Relaxed),
             self.columnar_fallbacks.load(Ordering::Relaxed),
             self.slow_queries_total.load(Ordering::Relaxed),
+            self.pruned_unsat_filters.load(Ordering::Relaxed),
+            self.pruned_subsumed_branches.load(Ordering::Relaxed),
+            self.pruned_opt_collapses.load(Ordering::Relaxed),
             self.shards.to_json(),
             latency_json(&q, &format!("{indent}  ")),
             latency_json(&self.wal_fsync.snapshot(), &format!("{indent}  ")),
@@ -427,6 +471,11 @@ mod tests {
         }
         hub.columnar_runs.fetch_add(4, Ordering::Relaxed);
         hub.columnar_fallbacks.fetch_add(1, Ordering::Relaxed);
+        hub.observe_prunes(PruneObs {
+            unsat_filters: 2,
+            subsumed_branches: 1,
+            opt_collapses: 0,
+        });
         hub.wal_fsync.record_ns(500_000);
         hub.checkpoint.record_ns(9_000_000);
         let rec = Recorder::new();
@@ -464,6 +513,7 @@ mod tests {
             "owql_wal_fsync_seconds",
             "owql_checkpoint_seconds",
             "owql_slow_queries_total",
+            "owql_lint_prunes_total",
         ] {
             assert!(
                 out.contains(&format!("# TYPE {family}")),
@@ -478,6 +528,9 @@ mod tests {
         assert!(out.contains("owql_query_latency_seconds_count 5"));
         assert!(out.contains("op=\"NS\""));
         assert!(out.contains("owql_columnar_fallbacks_total 1"));
+        assert!(out.contains("owql_lint_prunes_total{rule=\"FL003\"} 2"));
+        assert!(out.contains("owql_lint_prunes_total{rule=\"UN002\"} 1"));
+        assert!(out.contains("owql_lint_prunes_total{rule=\"BD001\"} 0"));
     }
 
     #[test]
@@ -509,6 +562,8 @@ mod tests {
         for key in [
             "\"queries_total\"",
             "\"columnar_fallbacks\"",
+            "\"lint_prunes\"",
+            "\"subsumed_branches\"",
             "\"query_latency\"",
             "\"histogram_buckets\"",
             "\"p99_ms\"",

@@ -78,6 +78,36 @@ impl ColumnarObs {
     }
 }
 
+/// Certified-pruning counters from the optimizer's lint-driven
+/// rewrites: how many subtrees the static analyzer (`owql-lint`)
+/// proved removable before the engine fanned out.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneObs {
+    /// FILTER subtrees proven unsatisfiable (rule FL003) and replaced
+    /// by an empty pattern.
+    pub unsat_filters: u64,
+    /// UNION branches dropped because a sibling subsumes them
+    /// (rule UN002) or duplicates them exactly.
+    pub subsumed_branches: u64,
+    /// OPT nodes collapsed to AND because a FILTER forces a variable
+    /// only the optional side certainly binds (rule BD001).
+    pub opt_collapses: u64,
+}
+
+impl PruneObs {
+    /// Total certified prunes across all three rules.
+    pub fn total(&self) -> u64 {
+        self.unsat_filters + self.subsumed_branches + self.opt_collapses
+    }
+
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &PruneObs) {
+        self.unsat_filters += other.unsat_filters;
+        self.subsumed_branches += other.subsumed_branches;
+        self.opt_collapses += other.opt_collapses;
+    }
+}
+
 /// One worker's contribution to one parallel map.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WorkerStat {
@@ -174,6 +204,8 @@ pub struct Profile {
     pub ns: NsObs,
     /// Columnar id-batch engine counters.
     pub columnar: ColumnarObs,
+    /// Certified-pruning counters from the lint-driven optimizer.
+    pub prunes: PruneObs,
     /// Pool-level counters and per-worker stats.
     pub pool: PoolObs,
     /// Every recorded span, in completion order.
@@ -238,6 +270,16 @@ impl Profile {
             self.columnar.decoded_rows,
             self.columnar.distinct_results,
             self.columnar.dedup_skips
+        );
+
+        let _ = writeln!(
+            out,
+            "  \"prunes\": {{\"unsat_filters\": {}, \"subsumed_branches\": {}, \
+             \"opt_collapses\": {}, \"total\": {}}},",
+            self.prunes.unsat_filters,
+            self.prunes.subsumed_branches,
+            self.prunes.opt_collapses,
+            self.prunes.total()
         );
 
         let _ = write!(
@@ -412,6 +454,8 @@ mod tests {
             "\"pruned_fraction\"",
             "\"columnar\"",
             "\"hint_hit_rate\"",
+            "\"prunes\"",
+            "\"unsat_filters\"",
             "\"estimated_rows\"",
             "\"pool\"",
             "\"workers\"",

@@ -12,7 +12,7 @@
 //! mutex: the instrumented code path then costs only the branch on
 //! [`Recorder::is_enabled`] per operator node.
 
-use crate::profile::{NsObs, OperatorTotals, PoolObs, Profile, WorkerStat};
+use crate::profile::{NsObs, OperatorTotals, PoolObs, Profile, PruneObs, WorkerStat};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -161,6 +161,9 @@ pub struct Recorder {
     decoded_rows: AtomicU64,
     distinct_results: AtomicU64,
     dedup_skips: AtomicU64,
+    pruned_unsat_filters: AtomicU64,
+    pruned_subsumed_branches: AtomicU64,
+    pruned_opt_collapses: AtomicU64,
 }
 
 impl Default for Recorder {
@@ -189,6 +192,9 @@ impl Recorder {
             decoded_rows: AtomicU64::new(0),
             distinct_results: AtomicU64::new(0),
             dedup_skips: AtomicU64::new(0),
+            pruned_unsat_filters: AtomicU64::new(0),
+            pruned_subsumed_branches: AtomicU64::new(0),
+            pruned_opt_collapses: AtomicU64::new(0),
         }
     }
 
@@ -358,6 +364,22 @@ impl Recorder {
         }
     }
 
+    /// Accumulates the optimizer's certified-pruning counters: each
+    /// rewrite the lint dataflow pass proved answer-preserving before
+    /// the plan was handed to the engine (unsatisfiable FILTER
+    /// conjunctions, subsumed UNION branches, OPTs collapsed to AND).
+    pub fn record_prunes(&self, prunes: PruneObs) {
+        if !self.enabled || prunes.total() == 0 {
+            return;
+        }
+        self.pruned_unsat_filters
+            .fetch_add(prunes.unsat_filters, Ordering::Relaxed);
+        self.pruned_subsumed_branches
+            .fetch_add(prunes.subsumed_branches, Ordering::Relaxed);
+        self.pruned_opt_collapses
+            .fetch_add(prunes.opt_collapses, Ordering::Relaxed);
+    }
+
     /// A copy of the finished spans, in completion order.
     pub fn spans(&self) -> Vec<Span> {
         self.spans.lock().expect("obs span buffer poisoned").clone()
@@ -411,6 +433,11 @@ impl Recorder {
                 chunks: self.chunks.load(Ordering::Relaxed),
                 steals: self.steals.load(Ordering::Relaxed),
                 workers,
+            },
+            prunes: PruneObs {
+                unsat_filters: self.pruned_unsat_filters.load(Ordering::Relaxed),
+                subsumed_branches: self.pruned_subsumed_branches.load(Ordering::Relaxed),
+                opt_collapses: self.pruned_opt_collapses.load(Ordering::Relaxed),
             },
             columnar: crate::profile::ColumnarObs {
                 fallbacks: self.columnar_fallbacks.load(Ordering::Relaxed),

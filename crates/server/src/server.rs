@@ -6,7 +6,7 @@
 //! 1. The **event loop** (one thread, [`sys::Epoll`](crate::sys::Epoll))
 //!    owns the listener and every connection. Sockets are non-blocking;
 //!    reads append into a per-connection buffer and
-//!    [`parse_request`](crate::http::parse_request) peels complete
+//!    [`parse_request`] peels complete
 //!    requests off the front — several pipelined requests parse out of
 //!    one readable event. Responses queue into a per-connection write
 //!    buffer flushed as the socket allows (`EPOLLOUT` is armed only
@@ -1023,13 +1023,15 @@ fn v1_query(
     }
 }
 
-/// `POST /v1/explain`: JSON envelope in, EXPLAIN ANALYZE out.
+/// `POST /v1/explain`: JSON envelope in, EXPLAIN ANALYZE out. Honors
+/// `opts.optimize`: the plan shown (and run) is then the optimized
+/// one, with the certified prune counts reported alongside it.
 fn v1_explain(req: &Request, store: &Store, config: &ServerConfig) -> Reply {
-    let (pattern, _) = match v1_parse_input(req, config) {
+    let (pattern, opts) = match v1_parse_input(req, config) {
         Ok(parsed) => parsed,
         Err(e) => return e.reply(),
     };
-    Reply::json(200, explain_body(store, &pattern))
+    Reply::json(200, explain_body(store, &pattern, opts.optimize))
 }
 
 /// `POST /v1/lint`: JSON envelope in, full static analysis out.
@@ -1097,19 +1099,28 @@ fn answer_query(
     }
 }
 
-/// The shared `200` body of `/lint` and `/v1/lint`.
+/// The shared `200` body of `/lint` and `/v1/lint`. `bindings` is the
+/// root of the semantic dataflow lattice: which variables every answer
+/// certainly binds, and which any answer could possibly bind.
 fn lint_body(text: &str, analysis: &owql_lint::Analysis) -> String {
     let diagnostics: Vec<String> = analysis
         .diagnostics
         .iter()
         .map(|d| d.to_json(text))
         .collect();
+    let vars_json = |vars: &std::collections::BTreeSet<owql_algebra::Variable>| {
+        let rendered: Vec<String> = vars.iter().map(|v| json::string(&v.to_string())).collect();
+        format!("[{}]", rendered.join(", "))
+    };
     format!(
         "{{\"fragment\": {}, \"complexity\": {}, \"well_designed\": {}, \
+         \"bindings\": {{\"certain\": {}, \"possible\": {}}}, \
          \"count\": {}, \"diagnostics\": [{}]}}\n",
         json::string(&analysis.fragment.to_string()),
         json::string(&analysis.complexity.to_string()),
         json::string(analysis.well_designed.as_str()),
+        vars_json(&analysis.bindings.certain),
+        vars_json(&analysis.bindings.possible),
         analysis.diagnostics.len(),
         diagnostics.join(", "),
     )
@@ -1136,26 +1147,46 @@ fn answer_lint(req: &Request) -> Reply {
     }
 }
 
-/// The shared `200` body of `/explain` and `/v1/explain`.
-fn explain_body(store: &Store, pattern: &owql_algebra::Pattern) -> String {
+/// The shared `200` body of `/explain` and `/v1/explain`. With
+/// `optimize` set the certified-pruning optimizer rewrites the plan
+/// first — the EXPLAIN then shows what the engine would actually run,
+/// and a `"prunes"` section reports which lint-proven rewrites fired.
+fn explain_body(store: &Store, pattern: &owql_algebra::Pattern, optimize: bool) -> String {
     let snapshot = store.snapshot();
+    let prunes = optimize.then(|| owql_eval::optimize_with_stats(pattern));
+    let pattern = prunes.as_ref().map(|(p, _)| p).unwrap_or(pattern);
     let plan = snapshot.engine().explain_analyze(pattern);
-    format!(
-        "{{\"epoch\": {}, \"answers\": {}, \"total_ms\": {}, \"plan\": {}}}\n",
+    let mut out = format!(
+        "{{\"epoch\": {}, \"answers\": {}, \"total_ms\": {}, \"plan\": {}",
         snapshot.epoch(),
         plan.answers,
         json::ns_as_ms(plan.total_ns),
         json::string(&plan.to_string()),
-    )
+    );
+    if let Some((optimized, obs)) = &prunes {
+        let _ = write!(
+            out,
+            ", \"optimized\": {}, \"prunes\": {{\"unsat_filters\": {}, \
+             \"subsumed_branches\": {}, \"opt_collapses\": {}, \"total\": {}}}",
+            json::string(&optimized.to_string()),
+            obs.unsat_filters,
+            obs.subsumed_branches,
+            obs.opt_collapses,
+            obs.total(),
+        );
+    }
+    out.push_str("}\n");
+    out
 }
 
 /// `POST /explain` (legacy): pattern text in, EXPLAIN ANALYZE out.
+/// Honors the `optimize` query-string option like `/query` does.
 fn answer_explain(req: &Request, store: &Store, config: &ServerConfig) -> Reply {
-    let (pattern, _) = match parse_query_input(req, config) {
+    let (pattern, opts) = match parse_query_input(req, config) {
         Ok(parsed) => parsed,
         Err(e) => return Reply::json(e.status, error_body(&e.message)),
     };
-    Reply::json(200, explain_body(store, &pattern))
+    Reply::json(200, explain_body(store, &pattern, opts.optimize))
 }
 
 /// Shared body+options parsing for the legacy `/query` and `/explain`.
@@ -2685,6 +2716,35 @@ mod tests {
         );
         assert_eq!(reply.status, 200, "{}", reply.body);
         assert!(reply.body.contains("\"plan\""), "{}", reply.body);
+        // Un-optimized explains carry no prune section.
+        assert!(!reply.body.contains("\"prunes\""), "{}", reply.body);
+
+        // With `optimize` the unsatisfiable conjunction is pruned: the
+        // plan shown is the empty marker, and the counters say why.
+        let reply = route(
+            &post_req(
+                "/v1/explain",
+                br#"{"pattern": "((?x, p, ?y) FILTER ((?y = c1) && (?y = c2)))",
+                     "opts": {"optimize": true}}"#,
+            ),
+            &store,
+            &pool,
+            &config,
+            &metrics,
+            true,
+        );
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert!(
+            reply.body.contains("\"unsat_filters\": 1"),
+            "{}",
+            reply.body
+        );
+        assert!(reply.body.contains("\"answers\": 0"), "{}", reply.body);
+        assert!(
+            reply.body.contains("FILTER false"),
+            "optimized plan should show the empty marker: {}",
+            reply.body
+        );
 
         let reply = route(
             &post_req(
@@ -2704,6 +2764,15 @@ mod tests {
             reply.body
         );
         assert!(reply.body.contains("\"rule\": \"WD001\""), "{}", reply.body);
+        // The dataflow lattice rides along: ?X and ?Y are certain,
+        // the OPT-side extension is possible-only.
+        assert!(
+            reply.body.contains(
+                "\"bindings\": {\"certain\": [\"?X\", \"?Y\"], \"possible\": [\"?X\", \"?Y\"]}"
+            ),
+            "{}",
+            reply.body
+        );
 
         // Lint parse failures carry the span envelope too.
         let reply = route(

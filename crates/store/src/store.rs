@@ -92,6 +92,10 @@ pub struct QueryOutcome {
     /// term-at-a-time engine had to take over, `Disabled` otherwise
     /// (including cache hits, which run no engine at all).
     pub columnar_path: ColumnarPath,
+    /// Certified pruning rewrites the optimizer applied to the plan
+    /// (all-zero unless the request asked for optimization and a
+    /// lint-proven prune fired; cache hits run no optimizer).
+    pub prunes: owql_obs::PruneObs,
 }
 
 /// Tuning knobs for a [`Store`].
@@ -490,6 +494,7 @@ impl Snapshot {
             epoch: self.epoch,
             cache_hit: false,
             columnar_path: out.columnar_path,
+            prunes: out.prunes,
         })
     }
 
@@ -519,6 +524,7 @@ impl Snapshot {
                 epoch: self.epoch,
                 cache_hit: false,
                 columnar_path: out.columnar_path,
+                prunes: out.prunes,
             }
         }))
     }
@@ -1075,6 +1081,7 @@ impl Store {
             }
             ColumnarPath::Disabled => {}
         }
+        self.hub.observe_prunes(outcome.prunes);
         if let Some(profile) = &outcome.profile {
             self.hub.observe_spans(&profile.spans);
         }
@@ -1128,6 +1135,7 @@ impl Store {
                     epoch: snapshot.epoch(),
                     cache_hit: true,
                     columnar_path: ColumnarPath::Disabled,
+                    prunes: owql_obs::PruneObs::default(),
                 });
             }
             let mut outcome = self.eval_snapshot(&snapshot, req, pool)?;

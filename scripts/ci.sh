@@ -69,10 +69,25 @@ stage_lint_smoke() {
   cargo build --release -p owql-lint
   target/release/owql-lint --deny warn examples/patterns/*.owql
   set +e
-  target/release/owql-lint --deny warn crates/lint/tests/golden/*.owql >/dev/null
+  target/release/owql-lint --deny warn crates/lint/tests/golden/*.owql > /tmp/owql_lint_golden.log
   local rc=$?
   set -e
   [[ "$rc" -eq 1 ]] || { echo "expected --deny warn exit 1 on golden corpus, got $rc"; exit 1; }
+  # The semantic dataflow rules must fire on their golden shapes.
+  for rule in FL003 UN002 BD001; do
+    grep -q "$rule" /tmp/owql_lint_golden.log \
+      || { echo "missing $rule diagnostic over the golden corpus"; exit 1; }
+  done
+
+  step "source hygiene (no unsafe outside server/src/sys.rs, no unimplemented!/todo!)"
+  if grep -rnE '\bunsafe\s*(\{|fn|impl|trait)' crates/ --include='*.rs' \
+      | grep -v 'crates/server/src/sys.rs'; then
+    echo "unsafe code outside the audited syscall shim"; exit 1
+  fi
+  if grep -rnE '\b(unimplemented|todo)!\s*\(' crates/ --include='*.rs' \
+      | grep -vE ':[0-9]+:\s*//'; then
+    echo "unimplemented!/todo! left in library code"; exit 1
+  fi
   echo "lint smoke OK"
 }
 
@@ -92,7 +107,7 @@ stage_bench_smoke() {
   cargo run --release --example profile_query -- PROFILE_query.json
   for key in '"profile"' '"operators"' '"ns"' '"pruned_fraction"' '"pool"' \
              '"spans"' '"store"' '"cache_hit_rate"' '"persist"' \
-             '"columnar"' '"estimated_rows"'; do
+             '"columnar"' '"estimated_rows"' '"prunes"'; do
     grep -q "$key" PROFILE_query.json || { echo "missing $key in PROFILE_query.json"; exit 1; }
   done
   for key in '"owql_threads"' '"hardware_threads"' '"trace_overhead"'; do
